@@ -1,0 +1,114 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace tcf {
+namespace bench {
+
+double ParseScale(int argc, char** argv) {
+  double scale = 1.0;
+  const char* env = std::getenv("TCF_SCALE");
+  if (env != nullptr) {
+    auto parsed = ParseDouble(env);
+    if (parsed.ok() && *parsed > 0) scale = *parsed;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      auto parsed = ParseDouble(argv[i] + 8);
+      if (parsed.ok() && *parsed > 0) scale = *parsed;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      scale = 0.25;
+    }
+  }
+  return scale;
+}
+
+bool ParseCsvFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+DatabaseNetwork MakeBkLike(double scale) {
+  CheckinParams p;
+  p.num_users = static_cast<size_t>(3000 * scale);
+  p.num_locations = static_cast<size_t>(500 * scale);
+  p.friends_k = 4;
+  p.rewire_beta = 0.1;
+  p.periods_per_user = 22;
+  p.locations_per_period = 2.0;
+  p.favorites_per_user = 6;
+  p.social_mimicry = 0.55;
+  p.seed = 1001;
+  return GenerateCheckinNetwork(p);
+}
+
+DatabaseNetwork MakeGwLike(double scale) {
+  CheckinParams p;
+  p.num_users = static_cast<size_t>(6000 * scale);
+  p.num_locations = static_cast<size_t>(1200 * scale);
+  p.friends_k = 5;
+  p.rewire_beta = 0.15;
+  p.periods_per_user = 18;
+  p.locations_per_period = 2.0;
+  p.favorites_per_user = 7;
+  p.social_mimicry = 0.5;
+  p.seed = 2002;
+  return GenerateCheckinNetwork(p);
+}
+
+CoauthorNetwork MakeAminerLike(double scale) {
+  CoauthorParams p;
+  p.num_groups = static_cast<size_t>(300 * scale);
+  p.group_size_min = 4;
+  p.group_size_max = 10;
+  p.overlap_fraction = 0.2;
+  p.theme_size = 4;
+  p.intra_group_edge_prob = 0.6;
+  p.background_edge_factor = 1.5;
+  p.papers_per_membership = 10;
+  p.keyword_recall = 0.85;
+  p.num_noise_keywords = static_cast<size_t>(400 * scale);
+  p.noise_per_paper = 2;
+  p.solo_papers = 2;
+  p.seed = 3003;
+  return GenerateCoauthorNetwork(p);
+}
+
+DatabaseNetwork MakeSynLike(double scale) {
+  SynParams p;
+  // Average degree ~18 (paper: ~20 at 1e6 vertices / 1e7 edges); the
+  // e^{0.1d}/e^{0.13d} formulas then give SYN the largest per-vertex
+  // item volume, as in Table 2. The item vocabulary is kept large
+  // relative to transaction length (paper ratio: ~13 items/tx over 1e4
+  // items) — shrinking it superlinearly inflates the pattern lattice and
+  // the TC-Tree.
+  p.num_vertices = static_cast<size_t>(3000 * scale);
+  p.num_edges = static_cast<size_t>(27000 * scale);
+  p.num_items = static_cast<size_t>(2500 * scale);
+  p.num_seeds = static_cast<size_t>(30 * scale);
+  p.mutation_rate = 0.1;
+  p.seed = 4004;
+  return GenerateSynNetwork(p);
+}
+
+void PrintHeader(const std::string& experiment_id,
+                 const std::string& description, double scale) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), description.c_str());
+  std::printf("scale factor: %.2f (use --scale=S or TCF_SCALE to change)\n",
+              scale);
+  std::printf("Paper: Chu et al., Finding Theme Communities from Database\n");
+  std::printf("Networks (VLDB 2019). Datasets are offline substitutes; see\n");
+  std::printf("DESIGN.md §2. Compare shapes, not absolute numbers.\n");
+  std::printf("==============================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace tcf

@@ -1,0 +1,50 @@
+#ifndef TCF_BENCH_BENCH_COMMON_H_
+#define TCF_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "gen/checkin_generator.h"
+#include "gen/coauthor_generator.h"
+#include "gen/syn_generator.h"
+#include "net/database_network.h"
+
+namespace tcf {
+namespace bench {
+
+/// \brief Shared workload construction for the paper-reproduction
+/// harnesses.
+///
+/// The paper evaluates on BK, GW, AMINER and SYN (Table 2). The offline
+/// substitutes (see DESIGN.md) are generated at a default scale that
+/// keeps the full harness suite running in minutes on one core; pass
+/// `--scale=S` (or set TCF_SCALE) to grow every dataset by the factor S.
+/// `--quick` shrinks everything further for smoke runs.
+
+/// Parses --scale=S / --quick from argv and TCF_SCALE from the
+/// environment. Default 1.0.
+double ParseScale(int argc, char** argv);
+
+/// True if --csv was passed (harnesses then print CSV instead of boxed
+/// tables).
+bool ParseCsvFlag(int argc, char** argv);
+
+/// BK-like: small-world check-in network (§7's Brightkite analogue).
+DatabaseNetwork MakeBkLike(double scale);
+
+/// GW-like: same family, larger and denser (Gowalla analogue).
+DatabaseNetwork MakeGwLike(double scale);
+
+/// AMINER-like: planted co-author network with keyword themes.
+CoauthorNetwork MakeAminerLike(double scale);
+
+/// SYN: the §7 synthetic recipe.
+DatabaseNetwork MakeSynLike(double scale);
+
+/// Prints the standard harness header (dataset, scale, reproduction id).
+void PrintHeader(const std::string& experiment_id,
+                 const std::string& description, double scale);
+
+}  // namespace bench
+}  // namespace tcf
+
+#endif  // TCF_BENCH_BENCH_COMMON_H_

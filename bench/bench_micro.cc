@@ -1,0 +1,210 @@
+// Google-benchmark microbenchmarks for the hot paths: triangle
+// enumeration, MPTD peeling, tid-list frequency queries, decomposition,
+// reconstruction (Eq. 1) and TC-Tree queries.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/decomposition.h"
+#include "core/mptd.h"
+#include "core/tc_tree.h"
+#include "core/tc_tree_query.h"
+#include "ext/edge_mptd.h"
+#include "graph/random_graphs.h"
+#include "graph/triangles.h"
+#include "net/theme_network.h"
+#include "util/rng.h"
+
+namespace tcf {
+namespace {
+
+// Shared fixtures, built once.
+const DatabaseNetwork& BkNet() {
+  static DatabaseNetwork* net =
+      new DatabaseNetwork(bench::MakeBkLike(0.5));
+  return *net;
+}
+
+const TcTree& BkTree() {
+  static TcTree* tree = new TcTree(TcTree::Build(BkNet()));
+  return *tree;
+}
+
+void BM_TriangleCount(benchmark::State& state) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(static_cast<size_t>(state.range(0)),
+                       static_cast<size_t>(state.range(0)) * 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountTriangles(g));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_TriangleCount)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ThemeNetworkInduction(benchmark::State& state) {
+  const DatabaseNetwork& net = BkNet();
+  const auto items = net.ActiveItems();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        InduceThemeNetwork(net, Itemset::Single(items[i % items.size()])));
+    ++i;
+  }
+}
+BENCHMARK(BM_ThemeNetworkInduction);
+
+void BM_Mptd(benchmark::State& state) {
+  const DatabaseNetwork& net = BkNet();
+  const auto items = net.ActiveItems();
+  // Pick the densest theme network for a stable workload.
+  ThemeNetwork biggest;
+  for (ItemId item : items) {
+    ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(item));
+    if (tn.num_edges() > biggest.num_edges()) biggest = std::move(tn);
+  }
+  const double alpha = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mptd(biggest, alpha));
+  }
+  state.SetLabel("theme edges=" + std::to_string(biggest.num_edges()));
+}
+BENCHMARK(BM_Mptd)->Arg(0)->Arg(5)->Arg(20);
+
+void BM_FrequencyTidList(benchmark::State& state) {
+  const DatabaseNetwork& net = BkNet();
+  const auto items = net.ActiveItems();
+  Rng rng(3);
+  Itemset p({items[0], items[std::min<size_t>(1, items.size() - 1)]});
+  VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.Frequency(v, p));
+    v = static_cast<VertexId>((v + 1) % net.num_vertices());
+  }
+}
+BENCHMARK(BM_FrequencyTidList);
+
+void BM_FrequencyScan(benchmark::State& state) {
+  const DatabaseNetwork& net = BkNet();
+  const auto items = net.ActiveItems();
+  Itemset p({items[0], items[std::min<size_t>(1, items.size() - 1)]});
+  VertexId v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.db(v).Frequency(p));
+    v = static_cast<VertexId>((v + 1) % net.num_vertices());
+  }
+}
+BENCHMARK(BM_FrequencyScan);
+
+void BM_Decomposition(benchmark::State& state) {
+  const DatabaseNetwork& net = BkNet();
+  const auto items = net.ActiveItems();
+  ThemeNetwork biggest;
+  for (ItemId item : items) {
+    ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(item));
+    if (tn.num_edges() > biggest.num_edges()) biggest = std::move(tn);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrussDecomposition::FromThemeNetwork(biggest));
+  }
+  state.SetLabel("theme edges=" + std::to_string(biggest.num_edges()));
+}
+BENCHMARK(BM_Decomposition);
+
+void BM_ReconstructTruss(benchmark::State& state) {
+  const DatabaseNetwork& net = BkNet();
+  const auto items = net.ActiveItems();
+  ThemeNetwork biggest;
+  for (ItemId item : items) {
+    ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(item));
+    if (tn.num_edges() > biggest.num_edges()) biggest = std::move(tn);
+  }
+  TrussDecomposition d = TrussDecomposition::FromThemeNetwork(biggest);
+  const CohesionValue mid = d.max_alpha() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.EdgesAtAlphaQ(mid));
+  }
+}
+BENCHMARK(BM_ReconstructTruss);
+
+void BM_TcTreeQba(benchmark::State& state) {
+  const DatabaseNetwork& net = BkNet();
+  const TcTree& tree = BkTree();
+  Itemset everything(net.ActiveItems());
+  const double alpha = static_cast<double>(state.range(0)) / 10.0;
+  const TcTreeQueryOptions opts{.materialize_vertices = false};
+  uint64_t rn = 0;
+  for (auto _ : state) {
+    auto r = QueryTcTree(tree, everything, alpha, opts);
+    rn = r.retrieved_nodes;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("retrieved=" + std::to_string(rn));
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(rn));
+}
+BENCHMARK(BM_TcTreeQba)->Arg(0)->Arg(5);
+
+void BM_TcTreeQbp(benchmark::State& state) {
+  const TcTree& tree = BkTree();
+  // A mid-depth pattern.
+  Itemset q;
+  for (TcTree::NodeId id = 1; id <= tree.num_nodes(); ++id) {
+    Itemset p = tree.PatternOf(id);
+    if (p.size() > q.size()) q = std::move(p);
+  }
+  const TcTreeQueryOptions opts{.materialize_vertices = false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(QueryTcTree(tree, q, 0.0, opts));
+  }
+  state.SetLabel("pattern len=" + std::to_string(q.size()));
+}
+BENCHMARK(BM_TcTreeQbp);
+
+void BM_EdgeMptd(benchmark::State& state) {
+  // Edge-network peeling (§8 extension): a dense random edge network
+  // with one shared item.
+  Rng rng(17);
+  Graph g = ErdosRenyi(200, 1600, rng);
+  EdgeThemeNetwork tn;
+  tn.pattern = Itemset({0});
+  tn.edges = g.edges();
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    tn.frequencies.push_back(0.1 + rng.NextDouble() * 0.9);
+  }
+  const double alpha = static_cast<double>(state.range(0)) / 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdgeMptd(tn, alpha));
+  }
+  state.SetLabel("edges=" + std::to_string(tn.edges.size()));
+}
+BENCHMARK(BM_EdgeMptd)->Arg(0)->Arg(10);
+
+void BM_ItemsetUnion(benchmark::State& state) {
+  Itemset a({1, 5, 9, 12, 40});
+  Itemset b({2, 5, 11, 12, 77});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Union(b));
+  }
+}
+BENCHMARK(BM_ItemsetUnion);
+
+void BM_IntersectEdgeSets(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<Edge> a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(MakeEdge(static_cast<VertexId>(rng.NextUint64(1000)),
+                         static_cast<VertexId>(rng.NextUint64(1000) + 1000)));
+    b.push_back(MakeEdge(static_cast<VertexId>(rng.NextUint64(1000)),
+                         static_cast<VertexId>(rng.NextUint64(1000) + 1000)));
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntersectEdgeSets(a, b));
+  }
+}
+BENCHMARK(BM_IntersectEdgeSets)->Arg(100)->Arg(10000);
+
+}  // namespace
+}  // namespace tcf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Location-based social network example (the paper's BK/GW scenario):
+// generate a check-in database network, mine theme communities — groups
+// of friends who frequently visit the same set of places — and report
+// the strongest ones.
+//
+// Build & run:  ./build/examples/checkin_communities [num_users]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/communities.h"
+#include "core/tcfi.h"
+#include "gen/checkin_generator.h"
+#include "util/timer.h"
+
+using namespace tcf;
+
+int main(int argc, char** argv) {
+  CheckinParams params;
+  params.num_users = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 600;
+  params.num_locations = 120;
+  params.periods_per_user = 30;
+  params.favorites_per_user = 6;
+  params.social_mimicry = 0.6;
+  params.seed = 20260611;
+
+  std::printf("generating check-in network (%zu users, %zu locations)...\n",
+              params.num_users, params.num_locations);
+  DatabaseNetwork net = GenerateCheckinNetwork(params);
+  std::printf("network: %zu vertices, %zu edges\n\n", net.num_vertices(),
+              net.num_edges());
+
+  const double alpha = 0.3;
+  WallTimer timer;
+  MiningResult result = RunTcfi(net, {.alpha = alpha});
+  std::printf("TCFI(alpha=%.1f): %zu maximal pattern trusses in %.2f s\n",
+              alpha, result.trusses.size(), timer.Seconds());
+  std::printf("  (mptd calls: %llu, pruned by intersection: %llu)\n\n",
+              static_cast<unsigned long long>(result.counters.mptd_calls),
+              static_cast<unsigned long long>(
+                  result.counters.pruned_by_intersection));
+
+  auto communities = ExtractThemeCommunities(result.trusses);
+
+  // Rank communities: prefer longer themes (more specific habits), then
+  // larger groups.
+  std::stable_sort(communities.begin(), communities.end(),
+                   [](const ThemeCommunity& a, const ThemeCommunity& b) {
+                     if (a.theme.size() != b.theme.size()) {
+                       return a.theme.size() > b.theme.size();
+                     }
+                     return a.vertices.size() > b.vertices.size();
+                   });
+
+  std::printf("top communities (friend groups sharing check-in habits):\n");
+  size_t shown = 0;
+  for (const ThemeCommunity& c : communities) {
+    if (c.vertices.size() < 4) continue;
+    std::printf("  %-42s %3zu friends, %3zu edges\n",
+                net.dictionary().Render(c.theme).c_str(), c.vertices.size(),
+                c.edges.size());
+    if (++shown == 12) break;
+  }
+  if (shown == 0) {
+    std::printf("  (none above 3 members at this alpha — lower alpha)\n");
+  }
+
+  // Demonstrate overlap: find a vertex in communities of two different
+  // themes (Def. 3.5 allows arbitrary overlap).
+  for (size_t i = 0; i < communities.size(); ++i) {
+    for (size_t j = i + 1; j < communities.size(); ++j) {
+      if (communities[i].theme == communities[j].theme) continue;
+      std::vector<VertexId> common;
+      std::set_intersection(communities[i].vertices.begin(),
+                            communities[i].vertices.end(),
+                            communities[j].vertices.begin(),
+                            communities[j].vertices.end(),
+                            std::back_inserter(common));
+      if (!common.empty()) {
+        std::printf(
+            "\noverlap example: user %u belongs to both %s and %s\n",
+            common[0], net.dictionary().Render(communities[i].theme).c_str(),
+            net.dictionary().Render(communities[j].theme).c_str());
+        return 0;
+      }
+    }
+  }
+  return 0;
+}

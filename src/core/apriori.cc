@@ -1,0 +1,67 @@
+#include "core/apriori.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace tcf {
+
+std::vector<CandidatePattern> GenerateAprioriCandidates(
+    const std::vector<Itemset>& qualified) {
+  std::vector<CandidatePattern> out;
+  if (qualified.empty()) return out;
+
+  // Sort indices by pattern so prefix-sharing patterns are contiguous.
+  std::vector<size_t> order(qualified.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return qualified[a] < qualified[b];
+  });
+
+  std::unordered_set<Itemset, ItemsetHash> qualified_set(qualified.begin(),
+                                                         qualified.end());
+  const size_t k1 = qualified[0].size();  // = k-1
+
+  // Join step: pairs within the same (k−2)-prefix block.
+  auto same_prefix = [&](const Itemset& a, const Itemset& b) {
+    for (size_t i = 0; i + 1 < k1; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  };
+
+  for (size_t bi = 0; bi < order.size();) {
+    size_t bj = bi + 1;
+    while (bj < order.size() &&
+           same_prefix(qualified[order[bi]], qualified[order[bj]])) {
+      ++bj;
+    }
+    for (size_t x = bi; x < bj; ++x) {
+      for (size_t y = x + 1; y < bj; ++y) {
+        Itemset joined;
+        TCF_CHECK(AprioriJoin(qualified[order[x]], qualified[order[y]],
+                              &joined));
+        // Prune step (Alg. 2 line 4): all (k−1)-subsets must be qualified.
+        bool all_qualified = true;
+        for (const Itemset& sub : joined.AllSubsetsMinusOne()) {
+          if (!qualified_set.count(sub)) {
+            all_qualified = false;
+            break;
+          }
+        }
+        if (all_qualified) {
+          out.push_back({std::move(joined), order[x], order[y]});
+        }
+      }
+    }
+    bi = bj;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CandidatePattern& a, const CandidatePattern& b) {
+              return a.pattern < b.pattern;
+            });
+  return out;
+}
+
+}  // namespace tcf

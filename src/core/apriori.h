@@ -1,0 +1,31 @@
+#ifndef TCF_CORE_APRIORI_H_
+#define TCF_CORE_APRIORI_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tx/itemset.h"
+
+namespace tcf {
+
+/// A length-k candidate produced by joining two qualified length-(k−1)
+/// patterns that share their first k−2 items. The parent indices let
+/// TCFI fetch the parents' trusses for the Prop.-5.3 intersection.
+struct CandidatePattern {
+  Itemset pattern;
+  size_t parent_a;  // index into the qualified input list
+  size_t parent_b;
+};
+
+/// \brief Apriori candidate generation (Alg. 2).
+///
+/// `qualified` must hold distinct, same-length patterns. The result
+/// contains each length-k pattern whose every length-(k−1) sub-pattern is
+/// qualified, exactly once, with the indexes of the two prefix-sharing
+/// parents that joined into it. Output is sorted by pattern.
+std::vector<CandidatePattern> GenerateAprioriCandidates(
+    const std::vector<Itemset>& qualified);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_APRIORI_H_

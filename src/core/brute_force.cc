@@ -1,0 +1,109 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/cohesion.h"
+#include "tx/fim.h"
+#include "util/logging.h"
+
+namespace tcf {
+
+std::vector<Itemset> AllSupportedPatterns(const DatabaseNetwork& net,
+                                          size_t max_length) {
+  std::set<Itemset> all;
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    // ε = 0 keeps every pattern with positive frequency.
+    auto mined = MineFrequentItemsets(net.vertical(v), 0.0, max_length);
+    for (auto& fp : mined) all.insert(std::move(fp.pattern));
+  }
+  return std::vector<Itemset>(all.begin(), all.end());
+}
+
+PatternTruss BruteForceMaximalPatternTruss(const ThemeNetwork& tn,
+                                           double alpha) {
+  const CohesionValue alpha_q = QuantizeAlpha(alpha);
+
+  // Current edge set as a sorted adjacency map; recomputed cohesions.
+  std::vector<Edge> edges = tn.edges;
+  std::map<VertexId, CohesionValue> qf;
+  for (size_t i = 0; i < tn.vertices.size(); ++i) {
+    qf[tn.vertices[i]] = QuantizeFrequency(tn.frequencies[i]);
+  }
+
+  std::vector<CohesionValue> final_cohesion;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::set<Edge> edge_set(edges.begin(), edges.end());
+    std::map<VertexId, std::vector<VertexId>> adj;
+    for (const Edge& e : edges) {
+      adj[e.u].push_back(e.v);
+      adj[e.v].push_back(e.u);
+    }
+    final_cohesion.assign(edges.size(), 0);
+    std::vector<Edge> kept;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      const Edge& e = edges[i];
+      CohesionValue eco = 0;
+      for (VertexId w : adj[e.u]) {
+        if (w == e.v) continue;
+        if (edge_set.count(MakeEdge(e.v, w))) {
+          eco += std::min({qf[e.u], qf[e.v], qf[w]});
+        }
+      }
+      final_cohesion[i] = eco;
+      if (eco > alpha_q) kept.push_back(e);
+      else changed = true;
+    }
+    if (changed) edges = std::move(kept);
+  }
+
+  PatternTruss truss;
+  truss.pattern = tn.pattern;
+  truss.edges = std::move(edges);
+  std::sort(truss.edges.begin(), truss.edges.end());
+  // Recompute final cohesions aligned with the sorted edge order.
+  {
+    std::set<Edge> edge_set(truss.edges.begin(), truss.edges.end());
+    std::map<VertexId, std::vector<VertexId>> adj;
+    for (const Edge& e : truss.edges) {
+      adj[e.u].push_back(e.v);
+      adj[e.v].push_back(e.u);
+    }
+    truss.edge_cohesions.clear();
+    for (const Edge& e : truss.edges) {
+      CohesionValue eco = 0;
+      for (VertexId w : adj[e.u]) {
+        if (w == e.v) continue;
+        if (edge_set.count(MakeEdge(e.v, w))) {
+          eco += std::min({qf[e.u], qf[e.v], qf[w]});
+        }
+      }
+      truss.edge_cohesions.push_back(eco);
+    }
+  }
+  FillVerticesFromEdges(tn.vertices, tn.frequencies, &truss);
+  return truss;
+}
+
+MiningResult BruteForceMineAll(const DatabaseNetwork& net, double alpha,
+                               size_t max_length) {
+  MiningResult result;
+  for (const Itemset& p : AllSupportedPatterns(net, max_length)) {
+    ++result.counters.candidates_generated;
+    ThemeNetwork tn = InduceThemeNetwork(net, p);
+    if (tn.empty()) continue;
+    ++result.counters.mptd_calls;
+    PatternTruss truss = BruteForceMaximalPatternTruss(tn, alpha);
+    if (!truss.empty()) {
+      result.trusses.push_back(std::move(truss));
+      ++result.counters.qualified_patterns;
+    }
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace tcf

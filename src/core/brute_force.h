@@ -1,0 +1,37 @@
+#ifndef TCF_CORE_BRUTE_FORCE_H_
+#define TCF_CORE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "core/mining_result.h"
+#include "core/pattern_truss.h"
+#include "net/database_network.h"
+#include "net/theme_network.h"
+
+namespace tcf {
+
+/// \brief Exhaustive reference implementations ("oracles").
+///
+/// These recompute everything from scratch with no incremental updates,
+/// no pruning and no candidate generation, so the property tests can
+/// check the optimized miners and the index against ground truth.
+/// Exponential in |S| — test-sized networks only.
+
+/// All non-empty patterns `p` with `f_i(p) > 0` on at least one vertex
+/// (the patterns whose theme network is non-trivial). Sorted.
+std::vector<Itemset> AllSupportedPatterns(const DatabaseNetwork& net,
+                                          size_t max_length = 0);
+
+/// `C*_p(α)` by fixpoint iteration: recompute every edge's cohesion
+/// within the current subgraph, delete all unqualified edges, repeat
+/// until stable. Matches Def. 3.3/3.4 literally.
+PatternTruss BruteForceMaximalPatternTruss(const ThemeNetwork& tn,
+                                           double alpha);
+
+/// The complete `C(α)` over all supported patterns.
+MiningResult BruteForceMineAll(const DatabaseNetwork& net, double alpha,
+                               size_t max_length = 0);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_BRUTE_FORCE_H_

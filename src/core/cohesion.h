@@ -1,0 +1,61 @@
+#ifndef TCF_CORE_COHESION_H_
+#define TCF_CORE_COHESION_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace tcf {
+
+/// \brief Fixed-point edge-cohesion arithmetic.
+///
+/// Edge cohesion (Def. 3.1) is a sum of `min(f_i, f_j, f_k)` terms that
+/// MPTD maintains *incrementally*: when a triangle breaks, its term is
+/// subtracted from the two surviving wing edges. With IEEE doubles,
+/// `(a + b) - b != a` in general, so after thousands of updates an edge
+/// whose true cohesion is 0 could read 1e-17 and wrongly survive the
+/// `eco > α` test — breaking the exactness guarantees (Thm. 5.1/6.1) the
+/// index relies on.
+///
+/// We therefore quantize every vertex frequency to a 2^-30 grid once, and
+/// do all cohesion arithmetic in int64. Integer adds/subtracts are exact,
+/// so peeling, decomposition levels and reconstruction agree bit-for-bit
+/// with a from-scratch recomputation. The quantization error of a
+/// frequency is < 2^-30 ≈ 9.3e-10, far below the 1/|d_i| resolution of
+/// any real frequency, and the semantics are consistent everywhere
+/// because *all* code paths (miners, index, oracles) share this header.
+using CohesionValue = int64_t;
+
+/// One unit = 2^-30 of frequency.
+inline constexpr int64_t kCohesionScale = int64_t{1} << 30;
+
+/// Quantizes a vertex frequency f ∈ [0, 1]. Negative inputs clamp to 0.
+inline CohesionValue QuantizeFrequency(double f) {
+  if (f <= 0.0) return 0;
+  return static_cast<CohesionValue>(
+      std::llround(f * static_cast<double>(kCohesionScale)));
+}
+
+/// Quantizes a user threshold α for the strict test `eco > α`.
+///
+/// α lands on the *same* 2^-30 grid with the *same* round-to-nearest as
+/// frequencies. This makes boundary semantics intuitive and exact: if a
+/// user passes α equal to a frequency value (e.g. α = 0.2 against edges
+/// of cohesion 0.2), both quantize to the same grid point and the strict
+/// predicate `eco > α` is false — exactly the paper's `eco_ij > α`
+/// convention. The deviation from the real-valued predicate is confined
+/// to a half-grid window of 2^-31 around α, far below the resolution of
+/// any real pattern frequency.
+inline CohesionValue QuantizeAlpha(double alpha) {
+  if (alpha <= 0.0) return 0;
+  return static_cast<CohesionValue>(
+      std::llround(alpha * static_cast<double>(kCohesionScale)));
+}
+
+/// Back to double for reporting.
+inline double CohesionToDouble(CohesionValue c) {
+  return static_cast<double>(c) / static_cast<double>(kCohesionScale);
+}
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_COHESION_H_

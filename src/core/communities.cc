@@ -1,0 +1,38 @@
+#include "core/communities.h"
+
+#include <algorithm>
+
+#include "graph/components.h"
+
+namespace tcf {
+
+std::vector<ThemeCommunity> ExtractThemeCommunities(
+    const PatternTruss& truss) {
+  std::vector<ThemeCommunity> out;
+  if (truss.empty()) return out;
+  auto vertex_groups = ConnectedComponentsOfEdges(truss.edges);
+  auto edge_groups = GroupEdgesByComponent(truss.edges);
+  out.reserve(vertex_groups.size());
+  for (size_t c = 0; c < vertex_groups.size(); ++c) {
+    ThemeCommunity tc;
+    tc.theme = truss.pattern;
+    tc.vertices = std::move(vertex_groups[c]);
+    tc.edges = std::move(edge_groups[c]);
+    std::sort(tc.edges.begin(), tc.edges.end());
+    out.push_back(std::move(tc));
+  }
+  return out;
+}
+
+std::vector<ThemeCommunity> ExtractThemeCommunities(
+    const std::vector<PatternTruss>& trusses) {
+  std::vector<ThemeCommunity> out;
+  for (const PatternTruss& t : trusses) {
+    auto cs = ExtractThemeCommunities(t);
+    out.insert(out.end(), std::make_move_iterator(cs.begin()),
+               std::make_move_iterator(cs.end()));
+  }
+  return out;
+}
+
+}  // namespace tcf

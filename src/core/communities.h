@@ -1,0 +1,38 @@
+#ifndef TCF_CORE_COMMUNITIES_H_
+#define TCF_CORE_COMMUNITIES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pattern_truss.h"
+#include "graph/graph.h"
+#include "tx/itemset.h"
+
+namespace tcf {
+
+/// \brief A theme community (Def. 3.5): one maximal connected subgraph of
+/// a maximal pattern truss, carrying the truss's theme.
+struct ThemeCommunity {
+  Itemset theme;
+  std::vector<VertexId> vertices;  // sorted
+  std::vector<Edge> edges;         // canonical order
+
+  size_t size() const { return vertices.size(); }
+
+  bool operator==(const ThemeCommunity& o) const {
+    return theme == o.theme && vertices == o.vertices && edges == o.edges;
+  }
+};
+
+/// Splits a maximal pattern truss into its theme communities (maximal
+/// connected subgraphs). Communities are ordered by smallest vertex id;
+/// a truss with no edges yields none.
+std::vector<ThemeCommunity> ExtractThemeCommunities(const PatternTruss& truss);
+
+/// Convenience over a set of trusses; output keeps the truss order.
+std::vector<ThemeCommunity> ExtractThemeCommunities(
+    const std::vector<PatternTruss>& trusses);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_COMMUNITIES_H_

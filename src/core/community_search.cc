@@ -1,0 +1,57 @@
+#include "core/community_search.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace tcf {
+
+std::vector<ThemeCommunity> SearchCommunitiesOfVertex(const TcTree& tree,
+                                                      VertexId v,
+                                                      const Itemset& q,
+                                                      double alpha) {
+  std::vector<ThemeCommunity> out;
+  const CohesionValue aq = QuantizeAlpha(alpha);
+
+  std::deque<TcTree::NodeId> queue;
+  queue.push_back(TcTree::kRoot);
+  while (!queue.empty()) {
+    const TcTree::NodeId f = queue.front();
+    queue.pop_front();
+    for (TcTree::NodeId c : tree.node(f).children) {
+      const TcTree::Node& child = tree.node(c);
+      if (!q.Contains(child.item)) continue;
+      const TrussDecomposition& d = child.decomposition;
+      if (d.max_alpha() <= aq) continue;  // empty at α — prune subtree
+      queue.push_back(c);                 // descend regardless of membership
+
+      // Cheap pre-check: v must at least be in C*_p(0)'s vertex set.
+      if (!std::binary_search(d.vertices().begin(), d.vertices().end(), v)) {
+        continue;
+      }
+      PatternTruss truss = d.TrussAtAlphaQ(aq);
+      if (truss.empty()) continue;
+      truss.pattern = tree.PatternOf(c);
+      for (ThemeCommunity& community : ExtractThemeCommunities(truss)) {
+        if (std::binary_search(community.vertices.begin(),
+                               community.vertices.end(), v)) {
+          out.push_back(std::move(community));
+          break;  // components are disjoint: v is in at most one
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ThemeCommunity> SearchCommunitiesOfVertex(const TcTree& tree,
+                                                      VertexId v,
+                                                      double alpha) {
+  // q = union of all first-layer items covers every indexed theme.
+  std::vector<ItemId> items;
+  for (TcTree::NodeId c : tree.node(TcTree::kRoot).children) {
+    items.push_back(tree.node(c).item);
+  }
+  return SearchCommunitiesOfVertex(tree, v, Itemset(std::move(items)), alpha);
+}
+
+}  // namespace tcf

@@ -1,0 +1,42 @@
+#ifndef TCF_CORE_COMMUNITY_SEARCH_H_
+#define TCF_CORE_COMMUNITY_SEARCH_H_
+
+#include <vector>
+
+#include "core/communities.h"
+#include "core/tc_tree.h"
+
+namespace tcf {
+
+/// \brief Online community search over the TC-Tree — the query pattern
+/// of Huang et al.'s k-truss community search (§2.1), lifted to theme
+/// communities: given a *query vertex*, return every theme community
+/// that contains it.
+///
+/// This is the "show me this user's communities" primitive of the
+/// paper's motivating applications (personalized advertising targets the
+/// communities a user belongs to). Answered from the index with no
+/// mining: Alg.-5 traversal restricted to themes ⊆ `q`, followed by a
+/// membership check against each node's stored vertex set *before* the
+/// truss is materialized, so non-member nodes cost O(log |V|).
+///
+/// Returns the communities (maximal connected truss components
+/// containing `v`), ordered by tree BFS; a vertex may appear in many
+/// communities of different themes (Def. 3.5 allows arbitrary overlap).
+/// Note membership is *not* anti-monotone in the pattern — `v` can drop
+/// out of a sub-theme's truss component yet persist in a super-theme's —
+/// so subtree pruning uses only the Prop.-5.2 emptiness rule, never the
+/// membership test.
+std::vector<ThemeCommunity> SearchCommunitiesOfVertex(const TcTree& tree,
+                                                      VertexId v,
+                                                      const Itemset& q,
+                                                      double alpha);
+
+/// Convenience: all communities of `v` over every indexed theme.
+std::vector<ThemeCommunity> SearchCommunitiesOfVertex(const TcTree& tree,
+                                                      VertexId v,
+                                                      double alpha);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_COMMUNITY_SEARCH_H_

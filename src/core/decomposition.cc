@@ -1,0 +1,116 @@
+#include "core/decomposition.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tcf {
+
+TrussDecomposition TrussDecomposition::FromThemeNetwork(
+    const ThemeNetwork& tn) {
+  TrussDecomposition d;
+  d.pattern_ = tn.pattern;
+
+  ThemePeeler peeler(tn);
+  // C*_p(α_0 = 0): drop edges with eco ≤ 0; they are in no pattern truss
+  // and therefore never stored in L_p.
+  peeler.PeelToThreshold(0);
+  if (peeler.num_alive() == 0) return d;
+
+  // Vertices/frequencies of C*_p(0).
+  {
+    PatternTruss base = peeler.ExtractTruss();
+    d.vertices_ = std::move(base.vertices);
+    d.frequencies_ = std::move(base.frequencies);
+    d.sorted_edges_ = base.edges;  // already sorted
+  }
+
+  // Ascending-threshold peeling: each wave at β = min alive cohesion is
+  // exactly R_p(β) = E*(previous α) \ E*(β), because peeling at β from
+  // C*(previous α) is MPTD's fixpoint at β (Thm. 6.1).
+  while (peeler.num_alive() > 0) {
+    const CohesionValue beta = peeler.MinAliveCohesion();
+    TCF_CHECK(beta != ThemePeeler::kNoAliveEdges);
+    TCF_CHECK_MSG(beta > 0, "edges at or below the previous level survived");
+    std::vector<EdgeId> removed_local;
+    peeler.PeelToThreshold(beta, &removed_local);
+    TCF_CHECK(!removed_local.empty());
+    DecompositionLevel level;
+    level.alpha = beta;
+    level.removed.reserve(removed_local.size());
+    for (EdgeId e : removed_local) level.removed.push_back(peeler.GlobalEdge(e));
+    d.levels_.push_back(std::move(level));
+  }
+  return d;
+}
+
+TrussDecomposition TrussDecomposition::FromParts(
+    Itemset pattern, std::vector<VertexId> vertices,
+    std::vector<double> frequencies, std::vector<DecompositionLevel> levels) {
+  TrussDecomposition d;
+  d.pattern_ = std::move(pattern);
+  d.vertices_ = std::move(vertices);
+  d.frequencies_ = std::move(frequencies);
+  d.levels_ = std::move(levels);
+  TCF_CHECK(d.vertices_.size() == d.frequencies_.size());
+  for (size_t k = 0; k < d.levels_.size(); ++k) {
+    TCF_CHECK_MSG(!d.levels_[k].removed.empty(), "empty decomposition level");
+    TCF_CHECK_MSG(k == 0 || d.levels_[k].alpha > d.levels_[k - 1].alpha,
+                  "levels must strictly ascend");
+    d.sorted_edges_.insert(d.sorted_edges_.end(),
+                           d.levels_[k].removed.begin(),
+                           d.levels_[k].removed.end());
+  }
+  std::sort(d.sorted_edges_.begin(), d.sorted_edges_.end());
+  TCF_CHECK_MSG(std::adjacent_find(d.sorted_edges_.begin(),
+                                   d.sorted_edges_.end()) ==
+                    d.sorted_edges_.end(),
+                "levels must be disjoint");
+  return d;
+}
+
+CohesionValue TrussDecomposition::max_alpha() const {
+  return levels_.empty() ? 0 : levels_.back().alpha;
+}
+
+std::vector<Edge> TrussDecomposition::EdgesAtAlphaQ(
+    CohesionValue alpha_q) const {
+  std::vector<Edge> out;
+  // Levels ascend, so binary search for the first level with α_k > α.
+  auto it = std::upper_bound(
+      levels_.begin(), levels_.end(), alpha_q,
+      [](CohesionValue a, const DecompositionLevel& l) { return a < l.alpha; });
+  size_t total = 0;
+  for (auto j = it; j != levels_.end(); ++j) total += j->removed.size();
+  out.reserve(total);
+  for (auto j = it; j != levels_.end(); ++j) {
+    out.insert(out.end(), j->removed.begin(), j->removed.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+PatternTruss TrussDecomposition::TrussAtAlphaQ(CohesionValue alpha_q) const {
+  PatternTruss truss;
+  truss.pattern = pattern_;
+  truss.edges = EdgesAtAlphaQ(alpha_q);
+  FillVerticesFromEdges(vertices_, frequencies_, &truss);
+  return truss;
+}
+
+PatternTruss TrussDecomposition::TrussAtAlpha(double alpha) const {
+  return TrussAtAlphaQ(QuantizeAlpha(alpha));
+}
+
+size_t TrussDecomposition::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += pattern_.size() * sizeof(ItemId);
+  bytes += vertices_.capacity() * sizeof(VertexId);
+  bytes += frequencies_.capacity() * sizeof(double);
+  bytes += sorted_edges_.capacity() * sizeof(Edge);
+  bytes += levels_.capacity() * sizeof(DecompositionLevel);
+  for (const auto& l : levels_) bytes += l.removed.capacity() * sizeof(Edge);
+  return bytes;
+}
+
+}  // namespace tcf

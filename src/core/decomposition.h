@@ -1,0 +1,94 @@
+#ifndef TCF_CORE_DECOMPOSITION_H_
+#define TCF_CORE_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "core/cohesion.h"
+#include "core/mptd.h"
+#include "core/pattern_truss.h"
+#include "net/theme_network.h"
+
+namespace tcf {
+
+/// One node of the linked list `L_p`: the set of edges `R_p(α_k)` removed
+/// when the truss shrinks past threshold `α_k` (§6.1).
+struct DecompositionLevel {
+  CohesionValue alpha;            // α_k, quantized
+  std::vector<Edge> removed;      // R_p(α_k), in removal order
+};
+
+/// \brief The decomposition `L_p` of a maximal pattern truss `C*_p(0)`
+/// (Thm. 6.1): a chain of strictly ascending thresholds
+/// `α_1 < α_2 < … < α_h` with disjoint removed-edge sets whose union is
+/// `E*_p(0)`.
+///
+/// Reconstruction (Eq. 1): `E*_p(α) = ∪_{α_k > α} R_p(α_k)` — every edge
+/// belongs to exactly one level, and it survives a query threshold α iff
+/// its level's α_k exceeds α. `α*_p = α_h` bounds the nontrivial query
+/// range: `C*_p(α) = ∅` for α ≥ α*_p.
+///
+/// Besides the levels, the decomposition keeps the vertex set and
+/// frequencies of `C*_p(0)` (so any reconstructed truss can be fully
+/// materialized without touching the database network) and a sorted copy
+/// of `E*_p(0)` used by the Prop.-5.3 intersections during TC-Tree
+/// construction.
+class TrussDecomposition {
+ public:
+  TrussDecomposition() = default;
+
+  /// Peels `G_p` at α=0 (discarding zero-cohesion edges, which belong to
+  /// no pattern truss), then repeatedly finds the minimum alive cohesion
+  /// β and peels at β, recording each removal wave as one level.
+  static TrussDecomposition FromThemeNetwork(const ThemeNetwork& tn);
+
+  /// Reassembles a decomposition from stored parts (index persistence).
+  /// `levels` must be strictly ascending in alpha with non-empty,
+  /// pairwise-disjoint edge sets; `vertices` (sorted) and `frequencies`
+  /// describe `C*_p(0)`. The sorted edge cache is rebuilt.
+  static TrussDecomposition FromParts(Itemset pattern,
+                                      std::vector<VertexId> vertices,
+                                      std::vector<double> frequencies,
+                                      std::vector<DecompositionLevel> levels);
+
+  const Itemset& pattern() const { return pattern_; }
+  const std::vector<DecompositionLevel>& levels() const { return levels_; }
+
+  /// True when `C*_p(0)` itself is empty (no levels).
+  bool empty() const { return levels_.empty(); }
+
+  /// Total number of edges across all levels = |E*_p(0)|.
+  size_t num_edges() const { return sorted_edges_.size(); }
+
+  /// α*_p: the largest level threshold; 0 when empty. All queries with
+  /// α ≥ α*_p return the empty truss.
+  CohesionValue max_alpha() const;
+
+  /// Eq. 1 on quantized thresholds: edges of `C*_p(α)`, sorted.
+  std::vector<Edge> EdgesAtAlphaQ(CohesionValue alpha_q) const;
+
+  /// Full materialization of `C*_p(α)` (vertices + frequencies; edge
+  /// cohesions are not stored per level and are left empty).
+  PatternTruss TrussAtAlpha(double alpha) const;
+  PatternTruss TrussAtAlphaQ(CohesionValue alpha_q) const;
+
+  /// Sorted `E*_p(0)` (every edge of every level).
+  const std::vector<Edge>& sorted_edges() const { return sorted_edges_; }
+
+  /// Vertices/frequencies of `C*_p(0)`.
+  const std::vector<VertexId>& vertices() const { return vertices_; }
+  const std::vector<double>& frequencies() const { return frequencies_; }
+
+  /// Approximate heap footprint, for the Table-3 memory column.
+  size_t MemoryBytes() const;
+
+ private:
+  Itemset pattern_;
+  std::vector<VertexId> vertices_;
+  std::vector<double> frequencies_;
+  std::vector<DecompositionLevel> levels_;  // ascending alpha
+  std::vector<Edge> sorted_edges_;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_DECOMPOSITION_H_

@@ -1,0 +1,85 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace tcf {
+
+CommunityMetrics ComputeCommunityMetrics(const DatabaseNetwork& net,
+                                         const ThemeCommunity& community) {
+  CommunityMetrics m;
+  const size_t n = community.vertices.size();
+  const size_t e = community.edges.size();
+  if (n >= 2) {
+    m.edge_density = static_cast<double>(e) /
+                     (static_cast<double>(n) * static_cast<double>(n - 1) / 2.0);
+  }
+  if (n > 0) {
+    double sum = 0.0, min_f = 1.0;
+    for (VertexId v : community.vertices) {
+      const double f = net.Frequency(v, community.theme);
+      sum += f;
+      min_f = std::min(min_f, f);
+    }
+    m.mean_frequency = sum / static_cast<double>(n);
+    m.min_frequency = min_f;
+  }
+  if (e > 0) {
+    // Count triangles inside the community's edge set.
+    std::set<Edge> edges(community.edges.begin(), community.edges.end());
+    std::map<VertexId, std::vector<VertexId>> adj;
+    for (const Edge& edge : community.edges) {
+      adj[edge.u].push_back(edge.v);
+      adj[edge.v].push_back(edge.u);
+    }
+    uint64_t triangles = 0;
+    for (const Edge& edge : community.edges) {
+      for (VertexId w : adj[edge.u]) {
+        if (w > edge.v && edges.count(MakeEdge(edge.v, w))) ++triangles;
+      }
+    }
+    // Each triangle counted once via its (u,v) edge with w > v.
+    m.triangles_per_edge = static_cast<double>(triangles) /
+                           static_cast<double>(e);
+  }
+  return m;
+}
+
+double JaccardSimilarity(const std::vector<VertexId>& a,
+                         const std::vector<VertexId>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) ++i;
+    else if (a[i] > b[j]) ++j;
+    else { ++inter; ++i; ++j; }
+  }
+  const size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+RecoveryScore ScoreRecovery(
+    const std::vector<std::vector<VertexId>>& ground_truth_groups,
+    const std::vector<ThemeCommunity>& mined) {
+  RecoveryScore score;
+  if (ground_truth_groups.empty()) return score;
+  size_t recovered = 0;
+  double sum = 0.0;
+  for (const auto& group : ground_truth_groups) {
+    double best = 0.0;
+    for (const ThemeCommunity& c : mined) {
+      best = std::max(best, JaccardSimilarity(group, c.vertices));
+    }
+    sum += best;
+    if (best > 0.5) ++recovered;
+  }
+  score.average_best_jaccard =
+      sum / static_cast<double>(ground_truth_groups.size());
+  score.recovered_fraction =
+      static_cast<double>(recovered) /
+      static_cast<double>(ground_truth_groups.size());
+  return score;
+}
+
+}  // namespace tcf

@@ -1,0 +1,54 @@
+#ifndef TCF_CORE_METRICS_H_
+#define TCF_CORE_METRICS_H_
+
+#include <vector>
+
+#include "core/communities.h"
+#include "core/pattern_truss.h"
+#include "net/database_network.h"
+
+namespace tcf {
+
+/// \brief Quality metrics for theme communities, used by the case-study
+/// harness and available to downstream users for ranking/filtering
+/// mining output.
+struct CommunityMetrics {
+  /// |E| / C(|V|, 2): 1.0 for a clique.
+  double edge_density = 0.0;
+  /// Mean pattern frequency over member vertices (theme strength).
+  double mean_frequency = 0.0;
+  /// Min pattern frequency over members (the weakest theme carrier).
+  double min_frequency = 0.0;
+  /// Triangles per edge inside the community (structural cohesion).
+  double triangles_per_edge = 0.0;
+};
+
+/// Computes metrics for one community. `net` supplies frequencies when
+/// the community came from a source without them (e.g. a reconstructed
+/// truss with skipped materialization).
+CommunityMetrics ComputeCommunityMetrics(const DatabaseNetwork& net,
+                                         const ThemeCommunity& community);
+
+/// Jaccard similarity of two vertex sets (both sorted). 0 when both are
+/// empty.
+double JaccardSimilarity(const std::vector<VertexId>& a,
+                         const std::vector<VertexId>& b);
+
+/// \brief Recovery scoring of mined communities against planted ground
+/// truth (our generators expose it; the paper's datasets do not, so this
+/// goes beyond the paper's qualitative case study).
+struct RecoveryScore {
+  /// Best-match Jaccard averaged over ground-truth groups ("how well is
+  /// each planted group represented by some mined community").
+  double average_best_jaccard = 0.0;
+  /// Fraction of ground-truth groups with a match above 0.5 Jaccard.
+  double recovered_fraction = 0.0;
+};
+
+RecoveryScore ScoreRecovery(
+    const std::vector<std::vector<VertexId>>& ground_truth_groups,
+    const std::vector<ThemeCommunity>& mined);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_METRICS_H_

@@ -1,0 +1,59 @@
+#ifndef TCF_CORE_MINING_RESULT_H_
+#define TCF_CORE_MINING_RESULT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/pattern_truss.h"
+
+namespace tcf {
+
+/// \brief Instrumentation counters shared by TCS/TCFA/TCFI, backing the
+/// pruning-effectiveness numbers of §7.1 (e.g. "TCFA calls MPTD 622,852
+/// times, TCFI 152,396 times").
+struct MiningCounters {
+  uint64_t candidates_generated = 0;   // patterns considered at all
+  uint64_t pruned_by_apriori = 0;      // dropped by Alg. 2's subset check
+  uint64_t pruned_by_intersection = 0; // dropped by empty Prop.-5.3 overlap
+  uint64_t mptd_calls = 0;             // theme networks actually peeled
+  uint64_t qualified_patterns = 0;     // non-empty trusses found
+  uint64_t triangle_visits = 0;        // total peeling work
+};
+
+/// \brief Output of a theme-community mining run: the set of all
+/// non-empty maximal pattern trusses `C(α)` plus counters.
+///
+/// The evaluation metrics of §7 derive directly from it:
+/// NP = trusses.size(); NV = Σ |V| and NE = Σ |E| over trusses (a vertex
+/// or edge in k trusses counts k times).
+struct MiningResult {
+  std::vector<PatternTruss> trusses;
+  MiningCounters counters;
+
+  uint64_t NumPatterns() const { return trusses.size(); }
+
+  uint64_t NumVertices() const {
+    uint64_t nv = 0;
+    for (const auto& t : trusses) nv += t.num_vertices();
+    return nv;
+  }
+
+  uint64_t NumEdges() const {
+    uint64_t ne = 0;
+    for (const auto& t : trusses) ne += t.num_edges();
+    return ne;
+  }
+
+  /// Sorts trusses by pattern for canonical comparison.
+  void Canonicalize() {
+    std::sort(trusses.begin(), trusses.end(),
+              [](const PatternTruss& a, const PatternTruss& b) {
+                return a.pattern < b.pattern;
+              });
+  }
+};
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_MINING_RESULT_H_

@@ -1,0 +1,158 @@
+#include "core/mptd.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tcf {
+
+ThemePeeler::ThemePeeler(const ThemeNetwork& tn) : tn_(&tn) {
+  const size_t n = tn.vertices.size();
+  qfreq_.reserve(n);
+  for (double f : tn.frequencies) qfreq_.push_back(QuantizeFrequency(f));
+
+  // Global -> local vertex ids. tn.vertices is sorted, so local order
+  // preserves global order and canonical edges stay canonical locally.
+  auto local_of = [&](VertexId global) -> uint32_t {
+    auto it = std::lower_bound(tn.vertices.begin(), tn.vertices.end(), global);
+    TCF_CHECK(it != tn.vertices.end() && *it == global);
+    return static_cast<uint32_t>(it - tn.vertices.begin());
+  };
+
+  local_edges_.reserve(tn.edges.size());
+  adj_.assign(n, {});
+  for (EdgeId e = 0; e < tn.edges.size(); ++e) {
+    const Edge& ge = tn.edges[e];
+    const uint32_t lu = local_of(ge.u);
+    const uint32_t lv = local_of(ge.v);
+    local_edges_.push_back({lu, lv});
+    adj_[lu].push_back({lv, e});
+    adj_[lv].push_back({lu, e});
+  }
+  for (auto& a : adj_) {
+    std::sort(a.begin(), a.end(),
+              [](const LocalNeighbor& x, const LocalNeighbor& y) {
+                return x.vertex < y.vertex;
+              });
+  }
+  alive_.assign(local_edges_.size(), 1);
+  num_alive_ = local_edges_.size();
+  ComputeInitialCohesions();
+}
+
+template <typename Fn>
+void ThemePeeler::ForEachAliveTriangle(EdgeId e, Fn&& fn) const {
+  const LocalEdge& le = local_edges_[e];
+  const auto& a = adj_[le.u];
+  const auto& b = adj_[le.v];
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].vertex < b[j].vertex) {
+      ++i;
+    } else if (a[i].vertex > b[j].vertex) {
+      ++j;
+    } else {
+      if (alive_[a[i].edge] && alive_[b[j].edge]) {
+        fn(a[i].vertex, a[i].edge, b[j].edge);
+      }
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void ThemePeeler::ComputeInitialCohesions() {
+  cohesion_.assign(local_edges_.size(), 0);
+  for (EdgeId e = 0; e < local_edges_.size(); ++e) {
+    const LocalEdge& le = local_edges_[e];
+    const CohesionValue fuv = std::min(qfreq_[le.u], qfreq_[le.v]);
+    CohesionValue total = 0;
+    ForEachAliveTriangle(e, [&](uint32_t w, EdgeId, EdgeId) {
+      ++triangle_visits_;
+      total += std::min(fuv, qfreq_[w]);
+    });
+    cohesion_[e] = total;
+  }
+}
+
+void ThemePeeler::PeelToThreshold(CohesionValue alpha_q,
+                                  std::vector<EdgeId>* removed) {
+  std::vector<EdgeId> queue;
+  std::vector<uint8_t> in_queue(local_edges_.size(), 0);
+  for (EdgeId e = 0; e < local_edges_.size(); ++e) {
+    if (alive_[e] && cohesion_[e] <= alpha_q) {
+      queue.push_back(e);
+      in_queue[e] = 1;
+    }
+  }
+  size_t head = 0;
+  while (head < queue.size()) {
+    const EdgeId e = queue[head++];
+    if (!alive_[e]) continue;
+    // Mark dead *before* enumerating, so the broken triangles are exactly
+    // the alive ones that contained e (Alg. 1 lines 11-16).
+    alive_[e] = 0;
+    --num_alive_;
+    const LocalEdge& le = local_edges_[e];
+    const CohesionValue fuv = std::min(qfreq_[le.u], qfreq_[le.v]);
+    ForEachAliveTriangle(e, [&](uint32_t w, EdgeId e1, EdgeId e2) {
+      ++triangle_visits_;
+      const CohesionValue m = std::min(fuv, qfreq_[w]);
+      for (EdgeId wing : {e1, e2}) {
+        cohesion_[wing] -= m;
+        if (min_tracking_) min_heap_.emplace(cohesion_[wing], wing);
+        if (!in_queue[wing] && cohesion_[wing] <= alpha_q) {
+          queue.push_back(wing);
+          in_queue[wing] = 1;
+        }
+      }
+    });
+    if (removed != nullptr) removed->push_back(e);
+  }
+}
+
+CohesionValue ThemePeeler::MinAliveCohesion() {
+  if (!min_tracking_) {
+    min_tracking_ = true;
+    for (EdgeId e = 0; e < local_edges_.size(); ++e) {
+      if (alive_[e]) min_heap_.emplace(cohesion_[e], e);
+    }
+  }
+  while (!min_heap_.empty()) {
+    const auto& [c, e] = min_heap_.top();
+    if (alive_[e] && cohesion_[e] == c) return c;
+    min_heap_.pop();
+  }
+  return kNoAliveEdges;
+}
+
+PatternTruss ThemePeeler::ExtractTruss() const {
+  PatternTruss truss;
+  truss.pattern = tn_->pattern;
+  truss.edges.reserve(num_alive_);
+  truss.edge_cohesions.reserve(num_alive_);
+  // tn_->edges is sorted canonically and we preserve its order, so the
+  // surviving subsequence is sorted too.
+  for (EdgeId e = 0; e < local_edges_.size(); ++e) {
+    if (alive_[e]) {
+      truss.edges.push_back(tn_->edges[e]);
+      truss.edge_cohesions.push_back(cohesion_[e]);
+    }
+  }
+  FillVerticesFromEdges(tn_->vertices, tn_->frequencies, &truss);
+  return truss;
+}
+
+Edge ThemePeeler::GlobalEdge(EdgeId e) const { return tn_->edges[e]; }
+
+PatternTruss MptdQ(const ThemeNetwork& tn, CohesionValue alpha_q) {
+  ThemePeeler peeler(tn);
+  peeler.PeelToThreshold(alpha_q);
+  return peeler.ExtractTruss();
+}
+
+PatternTruss Mptd(const ThemeNetwork& tn, double alpha) {
+  return MptdQ(tn, QuantizeAlpha(alpha));
+}
+
+}  // namespace tcf

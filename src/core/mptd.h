@@ -1,0 +1,107 @@
+#ifndef TCF_CORE_MPTD_H_
+#define TCF_CORE_MPTD_H_
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "core/cohesion.h"
+#include "core/pattern_truss.h"
+#include "net/theme_network.h"
+
+namespace tcf {
+
+/// \brief The peeling engine behind MPTD (Alg. 1) and the maximal-
+/// pattern-truss decomposition (§6.1).
+///
+/// On construction the theme network is remapped to dense local ids,
+/// adjacency is built sorted, and every edge's initial cohesion
+/// `eco_ij(G_p) = Σ_△ min(f_i, f_j, f_k)` is computed by sorted-merge
+/// triangle enumeration (Alg. 1 lines 2-8), in O(Σ d²(v)).
+///
+/// `PeelToThreshold(α)` then removes unqualified edges (eco ≤ α) with the
+/// cascading queue of Alg. 1 lines 9-18. Cohesions are maintained
+/// incrementally in fixed point (see cohesion.h), so repeated calls with
+/// ascending thresholds — the decomposition loop — continue from the
+/// current state instead of recomputing.
+class ThemePeeler {
+ public:
+  explicit ThemePeeler(const ThemeNetwork& tn);
+
+  size_t num_edges() const { return local_edges_.size(); }
+  size_t num_alive() const { return num_alive_; }
+
+  /// Removes every edge with cohesion ≤ `alpha_q`, cascading. Local ids
+  /// of removed edges are appended to `*removed` when non-null. Calls
+  /// must use non-decreasing thresholds.
+  void PeelToThreshold(CohesionValue alpha_q,
+                       std::vector<EdgeId>* removed = nullptr);
+
+  /// Minimum cohesion among alive edges (β of Thm. 6.1), or
+  /// `kNoAliveEdges` when none are left. First call builds a lazy
+  /// min-heap; subsequent cohesion updates keep it maintained.
+  CohesionValue MinAliveCohesion();
+
+  static constexpr CohesionValue kNoAliveEdges =
+      std::numeric_limits<CohesionValue>::max();
+
+  /// Materializes the surviving subgraph as a `PatternTruss` in global
+  /// ids, including per-edge final cohesions.
+  PatternTruss ExtractTruss() const;
+
+  /// Global endpoints of local edge `e`.
+  Edge GlobalEdge(EdgeId e) const;
+
+  bool alive(EdgeId e) const { return alive_[e] != 0; }
+  CohesionValue cohesion(EdgeId e) const { return cohesion_[e]; }
+
+  /// Number of triangle visits performed so far (instrumentation for the
+  /// §7 pruning-effectiveness counters).
+  uint64_t triangle_visits() const { return triangle_visits_; }
+
+ private:
+  struct LocalNeighbor {
+    uint32_t vertex;
+    uint32_t edge;
+  };
+  struct LocalEdge {
+    uint32_t u;
+    uint32_t v;
+  };
+
+  void ComputeInitialCohesions();
+
+  // Enumerates alive triangles of alive edge `e`:
+  // fn(w, wing_uw, wing_vw) for every common neighbour w.
+  template <typename Fn>
+  void ForEachAliveTriangle(EdgeId e, Fn&& fn) const;
+
+  const ThemeNetwork* tn_;
+  std::vector<CohesionValue> qfreq_;             // per local vertex
+  std::vector<LocalEdge> local_edges_;           // canonical local pairs
+  std::vector<std::vector<LocalNeighbor>> adj_;  // sorted by vertex
+  std::vector<CohesionValue> cohesion_;          // per local edge
+  std::vector<uint8_t> alive_;
+  size_t num_alive_ = 0;
+  uint64_t triangle_visits_ = 0;
+
+  // Lazy min-heap of (cohesion, edge); entries go stale on update.
+  using HeapEntry = std::pair<CohesionValue, EdgeId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      min_heap_;
+  bool min_tracking_ = false;
+};
+
+/// Maximal Pattern Truss Detector (Alg. 1): `C*_p(α)` of the given theme
+/// network. An empty truss is returned as an empty `PatternTruss` whose
+/// pattern is still set.
+PatternTruss Mptd(const ThemeNetwork& tn, double alpha);
+
+/// Same, with the threshold already quantized.
+PatternTruss MptdQ(const ThemeNetwork& tn, CohesionValue alpha_q);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_MPTD_H_

@@ -1,0 +1,72 @@
+#include "core/pattern_truss.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace tcf {
+
+double PatternTruss::FrequencyOf(VertexId v) const {
+  auto it = std::lower_bound(vertices.begin(), vertices.end(), v);
+  if (it == vertices.end() || *it != v) return 0.0;
+  return frequencies[static_cast<size_t>(it - vertices.begin())];
+}
+
+bool PatternTruss::ContainsEdge(const Edge& e) const {
+  return std::binary_search(edges.begin(), edges.end(), e);
+}
+
+bool PatternTruss::IsSubgraphOf(const PatternTruss& other) const {
+  return std::includes(other.edges.begin(), other.edges.end(), edges.begin(),
+                       edges.end());
+}
+
+CohesionValue PatternTruss::MinEdgeCohesion() const {
+  if (edge_cohesions.empty()) return 0;
+  return *std::min_element(edge_cohesions.begin(), edge_cohesions.end());
+}
+
+std::string PatternTruss::ToString() const {
+  return StrFormat("truss{pattern=%s, |V|=%zu, |E|=%zu}",
+                   pattern.ToString().c_str(), vertices.size(),
+                   edges.size());
+}
+
+std::vector<Edge> IntersectEdgeSets(const std::vector<Edge>& a,
+                                    const std::vector<Edge>& b) {
+  std::vector<Edge> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+void FillVerticesFromEdges(const std::vector<VertexId>& superset_vertices,
+                           const std::vector<double>& superset_frequencies,
+                           PatternTruss* truss) {
+  truss->vertices.clear();
+  truss->frequencies.clear();
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(truss->edges.size() * 2);
+  for (const Edge& e : truss->edges) {
+    endpoints.push_back(e.u);
+    endpoints.push_back(e.v);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  truss->vertices = std::move(endpoints);
+  truss->frequencies.reserve(truss->vertices.size());
+  for (VertexId v : truss->vertices) {
+    auto it = std::lower_bound(superset_vertices.begin(),
+                               superset_vertices.end(), v);
+    double f = 0.0;
+    if (it != superset_vertices.end() && *it == v) {
+      f = superset_frequencies[static_cast<size_t>(
+          it - superset_vertices.begin())];
+    }
+    truss->frequencies.push_back(f);
+  }
+}
+
+}  // namespace tcf

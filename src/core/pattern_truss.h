@@ -1,0 +1,62 @@
+#ifndef TCF_CORE_PATTERN_TRUSS_H_
+#define TCF_CORE_PATTERN_TRUSS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cohesion.h"
+#include "graph/graph.h"
+#include "tx/itemset.h"
+
+namespace tcf {
+
+/// \brief A maximal pattern truss `C*_p(α)` (Def. 3.4): the union of all
+/// pattern trusses of theme network `G_p` at threshold α.
+///
+/// Edge-induced: `vertices` are exactly the endpoints of `edges` (sorted
+/// ascending), `frequencies` is parallel to `vertices`, and
+/// `edge_cohesions` (parallel to `edges`) holds each edge's final cohesion
+/// *within the truss* — every value is strictly greater than the α the
+/// truss was mined at.
+struct PatternTruss {
+  Itemset pattern;
+  std::vector<Edge> edges;                    // canonical order, sorted
+  std::vector<VertexId> vertices;             // sorted
+  std::vector<double> frequencies;            // parallel to vertices
+  std::vector<CohesionValue> edge_cohesions;  // parallel to edges
+
+  bool empty() const { return edges.empty(); }
+  size_t num_edges() const { return edges.size(); }
+  size_t num_vertices() const { return vertices.size(); }
+
+  /// Frequency of `v`, or 0 if `v` is not in the truss.
+  double FrequencyOf(VertexId v) const;
+
+  /// Membership test on the sorted edge list. O(log m).
+  bool ContainsEdge(const Edge& e) const;
+
+  /// True if this truss's edge set is a subset of `other`'s.
+  bool IsSubgraphOf(const PatternTruss& other) const;
+
+  /// Minimum edge cohesion β (Thm. 6.1); 0 for an empty truss.
+  CohesionValue MinEdgeCohesion() const;
+
+  /// Debug rendering "pattern={..} |V|=.. |E|=..".
+  std::string ToString() const;
+};
+
+/// Sorted-merge intersection of two canonical edge lists (both sorted).
+/// The backbone of TCFI's and TC-Tree's Prop.-5.3 pruning.
+std::vector<Edge> IntersectEdgeSets(const std::vector<Edge>& a,
+                                    const std::vector<Edge>& b);
+
+/// Rebuilds the sorted vertex/frequency arrays of a truss from its edges,
+/// looking frequencies up in (vertex, frequency) pairs of a superset
+/// (e.g. the theme network it was peeled from).
+void FillVerticesFromEdges(const std::vector<VertexId>& superset_vertices,
+                           const std::vector<double>& superset_frequencies,
+                           PatternTruss* truss);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_PATTERN_TRUSS_H_

@@ -1,0 +1,172 @@
+#include "core/tc_tree.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "core/mptd.h"
+#include "net/theme_network.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace tcf {
+
+TcTree TcTree::Build(const DatabaseNetwork& net, const TcTreeOptions& options) {
+  WallTimer timer;
+  TcTree tree;
+  tree.nodes_.emplace_back();  // root: pattern ∅, empty decomposition
+
+  // --- Layer 1 (Alg. 4 lines 2-5), parallel over items. ---------------
+  const std::vector<ItemId> items = net.ActiveItems();
+  std::vector<std::optional<TrussDecomposition>> layer1(items.size());
+  {
+    ThreadPool pool(options.num_threads);
+    ParallelFor(pool, items.size(), [&](size_t i) {
+      ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(items[i]));
+      if (tn.empty()) return;
+      TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+      if (!d.empty()) layer1[i] = std::move(d);
+    });
+  }
+  tree.stats_.candidates_considered += items.size();
+  tree.stats_.mptd_calls += items.size();
+
+  std::vector<NodeId> frontier;  // BFS queue (indices into the arena)
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!layer1[i].has_value()) continue;
+    Node n;
+    n.item = items[i];
+    n.parent = kRoot;
+    n.decomposition = std::move(*layer1[i]);
+    tree.nodes_.push_back(std::move(n));
+    const NodeId id = static_cast<NodeId>(tree.nodes_.size() - 1);
+    tree.nodes_[kRoot].children.push_back(id);
+    frontier.push_back(id);
+  }
+
+  // --- Deeper layers, breadth-first (Alg. 4 lines 6-12). --------------
+  size_t head = 0;
+  while (head < frontier.size()) {
+    if (options.max_nodes != 0 && tree.num_nodes() >= options.max_nodes) {
+      tree.stats_.truncated = true;
+      TCF_LOG(Warn) << "TC-Tree node budget (" << options.max_nodes
+                    << ") exhausted; deeper themes are not indexed";
+      break;
+    }
+    const NodeId f = frontier[head++];
+    const NodeId parent = tree.nodes_[f].parent;
+    const size_t depth_f = [&] {
+      size_t d = 0;
+      for (NodeId x = f; x != kRoot; x = tree.nodes_[x].parent) ++d;
+      return d;
+    }();
+    if (options.max_depth != 0 && depth_f >= options.max_depth) continue;
+
+    // Siblings b of f with s_f ≺ s_b (children lists are item-ascending,
+    // so they follow f in the parent's child list).
+    const std::vector<NodeId>& siblings = tree.nodes_[parent].children;
+    auto it = std::find(siblings.begin(), siblings.end(), f);
+    TCF_CHECK(it != siblings.end());
+    for (auto bit = it + 1; bit != siblings.end(); ++bit) {
+      const NodeId b = *bit;
+      ++tree.stats_.candidates_considered;
+
+      // Prop. 5.3: C*_{p_c}(0) ⊆ C*_{p_f}(0) ∩ C*_{p_b}(0).
+      std::vector<Edge> overlap =
+          IntersectEdgeSets(tree.nodes_[f].decomposition.sorted_edges(),
+                            tree.nodes_[b].decomposition.sorted_edges());
+      if (overlap.empty()) {
+        ++tree.stats_.pruned_by_intersection;
+        continue;
+      }
+      const Itemset pc = tree.PatternOf(f).Union(tree.nodes_[b].item);
+      ThemeNetwork tn = InduceThemeNetworkFromEdges(net, pc, overlap);
+      if (tn.empty()) {
+        ++tree.stats_.pruned_by_intersection;
+        continue;
+      }
+      ++tree.stats_.mptd_calls;
+      TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+      if (d.empty()) continue;  // Prop. 5.2 prunes the whole subtree
+
+      Node n;
+      n.item = tree.nodes_[b].item;
+      n.parent = f;
+      n.decomposition = std::move(d);
+      tree.nodes_.push_back(std::move(n));
+      const NodeId id = static_cast<NodeId>(tree.nodes_.size() - 1);
+      tree.nodes_[f].children.push_back(id);
+      frontier.push_back(id);
+    }
+  }
+
+  tree.stats_.build_seconds = timer.Seconds();
+  return tree;
+}
+
+TcTree TcTree::FromNodes(std::deque<Node> nodes) {
+  TCF_CHECK_MSG(!nodes.empty(), "node arena must contain at least the root");
+  TCF_CHECK_MSG(nodes[kRoot].parent == kNoParent, "node 0 must be the root");
+  TcTree tree;
+  tree.nodes_ = std::move(nodes);
+  for (size_t i = 1; i < tree.nodes_.size(); ++i) {
+    const Node& n = tree.nodes_[i];
+    TCF_CHECK_MSG(n.parent < tree.nodes_.size() && n.parent != i,
+                  "bad parent link");
+    const auto& siblings = tree.nodes_[n.parent].children;
+    TCF_CHECK_MSG(std::find(siblings.begin(), siblings.end(),
+                            static_cast<NodeId>(i)) != siblings.end(),
+                  "node missing from parent's child list");
+  }
+  return tree;
+}
+
+Itemset TcTree::PatternOf(NodeId id) const {
+  std::vector<ItemId> items;
+  for (NodeId x = id; x != kRoot; x = nodes_[x].parent) {
+    items.push_back(nodes_[x].item);
+  }
+  // The trail ascends root->leaf, so walking up gives descending items;
+  // Itemset's constructor re-sorts.
+  return Itemset(std::move(items));
+}
+
+CohesionValue TcTree::MaxAlphaOverNodes() const {
+  CohesionValue best = 0;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    best = std::max(best, nodes_[i].decomposition.max_alpha());
+  }
+  return best;
+}
+
+size_t TcTree::MaxDepth() const {
+  size_t best = 0;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    size_t d = 0;
+    for (NodeId x = static_cast<NodeId>(i); x != kRoot; x = nodes_[x].parent) {
+      ++d;
+    }
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+uint64_t TcTree::TotalIndexedEdges() const {
+  uint64_t total = 0;
+  for (size_t i = 1; i < nodes_.size(); ++i) {
+    total += nodes_[i].decomposition.num_edges();
+  }
+  return total;
+}
+
+size_t TcTree::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Node& n : nodes_) {
+    bytes += sizeof(Node);
+    bytes += n.children.capacity() * sizeof(NodeId);
+    bytes += n.decomposition.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace tcf

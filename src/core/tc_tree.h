@@ -1,0 +1,104 @@
+#ifndef TCF_CORE_TC_TREE_H_
+#define TCF_CORE_TC_TREE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/decomposition.h"
+#include "net/database_network.h"
+#include "tx/itemset.h"
+
+namespace tcf {
+
+/// Build-time configuration for the TC-Tree.
+struct TcTreeOptions {
+  /// Worker threads for the first layer (Alg. 4 lines 2-5; the paper uses
+  /// 4 OpenMP threads). Deeper layers are sequential, as in the paper.
+  size_t num_threads = 1;
+  /// Optional cap on tree depth = pattern length (0 = unlimited).
+  size_t max_depth = 0;
+  /// Optional node budget (0 = unlimited). Dense networks can hold
+  /// combinatorially many themes (the paper indexes 152M nodes on
+  /// AMINER); when the budget is hit, expansion stops breadth-first and
+  /// `TcTreeBuildStats::truncated` is set — already-built nodes stay
+  /// exact, only deeper/later patterns are missing.
+  size_t max_nodes = 0;
+};
+
+/// Counters recorded while building (for Table 3 and the ablations).
+struct TcTreeBuildStats {
+  uint64_t candidates_considered = 0;   // pattern unions attempted
+  uint64_t pruned_by_intersection = 0;  // empty Prop.-5.3 overlap
+  uint64_t mptd_calls = 0;              // decompositions computed
+  double build_seconds = 0.0;
+  bool truncated = false;               // node budget exhausted
+};
+
+/// \brief The Theme-Community Tree (§6.2): a set-enumeration tree over
+/// the item set `S` where the node for pattern `p` stores the
+/// decomposition `L_p` of `C*_p(0)`, and nodes with empty trusses (and,
+/// by Prop. 5.2, their entire subtrees) are omitted.
+///
+/// Nodes live in one arena (`std::deque`, stable addresses) with integer
+/// links; a node stores only its own item — its full pattern is the item
+/// trail from the root (Rymon's SE-tree encoding), materialized on demand
+/// by `PatternOf`. Children are kept in ascending item (`≺`) order.
+class TcTree {
+ public:
+  using NodeId = uint32_t;
+  static constexpr NodeId kRoot = 0;
+  static constexpr NodeId kNoParent = static_cast<NodeId>(-1);
+
+  struct Node {
+    ItemId item = 0;  // item appended by this node (meaningless at root)
+    NodeId parent = kNoParent;
+    std::vector<NodeId> children;  // ascending by item
+    TrussDecomposition decomposition;  // empty at root
+  };
+
+  /// Builds the tree over `net` (Alg. 4): layer 1 decomposes every
+  /// single-item theme network (in parallel); node `c = f ∪ {s_b}` is
+  /// computed inside `C*_{p_f}(0) ∩ C*_{p_b}(0)` (Prop. 5.3) and pruned —
+  /// subtree included — when empty (Prop. 5.2).
+  static TcTree Build(const DatabaseNetwork& net,
+                      const TcTreeOptions& options = {});
+
+  /// Reassembles a tree from an explicit node arena (index persistence;
+  /// see tc_tree_io.h). `nodes[0]` must be the root; parent/children
+  /// links are validated.
+  static TcTree FromNodes(std::deque<Node> nodes);
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+
+  /// Number of pattern-bearing nodes (excludes the root), i.e. the count
+  /// of non-empty maximal pattern trusses — Table 3's "#Nodes".
+  size_t num_nodes() const { return nodes_.size() - 1; }
+
+  /// The pattern of node `id` (item trail from the root).
+  Itemset PatternOf(NodeId id) const;
+
+  /// Largest decomposition threshold across all nodes: the global upper
+  /// bound of nontrivial query α (QBA sweeps stop here).
+  CohesionValue MaxAlphaOverNodes() const;
+
+  /// Depth (pattern length) of the deepest node.
+  size_t MaxDepth() const;
+
+  /// Total edges stored across all decompositions.
+  uint64_t TotalIndexedEdges() const;
+
+  /// Approximate heap footprint of the index.
+  size_t MemoryBytes() const;
+
+  const TcTreeBuildStats& build_stats() const { return stats_; }
+
+ private:
+  friend class TcTreeBuilder;
+  std::deque<Node> nodes_;
+  TcTreeBuildStats stats_;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_TC_TREE_H_

@@ -1,0 +1,219 @@
+#include "core/tc_tree_io.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "net/binary_io.h"
+
+namespace tcf {
+
+using io_internal::ReadU32;
+using io_internal::ReadU64;
+using io_internal::WriteU32;
+using io_internal::WriteU64;
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'C', 'F', 'T'};
+constexpr uint32_t kVersion = 1;
+
+void WriteI64(std::ostream& os, int64_t v) {
+  WriteU64(os, static_cast<uint64_t>(v));
+}
+
+bool ReadI64(std::istream& is, int64_t* v) {
+  uint64_t raw = 0;
+  if (!ReadU64(is, &raw)) return false;
+  *v = static_cast<int64_t>(raw);
+  return true;
+}
+
+void WriteF64(std::ostream& os, double v) {
+  uint64_t raw;
+  std::memcpy(&raw, &v, sizeof(raw));
+  WriteU64(os, raw);
+}
+
+bool ReadF64(std::istream& is, double* v) {
+  uint64_t raw = 0;
+  if (!ReadU64(is, &raw)) return false;
+  std::memcpy(v, &raw, sizeof(*v));
+  return true;
+}
+
+}  // namespace
+
+Status SaveTcTree(const TcTree& tree, std::ostream& os) {
+  os.write(kMagic, 4);
+  WriteU32(os, kVersion);
+  const uint64_t total = tree.num_nodes() + 1;  // including root
+  WriteU64(os, total);
+  for (TcTree::NodeId id = 0; id < total; ++id) {
+    const TcTree::Node& n = tree.node(id);
+    WriteU32(os, n.item);
+    WriteU32(os, n.parent);
+    WriteU32(os, static_cast<uint32_t>(n.children.size()));
+    for (TcTree::NodeId c : n.children) WriteU32(os, c);
+
+    const TrussDecomposition& d = n.decomposition;
+    WriteU64(os, d.levels().size());
+    for (const DecompositionLevel& level : d.levels()) {
+      WriteI64(os, level.alpha);
+      WriteU64(os, level.removed.size());
+      for (const Edge& e : level.removed) {
+        WriteU32(os, e.u);
+        WriteU32(os, e.v);
+      }
+    }
+    WriteU64(os, d.vertices().size());
+    for (VertexId v : d.vertices()) WriteU32(os, v);
+    for (double f : d.frequencies()) WriteF64(os, f);
+  }
+  if (!os.good()) return Status::IOError("tc-tree write failed");
+  return Status::OK();
+}
+
+Status SaveTcTreeToFile(const TcTree& tree, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f.is_open()) return Status::IOError("cannot open for write: " + path);
+  return SaveTcTree(tree, f);
+}
+
+StatusOr<TcTree> LoadTcTree(std::istream& is) {
+  char magic[4];
+  if (!is.read(magic, 4) || std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad tc-tree magic");
+  }
+  uint32_t version = 0;
+  if (!ReadU32(is, &version) || version != kVersion) {
+    return Status::Corruption("unsupported tc-tree version");
+  }
+  uint64_t total = 0;
+  if (!ReadU64(is, &total) || total == 0) {
+    return Status::Corruption("bad node count");
+  }
+
+  std::deque<TcTree::Node> nodes;
+  // First pass: raw node data; patterns are reconstructed afterwards from
+  // the parent trail (the file stores each node's own item only).
+  struct RawDecomposition {
+    std::vector<DecompositionLevel> levels;
+    std::vector<VertexId> vertices;
+    std::vector<double> frequencies;
+  };
+  std::vector<RawDecomposition> raw(total);
+
+  for (uint64_t id = 0; id < total; ++id) {
+    TcTree::Node n;
+    uint32_t num_children = 0;
+    if (!ReadU32(is, &n.item) || !ReadU32(is, &n.parent) ||
+        !ReadU32(is, &num_children)) {
+      return Status::Corruption("truncated node header");
+    }
+    n.children.resize(num_children);
+    for (uint32_t c = 0; c < num_children; ++c) {
+      if (!ReadU32(is, &n.children[c])) {
+        return Status::Corruption("truncated children");
+      }
+      if (n.children[c] >= total) {
+        return Status::Corruption("child index out of range");
+      }
+    }
+    if (id == 0) {
+      if (n.parent != TcTree::kNoParent) {
+        return Status::Corruption("node 0 is not a root");
+      }
+    } else if (n.parent >= total) {
+      return Status::Corruption("parent index out of range");
+    }
+
+    uint64_t num_levels = 0;
+    if (!ReadU64(is, &num_levels)) {
+      return Status::Corruption("truncated level count");
+    }
+    RawDecomposition& rd = raw[id];
+    rd.levels.resize(num_levels);
+    for (auto& level : rd.levels) {
+      uint64_t num_edges = 0;
+      if (!ReadI64(is, &level.alpha) || !ReadU64(is, &num_edges)) {
+        return Status::Corruption("truncated level header");
+      }
+      level.removed.resize(num_edges);
+      for (auto& e : level.removed) {
+        if (!ReadU32(is, &e.u) || !ReadU32(is, &e.v)) {
+          return Status::Corruption("truncated level edges");
+        }
+      }
+    }
+    uint64_t num_vertices = 0;
+    if (!ReadU64(is, &num_vertices)) {
+      return Status::Corruption("truncated vertex count");
+    }
+    rd.vertices.resize(num_vertices);
+    for (auto& v : rd.vertices) {
+      if (!ReadU32(is, &v)) return Status::Corruption("truncated vertices");
+    }
+    rd.frequencies.resize(num_vertices);
+    for (auto& f : rd.frequencies) {
+      if (!ReadF64(is, &f)) return Status::Corruption("truncated freqs");
+    }
+    nodes.push_back(std::move(n));
+  }
+
+  // Validate structural invariants up front: the factories below assert
+  // them, but a corrupt file must surface as a Status, not an abort.
+  for (uint64_t id = 1; id < total; ++id) {
+    const auto& siblings = nodes[nodes[id].parent].children;
+    if (std::find(siblings.begin(), siblings.end(),
+                  static_cast<TcTree::NodeId>(id)) == siblings.end()) {
+      return Status::Corruption("node missing from parent's child list");
+    }
+    const RawDecomposition& rd = raw[id];
+    for (size_t k = 0; k < rd.levels.size(); ++k) {
+      if (rd.levels[k].removed.empty()) {
+        return Status::Corruption("empty decomposition level");
+      }
+      if (k > 0 && rd.levels[k].alpha <= rd.levels[k - 1].alpha) {
+        return Status::Corruption("levels not strictly ascending");
+      }
+    }
+    if (!std::is_sorted(rd.vertices.begin(), rd.vertices.end()) ||
+        std::adjacent_find(rd.vertices.begin(), rd.vertices.end()) !=
+            rd.vertices.end()) {
+      return Status::Corruption("vertices not sorted/unique");
+    }
+    std::vector<Edge> all;
+    for (const auto& level : rd.levels) {
+      all.insert(all.end(), level.removed.begin(), level.removed.end());
+    }
+    std::sort(all.begin(), all.end());
+    if (std::adjacent_find(all.begin(), all.end()) != all.end()) {
+      return Status::Corruption("edge repeated across levels");
+    }
+  }
+
+  // Second pass: rebuild each node's pattern by walking the parent trail
+  // and reassemble the decompositions.
+  for (uint64_t id = 1; id < total; ++id) {
+    std::vector<ItemId> items;
+    for (uint64_t x = id; x != 0; x = nodes[x].parent) {
+      items.push_back(nodes[x].item);
+      if (items.size() > total) {
+        return Status::Corruption("parent cycle detected");
+      }
+    }
+    nodes[id].decomposition = TrussDecomposition::FromParts(
+        Itemset(std::move(items)), std::move(raw[id].vertices),
+        std::move(raw[id].frequencies), std::move(raw[id].levels));
+  }
+  return TcTree::FromNodes(std::move(nodes));
+}
+
+StatusOr<TcTree> LoadTcTreeFromFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.is_open()) return Status::IOError("cannot open for read: " + path);
+  return LoadTcTree(f);
+}
+
+}  // namespace tcf

@@ -1,0 +1,37 @@
+#ifndef TCF_CORE_TC_TREE_IO_H_
+#define TCF_CORE_TC_TREE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/tc_tree.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// \brief Persistence for the TC-Tree index.
+///
+/// §6 advocates a *data warehouse* of maximal pattern trusses: build the
+/// index once (expensive — Table 3), answer queries forever. That story
+/// needs the index to survive process restarts, so we serialize the
+/// whole tree — structure plus every node's decomposition `L_p` — in a
+/// compact versioned binary format:
+/// \code
+///   magic "TCFT" | u32 version=1
+///   u64 num_nodes (incl. root)
+///   per node: u32 item | u32 parent | u32 num_children | children...
+///             u64 num_levels
+///             per level: i64 alpha | u64 num_edges | (u32 u, u32 v)...
+///             u64 num_vertices | u32 vertex[] | f64 frequency[]
+/// \endcode
+/// A loaded tree answers queries identically to the freshly built one
+/// (verified by the round-trip tests); build stats are not persisted.
+Status SaveTcTree(const TcTree& tree, std::ostream& os);
+Status SaveTcTreeToFile(const TcTree& tree, const std::string& path);
+
+StatusOr<TcTree> LoadTcTree(std::istream& is);
+StatusOr<TcTree> LoadTcTreeFromFile(const std::string& path);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_TC_TREE_IO_H_

@@ -1,0 +1,57 @@
+#include "core/tc_tree_query.h"
+
+#include <deque>
+
+namespace tcf {
+
+TcTreeQueryResult QueryTcTree(const TcTree& tree, const Itemset& q,
+                              double alpha_q,
+                              const TcTreeQueryOptions& options) {
+  TcTreeQueryResult result;
+  const CohesionValue aq = QuantizeAlpha(alpha_q);
+
+  std::deque<TcTree::NodeId> queue;
+  queue.push_back(TcTree::kRoot);
+  while (!queue.empty()) {
+    if (options.max_results != 0 &&
+        result.retrieved_nodes >= options.max_results) {
+      break;
+    }
+    const TcTree::NodeId f = queue.front();
+    queue.pop_front();
+    for (TcTree::NodeId c : tree.node(f).children) {
+      const TcTree::Node& child = tree.node(c);
+      if (!q.Contains(child.item)) continue;  // subtree can't be ⊆ q
+      ++result.visited_nodes;
+      if (child.decomposition.max_alpha() <= aq) continue;  // empty at α_q
+      PatternTruss truss;
+      truss.pattern = tree.PatternOf(c);
+      truss.edges = child.decomposition.EdgesAtAlphaQ(aq);
+      if (truss.edges.empty()) continue;
+      // Non-empty: keep descending (Prop. 5.2) even when the size filter
+      // drops this truss from the result list.
+      queue.push_back(c);
+      if (truss.edges.size() < options.min_truss_edges) continue;
+      if (options.max_results != 0 &&
+          result.retrieved_nodes >= options.max_results) {
+        continue;
+      }
+      if (options.materialize_vertices) {
+        FillVerticesFromEdges(child.decomposition.vertices(),
+                              child.decomposition.frequencies(), &truss);
+      }
+      result.trusses.push_back(std::move(truss));
+      ++result.retrieved_nodes;
+    }
+  }
+  return result;
+}
+
+std::vector<ThemeCommunity> QueryThemeCommunities(const TcTree& tree,
+                                                  const Itemset& q,
+                                                  double alpha_q) {
+  TcTreeQueryResult r = QueryTcTree(tree, q, alpha_q);
+  return ExtractThemeCommunities(r.trusses);
+}
+
+}  // namespace tcf

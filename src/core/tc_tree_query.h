@@ -1,0 +1,53 @@
+#ifndef TCF_CORE_TC_TREE_QUERY_H_
+#define TCF_CORE_TC_TREE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/communities.h"
+#include "core/tc_tree.h"
+
+namespace tcf {
+
+/// Query-time knobs.
+struct TcTreeQueryOptions {
+  /// When false, results carry edges only (vertices/frequencies skipped),
+  /// which is what the Fig.-5 latency harness measures: Eq.-1 edge
+  /// retrieval itself.
+  bool materialize_vertices = true;
+  /// Drop trusses with fewer edges than this from the *result list*
+  /// (they are still traversed — emptiness, not size, governs Prop.-5.2
+  /// subtree pruning). 0 = keep all.
+  size_t min_truss_edges = 0;
+  /// Stop collecting after this many trusses (0 = unlimited). Traversal
+  /// ends early; `retrieved_nodes` reports the truncated count.
+  size_t max_results = 0;
+};
+
+/// Result of one `(q, α_q)` query (§6.3).
+struct TcTreeQueryResult {
+  /// `C_q(α_q) = {C*_p(α_q) ≠ ∅ : p ⊆ q}`, in tree BFS order.
+  std::vector<PatternTruss> trusses;
+  /// Nodes whose truss was non-empty — Fig. 5's "Retrieved Nodes (RN)".
+  uint64_t retrieved_nodes = 0;
+  /// Nodes whose decomposition was consulted at all.
+  uint64_t visited_nodes = 0;
+};
+
+/// \brief Algorithm 5: pruned breadth-first collection over the TC-Tree.
+///
+/// A child is descended only if its item is in `q` (otherwise no
+/// descendant pattern can be ⊆ q) and its reconstructed truss at α_q is
+/// non-empty (otherwise Prop. 5.2 empties the whole subtree).
+TcTreeQueryResult QueryTcTree(const TcTree& tree, const Itemset& q,
+                              double alpha_q,
+                              const TcTreeQueryOptions& options = {});
+
+/// Convenience: query, then split every retrieved truss into its theme
+/// communities (Def. 3.5).
+std::vector<ThemeCommunity> QueryThemeCommunities(
+    const TcTree& tree, const Itemset& q, double alpha_q);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_TC_TREE_QUERY_H_

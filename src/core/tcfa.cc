@@ -1,0 +1,61 @@
+#include "core/tcfa.h"
+
+#include "core/apriori.h"
+#include "core/mptd.h"
+
+namespace tcf {
+
+MiningResult RunTcfa(const DatabaseNetwork& net, const TcfaOptions& options) {
+  MiningResult result;
+  const CohesionValue alpha_q = QuantizeAlpha(options.alpha);
+
+  // Level 1: every active single item (Alg. 3 line 1).
+  std::vector<Itemset> qualified;
+  for (ItemId item : net.ActiveItems()) {
+    const Itemset p = Itemset::Single(item);
+    ++result.counters.candidates_generated;
+    // One MPTD evaluation per candidate, counted even when the theme
+    // network is trivially empty (so TCFA/TCFI counters are comparable).
+    ++result.counters.mptd_calls;
+    ThemeNetwork tn = InduceThemeNetwork(net, p);
+    if (tn.empty()) continue;
+    ThemePeeler peeler(tn);
+    peeler.PeelToThreshold(alpha_q);
+    result.counters.triangle_visits += peeler.triangle_visits();
+    if (peeler.num_alive() > 0) {
+      result.trusses.push_back(peeler.ExtractTruss());
+      qualified.push_back(p);
+      ++result.counters.qualified_patterns;
+    }
+  }
+
+  // Levels k >= 2 (Alg. 3 lines 2-12).
+  size_t k = 2;
+  while (!qualified.empty() &&
+         (options.max_pattern_length == 0 ||
+          k <= options.max_pattern_length)) {
+    auto candidates = GenerateAprioriCandidates(qualified);
+    result.counters.candidates_generated += candidates.size();
+    std::vector<Itemset> next_qualified;
+    for (const CandidatePattern& cand : candidates) {
+      ++result.counters.mptd_calls;
+      // TCFA induces G_pk from the full network G (Alg. 3 line 6).
+      ThemeNetwork tn = InduceThemeNetwork(net, cand.pattern);
+      if (tn.empty()) continue;
+      ThemePeeler peeler(tn);
+      peeler.PeelToThreshold(alpha_q);
+      result.counters.triangle_visits += peeler.triangle_visits();
+      if (peeler.num_alive() > 0) {
+        result.trusses.push_back(peeler.ExtractTruss());
+        next_qualified.push_back(cand.pattern);
+        ++result.counters.qualified_patterns;
+      }
+    }
+    qualified = std::move(next_qualified);
+    ++k;
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace tcf

@@ -1,0 +1,29 @@
+#ifndef TCF_CORE_TCFA_H_
+#define TCF_CORE_TCFA_H_
+
+#include "core/mining_result.h"
+#include "net/database_network.h"
+
+namespace tcf {
+
+/// Options for Theme Community Finder Apriori.
+struct TcfaOptions {
+  /// Minimum cohesion threshold α ≥ 0.
+  double alpha = 0.0;
+  /// Optional cap on pattern length (0 = unlimited), for bounded runs.
+  size_t max_pattern_length = 0;
+};
+
+/// \brief TCFA (Alg. 3): exact level-wise mining of all maximal pattern
+/// trusses.
+///
+/// Level 1 peels the theme network of every single item; level k joins
+/// the qualified (k−1)-patterns via Alg. 2 and peels each candidate's
+/// theme network, *induced from the whole database network*. Pattern
+/// anti-monotonicity (Prop. 5.2) guarantees exactness: any pattern with a
+/// non-empty truss has all sub-patterns qualified, so it is generated.
+MiningResult RunTcfa(const DatabaseNetwork& net, const TcfaOptions& options);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_TCFA_H_

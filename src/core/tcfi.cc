@@ -1,0 +1,119 @@
+#include "core/tcfi.h"
+
+#include <atomic>
+#include <optional>
+
+#include "core/apriori.h"
+#include "core/mptd.h"
+#include "util/thread_pool.h"
+
+namespace tcf {
+
+namespace {
+
+// Outcome of evaluating one candidate (slot-collected for determinism).
+struct CandidateOutcome {
+  std::optional<PatternTruss> truss;  // set iff qualified
+  bool pruned_by_intersection = false;
+  uint64_t triangle_visits = 0;
+};
+
+CandidateOutcome EvaluateCandidate(const DatabaseNetwork& net,
+                                   const CandidatePattern& cand,
+                                   const PatternTruss& parent_a,
+                                   const PatternTruss& parent_b,
+                                   CohesionValue alpha_q) {
+  CandidateOutcome out;
+  // Prop. 5.3: C*_{p∪q}(α) lives inside the parents' intersection.
+  std::vector<Edge> overlap =
+      IntersectEdgeSets(parent_a.edges, parent_b.edges);
+  if (overlap.empty()) {
+    out.pruned_by_intersection = true;
+    return out;
+  }
+  ThemeNetwork tn = InduceThemeNetworkFromEdges(net, cand.pattern, overlap);
+  if (tn.empty()) return out;
+  ThemePeeler peeler(tn);
+  peeler.PeelToThreshold(alpha_q);
+  out.triangle_visits = peeler.triangle_visits();
+  if (peeler.num_alive() > 0) out.truss = peeler.ExtractTruss();
+  return out;
+}
+
+}  // namespace
+
+MiningResult RunTcfi(const DatabaseNetwork& net, const TcfiOptions& options) {
+  MiningResult result;
+  const CohesionValue alpha_q = QuantizeAlpha(options.alpha);
+
+  // Level 1 is identical to TCFA: singleton theme networks come from the
+  // item->vertex index, there is nothing to intersect yet.
+  std::vector<Itemset> qualified;
+  std::vector<PatternTruss> qualified_trusses;
+  for (ItemId item : net.ActiveItems()) {
+    const Itemset p = Itemset::Single(item);
+    ++result.counters.candidates_generated;
+    ++result.counters.mptd_calls;  // counted per candidate, as in TCFA
+    ThemeNetwork tn = InduceThemeNetwork(net, p);
+    if (tn.empty()) continue;
+    ThemePeeler peeler(tn);
+    peeler.PeelToThreshold(alpha_q);
+    result.counters.triangle_visits += peeler.triangle_visits();
+    if (peeler.num_alive() > 0) {
+      PatternTruss truss = peeler.ExtractTruss();
+      qualified.push_back(p);
+      qualified_trusses.push_back(truss);
+      result.trusses.push_back(std::move(truss));
+      ++result.counters.qualified_patterns;
+    }
+  }
+
+  std::optional<ThreadPool> pool;
+  if (options.num_threads > 1) pool.emplace(options.num_threads);
+
+  size_t k = 2;
+  while (!qualified.empty() &&
+         (options.max_pattern_length == 0 ||
+          k <= options.max_pattern_length)) {
+    auto candidates = GenerateAprioriCandidates(qualified);
+    result.counters.candidates_generated += candidates.size();
+
+    std::vector<CandidateOutcome> outcomes(candidates.size());
+    auto evaluate = [&](size_t i) {
+      const CandidatePattern& cand = candidates[i];
+      outcomes[i] = EvaluateCandidate(net, cand,
+                                      qualified_trusses[cand.parent_a],
+                                      qualified_trusses[cand.parent_b],
+                                      alpha_q);
+    };
+    if (pool.has_value()) {
+      ParallelFor(*pool, candidates.size(), evaluate);
+    } else {
+      for (size_t i = 0; i < candidates.size(); ++i) evaluate(i);
+    }
+
+    std::vector<Itemset> next_qualified;
+    std::vector<PatternTruss> next_trusses;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      CandidateOutcome& out = outcomes[i];
+      result.counters.triangle_visits += out.triangle_visits;
+      if (out.pruned_by_intersection) {
+        ++result.counters.pruned_by_intersection;
+        continue;
+      }
+      ++result.counters.mptd_calls;
+      if (!out.truss.has_value()) continue;
+      next_qualified.push_back(candidates[i].pattern);
+      next_trusses.push_back(*out.truss);
+      result.trusses.push_back(std::move(*out.truss));
+      ++result.counters.qualified_patterns;
+    }
+    qualified = std::move(next_qualified);
+    qualified_trusses = std::move(next_trusses);
+    ++k;
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace tcf

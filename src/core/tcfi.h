@@ -1,0 +1,36 @@
+#ifndef TCF_CORE_TCFI_H_
+#define TCF_CORE_TCFI_H_
+
+#include "core/mining_result.h"
+#include "net/database_network.h"
+
+namespace tcf {
+
+/// Options for Theme Community Finder Intersection.
+struct TcfiOptions {
+  /// Minimum cohesion threshold α ≥ 0.
+  double alpha = 0.0;
+  /// Optional cap on pattern length (0 = unlimited).
+  size_t max_pattern_length = 0;
+  /// Worker threads. Candidates within one level are independent (each
+  /// touches only its two parents' trusses and the network), so levels
+  /// fan out across a pool; results are collected in candidate order, so
+  /// output is identical to the sequential run. 1 = sequential (the
+  /// paper's setting; its parallelism note concerns TC-Tree layer 1).
+  size_t num_threads = 1;
+};
+
+/// \brief TCFI (§5.3): TCFA plus the graph-intersection pruning of
+/// Prop. 5.3 — the paper's headline miner.
+///
+/// For a candidate `p^k = p^{k−1} ∪ q^{k−1}`, `C*_{p^k}(α) ⊆
+/// C*_{p^{k−1}}(α) ∩ C*_{q^{k−1}}(α)`, so (i) an empty intersection
+/// prunes the candidate with no MPTD call, and (ii) a non-empty one lets
+/// MPTD run on the tiny intersection subgraph instead of a network-wide
+/// theme network. Results are identical to TCFA (both exact); only the
+/// work differs.
+MiningResult RunTcfi(const DatabaseNetwork& net, const TcfiOptions& options);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_TCFI_H_

@@ -1,0 +1,38 @@
+#include "core/tcs.h"
+
+#include <unordered_set>
+
+#include "core/mptd.h"
+#include "tx/fim.h"
+
+namespace tcf {
+
+MiningResult RunTcs(const DatabaseNetwork& net, const TcsOptions& options) {
+  MiningResult result;
+
+  // Candidate patterns: union of per-vertex frequent itemsets.
+  std::unordered_set<Itemset, ItemsetHash> candidates;
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    auto mined = MineFrequentItemsets(net.vertical(v), options.epsilon,
+                                      options.max_pattern_length);
+    for (auto& fp : mined) candidates.insert(std::move(fp.pattern));
+  }
+  result.counters.candidates_generated = candidates.size();
+
+  for (const Itemset& p : candidates) {
+    ++result.counters.mptd_calls;  // one evaluation per candidate
+    ThemeNetwork tn = InduceThemeNetwork(net, p);
+    if (tn.empty()) continue;
+    ThemePeeler peeler(tn);
+    peeler.PeelToThreshold(QuantizeAlpha(options.alpha));
+    result.counters.triangle_visits += peeler.triangle_visits();
+    if (peeler.num_alive() > 0) {
+      result.trusses.push_back(peeler.ExtractTruss());
+      ++result.counters.qualified_patterns;
+    }
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace tcf

@@ -1,0 +1,32 @@
+#ifndef TCF_CORE_TCS_H_
+#define TCF_CORE_TCS_H_
+
+#include "core/mining_result.h"
+#include "net/database_network.h"
+
+namespace tcf {
+
+/// Options for the Theme Community Scanner baseline.
+struct TcsOptions {
+  /// Minimum cohesion threshold α ≥ 0.
+  double alpha = 0.0;
+  /// Pattern-frequency pre-filter ε (§4.2): only patterns with
+  /// `f_i(p) > ε` on at least one vertex become candidates. ε = 0 makes
+  /// TCS exact but exponential — test-sized networks only.
+  double epsilon = 0.1;
+  /// Optional cap on candidate pattern length (0 = unlimited).
+  size_t max_pattern_length = 0;
+};
+
+/// \brief TCS, the baseline of §4.2.
+///
+/// Enumerates the candidate set `P = {p : ∃v_i, f_i(p) > ε}` by frequent-
+/// itemset mining on every vertex database, then runs MPTD on the theme
+/// network of every candidate. Trades accuracy for speed: a pattern that
+/// is infrequent everywhere can still form a dense truss, so TCS may miss
+/// trusses that TCFA/TCFI find (Fig. 3).
+MiningResult RunTcs(const DatabaseNetwork& net, const TcsOptions& options);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_TCS_H_

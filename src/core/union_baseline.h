@@ -1,0 +1,39 @@
+#ifndef TCF_CORE_UNION_BASELINE_H_
+#define TCF_CORE_UNION_BASELINE_H_
+
+#include "core/mining_result.h"
+#include "net/database_network.h"
+
+namespace tcf {
+
+/// Options for the attribute-union strawman.
+struct UnionBaselineOptions {
+  /// k of the k-truss required on each pattern's induced subgraph
+  /// (k = 3: every edge in a triangle). Plays the role α plays for
+  /// pattern trusses, via the α = k−3, f ≡ 1 correspondence.
+  uint32_t k = 3;
+  /// Optional cap on pattern length (0 = unlimited).
+  size_t max_pattern_length = 0;
+};
+
+/// \brief The baseline the paper argues *against* (§1/§2): collapse each
+/// vertex database into one attribute set (the union of its
+/// transactions), then mine communities on the resulting vertex
+/// attributed network — a vertex "contains" pattern p iff p ⊆ attr(v),
+/// and a community is a k-truss of the subgraph induced by containing
+/// vertices.
+///
+/// Collapsing discards the two signals theme communities are built on:
+///  * item co-occurrence — items from *different* transactions merge, so
+///    patterns nobody ever bought together look present; and
+///  * pattern frequency — a once-in-a-thousand-transactions pattern
+///    counts as much as an everyday one.
+/// The tests and `bench_ablation` quantify both failure modes against
+/// TCFI; the returned trusses carry frequency 1 for every vertex (the
+/// baseline has no notion of frequency).
+MiningResult RunUnionBaseline(const DatabaseNetwork& net,
+                              const UnionBaselineOptions& options);
+
+}  // namespace tcf
+
+#endif  // TCF_CORE_UNION_BASELINE_H_

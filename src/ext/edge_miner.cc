@@ -1,0 +1,92 @@
+#include "ext/edge_miner.h"
+
+#include <set>
+
+#include "core/apriori.h"
+#include "ext/edge_mptd.h"
+#include "tx/fim.h"
+
+namespace tcf {
+
+MiningResult RunEdgeTcfi(const EdgeDatabaseNetwork& net,
+                         const EdgeMinerOptions& options) {
+  MiningResult result;
+
+  std::vector<Itemset> qualified;
+  std::vector<PatternTruss> qualified_trusses;
+  for (ItemId item : net.ActiveItems()) {
+    const Itemset p = Itemset::Single(item);
+    ++result.counters.candidates_generated;
+    ++result.counters.mptd_calls;
+    EdgeThemeNetwork tn = InduceEdgeThemeNetwork(net, p);
+    if (tn.empty()) continue;
+    PatternTruss truss = EdgeMptd(tn, options.alpha);
+    if (!truss.empty()) {
+      qualified.push_back(p);
+      qualified_trusses.push_back(truss);
+      result.trusses.push_back(std::move(truss));
+      ++result.counters.qualified_patterns;
+    }
+  }
+
+  size_t k = 2;
+  while (!qualified.empty() &&
+         (options.max_pattern_length == 0 ||
+          k <= options.max_pattern_length)) {
+    auto candidates = GenerateAprioriCandidates(qualified);
+    result.counters.candidates_generated += candidates.size();
+    std::vector<Itemset> next_qualified;
+    std::vector<PatternTruss> next_trusses;
+    for (const CandidatePattern& cand : candidates) {
+      std::vector<Edge> overlap =
+          IntersectEdgeSets(qualified_trusses[cand.parent_a].edges,
+                            qualified_trusses[cand.parent_b].edges);
+      if (overlap.empty()) {
+        ++result.counters.pruned_by_intersection;
+        continue;
+      }
+      ++result.counters.mptd_calls;
+      EdgeThemeNetwork tn =
+          InduceEdgeThemeNetworkFromEdges(net, cand.pattern, overlap);
+      if (tn.empty()) continue;
+      PatternTruss truss = EdgeMptd(tn, options.alpha);
+      if (!truss.empty()) {
+        next_qualified.push_back(cand.pattern);
+        next_trusses.push_back(truss);
+        result.trusses.push_back(std::move(truss));
+        ++result.counters.qualified_patterns;
+      }
+    }
+    qualified = std::move(next_qualified);
+    qualified_trusses = std::move(next_trusses);
+    ++k;
+  }
+  result.Canonicalize();
+  return result;
+}
+
+MiningResult BruteForceEdgeMineAll(const EdgeDatabaseNetwork& net,
+                                   double alpha, size_t max_length) {
+  MiningResult result;
+  // All patterns with positive frequency on at least one edge.
+  std::set<Itemset> patterns;
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    auto mined = MineFrequentItemsets(net.db(e), 0.0, max_length);
+    for (auto& fp : mined) patterns.insert(std::move(fp.pattern));
+  }
+  for (const Itemset& p : patterns) {
+    ++result.counters.candidates_generated;
+    EdgeThemeNetwork tn = InduceEdgeThemeNetwork(net, p);
+    if (tn.empty()) continue;
+    ++result.counters.mptd_calls;
+    PatternTruss truss = EdgeMptdBruteForce(tn, alpha);
+    if (!truss.empty()) {
+      result.trusses.push_back(std::move(truss));
+      ++result.counters.qualified_patterns;
+    }
+  }
+  result.Canonicalize();
+  return result;
+}
+
+}  // namespace tcf

@@ -1,0 +1,32 @@
+#ifndef TCF_EXT_EDGE_MINER_H_
+#define TCF_EXT_EDGE_MINER_H_
+
+#include "core/mining_result.h"
+#include "ext/edge_network.h"
+
+namespace tcf {
+
+/// Options for the edge-network theme-community miner.
+struct EdgeMinerOptions {
+  double alpha = 0.0;
+  size_t max_pattern_length = 0;  // 0 = unlimited
+};
+
+/// \brief TCFI lifted to edge database networks (§8 future work).
+///
+/// Level-wise Apriori search with intersection pruning: the graph
+/// anti-monotonicity argument transfers verbatim — `p1 ⊆ p2` implies
+/// `f_ij(p1) ≥ f_ij(p2)` on every edge, so each triangle's min cannot
+/// grow, so `C*_{p2}(α) ⊆ C*_{p1}(α)` — and with it Prop. 5.2 (subtree
+/// pruning) and Prop. 5.3 (candidate trusses live inside their parents'
+/// intersection).
+MiningResult RunEdgeTcfi(const EdgeDatabaseNetwork& net,
+                         const EdgeMinerOptions& options);
+
+/// Exhaustive oracle (all supported patterns × fixpoint MPTD) for tests.
+MiningResult BruteForceEdgeMineAll(const EdgeDatabaseNetwork& net,
+                                   double alpha, size_t max_length = 0);
+
+}  // namespace tcf
+
+#endif  // TCF_EXT_EDGE_MINER_H_

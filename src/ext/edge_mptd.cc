@@ -1,0 +1,221 @@
+#include "ext/edge_mptd.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace tcf {
+
+EdgePeeler::EdgePeeler(const EdgeThemeNetwork& tn) : tn_(&tn) {
+  for (const Edge& e : tn.edges) {
+    vertices_.push_back(e.u);
+    vertices_.push_back(e.v);
+  }
+  std::sort(vertices_.begin(), vertices_.end());
+  vertices_.erase(std::unique(vertices_.begin(), vertices_.end()),
+                  vertices_.end());
+  auto local_of = [&](VertexId g) {
+    return static_cast<uint32_t>(
+        std::lower_bound(vertices_.begin(), vertices_.end(), g) -
+        vertices_.begin());
+  };
+  adj_.assign(vertices_.size(), {});
+  local_edges_.reserve(tn.edges.size());
+  qfreq_.reserve(tn.edges.size());
+  for (EdgeId e = 0; e < tn.edges.size(); ++e) {
+    const uint32_t lu = local_of(tn.edges[e].u);
+    const uint32_t lv = local_of(tn.edges[e].v);
+    local_edges_.push_back({lu, lv});
+    adj_[lu].push_back({lv, e});
+    adj_[lv].push_back({lu, e});
+    qfreq_.push_back(QuantizeFrequency(tn.frequencies[e]));
+  }
+  for (auto& a : adj_) {
+    std::sort(a.begin(), a.end(),
+              [](const LocalNeighbor& x, const LocalNeighbor& y) {
+                return x.vertex < y.vertex;
+              });
+  }
+  alive_.assign(local_edges_.size(), 1);
+  num_alive_ = local_edges_.size();
+
+  cohesion_.assign(local_edges_.size(), 0);
+  for (EdgeId e = 0; e < local_edges_.size(); ++e) {
+    CohesionValue total = 0;
+    ForEachAliveTriangle(e, [&](EdgeId e1, EdgeId e2) {
+      total += std::min({qfreq_[e], qfreq_[e1], qfreq_[e2]});
+    });
+    cohesion_[e] = total;
+  }
+}
+
+template <typename Fn>
+void EdgePeeler::ForEachAliveTriangle(EdgeId e, Fn&& fn) const {
+  const LocalEdge& le = local_edges_[e];
+  const auto& a = adj_[le.u];
+  const auto& b = adj_[le.v];
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].vertex < b[j].vertex) {
+      ++i;
+    } else if (a[i].vertex > b[j].vertex) {
+      ++j;
+    } else {
+      if (alive_[a[i].edge] && alive_[b[j].edge]) {
+        fn(a[i].edge, b[j].edge);
+      }
+      ++i;
+      ++j;
+    }
+  }
+}
+
+void EdgePeeler::PeelToThreshold(CohesionValue alpha_q,
+                                 std::vector<EdgeId>* removed) {
+  std::vector<EdgeId> queue;
+  std::vector<uint8_t> in_queue(local_edges_.size(), 0);
+  for (EdgeId e = 0; e < local_edges_.size(); ++e) {
+    if (alive_[e] && cohesion_[e] <= alpha_q) {
+      queue.push_back(e);
+      in_queue[e] = 1;
+    }
+  }
+  size_t head = 0;
+  while (head < queue.size()) {
+    const EdgeId e = queue[head++];
+    if (!alive_[e]) continue;
+    alive_[e] = 0;
+    --num_alive_;
+    ForEachAliveTriangle(e, [&](EdgeId e1, EdgeId e2) {
+      const CohesionValue m = std::min({qfreq_[e], qfreq_[e1], qfreq_[e2]});
+      for (EdgeId wing : {e1, e2}) {
+        cohesion_[wing] -= m;
+        if (min_tracking_) min_heap_.emplace(cohesion_[wing], wing);
+        if (!in_queue[wing] && cohesion_[wing] <= alpha_q) {
+          queue.push_back(wing);
+          in_queue[wing] = 1;
+        }
+      }
+    });
+    if (removed != nullptr) removed->push_back(e);
+  }
+}
+
+CohesionValue EdgePeeler::MinAliveCohesion() {
+  if (!min_tracking_) {
+    min_tracking_ = true;
+    for (EdgeId e = 0; e < local_edges_.size(); ++e) {
+      if (alive_[e]) min_heap_.emplace(cohesion_[e], e);
+    }
+  }
+  while (!min_heap_.empty()) {
+    const auto& [c, e] = min_heap_.top();
+    if (alive_[e] && cohesion_[e] == c) return c;
+    min_heap_.pop();
+  }
+  return kNoAliveEdges;
+}
+
+PatternTruss EdgePeeler::ExtractTruss() const {
+  PatternTruss truss;
+  truss.pattern = tn_->pattern;
+  for (EdgeId e = 0; e < local_edges_.size(); ++e) {
+    if (alive_[e]) {
+      truss.edges.push_back(tn_->edges[e]);
+      truss.edge_cohesions.push_back(cohesion_[e]);
+    }
+  }
+  std::vector<VertexId> endpoints;
+  for (const Edge& e : truss.edges) {
+    endpoints.push_back(e.u);
+    endpoints.push_back(e.v);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  truss.vertices = std::move(endpoints);
+  return truss;
+}
+
+Edge EdgePeeler::GlobalEdge(EdgeId e) const { return tn_->edges[e]; }
+
+PatternTruss EdgeMptd(const EdgeThemeNetwork& tn, double alpha) {
+  PatternTruss truss;
+  truss.pattern = tn.pattern;
+  if (tn.edges.empty()) return truss;
+  EdgePeeler peeler(tn);
+  peeler.PeelToThreshold(QuantizeAlpha(alpha));
+  return peeler.ExtractTruss();
+}
+
+PatternTruss EdgeMptdBruteForce(const EdgeThemeNetwork& tn, double alpha) {
+  const CohesionValue alpha_q = QuantizeAlpha(alpha);
+  std::map<Edge, CohesionValue> freq;
+  for (size_t i = 0; i < tn.edges.size(); ++i) {
+    freq[tn.edges[i]] = QuantizeFrequency(tn.frequencies[i]);
+  }
+  std::set<Edge> edges(tn.edges.begin(), tn.edges.end());
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<VertexId, std::vector<VertexId>> adj;
+    for (const Edge& e : edges) {
+      adj[e.u].push_back(e.v);
+      adj[e.v].push_back(e.u);
+    }
+    std::vector<Edge> to_remove;
+    for (const Edge& e : edges) {
+      CohesionValue eco = 0;
+      for (VertexId w : adj[e.u]) {
+        if (w == e.v) continue;
+        const Edge e1 = MakeEdge(e.u, w);
+        const Edge e2 = MakeEdge(e.v, w);
+        if (edges.count(e2)) {
+          eco += std::min({freq[e], freq[e1], freq[e2]});
+        }
+      }
+      if (eco <= alpha_q) to_remove.push_back(e);
+    }
+    for (const Edge& e : to_remove) {
+      edges.erase(e);
+      changed = true;
+    }
+  }
+
+  PatternTruss truss;
+  truss.pattern = tn.pattern;
+  truss.edges.assign(edges.begin(), edges.end());
+  {
+    std::map<VertexId, std::vector<VertexId>> adj;
+    for (const Edge& e : truss.edges) {
+      adj[e.u].push_back(e.v);
+      adj[e.v].push_back(e.u);
+    }
+    for (const Edge& e : truss.edges) {
+      CohesionValue eco = 0;
+      for (VertexId w : adj[e.u]) {
+        if (w == e.v) continue;
+        if (edges.count(MakeEdge(e.v, w))) {
+          eco += std::min(
+              {freq[e], freq[MakeEdge(e.u, w)], freq[MakeEdge(e.v, w)]});
+        }
+      }
+      truss.edge_cohesions.push_back(eco);
+    }
+  }
+  std::vector<VertexId> endpoints;
+  for (const Edge& e : truss.edges) {
+    endpoints.push_back(e.u);
+    endpoints.push_back(e.v);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+  truss.vertices = std::move(endpoints);
+  return truss;
+}
+
+}  // namespace tcf

@@ -1,0 +1,86 @@
+#ifndef TCF_EXT_EDGE_MPTD_H_
+#define TCF_EXT_EDGE_MPTD_H_
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "core/cohesion.h"
+#include "core/pattern_truss.h"
+#include "ext/edge_network.h"
+
+namespace tcf {
+
+/// \brief Peeling engine for edge database networks (§8 future work) —
+/// the `ThemePeeler` counterpart with frequencies living on edges.
+///
+/// The cohesion of edge e_ij within the surviving subgraph sums
+/// `min(f_ij, f_ik, f_jk)` over its triangles — the min over the three
+/// *edge* frequencies. Removing an edge breaks its triangles and
+/// decrements both wing edges by that min, maintained exactly in fixed
+/// point, so ascending-threshold peeling (the decomposition loop) works
+/// the same way it does for vertex networks.
+class EdgePeeler {
+ public:
+  explicit EdgePeeler(const EdgeThemeNetwork& tn);
+
+  size_t num_edges() const { return local_edges_.size(); }
+  size_t num_alive() const { return num_alive_; }
+
+  /// Removes every edge with cohesion ≤ `alpha_q`, cascading. Local ids
+  /// of removed edges are appended to `*removed` when non-null. Calls
+  /// must use non-decreasing thresholds.
+  void PeelToThreshold(CohesionValue alpha_q,
+                       std::vector<EdgeId>* removed = nullptr);
+
+  /// Minimum cohesion among alive edges, or `kNoAliveEdges`.
+  CohesionValue MinAliveCohesion();
+
+  static constexpr CohesionValue kNoAliveEdges =
+      std::numeric_limits<CohesionValue>::max();
+
+  /// Materializes the surviving subgraph. `vertices` holds the edge
+  /// endpoints; `frequencies` is empty (frequencies live on edges).
+  PatternTruss ExtractTruss() const;
+
+  Edge GlobalEdge(EdgeId e) const;
+
+ private:
+  struct LocalNeighbor {
+    uint32_t vertex;
+    uint32_t edge;
+  };
+  struct LocalEdge {
+    uint32_t u;
+    uint32_t v;
+  };
+
+  template <typename Fn>
+  void ForEachAliveTriangle(EdgeId e, Fn&& fn) const;
+
+  const EdgeThemeNetwork* tn_;
+  std::vector<VertexId> vertices_;  // sorted global endpoints
+  std::vector<LocalEdge> local_edges_;
+  std::vector<std::vector<LocalNeighbor>> adj_;
+  std::vector<CohesionValue> qfreq_;     // per local *edge*
+  std::vector<CohesionValue> cohesion_;  // per local edge
+  std::vector<uint8_t> alive_;
+  size_t num_alive_ = 0;
+
+  using HeapEntry = std::pair<CohesionValue, EdgeId>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      min_heap_;
+  bool min_tracking_ = false;
+};
+
+/// MPTD for edge theme networks: `C*_p(α)`.
+PatternTruss EdgeMptd(const EdgeThemeNetwork& tn, double alpha);
+
+/// Fixpoint reference for the tests (recomputes every cohesion from
+/// scratch each round).
+PatternTruss EdgeMptdBruteForce(const EdgeThemeNetwork& tn, double alpha);
+
+}  // namespace tcf
+
+#endif  // TCF_EXT_EDGE_MPTD_H_

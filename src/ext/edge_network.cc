@@ -1,0 +1,71 @@
+#include "ext/edge_network.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace tcf {
+
+EdgeDatabaseNetwork::EdgeDatabaseNetwork(Graph graph,
+                                         std::vector<TransactionDb> databases,
+                                         ItemDictionary dictionary)
+    : graph_(std::move(graph)),
+      databases_(std::move(databases)),
+      dictionary_(std::move(dictionary)) {
+  TCF_CHECK_MSG(databases_.size() == graph_.num_edges(),
+                "one transaction database per edge required");
+  verticals_.reserve(databases_.size());
+  for (const TransactionDb& db : databases_) {
+    verticals_.push_back(std::make_unique<VerticalIndex>(db));
+  }
+}
+
+double EdgeDatabaseNetwork::Frequency(EdgeId e, const Itemset& p) const {
+  return verticals_[e]->Frequency(p);
+}
+
+std::vector<ItemId> EdgeDatabaseNetwork::ActiveItems() const {
+  std::set<ItemId> items;
+  for (const auto& vi : verticals_) {
+    items.insert(vi->items().begin(), vi->items().end());
+  }
+  return std::vector<ItemId>(items.begin(), items.end());
+}
+
+EdgeThemeNetwork InduceEdgeThemeNetwork(const EdgeDatabaseNetwork& net,
+                                        const Itemset& pattern) {
+  EdgeThemeNetwork tn;
+  tn.pattern = pattern;
+  for (EdgeId e = 0; e < net.num_edges(); ++e) {
+    const double f = net.Frequency(e, pattern);
+    if (f > 0) {
+      tn.edges.push_back(net.graph().edge(e));
+      tn.frequencies.push_back(f);
+    }
+  }
+  // Graph edge ids ascend in canonical order, so tn.edges is sorted.
+  return tn;
+}
+
+EdgeThemeNetwork InduceEdgeThemeNetworkFromEdges(
+    const EdgeDatabaseNetwork& net, const Itemset& pattern,
+    const std::vector<Edge>& candidate_edges) {
+  EdgeThemeNetwork tn;
+  tn.pattern = pattern;
+  std::vector<Edge> sorted = candidate_edges;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (const Edge& e : sorted) {
+    const EdgeId id = net.graph().FindEdge(e.u, e.v);
+    if (id == kInvalidEdge) continue;
+    const double f = net.Frequency(id, pattern);
+    if (f > 0) {
+      tn.edges.push_back(e);
+      tn.frequencies.push_back(f);
+    }
+  }
+  return tn;
+}
+
+}  // namespace tcf

@@ -1,0 +1,145 @@
+#include "ext/edge_tc_tree.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tcf {
+
+TrussDecomposition DecomposeEdgeThemeNetwork(const EdgeThemeNetwork& tn) {
+  if (tn.edges.empty()) {
+    return TrussDecomposition::FromParts(tn.pattern, {}, {}, {});
+  }
+  EdgePeeler peeler(tn);
+  peeler.PeelToThreshold(0);
+  if (peeler.num_alive() == 0) {
+    return TrussDecomposition::FromParts(tn.pattern, {}, {}, {});
+  }
+  PatternTruss base = peeler.ExtractTruss();
+
+  std::vector<DecompositionLevel> levels;
+  while (peeler.num_alive() > 0) {
+    const CohesionValue beta = peeler.MinAliveCohesion();
+    TCF_CHECK(beta != EdgePeeler::kNoAliveEdges);
+    std::vector<EdgeId> removed_local;
+    peeler.PeelToThreshold(beta, &removed_local);
+    TCF_CHECK(!removed_local.empty());
+    DecompositionLevel level;
+    level.alpha = beta;
+    level.removed.reserve(removed_local.size());
+    for (EdgeId e : removed_local) {
+      level.removed.push_back(peeler.GlobalEdge(e));
+    }
+    levels.push_back(std::move(level));
+  }
+  // Frequencies live on edges in this model; store zeros for the
+  // endpoint list so reconstruction still yields the right vertex sets.
+  std::vector<double> zeros(base.vertices.size(), 0.0);
+  return TrussDecomposition::FromParts(tn.pattern, std::move(base.vertices),
+                                       std::move(zeros), std::move(levels));
+}
+
+EdgeTcTree EdgeTcTree::Build(const EdgeDatabaseNetwork& net,
+                             const EdgeTcTreeOptions& options) {
+  EdgeTcTree tree;
+  tree.nodes_.emplace_back();  // root
+
+  std::vector<NodeId> frontier;
+  for (ItemId item : net.ActiveItems()) {
+    EdgeThemeNetwork tn = InduceEdgeThemeNetwork(net, Itemset::Single(item));
+    if (tn.empty()) continue;
+    TrussDecomposition d = DecomposeEdgeThemeNetwork(tn);
+    if (d.empty()) continue;
+    Node n;
+    n.item = item;
+    n.parent = kRoot;
+    n.decomposition = std::move(d);
+    tree.nodes_.push_back(std::move(n));
+    const NodeId id = static_cast<NodeId>(tree.nodes_.size() - 1);
+    tree.nodes_[kRoot].children.push_back(id);
+    frontier.push_back(id);
+  }
+
+  size_t head = 0;
+  while (head < frontier.size()) {
+    if (options.max_nodes != 0 && tree.num_nodes() >= options.max_nodes) {
+      tree.truncated_ = true;
+      break;
+    }
+    const NodeId f = frontier[head++];
+    size_t depth_f = 0;
+    for (NodeId x = f; x != kRoot; x = tree.nodes_[x].parent) ++depth_f;
+    if (options.max_depth != 0 && depth_f >= options.max_depth) continue;
+
+    const std::vector<NodeId>& siblings =
+        tree.nodes_[tree.nodes_[f].parent].children;
+    auto it = std::find(siblings.begin(), siblings.end(), f);
+    TCF_CHECK(it != siblings.end());
+    for (auto bit = it + 1; bit != siblings.end(); ++bit) {
+      const NodeId b = *bit;
+      std::vector<Edge> overlap =
+          IntersectEdgeSets(tree.nodes_[f].decomposition.sorted_edges(),
+                            tree.nodes_[b].decomposition.sorted_edges());
+      if (overlap.empty()) continue;
+      const Itemset pc = tree.PatternOf(f).Union(tree.nodes_[b].item);
+      EdgeThemeNetwork tn =
+          InduceEdgeThemeNetworkFromEdges(net, pc, overlap);
+      if (tn.empty()) continue;
+      TrussDecomposition d = DecomposeEdgeThemeNetwork(tn);
+      if (d.empty()) continue;
+      Node n;
+      n.item = tree.nodes_[b].item;
+      n.parent = f;
+      n.decomposition = std::move(d);
+      tree.nodes_.push_back(std::move(n));
+      const NodeId id = static_cast<NodeId>(tree.nodes_.size() - 1);
+      tree.nodes_[f].children.push_back(id);
+      frontier.push_back(id);
+    }
+  }
+  return tree;
+}
+
+Itemset EdgeTcTree::PatternOf(NodeId id) const {
+  std::vector<ItemId> items;
+  for (NodeId x = id; x != kRoot; x = nodes_[x].parent) {
+    items.push_back(nodes_[x].item);
+  }
+  return Itemset(std::move(items));
+}
+
+EdgeTcTreeQueryResult EdgeTcTree::Query(const Itemset& q,
+                                        double alpha_q) const {
+  EdgeTcTreeQueryResult result;
+  const CohesionValue aq = QuantizeAlpha(alpha_q);
+  std::vector<NodeId> queue = {kRoot};
+  size_t head = 0;
+  while (head < queue.size()) {
+    const NodeId f = queue[head++];
+    for (NodeId c : nodes_[f].children) {
+      const Node& child = nodes_[c];
+      if (!q.Contains(child.item)) continue;
+      ++result.visited_nodes;
+      if (child.decomposition.max_alpha() <= aq) continue;
+      PatternTruss truss;
+      truss.pattern = PatternOf(c);
+      truss.edges = child.decomposition.EdgesAtAlphaQ(aq);
+      if (truss.edges.empty()) continue;
+      std::vector<VertexId> endpoints;
+      for (const Edge& e : truss.edges) {
+        endpoints.push_back(e.u);
+        endpoints.push_back(e.v);
+      }
+      std::sort(endpoints.begin(), endpoints.end());
+      endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                      endpoints.end());
+      truss.vertices = std::move(endpoints);
+      result.trusses.push_back(std::move(truss));
+      ++result.retrieved_nodes;
+      queue.push_back(c);
+    }
+  }
+  return result;
+}
+
+}  // namespace tcf

@@ -1,0 +1,73 @@
+#ifndef TCF_EXT_EDGE_TC_TREE_H_
+#define TCF_EXT_EDGE_TC_TREE_H_
+
+#include <deque>
+#include <vector>
+
+#include "core/decomposition.h"
+#include "core/pattern_truss.h"
+#include "ext/edge_mptd.h"
+#include "ext/edge_network.h"
+
+namespace tcf {
+
+/// Decomposes the maximal edge-pattern truss `C*_p(0)` of an edge theme
+/// network into ascending removed-edge levels — Thm. 6.1 transfers: the
+/// proof only uses that cohesions are per-edge sums that shrink
+/// monotonically under edge removal. The result reuses
+/// `TrussDecomposition` (vertices = endpoints, frequencies empty since
+/// they live on edges).
+TrussDecomposition DecomposeEdgeThemeNetwork(const EdgeThemeNetwork& tn);
+
+/// Build options mirror the vertex-network TC-Tree.
+struct EdgeTcTreeOptions {
+  size_t max_depth = 0;  // 0 = unlimited
+  size_t max_nodes = 0;  // 0 = unlimited
+};
+
+/// Query result mirrors `TcTreeQueryResult`.
+struct EdgeTcTreeQueryResult {
+  std::vector<PatternTruss> trusses;
+  uint64_t retrieved_nodes = 0;
+  uint64_t visited_nodes = 0;
+};
+
+/// \brief TC-Tree for edge database networks: the §8 extension carried
+/// through to indexing and query answering.
+///
+/// Same SE-tree layout as `TcTree` (Alg. 4/5); children are computed
+/// inside the parents' edge-set intersection (the Prop.-5.3 argument
+/// holds: edge frequencies are anti-monotone in the pattern, so
+/// `C*_{p∪q}(0) ⊆ C*_p(0) ∩ C*_q(0)`).
+class EdgeTcTree {
+ public:
+  using NodeId = uint32_t;
+  static constexpr NodeId kRoot = 0;
+  static constexpr NodeId kNoParent = static_cast<NodeId>(-1);
+
+  struct Node {
+    ItemId item = 0;
+    NodeId parent = kNoParent;
+    std::vector<NodeId> children;
+    TrussDecomposition decomposition;
+  };
+
+  static EdgeTcTree Build(const EdgeDatabaseNetwork& net,
+                          const EdgeTcTreeOptions& options = {});
+
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size() - 1; }
+  Itemset PatternOf(NodeId id) const;
+  bool truncated() const { return truncated_; }
+
+  /// Alg. 5 over the edge tree: `{C*_p(α_q) ≠ ∅ : p ⊆ q}`.
+  EdgeTcTreeQueryResult Query(const Itemset& q, double alpha_q) const;
+
+ private:
+  std::deque<Node> nodes_;
+  bool truncated_ = false;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_EXT_EDGE_TC_TREE_H_

@@ -1,0 +1,104 @@
+#include "gen/checkin_generator.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "graph/random_graphs.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace tcf {
+
+DatabaseNetwork GenerateCheckinNetwork(const CheckinParams& params) {
+  TCF_CHECK_MSG(params.num_users >= 2, "need at least two users");
+  TCF_CHECK_MSG(params.num_locations >= 2, "need at least two locations");
+  Rng rng(params.seed);
+
+  Graph friendship = WattsStrogatz(params.num_users, params.friends_k,
+                                   params.rewire_beta, rng);
+
+  ItemDictionary dict;
+  for (size_t i = 0; i < params.num_locations; ++i) {
+    dict.GetOrAdd(StrFormat("loc%zu", i));
+  }
+
+  // Favourite location sets, built in BFS order so that friends share
+  // habits: each user copies a fraction from already-built friends and
+  // fills the rest from the Zipfian popularity distribution.
+  const size_t n = params.num_users;
+  std::vector<std::vector<ItemId>> favorites(n);
+  std::vector<uint8_t> built(n, 0);
+
+  std::deque<VertexId> queue;
+  auto build_favorites = [&](VertexId u) {
+    std::unordered_set<ItemId> favs;
+    // Mimic friends that already have habits.
+    std::vector<ItemId> friend_pool;
+    for (const Neighbor& nb : friendship.neighbors(u)) {
+      if (built[nb.vertex]) {
+        friend_pool.insert(friend_pool.end(), favorites[nb.vertex].begin(),
+                           favorites[nb.vertex].end());
+      }
+    }
+    while (favs.size() < params.favorites_per_user) {
+      if (!friend_pool.empty() && rng.NextBool(params.social_mimicry)) {
+        favs.insert(friend_pool[rng.NextUint64(friend_pool.size())]);
+      } else {
+        favs.insert(static_cast<ItemId>(
+            rng.NextZipf(params.num_locations, params.popularity_skew)));
+      }
+    }
+    favorites[u].assign(favs.begin(), favs.end());
+    std::sort(favorites[u].begin(), favorites[u].end());
+    built[u] = 1;
+  };
+
+  size_t num_built = 0;
+  for (VertexId seed = 0; seed < n; ++seed) {
+    if (built[seed]) continue;
+    build_favorites(seed);
+    ++num_built;
+    queue.push_back(seed);
+    while (!queue.empty()) {
+      VertexId u = queue.front();
+      queue.pop_front();
+      for (const Neighbor& nb : friendship.neighbors(u)) {
+        if (!built[nb.vertex]) {
+          build_favorites(nb.vertex);
+          ++num_built;
+          queue.push_back(nb.vertex);
+        }
+      }
+    }
+  }
+  TCF_CHECK(num_built == n);
+
+  // Check-in periods -> transactions.
+  std::vector<TransactionDb> dbs(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (size_t period = 0; period < params.periods_per_user; ++period) {
+      // Poisson-ish count via geometric mixing around the mean.
+      size_t visits = 1 + static_cast<size_t>(rng.NextUint64(
+                              static_cast<uint64_t>(
+                                  std::max(1.0, 2.0 * params.locations_per_period))));
+      std::unordered_set<ItemId> where;
+      for (size_t i = 0; i < visits; ++i) {
+        if (rng.NextBool(params.exploration_rate)) {
+          where.insert(static_cast<ItemId>(
+              rng.NextZipf(params.num_locations, params.popularity_skew)));
+        } else {
+          where.insert(
+              favorites[u][rng.NextUint64(favorites[u].size())]);
+        }
+      }
+      dbs[u].Add(Itemset(std::vector<ItemId>(where.begin(), where.end())));
+    }
+  }
+
+  return DatabaseNetwork(std::move(friendship), std::move(dbs),
+                         std::move(dict));
+}
+
+}  // namespace tcf

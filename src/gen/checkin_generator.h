@@ -1,0 +1,52 @@
+#ifndef TCF_GEN_CHECKIN_GENERATOR_H_
+#define TCF_GEN_CHECKIN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "net/database_network.h"
+
+namespace tcf {
+
+/// Parameters of the location-based-social-network generator.
+struct CheckinParams {
+  /// Number of users (vertices).
+  size_t num_users = 2000;
+  /// Number of distinct check-in locations (items), named "loc<i>".
+  size_t num_locations = 300;
+  /// Watts–Strogatz lattice half-degree of the friendship graph.
+  size_t friends_k = 5;
+  /// Watts–Strogatz rewiring probability.
+  double rewire_beta = 0.1;
+  /// Check-in periods per user; each period becomes one transaction
+  /// (the paper cuts check-in history into 2-day periods).
+  size_t periods_per_user = 40;
+  /// Mean number of locations visited per period.
+  double locations_per_period = 3.0;
+  /// Zipf skew of global location popularity (heavy tail).
+  double popularity_skew = 1.1;
+  /// Size of a user's habitual location set.
+  size_t favorites_per_user = 8;
+  /// Fraction of a user's favourites copied from already-generated
+  /// friends — this is what makes friend groups co-visit the same
+  /// places and hence form theme communities.
+  double social_mimicry = 0.6;
+  /// Probability a period check-in is exploratory (random location)
+  /// rather than drawn from the user's favourites.
+  double exploration_rate = 0.15;
+  uint64_t seed = 42;
+};
+
+/// \brief Generates a Brightkite/Gowalla-like database network (§7's BK
+/// and GW): a small-world friendship graph where each user's database
+/// holds one transaction per check-in period, listing the locations
+/// visited in it.
+///
+/// Substitution note (see DESIGN.md): the real datasets are unreachable
+/// offline; this generator reproduces the properties the algorithms are
+/// sensitive to — sparse high-clustering friendship topology, Zipfian
+/// location popularity, and neighbour-correlated vertex databases.
+DatabaseNetwork GenerateCheckinNetwork(const CheckinParams& params);
+
+}  // namespace tcf
+
+#endif  // TCF_GEN_CHECKIN_GENERATOR_H_

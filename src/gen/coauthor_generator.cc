@@ -1,0 +1,116 @@
+#include "gen/coauthor_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace tcf {
+
+CoauthorNetwork GenerateCoauthorNetwork(const CoauthorParams& params) {
+  TCF_CHECK_MSG(params.num_groups >= 1, "need at least one group");
+  TCF_CHECK_MSG(params.group_size_min >= 3,
+                "groups below 3 members cannot form triangles");
+  TCF_CHECK_MSG(params.group_size_max >= params.group_size_min,
+                "group_size_max < group_size_min");
+  Rng rng(params.seed);
+
+  ItemDictionary dict;
+  std::vector<PlantedGroup> groups;
+  size_t num_authors = 0;
+
+  // --- Plant groups: membership + themes. ------------------------------
+  for (size_t g = 0; g < params.num_groups; ++g) {
+    PlantedGroup group;
+    const size_t size =
+        params.group_size_min +
+        rng.NextUint64(params.group_size_max - params.group_size_min + 1);
+
+    std::unordered_set<VertexId> members;
+    // Overlap members: recruit existing authors (hubs across groups).
+    if (num_authors > 0) {
+      const size_t want_overlap = static_cast<size_t>(
+          static_cast<double>(size) * params.overlap_fraction);
+      for (size_t i = 0; i < want_overlap; ++i) {
+        members.insert(static_cast<VertexId>(rng.NextUint64(num_authors)));
+      }
+    }
+    // Fresh members.
+    while (members.size() < size) {
+      members.insert(static_cast<VertexId>(num_authors++));
+    }
+    group.members.assign(members.begin(), members.end());
+    std::sort(group.members.begin(), group.members.end());
+
+    std::vector<ItemId> theme;
+    for (size_t j = 0; j < params.theme_size; ++j) {
+      theme.push_back(dict.GetOrAdd(StrFormat("kw%zu_%zu", g, j)));
+    }
+    group.theme = Itemset(std::move(theme));
+    groups.push_back(std::move(group));
+  }
+
+  std::vector<ItemId> noise;
+  for (size_t i = 0; i < params.num_noise_keywords; ++i) {
+    noise.push_back(dict.GetOrAdd(StrFormat("noise%zu", i)));
+  }
+
+  // --- Collaboration edges. --------------------------------------------
+  GraphBuilder builder(num_authors);
+  for (const PlantedGroup& g : groups) {
+    for (size_t i = 0; i < g.members.size(); ++i) {
+      for (size_t j = i + 1; j < g.members.size(); ++j) {
+        if (rng.NextBool(params.intra_group_edge_prob)) {
+          TCF_CHECK(builder.AddEdge(g.members[i], g.members[j]).ok());
+        }
+      }
+    }
+  }
+  const size_t background =
+      static_cast<size_t>(static_cast<double>(num_authors) *
+                          params.background_edge_factor);
+  for (size_t i = 0; i < background && num_authors >= 2; ++i) {
+    VertexId a = static_cast<VertexId>(rng.NextUint64(num_authors));
+    VertexId b = static_cast<VertexId>(rng.NextUint64(num_authors));
+    if (a != b) TCF_CHECK(builder.AddEdge(a, b).ok());
+  }
+
+  // --- Papers -> vertex databases. --------------------------------------
+  std::vector<TransactionDb> dbs(num_authors);
+  auto add_noise = [&](std::vector<ItemId>* kw) {
+    for (size_t i = 0; i < params.noise_per_paper; ++i) {
+      if (!noise.empty()) {
+        kw->push_back(noise[rng.NextUint64(noise.size())]);
+      }
+    }
+  };
+  for (const PlantedGroup& g : groups) {
+    for (VertexId author : g.members) {
+      for (size_t paper = 0; paper < params.papers_per_membership; ++paper) {
+        std::vector<ItemId> kw;
+        for (ItemId item : g.theme) {
+          if (rng.NextBool(params.keyword_recall)) kw.push_back(item);
+        }
+        add_noise(&kw);
+        if (!kw.empty()) dbs[author].Add(Itemset(std::move(kw)));
+      }
+    }
+  }
+  for (VertexId author = 0; author < num_authors; ++author) {
+    for (size_t paper = 0; paper < params.solo_papers; ++paper) {
+      std::vector<ItemId> kw;
+      add_noise(&kw);
+      if (!kw.empty()) dbs[author].Add(Itemset(std::move(kw)));
+    }
+  }
+
+  CoauthorNetwork out{
+      DatabaseNetwork(builder.Build(), std::move(dbs), std::move(dict)),
+      std::move(groups)};
+  return out;
+}
+
+}  // namespace tcf

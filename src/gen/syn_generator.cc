@@ -1,0 +1,156 @@
+#include "gen/syn_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_set>
+
+#include "graph/random_graphs.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace tcf {
+
+namespace {
+
+// ⌈e^{rate·d}⌉ with a cap.
+size_t ExpOfDegree(double rate, size_t degree, size_t cap) {
+  const double v = std::exp(rate * static_cast<double>(degree));
+  if (v >= static_cast<double>(cap)) return cap;
+  return static_cast<size_t>(std::ceil(v));
+}
+
+}  // namespace
+
+DatabaseNetwork GenerateSynNetwork(const SynParams& params) {
+  TCF_CHECK_MSG(params.num_vertices >= 2, "need at least two vertices");
+  TCF_CHECK_MSG(params.num_items >= 2, "need at least two items");
+  TCF_CHECK_MSG(params.num_seeds >= 1, "need at least one seed vertex");
+  Rng rng(params.seed);
+
+  Graph g;
+  switch (params.model) {
+    case SynParams::Model::kErdosRenyi:
+      g = ErdosRenyi(params.num_vertices, params.num_edges, rng);
+      break;
+    case SynParams::Model::kBarabasiAlbert: {
+      const size_t attach = std::max<size_t>(
+          1, params.num_edges / std::max<size_t>(1, params.num_vertices));
+      g = BarabasiAlbert(params.num_vertices, attach, rng);
+      break;
+    }
+  }
+
+  ItemDictionary dict;
+  for (size_t i = 0; i < params.num_items; ++i) {
+    dict.GetOrAdd(StrFormat("s%zu", i));
+  }
+
+  const size_t n = g.num_vertices();
+  std::vector<TransactionDb> dbs(n);
+  std::vector<uint8_t> populated(n, 0);
+
+  auto tx_count = [&](VertexId v) {
+    return ExpOfDegree(0.1, g.degree(v), params.max_transactions_per_vertex);
+  };
+  auto tx_length = [&](VertexId v) {
+    return std::min(
+        ExpOfDegree(0.13, g.degree(v), params.max_transaction_length),
+        params.num_items);
+  };
+  auto random_item = [&]() {
+    return static_cast<ItemId>(rng.NextUint64(params.num_items));
+  };
+
+  // Seed vertices: uniform random itemsets over S.
+  const size_t num_seeds = std::min(params.num_seeds, n);
+  std::vector<uint64_t> seed_ids = rng.SampleDistinct(n, num_seeds);
+  std::deque<VertexId> queue;
+  for (uint64_t s : seed_ids) {
+    const VertexId v = static_cast<VertexId>(s);
+    const size_t count = tx_count(v);
+    const size_t len = tx_length(v);
+    for (size_t t = 0; t < count; ++t) {
+      std::unordered_set<ItemId> items;
+      while (items.size() < len) items.insert(random_item());
+      dbs[v].Add(Itemset(std::vector<ItemId>(items.begin(), items.end())));
+    }
+    populated[v] = 1;
+    queue.push_back(v);
+  }
+
+  // BFS propagation: copy transactions from populated neighbours,
+  // re-randomizing `mutation_rate` of each transaction's items.
+  auto populate_from_neighbors = [&](VertexId v) {
+    std::vector<VertexId> sources;
+    for (const Neighbor& nb : g.neighbors(v)) {
+      if (populated[nb.vertex] && !dbs[nb.vertex].empty()) {
+        sources.push_back(nb.vertex);
+      }
+    }
+    const size_t count = tx_count(v);
+    const size_t len = tx_length(v);
+    for (size_t t = 0; t < count; ++t) {
+      std::unordered_set<ItemId> items;
+      if (!sources.empty()) {
+        const TransactionDb& src = dbs[sources[rng.NextUint64(sources.size())]];
+        const Itemset& base = src.transaction(
+            static_cast<Tid>(rng.NextUint64(src.num_transactions())));
+        for (ItemId item : base) {
+          if (rng.NextBool(params.mutation_rate)) {
+            items.insert(random_item());
+          } else {
+            items.insert(item);
+          }
+        }
+      }
+      // Trim or top up so the transaction length is exactly ⌈e^{0.13·d}⌉,
+      // as §7 prescribes (copied transactions may come from a neighbour
+      // of different degree).
+      std::vector<ItemId> final_items(items.begin(), items.end());
+      if (final_items.size() > len) {
+        rng.Shuffle(final_items);
+        final_items.resize(len);
+      } else {
+        std::unordered_set<ItemId> present(final_items.begin(),
+                                           final_items.end());
+        while (present.size() < len) {
+          ItemId it = random_item();
+          if (present.insert(it).second) final_items.push_back(it);
+        }
+      }
+      dbs[v].Add(Itemset(std::move(final_items)));
+    }
+    populated[v] = 1;
+  };
+
+  size_t num_populated = num_seeds;
+  while (num_populated < n) {
+    if (queue.empty()) {
+      // Disconnected remainder: promote an unpopulated vertex.
+      for (VertexId v = 0; v < n; ++v) {
+        if (!populated[v]) {
+          populate_from_neighbors(v);
+          ++num_populated;
+          queue.push_back(v);
+          break;
+        }
+      }
+      continue;
+    }
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (const Neighbor& nb : g.neighbors(u)) {
+      if (!populated[nb.vertex]) {
+        populate_from_neighbors(nb.vertex);
+        ++num_populated;
+        queue.push_back(nb.vertex);
+      }
+    }
+  }
+
+  return DatabaseNetwork(std::move(g), std::move(dbs), std::move(dict));
+}
+
+}  // namespace tcf

@@ -1,0 +1,47 @@
+#ifndef TCF_GEN_SYN_GENERATOR_H_
+#define TCF_GEN_SYN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "net/database_network.h"
+
+namespace tcf {
+
+/// Parameters of the paper's SYN recipe (§7, "Synthetic (SYN) dataset").
+struct SynParams {
+  /// Vertices of the random network (paper: 1e6).
+  size_t num_vertices = 5000;
+  /// Edges of the random network (paper: 1e7).
+  size_t num_edges = 25000;
+  /// Random-graph model. The paper generates its network with JUNG and
+  /// does not name the model; Erdős–Rényi keeps degrees near the mean so
+  /// the e^{0.1·d} database sizes stay bounded, Barabási–Albert adds
+  /// heavy-tailed hubs.
+  enum class Model { kErdosRenyi, kBarabasiAlbert } model = Model::kErdosRenyi;
+  /// Items in S (paper: 1e4), named "s<i>".
+  size_t num_items = 500;
+  /// Seed vertices whose databases are sampled directly from S
+  /// (paper: 1000).
+  size_t num_seeds = 50;
+  /// Fraction of items of each copied transaction that are re-randomized
+  /// for non-seed vertices (paper: 10%).
+  double mutation_rate = 0.1;
+  /// Safety caps on the e^{0.1·d(v)} transaction count and e^{0.13·d(v)}
+  /// transaction length (hub degrees would otherwise explode them).
+  size_t max_transactions_per_vertex = 2000;
+  size_t max_transaction_length = 200;
+  uint64_t seed = 2026;
+};
+
+/// \brief The paper's synthetic database network, generated exactly per
+/// §7's recipe: (1) a random network; (2) 1000 (here: `num_seeds`) seed
+/// vertices whose transactions are random itemsets over S; (3) every
+/// other vertex, visited in breadth-first order, samples transactions
+/// from already-populated neighbours and re-randomizes 10% of the items;
+/// (4) vertex `v` gets ⌈e^{0.1·d(v)}⌉ transactions of length
+/// ⌈e^{0.13·d(v)}⌉.
+DatabaseNetwork GenerateSynNetwork(const SynParams& params);
+
+}  // namespace tcf
+
+#endif  // TCF_GEN_SYN_GENERATOR_H_

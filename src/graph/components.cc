@@ -1,0 +1,99 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace tcf {
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+}  // namespace
+
+ComponentLabels ConnectedComponents(const Graph& g) {
+  DisjointSets ds(g.num_vertices());
+  for (const Edge& e : g.edges()) ds.Union(e.u, e.v);
+
+  ComponentLabels out;
+  out.label.assign(g.num_vertices(), 0);
+  std::map<uint32_t, uint32_t> remap;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    uint32_t root = ds.Find(v);
+    auto [it, inserted] = remap.emplace(root, out.num_components);
+    if (inserted) ++out.num_components;
+    out.label[v] = it->second;
+  }
+  return out;
+}
+
+std::vector<std::vector<VertexId>> ConnectedComponentsOfEdges(
+    const std::vector<Edge>& edges) {
+  // Remap touched vertices to dense ids.
+  std::map<VertexId, uint32_t> dense;
+  for (const Edge& e : edges) {
+    dense.emplace(e.u, 0);
+    dense.emplace(e.v, 0);
+  }
+  uint32_t next = 0;
+  for (auto& [v, id] : dense) id = next++;
+
+  DisjointSets ds(dense.size());
+  for (const Edge& e : edges) ds.Union(dense[e.u], dense[e.v]);
+
+  // Group by root; dense ids ascend with vertex ids, so each component's
+  // vertex list comes out sorted and components order by smallest vertex.
+  std::map<uint32_t, std::vector<VertexId>> groups;
+  for (const auto& [v, id] : dense) groups[ds.Find(id)].push_back(v);
+
+  std::vector<std::vector<VertexId>> out;
+  out.reserve(groups.size());
+  std::vector<std::pair<VertexId, uint32_t>> order;  // (min vertex, root)
+  for (auto& [root, verts] : groups) order.emplace_back(verts.front(), root);
+  std::sort(order.begin(), order.end());
+  for (const auto& [minv, root] : order) out.push_back(std::move(groups[root]));
+  return out;
+}
+
+std::vector<std::vector<Edge>> GroupEdgesByComponent(
+    const std::vector<Edge>& edges) {
+  auto components = ConnectedComponentsOfEdges(edges);
+  // Vertex -> component index.
+  std::map<VertexId, size_t> comp_of;
+  for (size_t c = 0; c < components.size(); ++c) {
+    for (VertexId v : components[c]) comp_of[v] = c;
+  }
+  std::vector<std::vector<Edge>> out(components.size());
+  for (const Edge& e : edges) out[comp_of[e.u]].push_back(e);
+  return out;
+}
+
+}  // namespace tcf

@@ -1,0 +1,41 @@
+#ifndef TCF_GRAPH_COMPONENTS_H_
+#define TCF_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcf {
+
+/// \brief Connected components over a graph or an edge-induced subgraph.
+///
+/// Theme communities are the maximal connected subgraphs of a maximal
+/// pattern truss (Def. 3.5), so community extraction is exactly
+/// `ConnectedComponentsOfEdges` over the truss's edge set.
+
+/// Component label per vertex (0-based, dense). Isolated vertices get
+/// their own component.
+struct ComponentLabels {
+  std::vector<uint32_t> label;  // size = num vertices
+  uint32_t num_components = 0;
+};
+
+/// Components of the full graph (isolated vertices included).
+ComponentLabels ConnectedComponents(const Graph& g);
+
+/// Components of the subgraph induced by `edges` (given as endpoint
+/// pairs). Only vertices incident to at least one listed edge belong to a
+/// component; each inner vector lists one component's vertices, sorted.
+/// Components are ordered by their smallest vertex.
+std::vector<std::vector<VertexId>> ConnectedComponentsOfEdges(
+    const std::vector<Edge>& edges);
+
+/// Splits `edges` into per-component edge lists, aligned with the vertex
+/// components returned by `ConnectedComponentsOfEdges`.
+std::vector<std::vector<Edge>> GroupEdgesByComponent(
+    const std::vector<Edge>& edges);
+
+}  // namespace tcf
+
+#endif  // TCF_GRAPH_COMPONENTS_H_

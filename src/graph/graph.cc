@@ -1,0 +1,27 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace tcf {
+
+EdgeId Graph::FindEdge(VertexId a, VertexId b) const {
+  if (a >= adjacency_.size() || b >= adjacency_.size()) return kInvalidEdge;
+  // Search the shorter adjacency list.
+  if (adjacency_[a].size() > adjacency_[b].size()) std::swap(a, b);
+  const auto& adj = adjacency_[a];
+  auto it = std::lower_bound(
+      adj.begin(), adj.end(), b,
+      [](const Neighbor& n, VertexId v) { return n.vertex < v; });
+  if (it != adj.end() && it->vertex == b) return it->edge;
+  return kInvalidEdge;
+}
+
+uint64_t Graph::SumDegreeSquared() const {
+  uint64_t sum = 0;
+  for (const auto& adj : adjacency_) {
+    sum += static_cast<uint64_t>(adj.size()) * adj.size();
+  }
+  return sum;
+}
+
+}  // namespace tcf

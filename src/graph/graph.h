@@ -1,0 +1,86 @@
+#ifndef TCF_GRAPH_GRAPH_H_
+#define TCF_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tcf {
+
+/// Dense vertex identifier, 0-based.
+using VertexId = uint32_t;
+/// Dense edge identifier, 0-based.
+using EdgeId = uint32_t;
+
+constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+/// An undirected edge; canonical form keeps u < v.
+struct Edge {
+  VertexId u;
+  VertexId v;
+
+  bool operator==(const Edge& o) const { return u == o.u && v == o.v; }
+  bool operator<(const Edge& o) const {
+    return u != o.u ? u < o.u : v < o.v;
+  }
+};
+
+/// Canonicalizes an unordered vertex pair to (min, max).
+inline Edge MakeEdge(VertexId a, VertexId b) {
+  return a < b ? Edge{a, b} : Edge{b, a};
+}
+
+/// One adjacency entry: the neighbour and the id of the connecting edge.
+struct Neighbor {
+  VertexId vertex;
+  EdgeId edge;
+};
+
+/// \brief Immutable, simple (no self-loops, no multi-edges) undirected
+/// graph with dense vertex and edge ids.
+///
+/// Adjacency lists are sorted by neighbour id, which makes triangle
+/// enumeration a sorted-merge intersection and edge lookup a binary
+/// search. Algorithms that delete edges (MPTD, k-truss) keep their own
+/// per-edge alive bitmaps; the `Graph` itself never mutates after
+/// `GraphBuilder::Build`.
+class Graph {
+ public:
+  Graph() = default;
+
+  size_t num_vertices() const { return adjacency_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Endpoints of edge `e`, with `u < v`.
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Sorted adjacency of `v`.
+  std::span<const Neighbor> neighbors(VertexId v) const {
+    return adjacency_[v];
+  }
+
+  size_t degree(VertexId v) const { return adjacency_[v].size(); }
+
+  /// Id of edge {a, b}, or kInvalidEdge if absent. O(log deg).
+  EdgeId FindEdge(VertexId a, VertexId b) const;
+
+  bool HasEdge(VertexId a, VertexId b) const {
+    return FindEdge(a, b) != kInvalidEdge;
+  }
+
+  /// Sum over vertices of degree² — the MPTD complexity measure
+  /// O(Σ d²(v)) from §4.1; reported by the stats module.
+  uint64_t SumDegreeSquared() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_GRAPH_GRAPH_H_

@@ -1,0 +1,53 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace tcf {
+
+void GraphBuilder::ReserveVertices(size_t n) {
+  num_vertices_ = std::max(num_vertices_, n);
+}
+
+Status GraphBuilder::AddEdge(VertexId a, VertexId b) {
+  if (a == b) {
+    return Status::InvalidArgument("self-loop on vertex " +
+                                   std::to_string(a));
+  }
+  pending_.push_back(MakeEdge(a, b));
+  num_vertices_ =
+      std::max(num_vertices_, static_cast<size_t>(std::max(a, b)) + 1);
+  return Status::OK();
+}
+
+Graph GraphBuilder::Build() {
+  std::sort(pending_.begin(), pending_.end());
+  pending_.erase(std::unique(pending_.begin(), pending_.end()),
+                 pending_.end());
+
+  Graph g;
+  g.edges_ = std::move(pending_);
+  pending_.clear();
+  g.adjacency_.assign(num_vertices_, {});
+
+  std::vector<uint32_t> deg(num_vertices_, 0);
+  for (const Edge& e : g.edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  for (size_t v = 0; v < num_vertices_; ++v) g.adjacency_[v].reserve(deg[v]);
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const Edge& e = g.edges_[id];
+    g.adjacency_[e.u].push_back({e.v, id});
+    g.adjacency_[e.v].push_back({e.u, id});
+  }
+  for (auto& adj : g.adjacency_) {
+    std::sort(adj.begin(), adj.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                return a.vertex < b.vertex;
+              });
+  }
+  num_vertices_ = 0;
+  return g;
+}
+
+}  // namespace tcf

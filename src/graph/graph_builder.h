@@ -1,0 +1,42 @@
+#ifndef TCF_GRAPH_GRAPH_BUILDER_H_
+#define TCF_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// \brief Accumulates edges and produces an immutable `Graph`.
+///
+/// Self-loops are rejected; duplicate edges are coalesced (the graph is
+/// simple). Vertex count grows to cover the largest endpoint unless fixed
+/// up-front with `ReserveVertices`.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  /// Pre-declares `n` vertices (ids 0..n-1), possibly isolated.
+  explicit GraphBuilder(size_t n) : num_vertices_(n) {}
+
+  /// Ensures the graph has at least `n` vertices.
+  void ReserveVertices(size_t n);
+
+  /// Adds undirected edge {a, b}. Self-loops return InvalidArgument.
+  /// Duplicates are accepted and coalesced at Build time.
+  Status AddEdge(VertexId a, VertexId b);
+
+  size_t num_pending_edges() const { return pending_.size(); }
+
+  /// Sorts, dedups, assigns edge ids in canonical (u,v) order and builds
+  /// sorted adjacency. The builder is left empty.
+  Graph Build();
+
+ private:
+  size_t num_vertices_ = 0;
+  std::vector<Edge> pending_;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_GRAPH_GRAPH_BUILDER_H_

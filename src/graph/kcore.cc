@@ -1,0 +1,69 @@
+#include "graph/kcore.h"
+
+#include <algorithm>
+
+namespace tcf {
+
+std::vector<uint32_t> CoreDecomposition(const Graph& g) {
+  const size_t n = g.num_vertices();
+  std::vector<uint32_t> deg(n);
+  uint32_t max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = static_cast<uint32_t>(g.degree(v));
+    max_deg = std::max(max_deg, deg[v]);
+  }
+
+  // Bucket sort vertices by degree (Matula–Beck).
+  std::vector<uint32_t> bin(max_deg + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bin[deg[v]];
+  uint32_t start = 0;
+  for (uint32_t d = 0; d <= max_deg; ++d) {
+    uint32_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<VertexId> order(n);
+  std::vector<uint32_t> pos(n);
+  {
+    std::vector<uint32_t> next = bin;
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = next[deg[v]]++;
+      order[pos[v]] = v;
+    }
+  }
+
+  std::vector<uint32_t> core(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const VertexId v = order[i];
+    core[v] = deg[v];
+    for (const Neighbor& nb : g.neighbors(v)) {
+      const VertexId u = nb.vertex;
+      if (deg[u] > deg[v]) {
+        // Move u one bucket down: swap into the head of its bucket.
+        const uint32_t du = deg[u];
+        const uint32_t pu = pos[u];
+        const uint32_t pw = bin[du];
+        const VertexId w = order[pw];
+        if (u != w) {
+          std::swap(order[pu], order[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bin[du];
+        --deg[u];
+      }
+    }
+  }
+  return core;
+}
+
+std::vector<VertexId> KCoreVertices(const Graph& g, uint32_t k) {
+  auto core = CoreDecomposition(g);
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (core[v] >= k) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace tcf

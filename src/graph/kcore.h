@@ -1,0 +1,25 @@
+#ifndef TCF_GRAPH_KCORE_H_
+#define TCF_GRAPH_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcf {
+
+/// \brief k-core decomposition (Seidman; related work §2.1).
+///
+/// The core number of a vertex is the largest k such that the vertex
+/// belongs to a subgraph of minimum degree k. A connected k-truss is a
+/// (k−1)-core, which the tests verify against MPTD's special case.
+
+/// Core number per vertex (Matula–Beck peeling, O(n + m)).
+std::vector<uint32_t> CoreDecomposition(const Graph& g);
+
+/// Vertices of the maximal k-core (possibly empty), ascending.
+std::vector<VertexId> KCoreVertices(const Graph& g, uint32_t k);
+
+}  // namespace tcf
+
+#endif  // TCF_GRAPH_KCORE_H_

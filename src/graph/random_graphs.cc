@@ -1,0 +1,111 @@
+#include "graph/random_graphs.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace tcf {
+
+namespace {
+uint64_t PairKey(VertexId a, VertexId b) {
+  Edge e = MakeEdge(a, b);
+  return (static_cast<uint64_t>(e.u) << 32) | e.v;
+}
+}  // namespace
+
+Graph ErdosRenyi(size_t n, size_t m, Rng& rng) {
+  GraphBuilder builder(n);
+  if (n < 2) return builder.Build();
+  const uint64_t max_edges = static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = static_cast<size_t>(std::min<uint64_t>(m, max_edges));
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(m * 2);
+  while (seen.size() < m) {
+    VertexId a = static_cast<VertexId>(rng.NextUint64(n));
+    VertexId b = static_cast<VertexId>(rng.NextUint64(n));
+    if (a == b) continue;
+    if (seen.insert(PairKey(a, b)).second) {
+      TCF_CHECK(builder.AddEdge(a, b).ok());
+    }
+  }
+  return builder.Build();
+}
+
+Graph BarabasiAlbert(size_t n, size_t attach, Rng& rng) {
+  TCF_CHECK_MSG(attach >= 1, "BarabasiAlbert requires attach >= 1");
+  const size_t m0 = attach + 1;
+  GraphBuilder builder(n);
+  if (n <= m0) {
+    // Too small for attachment: emit a clique on n vertices.
+    for (VertexId a = 0; a < n; ++a) {
+      for (VertexId b = a + 1; b < n; ++b) {
+        TCF_CHECK(builder.AddEdge(a, b).ok());
+      }
+    }
+    return builder.Build();
+  }
+
+  // `targets` holds one entry per edge endpoint, so uniform sampling from
+  // it is degree-proportional sampling.
+  std::vector<VertexId> targets;
+  targets.reserve(2 * attach * n);
+  for (VertexId a = 0; a < m0; ++a) {
+    for (VertexId b = a + 1; b < m0; ++b) {
+      TCF_CHECK(builder.AddEdge(a, b).ok());
+      targets.push_back(a);
+      targets.push_back(b);
+    }
+  }
+  for (VertexId v = static_cast<VertexId>(m0); v < n; ++v) {
+    std::unordered_set<VertexId> chosen;
+    while (chosen.size() < attach) {
+      VertexId t = targets[rng.NextUint64(targets.size())];
+      chosen.insert(t);
+    }
+    for (VertexId t : chosen) {
+      TCF_CHECK(builder.AddEdge(v, t).ok());
+      targets.push_back(v);
+      targets.push_back(t);
+    }
+  }
+  return builder.Build();
+}
+
+Graph WattsStrogatz(size_t n, size_t k, double beta, Rng& rng) {
+  TCF_CHECK_MSG(k >= 1, "WattsStrogatz requires k >= 1");
+  GraphBuilder builder(n);
+  if (n < 3) {
+    if (n == 2) TCF_CHECK(builder.AddEdge(0, 1).ok());
+    return builder.Build();
+  }
+  k = std::min(k, (n - 1) / 2);
+
+  std::unordered_set<uint64_t> present;
+  auto add = [&](VertexId a, VertexId b) {
+    if (a == b) return false;
+    if (!present.insert(PairKey(a, b)).second) return false;
+    TCF_CHECK(builder.AddEdge(a, b).ok());
+    return true;
+  };
+
+  for (VertexId v = 0; v < n; ++v) {
+    for (size_t off = 1; off <= k; ++off) {
+      VertexId u = static_cast<VertexId>((v + off) % n);
+      if (rng.NextBool(beta)) {
+        // Rewire: random endpoint avoiding self-loops and duplicates.
+        for (int tries = 0; tries < 32; ++tries) {
+          VertexId w = static_cast<VertexId>(rng.NextUint64(n));
+          if (add(v, w)) break;
+        }
+      } else {
+        add(v, u);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace tcf

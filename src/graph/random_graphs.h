@@ -1,0 +1,34 @@
+#ifndef TCF_GRAPH_RANDOM_GRAPHS_H_
+#define TCF_GRAPH_RANDOM_GRAPHS_H_
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace tcf {
+
+/// \brief Random graph models used by the dataset generators.
+///
+/// The paper's SYN dataset uses a JUNG-generated network; BK/GW are
+/// small-world friendship graphs; AMINER is a heavy-tailed collaboration
+/// graph. We provide the three standard models those observations map to.
+
+/// Erdős–Rényi G(n, m): `m` distinct uniform edges over `n` vertices.
+/// m is clamped to n*(n-1)/2.
+Graph ErdosRenyi(size_t n, size_t m, Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a clique of
+/// `m0 = attach + 1` vertices, then each new vertex attaches to `attach`
+/// existing vertices chosen proportionally to degree. Heavy-tailed degree
+/// distribution, as in collaboration networks.
+Graph BarabasiAlbert(size_t n, size_t attach, Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbours
+/// per side rewired with probability `beta`. High clustering + short
+/// paths, as in friendship networks. `k` must be >= 1.
+Graph WattsStrogatz(size_t n, size_t k, double beta, Rng& rng);
+
+}  // namespace tcf
+
+#endif  // TCF_GRAPH_RANDOM_GRAPHS_H_

@@ -1,0 +1,37 @@
+#ifndef TCF_GRAPH_TRIANGLES_H_
+#define TCF_GRAPH_TRIANGLES_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace tcf {
+
+/// \brief Triangle enumeration over sorted adjacency lists.
+///
+/// Every triangle containing edge {u, v} corresponds to one common
+/// neighbour w of u and v (§3.2), so enumeration is a sorted-merge of the
+/// two adjacency lists, O(deg(u) + deg(v)) per edge and O(Σ d²(v)) total —
+/// the complexity bound MPTD inherits (§4.1).
+
+/// Calls `fn(w, e_uw, e_vw)` for every common neighbour w of edge `e`'s
+/// endpoints. `alive` (optional) masks deleted edges: a triangle is
+/// reported only if both wing edges (and implicitly `e` itself) are alive.
+void ForEachTriangle(const Graph& g, EdgeId e,
+                     const std::vector<uint8_t>* alive,
+                     const std::function<void(VertexId, EdgeId, EdgeId)>& fn);
+
+/// Number of triangles containing each edge (the classic "edge support").
+std::vector<uint32_t> CountEdgeTriangles(const Graph& g);
+
+/// Total number of distinct triangles in `g`.
+uint64_t CountTriangles(const Graph& g);
+
+/// Exhaustive O(n³) reference counter for tests.
+uint64_t CountTrianglesBruteForce(const Graph& g);
+
+}  // namespace tcf
+
+#endif  // TCF_GRAPH_TRIANGLES_H_

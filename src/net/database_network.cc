@@ -1,0 +1,54 @@
+#include "net/database_network.h"
+
+#include "util/logging.h"
+
+namespace tcf {
+
+const std::vector<VertexFrequency> DatabaseNetwork::kNoVertices;
+
+DatabaseNetwork::DatabaseNetwork(Graph graph,
+                                 std::vector<TransactionDb> databases,
+                                 ItemDictionary dictionary)
+    : graph_(std::move(graph)),
+      databases_(std::move(databases)),
+      dictionary_(std::move(dictionary)) {
+  TCF_CHECK_MSG(databases_.size() == graph_.num_vertices(),
+                "one transaction database per vertex required");
+  verticals_.reserve(databases_.size());
+  for (const TransactionDb& db : databases_) {
+    verticals_.push_back(std::make_unique<VerticalIndex>(db));
+  }
+  // Item -> vertices with positive singleton frequency.
+  for (VertexId v = 0; v < databases_.size(); ++v) {
+    const VerticalIndex& vi = *verticals_[v];
+    const double n = static_cast<double>(vi.num_transactions());
+    if (n == 0) continue;
+    for (ItemId item : vi.items()) {
+      const double freq = static_cast<double>(vi.TidList(item).size()) / n;
+      if (freq > 0) {
+        if (item_vertices_.size() <= item) item_vertices_.resize(item + 1);
+        item_vertices_[item].push_back({v, freq});
+      }
+    }
+  }
+}
+
+double DatabaseNetwork::Frequency(VertexId v, const Itemset& p) const {
+  return verticals_[v]->Frequency(p);
+}
+
+const std::vector<VertexFrequency>& DatabaseNetwork::ItemVertices(
+    ItemId item) const {
+  if (item >= item_vertices_.size()) return kNoVertices;
+  return item_vertices_[item];
+}
+
+std::vector<ItemId> DatabaseNetwork::ActiveItems() const {
+  std::vector<ItemId> out;
+  for (ItemId item = 0; item < item_vertices_.size(); ++item) {
+    if (!item_vertices_[item].empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace tcf

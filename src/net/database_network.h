@@ -1,0 +1,87 @@
+#ifndef TCF_NET_DATABASE_NETWORK_H_
+#define TCF_NET_DATABASE_NETWORK_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tx/item_dictionary.h"
+#include "tx/itemset.h"
+#include "tx/transaction_db.h"
+#include "tx/vertical_index.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// A vertex together with a pattern frequency, used by item indexes and
+/// theme networks.
+struct VertexFrequency {
+  VertexId vertex;
+  double frequency;
+
+  bool operator==(const VertexFrequency& o) const {
+    return vertex == o.vertex && frequency == o.frequency;
+  }
+};
+
+/// \brief A database network `G = (V, E, D, S)` (§3.1): an undirected
+/// graph whose every vertex carries a transaction database over the
+/// global item set `S`.
+///
+/// Construction takes ownership of the graph, the per-vertex databases
+/// (aligned with vertex ids) and the item dictionary. Two indexes are
+/// built eagerly:
+///  - a per-vertex `VerticalIndex` (tid-lists), making `Frequency` a
+///    sorted-list intersection rather than a database scan; and
+///  - an item→vertex index listing, for each item `s`, the vertices with
+///    `f_i({s}) > 0` — exactly the vertex set of the singleton theme
+///    network `G_{{s}}`, which seeds TCFA/TCFI level 1 and the TC-Tree
+///    first layer.
+class DatabaseNetwork {
+ public:
+  /// `databases.size()` must equal `graph.num_vertices()`.
+  DatabaseNetwork(Graph graph, std::vector<TransactionDb> databases,
+                  ItemDictionary dictionary);
+
+  DatabaseNetwork(const DatabaseNetwork&) = delete;
+  DatabaseNetwork& operator=(const DatabaseNetwork&) = delete;
+  DatabaseNetwork(DatabaseNetwork&&) = default;
+  DatabaseNetwork& operator=(DatabaseNetwork&&) = default;
+
+  const Graph& graph() const { return graph_; }
+  size_t num_vertices() const { return graph_.num_vertices(); }
+  size_t num_edges() const { return graph_.num_edges(); }
+  size_t num_items() const { return dictionary_.size(); }
+
+  const TransactionDb& db(VertexId v) const { return databases_[v]; }
+  const std::vector<TransactionDb>& databases() const { return databases_; }
+
+  const ItemDictionary& dictionary() const { return dictionary_; }
+  ItemDictionary& mutable_dictionary() { return dictionary_; }
+
+  /// Pattern frequency `f_v(p)` via the vertex's vertical index.
+  double Frequency(VertexId v, const Itemset& p) const;
+
+  /// The vertical index of vertex `v`.
+  const VerticalIndex& vertical(VertexId v) const { return *verticals_[v]; }
+
+  /// Vertices with `f_i({item}) > 0`, with their frequencies, ascending
+  /// by vertex id. Empty for out-of-range items.
+  const std::vector<VertexFrequency>& ItemVertices(ItemId item) const;
+
+  /// All item ids present in at least one vertex database.
+  std::vector<ItemId> ActiveItems() const;
+
+ private:
+  Graph graph_;
+  std::vector<TransactionDb> databases_;
+  ItemDictionary dictionary_;
+  std::vector<std::unique_ptr<VerticalIndex>> verticals_;
+  std::vector<std::vector<VertexFrequency>> item_vertices_;
+  static const std::vector<VertexFrequency> kNoVertices;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_NET_DATABASE_NETWORK_H_

@@ -1,0 +1,196 @@
+#include "net/network_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+
+namespace tcf {
+
+std::string EscapeItemName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char ch : name) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case ' ': out += "\\s"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> UnescapeItemName(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') {
+      out += escaped[i];
+      continue;
+    }
+    if (i + 1 >= escaped.size()) {
+      return Status::Corruption("dangling escape in item name");
+    }
+    switch (escaped[++i]) {
+      case '\\': out += '\\'; break;
+      case 's': out += ' '; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      default:
+        return Status::Corruption("bad escape in item name");
+    }
+  }
+  return out;
+}
+
+Status SaveNetwork(const DatabaseNetwork& net, std::ostream& os) {
+  os << "tcf-dbnet 1\n";
+  os << "vertices " << net.num_vertices() << "\n";
+  os << "items " << net.dictionary().size() << "\n";
+  for (ItemId i = 0; i < net.dictionary().size(); ++i) {
+    os << "i " << i << " " << EscapeItemName(net.dictionary().Name(i)) << "\n";
+  }
+  for (const Edge& e : net.graph().edges()) {
+    os << "e " << e.u << " " << e.v << "\n";
+  }
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    const TransactionDb& db = net.db(v);
+    os << "d " << v << " " << db.num_transactions() << "\n";
+    for (const Itemset& t : db.transactions()) {
+      os << "t";
+      for (ItemId item : t) os << " " << item;
+      os << "\n";
+    }
+  }
+  os << "end\n";
+  if (!os.good()) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status SaveNetworkToFile(const DatabaseNetwork& net, const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open for write: " + path);
+  return SaveNetwork(net, f);
+}
+
+namespace {
+
+Status NextDataLine(std::istream& is, std::string* line) {
+  while (std::getline(is, *line)) {
+    std::string_view t = Trim(*line);
+    if (t.empty() || t[0] == '#') continue;
+    *line = std::string(t);
+    return Status::OK();
+  }
+  return Status::Corruption("unexpected end of network file");
+}
+
+}  // namespace
+
+StatusOr<DatabaseNetwork> LoadNetwork(std::istream& is) {
+  std::string line;
+  TCF_RETURN_IF_ERROR(NextDataLine(is, &line));
+  if (line != "tcf-dbnet 1") {
+    return Status::Corruption("bad magic, expected 'tcf-dbnet 1', got: " +
+                              line);
+  }
+
+  TCF_RETURN_IF_ERROR(NextDataLine(is, &line));
+  auto fields = SplitWhitespace(line);
+  if (fields.size() != 2 || fields[0] != "vertices") {
+    return Status::Corruption("expected 'vertices <n>'");
+  }
+  auto n_or = ParseUint64(fields[1]);
+  if (!n_or.ok()) return n_or.status();
+  const size_t n = *n_or;
+
+  TCF_RETURN_IF_ERROR(NextDataLine(is, &line));
+  fields = SplitWhitespace(line);
+  if (fields.size() != 2 || fields[0] != "items") {
+    return Status::Corruption("expected 'items <k>'");
+  }
+  auto k_or = ParseUint64(fields[1]);
+  if (!k_or.ok()) return k_or.status();
+  const size_t k = *k_or;
+
+  ItemDictionary dict;
+  GraphBuilder builder(n);
+  std::vector<TransactionDb> dbs(n);
+
+  size_t items_seen = 0;
+  for (;;) {
+    TCF_RETURN_IF_ERROR(NextDataLine(is, &line));
+    if (line == "end") break;
+    fields = SplitWhitespace(line);
+    if (fields.empty()) continue;
+    const std::string& tag = fields[0];
+
+    if (tag == "i") {
+      if (fields.size() != 3) return Status::Corruption("bad item line");
+      auto id_or = ParseUint64(fields[1]);
+      if (!id_or.ok()) return id_or.status();
+      auto name_or = UnescapeItemName(fields[2]);
+      if (!name_or.ok()) return name_or.status();
+      ItemId got = dict.GetOrAdd(*name_or);
+      if (got != *id_or) {
+        return Status::Corruption("item ids must be dense and in order");
+      }
+      ++items_seen;
+    } else if (tag == "e") {
+      if (fields.size() != 3) return Status::Corruption("bad edge line");
+      auto u_or = ParseUint64(fields[1]);
+      auto v_or = ParseUint64(fields[2]);
+      if (!u_or.ok()) return u_or.status();
+      if (!v_or.ok()) return v_or.status();
+      if (*u_or >= n || *v_or >= n) {
+        return Status::Corruption("edge endpoint out of range");
+      }
+      Status s = builder.AddEdge(static_cast<VertexId>(*u_or),
+                                 static_cast<VertexId>(*v_or));
+      if (!s.ok()) return s;
+    } else if (tag == "d") {
+      if (fields.size() != 3) return Status::Corruption("bad db header");
+      auto v_or = ParseUint64(fields[1]);
+      auto c_or = ParseUint64(fields[2]);
+      if (!v_or.ok()) return v_or.status();
+      if (!c_or.ok()) return c_or.status();
+      if (*v_or >= n) return Status::Corruption("db vertex out of range");
+      TransactionDb& db = dbs[*v_or];
+      for (uint64_t t = 0; t < *c_or; ++t) {
+        TCF_RETURN_IF_ERROR(NextDataLine(is, &line));
+        auto tf = SplitWhitespace(line);
+        if (tf.empty() || tf[0] != "t") {
+          return Status::Corruption("expected transaction line");
+        }
+        std::vector<ItemId> items;
+        items.reserve(tf.size() - 1);
+        for (size_t i = 1; i < tf.size(); ++i) {
+          auto item_or = ParseUint64(tf[i]);
+          if (!item_or.ok()) return item_or.status();
+          if (*item_or >= k) {
+            return Status::Corruption("item id out of range in transaction");
+          }
+          items.push_back(static_cast<ItemId>(*item_or));
+        }
+        db.Add(Itemset(std::move(items)));
+      }
+    } else {
+      return Status::Corruption("unknown line tag: " + tag);
+    }
+  }
+  if (items_seen != k) {
+    return Status::Corruption("item count mismatch");
+  }
+  return DatabaseNetwork(builder.Build(), std::move(dbs), std::move(dict));
+}
+
+StatusOr<DatabaseNetwork> LoadNetworkFromFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::IOError("cannot open for read: " + path);
+  return LoadNetwork(f);
+}
+
+}  // namespace tcf

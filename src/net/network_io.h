@@ -1,0 +1,39 @@
+#ifndef TCF_NET_NETWORK_IO_H_
+#define TCF_NET_NETWORK_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "net/database_network.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// \brief Versioned plain-text serialization of database networks.
+///
+/// Format (line oriented, '#' comments allowed before the header):
+/// \code
+///   tcf-dbnet 1
+///   vertices <n>
+///   items <k>
+///   i <id> <name>          # one per item, ids dense 0..k-1
+///   e <u> <v>              # one per edge
+///   d <vertex> <num_tx>    # database header, then num_tx lines:
+///   t <item> <item> ...    # one transaction (may be empty: "t")
+///   end
+/// \endcode
+/// Item names are escaped: '\\' -> "\\\\", ' ' -> "\\s", '\n' -> "\\n".
+
+Status SaveNetwork(const DatabaseNetwork& net, std::ostream& os);
+Status SaveNetworkToFile(const DatabaseNetwork& net, const std::string& path);
+
+StatusOr<DatabaseNetwork> LoadNetwork(std::istream& is);
+StatusOr<DatabaseNetwork> LoadNetworkFromFile(const std::string& path);
+
+/// Escapes/unescapes item names for the text format.
+std::string EscapeItemName(const std::string& name);
+StatusOr<std::string> UnescapeItemName(const std::string& escaped);
+
+}  // namespace tcf
+
+#endif  // TCF_NET_NETWORK_IO_H_

@@ -1,0 +1,107 @@
+#include "net/sampler.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+
+namespace tcf {
+
+StatusOr<DatabaseNetwork> SampleByBfs(const DatabaseNetwork& net,
+                                      size_t target_edges, Rng& rng) {
+  if (target_edges == 0) {
+    return Status::InvalidArgument("target_edges must be positive");
+  }
+  if (target_edges > net.num_edges()) {
+    return Status::OutOfRange("network has " +
+                              std::to_string(net.num_edges()) +
+                              " edges, requested " +
+                              std::to_string(target_edges));
+  }
+
+  const Graph& g = net.graph();
+  const size_t n = g.num_vertices();
+  std::vector<uint8_t> visited(n, 0);
+  std::vector<uint8_t> edge_taken(g.num_edges(), 0);
+  std::vector<Edge> sampled;
+  sampled.reserve(target_edges);
+  std::deque<VertexId> queue;
+
+  size_t num_visited = 0;
+  auto push_seed = [&]() -> bool {
+    if (num_visited == n) return false;
+    // Random unvisited seed; fall back to a scan when density of
+    // unvisited vertices is low.
+    for (int tries = 0; tries < 64; ++tries) {
+      VertexId s = static_cast<VertexId>(rng.NextUint64(n));
+      if (!visited[s]) {
+        visited[s] = 1;
+        ++num_visited;
+        queue.push_back(s);
+        return true;
+      }
+    }
+    for (VertexId s = 0; s < n; ++s) {
+      if (!visited[s]) {
+        visited[s] = 1;
+        ++num_visited;
+        queue.push_back(s);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  TCF_CHECK(push_seed());
+  while (sampled.size() < target_edges) {
+    if (queue.empty()) {
+      if (!push_seed()) break;  // all vertices visited
+      continue;
+    }
+    VertexId u = queue.front();
+    queue.pop_front();
+    for (const Neighbor& nb : g.neighbors(u)) {
+      if (!edge_taken[nb.edge]) {
+        edge_taken[nb.edge] = 1;
+        sampled.push_back(g.edge(nb.edge));
+        if (!visited[nb.vertex]) {
+          visited[nb.vertex] = 1;
+          ++num_visited;
+          queue.push_back(nb.vertex);
+        }
+        if (sampled.size() == target_edges) break;
+      } else if (!visited[nb.vertex]) {
+        visited[nb.vertex] = 1;
+        ++num_visited;
+        queue.push_back(nb.vertex);
+      }
+    }
+  }
+  TCF_CHECK_MSG(sampled.size() == target_edges,
+                "BFS sampling exhausted the graph prematurely");
+
+  // Dense remap of touched vertices, in first-touch (sorted) order.
+  std::unordered_map<VertexId, VertexId> remap;
+  std::vector<VertexId> originals;
+  auto touch = [&](VertexId v) {
+    auto [it, inserted] =
+        remap.emplace(v, static_cast<VertexId>(originals.size()));
+    if (inserted) originals.push_back(v);
+    return it->second;
+  };
+
+  GraphBuilder builder;
+  for (const Edge& e : sampled) {
+    TCF_CHECK(builder.AddEdge(touch(e.u), touch(e.v)).ok());
+  }
+  Graph sub = builder.Build();
+
+  std::vector<TransactionDb> dbs(originals.size());
+  for (size_t i = 0; i < originals.size(); ++i) dbs[i] = net.db(originals[i]);
+
+  ItemDictionary dict = net.dictionary();  // copy, ids preserved
+  return DatabaseNetwork(std::move(sub), std::move(dbs), std::move(dict));
+}
+
+}  // namespace tcf

@@ -1,0 +1,30 @@
+#ifndef TCF_NET_SAMPLER_H_
+#define TCF_NET_SAMPLER_H_
+
+#include <cstddef>
+
+#include "net/database_network.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// \brief Breadth-first edge sampling of a database network (§7.1/§7.2).
+///
+/// The paper builds its scalability series by BFS from a random seed
+/// vertex until a target number of edges is collected. We mirror that:
+/// starting from a random seed, vertices are visited in BFS order and
+/// every scanned edge is taken until `target_edges` have been collected;
+/// if a connected component is exhausted first, BFS restarts from a new
+/// random unvisited seed. Vertex ids are remapped densely; each sampled
+/// vertex keeps a full copy of its transaction database; the item
+/// dictionary is copied verbatim (ids remain comparable across samples).
+///
+/// Returns InvalidArgument if `target_edges` is 0, OutOfRange if the
+/// network has fewer edges than requested.
+StatusOr<DatabaseNetwork> SampleByBfs(const DatabaseNetwork& net,
+                                      size_t target_edges, Rng& rng);
+
+}  // namespace tcf
+
+#endif  // TCF_NET_SAMPLER_H_

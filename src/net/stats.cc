@@ -1,0 +1,46 @@
+#include "net/stats.h"
+
+#include <unordered_set>
+
+namespace tcf {
+
+NetworkStats ComputeStats(const DatabaseNetwork& net) {
+  NetworkStats s;
+  s.num_vertices = net.num_vertices();
+  s.num_edges = net.num_edges();
+  s.sum_degree_squared = net.graph().SumDegreeSquared();
+
+  std::unordered_set<ItemId> unique;
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    const TransactionDb& db = net.db(v);
+    s.num_transactions += db.num_transactions();
+    for (const Itemset& t : db.transactions()) {
+      s.num_items_total += t.size();
+      for (ItemId item : t) unique.insert(item);
+    }
+  }
+  s.num_items_unique = unique.size();
+
+  if (s.num_vertices > 0) {
+    s.avg_degree = 2.0 * static_cast<double>(s.num_edges) /
+                   static_cast<double>(s.num_vertices);
+    s.avg_transactions_per_vertex =
+        static_cast<double>(s.num_transactions) /
+        static_cast<double>(s.num_vertices);
+  }
+  if (s.num_transactions > 0) {
+    s.avg_transaction_length = static_cast<double>(s.num_items_total) /
+                               static_cast<double>(s.num_transactions);
+  }
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const NetworkStats& s) {
+  os << "vertices=" << s.num_vertices << " edges=" << s.num_edges
+     << " transactions=" << s.num_transactions
+     << " items_total=" << s.num_items_total
+     << " items_unique=" << s.num_items_unique;
+  return os;
+}
+
+}  // namespace tcf

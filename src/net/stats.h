@@ -1,0 +1,31 @@
+#ifndef TCF_NET_STATS_H_
+#define TCF_NET_STATS_H_
+
+#include <cstdint>
+#include <ostream>
+
+#include "net/database_network.h"
+
+namespace tcf {
+
+/// \brief The dataset statistics the paper reports in Table 2.
+struct NetworkStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint64_t num_transactions = 0;   // Σ_v |d_v|
+  uint64_t num_items_total = 0;    // Σ_v Σ_t |t|  ("#Items (total)")
+  uint64_t num_items_unique = 0;   // |S|          ("#Items (unique)")
+  double avg_degree = 0.0;
+  double avg_transactions_per_vertex = 0.0;
+  double avg_transaction_length = 0.0;
+  uint64_t sum_degree_squared = 0;  // MPTD cost measure O(Σ d²)
+};
+
+/// One pass over the network.
+NetworkStats ComputeStats(const DatabaseNetwork& net);
+
+std::ostream& operator<<(std::ostream& os, const NetworkStats& s);
+
+}  // namespace tcf
+
+#endif  // TCF_NET_STATS_H_

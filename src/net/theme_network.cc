@@ -1,0 +1,105 @@
+#include "net/theme_network.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tcf {
+
+double ThemeNetwork::FrequencyOf(VertexId v) const {
+  auto it = std::lower_bound(vertices.begin(), vertices.end(), v);
+  if (it == vertices.end() || *it != v) return 0.0;
+  return frequencies[static_cast<size_t>(it - vertices.begin())];
+}
+
+ThemeNetwork InduceThemeNetwork(const DatabaseNetwork& net,
+                                const Itemset& pattern) {
+  ThemeNetwork tn;
+  tn.pattern = pattern;
+  if (pattern.empty()) {
+    // G_∅ is the whole network with f ≡ 1 on non-empty databases (every
+    // transaction contains ∅). Vertices with empty databases stay out.
+    for (VertexId v = 0; v < net.num_vertices(); ++v) {
+      if (net.db(v).num_transactions() > 0) {
+        tn.vertices.push_back(v);
+        tn.frequencies.push_back(1.0);
+      }
+    }
+  } else {
+    // Candidate vertices: the item with the fewest carriers bounds the
+    // vertex set of G_p from above (anti-monotonicity on vertices).
+    const std::vector<VertexFrequency>* seed = &net.ItemVertices(pattern[0]);
+    for (size_t i = 1; i < pattern.size(); ++i) {
+      const auto& cand = net.ItemVertices(pattern[i]);
+      if (cand.size() < seed->size()) seed = &cand;
+    }
+    for (const VertexFrequency& vf : *seed) {
+      const double f = pattern.size() == 1
+                           ? vf.frequency
+                           : net.Frequency(vf.vertex, pattern);
+      if (f > 0) {
+        tn.vertices.push_back(vf.vertex);
+        tn.frequencies.push_back(f);
+      }
+    }
+  }
+
+  // Membership test over the sorted vertex list.
+  auto member = [&](VertexId v) {
+    auto it = std::lower_bound(tn.vertices.begin(), tn.vertices.end(), v);
+    return it != tn.vertices.end() && *it == v;
+  };
+  for (VertexId u : tn.vertices) {
+    for (const Neighbor& nb : net.graph().neighbors(u)) {
+      if (nb.vertex > u && member(nb.vertex)) {
+        tn.edges.push_back({u, nb.vertex});
+      }
+    }
+  }
+  std::sort(tn.edges.begin(), tn.edges.end());
+  return tn;
+}
+
+ThemeNetwork InduceThemeNetworkFromEdges(
+    const DatabaseNetwork& net, const Itemset& pattern,
+    const std::vector<Edge>& candidate_edges) {
+  ThemeNetwork tn;
+  tn.pattern = pattern;
+
+  // Collect distinct endpoints.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(candidate_edges.size() * 2);
+  for (const Edge& e : candidate_edges) {
+    endpoints.push_back(e.u);
+    endpoints.push_back(e.v);
+  }
+  std::sort(endpoints.begin(), endpoints.end());
+  endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
+                  endpoints.end());
+
+  // Frequency-check each endpoint once.
+  std::unordered_map<VertexId, double> freq;
+  freq.reserve(endpoints.size() * 2);
+  for (VertexId v : endpoints) {
+    const double f = net.Frequency(v, pattern);
+    if (f > 0) {
+      tn.vertices.push_back(v);
+      tn.frequencies.push_back(f);
+      freq.emplace(v, f);
+    }
+  }
+
+  for (const Edge& e : candidate_edges) {
+    if (freq.count(e.u) && freq.count(e.v)) tn.edges.push_back(e);
+  }
+  std::sort(tn.edges.begin(), tn.edges.end());
+  tn.edges.erase(std::unique(tn.edges.begin(), tn.edges.end()),
+                 tn.edges.end());
+
+  // Drop vertices that lost all incident edges? No: Def. 3.3 induces the
+  // truss from edges anyway, and MPTD ignores isolated vertices; keeping
+  // them preserves the formal V_p for inspection.
+  return tn;
+}
+
+}  // namespace tcf

@@ -1,0 +1,50 @@
+#ifndef TCF_NET_THEME_NETWORK_H_
+#define TCF_NET_THEME_NETWORK_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/database_network.h"
+#include "tx/itemset.h"
+
+namespace tcf {
+
+/// \brief A theme network `G_p` (§3.1): the subgraph of the database
+/// network induced by the vertices with `f_i(p) > 0`, annotated with
+/// those frequencies.
+///
+/// Vertices keep their *global* ids; MPTD remaps to dense local ids
+/// internally. `vertices` is sorted ascending and `frequencies` is
+/// parallel to it; `edges` is sorted in canonical (u,v) order.
+struct ThemeNetwork {
+  Itemset pattern;
+  std::vector<VertexId> vertices;
+  std::vector<double> frequencies;
+  std::vector<Edge> edges;
+
+  size_t num_vertices() const { return vertices.size(); }
+  size_t num_edges() const { return edges.size(); }
+  bool empty() const { return edges.empty(); }
+
+  /// Frequency of `v` in this theme network; 0 if `v` is not a member.
+  double FrequencyOf(VertexId v) const;
+};
+
+/// Induces `G_p` from the full database network. Implementation note:
+/// the vertex set starts from the item→vertex index of the rarest item
+/// of `p` and is filtered by full-pattern frequency, so the cost is
+/// proportional to the rarest item's vertex list, not to |V|.
+ThemeNetwork InduceThemeNetwork(const DatabaseNetwork& net,
+                                const Itemset& pattern);
+
+/// Induces the theme network of `pattern` restricted to `candidate_edges`
+/// (the TCFI/TC-Tree path, Prop. 5.3): only endpoints of the candidate
+/// edges are frequency-checked, and only edges with both endpoints
+/// positive survive. `candidate_edges` need not be sorted.
+ThemeNetwork InduceThemeNetworkFromEdges(const DatabaseNetwork& net,
+                                         const Itemset& pattern,
+                                         const std::vector<Edge>& candidate_edges);
+
+}  // namespace tcf
+
+#endif  // TCF_NET_THEME_NETWORK_H_

@@ -1,0 +1,103 @@
+#include "tx/fim.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tcf {
+
+namespace {
+
+// Depth-first Eclat recursion. `prefix` is the current pattern, `tids` its
+// tid-list, `tail` the items (all > prefix.Back()) still extendable.
+void EclatRecurse(const VerticalIndex& index, double epsilon,
+                  size_t max_length, const Itemset& prefix,
+                  const std::vector<Tid>& tids,
+                  const std::vector<ItemId>& tail,
+                  std::vector<FrequentPattern>& out) {
+  const double n = static_cast<double>(index.num_transactions());
+  for (size_t i = 0; i < tail.size(); ++i) {
+    const ItemId item = tail[i];
+    std::vector<Tid> next_tids = index.IntersectWith(tids, item);
+    const double freq = static_cast<double>(next_tids.size()) / n;
+    if (freq <= epsilon) continue;
+    Itemset next = prefix.Union(item);
+    out.push_back({next, freq});
+    if (max_length != 0 && next.size() >= max_length) continue;
+    std::vector<ItemId> next_tail(tail.begin() + i + 1, tail.end());
+    if (!next_tail.empty()) {
+      EclatRecurse(index, epsilon, max_length, next, next_tids, next_tail,
+                   out);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentPattern> MineFrequentItemsets(const VerticalIndex& index,
+                                                  double epsilon,
+                                                  size_t max_length) {
+  std::vector<FrequentPattern> out;
+  if (index.num_transactions() == 0) return out;
+  const double n = static_cast<double>(index.num_transactions());
+
+  // Roots: frequent single items.
+  std::vector<ItemId> frequent_items;
+  for (ItemId item : index.items()) {
+    const double freq = static_cast<double>(index.TidList(item).size()) / n;
+    if (freq > epsilon) frequent_items.push_back(item);
+  }
+
+  for (size_t i = 0; i < frequent_items.size(); ++i) {
+    const ItemId item = frequent_items[i];
+    const auto& tids = index.TidList(item);
+    const double freq = static_cast<double>(tids.size()) / n;
+    Itemset single = Itemset::Single(item);
+    out.push_back({single, freq});
+    if (max_length != 0 && max_length <= 1) continue;
+    std::vector<ItemId> tail(frequent_items.begin() + i + 1,
+                             frequent_items.end());
+    if (!tail.empty()) {
+      EclatRecurse(index, epsilon, max_length, single, tids, tail, out);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FrequentPattern& a, const FrequentPattern& b) {
+              return a.pattern < b.pattern;
+            });
+  return out;
+}
+
+std::vector<FrequentPattern> MineFrequentItemsets(const TransactionDb& db,
+                                                  double epsilon,
+                                                  size_t max_length) {
+  VerticalIndex index(db);
+  return MineFrequentItemsets(index, epsilon, max_length);
+}
+
+std::vector<FrequentPattern> MineFrequentItemsetsBruteForce(
+    const TransactionDb& db, double epsilon, size_t max_length) {
+  std::vector<FrequentPattern> out;
+  if (db.empty()) return out;
+  const Itemset universe = db.DistinctItems();
+  TCF_CHECK_MSG(universe.size() <= 24,
+                "brute-force miner is for test-sized inputs");
+  const uint32_t n_items = static_cast<uint32_t>(universe.size());
+  for (uint64_t mask = 1; mask < (1ULL << n_items); ++mask) {
+    std::vector<ItemId> items;
+    for (uint32_t b = 0; b < n_items; ++b) {
+      if (mask & (1ULL << b)) items.push_back(universe[b]);
+    }
+    if (max_length != 0 && items.size() > max_length) continue;
+    Itemset p(std::move(items));
+    const double freq = db.Frequency(p);
+    if (freq > epsilon) out.push_back({p, freq});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FrequentPattern& a, const FrequentPattern& b) {
+              return a.pattern < b.pattern;
+            });
+  return out;
+}
+
+}  // namespace tcf

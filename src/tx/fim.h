@@ -1,0 +1,48 @@
+#ifndef TCF_TX_FIM_H_
+#define TCF_TX_FIM_H_
+
+#include <vector>
+
+#include "tx/itemset.h"
+#include "tx/transaction_db.h"
+#include "tx/vertical_index.h"
+
+namespace tcf {
+
+/// One mined pattern with its relative frequency.
+struct FrequentPattern {
+  Itemset pattern;
+  double frequency = 0.0;
+
+  bool operator==(const FrequentPattern& o) const {
+    return pattern == o.pattern && frequency == o.frequency;
+  }
+};
+
+/// \brief Frequent itemset mining over a single transaction database.
+///
+/// TCS (§4.2) obtains its candidate set `P = {p : ∃v_i, f_i(p) > ε}` by
+/// mining every vertex database with relative threshold ε. The production
+/// miner is Eclat (depth-first tid-list intersection); a quadratic
+/// brute-force reference backs the property tests.
+///
+/// Patterns with frequency strictly greater than `epsilon` are returned
+/// (matching the paper's strict `f_i(p) > ε`); the empty pattern is never
+/// returned. `max_length` caps the pattern length (0 = unlimited).
+std::vector<FrequentPattern> MineFrequentItemsets(const TransactionDb& db,
+                                                  double epsilon,
+                                                  size_t max_length = 0);
+
+/// Same, reusing a prebuilt vertical index.
+std::vector<FrequentPattern> MineFrequentItemsets(const VerticalIndex& index,
+                                                  double epsilon,
+                                                  size_t max_length = 0);
+
+/// Exhaustive reference miner: enumerates every subset of the distinct
+/// items and checks its support. Exponential; test-sized inputs only.
+std::vector<FrequentPattern> MineFrequentItemsetsBruteForce(
+    const TransactionDb& db, double epsilon, size_t max_length = 0);
+
+}  // namespace tcf
+
+#endif  // TCF_TX_FIM_H_

@@ -1,0 +1,41 @@
+#include "tx/item_dictionary.h"
+
+#include <cassert>
+
+namespace tcf {
+
+ItemId ItemDictionary::GetOrAdd(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  ItemId id = static_cast<ItemId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+StatusOr<ItemId> ItemDictionary::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown item: " + std::string(name));
+  }
+  return it->second;
+}
+
+const std::string& ItemDictionary::Name(ItemId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+std::string ItemDictionary::Render(const Itemset& itemset) const {
+  std::string out = "{";
+  bool first = true;
+  for (ItemId id : itemset) {
+    if (!first) out += ", ";
+    first = false;
+    out += id < names_.size() ? names_[id] : ("#" + std::to_string(id));
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tcf

@@ -1,0 +1,46 @@
+#ifndef TCF_TX_ITEM_DICTIONARY_H_
+#define TCF_TX_ITEM_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "tx/itemset.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// \brief Bidirectional mapping between human-readable item names
+/// (keywords, location names, product names) and dense `ItemId`s.
+///
+/// A `DatabaseNetwork` owns one dictionary; its size is `|S|`, the number
+/// of unique items in the network (Table 2's "#Items (unique)").
+class ItemDictionary {
+ public:
+  ItemDictionary() = default;
+
+  /// Returns the id of `name`, interning it if new.
+  ItemId GetOrAdd(std::string_view name);
+
+  /// Id of an existing item, or NotFound.
+  StatusOr<ItemId> Find(std::string_view name) const;
+
+  /// Name of `id`; ids are dense so this is an array lookup.
+  /// Requires id < size().
+  const std::string& Name(ItemId id) const;
+
+  /// Renders an itemset as "{name1, name2}" using this dictionary.
+  std::string Render(const Itemset& itemset) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ItemId> ids_;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_TX_ITEM_DICTIONARY_H_

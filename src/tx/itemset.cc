@@ -1,0 +1,118 @@
+#include "tx/itemset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcf {
+
+Itemset::Itemset(std::vector<ItemId> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+Itemset::Itemset(std::initializer_list<ItemId> items)
+    : Itemset(std::vector<ItemId>(items)) {}
+
+Itemset Itemset::Single(ItemId item) {
+  Itemset s;
+  s.items_.push_back(item);
+  return s;
+}
+
+bool Itemset::Contains(ItemId item) const {
+  return std::binary_search(items_.begin(), items_.end(), item);
+}
+
+bool Itemset::IsSubsetOf(const Itemset& other) const {
+  return std::includes(other.items_.begin(), other.items_.end(),
+                       items_.begin(), items_.end());
+}
+
+Itemset Itemset::Union(const Itemset& other) const {
+  Itemset out;
+  out.items_.reserve(items_.size() + other.items_.size());
+  std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                 other.items_.end(), std::back_inserter(out.items_));
+  return out;
+}
+
+Itemset Itemset::Union(ItemId item) const {
+  Itemset out;
+  out.items_.reserve(items_.size() + 1);
+  auto it = std::lower_bound(items_.begin(), items_.end(), item);
+  out.items_.assign(items_.begin(), it);
+  if (it == items_.end() || *it != item) out.items_.push_back(item);
+  out.items_.insert(out.items_.end(), it, items_.end());
+  return out;
+}
+
+Itemset Itemset::Intersect(const Itemset& other) const {
+  Itemset out;
+  std::set_intersection(items_.begin(), items_.end(), other.items_.begin(),
+                        other.items_.end(), std::back_inserter(out.items_));
+  return out;
+}
+
+Itemset Itemset::Minus(const Itemset& other) const {
+  Itemset out;
+  std::set_difference(items_.begin(), items_.end(), other.items_.begin(),
+                      other.items_.end(), std::back_inserter(out.items_));
+  return out;
+}
+
+std::vector<Itemset> Itemset::AllSubsetsMinusOne() const {
+  std::vector<Itemset> out;
+  out.reserve(items_.size());
+  for (size_t skip = 0; skip < items_.size(); ++skip) {
+    Itemset sub;
+    sub.items_.reserve(items_.size() - 1);
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (i != skip) sub.items_.push_back(items_[i]);
+    }
+    out.push_back(std::move(sub));
+  }
+  return out;
+}
+
+bool Itemset::HasPrefix(const Itemset& prefix) const {
+  if (prefix.size() > size()) return false;
+  return std::equal(prefix.items_.begin(), prefix.items_.end(),
+                    items_.begin());
+}
+
+ItemId Itemset::Back() const {
+  assert(!items_.empty());
+  return items_.back();
+}
+
+std::string Itemset::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(items_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+size_t Itemset::Hash() const {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (ItemId item : items_) {
+    h ^= item;
+    h *= 0x100000001B3ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+bool AprioriJoin(const Itemset& a, const Itemset& b, Itemset* out) {
+  if (a.size() != b.size() || a.empty()) return false;
+  const size_t k1 = a.size();
+  for (size_t i = 0; i + 1 < k1; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  if (a.Back() == b.Back()) return false;
+  *out = a.Union(b.Back());
+  return true;
+}
+
+}  // namespace tcf

@@ -1,0 +1,93 @@
+#ifndef TCF_TX_ITEMSET_H_
+#define TCF_TX_ITEMSET_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tcf {
+
+/// Dictionary-encoded item identifier. The global item set `S` of a
+/// database network maps items to dense ids `0 .. |S|-1`.
+using ItemId = uint32_t;
+
+/// \brief An itemset (pattern/theme): a set of items kept as a sorted,
+/// duplicate-free vector of `ItemId`.
+///
+/// The total order `≺` the TC-Tree relies on (Rymon's set-enumeration
+/// order) is the natural `<` on `ItemId`; `Itemset` comparison is
+/// lexicographic on the sorted sequence.
+class Itemset {
+ public:
+  Itemset() = default;
+  /// Builds from arbitrary items; sorts and deduplicates.
+  explicit Itemset(std::vector<ItemId> items);
+  Itemset(std::initializer_list<ItemId> items);
+
+  /// Singleton {item}.
+  static Itemset Single(ItemId item);
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const std::vector<ItemId>& items() const { return items_; }
+  ItemId operator[](size_t i) const { return items_[i]; }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+  /// Membership test. O(log n).
+  bool Contains(ItemId item) const;
+
+  /// True if every item of this set is in `other` (`this ⊆ other`).
+  bool IsSubsetOf(const Itemset& other) const;
+
+  /// Set union.
+  Itemset Union(const Itemset& other) const;
+  /// Set union with a single item.
+  Itemset Union(ItemId item) const;
+  /// Set intersection.
+  Itemset Intersect(const Itemset& other) const;
+  /// Set difference `this \ other`.
+  Itemset Minus(const Itemset& other) const;
+
+  /// All subsets of size `size()-1`, i.e. the itemset with each item
+  /// removed in turn; used by Apriori's prune step (Alg. 2 line 4).
+  std::vector<Itemset> AllSubsetsMinusOne() const;
+
+  /// True if `prefix` equals the first `prefix.size()` items of this set
+  /// in `≺` order (SE-tree parent test).
+  bool HasPrefix(const Itemset& prefix) const;
+
+  /// The last (largest) item. Requires non-empty.
+  ItemId Back() const;
+
+  /// "{1, 5, 9}"-style rendering of raw ids.
+  std::string ToString() const;
+
+  bool operator==(const Itemset& other) const { return items_ == other.items_; }
+  bool operator!=(const Itemset& other) const { return !(*this == other); }
+  /// Lexicographic order on the sorted item sequences.
+  bool operator<(const Itemset& other) const { return items_ < other.items_; }
+
+  /// FNV-1a style hash for unordered containers.
+  size_t Hash() const;
+
+ private:
+  std::vector<ItemId> items_;
+};
+
+/// Hash functor so `Itemset` can key unordered_map/set.
+struct ItemsetHash {
+  size_t operator()(const Itemset& s) const { return s.Hash(); }
+};
+
+/// Apriori join (candidate generation, Alg. 2 line 2-3): if `a` and `b`
+/// are k-1 sized sets sharing their first k-2 items, returns their union
+/// (size k) through `out` and true; otherwise false.
+bool AprioriJoin(const Itemset& a, const Itemset& b, Itemset* out);
+
+}  // namespace tcf
+
+#endif  // TCF_TX_ITEMSET_H_

@@ -1,0 +1,40 @@
+#include "tx/transaction_db.h"
+
+#include <algorithm>
+
+namespace tcf {
+
+Tid TransactionDb::Add(Itemset transaction) {
+  transactions_.push_back(std::move(transaction));
+  return static_cast<Tid>(transactions_.size() - 1);
+}
+
+uint64_t TransactionDb::SupportCount(const Itemset& p) const {
+  uint64_t count = 0;
+  for (const Itemset& t : transactions_) {
+    if (p.IsSubsetOf(t)) ++count;
+  }
+  return count;
+}
+
+double TransactionDb::Frequency(const Itemset& p) const {
+  if (transactions_.empty()) return 0.0;
+  return static_cast<double>(SupportCount(p)) /
+         static_cast<double>(transactions_.size());
+}
+
+uint64_t TransactionDb::TotalItemOccurrences() const {
+  uint64_t total = 0;
+  for (const Itemset& t : transactions_) total += t.size();
+  return total;
+}
+
+Itemset TransactionDb::DistinctItems() const {
+  std::vector<ItemId> all;
+  for (const Itemset& t : transactions_) {
+    all.insert(all.end(), t.begin(), t.end());
+  }
+  return Itemset(std::move(all));
+}
+
+}  // namespace tcf

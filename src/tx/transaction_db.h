@@ -1,0 +1,54 @@
+#ifndef TCF_TX_TRANSACTION_DB_H_
+#define TCF_TX_TRANSACTION_DB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tx/itemset.h"
+
+namespace tcf {
+
+/// Transaction identifier, local to one `TransactionDb`.
+using Tid = uint32_t;
+
+/// \brief A vertex database `d_i`: a multiset of transactions over the
+/// global item set `S` (§3.1).
+///
+/// Transactions are itemsets; the same itemset may appear many times (the
+/// database is a multiset), and pattern frequency `f(p)` is the fraction
+/// of *transactions* (not distinct itemsets) containing `p`.
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+
+  /// Appends one transaction; returns its tid (dense, 0-based).
+  Tid Add(Itemset transaction);
+
+  size_t num_transactions() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+
+  const Itemset& transaction(Tid t) const { return transactions_[t]; }
+  const std::vector<Itemset>& transactions() const { return transactions_; }
+
+  /// Number of transactions containing `p` (support count). O(Σ|t|) scan;
+  /// prefer `VerticalIndex` for repeated queries.
+  uint64_t SupportCount(const Itemset& p) const;
+
+  /// Frequency `f(p)` = SupportCount(p) / num_transactions().
+  /// Returns 0 for an empty database.
+  double Frequency(const Itemset& p) const;
+
+  /// Total number of item occurrences across all transactions
+  /// (Table 2's "#Items (total)" contribution of this database).
+  uint64_t TotalItemOccurrences() const;
+
+  /// All distinct items appearing in at least one transaction.
+  Itemset DistinctItems() const;
+
+ private:
+  std::vector<Itemset> transactions_;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_TX_TRANSACTION_DB_H_

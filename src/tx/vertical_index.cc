@@ -1,0 +1,77 @@
+#include "tx/vertical_index.h"
+
+#include <algorithm>
+
+namespace tcf {
+
+const std::vector<Tid> VerticalIndex::kEmpty;
+
+VerticalIndex::VerticalIndex(const TransactionDb& db)
+    : num_transactions_(db.num_transactions()) {
+  for (Tid t = 0; t < db.num_transactions(); ++t) {
+    for (ItemId item : db.transaction(t)) {
+      tid_lists_[item].push_back(t);
+    }
+  }
+  items_.reserve(tid_lists_.size());
+  for (const auto& [item, _] : tid_lists_) items_.push_back(item);
+  std::sort(items_.begin(), items_.end());
+  // Tids are appended in ascending order, so each list is already sorted.
+}
+
+const std::vector<Tid>& VerticalIndex::TidList(ItemId item) const {
+  auto it = tid_lists_.find(item);
+  return it == tid_lists_.end() ? kEmpty : it->second;
+}
+
+uint64_t VerticalIndex::SupportCount(const Itemset& p) const {
+  if (p.empty()) return num_transactions_;
+  // Start from the rarest item to keep intermediate lists short.
+  const std::vector<Tid>* shortest = &TidList(p[0]);
+  for (size_t i = 1; i < p.size(); ++i) {
+    const auto& l = TidList(p[i]);
+    if (l.size() < shortest->size()) shortest = &l;
+  }
+  std::vector<Tid> acc = *shortest;
+  for (ItemId item : p) {
+    const auto& l = TidList(item);
+    if (&l == shortest) continue;
+    acc = SortedIntersect(acc, l);
+    if (acc.empty()) return 0;
+  }
+  return acc.size();
+}
+
+double VerticalIndex::Frequency(const Itemset& p) const {
+  if (num_transactions_ == 0) return 0.0;
+  return static_cast<double>(SupportCount(p)) /
+         static_cast<double>(num_transactions_);
+}
+
+std::vector<Tid> VerticalIndex::IntersectWith(const std::vector<Tid>& base,
+                                              ItemId item) const {
+  return SortedIntersect(base, TidList(item));
+}
+
+uint64_t SortedIntersectionSize(const std::vector<Tid>& a,
+                                const std::vector<Tid>& b) {
+  uint64_t n = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) ++i;
+    else if (a[i] > b[j]) ++j;
+    else { ++n; ++i; ++j; }
+  }
+  return n;
+}
+
+std::vector<Tid> SortedIntersect(const std::vector<Tid>& a,
+                                 const std::vector<Tid>& b) {
+  std::vector<Tid> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace tcf

@@ -1,0 +1,63 @@
+#ifndef TCF_TX_VERTICAL_INDEX_H_
+#define TCF_TX_VERTICAL_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tx/itemset.h"
+#include "tx/transaction_db.h"
+
+namespace tcf {
+
+/// \brief Vertical (tid-list) representation of one `TransactionDb`.
+///
+/// For each item, stores the sorted list of transaction ids containing it.
+/// Support of a pattern is the size of the intersection of its items'
+/// tid-lists (the Eclat representation), which turns the frequency queries
+/// issued per candidate pattern by TCS/TCFA/TCFI/TC-Tree from full
+/// database scans into short sorted-list intersections.
+class VerticalIndex {
+ public:
+  /// Builds the index by one pass over `db`. The index keeps a reference-
+  /// free copy of the tid-lists and the transaction count; it remains
+  /// valid independent of `db`'s lifetime.
+  explicit VerticalIndex(const TransactionDb& db);
+
+  /// Sorted tid-list of `item` (empty if absent).
+  const std::vector<Tid>& TidList(ItemId item) const;
+
+  /// Support count of `p` = |∩ tid-lists|. The empty pattern is contained
+  /// in every transaction.
+  uint64_t SupportCount(const Itemset& p) const;
+
+  /// Frequency `f(p)` = support / #transactions (0 on empty db).
+  double Frequency(const Itemset& p) const;
+
+  /// Intersection of `base` with `item`'s tid-list; the Eclat DFS step.
+  std::vector<Tid> IntersectWith(const std::vector<Tid>& base,
+                                 ItemId item) const;
+
+  uint64_t num_transactions() const { return num_transactions_; }
+
+  /// Items with non-empty tid-lists, ascending.
+  const std::vector<ItemId>& items() const { return items_; }
+
+ private:
+  uint64_t num_transactions_;
+  std::vector<ItemId> items_;
+  std::unordered_map<ItemId, std::vector<Tid>> tid_lists_;
+  static const std::vector<Tid> kEmpty;
+};
+
+/// Size of the intersection of two sorted vectors.
+uint64_t SortedIntersectionSize(const std::vector<Tid>& a,
+                                const std::vector<Tid>& b);
+
+/// Intersection of two sorted vectors.
+std::vector<Tid> SortedIntersect(const std::vector<Tid>& a,
+                                 const std::vector<Tid>& b);
+
+}  // namespace tcf
+
+#endif  // TCF_TX_VERTICAL_INDEX_H_

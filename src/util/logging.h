@@ -1,0 +1,67 @@
+#ifndef TCF_UTIL_LOGGING_H_
+#define TCF_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tcf {
+
+/// Log severities, ascending.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is filtered out.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace tcf
+
+#define TCF_LOG(level)                                                  \
+  (::tcf::LogLevel::k##level < ::tcf::GetLogLevel())                    \
+      ? (void)0                                                         \
+      : ::tcf::internal::LogVoidify() &                                 \
+            ::tcf::internal::LogMessage(::tcf::LogLevel::k##level,      \
+                                        __FILE__, __LINE__)             \
+                .stream()
+
+/// Fatal invariant check, active in all build types. Prefer for internal
+/// invariants whose violation means a bug, not a user error.
+#define TCF_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::cerr << "TCF_CHECK failed at " << __FILE__ << ":" << __LINE__  \
+                << ": " #cond << std::endl;                               \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define TCF_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::cerr << "TCF_CHECK failed at " << __FILE__ << ":" << __LINE__  \
+                << ": " #cond << " — " << msg << std::endl;               \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#endif  // TCF_UTIL_LOGGING_H_

@@ -1,0 +1,54 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tcf {
+
+namespace {
+
+// Parses "<key>:   <value> kB" lines from /proc/self/status.
+uint64_t ReadProcStatusKb(const char* key) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long v = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &v) == 1) kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+uint64_t PeakRssBytes() { return ReadProcStatusKb("VmHWM") * 1024; }
+
+uint64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS") * 1024; }
+
+const char* ByteUnits(uint64_t bytes, double* scaled) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  *scaled = v;
+  return kUnits[u];
+}
+
+std::ostream& operator<<(std::ostream& os, const HumanBytes& hb) {
+  double v = 0;
+  const char* unit = ByteUnits(hb.bytes, &v);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, unit);
+  return os << buf;
+}
+
+}  // namespace tcf

@@ -1,0 +1,34 @@
+#ifndef TCF_UTIL_MEMORY_H_
+#define TCF_UTIL_MEMORY_H_
+
+#include <cstdint>
+
+namespace tcf {
+
+/// Peak resident set size of this process in bytes, read from
+/// /proc/self/status (VmHWM). Returns 0 when unavailable (non-Linux).
+///
+/// Used by the Table 3 indexing harness to report the "Memory" column.
+uint64_t PeakRssBytes();
+
+/// Current resident set size in bytes (VmRSS). 0 when unavailable.
+uint64_t CurrentRssBytes();
+
+/// Formats a byte count as a human-readable string ("28.3 GB", "512 KB").
+/// Uses base-1024 units, matching the paper's reporting.
+const char* ByteUnits(uint64_t bytes, double* scaled);
+
+/// Convenience: "28.3 GB"-style string.
+struct HumanBytes {
+  explicit HumanBytes(uint64_t b) : bytes(b) {}
+  uint64_t bytes;
+};
+
+}  // namespace tcf
+
+#include <ostream>
+namespace tcf {
+std::ostream& operator<<(std::ostream& os, const HumanBytes& hb);
+}  // namespace tcf
+
+#endif  // TCF_UTIL_MEMORY_H_

@@ -1,0 +1,122 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace tcf {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling over the top of the range to kill modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range.
+  uint64_t r = (span == 0) ? Next() : NextUint64(span);
+  return lo + static_cast<int64_t>(r);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  assert(n > 0);
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double acc = 0.0;
+    for (uint64_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      zipf_cdf_[r] = acc;
+    }
+    const double total = acc;
+    for (auto& c : zipf_cdf_) c /= total;
+  }
+  double u = NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) return n - 1;
+  return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+double Rng::NextGaussian() {
+  if (has_gaussian_spare_) {
+    has_gaussian_spare_ = false;
+    return gaussian_spare_;
+  }
+  double u1, u2;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  u2 = NextDouble();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  gaussian_spare_ = mag * std::sin(2.0 * M_PI * u2);
+  has_gaussian_spare_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t n, uint64_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: k iterations, each inserting one distinct value.
+  std::set<uint64_t> chosen;
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = NextUint64(j + 1);
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  return std::vector<uint64_t>(chosen.begin(), chosen.end());
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xD1B54A32D192ED03ULL); }
+
+}  // namespace tcf

@@ -1,0 +1,89 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace tcf {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    os << '+';
+    for (size_t c = 0; c < width.size(); ++c) {
+      for (size_t i = 0; i < width[c] + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c];
+      for (size_t i = cells[c].size(); i < width[c]; ++i) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+}
+
+namespace {
+std::string CsvEscape(const std::string& f) {
+  if (f.find_first_of(",\"\n") == std::string::npos) return f;
+  std::string out = "\"";
+  for (char ch : f) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void TextTable::PrintCsv(std::ostream& os) const {
+  auto row_out = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << CsvEscape(cells[c]);
+    }
+    os << '\n';
+  };
+  row_out(header_);
+  for (const auto& row : rows_) row_out(row);
+}
+
+std::string TextTable::Num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string TextTable::Num(uint64_t v) { return std::to_string(v); }
+std::string TextTable::Num(int64_t v) { return std::to_string(v); }
+
+std::string TextTable::Sci(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", prec, v);
+  return buf;
+}
+
+}  // namespace tcf

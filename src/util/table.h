@@ -1,0 +1,52 @@
+#ifndef TCF_UTIL_TABLE_H_
+#define TCF_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tcf {
+
+/// \brief Column-aligned text table used by the benchmark harnesses to
+/// print paper-style result tables, with optional CSV export.
+///
+/// Usage:
+/// \code
+///   TextTable t({"alpha", "time(s)", "NP"});
+///   t.AddRow({"0.1", "12.3", "4567"});
+///   t.Print(std::cout);       // aligned text
+///   t.PrintCsv(std::cout);    // machine-readable
+/// \endcode
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; its size must equal the header size.
+  void AddRow(std::vector<std::string> row);
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return header_.size(); }
+
+  /// Writes an aligned, boxed text rendering.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (fields with commas/quotes get quoted).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Formats a double with `prec` significant decimal digits.
+  static std::string Num(double v, int prec = 4);
+  /// Formats an integer with no grouping.
+  static std::string Num(uint64_t v);
+  static std::string Num(int64_t v);
+  /// Formats a double in scientific notation, e.g. "1.23e+04".
+  static std::string Sci(double v, int prec = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_UTIL_TABLE_H_

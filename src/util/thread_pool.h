@@ -1,0 +1,62 @@
+#ifndef TCF_UTIL_THREAD_POOL_H_
+#define TCF_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tcf {
+
+/// \brief Fixed-size worker pool.
+///
+/// The paper parallelizes the first layer of the TC-Tree build with OpenMP
+/// (Alg. 4, lines 2-5). We ship a small portable pool instead so the
+/// library has no OpenMP dependency; `TcTreeBuilder` uses it through
+/// `ParallelFor`.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>=1; 0 is clamped to 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; runs as soon as a worker is free.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signals workers
+  std::condition_variable done_cv_;   // signals Wait()
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs `fn(i)` for every i in [0, n), spread over `pool`. Blocks until all
+/// iterations complete. Iterations must be independent; results should be
+/// written to pre-sized slots so the output order is deterministic
+/// regardless of scheduling.
+void ParallelFor(ThreadPool& pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// Number of hardware threads, at least 1.
+size_t HardwareThreads();
+
+}  // namespace tcf
+
+#endif  // TCF_UTIL_THREAD_POOL_H_

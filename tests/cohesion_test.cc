@@ -1,0 +1,79 @@
+#include "core/cohesion.h"
+
+#include <gtest/gtest.h>
+
+namespace tcf {
+namespace {
+
+TEST(CohesionTest, QuantizeFrequencyBasics) {
+  EXPECT_EQ(QuantizeFrequency(0.0), 0);
+  EXPECT_EQ(QuantizeFrequency(-0.5), 0);  // clamped
+  EXPECT_EQ(QuantizeFrequency(1.0), kCohesionScale);
+  EXPECT_EQ(QuantizeFrequency(0.5), kCohesionScale / 2);
+}
+
+TEST(CohesionTest, QuantizationIsMonotone) {
+  double prev_f = 0.0;
+  CohesionValue prev_q = 0;
+  for (int i = 1; i <= 1000; ++i) {
+    double f = static_cast<double>(i) / 1000.0;
+    CohesionValue q = QuantizeFrequency(f);
+    EXPECT_GE(q, prev_q) << f << " vs " << prev_f;
+    prev_q = q;
+    prev_f = f;
+  }
+}
+
+TEST(CohesionTest, QuantizationErrorBound) {
+  for (int n = 1; n <= 50; ++n) {
+    for (int h = 0; h <= n; ++h) {
+      const double f = static_cast<double>(h) / n;
+      const double back = CohesionToDouble(QuantizeFrequency(f));
+      EXPECT_NEAR(back, f, 1.0 / static_cast<double>(kCohesionScale));
+    }
+  }
+}
+
+TEST(CohesionTest, EqualRationalsQuantizeEqual) {
+  // 1/3 == 2/6 == 10/30 must agree after quantization.
+  EXPECT_EQ(QuantizeFrequency(1.0 / 3.0), QuantizeFrequency(2.0 / 6.0));
+  EXPECT_EQ(QuantizeFrequency(1.0 / 3.0), QuantizeFrequency(10.0 / 30.0));
+}
+
+TEST(CohesionTest, QuantizeAlphaImplementsStrictPredicate) {
+  // eco = 0.2 (quantized), alpha = 0.2: "eco > alpha" must be false.
+  const CohesionValue eco = QuantizeFrequency(0.2);
+  EXPECT_FALSE(eco > QuantizeAlpha(0.2));
+  // alpha slightly below: true.
+  EXPECT_TRUE(eco > QuantizeAlpha(0.19999999));
+  // alpha slightly above: false.
+  EXPECT_FALSE(eco > QuantizeAlpha(0.2000001));
+}
+
+TEST(CohesionTest, QuantizeAlphaNegativeClampsToZero) {
+  EXPECT_EQ(QuantizeAlpha(-1.0), 0);
+  EXPECT_EQ(QuantizeAlpha(0.0), 0);
+}
+
+TEST(CohesionTest, ZeroCohesionNeverQualifiesAtAlphaZero) {
+  // The alpha=0 predicate eco > 0 must reject exactly eco = 0.
+  EXPECT_FALSE(CohesionValue{0} > QuantizeAlpha(0.0));
+  EXPECT_TRUE(CohesionValue{1} > QuantizeAlpha(0.0));
+}
+
+TEST(CohesionTest, AdditionIsExact) {
+  // The whole point of fixed point: sums and differences round-trip.
+  const CohesionValue a = QuantizeFrequency(0.1);
+  CohesionValue acc = 0;
+  for (int i = 0; i < 1000; ++i) acc += a;
+  for (int i = 0; i < 1000; ++i) acc -= a;
+  EXPECT_EQ(acc, 0);
+}
+
+TEST(CohesionTest, RoundTripToDouble) {
+  EXPECT_DOUBLE_EQ(CohesionToDouble(QuantizeFrequency(0.25)), 0.25);
+  EXPECT_DOUBLE_EQ(CohesionToDouble(0), 0.0);
+}
+
+}  // namespace
+}  // namespace tcf

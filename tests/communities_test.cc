@@ -1,0 +1,98 @@
+#include "core/communities.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mptd.h"
+#include "core/tcfi.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::EdgeList;
+using testing::MakeFigureOneNetwork;
+
+TEST(CommunitiesTest, SplitsDisconnectedTruss) {
+  PatternTruss truss;
+  truss.pattern = Itemset({0});
+  truss.edges = EdgeList({{0, 1}, {0, 2}, {1, 2}, {7, 8}, {7, 9}, {8, 9}});
+  truss.vertices = {0, 1, 2, 7, 8, 9};
+  truss.frequencies = {0.1, 0.1, 0.1, 0.3, 0.3, 0.3};
+  auto communities = ExtractThemeCommunities(truss);
+  ASSERT_EQ(communities.size(), 2u);
+  EXPECT_EQ(communities[0].vertices, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(communities[0].edges, EdgeList({{0, 1}, {0, 2}, {1, 2}}));
+  EXPECT_EQ(communities[1].vertices, (std::vector<VertexId>{7, 8, 9}));
+  EXPECT_EQ(communities[0].theme, Itemset({0}));
+  EXPECT_EQ(communities[0].size(), 3u);
+}
+
+TEST(CommunitiesTest, ConnectedTrussIsOneCommunity) {
+  PatternTruss truss;
+  truss.pattern = Itemset({1});
+  truss.edges = EdgeList({{0, 1}, {1, 2}, {0, 2}});
+  auto communities = ExtractThemeCommunities(truss);
+  ASSERT_EQ(communities.size(), 1u);
+  EXPECT_EQ(communities[0].vertices, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(CommunitiesTest, EmptyTrussYieldsNone) {
+  PatternTruss truss;
+  truss.pattern = Itemset({0});
+  EXPECT_TRUE(ExtractThemeCommunities(truss).empty());
+}
+
+TEST(CommunitiesTest, BatchExtractionKeepsTrussOrder) {
+  PatternTruss a;
+  a.pattern = Itemset({0});
+  a.edges = EdgeList({{0, 1}, {1, 2}, {0, 2}});
+  PatternTruss b;
+  b.pattern = Itemset({1});
+  b.edges = EdgeList({{5, 6}, {6, 7}, {5, 7}});
+  auto communities = ExtractThemeCommunities(std::vector<PatternTruss>{a, b});
+  ASSERT_EQ(communities.size(), 2u);
+  EXPECT_EQ(communities[0].theme, Itemset({0}));
+  EXPECT_EQ(communities[1].theme, Itemset({1}));
+}
+
+TEST(CommunitiesTest, FigureOneEndToEnd) {
+  // The paper's Example 3.6 analogue: two theme communities of item 0
+  // at low alpha, overlapping with the (single) community of item 1.
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  MiningResult r = RunTcfi(net, {.alpha = 0.15});
+  auto communities = ExtractThemeCommunities(r.trusses);
+
+  std::vector<ThemeCommunity> of_item0;
+  std::vector<ThemeCommunity> of_item1;
+  for (const auto& c : communities) {
+    if (c.theme == Itemset({0})) of_item0.push_back(c);
+    if (c.theme == Itemset({1})) of_item1.push_back(c);
+  }
+  ASSERT_EQ(of_item0.size(), 2u);
+  EXPECT_EQ(of_item0[0].vertices, (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_EQ(of_item0[1].vertices, (std::vector<VertexId>{6, 7, 8}));
+  // Overlap across different themes is allowed (Def. 3.5 / Example 3.6):
+  // item 1's community shares vertices with item 0's.
+  ASSERT_FALSE(of_item1.empty());
+  bool overlaps = false;
+  for (VertexId v : of_item1[0].vertices) {
+    if (v <= 3) overlaps = true;
+  }
+  EXPECT_TRUE(overlaps);
+}
+
+TEST(CommunitiesTest, CommunityEdgesAreWithinCommunityVertices) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  MiningResult r = RunTcfi(net, {.alpha = 0.0});
+  for (const auto& c : ExtractThemeCommunities(r.trusses)) {
+    for (const Edge& e : c.edges) {
+      EXPECT_TRUE(std::binary_search(c.vertices.begin(), c.vertices.end(),
+                                     e.u));
+      EXPECT_TRUE(std::binary_search(c.vertices.begin(), c.vertices.end(),
+                                     e.v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,108 @@
+#include "core/community_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tc_tree_query.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeFigureOneNetwork;
+using testing::MakeRandomNetwork;
+
+TEST(CommunitySearchTest, FindsBothSidesOfFigureOne) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  // Vertex 0 sits in the item-0 K4 and in item-1's community.
+  auto communities = SearchCommunitiesOfVertex(tree, 0, 0.1);
+  ASSERT_EQ(communities.size(), 2u);
+  for (const auto& c : communities) {
+    EXPECT_TRUE(std::binary_search(c.vertices.begin(), c.vertices.end(),
+                                   VertexId{0}));
+  }
+}
+
+TEST(CommunitySearchTest, ThresholdDropsWeakCommunities) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  // At alpha = 0.25 the item-0 K4 (eco 0.2) is gone; vertex 0 keeps only
+  // its item-1 community.
+  auto communities = SearchCommunitiesOfVertex(tree, 0, 0.25);
+  ASSERT_EQ(communities.size(), 1u);
+  EXPECT_EQ(communities[0].theme, Itemset({1}));
+  // Vertex 6 keeps both (its triangle has eco 0.3 for item 0).
+  auto v6 = SearchCommunitiesOfVertex(tree, 6, 0.25);
+  EXPECT_EQ(v6.size(), 2u);
+}
+
+TEST(CommunitySearchTest, QueryPatternRestrictsThemes) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  auto only0 = SearchCommunitiesOfVertex(tree, 0, Itemset({0}), 0.1);
+  ASSERT_EQ(only0.size(), 1u);
+  EXPECT_EQ(only0[0].theme, Itemset({0}));
+}
+
+TEST(CommunitySearchTest, NonMemberVertexGetsNothing) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  // Vertices 4 and 5 are isolated (no edges at all).
+  EXPECT_TRUE(SearchCommunitiesOfVertex(tree, 4, 0.0).empty());
+  // Unknown vertex id: harmless, empty.
+  EXPECT_TRUE(SearchCommunitiesOfVertex(tree, 999, 0.0).empty());
+}
+
+// Oracle: extract all communities from a full query and filter.
+std::vector<ThemeCommunity> OracleSearch(const TcTree& tree, VertexId v,
+                                         const Itemset& q, double alpha) {
+  std::vector<ThemeCommunity> out;
+  for (const auto& c : QueryThemeCommunities(tree, q, alpha)) {
+    if (std::binary_search(c.vertices.begin(), c.vertices.end(), v)) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+class CommunitySearchPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(CommunitySearchPropertyTest, MatchesFilteredFullQuery) {
+  const auto [seed, alpha] = GetParam();
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 14,
+                                           .num_items = 5,
+                                           .seed = seed});
+  TcTree tree = TcTree::Build(net);
+  const Itemset q({0, 1, 2, 3, 4});
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    auto fast = SearchCommunitiesOfVertex(tree, v, q, alpha);
+    auto slow = OracleSearch(tree, v, q, alpha);
+    ASSERT_EQ(fast.size(), slow.size()) << "v=" << v << " alpha=" << alpha;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].theme, slow[i].theme);
+      EXPECT_EQ(fast[i].vertices, slow[i].vertices);
+      EXPECT_EQ(fast[i].edges, slow[i].edges);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, CommunitySearchPropertyTest,
+    ::testing::Combine(::testing::Values(3, 7, 11, 15),
+                       ::testing::Values(0.0, 0.15)));
+
+TEST(CommunitySearchTest, OverlapAcrossThemes) {
+  // A hub vertex in two different-theme communities is reported twice
+  // (Example 3.6's overlap semantics).
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  auto communities = SearchCommunitiesOfVertex(tree, 3, 0.1);
+  std::set<Itemset> themes;
+  for (const auto& c : communities) themes.insert(c.theme);
+  EXPECT_EQ(themes.size(), communities.size()) << "one community per theme";
+  EXPECT_GE(themes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tcf

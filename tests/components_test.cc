@@ -1,0 +1,86 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace tcf {
+namespace {
+
+TEST(ComponentsTest, SingleComponent) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  auto cc = ConnectedComponents(b.Build());
+  EXPECT_EQ(cc.num_components, 1u);
+  EXPECT_EQ(cc.label[0], cc.label[2]);
+}
+
+TEST(ComponentsTest, TwoComponentsPlusIsolated) {
+  GraphBuilder b(6);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(3, 4).ok());
+  auto cc = ConnectedComponents(b.Build());
+  EXPECT_EQ(cc.num_components, 4u);  // {0,1}, {2}, {3,4}, {5}
+  EXPECT_EQ(cc.label[0], cc.label[1]);
+  EXPECT_EQ(cc.label[3], cc.label[4]);
+  EXPECT_NE(cc.label[0], cc.label[3]);
+  EXPECT_NE(cc.label[2], cc.label[5]);
+}
+
+TEST(ComponentsTest, EmptyGraph) {
+  GraphBuilder b;
+  auto cc = ConnectedComponents(b.Build());
+  EXPECT_EQ(cc.num_components, 0u);
+  EXPECT_TRUE(cc.label.empty());
+}
+
+TEST(ComponentsOfEdgesTest, SplitsDisconnectedEdgeSets) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {5, 6}};
+  auto comps = ConnectedComponentsOfEdges(edges);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(comps[1], (std::vector<VertexId>{5, 6}));
+}
+
+TEST(ComponentsOfEdgesTest, EmptyEdgesNoComponents) {
+  EXPECT_TRUE(ConnectedComponentsOfEdges({}).empty());
+}
+
+TEST(ComponentsOfEdgesTest, IgnoresVerticesNotOnEdges) {
+  // Vertex ids are arbitrary (global ids from a bigger network).
+  std::vector<Edge> edges = {{100, 200}};
+  auto comps = ConnectedComponentsOfEdges(edges);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0], (std::vector<VertexId>{100, 200}));
+}
+
+TEST(ComponentsOfEdgesTest, OrderedBySmallestVertex) {
+  std::vector<Edge> edges = {{7, 8}, {0, 3}, {4, 5}};
+  auto comps = ConnectedComponentsOfEdges(edges);
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0].front(), 0u);
+  EXPECT_EQ(comps[1].front(), 4u);
+  EXPECT_EQ(comps[2].front(), 7u);
+}
+
+TEST(GroupEdgesTest, EdgesAlignWithComponents) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}, {5, 6}};
+  auto vgroups = ConnectedComponentsOfEdges(edges);
+  auto egroups = GroupEdgesByComponent(edges);
+  ASSERT_EQ(vgroups.size(), egroups.size());
+  ASSERT_EQ(egroups.size(), 2u);
+  EXPECT_EQ(egroups[0].size(), 3u);
+  EXPECT_EQ(egroups[1].size(), 1u);
+  EXPECT_EQ(egroups[1][0], (Edge{5, 6}));
+}
+
+TEST(GroupEdgesTest, BridgeMergesComponents) {
+  std::vector<Edge> edges = {{0, 1}, {2, 3}, {1, 2}};
+  auto comps = ConnectedComponentsOfEdges(edges);
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), 4u);
+}
+
+}  // namespace
+}  // namespace tcf

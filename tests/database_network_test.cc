@@ -1,0 +1,90 @@
+#include "net/database_network.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeNetwork;
+
+DatabaseNetwork SmallNet() {
+  // 3 vertices in a triangle; item 0 everywhere, item 1 on vertex 2 only.
+  return MakeNetwork(3, {{0, 1}, {1, 2}, {0, 2}},
+                     {{{0}, {0, 1}},    // v0: f({0})=1, f({1})=0.5
+                      {{0}},            // v1: f({0})=1
+                      {{1}, {1}, {0}}});  // v2: f({0})=1/3, f({1})=2/3
+}
+
+TEST(DatabaseNetworkTest, BasicAccessors) {
+  DatabaseNetwork net = SmallNet();
+  EXPECT_EQ(net.num_vertices(), 3u);
+  EXPECT_EQ(net.num_edges(), 3u);
+  EXPECT_EQ(net.num_items(), 2u);
+  EXPECT_EQ(net.db(0).num_transactions(), 2u);
+  EXPECT_EQ(net.db(2).num_transactions(), 3u);
+}
+
+TEST(DatabaseNetworkTest, FrequencyViaVerticalIndex) {
+  DatabaseNetwork net = SmallNet();
+  EXPECT_DOUBLE_EQ(net.Frequency(0, Itemset({0})), 1.0);
+  EXPECT_DOUBLE_EQ(net.Frequency(0, Itemset({1})), 0.5);
+  EXPECT_DOUBLE_EQ(net.Frequency(0, Itemset({0, 1})), 0.5);
+  EXPECT_DOUBLE_EQ(net.Frequency(2, Itemset({0})), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(net.Frequency(2, Itemset({0, 1})), 0.0);
+  EXPECT_DOUBLE_EQ(net.Frequency(1, Itemset({1})), 0.0);
+}
+
+TEST(DatabaseNetworkTest, FrequencyMatchesScan) {
+  DatabaseNetwork net = SmallNet();
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    for (const Itemset& p :
+         {Itemset({0}), Itemset({1}), Itemset({0, 1}), Itemset()}) {
+      EXPECT_DOUBLE_EQ(net.Frequency(v, p), net.db(v).Frequency(p))
+          << "v=" << v << " p=" << p.ToString();
+    }
+  }
+}
+
+TEST(DatabaseNetworkTest, ItemVerticesIndex) {
+  DatabaseNetwork net = SmallNet();
+  const auto& carriers0 = net.ItemVertices(0);
+  ASSERT_EQ(carriers0.size(), 3u);
+  EXPECT_EQ(carriers0[0].vertex, 0u);
+  EXPECT_DOUBLE_EQ(carriers0[0].frequency, 1.0);
+  EXPECT_EQ(carriers0[2].vertex, 2u);
+  EXPECT_DOUBLE_EQ(carriers0[2].frequency, 1.0 / 3.0);
+
+  const auto& carriers1 = net.ItemVertices(1);
+  ASSERT_EQ(carriers1.size(), 2u);
+  EXPECT_EQ(carriers1[0].vertex, 0u);
+  EXPECT_EQ(carriers1[1].vertex, 2u);
+}
+
+TEST(DatabaseNetworkTest, ItemVerticesOutOfRangeIsEmpty) {
+  DatabaseNetwork net = SmallNet();
+  EXPECT_TRUE(net.ItemVertices(999).empty());
+}
+
+TEST(DatabaseNetworkTest, ActiveItems) {
+  DatabaseNetwork net = SmallNet();
+  EXPECT_EQ(net.ActiveItems(), (std::vector<ItemId>{0, 1}));
+}
+
+TEST(DatabaseNetworkTest, EmptyDatabasesAllowed) {
+  DatabaseNetwork net = MakeNetwork(2, {{0, 1}}, {{}, {{0}}});
+  EXPECT_DOUBLE_EQ(net.Frequency(0, Itemset({0})), 0.0);
+  EXPECT_EQ(net.ItemVertices(0).size(), 1u);
+  EXPECT_EQ(net.ItemVertices(0)[0].vertex, 1u);
+}
+
+TEST(DatabaseNetworkTest, MoveConstructible) {
+  DatabaseNetwork a = SmallNet();
+  DatabaseNetwork b = std::move(a);
+  EXPECT_EQ(b.num_vertices(), 3u);
+  EXPECT_DOUBLE_EQ(b.Frequency(0, Itemset({0})), 1.0);
+}
+
+}  // namespace
+}  // namespace tcf

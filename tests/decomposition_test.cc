@@ -1,0 +1,170 @@
+#include "core/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/brute_force.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::ExpectSameTruss;
+using testing::MakeFigureOneNetwork;
+using testing::MakeRandomNetwork;
+
+TEST(DecompositionTest, FigureOneLevels) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0}));
+  TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+  // C*(0) has 9 edges (K4 + triangle, bridge dropped at eco=0). Two
+  // levels: α1 = 0.2 removes the K4, α2 = 0.3 removes the triangle.
+  ASSERT_EQ(d.levels().size(), 2u);
+  // The K4 edges' cohesion is a *sum* of two quantized 0.1 terms, which
+  // differs from QuantizeFrequency(0.2) by one grid unit.
+  EXPECT_EQ(d.levels()[0].alpha, 2 * QuantizeFrequency(0.1));
+  EXPECT_EQ(d.levels()[0].removed.size(), 6u);
+  EXPECT_EQ(d.levels()[1].alpha, QuantizeFrequency(0.3));
+  EXPECT_EQ(d.levels()[1].removed.size(), 3u);
+  EXPECT_EQ(d.num_edges(), 9u);
+  EXPECT_EQ(d.max_alpha(), QuantizeFrequency(0.3));
+}
+
+TEST(DecompositionTest, EmptyThemeNetwork) {
+  ThemeNetwork tn;
+  tn.pattern = Itemset({0});
+  TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.max_alpha(), 0);
+  EXPECT_TRUE(d.TrussAtAlpha(0.0).empty());
+}
+
+TEST(DecompositionTest, LevelsStrictlyAscending) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 16,
+                                           .edge_prob = 0.4,
+                                           .seed = 3});
+  for (ItemId item : net.ActiveItems()) {
+    ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(item));
+    TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+    for (size_t k = 1; k < d.levels().size(); ++k) {
+      EXPECT_GT(d.levels()[k].alpha, d.levels()[k - 1].alpha);
+    }
+    for (const auto& level : d.levels()) {
+      EXPECT_GT(level.alpha, 0);
+      EXPECT_FALSE(level.removed.empty());
+    }
+  }
+}
+
+TEST(DecompositionTest, LevelsPartitionBaseTruss) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 16,
+                                           .edge_prob = 0.4,
+                                           .seed = 4});
+  for (ItemId item : net.ActiveItems()) {
+    ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(item));
+    TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+    PatternTruss base = Mptd(tn, 0.0);
+    std::set<Edge> seen;
+    size_t total = 0;
+    for (const auto& level : d.levels()) {
+      for (const Edge& e : level.removed) {
+        EXPECT_TRUE(seen.insert(e).second) << "duplicate edge across levels";
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, base.num_edges());
+    for (const Edge& e : base.edges) EXPECT_TRUE(seen.count(e));
+  }
+}
+
+// Theorem 6.1 / Eq. 1: reconstruction equals direct MPTD for *every*
+// alpha, including exactly at level boundaries.
+class DecompositionReconstructTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecompositionReconstructTest, MatchesDirectMptdEverywhere) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 14,
+                                           .edge_prob = 0.45,
+                                           .num_items = 4,
+                                           .seed = GetParam()});
+  for (ItemId item : net.ActiveItems()) {
+    ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(item));
+    TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+
+    // Probe: 0, each level alpha (boundary), midpoints, beyond max.
+    std::vector<CohesionValue> probes = {0};
+    for (const auto& level : d.levels()) {
+      probes.push_back(level.alpha);
+      probes.push_back(level.alpha - 1);
+      probes.push_back(level.alpha + 1);
+    }
+    probes.push_back(d.max_alpha() + kCohesionScale);
+
+    for (CohesionValue aq : probes) {
+      if (aq < 0) continue;
+      PatternTruss reconstructed = d.TrussAtAlphaQ(aq);
+      PatternTruss direct = MptdQ(tn, aq);
+      EXPECT_EQ(reconstructed.edges, direct.edges)
+          << "item=" << item << " alpha_q=" << aq;
+      EXPECT_EQ(reconstructed.vertices, direct.vertices);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecompositionReconstructTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(DecompositionTest, ReconstructionAtZeroIsBaseTruss) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0}));
+  TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+  PatternTruss base = Mptd(tn, 0.0);
+  PatternTruss rec = d.TrussAtAlpha(0.0);
+  EXPECT_EQ(rec.edges, base.edges);
+  EXPECT_EQ(rec.vertices, base.vertices);
+  EXPECT_EQ(rec.frequencies, base.frequencies);
+}
+
+TEST(DecompositionTest, QueryBeyondMaxAlphaIsEmpty) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0}));
+  TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+  EXPECT_TRUE(d.TrussAtAlphaQ(d.max_alpha()).empty());
+  EXPECT_TRUE(d.TrussAtAlpha(1000.0).empty());
+  // Just below max_alpha: non-empty (the last level).
+  EXPECT_FALSE(d.TrussAtAlphaQ(d.max_alpha() - 1).empty());
+}
+
+TEST(DecompositionTest, SortedEdgesMatchesBase) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0}));
+  TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+  PatternTruss base = Mptd(tn, 0.0);
+  EXPECT_EQ(d.sorted_edges(), base.edges);
+}
+
+TEST(DecompositionTest, StoresPatternAndMemoryEstimate) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0}));
+  TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+  EXPECT_EQ(d.pattern(), Itemset({0}));
+  EXPECT_GT(d.MemoryBytes(), sizeof(TrussDecomposition));
+}
+
+// The paper's memory argument: L_p stores exactly |E*(0)| edges.
+TEST(DecompositionTest, NoEdgeDuplicationAcrossLevels) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 20,
+                                           .edge_prob = 0.35,
+                                           .seed = 12});
+  for (ItemId item : net.ActiveItems()) {
+    ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(item));
+    TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+    size_t level_total = 0;
+    for (const auto& l : d.levels()) level_total += l.removed.size();
+    EXPECT_EQ(level_total, d.num_edges());
+  }
+}
+
+}  // namespace
+}  // namespace tcf

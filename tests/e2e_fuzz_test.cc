@@ -1,0 +1,112 @@
+// Randomized end-to-end consistency: for many seeds, run the whole
+// pipeline — generate → (text and binary) serialize → sample → mine with
+// all three miners → index → persist index → query — and check that
+// every stage agrees with every other. This is the "no seam leaks"
+// suite: each individual stage has its own oracle tests; this one checks
+// the composition.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/brute_force.h"
+#include "core/communities.h"
+#include "core/community_search.h"
+#include "core/tc_tree.h"
+#include "core/tc_tree_io.h"
+#include "core/tc_tree_query.h"
+#include "core/tcfa.h"
+#include "core/tcfi.h"
+#include "core/tcs.h"
+#include "net/binary_io.h"
+#include "net/network_io.h"
+#include "net/sampler.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::ExpectSameResults;
+using testing::MakeRandomNetwork;
+
+class E2EFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(E2EFuzzTest, PipelineStagesAgree) {
+  const uint64_t seed = GetParam();
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 15,
+                                           .edge_prob = 0.4,
+                                           .num_items = 5,
+                                           .tx_per_vertex = 6,
+                                           .seed = seed});
+
+  // --- Serialization round trips preserve mining results. ---------------
+  std::stringstream text, binary;
+  ASSERT_TRUE(SaveNetwork(net, text).ok());
+  ASSERT_TRUE(SaveNetworkBinary(net, binary).ok());
+  auto from_text = LoadNetwork(text);
+  auto from_binary = LoadNetworkBinary(binary);
+  ASSERT_TRUE(from_text.ok());
+  ASSERT_TRUE(from_binary.ok());
+
+  const double alpha = 0.1 * static_cast<double>(seed % 4);
+  MiningResult direct = RunTcfi(net, {.alpha = alpha});
+  ExpectSameResults(direct, RunTcfi(*from_text, {.alpha = alpha}),
+                    "text round trip");
+  ExpectSameResults(direct, RunTcfi(*from_binary, {.alpha = alpha}),
+                    "binary round trip");
+
+  // --- All exact miners agree; the oracle confirms. ---------------------
+  ExpectSameResults(direct, RunTcfa(net, {.alpha = alpha}), "tcfa");
+  ExpectSameResults(direct, RunTcs(net, {.alpha = alpha, .epsilon = 0.0}),
+                    "tcs eps=0");
+  ExpectSameResults(direct, BruteForceMineAll(net, alpha), "oracle");
+
+  // --- Index agrees with direct mining; persisted index agrees too. -----
+  TcTree tree = TcTree::Build(net, {.num_threads = 1 + seed % 3});
+  std::stringstream idx;
+  ASSERT_TRUE(SaveTcTree(tree, idx).ok());
+  auto loaded_tree = LoadTcTree(idx);
+  ASSERT_TRUE(loaded_tree.ok());
+
+  Itemset everything(net.ActiveItems());
+  auto via_tree = QueryTcTree(tree, everything, alpha);
+  auto via_loaded = QueryTcTree(*loaded_tree, everything, alpha);
+  ASSERT_EQ(via_tree.retrieved_nodes, direct.trusses.size());
+  ASSERT_EQ(via_loaded.retrieved_nodes, direct.trusses.size());
+
+  MiningResult from_tree;
+  from_tree.trusses = via_tree.trusses;
+  // Reconstructed trusses have no per-edge cohesions; compare topology.
+  for (auto& t : from_tree.trusses) t.edge_cohesions.clear();
+  MiningResult direct_no_coh = direct;
+  for (auto& t : direct_no_coh.trusses) t.edge_cohesions.clear();
+  ExpectSameResults(std::move(direct_no_coh), std::move(from_tree),
+                    "tree vs direct");
+
+  // --- Community search composes with extraction. -----------------------
+  auto communities = ExtractThemeCommunities(via_tree.trusses);
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    auto mine = SearchCommunitiesOfVertex(tree, v, everything, alpha);
+    size_t expect = 0;
+    for (const auto& c : communities) {
+      if (std::binary_search(c.vertices.begin(), c.vertices.end(), v)) {
+        ++expect;
+      }
+    }
+    EXPECT_EQ(mine.size(), expect) << "v=" << v;
+  }
+
+  // --- Sampling keeps the exactness invariants. --------------------------
+  if (net.num_edges() >= 6) {
+    Rng rng(seed);
+    auto sub = SampleByBfs(net, net.num_edges() / 2, rng);
+    ASSERT_TRUE(sub.ok());
+    ExpectSameResults(RunTcfa(*sub, {.alpha = alpha}),
+                      RunTcfi(*sub, {.alpha = alpha}), "sampled");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, E2EFuzzTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace tcf

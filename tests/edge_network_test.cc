@@ -1,0 +1,203 @@
+// Tests for the §8 future-work extension: edge database networks.
+#include <gtest/gtest.h>
+
+#include "core/communities.h"
+#include "ext/edge_miner.h"
+#include "ext/edge_mptd.h"
+#include "ext/edge_network.h"
+#include "graph/graph_builder.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace tcf {
+namespace {
+
+using testing::EdgeList;
+
+// Builds an edge database network from explicit edges and per-edge
+// transactions (aligned with canonical edge-id order after Build()).
+EdgeDatabaseNetwork MakeEdgeNet(
+    size_t n, std::vector<std::pair<VertexId, VertexId>> edge_list,
+    const std::vector<std::vector<std::vector<ItemId>>>& tx_per_edge) {
+  GraphBuilder b(n);
+  for (auto [x, y] : edge_list) EXPECT_TRUE(b.AddEdge(x, y).ok());
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), tx_per_edge.size());
+  std::vector<TransactionDb> dbs(g.num_edges());
+  ItemId max_item = 0;
+  for (EdgeId e = 0; e < tx_per_edge.size(); ++e) {
+    for (const auto& t : tx_per_edge[e]) {
+      for (ItemId i : t) max_item = std::max(max_item, i);
+      dbs[e].Add(Itemset(t));
+    }
+  }
+  ItemDictionary dict;
+  for (ItemId i = 0; i <= max_item; ++i) {
+    dict.GetOrAdd("e" + std::to_string(i));
+  }
+  return EdgeDatabaseNetwork(std::move(g), std::move(dbs), std::move(dict));
+}
+
+// A triangle whose three edges all contain item 0 at various freqs,
+// plus a pendant edge without it. Canonical edge order for edges
+// {0,1},{0,2},{1,2},{2,3}.
+EdgeDatabaseNetwork TriangleNet() {
+  return MakeEdgeNet(4, {{0, 1}, {0, 2}, {1, 2}, {2, 3}},
+                     {{{0}, {0}, {1}},   // f({0}) = 2/3
+                      {{0}, {1}},        // f = 1/2
+                      {{0}},             // f = 1
+                      {{1}}});           // f = 0
+}
+
+TEST(EdgeNetworkTest, ConstructionAndFrequency) {
+  EdgeDatabaseNetwork net = TriangleNet();
+  EXPECT_EQ(net.num_vertices(), 4u);
+  EXPECT_EQ(net.num_edges(), 4u);
+  EXPECT_DOUBLE_EQ(net.Frequency(0, Itemset({0})), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(net.Frequency(1, Itemset({0})), 0.5);
+  EXPECT_DOUBLE_EQ(net.Frequency(2, Itemset({0})), 1.0);
+  EXPECT_DOUBLE_EQ(net.Frequency(3, Itemset({0})), 0.0);
+  EXPECT_EQ(net.ActiveItems(), (std::vector<ItemId>{0, 1}));
+}
+
+TEST(EdgeNetworkTest, InduceThemeNetworkKeepsPositiveEdges) {
+  EdgeDatabaseNetwork net = TriangleNet();
+  EdgeThemeNetwork tn = InduceEdgeThemeNetwork(net, Itemset({0}));
+  EXPECT_EQ(tn.edges, EdgeList({{0, 1}, {0, 2}, {1, 2}}));
+  EXPECT_DOUBLE_EQ(tn.frequencies[0], 2.0 / 3.0);
+}
+
+TEST(EdgeNetworkTest, InduceFromEdgesRestricts) {
+  EdgeDatabaseNetwork net = TriangleNet();
+  EdgeThemeNetwork tn = InduceEdgeThemeNetworkFromEdges(
+      net, Itemset({0}), EdgeList({{0, 1}, {2, 3}}));
+  EXPECT_EQ(tn.edges, EdgeList({{0, 1}}));  // {2,3} has f = 0
+}
+
+TEST(EdgeMptdTest, TriangleCohesionIsMinOfEdgeFrequencies) {
+  EdgeDatabaseNetwork net = TriangleNet();
+  EdgeThemeNetwork tn = InduceEdgeThemeNetwork(net, Itemset({0}));
+  PatternTruss truss = EdgeMptd(tn, 0.0);
+  // One triangle; every edge's cohesion = min(2/3, 1/2, 1) = 1/2.
+  ASSERT_EQ(truss.num_edges(), 3u);
+  for (CohesionValue c : truss.edge_cohesions) {
+    EXPECT_EQ(c, QuantizeFrequency(0.5));
+  }
+}
+
+TEST(EdgeMptdTest, ThresholdPeelsTriangle) {
+  EdgeDatabaseNetwork net = TriangleNet();
+  EdgeThemeNetwork tn = InduceEdgeThemeNetwork(net, Itemset({0}));
+  EXPECT_FALSE(EdgeMptd(tn, 0.49).empty());
+  EXPECT_TRUE(EdgeMptd(tn, 0.5).empty());  // strict predicate
+}
+
+TEST(EdgeMptdTest, EmptyNetwork) {
+  EdgeThemeNetwork tn;
+  tn.pattern = Itemset({0});
+  EXPECT_TRUE(EdgeMptd(tn, 0.0).empty());
+}
+
+// Random edge networks for property testing.
+EdgeDatabaseNetwork RandomEdgeNet(uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(10);
+  std::vector<std::pair<VertexId, VertexId>> chosen;
+  for (VertexId a = 0; a < 10; ++a) {
+    for (VertexId v = a + 1; v < 10; ++v) {
+      if (rng.NextBool(0.45)) chosen.emplace_back(a, v);
+    }
+  }
+  std::vector<std::vector<std::vector<ItemId>>> tx(chosen.size());
+  for (auto& db : tx) {
+    const size_t n_tx = 2 + rng.NextUint64(5);
+    for (size_t t = 0; t < n_tx; ++t) {
+      std::vector<ItemId> items;
+      const size_t len = 1 + rng.NextUint64(3);
+      for (size_t i = 0; i < len; ++i) {
+        items.push_back(static_cast<ItemId>(rng.NextUint64(4)));
+      }
+      db.push_back(std::move(items));
+    }
+  }
+  return MakeEdgeNet(10, std::move(chosen), tx);
+}
+
+class EdgeMptdPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(EdgeMptdPropertyTest, PeelingMatchesFixpoint) {
+  const auto [seed, alpha] = GetParam();
+  EdgeDatabaseNetwork net = RandomEdgeNet(seed);
+  for (ItemId item : net.ActiveItems()) {
+    EdgeThemeNetwork tn = InduceEdgeThemeNetwork(net, Itemset::Single(item));
+    PatternTruss fast = EdgeMptd(tn, alpha);
+    PatternTruss slow = EdgeMptdBruteForce(tn, alpha);
+    EXPECT_EQ(fast.edges, slow.edges) << "item " << item;
+    EXPECT_EQ(fast.edge_cohesions, slow.edge_cohesions);
+    EXPECT_EQ(fast.vertices, slow.vertices);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, EdgeMptdPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.0, 0.2, 0.5)));
+
+class EdgeMinerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EdgeMinerPropertyTest, TcfiMatchesOracle) {
+  EdgeDatabaseNetwork net = RandomEdgeNet(GetParam());
+  for (double alpha : {0.0, 0.25}) {
+    MiningResult fast = RunEdgeTcfi(net, {.alpha = alpha});
+    MiningResult slow = BruteForceEdgeMineAll(net, alpha);
+    ASSERT_EQ(fast.trusses.size(), slow.trusses.size()) << "alpha=" << alpha;
+    for (size_t i = 0; i < fast.trusses.size(); ++i) {
+      EXPECT_EQ(fast.trusses[i].pattern, slow.trusses[i].pattern);
+      EXPECT_EQ(fast.trusses[i].edges, slow.trusses[i].edges);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, EdgeMinerPropertyTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+TEST(EdgeMinerTest, GraphAntiMonotonicityHolds) {
+  // p1 ⊆ p2 ⟹ truss(p2) ⊆ truss(p1), lifted to edge networks.
+  EdgeDatabaseNetwork net = RandomEdgeNet(11);
+  MiningResult r = RunEdgeTcfi(net, {.alpha = 0.0});
+  std::map<Itemset, const PatternTruss*> by_pattern;
+  for (const auto& t : r.trusses) by_pattern[t.pattern] = &t;
+  for (const auto& [p, truss] : by_pattern) {
+    if (p.size() < 2) continue;
+    for (const Itemset& sub : p.AllSubsetsMinusOne()) {
+      auto it = by_pattern.find(sub);
+      ASSERT_NE(it, by_pattern.end()) << "Prop. 5.2 violated";
+      EXPECT_TRUE(truss->IsSubgraphOf(*it->second));
+    }
+  }
+}
+
+TEST(EdgeMinerTest, CommunitiesExtractFromEdgeTrusses) {
+  EdgeDatabaseNetwork net = TriangleNet();
+  MiningResult r = RunEdgeTcfi(net, {.alpha = 0.0});
+  auto communities = ExtractThemeCommunities(r.trusses);
+  ASSERT_FALSE(communities.empty());
+  bool found = false;
+  for (const auto& c : communities) {
+    if (c.theme == Itemset({0})) {
+      EXPECT_EQ(c.vertices, (std::vector<VertexId>{0, 1, 2}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EdgeMinerTest, MaxPatternLengthRespected) {
+  EdgeDatabaseNetwork net = RandomEdgeNet(13);
+  MiningResult r = RunEdgeTcfi(net, {.alpha = 0.0, .max_pattern_length = 1});
+  for (const auto& t : r.trusses) EXPECT_EQ(t.pattern.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tcf

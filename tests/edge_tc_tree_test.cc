@@ -1,0 +1,163 @@
+// Tests for the edge-network TC-Tree (indexing + query answering for the
+// §8 extension).
+#include "ext/edge_tc_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ext/edge_miner.h"
+#include "graph/graph_builder.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace tcf {
+namespace {
+
+EdgeDatabaseNetwork RandomEdgeNet(uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(10);
+  std::vector<Edge> chosen;
+  for (VertexId x = 0; x < 10; ++x) {
+    for (VertexId y = x + 1; y < 10; ++y) {
+      if (rng.NextBool(0.45)) chosen.push_back({x, y});
+    }
+  }
+  for (const Edge& e : chosen) EXPECT_TRUE(b.AddEdge(e.u, e.v).ok());
+  Graph g = b.Build();
+  std::vector<TransactionDb> dbs(g.num_edges());
+  for (auto& db : dbs) {
+    const size_t n_tx = 2 + rng.NextUint64(5);
+    for (size_t t = 0; t < n_tx; ++t) {
+      std::vector<ItemId> items;
+      const size_t len = 1 + rng.NextUint64(3);
+      for (size_t i = 0; i < len; ++i) {
+        items.push_back(static_cast<ItemId>(rng.NextUint64(4)));
+      }
+      db.Add(Itemset(std::move(items)));
+    }
+  }
+  ItemDictionary dict;
+  for (int i = 0; i < 4; ++i) dict.GetOrAdd("e" + std::to_string(i));
+  return EdgeDatabaseNetwork(std::move(g), std::move(dbs), std::move(dict));
+}
+
+class EdgeDecompositionTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EdgeDecompositionTest, ReconstructionMatchesDirectMptd) {
+  EdgeDatabaseNetwork net = RandomEdgeNet(GetParam());
+  for (ItemId item : net.ActiveItems()) {
+    EdgeThemeNetwork tn = InduceEdgeThemeNetwork(net, Itemset::Single(item));
+    TrussDecomposition d = DecomposeEdgeThemeNetwork(tn);
+
+    std::vector<CohesionValue> probes = {0};
+    for (const auto& level : d.levels()) {
+      probes.push_back(level.alpha - 1);
+      probes.push_back(level.alpha);
+      probes.push_back(level.alpha + 1);
+    }
+    for (CohesionValue aq : probes) {
+      if (aq < 0) continue;
+      std::vector<Edge> reconstructed = d.EdgesAtAlphaQ(aq);
+      PatternTruss direct =
+          EdgeMptd(tn, CohesionToDouble(aq));
+      // CohesionToDouble/QuantizeAlpha round-trip exactly on grid points.
+      EXPECT_EQ(reconstructed, direct.edges)
+          << "item=" << item << " aq=" << aq;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeDecompositionTest,
+                         ::testing::Range<uint64_t>(1, 7));
+
+TEST(EdgeDecompositionTest, LevelsAscendAndPartition) {
+  EdgeDatabaseNetwork net = RandomEdgeNet(11);
+  for (ItemId item : net.ActiveItems()) {
+    EdgeThemeNetwork tn = InduceEdgeThemeNetwork(net, Itemset::Single(item));
+    TrussDecomposition d = DecomposeEdgeThemeNetwork(tn);
+    PatternTruss base = EdgeMptd(tn, 0.0);
+    size_t total = 0;
+    for (size_t k = 0; k < d.levels().size(); ++k) {
+      if (k > 0) {
+        EXPECT_GT(d.levels()[k].alpha, d.levels()[k - 1].alpha);
+      }
+      total += d.levels()[k].removed.size();
+    }
+    EXPECT_EQ(total, base.num_edges());
+  }
+}
+
+TEST(EdgeTcTreeTest, NodesMatchMinerPatterns) {
+  EdgeDatabaseNetwork net = RandomEdgeNet(21);
+  EdgeTcTree tree = EdgeTcTree::Build(net);
+  MiningResult exact = RunEdgeTcfi(net, {.alpha = 0.0});
+  std::set<Itemset> expect;
+  for (const auto& t : exact.trusses) expect.insert(t.pattern);
+  std::set<Itemset> got;
+  for (EdgeTcTree::NodeId id = 1; id <= tree.num_nodes(); ++id) {
+    got.insert(tree.PatternOf(id));
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(EdgeTcTreeTest, QueryMatchesSubsetOracle) {
+  EdgeDatabaseNetwork net = RandomEdgeNet(23);
+  EdgeTcTree tree = EdgeTcTree::Build(net);
+  for (double alpha : {0.0, 0.2, 0.5}) {
+    for (const Itemset& q :
+         {Itemset({0, 1, 2, 3}), Itemset({0, 2}), Itemset({1})}) {
+      // Oracle: direct MPTD per subset.
+      std::map<Itemset, std::vector<Edge>> oracle;
+      const auto& items = q.items();
+      for (uint64_t mask = 1; mask < (1ULL << items.size()); ++mask) {
+        std::vector<ItemId> sub;
+        for (size_t bit = 0; bit < items.size(); ++bit) {
+          if (mask & (1ULL << bit)) sub.push_back(items[bit]);
+        }
+        Itemset p(std::move(sub));
+        PatternTruss t = EdgeMptd(InduceEdgeThemeNetwork(net, p), alpha);
+        if (!t.empty()) oracle.emplace(p, t.edges);
+      }
+      EdgeTcTreeQueryResult r = tree.Query(q, alpha);
+      ASSERT_EQ(r.retrieved_nodes, oracle.size())
+          << "alpha=" << alpha << " q=" << q.ToString();
+      for (const auto& t : r.trusses) {
+        auto it = oracle.find(t.pattern);
+        ASSERT_NE(it, oracle.end());
+        EXPECT_EQ(t.edges, it->second);
+      }
+    }
+  }
+}
+
+TEST(EdgeTcTreeTest, MaxDepthAndBudget) {
+  EdgeDatabaseNetwork net = RandomEdgeNet(25);
+  EdgeTcTree capped = EdgeTcTree::Build(net, {.max_depth = 1});
+  for (EdgeTcTree::NodeId id = 1; id <= capped.num_nodes(); ++id) {
+    EXPECT_EQ(capped.PatternOf(id).size(), 1u);
+  }
+  EdgeTcTree full = EdgeTcTree::Build(net);
+  if (full.num_nodes() >= 4) {
+    EdgeTcTree budget =
+        EdgeTcTree::Build(net, {.max_nodes = full.num_nodes() / 2});
+    EXPECT_TRUE(budget.truncated());
+    EXPECT_LT(budget.num_nodes(), full.num_nodes());
+  }
+}
+
+TEST(EdgeTcTreeTest, EmptyNetwork) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  std::vector<TransactionDb> dbs(1);  // edge db left empty
+  ItemDictionary dict;
+  EdgeDatabaseNetwork net(b.Build(), std::move(dbs), std::move(dict));
+  EdgeTcTree tree = EdgeTcTree::Build(net);
+  EXPECT_EQ(tree.num_nodes(), 0u);
+  EXPECT_EQ(tree.Query(Itemset({0}), 0.0).retrieved_nodes, 0u);
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,124 @@
+#include "tx/fim.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tcf {
+namespace {
+
+TransactionDb MarketBasket() {
+  // The classic beer/diaper example.
+  TransactionDb db;
+  db.Add(Itemset({0, 1}));     // beer, diaper
+  db.Add(Itemset({0, 1, 2}));  // beer, diaper, milk
+  db.Add(Itemset({0, 1}));
+  db.Add(Itemset({2}));
+  db.Add(Itemset({0, 2}));
+  return db;
+}
+
+TEST(FimTest, MinesExpectedPatterns) {
+  auto out = MineFrequentItemsets(MarketBasket(), 0.5);
+  // Frequencies: {0}=0.8, {1}=0.6, {2}=0.6, {0,1}=0.6, {0,2}=0.4, ...
+  // Strict > 0.5 keeps {0}, {1}, {2}, {0,1}.
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].pattern, Itemset({0}));
+  EXPECT_DOUBLE_EQ(out[0].frequency, 0.8);
+  EXPECT_EQ(out[1].pattern, Itemset({0, 1}));
+  EXPECT_DOUBLE_EQ(out[1].frequency, 0.6);
+  EXPECT_EQ(out[2].pattern, Itemset({1}));
+  EXPECT_EQ(out[3].pattern, Itemset({2}));
+}
+
+TEST(FimTest, ThresholdIsStrict) {
+  // {0,1} has frequency exactly 0.6; epsilon = 0.6 must exclude it.
+  auto out = MineFrequentItemsets(MarketBasket(), 0.6);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pattern, Itemset({0}));
+}
+
+TEST(FimTest, EpsilonZeroFindsEverySupportedPattern) {
+  auto out = MineFrequentItemsets(MarketBasket(), 0.0);
+  // Supported: {0} {1} {2} {0,1} {0,2} {1,2}? {1,2} appears in t1 ({0,1,2}).
+  // {0,1,2} appears once. So 7 patterns total.
+  EXPECT_EQ(out.size(), 7u);
+}
+
+TEST(FimTest, MaxLengthCapsPatterns) {
+  auto out = MineFrequentItemsets(MarketBasket(), 0.0, 1);
+  EXPECT_EQ(out.size(), 3u);  // singletons only
+  for (const auto& fp : out) EXPECT_EQ(fp.pattern.size(), 1u);
+
+  auto out2 = MineFrequentItemsets(MarketBasket(), 0.0, 2);
+  for (const auto& fp : out2) EXPECT_LE(fp.pattern.size(), 2u);
+  EXPECT_EQ(out2.size(), 6u);
+}
+
+TEST(FimTest, EmptyDatabaseYieldsNothing) {
+  TransactionDb db;
+  EXPECT_TRUE(MineFrequentItemsets(db, 0.0).empty());
+}
+
+TEST(FimTest, EmptyTransactionsOnly) {
+  TransactionDb db;
+  db.Add(Itemset());
+  db.Add(Itemset());
+  EXPECT_TRUE(MineFrequentItemsets(db, 0.0).empty());
+}
+
+TEST(FimTest, BruteForceMatchesOnExample) {
+  TransactionDb db = MarketBasket();
+  for (double eps : {0.0, 0.2, 0.4, 0.59, 0.6, 0.9}) {
+    auto fast = MineFrequentItemsets(db, eps);
+    auto slow = MineFrequentItemsetsBruteForce(db, eps);
+    ASSERT_EQ(fast.size(), slow.size()) << "eps=" << eps;
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_EQ(fast[i].pattern, slow[i].pattern) << "eps=" << eps;
+      EXPECT_DOUBLE_EQ(fast[i].frequency, slow[i].frequency) << "eps=" << eps;
+    }
+  }
+}
+
+// Property suite: Eclat == brute force on random databases over a grid of
+// (seed, epsilon).
+class FimPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(FimPropertyTest, EclatMatchesBruteForce) {
+  const auto [seed, eps] = GetParam();
+  Rng rng(seed);
+  TransactionDb db;
+  const size_t n_tx = 2 + rng.NextUint64(25);
+  for (size_t t = 0; t < n_tx; ++t) {
+    std::vector<ItemId> items;
+    const size_t len = rng.NextUint64(6);
+    for (size_t i = 0; i < len; ++i) {
+      items.push_back(static_cast<ItemId>(rng.NextUint64(7)));
+    }
+    db.Add(Itemset(std::move(items)));
+  }
+  auto fast = MineFrequentItemsets(db, eps);
+  auto slow = MineFrequentItemsetsBruteForce(db, eps);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].pattern, slow[i].pattern);
+    EXPECT_DOUBLE_EQ(fast[i].frequency, slow[i].frequency);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDatabases, FimPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(0.0, 0.1, 0.3, 0.5)));
+
+TEST(FimTest, FrequenciesAreExactProportions) {
+  auto out = MineFrequentItemsets(MarketBasket(), 0.0);
+  TransactionDb db = MarketBasket();
+  for (const auto& fp : out) {
+    EXPECT_DOUBLE_EQ(fp.frequency, db.Frequency(fp.pattern));
+  }
+}
+
+}  // namespace
+}  // namespace tcf

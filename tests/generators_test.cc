@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "gen/checkin_generator.h"
+#include "gen/coauthor_generator.h"
+#include "gen/syn_generator.h"
+#include "net/stats.h"
+
+namespace tcf {
+namespace {
+
+// ------------------------------------------------------------ Check-in --
+
+CheckinParams SmallCheckin(uint64_t seed = 42) {
+  CheckinParams p;
+  p.num_users = 120;
+  p.num_locations = 40;
+  p.periods_per_user = 10;
+  p.seed = seed;
+  return p;
+}
+
+TEST(CheckinGeneratorTest, ShapeMatchesParams) {
+  DatabaseNetwork net = GenerateCheckinNetwork(SmallCheckin());
+  EXPECT_EQ(net.num_vertices(), 120u);
+  EXPECT_EQ(net.num_items(), 40u);
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    EXPECT_EQ(net.db(v).num_transactions(), 10u);
+  }
+}
+
+TEST(CheckinGeneratorTest, DeterministicGivenSeed) {
+  DatabaseNetwork a = GenerateCheckinNetwork(SmallCheckin(7));
+  DatabaseNetwork b = GenerateCheckinNetwork(SmallCheckin(7));
+  EXPECT_EQ(a.graph().edges(), b.graph().edges());
+  NetworkStats sa = ComputeStats(a), sb = ComputeStats(b);
+  EXPECT_EQ(sa.num_items_total, sb.num_items_total);
+}
+
+TEST(CheckinGeneratorTest, DifferentSeedsDiffer) {
+  NetworkStats a = ComputeStats(GenerateCheckinNetwork(SmallCheckin(1)));
+  NetworkStats b = ComputeStats(GenerateCheckinNetwork(SmallCheckin(2)));
+  EXPECT_NE(a.num_items_total, b.num_items_total);
+}
+
+TEST(CheckinGeneratorTest, LocationNamesInterned) {
+  DatabaseNetwork net = GenerateCheckinNetwork(SmallCheckin());
+  EXPECT_EQ(net.dictionary().Name(0), "loc0");
+  EXPECT_EQ(net.dictionary().Name(39), "loc39");
+}
+
+TEST(CheckinGeneratorTest, FriendsShareLocations) {
+  // Social mimicry must make adjacent vertices' item sets overlap more
+  // than random pairs on average.
+  CheckinParams p = SmallCheckin();
+  p.social_mimicry = 0.9;
+  DatabaseNetwork net = GenerateCheckinNetwork(p);
+  auto overlap = [&](VertexId a, VertexId b) {
+    Itemset ia = net.db(a).DistinctItems();
+    Itemset ib = net.db(b).DistinctItems();
+    return static_cast<double>(ia.Intersect(ib).size());
+  };
+  double adjacent = 0;
+  size_t n_adj = 0;
+  for (const Edge& e : net.graph().edges()) {
+    adjacent += overlap(e.u, e.v);
+    ++n_adj;
+  }
+  double distant = 0;
+  size_t n_dist = 0;
+  for (VertexId v = 0; v + 60 < net.num_vertices(); v += 7) {
+    if (!net.graph().HasEdge(v, v + 60)) {
+      distant += overlap(v, v + 60);
+      ++n_dist;
+    }
+  }
+  ASSERT_GT(n_adj, 0u);
+  ASSERT_GT(n_dist, 0u);
+  EXPECT_GT(adjacent / n_adj, distant / n_dist);
+}
+
+// ------------------------------------------------------------ Coauthor --
+
+CoauthorParams SmallCoauthor(uint64_t seed = 7) {
+  CoauthorParams p;
+  p.num_groups = 5;
+  p.group_size_min = 4;
+  p.group_size_max = 7;
+  p.seed = seed;
+  return p;
+}
+
+TEST(CoauthorGeneratorTest, PlantsRequestedGroups) {
+  CoauthorNetwork cn = GenerateCoauthorNetwork(SmallCoauthor());
+  EXPECT_EQ(cn.groups.size(), 5u);
+  for (const PlantedGroup& g : cn.groups) {
+    EXPECT_GE(g.members.size(), 4u);
+    EXPECT_LE(g.members.size(), 7u);
+    EXPECT_EQ(g.theme.size(), 4u);
+    for (VertexId m : g.members) EXPECT_LT(m, cn.network.num_vertices());
+  }
+}
+
+TEST(CoauthorGeneratorTest, ThemesAreDistinctAcrossGroups) {
+  CoauthorNetwork cn = GenerateCoauthorNetwork(SmallCoauthor());
+  for (size_t i = 0; i < cn.groups.size(); ++i) {
+    for (size_t j = i + 1; j < cn.groups.size(); ++j) {
+      EXPECT_TRUE(
+          cn.groups[i].theme.Intersect(cn.groups[j].theme).empty());
+    }
+  }
+}
+
+TEST(CoauthorGeneratorTest, MembersCarryTheirTheme) {
+  CoauthorNetwork cn = GenerateCoauthorNetwork(SmallCoauthor());
+  for (const PlantedGroup& g : cn.groups) {
+    for (VertexId m : g.members) {
+      // keyword_recall=0.9 over 12 papers: the full theme must appear
+      // with overwhelmingly positive frequency.
+      EXPECT_GT(cn.network.Frequency(m, g.theme), 0.0)
+          << "member " << m << " theme " << g.theme.ToString();
+    }
+  }
+}
+
+TEST(CoauthorGeneratorTest, OverlapCreatesMultiGroupAuthors) {
+  CoauthorParams p = SmallCoauthor();
+  p.num_groups = 8;
+  p.overlap_fraction = 0.5;
+  CoauthorNetwork cn = GenerateCoauthorNetwork(p);
+  std::map<VertexId, int> memberships;
+  for (const PlantedGroup& g : cn.groups) {
+    for (VertexId m : g.members) ++memberships[m];
+  }
+  int multi = 0;
+  for (const auto& [v, c] : memberships) {
+    if (c > 1) ++multi;
+  }
+  EXPECT_GT(multi, 0);
+}
+
+TEST(CoauthorGeneratorTest, Deterministic) {
+  CoauthorNetwork a = GenerateCoauthorNetwork(SmallCoauthor(3));
+  CoauthorNetwork b = GenerateCoauthorNetwork(SmallCoauthor(3));
+  EXPECT_EQ(a.network.graph().edges(), b.network.graph().edges());
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].members, b.groups[i].members);
+    EXPECT_EQ(a.groups[i].theme, b.groups[i].theme);
+  }
+}
+
+// ----------------------------------------------------------------- SYN --
+
+SynParams SmallSyn(uint64_t seed = 2026) {
+  SynParams p;
+  p.num_vertices = 150;
+  p.num_edges = 500;
+  p.num_items = 60;
+  p.num_seeds = 10;
+  p.seed = seed;
+  return p;
+}
+
+TEST(SynGeneratorTest, EveryVertexPopulated) {
+  DatabaseNetwork net = GenerateSynNetwork(SmallSyn());
+  EXPECT_EQ(net.num_vertices(), 150u);
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    EXPECT_GT(net.db(v).num_transactions(), 0u) << v;
+  }
+}
+
+TEST(SynGeneratorTest, TransactionCountFollowsDegreeFormula) {
+  SynParams p = SmallSyn();
+  DatabaseNetwork net = GenerateSynNetwork(p);
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    const size_t d = net.graph().degree(v);
+    const size_t expected = std::min<size_t>(
+        p.max_transactions_per_vertex,
+        static_cast<size_t>(std::ceil(std::exp(0.1 * static_cast<double>(d)))));
+    EXPECT_EQ(net.db(v).num_transactions(), expected) << "degree " << d;
+  }
+}
+
+TEST(SynGeneratorTest, TransactionLengthFollowsDegreeFormula) {
+  SynParams p = SmallSyn();
+  DatabaseNetwork net = GenerateSynNetwork(p);
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    const size_t d = net.graph().degree(v);
+    const size_t expected = std::min(
+        {p.max_transaction_length, p.num_items,
+         static_cast<size_t>(
+             std::ceil(std::exp(0.13 * static_cast<double>(d))))});
+    for (const Itemset& t : net.db(v).transactions()) {
+      EXPECT_EQ(t.size(), expected) << "degree " << d;
+    }
+  }
+}
+
+TEST(SynGeneratorTest, NeighborsShareItemsThroughPropagation) {
+  SynParams p = SmallSyn();
+  p.mutation_rate = 0.05;
+  DatabaseNetwork net = GenerateSynNetwork(p);
+  // With low mutation, adjacent databases should share many items.
+  double total_overlap = 0;
+  size_t count = 0;
+  for (const Edge& e : net.graph().edges()) {
+    Itemset a = net.db(e.u).DistinctItems();
+    Itemset b = net.db(e.v).DistinctItems();
+    total_overlap += static_cast<double>(a.Intersect(b).size()) /
+                     static_cast<double>(std::max<size_t>(1, a.size()));
+    ++count;
+    if (count > 200) break;
+  }
+  EXPECT_GT(total_overlap / static_cast<double>(count), 0.1);
+}
+
+TEST(SynGeneratorTest, Deterministic) {
+  NetworkStats a = ComputeStats(GenerateSynNetwork(SmallSyn(5)));
+  NetworkStats b = ComputeStats(GenerateSynNetwork(SmallSyn(5)));
+  EXPECT_EQ(a.num_transactions, b.num_transactions);
+  EXPECT_EQ(a.num_items_total, b.num_items_total);
+}
+
+TEST(SynGeneratorTest, BarabasiAlbertModelWorks) {
+  SynParams p = SmallSyn();
+  p.model = SynParams::Model::kBarabasiAlbert;
+  DatabaseNetwork net = GenerateSynNetwork(p);
+  EXPECT_EQ(net.num_vertices(), p.num_vertices);
+  EXPECT_GT(net.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,131 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+
+namespace tcf {
+namespace {
+
+TEST(EdgeTest, MakeEdgeCanonicalizes) {
+  EXPECT_EQ(MakeEdge(5, 2), (Edge{2, 5}));
+  EXPECT_EQ(MakeEdge(2, 5), (Edge{2, 5}));
+}
+
+TEST(EdgeTest, Ordering) {
+  EXPECT_LT((Edge{0, 1}), (Edge{0, 2}));
+  EXPECT_LT((Edge{0, 9}), (Edge{1, 2}));
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b;
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, IsolatedVerticesViaReserve) {
+  GraphBuilder b(5);
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder b;
+  EXPECT_TRUE(b.AddEdge(1, 1).IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+}
+
+TEST(GraphBuilderTest, CoalescesDuplicateEdges) {
+  GraphBuilder b;
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 0).ok());  // same edge reversed
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, GrowsVertexCountFromEndpoints) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(2, 7).ok());
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 8u);
+}
+
+Graph MakeTriangleWithTail() {
+  GraphBuilder b;
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(0, 2).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3).ok());
+  return b.Build();
+}
+
+TEST(GraphTest, EdgesAreCanonicalAndSorted) {
+  Graph g = MakeTriangleWithTail();
+  ASSERT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(g.edge(1), (Edge{0, 2}));
+  EXPECT_EQ(g.edge(2), (Edge{1, 2}));
+  EXPECT_EQ(g.edge(3), (Edge{2, 3}));
+}
+
+TEST(GraphTest, AdjacencySortedByNeighbor) {
+  Graph g = MakeTriangleWithTail();
+  auto adj = g.neighbors(2);
+  ASSERT_EQ(adj.size(), 3u);
+  EXPECT_EQ(adj[0].vertex, 0u);
+  EXPECT_EQ(adj[1].vertex, 1u);
+  EXPECT_EQ(adj[2].vertex, 3u);
+}
+
+TEST(GraphTest, NeighborsCarryEdgeIds) {
+  Graph g = MakeTriangleWithTail();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Neighbor& nb : g.neighbors(v)) {
+      const Edge& e = g.edge(nb.edge);
+      EXPECT_TRUE((e.u == v && e.v == nb.vertex) ||
+                  (e.v == v && e.u == nb.vertex));
+    }
+  }
+}
+
+TEST(GraphTest, FindEdge) {
+  Graph g = MakeTriangleWithTail();
+  EXPECT_EQ(g.FindEdge(0, 1), 0u);
+  EXPECT_EQ(g.FindEdge(1, 0), 0u);
+  EXPECT_EQ(g.FindEdge(2, 3), 3u);
+  EXPECT_EQ(g.FindEdge(0, 3), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(0, 99), kInvalidEdge);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(1, 3));
+}
+
+TEST(GraphTest, Degrees) {
+  Graph g = MakeTriangleWithTail();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(GraphTest, SumDegreeSquared) {
+  Graph g = MakeTriangleWithTail();
+  EXPECT_EQ(g.SumDegreeSquared(), 4u + 4u + 9u + 1u);
+}
+
+TEST(GraphBuilderTest, BuilderIsReusableAfterBuild) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  Graph g1 = b.Build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  // After Build the builder is reset.
+  Graph g2 = b.Build();
+  EXPECT_EQ(g2.num_edges(), 0u);
+  EXPECT_EQ(g2.num_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace tcf

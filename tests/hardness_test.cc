@@ -1,0 +1,78 @@
+// Reproduces the #P-hardness construction of Appendix A.1: a triangle
+// whose three vertices carry identical copies of a transaction database d
+// has exactly one theme community per pattern p with f(p) > α — so theme
+// community counting solves Frequent Pattern Counting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/brute_force.h"
+#include "core/communities.h"
+#include "core/tcfi.h"
+#include "test_util.h"
+#include "tx/fim.h"
+
+namespace tcf {
+namespace {
+
+DatabaseNetwork TriangleOfIdenticalDatabases(
+    const std::vector<std::vector<ItemId>>& transactions) {
+  std::vector<std::vector<std::vector<ItemId>>> tx(3, transactions);
+  return testing::MakeNetwork(3, {{0, 1}, {1, 2}, {0, 2}}, tx);
+}
+
+class HardnessConstructionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(HardnessConstructionTest, CommunityCountEqualsFrequentPatternCount) {
+  const double alpha = GetParam();
+  const std::vector<std::vector<ItemId>> d = {
+      {0, 1}, {0, 1, 2}, {2}, {0, 1}, {1, 2}, {0}};
+  DatabaseNetwork net = TriangleOfIdenticalDatabases(d);
+
+  // FPC answer: #patterns with f(p) > alpha in d.
+  TransactionDb db;
+  for (const auto& t : d) db.Add(Itemset(t));
+  const size_t fpc = MineFrequentItemsetsBruteForce(db, alpha).size();
+
+  // Theme community answer on the constructed network.
+  MiningResult mined = RunTcfi(net, {.alpha = alpha});
+  auto communities = ExtractThemeCommunities(mined.trusses);
+
+  EXPECT_EQ(communities.size(), fpc) << "alpha=" << alpha;
+
+  // Every community is the full triangle (eco_ij = f(p) on each edge).
+  for (const auto& c : communities) {
+    EXPECT_EQ(c.vertices, (std::vector<VertexId>{0, 1, 2}));
+    EXPECT_EQ(c.edges.size(), 3u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, HardnessConstructionTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.9));
+
+TEST(HardnessConstructionTest, EdgeCohesionEqualsPatternFrequency) {
+  // In the construction, every edge's cohesion equals f(p): one triangle,
+  // all three frequencies equal.
+  const std::vector<std::vector<ItemId>> d = {{0}, {0}, {1}};
+  DatabaseNetwork net = TriangleOfIdenticalDatabases(d);
+  MiningResult mined = RunTcfi(net, {.alpha = 0.0});
+  for (const auto& truss : mined.trusses) {
+    const double f = net.db(0).Frequency(truss.pattern);
+    for (CohesionValue c : truss.edge_cohesions) {
+      EXPECT_EQ(c, QuantizeFrequency(f)) << truss.pattern.ToString();
+    }
+  }
+}
+
+TEST(HardnessConstructionTest, ObeysOracleExactly) {
+  const std::vector<std::vector<ItemId>> d = {{0, 1}, {1, 2}, {0, 2}};
+  DatabaseNetwork net = TriangleOfIdenticalDatabases(d);
+  for (double alpha : {0.0, 0.2, 0.4}) {
+    testing::ExpectSameResults(RunTcfi(net, {.alpha = alpha}),
+                               BruteForceMineAll(net, alpha),
+                               "alpha=" + std::to_string(alpha));
+  }
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,162 @@
+// Cross-module integration: generators → sampler/serialization → miners →
+// index → queries, checked end-to-end on realistic (small) data.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/communities.h"
+#include "core/tc_tree.h"
+#include "core/tc_tree_query.h"
+#include "core/tcfa.h"
+#include "core/tcfi.h"
+#include "core/tcs.h"
+#include "gen/checkin_generator.h"
+#include "gen/coauthor_generator.h"
+#include "gen/syn_generator.h"
+#include "net/network_io.h"
+#include "net/sampler.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::ExpectSameResults;
+
+CheckinParams TinyCheckin() {
+  CheckinParams p;
+  p.num_users = 80;
+  p.num_locations = 25;
+  p.periods_per_user = 12;
+  p.favorites_per_user = 5;
+  p.seed = 9;
+  return p;
+}
+
+TEST(IntegrationTest, CheckinMiningAgreesAcrossMiners) {
+  DatabaseNetwork net = GenerateCheckinNetwork(TinyCheckin());
+  for (double alpha : {0.0, 0.1}) {
+    MiningResult fa = RunTcfa(net, {.alpha = alpha, .max_pattern_length = 3});
+    MiningResult fi = RunTcfi(net, {.alpha = alpha, .max_pattern_length = 3});
+    ExpectSameResults(std::move(fa), std::move(fi),
+                      "alpha=" + std::to_string(alpha));
+  }
+}
+
+TEST(IntegrationTest, CheckinTreeAnswersMatchDirectMining) {
+  DatabaseNetwork net = GenerateCheckinNetwork(TinyCheckin());
+  TcTree tree = TcTree::Build(net, {.num_threads = 2, .max_depth = 3});
+  MiningResult direct = RunTcfi(net, {.alpha = 0.0, .max_pattern_length = 3});
+
+  std::vector<ItemId> all_items = net.ActiveItems();
+  Itemset everything(all_items);
+  TcTreeQueryResult qba = QueryTcTree(tree, everything, 0.0);
+  EXPECT_EQ(qba.retrieved_nodes, direct.NumPatterns());
+
+  std::set<Itemset> direct_patterns;
+  for (const auto& t : direct.trusses) direct_patterns.insert(t.pattern);
+  for (const auto& t : qba.trusses) {
+    EXPECT_TRUE(direct_patterns.count(t.pattern)) << t.pattern.ToString();
+  }
+}
+
+TEST(IntegrationTest, SerializationPreservesMiningResults) {
+  DatabaseNetwork net = GenerateCheckinNetwork(TinyCheckin());
+  std::stringstream ss;
+  ASSERT_TRUE(SaveNetwork(net, ss).ok());
+  auto loaded = LoadNetwork(ss);
+  ASSERT_TRUE(loaded.ok());
+  ExpectSameResults(RunTcfi(net, {.alpha = 0.1, .max_pattern_length = 2}),
+                    RunTcfi(*loaded, {.alpha = 0.1, .max_pattern_length = 2}),
+                    "serialization round-trip");
+}
+
+TEST(IntegrationTest, SampledNetworkMinesConsistently) {
+  DatabaseNetwork net = GenerateCheckinNetwork(TinyCheckin());
+  Rng rng(5);
+  auto sub = SampleByBfs(net, net.num_edges() / 2, rng);
+  ASSERT_TRUE(sub.ok());
+  // Exactness invariants must hold on the sample too.
+  ExpectSameResults(RunTcfa(*sub, {.alpha = 0.0, .max_pattern_length = 2}),
+                    RunTcfi(*sub, {.alpha = 0.0, .max_pattern_length = 2}),
+                    "sampled network");
+}
+
+TEST(IntegrationTest, CoauthorPlantedGroupsAreRecovered) {
+  CoauthorParams p;
+  p.num_groups = 4;
+  p.group_size_min = 5;
+  p.group_size_max = 8;
+  p.overlap_fraction = 0.0;  // disjoint for crisp recovery
+  p.intra_group_edge_prob = 0.9;
+  p.seed = 13;
+  CoauthorNetwork cn = GenerateCoauthorNetwork(p);
+  TcTree tree = TcTree::Build(cn.network, {.max_depth = 4});
+
+  for (const PlantedGroup& g : cn.groups) {
+    // Query the planted theme; the deepest retrieved truss for the full
+    // theme must cover most of the planted members.
+    TcTreeQueryResult r = QueryTcTree(tree, g.theme, 0.0);
+    const PatternTruss* full = nullptr;
+    for (const auto& t : r.trusses) {
+      if (t.pattern == g.theme) full = &t;
+    }
+    ASSERT_NE(full, nullptr) << "theme " << g.theme.ToString();
+    // Recovered vertices ⊇ most members (edges require triangles, so a
+    // couple of peripheral members may drop).
+    std::set<VertexId> members(g.members.begin(), g.members.end());
+    size_t hits = 0;
+    for (VertexId v : full->vertices) {
+      if (members.count(v)) ++hits;
+    }
+    EXPECT_GE(hits * 2, g.members.size()) << "theme " << g.theme.ToString();
+    // Precision: recovered vertices should be members (no noise vertex
+    // carries the full theme).
+    for (VertexId v : full->vertices) {
+      EXPECT_TRUE(members.count(v)) << "vertex " << v;
+    }
+  }
+}
+
+TEST(IntegrationTest, SynNetworkEndToEnd) {
+  SynParams p;
+  p.num_vertices = 120;
+  p.num_edges = 420;
+  p.num_items = 40;
+  p.num_seeds = 8;
+  p.seed = 17;
+  DatabaseNetwork net = GenerateSynNetwork(p);
+  TcTree tree = TcTree::Build(net, {.max_depth = 2});
+  MiningResult direct = RunTcfi(net, {.alpha = 0.0, .max_pattern_length = 2});
+  EXPECT_EQ(tree.num_nodes(), direct.NumPatterns());
+}
+
+TEST(IntegrationTest, TcsUnderestimatesButNeverInvents) {
+  DatabaseNetwork net = GenerateCheckinNetwork(TinyCheckin());
+  MiningResult exact = RunTcfi(net, {.alpha = 0.0, .max_pattern_length = 2});
+  std::set<Itemset> exact_patterns;
+  for (const auto& t : exact.trusses) exact_patterns.insert(t.pattern);
+  for (double eps : {0.1, 0.3}) {
+    MiningResult lossy = RunTcs(
+        net, {.alpha = 0.0, .epsilon = eps, .max_pattern_length = 2});
+    EXPECT_LE(lossy.NumPatterns(), exact.NumPatterns());
+    for (const auto& t : lossy.trusses) {
+      EXPECT_TRUE(exact_patterns.count(t.pattern));
+    }
+  }
+}
+
+TEST(IntegrationTest, CommunitiesHaveCoherentThemes) {
+  DatabaseNetwork net = GenerateCheckinNetwork(TinyCheckin());
+  MiningResult r = RunTcfi(net, {.alpha = 0.2, .max_pattern_length = 2});
+  auto communities = ExtractThemeCommunities(r.trusses);
+  for (const auto& c : communities) {
+    ASSERT_GE(c.vertices.size(), 3u);  // a truss edge needs a triangle
+    for (VertexId v : c.vertices) {
+      EXPECT_GT(net.Frequency(v, c.theme), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcf

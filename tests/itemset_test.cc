@@ -1,0 +1,174 @@
+#include "tx/itemset.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "tx/item_dictionary.h"
+
+namespace tcf {
+namespace {
+
+TEST(ItemsetTest, ConstructionSortsAndDedups) {
+  Itemset s({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.items(), (std::vector<ItemId>{1, 3, 5}));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(ItemsetTest, EmptyBehaviour) {
+  Itemset e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.size(), 0u);
+  EXPECT_FALSE(e.Contains(0));
+  EXPECT_TRUE(e.IsSubsetOf(Itemset({1, 2})));
+}
+
+TEST(ItemsetTest, Single) {
+  Itemset s = Itemset::Single(9);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Contains(9));
+}
+
+TEST(ItemsetTest, Contains) {
+  Itemset s({2, 4, 8});
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(8));
+  EXPECT_FALSE(s.Contains(3));
+}
+
+TEST(ItemsetTest, SubsetRelation) {
+  Itemset a({1, 3});
+  Itemset b({1, 2, 3});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(ItemsetTest, UnionWithSet) {
+  EXPECT_EQ(Itemset({1, 3}).Union(Itemset({2, 3})), Itemset({1, 2, 3}));
+  EXPECT_EQ(Itemset().Union(Itemset({5})), Itemset({5}));
+}
+
+TEST(ItemsetTest, UnionWithItem) {
+  EXPECT_EQ(Itemset({1, 3}).Union(2), Itemset({1, 2, 3}));
+  EXPECT_EQ(Itemset({1, 3}).Union(3), Itemset({1, 3}));  // already present
+  EXPECT_EQ(Itemset({1, 3}).Union(9), Itemset({1, 3, 9}));
+  EXPECT_EQ(Itemset().Union(0), Itemset({0}));
+}
+
+TEST(ItemsetTest, Intersect) {
+  EXPECT_EQ(Itemset({1, 2, 3}).Intersect(Itemset({2, 3, 4})),
+            Itemset({2, 3}));
+  EXPECT_EQ(Itemset({1}).Intersect(Itemset({2})), Itemset());
+}
+
+TEST(ItemsetTest, Minus) {
+  EXPECT_EQ(Itemset({1, 2, 3}).Minus(Itemset({2})), Itemset({1, 3}));
+  EXPECT_EQ(Itemset({1}).Minus(Itemset({1})), Itemset());
+}
+
+TEST(ItemsetTest, AllSubsetsMinusOne) {
+  auto subs = Itemset({1, 2, 3}).AllSubsetsMinusOne();
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0], Itemset({2, 3}));
+  EXPECT_EQ(subs[1], Itemset({1, 3}));
+  EXPECT_EQ(subs[2], Itemset({1, 2}));
+}
+
+TEST(ItemsetTest, HasPrefix) {
+  Itemset s({1, 2, 3});
+  EXPECT_TRUE(s.HasPrefix(Itemset({1})));
+  EXPECT_TRUE(s.HasPrefix(Itemset({1, 2})));
+  EXPECT_TRUE(s.HasPrefix(Itemset()));
+  EXPECT_FALSE(s.HasPrefix(Itemset({2})));
+  EXPECT_FALSE(s.HasPrefix(Itemset({1, 2, 3, 4})));
+}
+
+TEST(ItemsetTest, BackReturnsLargest) {
+  EXPECT_EQ(Itemset({4, 1, 9}).Back(), 9u);
+}
+
+TEST(ItemsetTest, LexicographicOrder) {
+  EXPECT_LT(Itemset({1}), Itemset({1, 2}));
+  EXPECT_LT(Itemset({1, 2}), Itemset({1, 3}));
+  EXPECT_LT(Itemset({1, 9}), Itemset({2}));
+  EXPECT_FALSE(Itemset({2}) < Itemset({2}));
+}
+
+TEST(ItemsetTest, ToString) {
+  EXPECT_EQ(Itemset({3, 1}).ToString(), "{1, 3}");
+  EXPECT_EQ(Itemset().ToString(), "{}");
+}
+
+TEST(ItemsetTest, HashConsistentWithEquality) {
+  Itemset a({1, 2, 3});
+  Itemset b({3, 2, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  std::unordered_set<Itemset, ItemsetHash> set;
+  set.insert(a);
+  set.insert(b);
+  EXPECT_EQ(set.size(), 1u);
+  set.insert(Itemset({1, 2}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AprioriJoinTest, JoinsPrefixSharingPatterns) {
+  Itemset out;
+  ASSERT_TRUE(AprioriJoin(Itemset({1, 2}), Itemset({1, 3}), &out));
+  EXPECT_EQ(out, Itemset({1, 2, 3}));
+}
+
+TEST(AprioriJoinTest, SingletonsAlwaysJoin) {
+  Itemset out;
+  ASSERT_TRUE(AprioriJoin(Itemset({1}), Itemset({4}), &out));
+  EXPECT_EQ(out, Itemset({1, 4}));
+}
+
+TEST(AprioriJoinTest, RejectsDifferentPrefix) {
+  Itemset out;
+  EXPECT_FALSE(AprioriJoin(Itemset({1, 2}), Itemset({2, 3}), &out));
+}
+
+TEST(AprioriJoinTest, RejectsIdenticalOrDifferentLengths) {
+  Itemset out;
+  EXPECT_FALSE(AprioriJoin(Itemset({1, 2}), Itemset({1, 2}), &out));
+  EXPECT_FALSE(AprioriJoin(Itemset({1, 2}), Itemset({1}), &out));
+  EXPECT_FALSE(AprioriJoin(Itemset(), Itemset(), &out));
+}
+
+// -------------------------------------------------------- Dictionary --
+
+TEST(ItemDictionaryTest, InternAssignsDenseIds) {
+  ItemDictionary d;
+  EXPECT_EQ(d.GetOrAdd("apple"), 0u);
+  EXPECT_EQ(d.GetOrAdd("beer"), 1u);
+  EXPECT_EQ(d.GetOrAdd("apple"), 0u);  // existing
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(ItemDictionaryTest, NameLookup) {
+  ItemDictionary d;
+  d.GetOrAdd("diaper");
+  EXPECT_EQ(d.Name(0), "diaper");
+}
+
+TEST(ItemDictionaryTest, FindMissingReturnsNotFound) {
+  ItemDictionary d;
+  d.GetOrAdd("x");
+  auto found = d.Find("x");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 0u);
+  EXPECT_TRUE(d.Find("y").status().IsNotFound());
+}
+
+TEST(ItemDictionaryTest, RenderItemset) {
+  ItemDictionary d;
+  d.GetOrAdd("beer");
+  d.GetOrAdd("diaper");
+  EXPECT_EQ(d.Render(Itemset({0, 1})), "{beer, diaper}");
+  EXPECT_EQ(d.Render(Itemset({7})), "{#7}");  // unknown id degrades
+}
+
+}  // namespace
+}  // namespace tcf

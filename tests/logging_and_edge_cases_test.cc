@@ -1,0 +1,129 @@
+// Coverage for the logging substrate plus assorted boundary behaviours
+// that the module-level suites do not reach.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/graph_builder.h"
+#include "net/sampler.h"
+#include "net/theme_network.h"
+#include "test_util.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace tcf {
+namespace {
+
+// ------------------------------------------------------------ logging --
+
+class CaptureStderr {
+ public:
+  CaptureStderr() { old_ = std::cerr.rdbuf(buffer_.rdbuf()); }
+  ~CaptureStderr() { std::cerr.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::stringstream buffer_;
+  std::streambuf* old_;
+};
+
+TEST(LoggingTest, RespectsMinimumLevel) {
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  {
+    CaptureStderr capture;
+    TCF_LOG(Info) << "hidden message";
+    TCF_LOG(Warn) << "visible warning";
+    EXPECT_EQ(capture.str().find("hidden message"), std::string::npos);
+    EXPECT_NE(capture.str().find("visible warning"), std::string::npos);
+  }
+  SetLogLevel(old_level);
+}
+
+TEST(LoggingTest, IncludesFileTagAndLevel) {
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  {
+    CaptureStderr capture;
+    TCF_LOG(Error) << "boom";
+    EXPECT_NE(capture.str().find("[E "), std::string::npos);
+    EXPECT_NE(capture.str().find("logging_and_edge_cases_test.cc"),
+              std::string::npos);
+  }
+  SetLogLevel(old_level);
+}
+
+TEST(LoggingTest, FilteredMessageDoesNotEvaluateCheaply) {
+  // The macro must not crash when filtered; streamed side effects are
+  // intentionally skipped.
+  const LogLevel old_level = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  TCF_LOG(Debug) << count();
+  EXPECT_EQ(evaluations, 0) << "filtered log must not evaluate operands";
+  SetLogLevel(old_level);
+}
+
+TEST(CheckDeathTest, AbortsWithMessage) {
+  EXPECT_DEATH({ TCF_CHECK(1 == 2); }, "TCF_CHECK failed");
+  EXPECT_DEATH({ TCF_CHECK_MSG(false, "context here"); }, "context here");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  TCF_CHECK(true);
+  TCF_CHECK_MSG(1 + 1 == 2, "never shown");
+  SUCCEED();
+}
+
+// --------------------------------------------------------- TextTable --
+
+TEST(TextTableTest, EmptyTableStillPrintsHeader) {
+  TextTable t({"only", "header"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+  std::ostringstream csv;
+  t.PrintCsv(csv);
+  EXPECT_EQ(csv.str(), "only,header\n");
+}
+
+// ------------------------------------------------------------ sampler --
+
+TEST(SamplerTest, CrossesDisconnectedComponents) {
+  // Two disjoint triangles; sampling 6 edges must restart BFS from a new
+  // seed after exhausting the first component.
+  std::vector<std::pair<VertexId, VertexId>> edges = {
+      {0, 1}, {1, 2}, {0, 2}, {10, 11}, {11, 12}, {10, 12}};
+  std::vector<std::vector<std::vector<ItemId>>> tx(13);
+  for (auto& db : tx) db.push_back({0});
+  DatabaseNetwork net = testing::MakeNetwork(13, edges, tx);
+  Rng rng(3);
+  auto sub = SampleByBfs(net, 6, rng);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_edges(), 6u);
+}
+
+// ------------------------------------------------ theme-network edges --
+
+TEST(ThemeNetworkTest, EmptyPatternOnAllEmptyDatabases) {
+  DatabaseNetwork net = testing::MakeNetwork(3, {{0, 1}, {1, 2}},
+                                             {{}, {}, {}});
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset());
+  EXPECT_TRUE(tn.vertices.empty());
+  EXPECT_TRUE(tn.empty());
+}
+
+TEST(GraphBuilderTest, ReserveSmallerThanEndpointsIsHarmless) {
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(5, 6).ok());  // grows past the reservation
+  Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_TRUE(g.HasEdge(5, 6));
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,128 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tcfi.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::EdgeList;
+using testing::MakeFigureOneNetwork;
+
+ThemeCommunity TriangleCommunity() {
+  ThemeCommunity c;
+  c.theme = Itemset({0});
+  c.vertices = {6, 7, 8};
+  c.edges = EdgeList({{6, 7}, {6, 8}, {7, 8}});
+  return c;
+}
+
+TEST(CommunityMetricsTest, CliqueDensityIsOne) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  CommunityMetrics m = ComputeCommunityMetrics(net, TriangleCommunity());
+  EXPECT_DOUBLE_EQ(m.edge_density, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_frequency, 0.3);
+  EXPECT_DOUBLE_EQ(m.min_frequency, 0.3);
+  // One triangle over three edges.
+  EXPECT_NEAR(m.triangles_per_edge, 1.0 / 3.0, 1e-12);
+}
+
+TEST(CommunityMetricsTest, PathHasZeroTriangles) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeCommunity c;
+  c.theme = Itemset({0});
+  c.vertices = {0, 1, 2};
+  c.edges = EdgeList({{0, 1}, {1, 2}});
+  CommunityMetrics m = ComputeCommunityMetrics(net, c);
+  EXPECT_DOUBLE_EQ(m.triangles_per_edge, 0.0);
+  EXPECT_NEAR(m.edge_density, 2.0 / 3.0, 1e-12);
+}
+
+TEST(CommunityMetricsTest, EmptyCommunity) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeCommunity c;
+  c.theme = Itemset({0});
+  CommunityMetrics m = ComputeCommunityMetrics(net, c);
+  EXPECT_DOUBLE_EQ(m.edge_density, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_frequency, 0.0);
+}
+
+TEST(CommunityMetricsTest, MixedFrequencies) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeCommunity c;
+  c.theme = Itemset({0});
+  c.vertices = {0, 6};  // f = 0.1 and f = 0.3
+  c.edges = {};
+  CommunityMetrics m = ComputeCommunityMetrics(net, c);
+  EXPECT_NEAR(m.mean_frequency, 0.2, 1e-12);
+  EXPECT_NEAR(m.min_frequency, 0.1, 1e-12);
+}
+
+TEST(JaccardTest, BasicCases) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1}, {}), 0.0);
+}
+
+TEST(RecoveryScoreTest, PerfectRecovery) {
+  std::vector<std::vector<VertexId>> truth = {{0, 1, 2}, {5, 6, 7}};
+  std::vector<ThemeCommunity> mined(2);
+  mined[0].vertices = {0, 1, 2};
+  mined[1].vertices = {5, 6, 7};
+  RecoveryScore s = ScoreRecovery(truth, mined);
+  EXPECT_DOUBLE_EQ(s.average_best_jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(s.recovered_fraction, 1.0);
+}
+
+TEST(RecoveryScoreTest, PartialRecovery) {
+  std::vector<std::vector<VertexId>> truth = {{0, 1, 2, 3}, {10, 11, 12}};
+  std::vector<ThemeCommunity> mined(1);
+  mined[0].vertices = {0, 1, 2, 3};
+  RecoveryScore s = ScoreRecovery(truth, mined);
+  EXPECT_DOUBLE_EQ(s.average_best_jaccard, 0.5);
+  EXPECT_DOUBLE_EQ(s.recovered_fraction, 0.5);
+}
+
+TEST(RecoveryScoreTest, EmptyInputs) {
+  RecoveryScore s = ScoreRecovery({}, {});
+  EXPECT_DOUBLE_EQ(s.average_best_jaccard, 0.0);
+  std::vector<std::vector<VertexId>> truth = {{1, 2}};
+  s = ScoreRecovery(truth, {});
+  EXPECT_DOUBLE_EQ(s.average_best_jaccard, 0.0);
+  EXPECT_DOUBLE_EQ(s.recovered_fraction, 0.0);
+}
+
+TEST(RecoveryScoreTest, BestMatchWins) {
+  std::vector<std::vector<VertexId>> truth = {{0, 1, 2, 3}};
+  std::vector<ThemeCommunity> mined(3);
+  mined[0].vertices = {0};
+  mined[1].vertices = {0, 1, 2, 3};  // the best match
+  mined[2].vertices = {0, 1, 9};
+  RecoveryScore s = ScoreRecovery(truth, mined);
+  EXPECT_DOUBLE_EQ(s.average_best_jaccard, 1.0);
+}
+
+TEST(CommunityMetricsTest, MinedCommunitiesHaveSaneMetrics) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  MiningResult r = RunTcfi(net, {.alpha = 0.0});
+  for (const auto& truss : r.trusses) {
+    for (const auto& c : ExtractThemeCommunities(truss)) {
+      CommunityMetrics m = ComputeCommunityMetrics(net, c);
+      EXPECT_GT(m.edge_density, 0.0);
+      EXPECT_LE(m.edge_density, 1.0);
+      EXPECT_GT(m.min_frequency, 0.0);  // truss members carry the theme
+      // Summation rounding can put the mean of identical values a last
+      // ulp below the min.
+      EXPECT_GE(m.mean_frequency, m.min_frequency - 1e-12);
+      // Every truss edge is in a triangle.
+      EXPECT_GT(m.triangles_per_edge, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,263 @@
+// End-to-end correctness of the three miners: TCS (baseline, §4.2),
+// TCFA (Alg. 3) and TCFI (§5.3), against the exhaustive oracle.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/apriori.h"
+#include "core/brute_force.h"
+#include "core/tcfa.h"
+#include "core/tcfi.h"
+#include "core/tcs.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::ExpectSameResults;
+using testing::MakeFigureOneNetwork;
+using testing::MakeRandomNetwork;
+
+// ------------------------------------------------- Apriori candidates --
+
+TEST(AprioriTest, JoinsSingletons) {
+  auto cands = GenerateAprioriCandidates(
+      {Itemset({0}), Itemset({1}), Itemset({2})});
+  ASSERT_EQ(cands.size(), 3u);
+  EXPECT_EQ(cands[0].pattern, Itemset({0, 1}));
+  EXPECT_EQ(cands[1].pattern, Itemset({0, 2}));
+  EXPECT_EQ(cands[2].pattern, Itemset({1, 2}));
+}
+
+TEST(AprioriTest, ParentIndicesIdentifyJoinedPatterns) {
+  std::vector<Itemset> q = {Itemset({0}), Itemset({2}), Itemset({5})};
+  auto cands = GenerateAprioriCandidates(q);
+  for (const auto& c : cands) {
+    EXPECT_EQ(c.pattern, q[c.parent_a].Union(q[c.parent_b]));
+  }
+}
+
+TEST(AprioriTest, PruneStepRequiresAllSubsets) {
+  // {0,1},{0,2} join to {0,1,2}, but {1,2} is missing => pruned.
+  auto cands = GenerateAprioriCandidates({Itemset({0, 1}), Itemset({0, 2})});
+  EXPECT_TRUE(cands.empty());
+  // Adding {1,2} enables the candidate.
+  cands = GenerateAprioriCandidates(
+      {Itemset({0, 1}), Itemset({0, 2}), Itemset({1, 2})});
+  ASSERT_EQ(cands.size(), 1u);
+  EXPECT_EQ(cands[0].pattern, Itemset({0, 1, 2}));
+}
+
+TEST(AprioriTest, NoJoinAcrossDifferentPrefixes) {
+  auto cands = GenerateAprioriCandidates({Itemset({0, 1}), Itemset({2, 3})});
+  EXPECT_TRUE(cands.empty());
+}
+
+TEST(AprioriTest, EmptyInput) {
+  EXPECT_TRUE(GenerateAprioriCandidates({}).empty());
+}
+
+TEST(AprioriTest, MatchesBruteForceEnumeration) {
+  // All (k-1)-subsets of a qualified set of patterns: candidates must be
+  // exactly the k-sets whose every (k-1)-subset is in the input.
+  std::vector<Itemset> q = {Itemset({0, 1}), Itemset({0, 2}), Itemset({1, 2}),
+                            Itemset({1, 3}), Itemset({2, 3})};
+  std::set<Itemset> qset(q.begin(), q.end());
+  auto cands = GenerateAprioriCandidates(q);
+  std::set<Itemset> got;
+  for (const auto& c : cands) got.insert(c.pattern);
+
+  std::set<Itemset> expect;
+  for (ItemId a = 0; a < 5; ++a) {
+    for (ItemId b = a + 1; b < 5; ++b) {
+      for (ItemId c = b + 1; c < 5; ++c) {
+        Itemset p({a, b, c});
+        bool ok = true;
+        for (const Itemset& sub : p.AllSubsetsMinusOne()) {
+          if (!qset.count(sub)) ok = false;
+        }
+        if (ok) expect.insert(p);
+      }
+    }
+  }
+  EXPECT_EQ(got, expect);
+}
+
+// ----------------------------------------------------------- Figure 1 --
+
+TEST(MinersTest, FigureOneNetworkTrussCount) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  // Item 0: K4 + triangle survive at alpha=0.15. Item 1: present on all
+  // vertices with f in {0.9, 0.7, 1.0} — the whole graph is its theme
+  // network; its truss at 0.15 is non-empty too. Pattern {0,1}: no
+  // transaction contains both items (they are alternatives) => empty.
+  MiningResult r = RunTcfi(net, {.alpha = 0.15});
+  std::set<Itemset> patterns;
+  for (const auto& t : r.trusses) patterns.insert(t.pattern);
+  EXPECT_TRUE(patterns.count(Itemset({0})));
+  EXPECT_TRUE(patterns.count(Itemset({1})));
+  EXPECT_FALSE(patterns.count(Itemset({0, 1})));
+}
+
+// ------------------------------------------- Exactness vs. the oracle --
+
+class MinerOracleTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(MinerOracleTest, TcfaMatchesOracle) {
+  const auto [seed, alpha] = GetParam();
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 12,
+                                           .edge_prob = 0.4,
+                                           .num_items = 4,
+                                           .tx_per_vertex = 5,
+                                           .seed = seed});
+  ExpectSameResults(RunTcfa(net, {.alpha = alpha}),
+                    BruteForceMineAll(net, alpha),
+                    "tcfa alpha=" + std::to_string(alpha));
+}
+
+TEST_P(MinerOracleTest, TcfiMatchesOracle) {
+  const auto [seed, alpha] = GetParam();
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 12,
+                                           .edge_prob = 0.4,
+                                           .num_items = 4,
+                                           .tx_per_vertex = 5,
+                                           .seed = seed});
+  ExpectSameResults(RunTcfi(net, {.alpha = alpha}),
+                    BruteForceMineAll(net, alpha),
+                    "tcfi alpha=" + std::to_string(alpha));
+}
+
+TEST_P(MinerOracleTest, TcsWithZeroEpsilonMatchesOracle) {
+  const auto [seed, alpha] = GetParam();
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 10,
+                                           .edge_prob = 0.45,
+                                           .num_items = 4,
+                                           .tx_per_vertex = 4,
+                                           .seed = seed});
+  ExpectSameResults(RunTcs(net, {.alpha = alpha, .epsilon = 0.0}),
+                    BruteForceMineAll(net, alpha),
+                    "tcs alpha=" + std::to_string(alpha));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndAlphas, MinerOracleTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.0, 0.1, 0.3)));
+
+// TCFA and TCFI must agree exactly on every input (both exact).
+class TcfaTcfiAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TcfaTcfiAgreementTest, IdenticalResults) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 16,
+                                           .edge_prob = 0.35,
+                                           .num_items = 6,
+                                           .tx_per_vertex = 6,
+                                           .seed = GetParam()});
+  for (double alpha : {0.0, 0.1, 0.5}) {
+    ExpectSameResults(RunTcfa(net, {.alpha = alpha}),
+                      RunTcfi(net, {.alpha = alpha}),
+                      "alpha=" + std::to_string(alpha));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcfaTcfiAgreementTest,
+                         ::testing::Range<uint64_t>(10, 18));
+
+// ---------------------------------------------- TCS accuracy tradeoff --
+
+TEST(TcsTest, LargeEpsilonLosesTrusses) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  // Item 0 has max per-vertex frequency 0.3; ε = 0.3 (strict >) filters
+  // it out of the candidate set entirely.
+  MiningResult lossy = RunTcs(net, {.alpha = 0.0, .epsilon = 0.3});
+  MiningResult exact = RunTcfi(net, {.alpha = 0.0});
+  std::set<Itemset> lossy_patterns, exact_patterns;
+  for (const auto& t : lossy.trusses) lossy_patterns.insert(t.pattern);
+  for (const auto& t : exact.trusses) exact_patterns.insert(t.pattern);
+  EXPECT_TRUE(exact_patterns.count(Itemset({0})));
+  EXPECT_FALSE(lossy_patterns.count(Itemset({0})));
+  // TCS never invents trusses: subset relation.
+  for (const Itemset& p : lossy_patterns) {
+    EXPECT_TRUE(exact_patterns.count(p)) << p.ToString();
+  }
+}
+
+TEST(TcsTest, ResultIsSubsetOfExactForAnyEpsilon) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 12,
+                                           .num_items = 4,
+                                           .seed = 77});
+  MiningResult exact = RunTcfi(net, {.alpha = 0.0});
+  std::set<Itemset> exact_patterns;
+  for (const auto& t : exact.trusses) exact_patterns.insert(t.pattern);
+  for (double eps : {0.1, 0.2, 0.3, 0.5}) {
+    MiningResult lossy = RunTcs(net, {.alpha = 0.0, .epsilon = eps});
+    for (const auto& t : lossy.trusses) {
+      ASSERT_TRUE(exact_patterns.count(t.pattern))
+          << "eps=" << eps << " invented " << t.pattern.ToString();
+    }
+  }
+}
+
+// ------------------------------------------------------------ Counters --
+
+TEST(MinersTest, TcfiPrunesAtLeastAsManyCandidatesAsTcfa) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 18,
+                                           .edge_prob = 0.3,
+                                           .num_items = 6,
+                                           .tx_per_vertex = 6,
+                                           .seed = 99});
+  MiningResult fa = RunTcfa(net, {.alpha = 0.0});
+  MiningResult fi = RunTcfi(net, {.alpha = 0.0});
+  // Same exact results...
+  EXPECT_EQ(fa.NumPatterns(), fi.NumPatterns());
+  // ...but TCFI must not call MPTD more often than TCFA.
+  EXPECT_LE(fi.counters.mptd_calls, fa.counters.mptd_calls);
+  EXPECT_EQ(fi.counters.mptd_calls + fi.counters.pruned_by_intersection,
+            fa.counters.mptd_calls);
+}
+
+TEST(MinersTest, CountersAreConsistent) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 101});
+  MiningResult r = RunTcfi(net, {.alpha = 0.0});
+  EXPECT_EQ(r.counters.qualified_patterns, r.trusses.size());
+  EXPECT_LE(r.counters.qualified_patterns, r.counters.candidates_generated);
+}
+
+// ------------------------------------------------------- Option knobs --
+
+TEST(MinersTest, MaxPatternLengthCapsResults) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 4, .seed = 55});
+  MiningResult r = RunTcfi(net, {.alpha = 0.0, .max_pattern_length = 1});
+  for (const auto& t : r.trusses) EXPECT_EQ(t.pattern.size(), 1u);
+  MiningResult r2 = RunTcfa(net, {.alpha = 0.0, .max_pattern_length = 2});
+  for (const auto& t : r2.trusses) EXPECT_LE(t.pattern.size(), 2u);
+}
+
+TEST(MinersTest, HugeAlphaYieldsNothing) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 66});
+  EXPECT_TRUE(RunTcfi(net, {.alpha = 1e6}).trusses.empty());
+  EXPECT_TRUE(RunTcfa(net, {.alpha = 1e6}).trusses.empty());
+  EXPECT_TRUE(RunTcs(net, {.alpha = 1e6, .epsilon = 0.1}).trusses.empty());
+}
+
+TEST(MinersTest, NetworkWithoutEdges) {
+  DatabaseNetwork net = testing::MakeNetwork(3, {}, {{{0}}, {{0}}, {{0}}});
+  EXPECT_TRUE(RunTcfi(net, {.alpha = 0.0}).trusses.empty());
+  EXPECT_TRUE(RunTcfa(net, {.alpha = 0.0}).trusses.empty());
+}
+
+TEST(MinersTest, EveryTrussVertexHasPositiveFrequency) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 31});
+  MiningResult r = RunTcfi(net, {.alpha = 0.0});
+  for (const auto& t : r.trusses) {
+    for (size_t i = 0; i < t.vertices.size(); ++i) {
+      EXPECT_GT(t.frequencies[i], 0.0) << t.pattern.ToString();
+      EXPECT_DOUBLE_EQ(t.frequencies[i],
+                       net.Frequency(t.vertices[i], t.pattern));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcf

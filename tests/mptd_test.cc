@@ -1,0 +1,222 @@
+#include "core/mptd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/brute_force.h"
+#include "graph/ktruss.h"
+#include "graph/random_graphs.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::EdgeList;
+using testing::MakeFigureOneNetwork;
+using testing::MakeNetwork;
+using testing::MakeRandomNetwork;
+
+// Builds a theme network directly from explicit vertices/frequencies and
+// edges (no database needed) — exercises Alg. 1 in isolation.
+ThemeNetwork MakeTheme(std::vector<std::pair<VertexId, double>> vf,
+                       std::vector<Edge> edges) {
+  ThemeNetwork tn;
+  tn.pattern = Itemset({0});
+  std::sort(vf.begin(), vf.end());
+  for (const auto& [v, f] : vf) {
+    tn.vertices.push_back(v);
+    tn.frequencies.push_back(f);
+  }
+  std::sort(edges.begin(), edges.end());
+  tn.edges = std::move(edges);
+  return tn;
+}
+
+// --- Example 3.2: eco12 = min(f1,f2,f3) + min(f1,f2,f5) = 0.2. ----------
+TEST(MptdTest, PaperExample32EdgeCohesion) {
+  // v1,v2,v3,v5 all with f = 0.1; e12 in triangles {1,2,3} and {1,2,5}.
+  ThemeNetwork tn = MakeTheme(
+      {{1, 0.1}, {2, 0.1}, {3, 0.1}, {5, 0.1}},
+      EdgeList({{1, 2}, {1, 3}, {2, 3}, {1, 5}, {2, 5}}));
+  ThemePeeler peeler(tn);
+  // Find local edge {1,2}: edges are sorted, {1,2} is first.
+  ASSERT_EQ(peeler.GlobalEdge(0), (Edge{1, 2}));
+  EXPECT_EQ(peeler.cohesion(0), 2 * QuantizeFrequency(0.1));
+  // The cohesion sits on the 2^-30 quantization grid, within half a grid
+  // step per term of the real value 0.2.
+  EXPECT_NEAR(CohesionToDouble(peeler.cohesion(0)), 0.2, 1e-8);
+}
+
+// --- Figure 1(b)-style validity ranges. ---------------------------------
+TEST(MptdTest, FigureOneCommunitiesAtLowAlpha) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0}));
+  // α = 0.15 < 0.2: both the K4 (eco 0.2) and the triangle (eco 0.3)
+  // survive; the bridge 3-6 (no triangle) does not.
+  PatternTruss truss = Mptd(tn, 0.15);
+  EXPECT_EQ(truss.edges,
+            EdgeList({{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+                      {6, 7}, {6, 8}, {7, 8}}));
+}
+
+TEST(MptdTest, FigureOneOnlyTriangleAtMediumAlpha) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0}));
+  // α = 0.25 ∈ [0.2, 0.3): the K4's eco = 0.2 fails, triangle survives.
+  PatternTruss truss = Mptd(tn, 0.25);
+  EXPECT_EQ(truss.edges, EdgeList({{6, 7}, {6, 8}, {7, 8}}));
+  EXPECT_EQ(truss.vertices, (std::vector<VertexId>{6, 7, 8}));
+}
+
+TEST(MptdTest, FigureOneEmptyAtHighAlpha) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0}));
+  EXPECT_TRUE(Mptd(tn, 0.3).empty());  // strict: eco 0.3 > 0.3 fails
+  EXPECT_TRUE(Mptd(tn, 5.0).empty());
+}
+
+TEST(MptdTest, BoundaryAlphaIsStrict) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0}));
+  // At α = 0.2 exactly, eco = 0.2 edges are unqualified (eco > α fails).
+  PatternTruss truss = Mptd(tn, 0.2);
+  EXPECT_EQ(truss.edges, EdgeList({{6, 7}, {6, 8}, {7, 8}}));
+}
+
+TEST(MptdTest, ZeroCohesionEdgesRemovedAtAlphaZero) {
+  // A lone edge has no triangles => eco 0 => removed even at α = 0.
+  ThemeNetwork tn = MakeTheme({{0, 1.0}, {1, 1.0}}, EdgeList({{0, 1}}));
+  EXPECT_TRUE(Mptd(tn, 0.0).empty());
+}
+
+TEST(MptdTest, TriangleSurvivesAlphaZero) {
+  ThemeNetwork tn = MakeTheme({{0, 0.5}, {1, 0.5}, {2, 0.5}},
+                              EdgeList({{0, 1}, {0, 2}, {1, 2}}));
+  PatternTruss truss = Mptd(tn, 0.0);
+  EXPECT_EQ(truss.num_edges(), 3u);
+  for (CohesionValue c : truss.edge_cohesions) {
+    EXPECT_EQ(c, QuantizeFrequency(0.5));
+  }
+}
+
+TEST(MptdTest, ZeroFrequencyVertexKillsTriangle) {
+  // min(f_i, f_j, f_k) with f_k = 0 contributes nothing.
+  ThemeNetwork tn = MakeTheme({{0, 0.5}, {1, 0.5}, {2, 0.0}},
+                              EdgeList({{0, 1}, {0, 2}, {1, 2}}));
+  EXPECT_TRUE(Mptd(tn, 0.0).empty());
+}
+
+TEST(MptdTest, CascadingPeel) {
+  // Two triangles sharing edge {0,1} and a high threshold that removes
+  // the weaker wing first, cascading into everything.
+  ThemeNetwork tn = MakeTheme(
+      {{0, 0.4}, {1, 0.4}, {2, 0.4}, {3, 0.1}},
+      EdgeList({{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}}));
+  // eco({0,1}) = min(.4,.4,.4) + min(.4,.4,.1) = 0.5; wings of triangle
+  // {0,1,3} have eco 0.1; wings of {0,1,2} have eco 0.4.
+  PatternTruss t1 = Mptd(tn, 0.2);
+  EXPECT_EQ(t1.edges, EdgeList({{0, 1}, {0, 2}, {1, 2}}));
+  // At 0.4: the {0,1,2} wings fail (0.4 > 0.4 false) => all gone.
+  EXPECT_TRUE(Mptd(tn, 0.4).empty());
+}
+
+TEST(MptdTest, EmptyThemeNetwork) {
+  ThemeNetwork tn;
+  tn.pattern = Itemset({0});
+  PatternTruss truss = Mptd(tn, 0.0);
+  EXPECT_TRUE(truss.empty());
+  EXPECT_EQ(truss.pattern, Itemset({0}));
+}
+
+TEST(MptdTest, DisconnectedTrussIsAllowed) {
+  // Def. 3.4: a maximal pattern truss need not be connected.
+  ThemeNetwork tn = MakeTheme(
+      {{0, 0.5}, {1, 0.5}, {2, 0.5}, {10, 0.3}, {11, 0.3}, {12, 0.3}},
+      EdgeList({{0, 1}, {0, 2}, {1, 2}, {10, 11}, {10, 12}, {11, 12}}));
+  PatternTruss truss = Mptd(tn, 0.1);
+  EXPECT_EQ(truss.num_edges(), 6u);
+  EXPECT_EQ(truss.num_vertices(), 6u);
+}
+
+TEST(MptdTest, ExtractTrussPreservesFrequencies) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0}));
+  PatternTruss truss = Mptd(tn, 0.0);
+  EXPECT_DOUBLE_EQ(truss.FrequencyOf(0), 0.1);
+  EXPECT_DOUBLE_EQ(truss.FrequencyOf(6), 0.3);
+  EXPECT_DOUBLE_EQ(truss.FrequencyOf(42), 0.0);  // absent
+}
+
+TEST(MptdTest, KTrussSpecialCase) {
+  // Def. 3.3: if every frequency is 1 and α = k-3, the pattern truss is
+  // the k-truss. Check against the classic peeling on random graphs.
+  Rng rng(31);
+  Graph g = ErdosRenyi(20, 80, rng);
+  ThemeNetwork tn;
+  tn.pattern = Itemset({0});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    tn.vertices.push_back(v);
+    tn.frequencies.push_back(1.0);
+  }
+  tn.edges = g.edges();
+  for (uint32_t k = 3; k <= 6; ++k) {
+    PatternTruss truss = Mptd(tn, static_cast<double>(k) - 3.0);
+    auto expect = KTrussEdges(g, k);
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(truss.edges, expect) << "k=" << k;
+  }
+}
+
+// --- Property suite: MPTD == brute-force fixpoint. ----------------------
+class MptdPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(MptdPropertyTest, MatchesBruteForceOnRandomNetworks) {
+  const auto [seed, alpha] = GetParam();
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 14,
+                                           .edge_prob = 0.4,
+                                           .num_items = 4,
+                                           .seed = seed});
+  for (ItemId item : net.ActiveItems()) {
+    ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(item));
+    PatternTruss fast = Mptd(tn, alpha);
+    PatternTruss slow = BruteForceMaximalPatternTruss(tn, alpha);
+    testing::ExpectSameTruss(fast, slow,
+                             "item=" + std::to_string(item) +
+                                 " alpha=" + std::to_string(alpha));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNetworks, MptdPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(0.0, 0.1, 0.3, 0.7)));
+
+TEST(MptdTest, PeelerTracksMinAliveCohesion) {
+  ThemeNetwork tn = MakeTheme(
+      {{0, 0.4}, {1, 0.4}, {2, 0.4}, {3, 0.1}},
+      EdgeList({{0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}}));
+  ThemePeeler peeler(tn);
+  peeler.PeelToThreshold(0);
+  EXPECT_EQ(peeler.MinAliveCohesion(), QuantizeFrequency(0.1));
+  peeler.PeelToThreshold(QuantizeFrequency(0.1));
+  // {0,3} and {1,3} gone, {0,1} drops to 0.4, min now 0.4.
+  EXPECT_EQ(peeler.MinAliveCohesion(), QuantizeFrequency(0.4));
+  peeler.PeelToThreshold(QuantizeFrequency(0.4));
+  EXPECT_EQ(peeler.num_alive(), 0u);
+  EXPECT_EQ(peeler.MinAliveCohesion(), ThemePeeler::kNoAliveEdges);
+}
+
+TEST(MptdTest, TriangleVisitInstrumentationGrows) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0}));
+  ThemePeeler peeler(tn);
+  const uint64_t initial = peeler.triangle_visits();
+  EXPECT_GT(initial, 0u);
+  peeler.PeelToThreshold(QuantizeAlpha(0.25));
+  EXPECT_GT(peeler.triangle_visits(), initial);
+}
+
+}  // namespace
+}  // namespace tcf

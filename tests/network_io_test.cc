@@ -1,0 +1,149 @@
+#include "net/network_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/stats.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeRandomNetwork;
+
+void ExpectSameNetwork(const DatabaseNetwork& a, const DatabaseNetwork& b) {
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.graph().edges(), b.graph().edges());
+  ASSERT_EQ(a.dictionary().size(), b.dictionary().size());
+  for (ItemId i = 0; i < a.dictionary().size(); ++i) {
+    EXPECT_EQ(a.dictionary().Name(i), b.dictionary().Name(i));
+  }
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    ASSERT_EQ(a.db(v).num_transactions(), b.db(v).num_transactions());
+    for (Tid t = 0; t < a.db(v).num_transactions(); ++t) {
+      EXPECT_EQ(a.db(v).transaction(t), b.db(v).transaction(t));
+    }
+  }
+}
+
+TEST(NetworkIoTest, RoundTripRandomNetwork) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 21});
+  std::stringstream ss;
+  ASSERT_TRUE(SaveNetwork(net, ss).ok());
+  auto loaded = LoadNetwork(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectSameNetwork(net, *loaded);
+}
+
+TEST(NetworkIoTest, RoundTripPreservesStats) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 20, .seed = 22});
+  std::stringstream ss;
+  ASSERT_TRUE(SaveNetwork(net, ss).ok());
+  auto loaded = LoadNetwork(ss);
+  ASSERT_TRUE(loaded.ok());
+  NetworkStats sa = ComputeStats(net);
+  NetworkStats sb = ComputeStats(*loaded);
+  EXPECT_EQ(sa.num_vertices, sb.num_vertices);
+  EXPECT_EQ(sa.num_edges, sb.num_edges);
+  EXPECT_EQ(sa.num_transactions, sb.num_transactions);
+  EXPECT_EQ(sa.num_items_total, sb.num_items_total);
+  EXPECT_EQ(sa.num_items_unique, sb.num_items_unique);
+}
+
+TEST(NetworkIoTest, RoundTripEmptyNetwork) {
+  GraphBuilder b(2);
+  ItemDictionary dict;
+  DatabaseNetwork net(b.Build(), std::vector<TransactionDb>(2),
+                      std::move(dict));
+  std::stringstream ss;
+  ASSERT_TRUE(SaveNetwork(net, ss).ok());
+  auto loaded = LoadNetwork(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), 2u);
+  EXPECT_EQ(loaded->num_edges(), 0u);
+}
+
+TEST(NetworkIoTest, ItemNameEscaping) {
+  EXPECT_EQ(EscapeItemName("a b"), "a\\sb");
+  EXPECT_EQ(EscapeItemName("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeItemName("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(*UnescapeItemName("a\\sb"), "a b");
+  EXPECT_EQ(*UnescapeItemName("a\\\\b"), "a\\b");
+  EXPECT_EQ(*UnescapeItemName("a\\nb\\tc"), "a\nb\tc");
+}
+
+TEST(NetworkIoTest, UnescapeRejectsBadInput) {
+  EXPECT_TRUE(UnescapeItemName("bad\\").status().IsCorruption());
+  EXPECT_TRUE(UnescapeItemName("bad\\x").status().IsCorruption());
+}
+
+TEST(NetworkIoTest, RoundTripNamesWithSpaces) {
+  GraphBuilder b(1);
+  ItemDictionary dict;
+  dict.GetOrAdd("data mining");
+  dict.GetOrAdd("sequential pattern");
+  std::vector<TransactionDb> dbs(1);
+  dbs[0].Add(Itemset({0, 1}));
+  DatabaseNetwork net(b.Build(), std::move(dbs), std::move(dict));
+  std::stringstream ss;
+  ASSERT_TRUE(SaveNetwork(net, ss).ok());
+  auto loaded = LoadNetwork(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dictionary().Name(0), "data mining");
+  EXPECT_EQ(loaded->dictionary().Name(1), "sequential pattern");
+}
+
+TEST(NetworkIoTest, LoadRejectsBadMagic) {
+  std::stringstream ss("not-a-network 9\n");
+  EXPECT_TRUE(LoadNetwork(ss).status().IsCorruption());
+}
+
+TEST(NetworkIoTest, LoadRejectsTruncatedFile) {
+  std::stringstream ss("tcf-dbnet 1\nvertices 3\nitems 1\ni 0 x\n");
+  EXPECT_TRUE(LoadNetwork(ss).status().IsCorruption());
+}
+
+TEST(NetworkIoTest, LoadRejectsOutOfRangeEdge) {
+  std::stringstream ss(
+      "tcf-dbnet 1\nvertices 2\nitems 0\ne 0 5\nend\n");
+  EXPECT_TRUE(LoadNetwork(ss).status().IsCorruption());
+}
+
+TEST(NetworkIoTest, LoadRejectsOutOfRangeItemInTransaction) {
+  std::stringstream ss(
+      "tcf-dbnet 1\nvertices 1\nitems 1\ni 0 x\nd 0 1\nt 0 3\nend\n");
+  EXPECT_TRUE(LoadNetwork(ss).status().IsCorruption());
+}
+
+TEST(NetworkIoTest, LoadRejectsSelfLoop) {
+  std::stringstream ss("tcf-dbnet 1\nvertices 2\nitems 0\ne 1 1\nend\n");
+  EXPECT_FALSE(LoadNetwork(ss).ok());
+}
+
+TEST(NetworkIoTest, LoadSkipsCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# saved by test\n\ntcf-dbnet 1\nvertices 2\nitems 1\n"
+      "i 0 x\n# an edge\ne 0 1\nd 0 1\nt 0\nend\n");
+  auto loaded = LoadNetwork(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(loaded->Frequency(0, Itemset({0})), 1.0);
+}
+
+TEST(NetworkIoTest, FileRoundTrip) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 23});
+  const std::string path = ::testing::TempDir() + "/tcf_net_io_test.txt";
+  ASSERT_TRUE(SaveNetworkToFile(net, path).ok());
+  auto loaded = LoadNetworkFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectSameNetwork(net, *loaded);
+}
+
+TEST(NetworkIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(
+      LoadNetworkFromFile("/nonexistent/dir/x.txt").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace tcf

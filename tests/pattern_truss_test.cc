@@ -1,0 +1,172 @@
+#include "core/pattern_truss.h"
+
+#include <gtest/gtest.h>
+
+#include "core/decomposition.h"
+#include "core/mptd.h"
+#include "core/tcs.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::EdgeList;
+using testing::MakeRandomNetwork;
+
+PatternTruss SampleTruss() {
+  PatternTruss t;
+  t.pattern = Itemset({1, 2});
+  t.edges = EdgeList({{0, 1}, {0, 2}, {1, 2}});
+  t.vertices = {0, 1, 2};
+  t.frequencies = {0.5, 0.25, 1.0};
+  t.edge_cohesions = {QuantizeFrequency(0.25), QuantizeFrequency(0.25),
+                      QuantizeFrequency(0.25)};
+  return t;
+}
+
+TEST(PatternTrussTest, FrequencyLookup) {
+  PatternTruss t = SampleTruss();
+  EXPECT_DOUBLE_EQ(t.FrequencyOf(0), 0.5);
+  EXPECT_DOUBLE_EQ(t.FrequencyOf(2), 1.0);
+  EXPECT_DOUBLE_EQ(t.FrequencyOf(7), 0.0);
+}
+
+TEST(PatternTrussTest, ContainsEdge) {
+  PatternTruss t = SampleTruss();
+  EXPECT_TRUE(t.ContainsEdge(MakeEdge(1, 0)));
+  EXPECT_FALSE(t.ContainsEdge(MakeEdge(0, 3)));
+}
+
+TEST(PatternTrussTest, SubgraphRelation) {
+  PatternTruss big = SampleTruss();
+  PatternTruss small;
+  small.edges = EdgeList({{0, 1}});
+  EXPECT_TRUE(small.IsSubgraphOf(big));
+  EXPECT_FALSE(big.IsSubgraphOf(small));
+  PatternTruss empty;
+  EXPECT_TRUE(empty.IsSubgraphOf(big));
+  EXPECT_TRUE(empty.IsSubgraphOf(empty));
+}
+
+TEST(PatternTrussTest, MinEdgeCohesion) {
+  PatternTruss t = SampleTruss();
+  t.edge_cohesions = {5, 3, 9};
+  EXPECT_EQ(t.MinEdgeCohesion(), 3);
+  PatternTruss empty;
+  EXPECT_EQ(empty.MinEdgeCohesion(), 0);
+}
+
+TEST(PatternTrussTest, ToStringMentionsSizes) {
+  PatternTruss t = SampleTruss();
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("|V|=3"), std::string::npos);
+  EXPECT_NE(s.find("|E|=3"), std::string::npos);
+}
+
+TEST(IntersectEdgeSetsTest, Basics) {
+  auto a = EdgeList({{0, 1}, {1, 2}, {3, 4}});
+  auto b = EdgeList({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(IntersectEdgeSets(a, b), EdgeList({{1, 2}, {3, 4}}));
+  EXPECT_TRUE(IntersectEdgeSets(a, {}).empty());
+  EXPECT_TRUE(IntersectEdgeSets({}, {}).empty());
+  EXPECT_EQ(IntersectEdgeSets(a, a), a);
+}
+
+TEST(FillVerticesFromEdgesTest, DerivesEndpointsAndFrequencies) {
+  PatternTruss t;
+  t.edges = EdgeList({{2, 5}, {5, 9}});
+  std::vector<VertexId> superset = {1, 2, 5, 9};
+  std::vector<double> freqs = {0.1, 0.2, 0.5, 0.9};
+  FillVerticesFromEdges(superset, freqs, &t);
+  EXPECT_EQ(t.vertices, (std::vector<VertexId>{2, 5, 9}));
+  ASSERT_EQ(t.frequencies.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.frequencies[0], 0.2);
+  EXPECT_DOUBLE_EQ(t.frequencies[1], 0.5);
+  EXPECT_DOUBLE_EQ(t.frequencies[2], 0.9);
+}
+
+TEST(FillVerticesFromEdgesTest, MissingVertexGetsZero) {
+  PatternTruss t;
+  t.edges = EdgeList({{0, 1}});
+  FillVerticesFromEdges({1}, {0.4}, &t);
+  EXPECT_EQ(t.vertices, (std::vector<VertexId>{0, 1}));
+  EXPECT_DOUBLE_EQ(t.frequencies[0], 0.0);
+  EXPECT_DOUBLE_EQ(t.frequencies[1], 0.4);
+}
+
+// ---------------- multi-item decompositions (gap: earlier tests only ---
+// ---------------- decomposed singleton theme networks). ----------------
+
+class PairDecompositionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PairDecompositionTest, ReconstructionMatchesDirectMptdOnPairs) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 14,
+                                           .edge_prob = 0.45,
+                                           .num_items = 4,
+                                           .tx_per_vertex = 6,
+                                           .seed = GetParam()});
+  for (ItemId a = 0; a < 4; ++a) {
+    for (ItemId b = a + 1; b < 4; ++b) {
+      const Itemset p({a, b});
+      ThemeNetwork tn = InduceThemeNetwork(net, p);
+      if (tn.empty()) continue;
+      TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+      std::vector<CohesionValue> probes = {0};
+      for (const auto& level : d.levels()) {
+        probes.push_back(level.alpha);
+        probes.push_back(level.alpha + 1);
+      }
+      for (CohesionValue aq : probes) {
+        PatternTruss rec = d.TrussAtAlphaQ(aq);
+        PatternTruss direct = MptdQ(tn, aq);
+        EXPECT_EQ(rec.edges, direct.edges)
+            << p.ToString() << " aq=" << aq;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairDecompositionTest,
+                         ::testing::Range<uint64_t>(1, 6));
+
+TEST(DecompositionFromPartsTest, RoundTripsThroughParts) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 77});
+  for (ItemId item : net.ActiveItems()) {
+    ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(item));
+    TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
+    TrussDecomposition rebuilt = TrussDecomposition::FromParts(
+        d.pattern(), std::vector<VertexId>(d.vertices()),
+        std::vector<double>(d.frequencies()),
+        std::vector<DecompositionLevel>(d.levels()));
+    EXPECT_EQ(rebuilt.sorted_edges(), d.sorted_edges());
+    EXPECT_EQ(rebuilt.max_alpha(), d.max_alpha());
+    EXPECT_EQ(rebuilt.TrussAtAlpha(0.0).edges, d.TrussAtAlpha(0.0).edges);
+  }
+}
+
+// ------------------------------- TCS counter/option gap coverage. ------
+
+TEST(TcsCountersTest, MptdCallsEqualCandidates) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 4, .seed = 21});
+  MiningResult r = RunTcs(net, {.alpha = 0.0, .epsilon = 0.2});
+  EXPECT_EQ(r.counters.mptd_calls, r.counters.candidates_generated);
+  EXPECT_EQ(r.counters.qualified_patterns, r.trusses.size());
+}
+
+TEST(TcsCountersTest, CandidateCountShrinksWithEpsilon) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 23});
+  MiningResult lo = RunTcs(net, {.alpha = 0.0, .epsilon = 0.05});
+  MiningResult hi = RunTcs(net, {.alpha = 0.0, .epsilon = 0.4});
+  EXPECT_GE(lo.counters.candidates_generated,
+            hi.counters.candidates_generated);
+}
+
+TEST(TcsCountersTest, MaxLengthLimitsCandidates) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 25});
+  MiningResult capped =
+      RunTcs(net, {.alpha = 0.0, .epsilon = 0.0, .max_pattern_length = 1});
+  for (const auto& t : capped.trusses) EXPECT_EQ(t.pattern.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tcf

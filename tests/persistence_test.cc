@@ -1,0 +1,179 @@
+// Binary persistence: database networks and the TC-Tree index.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/tc_tree.h"
+#include "core/tc_tree_io.h"
+#include "core/tc_tree_query.h"
+#include "net/binary_io.h"
+#include "net/stats.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeFigureOneNetwork;
+using testing::MakeRandomNetwork;
+
+// ------------------------------------------------ binary network I/O --
+
+TEST(BinaryIoTest, RoundTripRandomNetwork) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 18, .seed = 7});
+  std::stringstream ss;
+  ASSERT_TRUE(SaveNetworkBinary(net, ss).ok());
+  auto loaded = LoadNetworkBinary(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(net.graph().edges(), loaded->graph().edges());
+  NetworkStats a = ComputeStats(net), b = ComputeStats(*loaded);
+  EXPECT_EQ(a.num_transactions, b.num_transactions);
+  EXPECT_EQ(a.num_items_total, b.num_items_total);
+  for (VertexId v = 0; v < net.num_vertices(); ++v) {
+    ASSERT_EQ(net.db(v).num_transactions(), loaded->db(v).num_transactions());
+    for (Tid t = 0; t < net.db(v).num_transactions(); ++t) {
+      EXPECT_EQ(net.db(v).transaction(t), loaded->db(v).transaction(t));
+    }
+  }
+}
+
+TEST(BinaryIoTest, PreservesItemNames) {
+  GraphBuilder b(1);
+  ItemDictionary dict;
+  dict.GetOrAdd("data mining");
+  dict.GetOrAdd("名前");  // non-ASCII survives (bytes, not text)
+  std::vector<TransactionDb> dbs(1);
+  dbs[0].Add(Itemset({0, 1}));
+  DatabaseNetwork net(b.Build(), std::move(dbs), std::move(dict));
+  std::stringstream ss;
+  ASSERT_TRUE(SaveNetworkBinary(net, ss).ok());
+  auto loaded = LoadNetworkBinary(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dictionary().Name(0), "data mining");
+  EXPECT_EQ(loaded->dictionary().Name(1), "名前");
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  std::stringstream ss("NOTB____garbage");
+  EXPECT_TRUE(LoadNetworkBinary(ss).status().IsCorruption());
+}
+
+TEST(BinaryIoTest, RejectsTruncation) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 8});
+  std::stringstream ss;
+  ASSERT_TRUE(SaveNetworkBinary(net, ss).ok());
+  std::string full = ss.str();
+  // Cut at several byte offsets; every prefix must fail cleanly.
+  for (size_t cut : {5ul, 20ul, full.size() / 2, full.size() - 3}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_FALSE(LoadNetworkBinary(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 9});
+  const std::string path = ::testing::TempDir() + "/tcf_binary_io.bin";
+  ASSERT_TRUE(SaveNetworkBinaryToFile(net, path).ok());
+  auto loaded = LoadNetworkBinaryFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(net.graph().edges(), loaded->graph().edges());
+}
+
+TEST(BinaryIoTest, MissingFileIsIOError) {
+  EXPECT_TRUE(LoadNetworkBinaryFromFile("/no/such/file.bin")
+                  .status()
+                  .IsIOError());
+}
+
+// ------------------------------------------------- TC-Tree persistence --
+
+TEST(TcTreeIoTest, RoundTripPreservesStructure) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 14,
+                                           .num_items = 5,
+                                           .seed = 21});
+  TcTree tree = TcTree::Build(net);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveTcTree(tree, ss).ok());
+  auto loaded = LoadTcTree(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_nodes(), tree.num_nodes());
+  for (TcTree::NodeId id = 1; id <= tree.num_nodes(); ++id) {
+    EXPECT_EQ(loaded->PatternOf(id), tree.PatternOf(id));
+    EXPECT_EQ(loaded->node(id).decomposition.sorted_edges(),
+              tree.node(id).decomposition.sorted_edges());
+    EXPECT_EQ(loaded->node(id).decomposition.max_alpha(),
+              tree.node(id).decomposition.max_alpha());
+    EXPECT_EQ(loaded->node(id).decomposition.levels().size(),
+              tree.node(id).decomposition.levels().size());
+  }
+}
+
+TEST(TcTreeIoTest, LoadedTreeAnswersQueriesIdentically) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveTcTree(tree, ss).ok());
+  auto loaded = LoadTcTree(ss);
+  ASSERT_TRUE(loaded.ok());
+  for (double alpha : {0.0, 0.15, 0.25, 0.35}) {
+    auto a = QueryTcTree(tree, Itemset({0, 1}), alpha);
+    auto b = QueryTcTree(*loaded, Itemset({0, 1}), alpha);
+    ASSERT_EQ(a.retrieved_nodes, b.retrieved_nodes) << alpha;
+    for (size_t i = 0; i < a.trusses.size(); ++i) {
+      EXPECT_EQ(a.trusses[i].pattern, b.trusses[i].pattern);
+      EXPECT_EQ(a.trusses[i].edges, b.trusses[i].edges);
+      EXPECT_EQ(a.trusses[i].vertices, b.trusses[i].vertices);
+      EXPECT_EQ(a.trusses[i].frequencies, b.trusses[i].frequencies);
+    }
+  }
+}
+
+TEST(TcTreeIoTest, EmptyTreeRoundTrips) {
+  DatabaseNetwork net = testing::MakeNetwork(2, {}, {{{0}}, {{1}}});
+  TcTree tree = TcTree::Build(net);
+  ASSERT_EQ(tree.num_nodes(), 0u);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveTcTree(tree, ss).ok());
+  auto loaded = LoadTcTree(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), 0u);
+}
+
+TEST(TcTreeIoTest, RejectsBadMagicAndTruncation) {
+  std::stringstream bad("XXXX");
+  EXPECT_FALSE(LoadTcTree(bad).ok());
+
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveTcTree(tree, ss).ok());
+  std::string full = ss.str();
+  for (size_t cut : {6ul, 16ul, full.size() / 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_FALSE(LoadTcTree(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(TcTreeIoTest, FileRoundTrip) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 4, .seed = 33});
+  TcTree tree = TcTree::Build(net);
+  const std::string path = ::testing::TempDir() + "/tcf_tree.idx";
+  ASSERT_TRUE(SaveTcTreeToFile(tree, path).ok());
+  auto loaded = LoadTcTreeFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), tree.num_nodes());
+  EXPECT_EQ(loaded->TotalIndexedEdges(), tree.TotalIndexedEdges());
+}
+
+TEST(TcTreeIoTest, MaxAlphaAndDepthSurvive) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 4, .seed = 35});
+  TcTree tree = TcTree::Build(net);
+  std::stringstream ss;
+  ASSERT_TRUE(SaveTcTree(tree, ss).ok());
+  auto loaded = LoadTcTree(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->MaxAlphaOverNodes(), tree.MaxAlphaOverNodes());
+  EXPECT_EQ(loaded->MaxDepth(), tree.MaxDepth());
+}
+
+}  // namespace
+}  // namespace tcf

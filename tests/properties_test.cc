@@ -1,0 +1,161 @@
+// Tests for the structural properties of maximal pattern trusses that the
+// miners and the index rely on: Theorem 5.1 (graph anti-monotonicity),
+// Proposition 5.2 (pattern anti-monotonicity) and Proposition 5.3 (graph
+// intersection), plus the nested-alpha monotonicity behind Theorem 6.1.
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/mptd.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeRandomNetwork;
+
+class TrussPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  DatabaseNetwork net_ = MakeRandomNetwork({.num_vertices = 13,
+                                            .edge_prob = 0.45,
+                                            .num_items = 4,
+                                            .tx_per_vertex = 5,
+                                            .seed = GetParam()});
+
+  PatternTruss TrussOf(const Itemset& p, double alpha) {
+    return Mptd(InduceThemeNetwork(net_, p), alpha);
+  }
+};
+
+// Theorem 5.1: p1 ⊆ p2 ⟹ C*_{p2}(α) ⊆ C*_{p1}(α).
+TEST_P(TrussPropertyTest, GraphAntiMonotonicity) {
+  for (double alpha : {0.0, 0.1, 0.3}) {
+    for (const Itemset& p2 :
+         {Itemset({0, 1}), Itemset({0, 2}), Itemset({1, 2, 3})}) {
+      PatternTruss big = TrussOf(p2, alpha);
+      if (big.empty()) continue;
+      for (const Itemset& p1 : p2.AllSubsetsMinusOne()) {
+        if (p1.empty()) continue;
+        PatternTruss small = TrussOf(p1, alpha);
+        EXPECT_TRUE(big.IsSubgraphOf(small))
+            << "alpha=" << alpha << " p1=" << p1.ToString()
+            << " p2=" << p2.ToString();
+      }
+    }
+  }
+}
+
+// Proposition 5.2(1): superset qualified ⟹ subset qualified.
+TEST_P(TrussPropertyTest, PatternAntiMonotonicityQualified) {
+  for (double alpha : {0.0, 0.2}) {
+    for (const Itemset& p2 : {Itemset({0, 1}), Itemset({1, 3}),
+                              Itemset({0, 1, 2})}) {
+      if (TrussOf(p2, alpha).empty()) continue;
+      for (const Itemset& p1 : p2.AllSubsetsMinusOne()) {
+        if (p1.empty()) continue;
+        EXPECT_FALSE(TrussOf(p1, alpha).empty())
+            << "alpha=" << alpha << " p1=" << p1.ToString()
+            << " p2=" << p2.ToString();
+      }
+    }
+  }
+}
+
+// Proposition 5.2(2): subset unqualified ⟹ superset unqualified.
+TEST_P(TrussPropertyTest, PatternAntiMonotonicityUnqualified) {
+  for (double alpha : {0.0, 0.2}) {
+    for (ItemId a = 0; a < 4; ++a) {
+      Itemset p1 = Itemset::Single(a);
+      if (!TrussOf(p1, alpha).empty()) continue;
+      for (ItemId b = 0; b < 4; ++b) {
+        if (a == b) continue;
+        EXPECT_TRUE(TrussOf(p1.Union(b), alpha).empty())
+            << "alpha=" << alpha << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+// Proposition 5.3: C*_{p3}(α) ⊆ C*_{p1}(α) ∩ C*_{p2}(α) for p1,p2 ⊆ p3.
+TEST_P(TrussPropertyTest, GraphIntersectionProperty) {
+  for (double alpha : {0.0, 0.15}) {
+    const Itemset p1({0, 1});
+    const Itemset p2({1, 2});
+    const Itemset p3({0, 1, 2});
+    PatternTruss t3 = TrussOf(p3, alpha);
+    if (t3.empty()) continue;
+    PatternTruss t1 = TrussOf(p1, alpha);
+    PatternTruss t2 = TrussOf(p2, alpha);
+    std::vector<Edge> overlap = IntersectEdgeSets(t1.edges, t2.edges);
+    EXPECT_TRUE(std::includes(overlap.begin(), overlap.end(),
+                              t3.edges.begin(), t3.edges.end()))
+        << "alpha=" << alpha;
+  }
+}
+
+// Monotonicity in alpha: α1 ≤ α2 ⟹ C*(α2) ⊆ C*(α1).
+TEST_P(TrussPropertyTest, NestedAlphaMonotonicity) {
+  for (ItemId item = 0; item < 4; ++item) {
+    const Itemset p = Itemset::Single(item);
+    PatternTruss prev = TrussOf(p, 0.0);
+    for (double alpha : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+      PatternTruss cur = TrussOf(p, alpha);
+      EXPECT_TRUE(cur.IsSubgraphOf(prev))
+          << "item=" << item << " alpha=" << alpha;
+      prev = std::move(cur);
+    }
+  }
+}
+
+// Theorem 6.1 shape: the truss strictly shrinks exactly when α crosses
+// the current minimum edge cohesion.
+TEST_P(TrussPropertyTest, ShrinksExactlyAtMinimumCohesion) {
+  for (ItemId item = 0; item < 4; ++item) {
+    const Itemset p = Itemset::Single(item);
+    PatternTruss base = TrussOf(p, 0.0);
+    if (base.empty()) continue;
+    const CohesionValue beta = base.MinEdgeCohesion();
+    ASSERT_GT(beta, 0);
+    // Just below β: unchanged.
+    const double below = CohesionToDouble(beta) * 0.999;
+    PatternTruss same = TrussOf(p, below);
+    EXPECT_EQ(same.edges, base.edges) << "item=" << item;
+    // At β (strict predicate): proper subset.
+    PatternTruss shrunk = TrussOf(p, CohesionToDouble(beta));
+    EXPECT_LT(shrunk.num_edges(), base.num_edges()) << "item=" << item;
+    EXPECT_TRUE(shrunk.IsSubgraphOf(base));
+  }
+}
+
+// The union of all pattern trusses is itself a pattern truss: every edge
+// of C*(α) keeps cohesion > α inside C*(α).
+TEST_P(TrussPropertyTest, ResultIsAPatternTruss) {
+  for (double alpha : {0.0, 0.1, 0.25}) {
+    for (ItemId item = 0; item < 4; ++item) {
+      PatternTruss t = TrussOf(Itemset::Single(item), alpha);
+      const CohesionValue aq = QuantizeAlpha(alpha);
+      for (CohesionValue c : t.edge_cohesions) {
+        EXPECT_GT(c, aq) << "item=" << item << " alpha=" << alpha;
+      }
+    }
+  }
+}
+
+// Maximality: re-running MPTD on the truss itself is a fixpoint.
+TEST_P(TrussPropertyTest, FixpointUnderRepeel) {
+  for (double alpha : {0.0, 0.2}) {
+    for (ItemId item = 0; item < 4; ++item) {
+      const Itemset p = Itemset::Single(item);
+      PatternTruss t = TrussOf(p, alpha);
+      if (t.empty()) continue;
+      ThemeNetwork sub = InduceThemeNetworkFromEdges(net_, p, t.edges);
+      PatternTruss again = Mptd(sub, alpha);
+      EXPECT_EQ(again.edges, t.edges) << "item=" << item;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrussPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace tcf

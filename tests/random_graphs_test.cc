@@ -1,0 +1,124 @@
+#include "graph/random_graphs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/components.h"
+
+namespace tcf {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(50, 200, rng);
+  EXPECT_EQ(g.num_vertices(), 50u);
+  EXPECT_EQ(g.num_edges(), 200u);
+}
+
+TEST(ErdosRenyiTest, ClampToMaxEdges) {
+  Rng rng(2);
+  Graph g = ErdosRenyi(5, 1000, rng);
+  EXPECT_EQ(g.num_edges(), 10u);  // C(5,2)
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  Rng a(7), b(7);
+  Graph ga = ErdosRenyi(30, 80, a);
+  Graph gb = ErdosRenyi(30, 80, b);
+  EXPECT_EQ(ga.edges(), gb.edges());
+}
+
+TEST(ErdosRenyiTest, TinyGraphs) {
+  Rng rng(3);
+  EXPECT_EQ(ErdosRenyi(0, 10, rng).num_edges(), 0u);
+  EXPECT_EQ(ErdosRenyi(1, 10, rng).num_edges(), 0u);
+  EXPECT_EQ(ErdosRenyi(2, 10, rng).num_edges(), 1u);
+}
+
+TEST(BarabasiAlbertTest, EdgeCountFormula) {
+  Rng rng(11);
+  const size_t n = 100, attach = 3;
+  Graph g = BarabasiAlbert(n, attach, rng);
+  // m0 = attach+1 = 4 clique (6 edges) + (n - m0) * attach.
+  EXPECT_EQ(g.num_edges(), 6u + (n - 4) * attach);
+  EXPECT_EQ(g.num_vertices(), n);
+}
+
+TEST(BarabasiAlbertTest, SmallNFallsBackToClique) {
+  Rng rng(13);
+  Graph g = BarabasiAlbert(3, 5, rng);
+  EXPECT_EQ(g.num_edges(), 3u);  // K3
+}
+
+TEST(BarabasiAlbertTest, ProducesHubs) {
+  Rng rng(17);
+  Graph g = BarabasiAlbert(400, 2, rng);
+  size_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+  }
+  // Preferential attachment should grow hubs well above the mean (~4).
+  EXPECT_GT(max_deg, 12u);
+}
+
+TEST(BarabasiAlbertTest, Connected) {
+  Rng rng(19);
+  Graph g = BarabasiAlbert(200, 2, rng);
+  EXPECT_EQ(ConnectedComponents(g).num_components, 1u);
+}
+
+TEST(WattsStrogatzTest, NoRewireIsRingLattice) {
+  Rng rng(23);
+  Graph g = WattsStrogatz(20, 2, 0.0, rng);
+  EXPECT_EQ(g.num_edges(), 40u);  // n*k
+  for (VertexId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(WattsStrogatzTest, LatticeHasHighClustering) {
+  Rng rng(29);
+  Graph g = WattsStrogatz(50, 3, 0.0, rng);
+  // A k=3 ring lattice has many triangles.
+  size_t triangles = 0;
+  for (VertexId a = 0; a < g.num_vertices(); ++a) {
+    for (const Neighbor& nb : g.neighbors(a)) {
+      if (nb.vertex <= a) continue;
+      for (const Neighbor& nc : g.neighbors(nb.vertex)) {
+        if (nc.vertex > nb.vertex && g.HasEdge(a, nc.vertex)) ++triangles;
+      }
+    }
+  }
+  EXPECT_GT(triangles, 50u);
+}
+
+TEST(WattsStrogatzTest, RewiringKeepsGraphSimple) {
+  Rng rng(31);
+  Graph g = WattsStrogatz(60, 3, 0.5, rng);
+  // Simple graph invariants: no self loops, no duplicate edges (Build
+  // dedups, but edge count should stay close to n*k).
+  for (const Edge& e : g.edges()) EXPECT_NE(e.u, e.v);
+  EXPECT_LE(g.num_edges(), 180u);
+  EXPECT_GT(g.num_edges(), 150u);
+}
+
+TEST(WattsStrogatzTest, TinyGraphs) {
+  Rng rng(37);
+  EXPECT_EQ(WattsStrogatz(1, 2, 0.1, rng).num_edges(), 0u);
+  EXPECT_EQ(WattsStrogatz(2, 2, 0.1, rng).num_edges(), 1u);
+}
+
+TEST(RandomGraphsTest, AllSimpleNoSelfLoops) {
+  Rng rng(41);
+  for (Graph g : {ErdosRenyi(40, 100, rng), BarabasiAlbert(40, 3, rng),
+                  WattsStrogatz(40, 3, 0.3, rng)}) {
+    std::vector<Edge> edges = g.edges();
+    std::vector<Edge> dedup = edges;
+    std::sort(dedup.begin(), dedup.end());
+    dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+    EXPECT_EQ(dedup.size(), edges.size());
+    for (const Edge& e : edges) EXPECT_LT(e.u, e.v);
+  }
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,170 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tcf {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextUint64RespectsBound) {
+  Rng rng(5);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextUint64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextUint64BoundOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextUint64(1), 0u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  // Both endpoints should eventually appear.
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextInt(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRange) {
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    double d = rng.NextDouble(2.5, 3.5);
+    EXPECT_GE(d, 2.5);
+    EXPECT_LT(d, 3.5);
+  }
+}
+
+TEST(RngTest, NextBoolExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBool(0.0));
+    EXPECT_TRUE(rng.NextBool(1.0));
+    EXPECT_FALSE(rng.NextBool(-1.0));
+    EXPECT_TRUE(rng.NextBool(2.0));
+  }
+}
+
+TEST(RngTest, NextBoolApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(23);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t v = rng.NextZipf(10, 1.2);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  // Rank 0 must dominate rank 9 heavily under skew 1.2.
+  EXPECT_GT(counts[0], counts[9] * 5);
+  // Monotone-ish decay between extremes.
+  EXPECT_GT(counts[0], counts[4]);
+}
+
+TEST(RngTest, ZipfHandlesParameterChange) {
+  Rng rng(29);
+  EXPECT_LT(rng.NextZipf(5, 1.0), 5u);
+  EXPECT_LT(rng.NextZipf(50, 2.0), 50u);  // table rebuild
+  EXPECT_LT(rng.NextZipf(5, 1.0), 5u);    // rebuild back
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(31);
+  double sum = 0, sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, SampleDistinctProperties) {
+  Rng rng(41);
+  auto s = rng.SampleDistinct(100, 10);
+  ASSERT_EQ(s.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_EQ(std::set<uint64_t>(s.begin(), s.end()).size(), 10u);
+  for (uint64_t x : s) EXPECT_LT(x, 100u);
+}
+
+TEST(RngTest, SampleDistinctFullRange) {
+  Rng rng(43);
+  auto s = rng.SampleDistinct(5, 5);
+  EXPECT_EQ(s, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, SampleDistinctZero) {
+  Rng rng(47);
+  EXPECT_TRUE(rng.SampleDistinct(10, 0).empty());
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng a(53), b(53);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.Next(), fb.Next());
+  // Fork stream differs from parent stream.
+  Rng c(53);
+  Rng fc = c.Fork();
+  bool any_diff = false;
+  for (int i = 0; i < 20; ++i) {
+    if (fc.Next() != c.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace tcf

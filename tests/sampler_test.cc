@@ -1,0 +1,121 @@
+#include "net/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/stats.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeRandomNetwork;
+
+TEST(SamplerTest, ExactEdgeCount) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 30,
+                                           .edge_prob = 0.3,
+                                           .seed = 1});
+  Rng rng(9);
+  auto sub = SampleByBfs(net, 20, rng);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_edges(), 20u);
+}
+
+TEST(SamplerTest, RejectsZeroTarget) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 2});
+  Rng rng(1);
+  EXPECT_TRUE(SampleByBfs(net, 0, rng).status().IsInvalidArgument());
+}
+
+TEST(SamplerTest, RejectsOversizedTarget) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 3});
+  Rng rng(1);
+  EXPECT_TRUE(
+      SampleByBfs(net, net.num_edges() + 1, rng).status().IsOutOfRange());
+}
+
+TEST(SamplerTest, FullSampleKeepsEveryEdge) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 15, .seed = 4});
+  Rng rng(2);
+  auto sub = SampleByBfs(net, net.num_edges(), rng);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_edges(), net.num_edges());
+}
+
+TEST(SamplerTest, DatabasesAreCopiedIntact) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 20, .seed = 5});
+  Rng rng(3);
+  auto sub = SampleByBfs(net, 10, rng);
+  ASSERT_TRUE(sub.ok());
+  // Every sampled vertex database must exist verbatim in the original:
+  // check multiset of transaction counts and a frequency probe.
+  for (VertexId v = 0; v < sub->num_vertices(); ++v) {
+    bool found = false;
+    for (VertexId o = 0; o < net.num_vertices() && !found; ++o) {
+      if (net.db(o).num_transactions() != sub->db(v).num_transactions())
+        continue;
+      bool same = true;
+      for (Tid t = 0; t < net.db(o).num_transactions(); ++t) {
+        if (!(net.db(o).transaction(t) == sub->db(v).transaction(t))) {
+          same = false;
+          break;
+        }
+      }
+      found = same;
+    }
+    EXPECT_TRUE(found) << "vertex " << v << " database not found in original";
+  }
+}
+
+TEST(SamplerTest, DictionaryPreserved) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 6});
+  Rng rng(4);
+  auto sub = SampleByBfs(net, 5, rng);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->dictionary().size(), net.dictionary().size());
+  for (ItemId i = 0; i < net.dictionary().size(); ++i) {
+    EXPECT_EQ(sub->dictionary().Name(i), net.dictionary().Name(i));
+  }
+}
+
+TEST(SamplerTest, SampledGraphIsSimple) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 25, .seed = 7});
+  Rng rng(5);
+  auto sub = SampleByBfs(net, 15, rng);
+  ASSERT_TRUE(sub.ok());
+  std::set<Edge> seen;
+  for (const Edge& e : sub->graph().edges()) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_TRUE(seen.insert(e).second);
+  }
+}
+
+TEST(SamplerTest, GrowingSamplesNestStatistically) {
+  // Larger samples cover at least as many transactions (they contain
+  // at least as many vertices).
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 40,
+                                           .edge_prob = 0.2,
+                                           .seed = 8});
+  Rng rng1(42), rng2(42);
+  auto small = SampleByBfs(net, 10, rng1);
+  auto large = SampleByBfs(net, 30, rng2);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LE(small->num_vertices(), large->num_vertices());
+}
+
+TEST(SamplerTest, DeterministicGivenSeed) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 30, .seed = 9});
+  Rng a(1), b(1);
+  auto s1 = SampleByBfs(net, 12, a);
+  auto s2 = SampleByBfs(net, 12, b);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s1->graph().edges(), s2->graph().edges());
+  EXPECT_EQ(ComputeStats(*s1).num_transactions,
+            ComputeStats(*s2).num_transactions);
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,60 @@
+#include "net/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeNetwork;
+
+TEST(StatsTest, CountsMatchHandComputation) {
+  DatabaseNetwork net = MakeNetwork(
+      3, {{0, 1}, {1, 2}},
+      {{{0, 1}, {0}},     // 2 tx, 3 item occurrences
+       {{1}},             // 1 tx, 1 occurrence
+       {{2, 3}, {0, 3}}});  // 2 tx, 4 occurrences
+  NetworkStats s = ComputeStats(net);
+  EXPECT_EQ(s.num_vertices, 3u);
+  EXPECT_EQ(s.num_edges, 2u);
+  EXPECT_EQ(s.num_transactions, 5u);
+  EXPECT_EQ(s.num_items_total, 8u);
+  EXPECT_EQ(s.num_items_unique, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.avg_transactions_per_vertex, 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.avg_transaction_length, 8.0 / 5.0);
+  EXPECT_EQ(s.sum_degree_squared, 1u + 4u + 1u);
+}
+
+TEST(StatsTest, EmptyNetwork) {
+  GraphBuilder b;
+  ItemDictionary dict;
+  DatabaseNetwork net(b.Build(), {}, std::move(dict));
+  NetworkStats s = ComputeStats(net);
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.num_transactions, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_transaction_length, 0.0);
+}
+
+TEST(StatsTest, UniqueCountsDistinctAcrossVertices) {
+  // The same item on two vertices counts once in num_items_unique.
+  DatabaseNetwork net = MakeNetwork(2, {{0, 1}}, {{{0}}, {{0}}});
+  NetworkStats s = ComputeStats(net);
+  EXPECT_EQ(s.num_items_unique, 1u);
+  EXPECT_EQ(s.num_items_total, 2u);
+}
+
+TEST(StatsTest, StreamOutput) {
+  DatabaseNetwork net = MakeNetwork(2, {{0, 1}}, {{{0}}, {{1}}});
+  std::ostringstream os;
+  os << ComputeStats(net);
+  EXPECT_NE(os.str().find("vertices=2"), std::string::npos);
+  EXPECT_NE(os.str().find("edges=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcf

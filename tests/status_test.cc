@@ -1,0 +1,100 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tcf {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, NonOkIsNotOk) {
+  EXPECT_FALSE(Status::InvalidArgument("bad").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::InvalidArgument("bad alpha").ToString(),
+            "InvalidArgument: bad alpha");
+  EXPECT_EQ(Status::IOError("disk").ToString(), "IOError: disk");
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::Corruption("bad magic");
+  EXPECT_EQ(os.str(), "Corruption: bad magic");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Corruption("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeName(Status::Code::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(Status::Code::kUnimplemented), "Unimplemented");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("nope"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+}
+
+TEST(StatusOrTest, ValueOrFallsBack) {
+  StatusOr<int> bad(Status::NotFound("nope"));
+  EXPECT_EQ(bad.value_or(-1), -1);
+  StatusOr<int> good(7);
+  EXPECT_EQ(good.value_or(-1), 7);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> s(std::string("hello"));
+  std::string moved = std::move(s).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> s(std::string("hello"));
+  EXPECT_EQ(s->size(), 5u);
+}
+
+Status FailingOperation() { return Status::IOError("boom"); }
+
+Status UsesReturnIfError() {
+  TCF_RETURN_IF_ERROR(FailingOperation());
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError().IsIOError());
+}
+
+}  // namespace
+}  // namespace tcf

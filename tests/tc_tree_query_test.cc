@@ -1,0 +1,214 @@
+#include "core/tc_tree_query.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/brute_force.h"
+#include "core/mptd.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeFigureOneNetwork;
+using testing::MakeRandomNetwork;
+
+// Oracle for query (q, α): direct MPTD over every non-empty sub-pattern
+// of q.
+std::map<Itemset, PatternTruss> QueryOracle(const DatabaseNetwork& net,
+                                            const Itemset& q, double alpha) {
+  std::map<Itemset, PatternTruss> out;
+  const auto& items = q.items();
+  for (uint64_t mask = 1; mask < (1ULL << items.size()); ++mask) {
+    std::vector<ItemId> sub;
+    for (size_t b = 0; b < items.size(); ++b) {
+      if (mask & (1ULL << b)) sub.push_back(items[b]);
+    }
+    Itemset p(std::move(sub));
+    PatternTruss t = Mptd(InduceThemeNetwork(net, p), alpha);
+    if (!t.empty()) out.emplace(p, std::move(t));
+  }
+  return out;
+}
+
+class QueryOracleTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, double>> {};
+
+TEST_P(QueryOracleTest, QueryMatchesSubsetEnumeration) {
+  const auto [seed, alpha] = GetParam();
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 13,
+                                           .edge_prob = 0.4,
+                                           .num_items = 5,
+                                           .seed = seed});
+  TcTree tree = TcTree::Build(net);
+
+  for (const Itemset& q : {Itemset({0, 1, 2, 3, 4}), Itemset({0, 2}),
+                           Itemset({1, 3, 4}), Itemset({2})}) {
+    auto oracle = QueryOracle(net, q, alpha);
+    TcTreeQueryResult got = QueryTcTree(tree, q, alpha);
+    ASSERT_EQ(got.trusses.size(), oracle.size())
+        << "q=" << q.ToString() << " alpha=" << alpha;
+    EXPECT_EQ(got.retrieved_nodes, oracle.size());
+    for (const PatternTruss& t : got.trusses) {
+      auto it = oracle.find(t.pattern);
+      ASSERT_NE(it, oracle.end()) << t.pattern.ToString();
+      EXPECT_EQ(t.edges, it->second.edges);
+      EXPECT_EQ(t.vertices, it->second.vertices);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndAlphas, QueryOracleTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                       ::testing::Values(0.0, 0.1, 0.4)));
+
+TEST(TcTreeQueryTest, FigureOneQba) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  const Itemset everything({0, 1});
+  // QBA at α = 0: both item trusses.
+  EXPECT_EQ(QueryTcTree(tree, everything, 0.0).retrieved_nodes, 2u);
+  // α = 0.25 kills the K4 of item 0 but not its triangle; item 1 network
+  // has much higher cohesions.
+  auto r = QueryTcTree(tree, everything, 0.25);
+  EXPECT_EQ(r.retrieved_nodes, 2u);
+  for (const auto& t : r.trusses) {
+    if (t.pattern == Itemset({0})) {
+      EXPECT_EQ(t.edges, testing::EdgeList({{6, 7}, {6, 8}, {7, 8}}));
+    }
+  }
+  // Beyond every max alpha: nothing.
+  const double beyond = CohesionToDouble(tree.MaxAlphaOverNodes()) + 1.0;
+  EXPECT_EQ(QueryTcTree(tree, everything, beyond).retrieved_nodes, 0u);
+}
+
+TEST(TcTreeQueryTest, QueryByPatternRestrictsToSubsets) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  auto r0 = QueryTcTree(tree, Itemset({0}), 0.0);
+  ASSERT_EQ(r0.trusses.size(), 1u);
+  EXPECT_EQ(r0.trusses[0].pattern, Itemset({0}));
+  auto r1 = QueryTcTree(tree, Itemset({1}), 0.0);
+  ASSERT_EQ(r1.trusses.size(), 1u);
+  EXPECT_EQ(r1.trusses[0].pattern, Itemset({1}));
+}
+
+TEST(TcTreeQueryTest, UnknownItemsInQueryAreHarmless) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  auto r = QueryTcTree(tree, Itemset({0, 99}), 0.0);
+  ASSERT_EQ(r.trusses.size(), 1u);
+  EXPECT_EQ(r.trusses[0].pattern, Itemset({0}));
+}
+
+TEST(TcTreeQueryTest, EmptyQueryPatternRetrievesNothing) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  auto r = QueryTcTree(tree, Itemset(), 0.0);
+  EXPECT_EQ(r.retrieved_nodes, 0u);
+  EXPECT_TRUE(r.trusses.empty());
+}
+
+TEST(TcTreeQueryTest, SkipMaterializationLeavesVerticesEmpty) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  auto r = QueryTcTree(tree, Itemset({0, 1}), 0.0,
+                       {.materialize_vertices = false});
+  ASSERT_FALSE(r.trusses.empty());
+  for (const auto& t : r.trusses) {
+    EXPECT_FALSE(t.edges.empty());
+    EXPECT_TRUE(t.vertices.empty());
+  }
+}
+
+TEST(TcTreeQueryTest, MinTrussEdgesFiltersResultsNotTraversal) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 91});
+  TcTree tree = TcTree::Build(net);
+  const Itemset q({0, 1, 2, 3, 4});
+  auto all = QueryTcTree(tree, q, 0.0);
+  if (all.trusses.empty()) GTEST_SKIP() << "no trusses at this seed";
+  // Pick a threshold between min and max edge counts.
+  size_t min_e = SIZE_MAX, max_e = 0;
+  for (const auto& t : all.trusses) {
+    min_e = std::min(min_e, t.edges.size());
+    max_e = std::max(max_e, t.edges.size());
+  }
+  const size_t cut = (min_e + max_e) / 2 + 1;
+  auto filtered = QueryTcTree(tree, q, 0.0, {.min_truss_edges = cut});
+  for (const auto& t : filtered.trusses) EXPECT_GE(t.edges.size(), cut);
+  // Exactly the big ones survive — the filter must not prune subtrees.
+  size_t expect = 0;
+  for (const auto& t : all.trusses) {
+    if (t.edges.size() >= cut) ++expect;
+  }
+  EXPECT_EQ(filtered.trusses.size(), expect);
+}
+
+TEST(TcTreeQueryTest, MaxResultsCapsRetrieval) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 93});
+  TcTree tree = TcTree::Build(net);
+  const Itemset q({0, 1, 2, 3, 4});
+  auto all = QueryTcTree(tree, q, 0.0);
+  if (all.retrieved_nodes < 3) GTEST_SKIP() << "too few results";
+  auto capped = QueryTcTree(tree, q, 0.0, {.max_results = 2});
+  EXPECT_EQ(capped.retrieved_nodes, 2u);
+  EXPECT_EQ(capped.trusses.size(), 2u);
+  // The capped prefix matches the full run's BFS order.
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(capped.trusses[i].pattern, all.trusses[i].pattern);
+  }
+}
+
+TEST(TcTreeQueryTest, VisitedNodesAtLeastRetrieved) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 61});
+  TcTree tree = TcTree::Build(net);
+  auto r = QueryTcTree(tree, Itemset({0, 1, 2, 3, 4}), 0.0);
+  EXPECT_GE(r.visited_nodes, r.retrieved_nodes);
+}
+
+TEST(TcTreeQueryTest, MonotoneInAlpha) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 67});
+  TcTree tree = TcTree::Build(net);
+  const Itemset q({0, 1, 2, 3, 4});
+  uint64_t prev = QueryTcTree(tree, q, 0.0).retrieved_nodes;
+  for (double alpha : {0.1, 0.2, 0.5, 1.0}) {
+    uint64_t cur = QueryTcTree(tree, q, alpha).retrieved_nodes;
+    EXPECT_LE(cur, prev) << alpha;
+    prev = cur;
+  }
+}
+
+TEST(TcTreeQueryTest, QueryThemeCommunitiesSplitsComponents) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  auto communities = QueryThemeCommunities(tree, Itemset({0}), 0.15);
+  // Item 0 truss at 0.15: K4 component + triangle component.
+  ASSERT_EQ(communities.size(), 2u);
+  EXPECT_EQ(communities[0].vertices, (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_EQ(communities[1].vertices, (std::vector<VertexId>{6, 7, 8}));
+  for (const auto& c : communities) EXPECT_EQ(c.theme, Itemset({0}));
+}
+
+TEST(TcTreeQueryTest, RetrievedTrussesSatisfyThmFiveOne) {
+  // Within one query result, a longer pattern's truss is contained in
+  // every sub-pattern's truss (Thm. 5.1) — check on the tree output.
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 4, .seed = 71});
+  TcTree tree = TcTree::Build(net);
+  auto r = QueryTcTree(tree, Itemset({0, 1, 2, 3}), 0.0);
+  std::map<Itemset, const PatternTruss*> by_pattern;
+  for (const auto& t : r.trusses) by_pattern[t.pattern] = &t;
+  for (const auto& [p, truss] : by_pattern) {
+    if (p.size() < 2) continue;
+    for (const Itemset& sub : p.AllSubsetsMinusOne()) {
+      auto it = by_pattern.find(sub);
+      ASSERT_NE(it, by_pattern.end());  // Prop. 5.2
+      EXPECT_TRUE(truss->IsSubgraphOf(*it->second));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcf

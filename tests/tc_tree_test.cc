@@ -1,0 +1,210 @@
+#include "core/tc_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/brute_force.h"
+#include "core/mptd.h"
+#include "core/tcfi.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeFigureOneNetwork;
+using testing::MakeRandomNetwork;
+
+std::map<Itemset, TcTree::NodeId> PatternIndex(const TcTree& tree) {
+  std::map<Itemset, TcTree::NodeId> out;
+  for (TcTree::NodeId id = 1; id <= tree.num_nodes(); ++id) {
+    out[tree.PatternOf(id)] = id;
+  }
+  return out;
+}
+
+TEST(TcTreeTest, FigureOneTree) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  auto idx = PatternIndex(tree);
+  // Items 0 and 1 both have non-empty C*(0); {0,1} does not (no shared
+  // transaction).
+  EXPECT_EQ(tree.num_nodes(), 2u);
+  EXPECT_TRUE(idx.count(Itemset({0})));
+  EXPECT_TRUE(idx.count(Itemset({1})));
+  EXPECT_FALSE(idx.count(Itemset({0, 1})));
+}
+
+TEST(TcTreeTest, NodesAreExactlyQualifiedPatternsOfTcfiAtZero) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 14,
+                                           .edge_prob = 0.4,
+                                           .num_items = 5,
+                                           .seed = 17});
+  TcTree tree = TcTree::Build(net);
+  MiningResult exact = RunTcfi(net, {.alpha = 0.0});
+  std::set<Itemset> expect;
+  for (const auto& t : exact.trusses) expect.insert(t.pattern);
+  std::set<Itemset> got;
+  for (TcTree::NodeId id = 1; id <= tree.num_nodes(); ++id) {
+    got.insert(tree.PatternOf(id));
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(TcTreeTest, NodeDecompositionsMatchDirectMptd) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 12,
+                                           .num_items = 4,
+                                           .seed = 19});
+  TcTree tree = TcTree::Build(net);
+  for (TcTree::NodeId id = 1; id <= tree.num_nodes(); ++id) {
+    const Itemset p = tree.PatternOf(id);
+    ThemeNetwork tn = InduceThemeNetwork(net, p);
+    PatternTruss direct = Mptd(tn, 0.0);
+    PatternTruss from_tree = tree.node(id).decomposition.TrussAtAlpha(0.0);
+    EXPECT_EQ(from_tree.edges, direct.edges) << p.ToString();
+    EXPECT_EQ(from_tree.vertices, direct.vertices) << p.ToString();
+  }
+}
+
+TEST(TcTreeTest, ChildrenSortedByItemAndProperSETreeLinks) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 14,
+                                           .num_items = 6,
+                                           .seed = 23});
+  TcTree tree = TcTree::Build(net);
+  for (TcTree::NodeId id = 0; id <= tree.num_nodes(); ++id) {
+    const auto& children = tree.node(id).children;
+    for (size_t i = 0; i < children.size(); ++i) {
+      EXPECT_EQ(tree.node(children[i]).parent, id);
+      if (i > 0) {
+        EXPECT_LT(tree.node(children[i - 1]).item,
+                  tree.node(children[i]).item);
+      }
+      if (id != TcTree::kRoot) {
+        // SE-tree: child's item must exceed every item of the parent's
+        // pattern (it extends the pattern at the tail).
+        EXPECT_GT(tree.node(children[i]).item, tree.node(id).item);
+      }
+    }
+  }
+}
+
+TEST(TcTreeTest, ParallelBuildMatchesSerial) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 16,
+                                           .edge_prob = 0.35,
+                                           .num_items = 6,
+                                           .seed = 29});
+  TcTree serial = TcTree::Build(net, {.num_threads = 1});
+  TcTree parallel = TcTree::Build(net, {.num_threads = 4});
+  ASSERT_EQ(serial.num_nodes(), parallel.num_nodes());
+  for (TcTree::NodeId id = 1; id <= serial.num_nodes(); ++id) {
+    EXPECT_EQ(serial.PatternOf(id), parallel.PatternOf(id));
+    EXPECT_EQ(serial.node(id).decomposition.sorted_edges(),
+              parallel.node(id).decomposition.sorted_edges());
+  }
+}
+
+TEST(TcTreeTest, MaxDepthCapsPatternLength) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 14,
+                                           .num_items = 5,
+                                           .seed = 31});
+  TcTree capped = TcTree::Build(net, {.max_depth = 1});
+  for (TcTree::NodeId id = 1; id <= capped.num_nodes(); ++id) {
+    EXPECT_EQ(capped.PatternOf(id).size(), 1u);
+  }
+  EXPECT_LE(capped.MaxDepth(), 1u);
+}
+
+TEST(TcTreeTest, NodeBudgetTruncatesButStaysExact) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 14,
+                                           .num_items = 5,
+                                           .seed = 31});
+  TcTree full = TcTree::Build(net);
+  if (full.num_nodes() < 4) GTEST_SKIP() << "tree too small to truncate";
+  const size_t budget = full.num_nodes() / 2;
+  TcTree capped = TcTree::Build(net, {.max_nodes = budget});
+  EXPECT_TRUE(capped.build_stats().truncated);
+  EXPECT_LT(capped.num_nodes(), full.num_nodes());
+  // Every node that was built matches the full tree's decomposition for
+  // the same pattern (truncation drops nodes, never corrupts them).
+  std::map<Itemset, TcTree::NodeId> full_idx = PatternIndex(full);
+  for (TcTree::NodeId id = 1; id <= capped.num_nodes(); ++id) {
+    const Itemset p = capped.PatternOf(id);
+    auto it = full_idx.find(p);
+    ASSERT_NE(it, full_idx.end()) << p.ToString();
+    EXPECT_EQ(capped.node(id).decomposition.sorted_edges(),
+              full.node(it->second).decomposition.sorted_edges());
+  }
+}
+
+TEST(TcTreeTest, GenerousBudgetDoesNotTruncate) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 4, .seed = 43});
+  TcTree full = TcTree::Build(net);
+  TcTree capped = TcTree::Build(net, {.max_nodes = full.num_nodes() + 100});
+  EXPECT_FALSE(capped.build_stats().truncated);
+  EXPECT_EQ(capped.num_nodes(), full.num_nodes());
+}
+
+TEST(TcTreeTest, EmptyNetworkGivesEmptyTree) {
+  DatabaseNetwork net = testing::MakeNetwork(3, {}, {{{0}}, {{1}}, {{2}}});
+  TcTree tree = TcTree::Build(net);
+  EXPECT_EQ(tree.num_nodes(), 0u);
+  EXPECT_EQ(tree.MaxAlphaOverNodes(), 0);
+  EXPECT_EQ(tree.TotalIndexedEdges(), 0u);
+}
+
+TEST(TcTreeTest, MaxAlphaOverNodesIsAchieved) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  const CohesionValue max_alpha = tree.MaxAlphaOverNodes();
+  EXPECT_GT(max_alpha, 0);
+  bool achieved = false;
+  for (TcTree::NodeId id = 1; id <= tree.num_nodes(); ++id) {
+    if (tree.node(id).decomposition.max_alpha() == max_alpha) {
+      achieved = true;
+    }
+  }
+  EXPECT_TRUE(achieved);
+}
+
+TEST(TcTreeTest, BuildStatsAreConsistent) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 14,
+                                           .num_items = 5,
+                                           .seed = 37});
+  TcTree tree = TcTree::Build(net);
+  const auto& stats = tree.build_stats();
+  EXPECT_GE(stats.candidates_considered, tree.num_nodes());
+  EXPECT_LE(stats.mptd_calls, stats.candidates_considered);
+  EXPECT_GE(stats.build_seconds, 0.0);
+}
+
+TEST(TcTreeTest, TotalIndexedEdgesMatchesNodeSum) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 41});
+  TcTree tree = TcTree::Build(net);
+  uint64_t sum = 0;
+  for (TcTree::NodeId id = 1; id <= tree.num_nodes(); ++id) {
+    sum += tree.node(id).decomposition.num_edges();
+  }
+  EXPECT_EQ(tree.TotalIndexedEdges(), sum);
+  EXPECT_GT(tree.MemoryBytes(), 0u);
+}
+
+TEST(TcTreeTest, DeepPatternsFormChains) {
+  // A clique where all vertices share items {0,1,2} in every transaction
+  // must index every subset of {0,1,2} as a node (7 nodes).
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId a = 0; a < 4; ++a) {
+    for (VertexId b = a + 1; b < 4; ++b) edges.emplace_back(a, b);
+  }
+  std::vector<std::vector<std::vector<ItemId>>> tx(4);
+  for (auto& db : tx) db.push_back({0, 1, 2});
+  DatabaseNetwork net = testing::MakeNetwork(4, edges, tx);
+  TcTree tree = TcTree::Build(net);
+  EXPECT_EQ(tree.num_nodes(), 7u);
+  EXPECT_EQ(tree.MaxDepth(), 3u);
+  auto idx = PatternIndex(tree);
+  EXPECT_TRUE(idx.count(Itemset({0, 1, 2})));
+}
+
+}  // namespace
+}  // namespace tcf

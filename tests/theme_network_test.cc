@@ -1,0 +1,127 @@
+#include "net/theme_network.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::EdgeList;
+using testing::MakeNetwork;
+using testing::MakeRandomNetwork;
+
+DatabaseNetwork Net() {
+  // Path 0-1-2-3 plus chord 1-3. Item 0 on {0,1,2}, item 1 on {1,2,3}.
+  return MakeNetwork(4, {{0, 1}, {1, 2}, {2, 3}, {1, 3}},
+                     {{{0}},        // v0
+                      {{0, 1}},     // v1
+                      {{0}, {1}},   // v2
+                      {{1}}});      // v3
+}
+
+TEST(ThemeNetworkTest, InducesVerticesWithPositiveFrequency) {
+  DatabaseNetwork net = Net();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0}));
+  EXPECT_EQ(tn.vertices, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(tn.FrequencyOf(0), 1.0);
+  EXPECT_DOUBLE_EQ(tn.FrequencyOf(2), 0.5);
+  EXPECT_DOUBLE_EQ(tn.FrequencyOf(3), 0.0);  // not a member
+  EXPECT_EQ(tn.edges, EdgeList({{0, 1}, {1, 2}}));
+}
+
+TEST(ThemeNetworkTest, InducesSecondItem) {
+  DatabaseNetwork net = Net();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({1}));
+  EXPECT_EQ(tn.vertices, (std::vector<VertexId>{1, 2, 3}));
+  EXPECT_EQ(tn.edges, EdgeList({{1, 2}, {2, 3}, {1, 3}}));
+}
+
+TEST(ThemeNetworkTest, PairPatternShrinksNetwork) {
+  DatabaseNetwork net = Net();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({0, 1}));
+  // Only v1 has a transaction containing both items.
+  EXPECT_EQ(tn.vertices, (std::vector<VertexId>{1}));
+  EXPECT_TRUE(tn.edges.empty());
+}
+
+TEST(ThemeNetworkTest, AbsentPatternGivesEmptyNetwork) {
+  DatabaseNetwork net = Net();
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset({5}));
+  EXPECT_TRUE(tn.vertices.empty());
+  EXPECT_TRUE(tn.empty());
+}
+
+TEST(ThemeNetworkTest, EmptyPatternCoversNonEmptyDatabases) {
+  DatabaseNetwork net = MakeNetwork(3, {{0, 1}, {1, 2}}, {{{0}}, {}, {{1}}});
+  ThemeNetwork tn = InduceThemeNetwork(net, Itemset());
+  // v1 has an empty database -> excluded; f = 1 elsewhere.
+  EXPECT_EQ(tn.vertices, (std::vector<VertexId>{0, 2}));
+  EXPECT_DOUBLE_EQ(tn.FrequencyOf(0), 1.0);
+  EXPECT_TRUE(tn.edges.empty());  // 0-2 not an edge
+}
+
+TEST(ThemeNetworkTest, ThemeSubgraphOfDatabaseNetwork) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 5});
+  for (ItemId item : net.ActiveItems()) {
+    ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(item));
+    for (size_t i = 0; i < tn.vertices.size(); ++i) {
+      EXPECT_GT(tn.frequencies[i], 0.0);
+      EXPECT_DOUBLE_EQ(tn.frequencies[i],
+                       net.Frequency(tn.vertices[i], Itemset::Single(item)));
+    }
+    for (const Edge& e : tn.edges) {
+      EXPECT_TRUE(net.graph().HasEdge(e.u, e.v));
+      EXPECT_GT(tn.FrequencyOf(e.u), 0.0);
+      EXPECT_GT(tn.FrequencyOf(e.v), 0.0);
+    }
+  }
+}
+
+TEST(ThemeNetworkFromEdgesTest, RestrictsToCandidateEdges) {
+  DatabaseNetwork net = Net();
+  // Candidate edges: {1,2} and {2,3}; pattern {1} lives on {1,2,3}.
+  ThemeNetwork tn = InduceThemeNetworkFromEdges(
+      net, Itemset({1}), EdgeList({{1, 2}, {2, 3}}));
+  EXPECT_EQ(tn.edges, EdgeList({{1, 2}, {2, 3}}));
+  EXPECT_EQ(tn.vertices, (std::vector<VertexId>{1, 2, 3}));
+}
+
+TEST(ThemeNetworkFromEdgesTest, DropsEdgesWithZeroFrequencyEndpoint) {
+  DatabaseNetwork net = Net();
+  // Pattern {0} has f=0 on v3, so edge {2,3} must vanish.
+  ThemeNetwork tn = InduceThemeNetworkFromEdges(
+      net, Itemset({0}), EdgeList({{1, 2}, {2, 3}}));
+  EXPECT_EQ(tn.edges, EdgeList({{1, 2}}));
+}
+
+TEST(ThemeNetworkFromEdgesTest, DeduplicatesAndSorts) {
+  DatabaseNetwork net = Net();
+  std::vector<Edge> cand = {{1, 2}, {0, 1}, {1, 2}};
+  ThemeNetwork tn = InduceThemeNetworkFromEdges(net, Itemset({0}), cand);
+  EXPECT_EQ(tn.edges, EdgeList({{0, 1}, {1, 2}}));
+}
+
+TEST(ThemeNetworkFromEdgesTest, AgreesWithFullInductionOnSubsets) {
+  // Inducing from the *full* edge set of G must give the same theme
+  // network as full induction (on edges; vertex sets may differ only by
+  // isolated vertices, which carry no truss).
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 11});
+  std::vector<Edge> all_edges = net.graph().edges();
+  for (ItemId item : net.ActiveItems()) {
+    Itemset p = Itemset::Single(item);
+    ThemeNetwork full = InduceThemeNetwork(net, p);
+    ThemeNetwork sub = InduceThemeNetworkFromEdges(net, p, all_edges);
+    EXPECT_EQ(full.edges, sub.edges) << "item " << item;
+  }
+}
+
+TEST(ThemeNetworkFromEdgesTest, EmptyCandidatesGiveEmptyNetwork) {
+  DatabaseNetwork net = Net();
+  ThemeNetwork tn = InduceThemeNetworkFromEdges(net, Itemset({0}), {});
+  EXPECT_TRUE(tn.empty());
+  EXPECT_TRUE(tn.vertices.empty());
+}
+
+}  // namespace
+}  // namespace tcf

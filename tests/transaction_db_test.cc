@@ -1,0 +1,147 @@
+#include "tx/transaction_db.h"
+
+#include <gtest/gtest.h>
+
+#include "tx/vertical_index.h"
+#include "util/rng.h"
+
+namespace tcf {
+namespace {
+
+TransactionDb MakeDb() {
+  TransactionDb db;
+  db.Add(Itemset({0, 1}));
+  db.Add(Itemset({0, 1, 2}));
+  db.Add(Itemset({2}));
+  db.Add(Itemset({0, 1}));  // duplicate transaction: multiset semantics
+  return db;
+}
+
+TEST(TransactionDbTest, AddAssignsSequentialTids) {
+  TransactionDb db;
+  EXPECT_EQ(db.Add(Itemset({1})), 0u);
+  EXPECT_EQ(db.Add(Itemset({2})), 1u);
+  EXPECT_EQ(db.num_transactions(), 2u);
+}
+
+TEST(TransactionDbTest, SupportCountsMultisetOccurrences) {
+  TransactionDb db = MakeDb();
+  EXPECT_EQ(db.SupportCount(Itemset({0, 1})), 3u);  // duplicate counts twice
+  EXPECT_EQ(db.SupportCount(Itemset({2})), 2u);
+  EXPECT_EQ(db.SupportCount(Itemset({0, 2})), 1u);
+  EXPECT_EQ(db.SupportCount(Itemset({3})), 0u);
+}
+
+TEST(TransactionDbTest, EmptyPatternInEveryTransaction) {
+  TransactionDb db = MakeDb();
+  EXPECT_EQ(db.SupportCount(Itemset()), 4u);
+  EXPECT_DOUBLE_EQ(db.Frequency(Itemset()), 1.0);
+}
+
+TEST(TransactionDbTest, FrequencyIsProportion) {
+  TransactionDb db = MakeDb();
+  EXPECT_DOUBLE_EQ(db.Frequency(Itemset({0, 1})), 0.75);
+  EXPECT_DOUBLE_EQ(db.Frequency(Itemset({2})), 0.5);
+  EXPECT_DOUBLE_EQ(db.Frequency(Itemset({9})), 0.0);
+}
+
+TEST(TransactionDbTest, EmptyDatabase) {
+  TransactionDb db;
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.SupportCount(Itemset({0})), 0u);
+  EXPECT_DOUBLE_EQ(db.Frequency(Itemset({0})), 0.0);
+  EXPECT_EQ(db.TotalItemOccurrences(), 0u);
+  EXPECT_TRUE(db.DistinctItems().empty());
+}
+
+TEST(TransactionDbTest, TotalItemOccurrences) {
+  EXPECT_EQ(MakeDb().TotalItemOccurrences(), 2u + 3u + 1u + 2u);
+}
+
+TEST(TransactionDbTest, DistinctItems) {
+  EXPECT_EQ(MakeDb().DistinctItems(), Itemset({0, 1, 2}));
+}
+
+TEST(TransactionDbTest, EmptyTransactionAllowed) {
+  TransactionDb db;
+  db.Add(Itemset());
+  db.Add(Itemset({1}));
+  EXPECT_EQ(db.num_transactions(), 2u);
+  EXPECT_DOUBLE_EQ(db.Frequency(Itemset()), 1.0);
+  EXPECT_DOUBLE_EQ(db.Frequency(Itemset({1})), 0.5);
+}
+
+// ------------------------------------------------------ VerticalIndex --
+
+TEST(VerticalIndexTest, TidListsAreSortedAndComplete) {
+  VerticalIndex idx(MakeDb());
+  EXPECT_EQ(idx.TidList(0), (std::vector<Tid>{0, 1, 3}));
+  EXPECT_EQ(idx.TidList(1), (std::vector<Tid>{0, 1, 3}));
+  EXPECT_EQ(idx.TidList(2), (std::vector<Tid>{1, 2}));
+  EXPECT_TRUE(idx.TidList(9).empty());
+  EXPECT_EQ(idx.items(), (std::vector<ItemId>{0, 1, 2}));
+}
+
+TEST(VerticalIndexTest, SupportMatchesScan) {
+  TransactionDb db = MakeDb();
+  VerticalIndex idx(db);
+  for (const Itemset& p :
+       {Itemset({0}), Itemset({0, 1}), Itemset({0, 2}), Itemset({0, 1, 2}),
+        Itemset({3}), Itemset()}) {
+    EXPECT_EQ(idx.SupportCount(p), db.SupportCount(p)) << p.ToString();
+    EXPECT_DOUBLE_EQ(idx.Frequency(p), db.Frequency(p)) << p.ToString();
+  }
+}
+
+TEST(VerticalIndexTest, RandomizedAgreementWithScan) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    TransactionDb db;
+    const size_t n_tx = 1 + rng.NextUint64(30);
+    for (size_t t = 0; t < n_tx; ++t) {
+      std::vector<ItemId> items;
+      const size_t len = rng.NextUint64(5);
+      for (size_t i = 0; i < len; ++i) {
+        items.push_back(static_cast<ItemId>(rng.NextUint64(6)));
+      }
+      db.Add(Itemset(std::move(items)));
+    }
+    VerticalIndex idx(db);
+    // Check all patterns over 6 items.
+    for (uint32_t mask = 0; mask < 64; ++mask) {
+      std::vector<ItemId> items;
+      for (uint32_t b = 0; b < 6; ++b) {
+        if (mask & (1u << b)) items.push_back(b);
+      }
+      Itemset p(std::move(items));
+      EXPECT_EQ(idx.SupportCount(p), db.SupportCount(p))
+          << "round " << round << " pattern " << p.ToString();
+    }
+  }
+}
+
+TEST(VerticalIndexTest, IntersectWith) {
+  VerticalIndex idx(MakeDb());
+  std::vector<Tid> base{0, 1, 2, 3};
+  EXPECT_EQ(idx.IntersectWith(base, 2), (std::vector<Tid>{1, 2}));
+  EXPECT_TRUE(idx.IntersectWith({}, 0).empty());
+}
+
+TEST(VerticalIndexTest, EmptyDatabase) {
+  TransactionDb db;
+  VerticalIndex idx(db);
+  EXPECT_EQ(idx.num_transactions(), 0u);
+  EXPECT_DOUBLE_EQ(idx.Frequency(Itemset({0})), 0.0);
+  EXPECT_TRUE(idx.items().empty());
+}
+
+TEST(SortedIntersectTest, BasicsAndEdgeCases) {
+  EXPECT_EQ(SortedIntersect({1, 3, 5}, {3, 4, 5}), (std::vector<Tid>{3, 5}));
+  EXPECT_TRUE(SortedIntersect({1, 2}, {3, 4}).empty());
+  EXPECT_TRUE(SortedIntersect({}, {1}).empty());
+  EXPECT_EQ(SortedIntersectionSize({1, 3, 5}, {3, 4, 5}), 2u);
+  EXPECT_EQ(SortedIntersectionSize({}, {}), 0u);
+}
+
+}  // namespace
+}  // namespace tcf

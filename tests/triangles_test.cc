@@ -1,0 +1,107 @@
+#include "graph/triangles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "graph/graph_builder.h"
+#include "graph/random_graphs.h"
+#include "util/rng.h"
+
+namespace tcf {
+namespace {
+
+Graph Complete(size_t n) {
+  GraphBuilder b(n);
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId v = a + 1; v < n; ++v) EXPECT_TRUE(b.AddEdge(a, v).ok());
+  }
+  return b.Build();
+}
+
+TEST(TrianglesTest, TriangleGraphHasOne) {
+  Graph g = Complete(3);
+  EXPECT_EQ(CountTriangles(g), 1u);
+}
+
+TEST(TrianglesTest, K4HasFour) { EXPECT_EQ(CountTriangles(Complete(4)), 4u); }
+
+TEST(TrianglesTest, K5HasTen) { EXPECT_EQ(CountTriangles(Complete(5)), 10u); }
+
+TEST(TrianglesTest, TreeHasNone) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(1, 3).ok());
+  EXPECT_EQ(CountTriangles(b.Build()), 0u);
+}
+
+TEST(TrianglesTest, EmptyGraph) {
+  GraphBuilder b(3);
+  EXPECT_EQ(CountTriangles(b.Build()), 0u);
+}
+
+TEST(TrianglesTest, EdgeSupportCounts) {
+  // Two triangles sharing edge {0,1}: 0-1-2 and 0-1-3.
+  GraphBuilder b;
+  for (auto [x, y] : std::vector<std::pair<VertexId, VertexId>>{
+           {0, 1}, {0, 2}, {1, 2}, {0, 3}, {1, 3}}) {
+    ASSERT_TRUE(b.AddEdge(x, y).ok());
+  }
+  Graph g = b.Build();
+  auto support = CountEdgeTriangles(g);
+  EXPECT_EQ(support[g.FindEdge(0, 1)], 2u);
+  EXPECT_EQ(support[g.FindEdge(0, 2)], 1u);
+  EXPECT_EQ(support[g.FindEdge(1, 3)], 1u);
+}
+
+TEST(TrianglesTest, ForEachTriangleReportsWingEdges) {
+  Graph g = Complete(3);
+  const EdgeId e01 = g.FindEdge(0, 1);
+  int calls = 0;
+  ForEachTriangle(g, e01, nullptr, [&](VertexId w, EdgeId e1, EdgeId e2) {
+    ++calls;
+    EXPECT_EQ(w, 2u);
+    EXPECT_EQ(e1, g.FindEdge(0, 2));
+    EXPECT_EQ(e2, g.FindEdge(1, 2));
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TrianglesTest, AliveMaskHidesTriangles) {
+  Graph g = Complete(3);
+  std::vector<uint8_t> alive(g.num_edges(), 1);
+  alive[g.FindEdge(1, 2)] = 0;
+  int calls = 0;
+  ForEachTriangle(g, g.FindEdge(0, 1), &alive,
+                  [&](VertexId, EdgeId, EdgeId) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(TrianglesTest, BruteForceAgreesOnK5) {
+  EXPECT_EQ(CountTrianglesBruteForce(Complete(5)), 10u);
+}
+
+class TrianglePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrianglePropertyTest, FastMatchesBruteForceOnRandomGraphs) {
+  Rng rng(GetParam());
+  Graph g = ErdosRenyi(20, 60, rng);
+  EXPECT_EQ(CountTriangles(g), CountTrianglesBruteForce(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, TrianglePropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(TrianglesTest, SupportSumEqualsThreeTimesTriangles) {
+  Rng rng(77);
+  Graph g = ErdosRenyi(25, 90, rng);
+  auto support = CountEdgeTriangles(g);
+  uint64_t sum = 0;
+  for (uint32_t s : support) sum += s;
+  EXPECT_EQ(sum, 3 * CountTriangles(g));
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,160 @@
+// Tests for the attribute-union strawman — and, through it, executable
+// versions of the paper's §1 argument for why database networks need
+// co-occurrence and frequency information.
+#include "core/union_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/tcfi.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeNetwork;
+using testing::MakeRandomNetwork;
+
+// A triangle where every vertex has seen items 0 and 1 — but never in
+// the same transaction.
+DatabaseNetwork NoCooccurrenceNet() {
+  std::vector<std::vector<std::vector<ItemId>>> tx(3);
+  for (auto& db : tx) {
+    db.push_back({0});
+    db.push_back({1});
+  }
+  return MakeNetwork(3, {{0, 1}, {1, 2}, {0, 2}}, tx);
+}
+
+TEST(UnionBaselineTest, InventsCommunitiesFromMergedTransactions) {
+  // The paper's first failure mode: collapsing transactions into one
+  // attribute set fabricates the pattern {0,1} that no transaction
+  // supports.
+  DatabaseNetwork net = NoCooccurrenceNet();
+  MiningResult baseline = RunUnionBaseline(net, {.k = 3});
+  std::set<Itemset> baseline_patterns;
+  for (const auto& t : baseline.trusses) baseline_patterns.insert(t.pattern);
+  EXPECT_TRUE(baseline_patterns.count(Itemset({0, 1})))
+      << "strawman should (wrongly) report the merged pattern";
+
+  MiningResult exact = RunTcfi(net, {.alpha = 0.0});
+  std::set<Itemset> exact_patterns;
+  for (const auto& t : exact.trusses) exact_patterns.insert(t.pattern);
+  EXPECT_FALSE(exact_patterns.count(Itemset({0, 1})))
+      << "theme communities must not report a never-co-occurring pattern";
+}
+
+// Two triangles: one where item 0 dominates every database, one where it
+// appears once in a thousand transactions.
+DatabaseNetwork FrequencyBlindNet() {
+  std::vector<std::vector<std::vector<ItemId>>> tx(6);
+  for (int v = 0; v < 3; ++v) {  // habitual buyers: f = 1.0
+    tx[v] = {{0}, {0}, {0}, {0}};
+  }
+  for (int v = 3; v < 6; ++v) {  // one-off buyers: f = 0.05
+    for (int t = 0; t < 19; ++t) tx[v].push_back({1});
+    tx[v].push_back({0});
+  }
+  return MakeNetwork(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}, tx);
+}
+
+TEST(UnionBaselineTest, CannotTellStrongFromWeakHabits) {
+  // The paper's second failure mode: binary presence treats f = 1.0 and
+  // f = 0.05 alike.
+  DatabaseNetwork net = FrequencyBlindNet();
+  MiningResult baseline = RunUnionBaseline(net, {.k = 3});
+  size_t zero_communities = 0;
+  for (const auto& t : baseline.trusses) {
+    if (t.pattern == Itemset({0})) zero_communities += t.num_vertices();
+  }
+  EXPECT_EQ(zero_communities, 6u) << "strawman sees both triangles equally";
+
+  // A mild cohesion threshold keeps only the habitual buyers.
+  MiningResult exact = RunTcfi(net, {.alpha = 0.5});
+  for (const auto& t : exact.trusses) {
+    if (t.pattern == Itemset({0})) {
+      EXPECT_EQ(t.vertices, (std::vector<VertexId>{0, 1, 2}));
+    }
+  }
+}
+
+TEST(UnionBaselineTest, AgreesWithTcfiOnBinaryData) {
+  // When every database is one transaction (attributes == database) and
+  // alpha = k-3 = 0, both methods see the same world: the baseline's
+  // patterns must coincide with TCFI's.
+  std::vector<std::vector<std::vector<ItemId>>> tx(4);
+  tx[0] = {{0, 1}};
+  tx[1] = {{0, 1}};
+  tx[2] = {{0, 1, 2}};
+  tx[3] = {{2}};
+  DatabaseNetwork net = MakeNetwork(
+      4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}, tx);
+  MiningResult baseline = RunUnionBaseline(net, {.k = 3});
+  MiningResult exact = RunTcfi(net, {.alpha = 0.0});
+  std::set<Itemset> a, b;
+  for (const auto& t : baseline.trusses) a.insert(t.pattern);
+  for (const auto& t : exact.trusses) b.insert(t.pattern);
+  EXPECT_EQ(a, b);
+}
+
+TEST(UnionBaselineTest, HigherKIsStricter) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 16,
+                                           .edge_prob = 0.45,
+                                           .seed = 3});
+  MiningResult k3 = RunUnionBaseline(net, {.k = 3});
+  MiningResult k4 = RunUnionBaseline(net, {.k = 4});
+  EXPECT_LE(k4.NumPatterns(), k3.NumPatterns());
+  EXPECT_LE(k4.NumEdges(), k3.NumEdges());
+}
+
+TEST(UnionBaselineTest, BaselineFindsSupersetOfExactPatternsAtAlphaZero) {
+  // attr-containment is weaker than transaction-containment, so at the
+  // matching thresholds (k=3 vs alpha=0) every exact pattern is also a
+  // baseline pattern.
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 14,
+                                           .num_items = 4,
+                                           .seed = 5});
+  MiningResult baseline = RunUnionBaseline(net, {.k = 3});
+  MiningResult exact = RunTcfi(net, {.alpha = 0.0});
+  std::set<Itemset> baseline_patterns;
+  for (const auto& t : baseline.trusses) baseline_patterns.insert(t.pattern);
+  for (const auto& t : exact.trusses) {
+    EXPECT_TRUE(baseline_patterns.count(t.pattern)) << t.pattern.ToString();
+  }
+}
+
+TEST(UnionBaselineTest, MaxLengthCap) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 6});
+  MiningResult r = RunUnionBaseline(net, {.k = 3, .max_pattern_length = 1});
+  for (const auto& t : r.trusses) EXPECT_EQ(t.pattern.size(), 1u);
+}
+
+TEST(ParallelTcfiTest, ParallelMatchesSequential) {
+  for (uint64_t seed : {1, 2, 3}) {
+    DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 16,
+                                             .edge_prob = 0.4,
+                                             .num_items = 6,
+                                             .seed = seed});
+    for (double alpha : {0.0, 0.2}) {
+      MiningResult seq = RunTcfi(net, {.alpha = alpha, .num_threads = 1});
+      MiningResult par = RunTcfi(net, {.alpha = alpha, .num_threads = 4});
+      testing::ExpectSameResults(std::move(seq), std::move(par),
+                                 "seed=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(ParallelTcfiTest, CountersMatchAcrossThreadCounts) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 9});
+  MiningResult seq = RunTcfi(net, {.alpha = 0.0, .num_threads = 1});
+  MiningResult par = RunTcfi(net, {.alpha = 0.0, .num_threads = 3});
+  EXPECT_EQ(seq.counters.mptd_calls, par.counters.mptd_calls);
+  EXPECT_EQ(seq.counters.pruned_by_intersection,
+            par.counters.pruned_by_intersection);
+  EXPECT_EQ(seq.counters.candidates_generated,
+            par.counters.candidates_generated);
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/memory.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace tcf {
+namespace {
+
+// ---------------------------------------------------------- TextTable --
+
+TEST(TextTableTest, AlignedOutputContainsAllCells) {
+  TextTable t({"alpha", "time"});
+  t.AddRow({"0.1", "12.5"});
+  t.AddRow({"0.25", "3"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  for (const char* cell : {"alpha", "time", "0.1", "12.5", "0.25"}) {
+    EXPECT_NE(s.find(cell), std::string::npos) << cell;
+  }
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 2u);
+}
+
+TEST(TextTableTest, CsvEscapesCommasAndQuotes) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a,b", "say \"hi\""});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "name,value\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TextTableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(uint64_t{12345}), "12345");
+  EXPECT_EQ(TextTable::Num(int64_t{-7}), "-7");
+  EXPECT_EQ(TextTable::Sci(12345.0, 2), "1.23e+04");
+}
+
+// ------------------------------------------------------------- Memory --
+
+TEST(MemoryTest, RssReadersReturnPlausibleValues) {
+  const uint64_t rss = CurrentRssBytes();
+  const uint64_t peak = PeakRssBytes();
+  EXPECT_GT(rss, 1024u * 1024u);  // a test binary is >1MB resident
+  EXPECT_GE(peak, rss / 2);       // peak can't be far below current
+}
+
+TEST(MemoryTest, ByteUnitsScales) {
+  double v = 0;
+  EXPECT_STREQ(ByteUnits(512, &v), "B");
+  EXPECT_DOUBLE_EQ(v, 512.0);
+  EXPECT_STREQ(ByteUnits(2048, &v), "KB");
+  EXPECT_DOUBLE_EQ(v, 2.0);
+  EXPECT_STREQ(ByteUnits(3ull << 30, &v), "GB");
+  EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(MemoryTest, HumanBytesStream) {
+  std::ostringstream os;
+  os << HumanBytes(1536);
+  EXPECT_EQ(os.str(), "1.5 KB");
+}
+
+// -------------------------------------------------------------- Timer --
+
+TEST(WallTimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.Millis(), 15.0);
+  EXPECT_LT(t.Seconds(), 5.0);
+  t.Reset();
+  EXPECT_LT(t.Millis(), 15.0);
+}
+
+// -------------------------------------------------------- String utils --
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("theme community", "theme"));
+  EXPECT_FALSE(StartsWith("theme", "theme community"));
+}
+
+TEST(StringUtilTest, ParseUint64Valid) {
+  auto v = ParseUint64("12345");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 12345u);
+  EXPECT_EQ(*ParseUint64("  7 "), 7u);
+  EXPECT_EQ(*ParseUint64("0"), 0u);
+}
+
+TEST(StringUtilTest, ParseUint64Invalid) {
+  EXPECT_TRUE(ParseUint64("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseUint64("-3").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseUint64("12x").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseUint64("99999999999999999999999")
+                  .status()
+                  .IsOutOfRange());
+}
+
+TEST(StringUtilTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" 2 "), 2.0);
+}
+
+TEST(StringUtilTest, ParseDoubleInvalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+// --------------------------------------------------------- ThreadPool --
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroIterations) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 0, [&](size_t) { FAIL() << "must not run"; });
+  SUCCEED();
+}
+
+TEST(ParallelForTest, DeterministicOutputSlots) {
+  ThreadPool pool(4);
+  std::vector<int> out(500, -1);
+  ParallelFor(pool, out.size(),
+              [&](size_t i) { out[i] = static_cast<int>(i * i); });
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(HardwareThreadsTest, AtLeastOne) { EXPECT_GE(HardwareThreads(), 1u); }
+
+}  // namespace
+}  // namespace tcf

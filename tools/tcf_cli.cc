@@ -1,0 +1,312 @@
+// tcf — command-line front end for the theme-community library.
+//
+// Subcommands:
+//   generate --kind=bk|gw|aminer|syn --out=FILE [--scale=S] [--seed=N]
+//       Generate a dataset and save it in the tcf-dbnet text format.
+//   stats   --in=FILE
+//       Print Table-2-style statistics of a saved network.
+//   mine    --in=FILE [--alpha=A] [--method=tcfi|tcfa|tcs] [--epsilon=E]
+//           [--max-len=K] [--top=N]
+//       Mine theme communities and print the top N by size.
+//   index   --in=FILE --out=FILE.idx [--threads=T] [--max-nodes=N]
+//       Build a TC-Tree and persist it (the §6 data-warehouse workflow).
+//   query   --in=FILE [--index=FILE.idx] [--alpha=A] [--items=a,b,c]
+//           [--threads=T]
+//       Answer one query (item *names*, comma-separated; defaults to all
+//       items) against a freshly built or previously saved TC-Tree.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/communities.h"
+#include "core/tc_tree.h"
+#include "core/tc_tree_io.h"
+#include "core/tc_tree_query.h"
+#include "core/tcfa.h"
+#include "core/tcfi.h"
+#include "core/tcs.h"
+#include "gen/checkin_generator.h"
+#include "gen/coauthor_generator.h"
+#include "gen/syn_generator.h"
+#include "net/network_io.h"
+#include "net/stats.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace tcf;
+
+namespace {
+
+// Minimal --key=value parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) continue;
+      auto eq = arg.find('=');
+      if (eq == std::string::npos) kv_[arg.substr(2)] = "true";
+      else kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+  }
+  double GetDouble(const std::string& key, double dflt) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return dflt;
+    auto v = ParseDouble(it->second);
+    return v.ok() ? *v : dflt;
+  }
+  uint64_t GetUint(const std::string& key, uint64_t dflt) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return dflt;
+    auto v = ParseUint64(it->second);
+    return v.ok() ? *v : dflt;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tcf <generate|stats|mine|index|query> [--key=value ...]\n"
+               "  generate --kind=bk|gw|aminer|syn --out=FILE [--scale=S] "
+               "[--seed=N]\n"
+               "  stats    --in=FILE\n"
+               "  mine     --in=FILE [--alpha=A] [--method=tcfi|tcfa|tcs] "
+               "[--epsilon=E] [--max-len=K] [--top=N]\n"
+               "  index    --in=FILE --out=FILE.idx [--threads=T] "
+               "[--max-nodes=N]\n"
+               "  query    --in=FILE [--index=FILE.idx] [--alpha=A] "
+               "[--items=a,b,c] [--threads=T]\n");
+  return 2;
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string kind = args.Get("kind", "bk");
+  const std::string out = args.Get("out", "");
+  const double scale = args.GetDouble("scale", 1.0);
+  const uint64_t seed = args.GetUint("seed", 42);
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out=FILE is required\n");
+    return 2;
+  }
+
+  std::optional<DatabaseNetwork> net;
+  if (kind == "bk" || kind == "gw") {
+    CheckinParams p;
+    const double size = kind == "gw" ? 2.0 : 1.0;
+    p.num_users = static_cast<size_t>(1000 * scale * size);
+    p.num_locations = static_cast<size_t>(200 * scale * size);
+    p.periods_per_user = 25;
+    p.seed = seed;
+    net.emplace(GenerateCheckinNetwork(p));
+  } else if (kind == "aminer") {
+    CoauthorParams p;
+    p.num_groups = static_cast<size_t>(100 * scale);
+    p.seed = seed;
+    net.emplace(std::move(GenerateCoauthorNetwork(p).network));
+  } else if (kind == "syn") {
+    SynParams p;
+    p.num_vertices = static_cast<size_t>(2000 * scale);
+    p.num_edges = static_cast<size_t>(10000 * scale);
+    p.num_items = static_cast<size_t>(1500 * scale);
+    p.seed = seed;
+    net.emplace(GenerateSynNetwork(p));
+  } else {
+    std::fprintf(stderr, "generate: unknown --kind=%s\n", kind.c_str());
+    return 2;
+  }
+
+  if (Status s = SaveNetworkToFile(*net, out); !s.ok()) {
+    std::fprintf(stderr, "generate: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu vertices, %zu edges)\n", out.c_str(),
+              net->num_vertices(), net->num_edges());
+  return 0;
+}
+
+StatusOr<DatabaseNetwork> LoadArg(const Args& args) {
+  const std::string in = args.Get("in", "");
+  if (in.empty()) return Status::InvalidArgument("--in=FILE is required");
+  return LoadNetworkFromFile(in);
+}
+
+int CmdStats(const Args& args) {
+  auto net = LoadArg(args);
+  if (!net.ok()) {
+    std::fprintf(stderr, "stats: %s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  NetworkStats s = ComputeStats(*net);
+  std::printf("vertices:        %llu\n",
+              static_cast<unsigned long long>(s.num_vertices));
+  std::printf("edges:           %llu\n",
+              static_cast<unsigned long long>(s.num_edges));
+  std::printf("transactions:    %llu\n",
+              static_cast<unsigned long long>(s.num_transactions));
+  std::printf("items (total):   %llu\n",
+              static_cast<unsigned long long>(s.num_items_total));
+  std::printf("items (unique):  %llu\n",
+              static_cast<unsigned long long>(s.num_items_unique));
+  std::printf("avg degree:      %.2f\n", s.avg_degree);
+  std::printf("avg tx/vertex:   %.2f\n", s.avg_transactions_per_vertex);
+  std::printf("avg tx length:   %.2f\n", s.avg_transaction_length);
+  return 0;
+}
+
+int CmdMine(const Args& args) {
+  auto net = LoadArg(args);
+  if (!net.ok()) {
+    std::fprintf(stderr, "mine: %s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  const double alpha = args.GetDouble("alpha", 0.1);
+  const std::string method = args.Get("method", "tcfi");
+  const size_t max_len = args.GetUint("max-len", 0);
+  const size_t top = args.GetUint("top", 20);
+
+  WallTimer t;
+  MiningResult result;
+  if (method == "tcfi") {
+    result = RunTcfi(*net, {.alpha = alpha, .max_pattern_length = max_len});
+  } else if (method == "tcfa") {
+    result = RunTcfa(*net, {.alpha = alpha, .max_pattern_length = max_len});
+  } else if (method == "tcs") {
+    result = RunTcs(*net, {.alpha = alpha,
+                           .epsilon = args.GetDouble("epsilon", 0.1),
+                           .max_pattern_length = max_len});
+  } else {
+    std::fprintf(stderr, "mine: unknown --method=%s\n", method.c_str());
+    return 2;
+  }
+  auto communities = ExtractThemeCommunities(result.trusses);
+  std::printf("%s(alpha=%.3f): %zu trusses, %zu communities in %.2f s\n",
+              method.c_str(), alpha, result.trusses.size(),
+              communities.size(), t.Seconds());
+
+  std::stable_sort(communities.begin(), communities.end(),
+                   [](const ThemeCommunity& a, const ThemeCommunity& b) {
+                     return a.vertices.size() > b.vertices.size();
+                   });
+  for (size_t i = 0; i < std::min(top, communities.size()); ++i) {
+    const auto& c = communities[i];
+    std::printf("  %-40s %4zu members %4zu edges\n",
+                net->dictionary().Render(c.theme).c_str(), c.vertices.size(),
+                c.edges.size());
+  }
+  return 0;
+}
+
+int CmdIndex(const Args& args) {
+  auto net = LoadArg(args);
+  if (!net.ok()) {
+    std::fprintf(stderr, "index: %s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out = args.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "index: --out=FILE is required\n");
+    return 2;
+  }
+  WallTimer t;
+  TcTree tree = TcTree::Build(
+      *net, {.num_threads = args.GetUint("threads", 2),
+             .max_nodes = args.GetUint("max-nodes", 2000000)});
+  std::printf("built TC-Tree: %zu nodes in %.2f s%s\n", tree.num_nodes(),
+              t.Seconds(),
+              tree.build_stats().truncated ? " (node budget hit)" : "");
+  if (Status s = SaveTcTreeToFile(tree, out); !s.ok()) {
+    std::fprintf(stderr, "index: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  auto net = LoadArg(args);
+  if (!net.ok()) {
+    std::fprintf(stderr, "query: %s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  const double alpha = args.GetDouble("alpha", 0.0);
+  const size_t threads = args.GetUint("threads", 2);
+
+  Itemset q;
+  const std::string items = args.Get("items", "");
+  if (items.empty()) {
+    q = Itemset(net->ActiveItems());
+  } else {
+    std::vector<ItemId> ids;
+    for (const std::string& name : Split(items, ',')) {
+      auto id = net->dictionary().Find(std::string(Trim(name)));
+      if (!id.ok()) {
+        std::fprintf(stderr, "query: %s\n", id.status().ToString().c_str());
+        return 1;
+      }
+      ids.push_back(*id);
+    }
+    q = Itemset(std::move(ids));
+  }
+
+  WallTimer build;
+  std::optional<TcTree> tree;
+  const std::string index_path = args.Get("index", "");
+  if (!index_path.empty()) {
+    auto loaded = LoadTcTreeFromFile(index_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "query: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    tree.emplace(std::move(*loaded));
+    std::printf("TC-Tree: %zu nodes loaded from %s in %.2f s\n",
+                tree->num_nodes(), index_path.c_str(), build.Seconds());
+  } else {
+    tree.emplace(TcTree::Build(*net, {.num_threads = threads,
+                                      .max_nodes = 2000000}));
+    std::printf("TC-Tree: %zu nodes built in %.2f s%s\n", tree->num_nodes(),
+                build.Seconds(),
+                tree->build_stats().truncated ? " (node budget hit)" : "");
+  }
+
+  WallTimer qt;
+  TcTreeQueryResult r = QueryTcTree(*tree, q, alpha);
+  std::printf("query(alpha=%.3f, |q|=%zu): %llu trusses in %.3f ms\n", alpha,
+              q.size(), static_cast<unsigned long long>(r.retrieved_nodes),
+              qt.Millis());
+  size_t shown = 0;
+  for (const PatternTruss& truss : r.trusses) {
+    std::printf("  %-40s |V|=%4zu |E|=%4zu\n",
+                net->dictionary().Render(truss.pattern).c_str(),
+                truss.num_vertices(), truss.num_edges());
+    if (++shown == 20) {
+      if (r.trusses.size() > shown) {
+        std::printf("  ... and %zu more\n", r.trusses.size() - shown);
+      }
+      break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const Args args(argc, argv);
+  const std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "stats") return CmdStats(args);
+  if (cmd == "mine") return CmdMine(args);
+  if (cmd == "index") return CmdIndex(args);
+  if (cmd == "query") return CmdQuery(args);
+  return Usage();
+}
