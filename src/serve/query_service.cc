@@ -1,0 +1,131 @@
+#include "serve/query_service.h"
+
+#include <latch>
+#include <utility>
+
+#include "core/cohesion.h"
+#include "core/tc_tree_io.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace tcf {
+
+QueryService::QueryService(TcTree tree, ItemDictionary dictionary,
+                           const QueryServiceOptions& options)
+    : dictionary_(std::move(dictionary)),
+      options_(options),
+      pool_(options.num_threads == 0 ? HardwareThreads()
+                                     : options.num_threads),
+      snapshot_(std::make_shared<const TcTree>(std::move(tree))) {
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<ResultCache>(ResultCacheOptions{
+        .capacity_bytes = options_.cache_bytes,
+        .num_shards = options_.cache_shards});
+  }
+}
+
+StatusOr<std::unique_ptr<QueryService>> QueryService::Open(
+    const std::string& index_path, ItemDictionary dictionary,
+    const QueryServiceOptions& options) {
+  auto tree = LoadTcTreeFromFile(index_path);
+  if (!tree.ok()) return tree.status();
+  return std::make_unique<QueryService>(std::move(*tree),
+                                        std::move(dictionary), options);
+}
+
+std::shared_ptr<const TcTree> QueryService::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+QueryService::Result QueryService::Execute(const ServeQuery& query) {
+  WallTimer timer;
+  const CohesionValue alpha_q = QuantizeAlpha(query.alpha);
+
+  if (cache_) {
+    if (Result hit = cache_->Lookup(query.items, alpha_q)) {
+      stats_.RecordQuery(timer.Micros(), hit->trusses.size());
+      return hit;
+    }
+  }
+
+  // Read the cache epoch *before* picking the snapshot: if a swap lands
+  // while we compute, the epoch check in Insert drops our stale answer.
+  const uint64_t epoch = cache_ ? cache_->epoch() : 0;
+  const std::shared_ptr<const TcTree> tree = snapshot();
+  auto result = std::make_shared<TcTreeQueryResult>(
+      QueryTcTree(*tree, query.items, query.alpha, options_.query_options));
+  if (cache_) cache_->Insert(query.items, alpha_q, result, epoch);
+
+  stats_.RecordQuery(timer.Micros(), result->trusses.size());
+  return result;
+}
+
+std::vector<QueryService::Result> QueryService::ExecuteBatch(
+    const std::vector<ServeQuery>& queries) {
+  std::vector<Result> results(queries.size());
+  if (queries.empty()) return results;
+
+  // Chunked fan-out with a per-batch latch (not ThreadPool::Wait, which
+  // would also wait on tasks of concurrently running batches).
+  const size_t chunks =
+      std::min(queries.size(), pool_.num_threads() * 4);
+  const size_t step = (queries.size() + chunks - 1) / chunks;
+  const size_t num_tasks = (queries.size() + step - 1) / step;
+  std::latch done(static_cast<ptrdiff_t>(num_tasks));
+  for (size_t begin = 0; begin < queries.size(); begin += step) {
+    const size_t end = std::min(queries.size(), begin + step);
+    pool_.Submit([this, &queries, &results, &done, begin, end] {
+      for (size_t i = begin; i < end; ++i) {
+        results[i] = Execute(queries[i]);
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
+  return results;
+}
+
+StatusOr<ServeQuery> ParseServeQuery(const ItemDictionary& dictionary,
+                                     std::string_view line) {
+  const std::string_view trimmed = Trim(line);
+  const auto semi = trimmed.find(';');
+  if (semi == std::string_view::npos) {
+    return Status::InvalidArgument(
+        StrFormat("workload line '%.*s' is not 'alpha;item,item,...'",
+                  static_cast<int>(trimmed.size()), trimmed.data()));
+  }
+  auto alpha = ParseDouble(Trim(trimmed.substr(0, semi)));
+  if (!alpha.ok()) return alpha.status();
+
+  ServeQuery query;
+  query.alpha = *alpha;
+  const std::string_view items = Trim(trimmed.substr(semi + 1));
+  if (items.empty() || items == "*") {
+    std::vector<ItemId> all(dictionary.size());
+    for (size_t i = 0; i < all.size(); ++i) {
+      all[i] = static_cast<ItemId>(i);
+    }
+    query.items = Itemset(std::move(all));
+    return query;
+  }
+  std::vector<ItemId> ids;
+  for (const std::string& name : Split(items, ',')) {
+    auto id = dictionary.Find(Trim(name));
+    if (!id.ok()) return id.status();
+    ids.push_back(*id);
+  }
+  query.items = Itemset(std::move(ids));
+  return query;
+}
+
+void QueryService::SwapSnapshot(TcTree tree) {
+  auto fresh = std::make_shared<const TcTree>(std::move(tree));
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(fresh);
+  }
+  if (cache_) cache_->Invalidate();
+}
+
+}  // namespace tcf

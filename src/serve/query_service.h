@@ -1,0 +1,119 @@
+#ifndef TCF_SERVE_QUERY_SERVICE_H_
+#define TCF_SERVE_QUERY_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/tc_tree.h"
+#include "core/tc_tree_query.h"
+#include "serve/result_cache.h"
+#include "serve/serve_stats.h"
+#include "tx/item_dictionary.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tcf {
+
+/// One online query: a theme plus its cohesion threshold.
+struct ServeQuery {
+  Itemset items;
+  double alpha = 0;
+};
+
+/// Parses one workload line: `alpha;name,name,...`. Item names resolve
+/// through `dictionary`; `*` (or an empty item list) means every
+/// dictionary item. Returns InvalidArgument on malformed input or
+/// unknown items. Free-standing so callers can validate a workload
+/// before building/loading the (expensive) index a QueryService needs.
+StatusOr<ServeQuery> ParseServeQuery(const ItemDictionary& dictionary,
+                                     std::string_view line);
+
+/// Configuration of a QueryService.
+struct QueryServiceOptions {
+  /// Workers for ExecuteBatch fan-out (0 = hardware threads).
+  size_t num_threads = 0;
+  /// Result-cache capacity in bytes (0 disables caching).
+  size_t cache_bytes = size_t{64} << 20;
+  /// Result-cache shards (see ResultCacheOptions::num_shards).
+  size_t cache_shards = 16;
+  /// Per-query traversal knobs, fixed for the service's lifetime so that
+  /// cached results are interchangeable with fresh ones.
+  TcTreeQueryOptions query_options;
+};
+
+/// \brief The online query-answering facade (§6.3 as a service).
+///
+/// Owns an immutable TC-Tree snapshot (built in-process or loaded via
+/// tc_tree_io), the item dictionary used to resolve query item names, a
+/// sharded result cache, and a worker pool. `Execute` answers a single
+/// query; `ExecuteBatch` fans a workload out over the pool. All entry
+/// points are thread-safe: the tree snapshot is read-only and reference
+/// counted, and the cache does its own locking.
+///
+/// `SwapSnapshot` installs a new tree (e.g. a freshly rebuilt index)
+/// without stopping traffic: in-flight queries finish against the old
+/// snapshot, the cache is invalidated, and results computed against the
+/// superseded snapshot are dropped rather than cached (epoch check).
+class QueryService {
+ public:
+  using Result = std::shared_ptr<const TcTreeQueryResult>;
+
+  QueryService(TcTree tree, ItemDictionary dictionary,
+               const QueryServiceOptions& options = {});
+
+  /// Loads a persisted index (tc_tree_io) and pairs it with `dictionary`
+  /// (the network's, so query item names resolve to the ids the index
+  /// was built over).
+  static StatusOr<std::unique_ptr<QueryService>> Open(
+      const std::string& index_path, ItemDictionary dictionary,
+      const QueryServiceOptions& options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Answers one query, consulting the cache first. Never returns null.
+  Result Execute(const ServeQuery& query);
+
+  /// Answers `queries[i]` into slot i of the returned vector, fanning
+  /// out over the worker pool. Results are byte-identical to calling
+  /// Execute (or QueryTcTree) serially on each query.
+  std::vector<Result> ExecuteBatch(const std::vector<ServeQuery>& queries);
+
+  /// ParseServeQuery against this service's dictionary.
+  StatusOr<ServeQuery> ParseQueryLine(std::string_view line) const {
+    return ParseServeQuery(dictionary_, line);
+  }
+
+  /// Installs a new tree snapshot and invalidates the cache.
+  void SwapSnapshot(TcTree tree);
+
+  /// The current snapshot (shared; stays valid across swaps).
+  std::shared_ptr<const TcTree> snapshot() const;
+
+  const ItemDictionary& dictionary() const { return dictionary_; }
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  ServeStats& stats() { return stats_; }
+  ResultCacheStats cache_stats() const {
+    return cache_ ? cache_->Stats() : ResultCacheStats{};
+  }
+  /// Stats + cache counters in one report.
+  ServeReport Report() const { return stats_.Report(cache_stats()); }
+
+ private:
+  ItemDictionary dictionary_;
+  QueryServiceOptions options_;
+  ThreadPool pool_;
+  std::unique_ptr<ResultCache> cache_;  // null when caching is disabled
+  ServeStats stats_;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const TcTree> snapshot_;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,144 @@
+#include "serve/result_cache.h"
+
+#include <atomic>
+#include <utility>
+
+namespace tcf {
+namespace {
+
+/// Smallest power of two >= n (n >= 1).
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+size_t ResultCache::HashKey(const std::vector<ItemId>& items,
+                            CohesionValue alpha) {
+  // FNV-1a over the item ids, then the alpha — mirrors Itemset::Hash but
+  // folds the threshold in so (q, α) pairs spread across shards.
+  size_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (ItemId item : items) mix(item);
+  mix(static_cast<uint64_t>(alpha));
+  return h;
+}
+
+ResultCache::ResultCache(const ResultCacheOptions& options) {
+  const size_t shards =
+      RoundUpPow2(options.num_shards == 0 ? 1 : options.num_shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_capacity_bytes_ = options.capacity_bytes / shards;
+}
+
+ResultCache::Value ResultCache::Lookup(const Itemset& q, CohesionValue alpha) {
+  // Hash once; KeyRef probes the map without copying the item vector.
+  const size_t hash = HashKey(q.items(), alpha);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(KeyRef{&q.items(), alpha, hash});
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  // Move to the front of the LRU list (most recently used).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ResultCache::Insert(const Itemset& q, CohesionValue alpha, Value value) {
+  Insert(q, alpha, std::move(value), epoch());
+}
+
+void ResultCache::Insert(const Itemset& q, CohesionValue alpha, Value value,
+                         uint64_t epoch_seen) {
+  if (shard_capacity_bytes_ == 0 || value == nullptr) return;
+  const size_t cost = CostOf(q, *value);
+  if (cost > shard_capacity_bytes_) return;  // never admissible
+
+  const size_t hash = HashKey(q.items(), alpha);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (epoch_.load(std::memory_order_acquire) != epoch_seen) return;
+  auto it = shard.index.find(KeyRef{&q.items(), alpha, hash});
+  if (it != shard.index.end()) {
+    // Same key already resident (e.g. two threads raced on the same
+    // miss): drop the old entry and fall through to the normal insert
+    // path, so a larger replacement still respects the capacity bound.
+    // Unlink from the map first — its key views the list entry.
+    const auto stale = it->second;
+    shard.bytes -= stale->cost;
+    shard.index.erase(it);
+    shard.lru.erase(stale);
+  }
+  while (shard.bytes + cost > shard_capacity_bytes_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.cost;
+    shard.index.erase(victim.Ref());
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.push_front(
+      Entry{Key{q.items(), alpha, hash}, std::move(value), cost});
+  shard.index.emplace(shard.lru.front().Ref(), shard.lru.begin());
+  shard.bytes += cost;
+  ++shard.inserts;
+}
+
+void ResultCache::Invalidate() {
+  // Bump the epoch before clearing: an epoch-checked Insert either sees
+  // the new epoch and drops its value, or completed earlier and its
+  // entry is cleared below.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->index.clear();  // before the list: its keys view list entries
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats stats;
+  stats.capacity_bytes = shard_capacity_bytes_ * shards_.size();
+  stats.invalidations = epoch();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.inserts += shard->inserts;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->lru.size();
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+size_t ResultCache::CostOf(const Itemset& q, const TcTreeQueryResult& result) {
+  // Entry + its share of the list and map nodes (key stored once; the
+  // map is keyed by a view into the entry).
+  constexpr size_t kNodeOverhead = 6 * sizeof(void*) + sizeof(KeyRef);
+  size_t bytes = sizeof(Entry) + kNodeOverhead + q.size() * sizeof(ItemId) +
+                 result.trusses.capacity() * sizeof(PatternTruss);
+  for (const PatternTruss& t : result.trusses) {
+    bytes += t.pattern.size() * sizeof(ItemId);
+    bytes += t.edges.capacity() * sizeof(Edge);
+    bytes += t.vertices.capacity() * sizeof(VertexId);
+    bytes += t.frequencies.capacity() * sizeof(double);
+    bytes += t.edge_cohesions.capacity() * sizeof(CohesionValue);
+  }
+  return bytes;
+}
+
+}  // namespace tcf

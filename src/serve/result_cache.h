@@ -1,0 +1,160 @@
+#ifndef TCF_SERVE_RESULT_CACHE_H_
+#define TCF_SERVE_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cohesion.h"
+#include "core/tc_tree_query.h"
+#include "tx/itemset.h"
+
+namespace tcf {
+
+/// Configuration of a ResultCache.
+struct ResultCacheOptions {
+  /// Total capacity across all shards, in (approximate) heap bytes.
+  /// 0 disables caching: every Lookup misses and Insert is a no-op.
+  size_t capacity_bytes = size_t{64} << 20;
+  /// Number of independently locked shards; rounded up to a power of two
+  /// so shard selection is a mask. More shards = less lock contention.
+  size_t num_shards = 16;
+};
+
+/// Point-in-time counters aggregated over all shards.
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;      // entries removed to make room
+  uint64_t invalidations = 0;  // Invalidate() calls (snapshot swaps)
+  size_t entries = 0;          // resident entries
+  size_t bytes = 0;            // resident approximate bytes
+  size_t capacity_bytes = 0;
+
+  /// hits / (hits + misses), 0 when nothing was looked up.
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// \brief Sharded LRU cache of TC-Tree query results.
+///
+/// Keyed by the *exact* query: the canonical sorted itemset plus the
+/// quantized threshold. Because all cohesion arithmetic is fixed-point
+/// (core/cohesion.h), two α values that quantize to the same grid point
+/// provably produce identical answers, so serving the cached result is
+/// not an approximation — the key is exact.
+///
+/// Values are shared_ptr-to-const: a result stays valid for readers that
+/// hold it even after eviction or Invalidate(), and concurrent queries
+/// for the same key share one allocation.
+///
+/// Thread safety: all methods are safe to call concurrently; each shard
+/// has its own mutex and LRU list, keyed by a hash of the query, so
+/// unrelated queries do not contend.
+class ResultCache {
+ public:
+  using Value = std::shared_ptr<const TcTreeQueryResult>;
+
+  explicit ResultCache(const ResultCacheOptions& options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the cached result for `(q, alpha)` and marks it most
+  /// recently used, or nullptr on a miss.
+  Value Lookup(const Itemset& q, CohesionValue alpha);
+
+  /// Caches `value` for `(q, alpha)`, evicting least-recently-used
+  /// entries of the same shard until it fits. An entry larger than the
+  /// whole shard is not admitted (it would only evict everything and
+  /// then be evicted itself on the next insert).
+  void Insert(const Itemset& q, CohesionValue alpha, Value value);
+
+  /// Epoch-checked insert for writers racing against Invalidate(): the
+  /// caller reads `epoch()` *before* computing `value`; if an
+  /// invalidation lands in between, the stale value is dropped instead
+  /// of cached. The check runs under the shard lock and Invalidate()
+  /// bumps the epoch before clearing, so no interleaving can leave a
+  /// pre-invalidation result resident afterwards.
+  void Insert(const Itemset& q, CohesionValue alpha, Value value,
+              uint64_t epoch_seen);
+
+  /// Monotonic invalidation epoch (see the epoch-checked Insert).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Drops every entry — called when the index snapshot is swapped, as
+  /// cached answers may no longer match the new tree.
+  void Invalidate();
+
+  /// Aggregated counters; consistent per shard, approximate globally.
+  ResultCacheStats Stats() const;
+
+  /// Approximate heap bytes a cached result occupies (key included).
+  static size_t CostOf(const Itemset& q, const TcTreeQueryResult& result);
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Key {
+    std::vector<ItemId> items;  // sorted + deduped (Itemset invariant)
+    CohesionValue alpha = 0;
+    size_t hash = 0;  // HashKey(items, alpha), computed once
+  };
+  /// Non-owning view of a key. Lookups probe with a view of the query
+  /// (no item-vector copy), and the map itself is keyed by views into
+  /// the owning list Entry (std::list nodes are address-stable), so
+  /// each key's item vector is stored exactly once per entry.
+  struct KeyRef {
+    const std::vector<ItemId>* items;
+    CohesionValue alpha;
+    size_t hash;
+  };
+  static size_t HashKey(const std::vector<ItemId>& items,
+                        CohesionValue alpha);
+  struct KeyHash {
+    size_t operator()(const KeyRef& k) const { return k.hash; }
+  };
+  struct KeyEq {
+    bool operator()(const KeyRef& a, const KeyRef& b) const {
+      return a.alpha == b.alpha && *a.items == *b.items;
+    }
+  };
+  struct Entry {
+    Key key;
+    Value value;
+    size_t cost = 0;
+
+    KeyRef Ref() const { return {&key.items, key.alpha, key.hash}; }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<KeyRef, std::list<Entry>::iterator, KeyHash, KeyEq>
+        index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(size_t hash) {
+    return *shards_[hash & (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_capacity_bytes_ = 0;
+  /// Bumped by Invalidate(); doubles as the invalidation counter.
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace tcf
+
+#endif  // TCF_SERVE_RESULT_CACHE_H_

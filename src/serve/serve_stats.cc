@@ -1,0 +1,102 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "util/string_util.h"
+
+namespace tcf {
+namespace {
+
+/// Exact percentile of a sorted sample set (nearest-rank).
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+TextTable ServeReport::ToTable() const {
+  TextTable t({"metric", "value"});
+  t.AddRow({"queries", TextTable::Num(queries)});
+  t.AddRow({"wall time (s)", TextTable::Num(wall_seconds)});
+  t.AddRow({"throughput (q/s)", TextTable::Num(qps)});
+  t.AddRow({"latency mean (us)", TextTable::Num(mean_us)});
+  t.AddRow({"latency p50 (us)", TextTable::Num(p50_us)});
+  t.AddRow({"latency p90 (us)", TextTable::Num(p90_us)});
+  t.AddRow({"latency p99 (us)", TextTable::Num(p99_us)});
+  t.AddRow({"latency max (us)", TextTable::Num(max_us)});
+  t.AddRow({"trusses returned", TextTable::Num(trusses_returned)});
+  t.AddRow({"cache hit rate", TextTable::Num(cache.HitRate())});
+  t.AddRow({"cache hits", TextTable::Num(cache.hits)});
+  t.AddRow({"cache misses", TextTable::Num(cache.misses)});
+  t.AddRow({"cache entries", TextTable::Num(static_cast<uint64_t>(
+                                 cache.entries))});
+  t.AddRow({"cache bytes", TextTable::Num(static_cast<uint64_t>(
+                               cache.bytes))});
+  t.AddRow({"cache evictions", TextTable::Num(cache.evictions)});
+  return t;
+}
+
+std::string ServeReport::ToString() const {
+  std::ostringstream os;
+  ToTable().Print(os);
+  return os.str();
+}
+
+ServeStats::ServeStats() = default;
+
+ServeStats::Stripe& ServeStats::StripeForThisThread() {
+  const size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return stripes_[h % kStripes];
+}
+
+void ServeStats::RecordQuery(double latency_us, uint64_t num_trusses) {
+  Stripe& stripe = StripeForThisThread();
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.latencies_us.push_back(latency_us);
+  stripe.trusses += num_trusses;
+}
+
+void ServeStats::Reset() {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.latencies_us.clear();
+    stripe.trusses = 0;
+  }
+  wall_.Reset();
+}
+
+ServeReport ServeStats::Report(const ResultCacheStats& cache) const {
+  ServeReport report;
+  report.cache = cache;
+  report.wall_seconds = wall_.Seconds();
+
+  std::vector<double> all;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    all.insert(all.end(), stripe.latencies_us.begin(),
+               stripe.latencies_us.end());
+    report.trusses_returned += stripe.trusses;
+  }
+  report.queries = all.size();
+  if (report.wall_seconds > 0) {
+    report.qps = static_cast<double>(report.queries) / report.wall_seconds;
+  }
+  if (all.empty()) return report;
+
+  std::sort(all.begin(), all.end());
+  double sum = 0;
+  for (double v : all) sum += v;
+  report.mean_us = sum / static_cast<double>(all.size());
+  report.p50_us = Percentile(all, 0.50);
+  report.p90_us = Percentile(all, 0.90);
+  report.p99_us = Percentile(all, 0.99);
+  report.max_us = all.back();
+  return report;
+}
+
+}  // namespace tcf

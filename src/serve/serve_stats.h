@@ -1,0 +1,75 @@
+#ifndef TCF_SERVE_SERVE_STATS_H_
+#define TCF_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/result_cache.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace tcf {
+
+/// Point-in-time summary produced by ServeStats::Report().
+struct ServeReport {
+  uint64_t queries = 0;
+  uint64_t trusses_returned = 0;
+  double wall_seconds = 0;   // since construction or the last Reset()
+  double qps = 0;            // queries / wall_seconds
+  double mean_us = 0;        // per-query latency, microseconds
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+  ResultCacheStats cache;    // zero-initialized if no cache attached
+
+  /// Renders the report as a two-column (metric, value) table.
+  TextTable ToTable() const;
+  std::string ToString() const;
+};
+
+/// \brief Thread-safe latency/throughput collector for the serving layer.
+///
+/// Latencies are recorded into lock-striped buffers (a worker hits one
+/// mutex uncontended in the common case); Report() merges the stripes,
+/// sorts once, and reads exact percentiles — no histogram approximation,
+/// which at serve-test scales (≤ millions of samples) is cheap and keeps
+/// tail numbers trustworthy. Wall time for QPS comes from util/timer.h's
+/// WallTimer, started at construction or the last Reset().
+class ServeStats {
+ public:
+  ServeStats();
+
+  ServeStats(const ServeStats&) = delete;
+  ServeStats& operator=(const ServeStats&) = delete;
+
+  /// Records one finished query.
+  void RecordQuery(double latency_us, uint64_t num_trusses);
+
+  /// Forgets all samples and restarts the wall clock (used between the
+  /// cold and warm passes of `tcf serve --repeat`).
+  void Reset();
+
+  /// Summarizes everything recorded since the last Reset(). Pass the
+  /// cache's counters to fold the hit rate into the report.
+  ServeReport Report(const ResultCacheStats& cache = {}) const;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<double> latencies_us;
+    uint64_t trusses = 0;
+  };
+  static constexpr size_t kStripes = 16;
+
+  Stripe& StripeForThisThread();
+
+  std::vector<Stripe> stripes_{kStripes};
+  WallTimer wall_;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_SERVE_SERVE_STATS_H_

@@ -1,0 +1,227 @@
+#include "serve/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/tc_tree.h"
+#include "core/tc_tree_io.h"
+#include "core/tc_tree_query.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeFigureOneNetwork;
+using testing::MakeRandomNetwork;
+using testing::RandomNetOptions;
+
+/// Exact (not canonicalized) equality: the service must return byte-for-
+/// byte what a serial QueryTcTree produces, including traversal order.
+void ExpectIdentical(const TcTreeQueryResult& expected,
+                     const TcTreeQueryResult& actual,
+                     const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(expected.retrieved_nodes, actual.retrieved_nodes);
+  ASSERT_EQ(expected.trusses.size(), actual.trusses.size());
+  for (size_t i = 0; i < expected.trusses.size(); ++i) {
+    const PatternTruss& e = expected.trusses[i];
+    const PatternTruss& a = actual.trusses[i];
+    EXPECT_EQ(e.pattern, a.pattern);
+    EXPECT_EQ(e.edges, a.edges);
+    EXPECT_EQ(e.vertices, a.vertices);
+    EXPECT_EQ(e.frequencies, a.frequencies);  // bitwise: same code path
+    EXPECT_EQ(e.edge_cohesions, a.edge_cohesions);
+  }
+}
+
+/// A deterministic mixed workload over the network's items.
+std::vector<ServeQuery> MakeWorkload(const DatabaseNetwork& net, size_t n,
+                                     uint64_t seed) {
+  const std::vector<ItemId> items = net.ActiveItems();
+  Rng rng(seed);
+  std::vector<ServeQuery> workload;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t len = 1 + rng.NextUint64(3);
+    std::vector<ItemId> subset;
+    for (size_t j = 0; j < len; ++j) {
+      subset.push_back(items[rng.NextUint64(items.size())]);
+    }
+    const double alpha = 0.05 * static_cast<double>(rng.NextUint64(6));
+    workload.push_back({Itemset(std::move(subset)), alpha});
+  }
+  return workload;
+}
+
+TEST(QueryServiceTest, BatchMatchesSerialQueryTcTree) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 11});
+  TcTree tree = TcTree::Build(net);
+  const std::vector<ServeQuery> workload = MakeWorkload(net, 200, 5);
+
+  QueryService service(tree, net.dictionary(), {.num_threads = 4});
+  const auto results = service.ExecuteBatch(workload);
+  ASSERT_EQ(results.size(), workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    ASSERT_NE(results[i], nullptr);
+    const TcTreeQueryResult expected =
+        QueryTcTree(tree, workload[i].items, workload[i].alpha);
+    ExpectIdentical(expected, *results[i],
+                    "query " + workload[i].items.ToString());
+  }
+}
+
+TEST(QueryServiceTest, CacheHitReturnsIdenticalResult) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+
+  const ServeQuery query{Itemset{0}, 0.1};
+  const auto first = service.Execute(query);
+  const auto second = service.Execute(query);
+  EXPECT_EQ(first.get(), second.get());  // same shared object, no copy
+  EXPECT_EQ(service.cache_stats().hits, 1u);
+
+  // An alpha that quantizes to the same grid point hits the same entry.
+  const auto third = service.Execute({Itemset{0}, 0.1 + 1e-12});
+  EXPECT_EQ(first.get(), third.get());
+  EXPECT_EQ(service.cache_stats().hits, 2u);
+
+  ExpectIdentical(QueryTcTree(tree, query.items, query.alpha), *second,
+                  "cached");
+}
+
+TEST(QueryServiceTest, DisabledCacheStillAnswersCorrectly) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {.cache_bytes = 0});
+
+  const ServeQuery query{Itemset{0}, 0.0};
+  const auto first = service.Execute(query);
+  const auto second = service.Execute(query);
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(service.cache_stats().hits, 0u);
+  ExpectIdentical(*first, *second, "recomputed");
+}
+
+TEST(QueryServiceTest, ConcurrentExecuteIsRaceFree) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_vertices = 16, .seed = 23});
+  TcTree tree = TcTree::Build(net);
+  const std::vector<ServeQuery> workload = MakeWorkload(net, 64, 9);
+
+  std::vector<TcTreeQueryResult> expected;
+  for (const ServeQuery& q : workload) {
+    expected.push_back(QueryTcTree(tree, q.items, q.alpha));
+  }
+
+  // 8 threads hammer Execute over the same small query set, so cache
+  // hits, misses and racing inserts of the same key all occur.
+  QueryService service(tree, net.dictionary(), {.num_threads = 4});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < 300; ++i) {
+        const size_t pick = rng.NextUint64(workload.size());
+        const auto result = service.Execute(workload[pick]);
+        ASSERT_NE(result, nullptr);
+        ExpectIdentical(expected[pick], *result,
+                        "thread " + std::to_string(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const ServeReport report = service.Report();
+  EXPECT_EQ(report.queries, 8u * 300u);
+  EXPECT_GT(report.cache.HitRate(), 0.5);  // 64 keys, 2400 lookups
+}
+
+TEST(QueryServiceTest, ConcurrentBatchesMatchSerial) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 31});
+  TcTree tree = TcTree::Build(net);
+  const std::vector<ServeQuery> workload = MakeWorkload(net, 100, 13);
+
+  QueryService service(tree, net.dictionary(), {.num_threads = 4});
+  std::vector<std::vector<QueryService::Result>> all(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [&, t] { all[t] = service.ExecuteBatch(workload); });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) {
+    ASSERT_EQ(all[t].size(), workload.size());
+    for (size_t i = 0; i < workload.size(); ++i) {
+      ExpectIdentical(QueryTcTree(tree, workload[i].items, workload[i].alpha),
+                      *all[t][i], "batch " + std::to_string(t));
+    }
+  }
+}
+
+TEST(QueryServiceTest, SwapSnapshotInvalidatesCache) {
+  DatabaseNetwork net_a = MakeFigureOneNetwork();
+  DatabaseNetwork net_b = MakeRandomNetwork({.seed = 47});
+  TcTree tree_a = TcTree::Build(net_a);
+  TcTree tree_b = TcTree::Build(net_b);
+
+  QueryService service(tree_a, net_a.dictionary(), {});
+  const ServeQuery query{Itemset{0}, 0.0};
+  const auto before = service.Execute(query);
+  ExpectIdentical(QueryTcTree(tree_a, query.items, query.alpha), *before,
+                  "pre-swap");
+
+  service.SwapSnapshot(tree_b);
+  EXPECT_EQ(service.cache_stats().invalidations, 1u);
+  EXPECT_EQ(service.cache_stats().entries, 0u);
+
+  const auto after = service.Execute(query);
+  ExpectIdentical(QueryTcTree(tree_b, query.items, query.alpha), *after,
+                  "post-swap");
+  // The new answer is cached again.
+  EXPECT_EQ(service.Execute(query).get(), after.get());
+}
+
+TEST(QueryServiceTest, OpenLoadsPersistedIndex) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  const std::string path = ::testing::TempDir() + "/query_service_test.idx";
+  ASSERT_TRUE(SaveTcTreeToFile(tree, path).ok());
+
+  auto service = QueryService::Open(path, net.dictionary(), {});
+  ASSERT_TRUE(service.ok());
+  const ServeQuery query{Itemset{0}, 0.1};
+  ExpectIdentical(QueryTcTree(tree, query.items, query.alpha),
+                  *(*service)->Execute(query), "loaded index");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(QueryService::Open(path + ".missing", net.dictionary(), {})
+                   .ok());
+}
+
+TEST(QueryServiceTest, ParseQueryLine) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 3});
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+
+  auto q = service.ParseQueryLine("0.25; i1, i3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_DOUBLE_EQ(q->alpha, 0.25);
+  EXPECT_EQ(q->items, (Itemset{1, 3}));
+
+  // `*` (or nothing after ';') selects every dictionary item.
+  auto all = service.ParseQueryLine("0;*");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->items.size(), net.dictionary().size());
+  auto empty = service.ParseQueryLine("0.5;");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->items.size(), net.dictionary().size());
+
+  EXPECT_FALSE(service.ParseQueryLine("no-semicolon").ok());
+  EXPECT_FALSE(service.ParseQueryLine("abc;i1").ok());
+  EXPECT_FALSE(service.ParseQueryLine("0.1;nosuchitem").ok());
+}
+
+}  // namespace
+}  // namespace tcf

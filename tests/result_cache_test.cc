@@ -1,0 +1,169 @@
+#include "serve/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/tc_tree_query.h"
+#include "tx/itemset.h"
+
+namespace tcf {
+namespace {
+
+/// A result whose payload is `num_edges` edges — controls entry cost.
+std::shared_ptr<const TcTreeQueryResult> MakeResult(size_t num_edges,
+                                                    uint64_t tag = 0) {
+  auto r = std::make_shared<TcTreeQueryResult>();
+  PatternTruss t;
+  t.pattern = Itemset{static_cast<ItemId>(tag)};
+  for (size_t i = 0; i < num_edges; ++i) {
+    t.edges.push_back(MakeEdge(static_cast<VertexId>(i),
+                               static_cast<VertexId>(i + 1)));
+  }
+  t.edges.shrink_to_fit();
+  r->trusses.push_back(std::move(t));
+  r->retrieved_nodes = tag;  // lets tests tell results apart
+  return r;
+}
+
+TEST(ResultCacheTest, LookupReturnsInsertedValue) {
+  ResultCache cache;
+  const Itemset q{1, 2, 3};
+  EXPECT_EQ(cache.Lookup(q, 100), nullptr);
+  auto value = MakeResult(4, 7);
+  cache.Insert(q, 100, value);
+  auto hit = cache.Lookup(q, 100);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), value.get());  // shared, not copied
+  // Same itemset at a different quantized alpha is a distinct key.
+  EXPECT_EQ(cache.Lookup(q, 101), nullptr);
+  // Different itemset at the same alpha too.
+  EXPECT_EQ(cache.Lookup(Itemset{1, 2}, 100), nullptr);
+
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.25);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  const auto value = MakeResult(64);
+  const size_t cost = ResultCache::CostOf(Itemset{0}, *value);
+  // One shard sized for exactly three entries.
+  ResultCache cache({.capacity_bytes = 3 * cost + cost / 2, .num_shards = 1});
+  const Itemset a{1}, b{2}, c{3}, d{4};
+  cache.Insert(a, 0, MakeResult(64));
+  cache.Insert(b, 0, MakeResult(64));
+  cache.Insert(c, 0, MakeResult(64));
+  EXPECT_EQ(cache.Stats().entries, 3u);
+
+  // Touch `a`, making `b` the least recently used; `d` must evict `b`.
+  EXPECT_NE(cache.Lookup(a, 0), nullptr);
+  cache.Insert(d, 0, MakeResult(64));
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_EQ(cache.Lookup(b, 0), nullptr);
+  EXPECT_NE(cache.Lookup(a, 0), nullptr);
+  EXPECT_NE(cache.Lookup(c, 0), nullptr);
+  EXPECT_NE(cache.Lookup(d, 0), nullptr);
+
+  // Insert two more: LRU order is now a, c, d (d most recent) → a, c go.
+  cache.Insert(Itemset{5}, 0, MakeResult(64));
+  cache.Insert(Itemset{6}, 0, MakeResult(64));
+  EXPECT_EQ(cache.Stats().evictions, 3u);
+  EXPECT_EQ(cache.Lookup(a, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(c, 0), nullptr);
+  EXPECT_NE(cache.Lookup(d, 0), nullptr);
+}
+
+TEST(ResultCacheTest, CapacityAccounting) {
+  const auto probe = MakeResult(64);
+  const size_t cost = ResultCache::CostOf(Itemset{0}, *probe);
+  ResultCache cache({.capacity_bytes = 3 * cost, .num_shards = 1});
+  for (ItemId i = 0; i < 10; ++i) {
+    cache.Insert(Itemset{i}, 0, MakeResult(64, i));
+  }
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_LE(stats.bytes, stats.capacity_bytes);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.bytes, 3 * cost);
+  EXPECT_EQ(stats.evictions, 7u);
+
+  // Re-inserting an existing key replaces in place: bytes account for
+  // the new cost, entry count is unchanged.
+  cache.Insert(Itemset{9}, 0, MakeResult(32, 9));
+  stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_LT(stats.bytes, 3 * cost);
+
+  // An entry larger than the whole shard is refused outright.
+  cache.Insert(Itemset{99}, 0, MakeResult(100000));
+  const ResultCacheStats after = cache.Stats();
+  EXPECT_EQ(after.entries, 3u);
+  EXPECT_EQ(after.evictions, stats.evictions);
+  EXPECT_EQ(cache.Lookup(Itemset{99}, 0), nullptr);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache({.capacity_bytes = 0});
+  cache.Insert(Itemset{1}, 0, MakeResult(4));
+  EXPECT_EQ(cache.Lookup(Itemset{1}, 0), nullptr);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, InvalidateDropsEverything) {
+  ResultCache cache({.num_shards = 4});
+  for (ItemId i = 0; i < 20; ++i) {
+    cache.Insert(Itemset{i}, i, MakeResult(8, i));
+  }
+  EXPECT_EQ(cache.Stats().entries, 20u);
+
+  cache.Invalidate();
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.invalidations, 1u);
+  for (ItemId i = 0; i < 20; ++i) {
+    EXPECT_EQ(cache.Lookup(Itemset{i}, i), nullptr);
+  }
+}
+
+TEST(ResultCacheTest, EpochCheckedInsertDropsStaleValues) {
+  ResultCache cache;
+  const uint64_t stale = cache.epoch();
+  cache.Invalidate();  // simulates a snapshot swap mid-computation
+  cache.Insert(Itemset{1}, 0, MakeResult(4), stale);
+  EXPECT_EQ(cache.Lookup(Itemset{1}, 0), nullptr);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+
+  cache.Insert(Itemset{1}, 0, MakeResult(4), cache.epoch());
+  EXPECT_NE(cache.Lookup(Itemset{1}, 0), nullptr);
+}
+
+TEST(ResultCacheTest, ConcurrentMixedTrafficIsSafe) {
+  ResultCache cache({.capacity_bytes = size_t{1} << 16, .num_shards = 8});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const Itemset q{static_cast<ItemId>(i % 37)};
+        if (auto hit = cache.Lookup(q, 0)) {
+          EXPECT_EQ(hit->retrieved_nodes, static_cast<uint64_t>(i % 37));
+        } else {
+          cache.Insert(q, 0, MakeResult(16, i % 37));
+        }
+        if (t == 0 && i % 100 == 99) cache.Invalidate();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, 8u * 500u);
+  EXPECT_LE(stats.bytes, stats.capacity_bytes);
+}
+
+}  // namespace
+}  // namespace tcf

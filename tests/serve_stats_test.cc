@@ -1,0 +1,79 @@
+#include "serve/serve_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace tcf {
+namespace {
+
+TEST(ServeStatsTest, ReportSummarizesLatencies) {
+  ServeStats stats;
+  // 1..100 µs: percentiles of a known distribution.
+  for (int i = 1; i <= 100; ++i) {
+    stats.RecordQuery(static_cast<double>(i), /*num_trusses=*/2);
+  }
+  const ServeReport report = stats.Report();
+  EXPECT_EQ(report.queries, 100u);
+  EXPECT_EQ(report.trusses_returned, 200u);
+  EXPECT_DOUBLE_EQ(report.mean_us, 50.5);
+  EXPECT_NEAR(report.p50_us, 50.0, 1.0);
+  EXPECT_NEAR(report.p90_us, 90.0, 1.0);
+  EXPECT_NEAR(report.p99_us, 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(report.max_us, 100.0);
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.qps, 0.0);
+}
+
+TEST(ServeStatsTest, EmptyReportIsAllZero) {
+  ServeStats stats;
+  const ServeReport report = stats.Report();
+  EXPECT_EQ(report.queries, 0u);
+  EXPECT_EQ(report.p50_us, 0.0);
+  EXPECT_EQ(report.max_us, 0.0);
+}
+
+TEST(ServeStatsTest, ResetForgetsSamples) {
+  ServeStats stats;
+  stats.RecordQuery(10.0, 1);
+  stats.Reset();
+  EXPECT_EQ(stats.Report().queries, 0u);
+  stats.RecordQuery(20.0, 1);
+  const ServeReport report = stats.Report();
+  EXPECT_EQ(report.queries, 1u);
+  EXPECT_DOUBLE_EQ(report.max_us, 20.0);
+}
+
+TEST(ServeStatsTest, ConcurrentRecordingLosesNothing) {
+  ServeStats stats;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&stats] {
+      for (int i = 0; i < 1000; ++i) stats.RecordQuery(1.0, 1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const ServeReport report = stats.Report();
+  EXPECT_EQ(report.queries, 8000u);
+  EXPECT_EQ(report.trusses_returned, 8000u);
+}
+
+TEST(ServeStatsTest, ReportRendersCacheCounters) {
+  ServeStats stats;
+  stats.RecordQuery(5.0, 1);
+  ResultCacheStats cache;
+  cache.hits = 3;
+  cache.misses = 1;
+  const ServeReport report = stats.Report(cache);
+  EXPECT_DOUBLE_EQ(report.cache.HitRate(), 0.75);
+
+  std::ostringstream os;
+  report.ToTable().Print(os);
+  EXPECT_NE(os.str().find("cache hit rate"), std::string::npos);
+  EXPECT_NE(os.str().find("throughput"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcf

@@ -14,8 +14,24 @@
 //           [--threads=T]
 //       Answer one query (item *names*, comma-separated; defaults to all
 //       items) against a freshly built or previously saved TC-Tree.
+//   serve   --in=FILE --workload=FILE [--index=FILE.idx] [--threads=T]
+//           [--cache-mb=M] [--repeat=R] [--batch=B] [--max-nodes=N]
+//       Run a query workload through the concurrent serving layer
+//       (src/serve/): answers are produced by QueryService worker
+//       threads over one immutable TC-Tree snapshot, with a sharded LRU
+//       result cache of M MiB (default 64; 0 disables). The workload
+//       file has one query per line in the form
+//           alpha;item,item,...
+//       where `alpha` is the cohesion threshold and the items are
+//       comma-separated item *names* (`*` or an empty list = all items);
+//       blank lines and lines starting with '#' are skipped. The whole
+//       file is executed --repeat times (default 2, so the second pass
+//       exercises the warm cache) in batches of B queries (default: one
+//       batch), and a per-pass throughput/latency/hit-rate table plus a
+//       final detailed report are printed.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -32,7 +48,9 @@
 #include "gen/syn_generator.h"
 #include "net/network_io.h"
 #include "net/stats.h"
+#include "serve/query_service.h"
 #include "util/string_util.h"
+#include "util/table.h"
 #include "util/timer.h"
 
 using namespace tcf;
@@ -74,7 +92,8 @@ class Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tcf <generate|stats|mine|index|query> [--key=value ...]\n"
+               "usage: tcf <generate|stats|mine|index|query|serve> "
+               "[--key=value ...]\n"
                "  generate --kind=bk|gw|aminer|syn --out=FILE [--scale=S] "
                "[--seed=N]\n"
                "  stats    --in=FILE\n"
@@ -83,7 +102,10 @@ int Usage() {
                "  index    --in=FILE --out=FILE.idx [--threads=T] "
                "[--max-nodes=N]\n"
                "  query    --in=FILE [--index=FILE.idx] [--alpha=A] "
-               "[--items=a,b,c] [--threads=T]\n");
+               "[--items=a,b,c] [--threads=T]\n"
+               "  serve    --in=FILE --workload=FILE [--index=FILE.idx] "
+               "[--threads=T] [--cache-mb=M] [--repeat=R] [--batch=B] "
+               "[--max-nodes=N]\n");
   return 2;
 }
 
@@ -230,6 +252,34 @@ int CmdIndex(const Args& args) {
   return 0;
 }
 
+/// Shared by query/serve: load a persisted TC-Tree when --index=FILE is
+/// given, otherwise build one in-process. Prints what it did; returns
+/// nullopt (after printing the error) on a failed load.
+std::optional<TcTree> LoadOrBuildTree(const Args& args,
+                                      const DatabaseNetwork& net,
+                                      const char* cmd, size_t threads) {
+  WallTimer t;
+  const std::string index_path = args.Get("index", "");
+  if (!index_path.empty()) {
+    auto loaded = LoadTcTreeFromFile(index_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s: %s\n", cmd,
+                   loaded.status().ToString().c_str());
+      return std::nullopt;
+    }
+    std::printf("TC-Tree: %zu nodes loaded from %s in %.2f s\n",
+                loaded->num_nodes(), index_path.c_str(), t.Seconds());
+    return std::move(*loaded);
+  }
+  TcTree tree = TcTree::Build(
+      net, {.num_threads = threads,
+            .max_nodes = args.GetUint("max-nodes", 2000000)});
+  std::printf("TC-Tree: %zu nodes built in %.2f s%s\n", tree.num_nodes(),
+              t.Seconds(),
+              tree.build_stats().truncated ? " (node budget hit)" : "");
+  return tree;
+}
+
 int CmdQuery(const Args& args) {
   auto net = LoadArg(args);
   if (!net.ok()) {
@@ -256,26 +306,8 @@ int CmdQuery(const Args& args) {
     q = Itemset(std::move(ids));
   }
 
-  WallTimer build;
-  std::optional<TcTree> tree;
-  const std::string index_path = args.Get("index", "");
-  if (!index_path.empty()) {
-    auto loaded = LoadTcTreeFromFile(index_path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "query: %s\n",
-                   loaded.status().ToString().c_str());
-      return 1;
-    }
-    tree.emplace(std::move(*loaded));
-    std::printf("TC-Tree: %zu nodes loaded from %s in %.2f s\n",
-                tree->num_nodes(), index_path.c_str(), build.Seconds());
-  } else {
-    tree.emplace(TcTree::Build(*net, {.num_threads = threads,
-                                      .max_nodes = 2000000}));
-    std::printf("TC-Tree: %zu nodes built in %.2f s%s\n", tree->num_nodes(),
-                build.Seconds(),
-                tree->build_stats().truncated ? " (node budget hit)" : "");
-  }
+  std::optional<TcTree> tree = LoadOrBuildTree(args, *net, "query", threads);
+  if (!tree) return 1;
 
   WallTimer qt;
   TcTreeQueryResult r = QueryTcTree(*tree, q, alpha);
@@ -297,6 +329,105 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+int CmdServe(const Args& args) {
+  auto net = LoadArg(args);
+  if (!net.ok()) {
+    std::fprintf(stderr, "serve: %s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  const std::string workload_path = args.Get("workload", "");
+  if (workload_path.empty()) {
+    std::fprintf(stderr, "serve: --workload=FILE is required\n");
+    return 2;
+  }
+  const size_t threads = args.GetUint("threads", 4);
+  const size_t cache_mb = args.GetUint("cache-mb", 64);
+  const size_t repeat = std::max<uint64_t>(1, args.GetUint("repeat", 2));
+  const size_t batch = args.GetUint("batch", 0);
+
+  // Parse the workload before touching the index: a typo'd path or a
+  // malformed line must fail in milliseconds, not after a tree build.
+  std::ifstream in(workload_path);
+  if (!in) {
+    std::fprintf(stderr, "serve: cannot open workload %s\n",
+                 workload_path.c_str());
+    return 1;
+  }
+  std::vector<ServeQuery> workload;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto query = ParseServeQuery(net->dictionary(), trimmed);
+    if (!query.ok()) {
+      std::fprintf(stderr, "serve: %s:%zu: %s\n", workload_path.c_str(),
+                   line_no, query.status().ToString().c_str());
+      return 1;
+    }
+    workload.push_back(std::move(*query));
+  }
+  if (workload.empty()) {
+    std::fprintf(stderr, "serve: workload %s has no queries\n",
+                 workload_path.c_str());
+    return 1;
+  }
+
+  std::optional<TcTree> tree = LoadOrBuildTree(args, *net, "serve", threads);
+  if (!tree) return 1;
+
+  QueryService service(std::move(*tree), net->dictionary(),
+                       {.num_threads = threads,
+                        .cache_bytes = cache_mb << 20});
+  std::printf("serving %zu queries x%zu passes, %zu threads, %zu MiB cache\n",
+              workload.size(), repeat, service.num_threads(), cache_mb);
+
+  // Pre-split the workload into batches outside the timed passes so the
+  // reported throughput measures serving, not vector copies.
+  std::vector<std::vector<ServeQuery>> batches;
+  if (batch == 0) {
+    batches.push_back(workload);
+  } else {
+    for (size_t i = 0; i < workload.size(); i += batch) {
+      batches.emplace_back(
+          workload.begin() + i,
+          workload.begin() + std::min(workload.size(), i + batch));
+    }
+  }
+
+  TextTable passes(
+      {"pass", "queries", "time(s)", "q/s", "p50(us)", "p99(us)", "hit rate"});
+  ServeReport last;
+  for (size_t pass = 0; pass < repeat; ++pass) {
+    const ResultCacheStats before = service.cache_stats();
+    service.stats().Reset();
+    for (const std::vector<ServeQuery>& b : batches) {
+      service.ExecuteBatch(b);
+    }
+    last = service.Report();
+    // Scope the cumulative cache counters to this pass (entries/bytes
+    // are point-in-time and stay as-is), so the final report agrees
+    // with the per-pass table.
+    ResultCacheStats delta = last.cache;
+    delta.hits -= before.hits;
+    delta.misses -= before.misses;
+    delta.inserts -= before.inserts;
+    delta.evictions -= before.evictions;
+    last.cache = delta;
+    passes.AddRow({pass == 0 ? "cold" : StrFormat("warm%zu", pass),
+                   TextTable::Num(last.queries),
+                   TextTable::Num(last.wall_seconds),
+                   TextTable::Num(last.qps), TextTable::Num(last.p50_us),
+                   TextTable::Num(last.p99_us),
+                   TextTable::Num(delta.HitRate())});
+  }
+  passes.Print(std::cout);
+  std::printf("\nfinal pass report:\n");
+  last.ToTable().Print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -308,5 +439,6 @@ int main(int argc, char** argv) {
   if (cmd == "mine") return CmdMine(args);
   if (cmd == "index") return CmdIndex(args);
   if (cmd == "query") return CmdQuery(args);
+  if (cmd == "serve") return CmdServe(args);
   return Usage();
 }
