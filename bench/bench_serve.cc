@@ -5,19 +5,36 @@
 // often — real traffic is never uniform), and measures QueryService
 // throughput at increasing worker counts, cold cache vs. warm cache.
 //
+// With --net, the same workload additionally runs over loopback TCP:
+// a TcpServer fronts the service and 1..--connections=C blocking
+// `Client`s replay the queries as `alpha;item,...` protocol lines,
+// measuring end-to-end (encode + socket + parse + serve) throughput and
+// client-observed latency.
+//
 // Expected shapes: warm throughput is a large multiple of cold (a hit is
 // one shard lookup instead of a tree traversal); cold throughput scales
 // with threads until the tree walk saturates memory bandwidth; the warm
-// hit rate matches the workload's repetition rate.
+// hit rate matches the workload's repetition rate. Network throughput
+// scales with connections (each is a serial request/response loop) until
+// the service saturates; the per-query gap vs. in-process is the wire
+// round trip.
+#include <algorithm>
+#include <atomic>
+#include <cstring>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/tc_tree.h"
+#include "serve/client.h"
+#include "serve/line_protocol.h"
 #include "serve/query_service.h"
+#include "serve/tcp_server.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 using namespace tcf;
 
@@ -89,28 +106,156 @@ void RunDataset(const char* name, const DatabaseNetwork& net, size_t queries,
   else table.Print(std::cout);
 }
 
+/// One timed network pass: `lines[i]` is sent by connection i % n; each
+/// connection is a serial request/response loop on its own thread.
+/// Returns {qps, p99_us} as observed by the clients.
+std::pair<double, double> NetworkPass(uint16_t port,
+                                      const std::vector<std::string>& lines,
+                                      size_t connections) {
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<std::thread> threads;
+  std::atomic<size_t> failed{0};
+  WallTimer wall;
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        std::fprintf(stderr, "bench_serve: connection %zu: %s\n", c,
+                     client.status().ToString().c_str());
+        ++failed;
+        return;
+      }
+      for (size_t i = c; i < lines.size(); i += connections) {
+        WallTimer t;
+        auto trusses = (*client)->Query(lines[i]);
+        if (!trusses.ok()) {
+          std::fprintf(stderr, "bench_serve: connection %zu: %s\n", c,
+                       trusses.status().ToString().c_str());
+          ++failed;
+          return;
+        }
+        latencies[c].push_back(t.Micros());
+      }
+      (void)(*client)->Quit();
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double seconds = wall.Seconds();
+  if (failed > 0) {
+    // Partial passes would print plausible but wrong q/s; say so loudly.
+    std::fprintf(stderr,
+                 "bench_serve: %zu/%zu connections failed; this pass's "
+                 "numbers cover only the surviving traffic\n",
+                 failed.load(), connections);
+  }
+
+  std::vector<double> all;
+  for (const auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
+  if (all.empty()) return {0, 0};
+  std::sort(all.begin(), all.end());
+  const double qps =
+      seconds > 0 ? static_cast<double>(all.size()) / seconds : 0;
+  return {qps, all[std::min(all.size() - 1,
+                            static_cast<size_t>(0.99 * (all.size() - 1) +
+                                                0.5))]};
+}
+
+/// Network mode: the same skewed workload, replayed as protocol lines
+/// over loopback TCP at increasing connection counts.
+void RunNetworkDataset(const char* name, const DatabaseNetwork& net,
+                       size_t queries, size_t max_connections, bool csv) {
+  TcTree tree = TcTree::Build(net, {.num_threads = HardwareThreads(),
+                                    .max_nodes = 1000000});
+  std::printf(
+      "\n--- serve --net on %s (tree: %zu nodes, %zu queries/pass) ---\n",
+      name, tree.num_nodes(), queries);
+  const std::vector<ServeQuery> workload = MakeWorkload(net, queries, 17);
+  std::vector<std::string> lines;
+  lines.reserve(workload.size());
+  for (const ServeQuery& q : workload) {
+    lines.push_back(EncodeQueryLine(net.dictionary(), q));
+  }
+
+  TextTable table({"conns", "cold q/s", "cold p99(us)", "warm q/s",
+                   "warm p99(us)", "warm hit rate", "KiB in", "KiB out"});
+  for (size_t connections = 1; connections <= max_connections;
+       connections *= 2) {
+    QueryService service(tree, net.dictionary(), {});
+    TcpServerOptions options;
+    options.num_threads = connections;
+    TcpServer server(service, options);
+    if (Status s = server.Start(); !s.ok()) {
+      std::fprintf(stderr, "bench_serve: %s\n", s.ToString().c_str());
+      return;
+    }
+
+    const auto cold = NetworkPass(server.port(), lines, connections);
+    const ResultCacheStats before = service.cache_stats();
+    const auto warm = NetworkPass(server.port(), lines, connections);
+    ResultCacheStats delta = service.cache_stats();
+    delta.hits -= before.hits;
+    delta.misses -= before.misses;
+
+    const ServeReport report = service.Report();
+    table.AddRow({TextTable::Num(static_cast<uint64_t>(connections)),
+                  TextTable::Num(cold.first, 0),
+                  TextTable::Num(cold.second, 1),
+                  TextTable::Num(warm.first, 0),
+                  TextTable::Num(warm.second, 1),
+                  TextTable::Num(delta.HitRate(), 3),
+                  TextTable::Num(report.bytes_in / 1024.0, 1),
+                  TextTable::Num(report.bytes_out / 1024.0, 1)});
+    server.Shutdown();
+  }
+  if (csv) table.PrintCsv(std::cout);
+  else table.Print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
   const bool csv = bench::ParseCsvFlag(argc, argv);
-  bench::PrintHeader("Serve", "QueryService throughput, cold vs. warm cache",
+  bool net_mode = false;
+  size_t max_connections = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--net") == 0) net_mode = true;
+    if (std::strncmp(argv[i], "--connections=", 14) == 0) {
+      max_connections = std::max(1, std::atoi(argv[i] + 14));
+    }
+  }
+  bench::PrintHeader("Serve",
+                     net_mode
+                         ? "TcpServer throughput over loopback connections"
+                         : "QueryService throughput, cold vs. warm cache",
                      scale);
 
   const size_t queries =
-      static_cast<size_t>(20000 * std::max(0.05, scale));
+      static_cast<size_t>((net_mode ? 5000 : 20000) * std::max(0.05, scale));
   {
     DatabaseNetwork bk = bench::MakeBkLike(scale);
-    RunDataset("BK-like", bk, queries, csv);
+    if (net_mode) RunNetworkDataset("BK-like", bk, queries, max_connections,
+                                    csv);
+    else RunDataset("BK-like", bk, queries, csv);
   }
   {
     DatabaseNetwork syn = bench::MakeSynLike(scale);
-    RunDataset("SYN", syn, queries, csv);
+    if (net_mode) RunNetworkDataset("SYN", syn, queries, max_connections,
+                                    csv);
+    else RunDataset("SYN", syn, queries, csv);
   }
 
-  std::printf(
-      "\nShape checks: warm q/s >> cold q/s (cache hits skip the tree\n"
-      "walk); cold q/s grows with threads; warm hit rate ~= workload\n"
-      "repetition rate (~20%% hot traffic + exact repeats).\n");
+  if (net_mode) {
+    std::printf(
+        "\nShape checks: q/s grows with connections (each is a serial\n"
+        "request/response loop); warm hit rate ~= workload repetition\n"
+        "rate; p99 gap vs. the in-process run is the loopback round\n"
+        "trip + encode/parse.\n");
+  } else {
+    std::printf(
+        "\nShape checks: warm q/s >> cold q/s (cache hits skip the tree\n"
+        "walk); cold q/s grows with threads; warm hit rate ~= workload\n"
+        "repetition rate (~20%% hot traffic + exact repeats).\n");
+  }
   return 0;
 }

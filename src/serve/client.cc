@@ -1,0 +1,187 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace tcf {
+namespace {
+
+Request MakeRequest(Request::Kind kind) {
+  Request request;
+  request.kind = kind;
+  return request;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                  uint16_t port) {
+  const std::string address = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 host address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status s = Status::IOError(StrFormat(
+        "connect %s:%u: %s", address.c_str(), port, std::strerror(errno)));
+    ::close(fd);
+    return s;
+  }
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::IOError("connection is closed");
+  std::string wire = line;
+  wire += '\n';
+  std::string_view data = wire;
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("send: %s", std::strerror(errno)));
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  bytes_sent_ += wire.size();
+  return Status::OK();
+}
+
+StatusOr<std::string> Client::ReadLine() {
+  if (fd_ < 0) return Status::IOError("connection is closed");
+  while (true) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      return Status::IOError(StrFormat("recv: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection mid-response");
+    }
+    buffer_.append(buf, static_cast<size_t>(n));
+    bytes_received_ += static_cast<uint64_t>(n);
+  }
+}
+
+StatusOr<Client::Reply> Client::RoundTrip(const Request& request) {
+  TCF_RETURN_IF_ERROR(SendLine(EncodeRequest(request)));
+  auto status_line = ReadLine();
+  if (!status_line.ok()) return status_line.status();
+  auto header = ParseResponseHeader(*status_line);
+  if (!header.ok()) return header.status();
+
+  Reply reply;
+  reply.header = std::move(*header);
+  // The count is peer-supplied: don't pre-reserve unbounded memory for
+  // it. Lines are read (and validated against the connection) one by
+  // one; a lying peer stalls on ReadLine instead of OOMing us.
+  reply.payload.reserve(std::min<size_t>(reply.header.payload_lines, 4096));
+  for (size_t i = 0; i < reply.header.payload_lines; ++i) {
+    auto line = ReadLine();
+    if (!line.ok()) return line.status();
+    reply.payload.push_back(std::move(*line));
+  }
+  return reply;
+}
+
+Status Client::Ping() {
+  auto reply = RoundTrip(MakeRequest(Request::Kind::kPing));
+  if (!reply.ok()) return reply.status();
+  TCF_RETURN_IF_ERROR(reply->header.ToStatus());
+  if (reply->header.kind != "PONG") {
+    return Status::Internal("expected PONG, got " + reply->header.kind);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<WireTruss>> Client::Query(
+    const std::string& query_line) {
+  Request request = MakeRequest(Request::Kind::kQuery);
+  request.query_line = query_line;
+  auto reply = RoundTrip(request);
+  if (!reply.ok()) return reply.status();
+  TCF_RETURN_IF_ERROR(reply->header.ToStatus());
+  if (reply->header.kind != "TRUSSES") {
+    return Status::Internal("expected TRUSSES, got " + reply->header.kind);
+  }
+  std::vector<WireTruss> trusses;
+  trusses.reserve(reply->payload.size());
+  for (const std::string& line : reply->payload) {
+    auto truss = DecodeTruss(line);
+    if (!truss.ok()) return truss.status();
+    trusses.push_back(std::move(*truss));
+  }
+  return trusses;
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>> Client::Stats() {
+  auto reply = RoundTrip(MakeRequest(Request::Kind::kStats));
+  if (!reply.ok()) return reply.status();
+  TCF_RETURN_IF_ERROR(reply->header.ToStatus());
+  if (reply->header.kind != "STATS") {
+    return Status::Internal("expected STATS, got " + reply->header.kind);
+  }
+  return DecodeStats(reply->payload);
+}
+
+StatusOr<uint64_t> Client::Reload(const std::string& index_path) {
+  Request request = MakeRequest(Request::Kind::kReload);
+  request.reload_path = index_path;
+  auto reply = RoundTrip(request);
+  if (!reply.ok()) return reply.status();
+  TCF_RETURN_IF_ERROR(reply->header.ToStatus());
+  if (reply->header.kind != "RELOADED" || reply->payload.empty()) {
+    return Status::Internal("malformed RELOADED reply");
+  }
+  // Payload line: `nodes <count>`.
+  const std::string& line = reply->payload.front();
+  const size_t space = line.find(' ');
+  if (space == std::string::npos) {
+    return Status::Internal("malformed RELOADED payload: " + line);
+  }
+  auto nodes = ParseUint64(Trim(std::string_view(line).substr(space + 1)));
+  if (!nodes.ok()) return nodes.status();
+  return *nodes;
+}
+
+Status Client::Quit() {
+  auto reply = RoundTrip(MakeRequest(Request::Kind::kQuit));
+  if (!reply.ok()) return reply.status();
+  TCF_RETURN_IF_ERROR(reply->header.ToStatus());
+  const Status s = reply->header.kind == "BYE"
+                       ? Status::OK()
+                       : Status::Internal("expected BYE, got " +
+                                          reply->header.kind);
+  ::close(fd_);
+  fd_ = -1;
+  return s;
+}
+
+}  // namespace tcf

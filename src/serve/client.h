@@ -1,0 +1,86 @@
+#ifndef TCF_SERVE_CLIENT_H_
+#define TCF_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/line_protocol.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// \brief Small blocking client for the tcf line protocol.
+///
+/// One `Client` owns one TCP connection and speaks one request/response
+/// exchange at a time (the protocol has no pipelining). It is the
+/// counterpart `TcpServer` is tested against, and what `tcf client` and
+/// the bench_serve network mode are built on. Not thread-safe: use one
+/// Client per thread (connections are cheap; the server fans them out).
+class Client {
+ public:
+  /// Connects to `host:port`. `host` is an IPv4 dotted quad, or
+  /// "localhost" for 127.0.0.1. IOError if the connection is refused.
+  static StatusOr<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                   uint16_t port);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// A framed server reply: the decoded status line plus its payload
+  /// lines (already count-checked against the header).
+  struct Reply {
+    ResponseHeader header;
+    std::vector<std::string> payload;
+  };
+
+  /// Sends one request and reads the complete reply. The returned Reply
+  /// may carry an ERR header (a *protocol-level* error the server
+  /// reported); a non-OK Status means the exchange itself failed
+  /// (connection lost, unparseable response).
+  StatusOr<Reply> RoundTrip(const Request& request);
+
+  /// PING; OK iff the server answered PONG.
+  Status Ping();
+
+  /// Sends `alpha;item,item,...` and decodes the returned communities.
+  /// Server-side query errors (unknown item, bad alpha) come back as the
+  /// carried ERR status.
+  StatusOr<std::vector<WireTruss>> Query(const std::string& query_line);
+
+  /// STATS as ordered `key value` pairs.
+  StatusOr<std::vector<std::pair<std::string, std::string>>> Stats();
+
+  /// Asks the server to hot-reload the index at `index_path` (a path on
+  /// the server's filesystem). Returns the new tree's node count.
+  StatusOr<uint64_t> Reload(const std::string& index_path);
+
+  /// Sends QUIT, waits for BYE, and closes the connection. Further
+  /// calls fail. The destructor closes silently; Quit() is the polite
+  /// shutdown the CLI and tests use to assert the server's goodbye.
+  Status Quit();
+
+  /// Raw bytes exchanged over this connection's lifetime.
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Next '\n'-terminated line off the socket (newline stripped).
+  StatusOr<std::string> ReadLine();
+  Status SendLine(const std::string& line);
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read but not yet consumed as lines
+  uint64_t bytes_sent_ = 0;
+  uint64_t bytes_received_ = 0;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_SERVE_CLIENT_H_

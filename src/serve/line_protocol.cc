@@ -1,0 +1,342 @@
+#include "serve/line_protocol.h"
+
+#include <array>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace tcf {
+namespace {
+
+/// The four admin verbs. Everything else on the request side is a query
+/// line (workload-file format).
+constexpr std::string_view kPing = "PING";
+constexpr std::string_view kStats = "STATS";
+constexpr std::string_view kReload = "RELOAD";
+constexpr std::string_view kQuit = "QUIT";
+
+/// First whitespace-delimited token of `s`.
+std::string_view FirstToken(std::string_view s) {
+  const size_t end = s.find_first_of(" \t");
+  return end == std::string_view::npos ? s : s.substr(0, end);
+}
+
+/// Strips one trailing '\r' (CRLF tolerance — telnet/netcat sessions).
+std::string_view StripCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+Status AtColumn(size_t col, const std::string& msg) {
+  return Status::InvalidArgument(StrFormat("col %zu: %s", col, msg.c_str()));
+}
+
+/// Status codes that may cross the wire, in a fixed order so name<->code
+/// translation stays total. kOk is excluded: OK responses use the OK
+/// grammar, never an ERR line.
+constexpr std::array<Status::Code, 8> kWireCodes = {
+    Status::Code::kInvalidArgument, Status::Code::kNotFound,
+    Status::Code::kAlreadyExists,   Status::Code::kOutOfRange,
+    Status::Code::kCorruption,      Status::Code::kIOError,
+    Status::Code::kUnimplemented,   Status::Code::kInternal,
+};
+
+StatusOr<Status::Code> CodeFromName(std::string_view name) {
+  for (Status::Code code : kWireCodes) {
+    if (StatusCodeName(code) == name) return code;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown status code '%.*s'", static_cast<int>(name.size()),
+                name.data()));
+}
+
+Status MakeStatus(Status::Code code, std::string msg) {
+  switch (code) {
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case Status::Code::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case Status::Code::kAlreadyExists:
+      return Status::AlreadyExists(std::move(msg));
+    case Status::Code::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case Status::Code::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case Status::Code::kIOError:
+      return Status::IOError(std::move(msg));
+    case Status::Code::kUnimplemented:
+      return Status::Unimplemented(std::move(msg));
+    default:
+      return Status::Internal(std::move(msg));
+  }
+}
+
+}  // namespace
+
+StatusOr<Request> ParseRequest(std::string_view line) {
+  const std::string_view trimmed = Trim(StripCr(line));
+  if (trimmed.empty()) return AtColumn(1, "empty request");
+  const std::string_view verb = FirstToken(trimmed);
+  const std::string_view rest = Trim(trimmed.substr(verb.size()));
+
+  Request request;
+  if (verb == kPing || verb == kStats || verb == kQuit) {
+    if (!rest.empty()) {
+      return AtColumn(verb.size() + 2,
+                      StrFormat("verb %.*s takes no arguments",
+                                static_cast<int>(verb.size()), verb.data()));
+    }
+    request.kind = verb == kPing ? Request::Kind::kPing
+                   : verb == kStats ? Request::Kind::kStats
+                                    : Request::Kind::kQuit;
+    return request;
+  }
+  if (verb == kReload) {
+    if (rest.empty()) {
+      return AtColumn(verb.size() + 2, "RELOAD requires an index path");
+    }
+    request.kind = Request::Kind::kReload;
+    request.reload_path = std::string(rest);
+    return request;
+  }
+  // Not a verb: a query line. Insist on the `alpha;items` separator here
+  // so a typo'd verb ("RELAOD /x") fails fast with a protocol error
+  // instead of a confusing alpha-parse error downstream.
+  if (trimmed.find(';') == std::string_view::npos) {
+    return AtColumn(
+        1, StrFormat("'%.*s' is neither an admin verb (PING, STATS, "
+                     "RELOAD <path>, QUIT) nor a query 'alpha;item,...'",
+                     static_cast<int>(verb.size()), verb.data()));
+  }
+  request.kind = Request::Kind::kQuery;
+  request.query_line = std::string(trimmed);
+  return request;
+}
+
+std::string EncodeRequest(const Request& request) {
+  switch (request.kind) {
+    case Request::Kind::kPing:
+      return std::string(kPing);
+    case Request::Kind::kStats:
+      return std::string(kStats);
+    case Request::Kind::kQuit:
+      return std::string(kQuit);
+    case Request::Kind::kReload:
+      return std::string(kReload) + " " + request.reload_path;
+    case Request::Kind::kQuery:
+      return request.query_line;
+  }
+  return {};
+}
+
+Status ResponseHeader::ToStatus() const {
+  if (ok) return Status::OK();
+  return MakeStatus(code, message);
+}
+
+std::string EncodeOkHeader(std::string_view kind, size_t payload_lines) {
+  return StrFormat("%.*s OK %.*s %zu",
+                   static_cast<int>(kProtocolVersion.size()),
+                   kProtocolVersion.data(), static_cast<int>(kind.size()),
+                   kind.data(), payload_lines);
+}
+
+std::string EncodeErrHeader(const Status& status) {
+  std::string msg = status.message();
+  for (char& c : msg) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  const std::string_view code = StatusCodeName(status.code());
+  return StrFormat("%.*s ERR %.*s %s",
+                   static_cast<int>(kProtocolVersion.size()),
+                   kProtocolVersion.data(), static_cast<int>(code.size()),
+                   code.data(), msg.c_str());
+}
+
+StatusOr<ResponseHeader> ParseResponseHeader(std::string_view line) {
+  const std::string_view trimmed = Trim(StripCr(line));
+  const std::string_view version = FirstToken(trimmed);
+  if (version != kProtocolVersion) {
+    return AtColumn(1, StrFormat("expected version '%.*s', got '%.*s'",
+                                 static_cast<int>(kProtocolVersion.size()),
+                                 kProtocolVersion.data(),
+                                 static_cast<int>(version.size()),
+                                 version.data()));
+  }
+  std::string_view rest = Trim(trimmed.substr(version.size()));
+  const std::string_view disposition = FirstToken(rest);
+  rest = Trim(rest.substr(disposition.size()));
+
+  ResponseHeader header;
+  if (disposition == "OK") {
+    const std::string_view kind = FirstToken(rest);
+    const std::string_view count = Trim(rest.substr(kind.size()));
+    if (kind.empty() || count.empty()) {
+      return AtColumn(version.size() + 4,
+                      "OK header needs '<KIND> <payload-lines>'");
+    }
+    auto n = ParseUint64(count);
+    if (!n.ok()) {
+      return AtColumn(trimmed.size() - count.size() + 1,
+                      "payload-line count is not a number: " +
+                          std::string(count));
+    }
+    header.ok = true;
+    header.kind = std::string(kind);
+    header.payload_lines = static_cast<size_t>(*n);
+    return header;
+  }
+  if (disposition == "ERR") {
+    const std::string_view code_name = FirstToken(rest);
+    auto code = CodeFromName(code_name);
+    if (!code.ok()) return code.status();
+    header.ok = false;
+    header.code = *code;
+    header.message = std::string(Trim(rest.substr(code_name.size())));
+    return header;
+  }
+  return AtColumn(version.size() + 2,
+                  StrFormat("expected OK or ERR, got '%.*s'",
+                            static_cast<int>(disposition.size()),
+                            disposition.data()));
+}
+
+std::string EncodeTruss(const ItemDictionary& dictionary,
+                        const PatternTruss& truss) {
+  std::string out;
+  bool first = true;
+  for (ItemId item : truss.pattern.items()) {
+    if (!first) out += ',';
+    out += dictionary.Name(item);
+    first = false;
+  }
+  out += '|';
+  first = true;
+  for (VertexId v : truss.vertices) {
+    if (!first) out += ' ';
+    out += std::to_string(v);
+    first = false;
+  }
+  out += '|';
+  first = true;
+  for (const Edge& e : truss.edges) {
+    if (!first) out += ' ';
+    out += std::to_string(e.u);
+    out += '-';
+    out += std::to_string(e.v);
+    first = false;
+  }
+  return out;
+}
+
+StatusOr<WireTruss> DecodeTruss(std::string_view line) {
+  const std::string_view trimmed = StripCr(line);
+  const size_t bar1 = trimmed.find('|');
+  const size_t bar2 =
+      bar1 == std::string_view::npos ? bar1 : trimmed.find('|', bar1 + 1);
+  if (bar2 == std::string_view::npos) {
+    return AtColumn(trimmed.size() + 1,
+                    "truss line needs 'names|vertices|edges'");
+  }
+  if (trimmed.find('|', bar2 + 1) != std::string_view::npos) {
+    return AtColumn(trimmed.find('|', bar2 + 1) + 1,
+                    "truss line has more than three '|' fields");
+  }
+
+  WireTruss truss;
+  const std::string_view names = trimmed.substr(0, bar1);
+  if (!Trim(names).empty()) {
+    for (const std::string& name : Split(names, ',')) {
+      const std::string_view t = Trim(name);
+      if (t.empty()) return AtColumn(1, "empty item name in pattern");
+      truss.pattern.emplace_back(t);
+    }
+  }
+  const size_t vertex_col = bar1 + 2;
+  for (const std::string& tok :
+       SplitWhitespace(trimmed.substr(bar1 + 1, bar2 - bar1 - 1))) {
+    auto v = ParseUint64(tok);
+    if (!v.ok() || *v >= kInvalidVertex) {  // the sentinel is not an id
+      return AtColumn(vertex_col, "bad vertex id '" + tok + "'");
+    }
+    truss.vertices.push_back(static_cast<VertexId>(*v));
+  }
+  const size_t edge_col = bar2 + 2;
+  for (const std::string& tok : SplitWhitespace(trimmed.substr(bar2 + 1))) {
+    const size_t dash = tok.find('-');
+    if (dash == std::string::npos) {
+      return AtColumn(edge_col, "edge '" + tok + "' is not 'u-v'");
+    }
+    auto u = ParseUint64(std::string_view(tok).substr(0, dash));
+    auto v = ParseUint64(std::string_view(tok).substr(dash + 1));
+    if (!u.ok() || !v.ok() || *u >= kInvalidVertex || *v >= kInvalidVertex) {
+      return AtColumn(edge_col, "bad edge '" + tok + "'");
+    }
+    truss.edges.push_back(
+        {static_cast<VertexId>(*u), static_cast<VertexId>(*v)});
+  }
+  return truss;
+}
+
+std::string EncodeQueryLine(const ItemDictionary& dictionary,
+                            const ServeQuery& query) {
+  // %.17g survives the double -> text -> double round trip bit-exactly,
+  // so a replayed query quantizes to the same alpha grid point.
+  std::string out = StrFormat("%.17g;", query.alpha);
+  bool first = true;
+  for (ItemId item : query.items.items()) {
+    if (!first) out += ',';
+    out += dictionary.Name(item);
+    first = false;
+  }
+  return out;
+}
+
+std::vector<std::string> EncodeStats(const ServeReport& report) {
+  std::vector<std::string> lines;
+  auto add_u = [&lines](const char* key, uint64_t value) {
+    lines.push_back(StrFormat("%s %llu", key,
+                              static_cast<unsigned long long>(value)));
+  };
+  auto add_d = [&lines](const char* key, double value) {
+    lines.push_back(StrFormat("%s %.6g", key, value));
+  };
+  add_u("queries", report.queries);
+  add_u("trusses_returned", report.trusses_returned);
+  add_d("wall_seconds", report.wall_seconds);
+  add_d("qps", report.qps);
+  add_d("mean_us", report.mean_us);
+  add_d("p50_us", report.p50_us);
+  add_d("p90_us", report.p90_us);
+  add_d("p99_us", report.p99_us);
+  add_d("max_us", report.max_us);
+  add_u("cache_hits", report.cache.hits);
+  add_u("cache_misses", report.cache.misses);
+  add_d("cache_hit_rate", report.cache.HitRate());
+  add_u("cache_entries", report.cache.entries);
+  add_u("cache_bytes", report.cache.bytes);
+  add_u("snapshot_swaps", report.cache.invalidations);
+  add_u("connections_accepted", report.connections_accepted);
+  add_u("connections_active", report.connections_active);
+  add_u("bytes_in", report.bytes_in);
+  add_u("bytes_out", report.bytes_out);
+  return lines;
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>> DecodeStats(
+    const std::vector<std::string>& payload) {
+  std::vector<std::pair<std::string, std::string>> stats;
+  for (const std::string& line : payload) {
+    const std::string_view trimmed = Trim(StripCr(line));
+    const std::string_view key = FirstToken(trimmed);
+    const std::string_view value = Trim(trimmed.substr(key.size()));
+    if (key.empty() || value.empty()) {
+      return Status::InvalidArgument("stats line '" + line +
+                                     "' is not 'key value'");
+    }
+    stats.emplace_back(std::string(key), std::string(value));
+  }
+  return stats;
+}
+
+}  // namespace tcf

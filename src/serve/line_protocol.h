@@ -1,0 +1,120 @@
+#ifndef TCF_SERVE_LINE_PROTOCOL_H_
+#define TCF_SERVE_LINE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/pattern_truss.h"
+#include "serve/query_service.h"
+#include "serve/serve_stats.h"
+#include "tx/item_dictionary.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// \file
+/// \brief The tcf serving-layer wire protocol (see docs/serve-protocol.md).
+///
+/// A newline-delimited text protocol spoken between `TcpServer` and
+/// `Client`. Requests mirror the workload-file format: a query is the
+/// literal line `alpha;item,item,...`, and everything else is one of four
+/// upper-case admin verbs (`PING`, `STATS`, `RELOAD <path>`, `QUIT`).
+/// Every response starts with a versioned status line —
+/// `TCF1 OK <KIND> <n>` followed by exactly n payload lines, or
+/// `TCF1 ERR <Code> <message>` — so clients can frame replies without
+/// sniffing payload contents. All encode/decode routines are pure
+/// (no I/O), which is what makes them round-trip testable.
+
+/// Version token that leads every response status line. Bump when the
+/// grammar changes incompatibly; clients reject mismatched versions.
+inline constexpr std::string_view kProtocolVersion = "TCF1";
+
+/// One parsed client request.
+struct Request {
+  enum class Kind { kQuery, kPing, kStats, kReload, kQuit };
+
+  Kind kind = Kind::kQuery;
+  /// kQuery: the raw `alpha;item,item,...` line, resolved against the
+  /// server's dictionary by ParseServeQuery (names are server-side state
+  /// the protocol layer does not have).
+  std::string query_line;
+  /// kReload: path (on the *server's* filesystem) of the index to load.
+  std::string reload_path;
+};
+
+/// Parses one request line (no trailing newline; a trailing '\r' is
+/// tolerated). A line starting with a known verb must match the verb
+/// grammar exactly — `PING x` is an error, not a query; anything else is
+/// treated as a query line and must contain the `alpha;items` separator.
+/// Errors carry 1-based column context.
+StatusOr<Request> ParseRequest(std::string_view line);
+
+/// Renders `request` as its wire line (no trailing newline).
+/// Exact inverse of ParseRequest for well-formed requests.
+std::string EncodeRequest(const Request& request);
+
+/// The decoded status line of a response.
+struct ResponseHeader {
+  bool ok = false;
+  /// OK: response kind — `PONG`, `BYE`, `RELOADED`, `STATS`, `TRUSSES`.
+  std::string kind;
+  /// OK: number of payload lines that follow the status line.
+  size_t payload_lines = 0;
+  /// ERR: decoded status code and message.
+  Status::Code code = Status::Code::kOk;
+  std::string message;
+
+  /// OK() for an ok header, the carried error otherwise.
+  Status ToStatus() const;
+};
+
+/// `TCF1 OK <KIND> <payload_lines>` (no trailing newline).
+std::string EncodeOkHeader(std::string_view kind, size_t payload_lines);
+
+/// `TCF1 ERR <Code> <message>` (no trailing newline). `status` must not
+/// be OK. Newlines in the message are flattened to spaces so the error
+/// always stays one line on the wire.
+std::string EncodeErrHeader(const Status& status);
+
+/// Parses a response status line; rejects version mismatches, unknown
+/// shapes, and non-numeric payload counts.
+StatusOr<ResponseHeader> ParseResponseHeader(std::string_view line);
+
+/// A pattern truss as it travels on the wire: item *names* (the client
+/// has no dictionary) plus the community's vertex and edge lists.
+/// Frequencies and per-edge cohesions are deliberately not carried —
+/// they are diagnostics, not community membership.
+struct WireTruss {
+  std::vector<std::string> pattern;  // item names, in ItemId order
+  std::vector<VertexId> vertices;   // sorted
+  std::vector<Edge> edges;          // canonical order, sorted
+};
+
+/// One `TRUSSES` payload line: `names|v1 v2 ...|u1-w1 u2-w2 ...` with
+/// names comma-joined. Item names containing `|`, `,`, or newlines are
+/// not representable (generator and real-dataset names never do).
+std::string EncodeTruss(const ItemDictionary& dictionary,
+                        const PatternTruss& truss);
+
+/// Inverse of EncodeTruss. Errors carry 1-based column context.
+StatusOr<WireTruss> DecodeTruss(std::string_view line);
+
+/// Renders a ServeQuery back into the `alpha;item,item,...` line form
+/// (used by the network load generator to replay in-process workloads).
+std::string EncodeQueryLine(const ItemDictionary& dictionary,
+                            const ServeQuery& query);
+
+/// `STATS` payload: one `key value` line per ServeReport metric, network
+/// counters included. Keys are stable identifiers (see
+/// docs/serve-protocol.md); values render with %.6g.
+std::vector<std::string> EncodeStats(const ServeReport& report);
+
+/// Inverse of EncodeStats: `key value` pairs in wire order.
+StatusOr<std::vector<std::pair<std::string, std::string>>> DecodeStats(
+    const std::vector<std::string>& payload);
+
+}  // namespace tcf
+
+#endif  // TCF_SERVE_LINE_PROTOCOL_H_

@@ -1,5 +1,6 @@
 #include "serve/query_service.h"
 
+#include <cmath>
 #include <latch>
 #include <utility>
 
@@ -92,11 +93,35 @@ StatusOr<ServeQuery> ParseServeQuery(const ItemDictionary& dictionary,
   const auto semi = trimmed.find(';');
   if (semi == std::string_view::npos) {
     return Status::InvalidArgument(
-        StrFormat("workload line '%.*s' is not 'alpha;item,item,...'",
+        StrFormat("col 1: '%.*s' is not 'alpha;item,item,...' (no ';')",
                   static_cast<int>(trimmed.size()), trimmed.data()));
   }
-  auto alpha = ParseDouble(Trim(trimmed.substr(0, semi)));
-  if (!alpha.ok()) return alpha.status();
+  const std::string alpha_field(Trim(trimmed.substr(0, semi)));
+  auto alpha = ParseDouble(alpha_field);
+  if (!alpha.ok()) {
+    // ParseDouble already rejects empty fields and trailing garbage; add
+    // the column so the ERR points at the alpha, and keep the code
+    // (InvalidArgument vs OutOfRange for e.g. '1e999').
+    const std::string msg =
+        StrFormat("col 1: alpha '%s': %s", alpha_field.c_str(),
+                  alpha.status().message().c_str());
+    return alpha.status().IsOutOfRange() ? Status::OutOfRange(msg)
+                                         : Status::InvalidArgument(msg);
+  }
+  if (std::isnan(*alpha)) {
+    return Status::InvalidArgument("col 1: alpha is NaN");
+  }
+  if (*alpha < 0) {
+    return Status::InvalidArgument(
+        StrFormat("col 1: alpha %s is negative (cohesion thresholds are "
+                  ">= 0)",
+                  alpha_field.c_str()));
+  }
+  if (*alpha > kMaxServeAlpha) {  // also catches +inf
+    return Status::OutOfRange(
+        StrFormat("col 1: alpha %s exceeds the 2^32 fixed-point limit",
+                  alpha_field.c_str()));
+  }
 
   ServeQuery query;
   query.alpha = *alpha;
@@ -110,10 +135,31 @@ StatusOr<ServeQuery> ParseServeQuery(const ItemDictionary& dictionary,
     return query;
   }
   std::vector<ItemId> ids;
-  for (const std::string& name : Split(items, ',')) {
-    auto id = dictionary.Find(Trim(name));
-    if (!id.ok()) return id.status();
-    ids.push_back(*id);
+  size_t start = semi + 1;
+  while (start <= trimmed.size()) {
+    const size_t comma = trimmed.find(',', start);
+    const size_t end = comma == std::string_view::npos ? trimmed.size()
+                                                       : comma;
+    const std::string_view field = trimmed.substr(start, end - start);
+    const size_t lead = field.find_first_not_of(" \t");
+    // 1-based column of the token's first non-space character (or of the
+    // empty field itself).
+    const size_t col = start + (lead == std::string_view::npos ? 0 : lead)
+                       + 1;
+    const std::string_view name = Trim(field);
+    if (name.empty()) {
+      return Status::InvalidArgument(
+          StrFormat("col %zu: empty item name", col));
+    }
+    if (auto id = dictionary.Find(name); id.ok()) {
+      ids.push_back(*id);
+    } else {
+      return Status::NotFound(
+          StrFormat("col %zu: unknown item '%.*s'", col,
+                    static_cast<int>(name.size()), name.data()));
+    }
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
   }
   query.items = Itemset(std::move(ids));
   return query;

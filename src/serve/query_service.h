@@ -23,11 +23,24 @@ struct ServeQuery {
   double alpha = 0;
 };
 
+/// Largest alpha the serving layer accepts. Cohesion arithmetic is
+/// fixed-point with 2^-30 resolution (core/cohesion.h), so thresholds
+/// beyond 2^32 would overflow the int64 grid; no real network's edge
+/// cohesion gets anywhere near this.
+inline constexpr double kMaxServeAlpha = 4294967296.0;  // 2^32
+
 /// Parses one workload line: `alpha;name,name,...`. Item names resolve
 /// through `dictionary`; `*` (or an empty item list) means every
-/// dictionary item. Returns InvalidArgument on malformed input or
-/// unknown items. Free-standing so callers can validate a workload
+/// dictionary item. Free-standing so callers can validate a workload
 /// before building/loading the (expensive) index a QueryService needs.
+///
+/// Rejects — with a 1-based column of the offending token (relative to
+/// the line after outer trimming) in the message, so protocol ERR
+/// replies and workload-file diagnostics can point at the problem —
+/// lines with no `;`, alphas that are non-numeric, carry trailing
+/// garbage, are NaN, negative, or exceed kMaxServeAlpha
+/// (InvalidArgument / OutOfRange), and empty or unknown item names
+/// (InvalidArgument / NotFound).
 StatusOr<ServeQuery> ParseServeQuery(const ItemDictionary& dictionary,
                                      std::string_view line);
 

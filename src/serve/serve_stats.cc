@@ -38,6 +38,14 @@ TextTable ServeReport::ToTable() const {
   t.AddRow({"cache bytes", TextTable::Num(static_cast<uint64_t>(
                                cache.bytes))});
   t.AddRow({"cache evictions", TextTable::Num(cache.evictions)});
+  // Network rows appear only once a transport is attached, so the
+  // in-process `tcf serve --workload` report is unchanged.
+  if (connections_accepted > 0) {
+    t.AddRow({"connections accepted", TextTable::Num(connections_accepted)});
+    t.AddRow({"connections active", TextTable::Num(connections_active)});
+    t.AddRow({"bytes in", TextTable::Num(bytes_in)});
+    t.AddRow({"bytes out", TextTable::Num(bytes_out)});
+  }
   return t;
 }
 
@@ -61,6 +69,19 @@ void ServeStats::RecordQuery(double latency_us, uint64_t num_trusses) {
   stripe.trusses += num_trusses;
 }
 
+void ServeStats::RecordConnectionOpened() {
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordConnectionClosed() {
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordNetworkBytes(uint64_t in, uint64_t out) {
+  bytes_in_.fetch_add(in, std::memory_order_relaxed);
+  bytes_out_.fetch_add(out, std::memory_order_relaxed);
+}
+
 void ServeStats::Reset() {
   for (Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
@@ -74,6 +95,12 @@ ServeReport ServeStats::Report(const ResultCacheStats& cache) const {
   ServeReport report;
   report.cache = cache;
   report.wall_seconds = wall_.Seconds();
+  const uint64_t opened = connections_opened_.load(std::memory_order_relaxed);
+  const uint64_t closed = connections_closed_.load(std::memory_order_relaxed);
+  report.connections_accepted = opened;
+  report.connections_active = opened - std::min(opened, closed);
+  report.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  report.bytes_out = bytes_out_.load(std::memory_order_relaxed);
 
   std::vector<double> all;
   for (const Stripe& stripe : stripes_) {

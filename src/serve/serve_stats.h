@@ -1,6 +1,7 @@
 #ifndef TCF_SERVE_SERVE_STATS_H_
 #define TCF_SERVE_SERVE_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -25,6 +26,15 @@ struct ServeReport {
   double max_us = 0;
   ResultCacheStats cache;    // zero-initialized if no cache attached
 
+  // Network-transport counters (zero when serving in-process). Unlike
+  // the latency fields these are lifetime-of-server, not per-pass: they
+  // survive Reset() so "connections served" never goes backwards while
+  // clients are attached.
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;  // accepted minus closed
+  uint64_t bytes_in = 0;            // request bytes read off sockets
+  uint64_t bytes_out = 0;           // response bytes written
+
   /// Renders the report as a two-column (metric, value) table.
   TextTable ToTable() const;
   std::string ToString() const;
@@ -48,8 +58,19 @@ class ServeStats {
   /// Records one finished query.
   void RecordQuery(double latency_us, uint64_t num_trusses);
 
+  /// Records one accepted network connection (TcpServer's accept loop).
+  void RecordConnectionOpened();
+
+  /// Records one closed network connection.
+  void RecordConnectionClosed();
+
+  /// Folds one request/response exchange's socket traffic in.
+  void RecordNetworkBytes(uint64_t in, uint64_t out);
+
   /// Forgets all samples and restarts the wall clock (used between the
-  /// cold and warm passes of `tcf serve --repeat`).
+  /// cold and warm passes of `tcf serve --repeat`). Network counters are
+  /// cumulative over the collector's lifetime and are *not* reset — a
+  /// pass boundary must not make a still-open connection disappear.
   void Reset();
 
   /// Summarizes everything recorded since the last Reset(). Pass the
@@ -68,6 +89,11 @@ class ServeStats {
 
   std::vector<Stripe> stripes_{kStripes};
   WallTimer wall_;
+
+  std::atomic<uint64_t> connections_opened_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
 };
 
 }  // namespace tcf

@@ -1,0 +1,270 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "core/tc_tree_io.h"
+#include "util/string_util.h"
+
+namespace tcf {
+namespace {
+
+/// A peer that streams bytes without ever sending a newline is buffering
+/// garbage, not speaking the protocol; cap what we will hold for it.
+constexpr size_t kMaxRequestLine = size_t{1} << 20;  // 1 MiB
+
+/// Writes all of `data`, riding out short writes. MSG_NOSIGNAL so a
+/// vanished peer surfaces as EPIPE instead of killing the process.
+bool SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(QueryService& service, const TcpServerOptions& options)
+    : service_(service),
+      options_(options),
+      pool_(options.num_threads == 0 ? 1 : options.num_threads) {}
+
+TcpServer::~TcpServer() { Shutdown(); }
+
+Status TcpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad IPv4 bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status s = Status::IOError(
+        StrFormat("bind %s:%u: %s", options_.bind_address.c_str(),
+                  options_.port, std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    const Status s =
+        Status::IOError(StrFormat("listen: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  // Read back the kernel's port choice (options_.port may have been 0).
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    const Status s =
+        Status::IOError(StrFormat("getsockname: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  port_ = ntohs(bound.sin_port);
+
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpServer::Shutdown() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // Wake the accept thread: shutdown(2) makes the blocked accept(2)
+  // return immediately (EINVAL) without racing on the fd number the way
+  // a bare close would.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Kick every connected client off its blocking read; handlers observe
+  // EOF, send nothing further, and unwind. Done under the lock so we
+  // only touch sockets that are still registered (handlers deregister
+  // *before* closing, so no fd here can have been reused).
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  pool_.Wait();
+}
+
+void TcpServer::AcceptLoop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      // Transient resource exhaustion (fd limits, memory) must not kill
+      // the accept loop for good — back off briefly and retry.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return;  // listening socket is gone; nothing left to accept
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      open_fds_.insert(fd);
+    }
+    service_.stats().RecordConnectionOpened();
+    pool_.Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void TcpServer::HandleConnection(int fd) {
+  std::string pending;
+  char buf[4096];
+  bool quit = false;
+
+  while (!quit) {
+    // Drain complete lines already buffered before reading more.
+    size_t newline;
+    while (!quit && (newline = pending.find('\n')) != std::string::npos) {
+      const std::string line = pending.substr(0, newline);
+      pending.erase(0, newline + 1);
+
+      auto request = ParseRequest(line);
+      std::string response;
+      if (!request.ok()) {
+        response = EncodeErrHeader(request.status());
+        response += '\n';
+      } else {
+        response = HandleRequest(*request, &quit);
+      }
+      service_.stats().RecordNetworkBytes(line.size() + 1, response.size());
+      if (!SendAll(fd, response)) {
+        quit = true;  // peer vanished mid-response
+      }
+    }
+    if (quit) break;
+
+    if (pending.size() > kMaxRequestLine) {
+      SendAll(fd, EncodeErrHeader(Status::InvalidArgument(
+                      "request line exceeds 1 MiB")) +
+                      "\n");
+      break;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, error, or Shutdown()'s shutdown(2)
+    pending.append(buf, static_cast<size_t>(n));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    open_fds_.erase(fd);
+  }
+  ::close(fd);
+  service_.stats().RecordConnectionClosed();
+}
+
+std::string TcpServer::HandleRequest(const Request& request, bool* quit) {
+  std::string response;
+  switch (request.kind) {
+    case Request::Kind::kPing:
+      response = EncodeOkHeader("PONG", 0);
+      response += '\n';
+      return response;
+
+    case Request::Kind::kQuit:
+      *quit = true;
+      response = EncodeOkHeader("BYE", 0);
+      response += '\n';
+      return response;
+
+    case Request::Kind::kStats: {
+      const std::vector<std::string> lines = EncodeStats(service_.Report());
+      response = EncodeOkHeader("STATS", lines.size());
+      response += '\n';
+      for (const std::string& l : lines) {
+        response += l;
+        response += '\n';
+      }
+      return response;
+    }
+
+    case Request::Kind::kReload: {
+      if (!options_.allow_reload) {
+        response = EncodeErrHeader(
+            Status::Unimplemented("RELOAD is disabled on this server"));
+        response += '\n';
+        return response;
+      }
+      auto tree = LoadTcTreeFromFile(request.reload_path);
+      if (!tree.ok()) {
+        response = EncodeErrHeader(tree.status());
+        response += '\n';
+        return response;
+      }
+      const size_t nodes = tree->num_nodes();
+      // The epoch-checked SwapSnapshot path: in-flight queries finish on
+      // the old tree and their results are dropped, not cached.
+      service_.SwapSnapshot(std::move(*tree));
+      response = EncodeOkHeader("RELOADED", 1);
+      response += '\n';
+      response += StrFormat("nodes %zu\n", nodes);
+      return response;
+    }
+
+    case Request::Kind::kQuery: {
+      auto query = service_.ParseQueryLine(request.query_line);
+      if (!query.ok()) {
+        response = EncodeErrHeader(query.status());
+        response += '\n';
+        return response;
+      }
+      const QueryService::Result result = service_.Execute(*query);
+      response = EncodeOkHeader("TRUSSES", result->trusses.size());
+      response += '\n';
+      for (const PatternTruss& truss : result->trusses) {
+        response += EncodeTruss(service_.dictionary(), truss);
+        response += '\n';
+      }
+      return response;
+    }
+  }
+  response = EncodeErrHeader(Status::Internal("unhandled request kind"));
+  response += '\n';
+  return response;
+}
+
+}  // namespace tcf

@@ -1,0 +1,105 @@
+#ifndef TCF_SERVE_TCP_SERVER_H_
+#define TCF_SERVE_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "serve/line_protocol.h"
+#include "serve/query_service.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tcf {
+
+/// Configuration of a TcpServer.
+struct TcpServerOptions {
+  /// IPv4 address to bind. The default keeps the server loopback-only;
+  /// bind 0.0.0.0 explicitly to accept remote traffic.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (read the choice
+  /// back from port() after Start — tests and the smoke script do this).
+  uint16_t port = 0;
+  /// Connection-handler pool size: the number of connections serviced
+  /// *concurrently*. Further accepted connections queue until a handler
+  /// frees up.
+  size_t num_threads = 8;
+  /// listen(2) backlog.
+  int backlog = 64;
+  /// When false, RELOAD answers ERR Unimplemented — for deployments
+  /// where the index must only change via restart.
+  bool allow_reload = true;
+};
+
+/// \brief Line-protocol TCP front end over a QueryService.
+///
+/// `Start()` binds a POSIX listening socket and spawns one accept
+/// thread; each accepted connection is fanned out to the shared
+/// `ThreadPool`, where a handler loops reading request lines and writing
+/// responses (grammar in serve/line_protocol.h, spec in
+/// docs/serve-protocol.md) until the peer sends `QUIT`, disconnects, or
+/// the server shuts down. Queries go through `QueryService::Execute`, so
+/// remote traffic shares the result cache, the snapshot/epoch machinery,
+/// and the latency percentiles with in-process callers; `RELOAD <path>`
+/// loads a persisted index and installs it via the epoch-safe
+/// `SwapSnapshot`, rolling a rebuilt index in under live traffic.
+///
+/// Shutdown is graceful and idempotent: the listening socket stops
+/// accepting, every open connection is shutdown(2) so blocked reads
+/// return, and `Shutdown()` joins the accept thread and drains the
+/// handler pool before returning. Connection and byte counters are
+/// folded into the service's ServeStats.
+class TcpServer {
+ public:
+  /// `service` must outlive the server.
+  explicit TcpServer(QueryService& service,
+                     const TcpServerOptions& options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts accepting. IOError on bind/listen
+  /// failure (port in use, bad address); InvalidArgument if already
+  /// started.
+  Status Start();
+
+  /// Stops accepting, disconnects every client, waits for in-flight
+  /// handlers. Safe to call twice and from a destructor.
+  void Shutdown();
+
+  /// True between a successful Start() and Shutdown().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (the kernel's pick when options.port was 0).
+  /// Valid after a successful Start().
+  uint16_t port() const { return port_; }
+
+  const std::string& bind_address() const { return options_.bind_address; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Executes one parsed request; returns the full response (status line
+  /// + payload, newline-terminated). Sets `*quit` on QUIT.
+  std::string HandleRequest(const Request& request, bool* quit);
+
+  QueryService& service_;
+  TcpServerOptions options_;
+  ThreadPool pool_;
+  std::thread accept_thread_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mu_;
+  std::unordered_set<int> open_fds_;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_SERVE_TCP_SERVER_H_

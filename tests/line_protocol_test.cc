@@ -1,0 +1,250 @@
+#include "serve/line_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/tc_tree.h"
+#include "core/tc_tree_query.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeFigureOneNetwork;
+
+// ---------------------------------------------------------------- requests
+
+TEST(LineProtocolTest, RequestRoundTrip) {
+  const std::vector<Request> requests = [] {
+    std::vector<Request> r(5);
+    r[0].kind = Request::Kind::kPing;
+    r[1].kind = Request::Kind::kStats;
+    r[2].kind = Request::Kind::kQuit;
+    r[3].kind = Request::Kind::kReload;
+    r[3].reload_path = "/tmp/rebuilt.idx";
+    r[4].kind = Request::Kind::kQuery;
+    r[4].query_line = "0.25;i1,i3";
+    return r;
+  }();
+  for (const Request& request : requests) {
+    const std::string wire = EncodeRequest(request);
+    auto parsed = ParseRequest(wire);
+    ASSERT_TRUE(parsed.ok()) << wire << ": " << parsed.status();
+    EXPECT_EQ(parsed->kind, request.kind) << wire;
+    EXPECT_EQ(parsed->query_line, request.query_line) << wire;
+    EXPECT_EQ(parsed->reload_path, request.reload_path) << wire;
+  }
+}
+
+TEST(LineProtocolTest, ParseRequestToleratesCrAndWhitespace) {
+  EXPECT_EQ(ParseRequest("PING\r")->kind, Request::Kind::kPing);
+  EXPECT_EQ(ParseRequest("  QUIT  ")->kind, Request::Kind::kQuit);
+  auto reload = ParseRequest("RELOAD   /a b/c.idx \r");
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload->reload_path, "/a b/c.idx");  // inner spaces kept
+  // A query line passes through verbatim (post-trim) for ParseServeQuery.
+  auto query = ParseRequest(" 0.1 ; i1 , i2 ");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->query_line, "0.1 ; i1 , i2");
+}
+
+TEST(LineProtocolTest, ParseRequestMalformedTable) {
+  const struct {
+    const char* line;
+    const char* wants;  // substring of the error message
+  } kCases[] = {
+      {"", "empty request"},
+      {"   \r", "empty request"},
+      {"PING now", "takes no arguments"},
+      {"STATS verbose", "takes no arguments"},
+      {"QUIT 1", "takes no arguments"},
+      {"RELOAD", "requires an index path"},
+      {"RELOAD   ", "requires an index path"},
+      {"BOGUS", "neither an admin verb"},
+      {"RELAOD /x.idx", "neither an admin verb"},  // typo'd verb, no ';'
+      {"ping", "neither an admin verb"},           // verbs are upper-case
+  };
+  for (const auto& c : kCases) {
+    auto parsed = ParseRequest(c.line);
+    ASSERT_FALSE(parsed.ok()) << "'" << c.line << "' should not parse";
+    EXPECT_TRUE(parsed.status().IsInvalidArgument()) << c.line;
+    EXPECT_NE(parsed.status().message().find(c.wants), std::string::npos)
+        << "'" << c.line << "' -> " << parsed.status();
+    EXPECT_NE(parsed.status().message().find("col "), std::string::npos)
+        << "'" << c.line << "' error lacks column context";
+  }
+}
+
+// --------------------------------------------------------------- responses
+
+TEST(LineProtocolTest, ResponseHeaderRoundTrip) {
+  auto ok = ParseResponseHeader(EncodeOkHeader("TRUSSES", 42));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->ok);
+  EXPECT_EQ(ok->kind, "TRUSSES");
+  EXPECT_EQ(ok->payload_lines, 42u);
+  EXPECT_TRUE(ok->ToStatus().ok());
+
+  const Status errors[] = {
+      Status::InvalidArgument("col 3: bad alpha"),
+      Status::NotFound("col 5: unknown item 'x'"),
+      Status::OutOfRange("col 1: alpha overflow"),
+      Status::Corruption("index header mangled"),
+      Status::IOError("cannot open index"),
+      Status::Unimplemented("RELOAD is disabled"),
+      Status::Internal("unhandled"),
+  };
+  for (const Status& status : errors) {
+    auto header = ParseResponseHeader(EncodeErrHeader(status));
+    ASSERT_TRUE(header.ok()) << status;
+    EXPECT_FALSE(header->ok);
+    EXPECT_EQ(header->code, status.code());
+    EXPECT_EQ(header->message, status.message());
+    EXPECT_EQ(header->ToStatus(), status);
+  }
+}
+
+TEST(LineProtocolTest, EncodeErrHeaderFlattensNewlines) {
+  const std::string wire =
+      EncodeErrHeader(Status::Internal("line one\nline two"));
+  EXPECT_EQ(wire.find('\n'), std::string::npos);
+  auto header = ParseResponseHeader(wire);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->message, "line one line two");
+}
+
+TEST(LineProtocolTest, ParseResponseHeaderMalformedTable) {
+  const char* kCases[] = {
+      "",                        // no version
+      "TCF2 OK PONG 0",          // wrong version
+      "tcf1 OK PONG 0",          // version is case-sensitive
+      "TCF1",                    // no disposition
+      "TCF1 MAYBE PONG 0",       // unknown disposition
+      "TCF1 OK PONG",            // missing payload count
+      "TCF1 OK PONG x",          // non-numeric payload count
+      "TCF1 OK PONG -1",         // negative payload count
+      "TCF1 ERR Bogus message",  // unknown status code
+  };
+  for (const char* line : kCases) {
+    EXPECT_FALSE(ParseResponseHeader(line).ok()) << "'" << line << "'";
+  }
+}
+
+// ------------------------------------------------------------ truss payload
+
+TEST(LineProtocolTest, TrussRoundTrip) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  const TcTreeQueryResult result =
+      QueryTcTree(tree, Itemset{0}, 0.1);
+  ASSERT_FALSE(result.trusses.empty());
+  for (const PatternTruss& truss : result.trusses) {
+    const std::string wire = EncodeTruss(net.dictionary(), truss);
+    auto decoded = DecodeTruss(wire);
+    ASSERT_TRUE(decoded.ok()) << wire << ": " << decoded.status();
+    ASSERT_EQ(decoded->pattern.size(), truss.pattern.size());
+    for (size_t i = 0; i < truss.pattern.size(); ++i) {
+      EXPECT_EQ(decoded->pattern[i],
+                net.dictionary().Name(truss.pattern.items()[i]));
+    }
+    EXPECT_EQ(decoded->vertices, truss.vertices);
+    EXPECT_EQ(decoded->edges, truss.edges);
+  }
+}
+
+TEST(LineProtocolTest, TrussEmptyFieldsRoundTrip) {
+  auto empty = DecodeTruss("||");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->pattern.empty());
+  EXPECT_TRUE(empty->vertices.empty());
+  EXPECT_TRUE(empty->edges.empty());
+
+  auto no_edges = DecodeTruss("a,b|7 9|");
+  ASSERT_TRUE(no_edges.ok());
+  EXPECT_EQ(no_edges->pattern, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(no_edges->vertices, (std::vector<VertexId>{7, 9}));
+  EXPECT_TRUE(no_edges->edges.empty());
+}
+
+TEST(LineProtocolTest, DecodeTrussMalformedTable) {
+  const char* kCases[] = {
+      "no bars at all",   // needs two '|'
+      "one|bar",          // needs two '|'
+      "a|1|1-2|extra",    // too many fields
+      "a|x|1-2",          // non-numeric vertex
+      "a|1 -2|",          // negative vertex
+      "a|1|12",           // edge without '-'
+      "a|1|1-x",          // non-numeric edge endpoint
+      "a|1|-2",           // missing endpoint
+      "a|4294967295|",    // the kInvalidVertex sentinel is not an id
+      "a|1|1-4294967295", // ...nor a valid edge endpoint
+      ",b|1|1-2",         // empty item name
+      "a,,b|1|1-2",       // empty item name in the middle
+  };
+  for (const char* line : kCases) {
+    auto decoded = DecodeTruss(line);
+    ASSERT_FALSE(decoded.ok()) << "'" << line << "'";
+    EXPECT_NE(decoded.status().message().find("col "), std::string::npos)
+        << "'" << line << "' error lacks column context";
+  }
+}
+
+// ----------------------------------------------------- query-line round trip
+
+TEST(LineProtocolTest, QueryLineRoundTrip) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  ServeQuery query;
+  query.items = Itemset{0, 1};
+  query.alpha = 0.1 + 1e-13;  // needs %.17g to survive text round trip
+  const std::string line = EncodeQueryLine(net.dictionary(), query);
+  auto parsed = ParseServeQuery(net.dictionary(), line);
+  ASSERT_TRUE(parsed.ok()) << line << ": " << parsed.status();
+  EXPECT_EQ(parsed->items, query.items);
+  EXPECT_EQ(parsed->alpha, query.alpha);  // bit-exact
+}
+
+// ------------------------------------------------------------ stats payload
+
+TEST(LineProtocolTest, StatsRoundTrip) {
+  ServeReport report;
+  report.queries = 1234;
+  report.trusses_returned = 99;
+  report.qps = 5678.5;
+  report.p99_us = 42.25;
+  report.cache.hits = 10;
+  report.cache.misses = 30;
+  report.connections_accepted = 3;
+  report.connections_active = 2;
+  report.bytes_in = 1000;
+  report.bytes_out = 9000;
+
+  const std::vector<std::string> lines = EncodeStats(report);
+  auto decoded = DecodeStats(lines);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), lines.size());
+  auto find = [&](const std::string& key) -> std::string {
+    for (const auto& [k, v] : *decoded) {
+      if (k == key) return v;
+    }
+    ADD_FAILURE() << "missing stats key " << key;
+    return {};
+  };
+  EXPECT_EQ(find("queries"), "1234");
+  EXPECT_EQ(find("trusses_returned"), "99");
+  EXPECT_EQ(find("qps"), "5678.5");
+  EXPECT_EQ(find("p99_us"), "42.25");
+  EXPECT_EQ(find("cache_hits"), "10");
+  EXPECT_EQ(find("cache_hit_rate"), "0.25");
+  EXPECT_EQ(find("connections_accepted"), "3");
+  EXPECT_EQ(find("connections_active"), "2");
+  EXPECT_EQ(find("bytes_in"), "1000");
+  EXPECT_EQ(find("bytes_out"), "9000");
+
+  EXPECT_FALSE(DecodeStats({"keyonly"}).ok());
+  EXPECT_FALSE(DecodeStats({""}).ok());
+}
+
+}  // namespace
+}  // namespace tcf

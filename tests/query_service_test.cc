@@ -223,5 +223,48 @@ TEST(QueryServiceTest, ParseQueryLine) {
   EXPECT_FALSE(service.ParseQueryLine("0.1;nosuchitem").ok());
 }
 
+TEST(QueryServiceTest, ParseQueryLineHardening) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 3});
+  const ItemDictionary& dict = net.dictionary();
+
+  // Alphas that strtod happily accepts but no cohesion threshold can be.
+  EXPECT_TRUE(ParseServeQuery(dict, "nan;i1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseServeQuery(dict, "-nan;i1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseServeQuery(dict, "-0.5;i1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseServeQuery(dict, "inf;i1").status().IsOutOfRange());
+  EXPECT_TRUE(ParseServeQuery(dict, "1e999;i1").status().IsOutOfRange());
+  EXPECT_TRUE(ParseServeQuery(dict, "5e9;i1").status().IsOutOfRange());
+  // The fixed-point limit itself is still fine.
+  EXPECT_TRUE(ParseServeQuery(dict, "4294967296;i1").ok());
+  // -0 quantizes to the 0 grid point; allowed.
+  EXPECT_TRUE(ParseServeQuery(dict, "-0.0;i1").ok());
+
+  // Trailing garbage is rejected wherever it appears.
+  EXPECT_TRUE(ParseServeQuery(dict, "0.1x;i1").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseServeQuery(dict, "0.1 0.2;i1")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseServeQuery(dict, "0.1;i1,,i2")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseServeQuery(dict, "0.1;i1,").status().IsInvalidArgument());
+
+  // Unknown items are NotFound (a different user mistake than syntax),
+  // and the message points at the offending column.
+  const Status unknown = ParseServeQuery(dict, "0.1;i1,bogus").status();
+  EXPECT_TRUE(unknown.IsNotFound());
+  EXPECT_NE(unknown.message().find("col 8"), std::string::npos) << unknown;
+  EXPECT_NE(unknown.message().find("bogus"), std::string::npos) << unknown;
+
+  // Every hardened rejection carries column context.
+  for (const char* line :
+       {"nan;i1", "-1;i1", "1e999;i1", "0.1x;i1", "0.1;i1,,i2", "nosemi"}) {
+    const Status s = ParseServeQuery(dict, line).status();
+    ASSERT_FALSE(s.ok()) << line;
+    EXPECT_NE(s.message().find("col "), std::string::npos)
+        << "'" << line << "' -> " << s;
+  }
+}
+
 }  // namespace
 }  // namespace tcf

@@ -1,0 +1,346 @@
+#include "serve/tcp_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tc_tree.h"
+#include "core/tc_tree_io.h"
+#include "core/tc_tree_query.h"
+#include "serve/client.h"
+#include "serve/line_protocol.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeFigureOneNetwork;
+using testing::MakeRandomNetwork;
+
+/// Checks a wire answer against an in-process QueryTcTree answer:
+/// identical trusses (pattern names, vertex list, edge list) in
+/// identical order.
+void ExpectWireMatches(const ItemDictionary& dictionary,
+                       const TcTreeQueryResult& expected,
+                       const std::vector<WireTruss>& actual,
+                       const std::string& context) {
+  SCOPED_TRACE(context);
+  ASSERT_EQ(actual.size(), expected.trusses.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const PatternTruss& e = expected.trusses[i];
+    ASSERT_EQ(actual[i].pattern.size(), e.pattern.size());
+    for (size_t j = 0; j < e.pattern.size(); ++j) {
+      EXPECT_EQ(actual[i].pattern[j], dictionary.Name(e.pattern.items()[j]));
+    }
+    EXPECT_EQ(actual[i].vertices, e.vertices);
+    EXPECT_EQ(actual[i].edges, e.edges);
+  }
+}
+
+/// True if the wire answer is structurally identical to `expected`
+/// (non-asserting form, for the either-snapshot check during RELOAD).
+bool WireEquals(const ItemDictionary& dictionary,
+                const TcTreeQueryResult& expected,
+                const std::vector<WireTruss>& actual) {
+  if (actual.size() != expected.trusses.size()) return false;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const PatternTruss& e = expected.trusses[i];
+    if (actual[i].pattern.size() != e.pattern.size()) return false;
+    for (size_t j = 0; j < e.pattern.size(); ++j) {
+      if (actual[i].pattern[j] != dictionary.Name(e.pattern.items()[j])) {
+        return false;
+      }
+    }
+    if (actual[i].vertices != e.vertices) return false;
+    if (actual[i].edges != e.edges) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<Client> MustConnect(const TcpServer& server) {
+  auto client = Client::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status();
+  return client.ok() ? std::move(*client) : nullptr;
+}
+
+TEST(TcpServerTest, PingQueryStatsQuit) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);  // kernel assigned an ephemeral port
+
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Ping().ok());
+
+  auto trusses = client->Query("0.1;i0");
+  ASSERT_TRUE(trusses.ok()) << trusses.status();
+  ExpectWireMatches(net.dictionary(), QueryTcTree(tree, Itemset{0}, 0.1),
+                    *trusses, "0.1;i0");
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  bool saw_queries = false, saw_connections = false;
+  for (const auto& [key, value] : *stats) {
+    if (key == "queries") {
+      saw_queries = true;
+      EXPECT_EQ(value, "1");
+    }
+    if (key == "connections_accepted") {
+      saw_connections = true;
+      EXPECT_EQ(value, "1");
+    }
+  }
+  EXPECT_TRUE(saw_queries);
+  EXPECT_TRUE(saw_connections);
+
+  EXPECT_TRUE(client->Quit().ok());
+  server.Shutdown();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(TcpServerTest, ServerSideErrorsKeepConnectionUsable) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+
+  // Each protocol-level error comes back as a carried ERR status with
+  // the hardened parser's code and column context...
+  auto bad_alpha = client->Query("nan;i0");
+  EXPECT_TRUE(bad_alpha.status().IsInvalidArgument()) << bad_alpha.status();
+  auto bad_item = client->Query("0.1;nosuchitem");
+  EXPECT_TRUE(bad_item.status().IsNotFound()) << bad_item.status();
+  EXPECT_NE(bad_item.status().message().find("col 5"), std::string::npos)
+      << bad_item.status();
+  auto overflow = client->Query("1e999;i0");
+  EXPECT_TRUE(overflow.status().IsOutOfRange()) << overflow.status();
+  auto bad_reload = client->Reload("/definitely/not/an/index.idx");
+  EXPECT_TRUE(bad_reload.status().IsIOError()) << bad_reload.status();
+
+  // ...and none of them poisons the connection.
+  EXPECT_TRUE(client->Ping().ok());
+  auto good = client->Query("0.1;i0");
+  EXPECT_TRUE(good.ok()) << good.status();
+  EXPECT_TRUE(client->Quit().ok());
+}
+
+TEST(TcpServerTest, ReloadDisabledAnswersUnimplemented) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServerOptions options;
+  options.allow_reload = false;
+  TcpServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+  auto reload = client->Reload("/tmp/whatever.idx");
+  EXPECT_TRUE(reload.status().IsUnimplemented()) << reload.status();
+  EXPECT_TRUE(client->Quit().ok());
+}
+
+TEST(TcpServerTest, ConcurrentClientsGetIdenticalAnswers) {
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 19});
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::vector<std::string> queries = {
+      "0;i0", "0.05;i0,i1", "0.1;i1,i2,i3", "0.02;*", "0.15;i4"};
+  std::vector<TcTreeQueryResult> expected;
+  for (const std::string& q : queries) {
+    auto parsed = ParseServeQuery(net.dictionary(), q);
+    ASSERT_TRUE(parsed.ok()) << q;
+    expected.push_back(QueryTcTree(tree, parsed->items, parsed->alpha));
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        const size_t pick = static_cast<size_t>(t + round) % queries.size();
+        auto trusses = (*client)->Query(queries[pick]);
+        if (!trusses.ok() ||
+            !WireEquals(net.dictionary(), expected[pick], *trusses)) {
+          ++failures;
+          return;
+        }
+      }
+      if (!(*client)->Quit().ok()) ++failures;
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const ServeReport report = service.Report();
+  EXPECT_EQ(report.queries, static_cast<uint64_t>(kClients) * kRounds);
+  EXPECT_EQ(report.connections_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(report.connections_active, 0u);  // all QUIT before join
+  EXPECT_GT(report.bytes_in, 0u);
+  EXPECT_GT(report.bytes_out, 0u);
+}
+
+// The acceptance-criteria test: ≥2 concurrent connections keep querying
+// while a RELOAD swaps the snapshot underneath them. Every response must
+// match one of the two snapshots exactly (no dropped or corrupted
+// replies), and once the RELOAD is acknowledged, fresh queries answer
+// from the new tree.
+TEST(TcpServerTest, ReloadSwapsSnapshotUnderInFlightQueries) {
+  // Same item universe (i0..i4) and dictionary, different topology and
+  // transactions — so the same query line has a different answer on
+  // each snapshot.
+  DatabaseNetwork net_a = MakeRandomNetwork({.seed = 101});
+  DatabaseNetwork net_b = MakeRandomNetwork({.seed = 202});
+  TcTree tree_a = TcTree::Build(net_a);
+  TcTree tree_b = TcTree::Build(net_b);
+
+  const std::string query_line = "0.0;*";
+  auto parsed = ParseServeQuery(net_a.dictionary(), query_line);
+  ASSERT_TRUE(parsed.ok());
+  const TcTreeQueryResult expect_a =
+      QueryTcTree(tree_a, parsed->items, parsed->alpha);
+  const TcTreeQueryResult expect_b =
+      QueryTcTree(tree_b, parsed->items, parsed->alpha);
+  // The check below distinguishes snapshots by their answers.
+  ASSERT_FALSE(WireEquals(net_a.dictionary(), expect_a, [&] {
+    std::vector<WireTruss> b;
+    for (const PatternTruss& t : expect_b.trusses) {
+      auto decoded = DecodeTruss(EncodeTruss(net_a.dictionary(), t));
+      b.push_back(*decoded);
+    }
+    return b;
+  }()));
+
+  const std::string index_path =
+      ::testing::TempDir() + "/tcp_server_reload.idx";
+  ASSERT_TRUE(SaveTcTreeToFile(tree_b, index_path).ok());
+
+  QueryService service(tree_a, net_a.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 3;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> answered{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      while (!stop.load(std::memory_order_acquire)) {
+        auto trusses = (*client)->Query(query_line);
+        if (!trusses.ok()) {
+          ++failures;
+          return;
+        }
+        const bool is_a = WireEquals(net_a.dictionary(), expect_a, *trusses);
+        const bool is_b = WireEquals(net_a.dictionary(), expect_b, *trusses);
+        if (!is_a && !is_b) {  // corrupted or mixed-snapshot response
+          ++failures;
+          return;
+        }
+        ++answered;
+      }
+      if (!(*client)->Quit().ok()) ++failures;
+    });
+  }
+
+  // Let traffic flow, then roll the rebuilt index in over a separate
+  // admin connection while the three query connections stay busy.
+  while (answered.load() < 50 && failures.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto admin = MustConnect(server);
+  ASSERT_NE(admin, nullptr);
+  auto reloaded = admin->Reload(index_path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(*reloaded, tree_b.num_nodes());
+
+  // Queries *after* the RELOAD ack must answer from the new snapshot.
+  auto post = admin->Query(query_line);
+  ASSERT_TRUE(post.ok()) << post.status();
+  ExpectWireMatches(net_a.dictionary(), expect_b, *post, "post-reload");
+
+  // Keep traffic flowing a little longer on the new snapshot.
+  const uint64_t at_reload = answered.load();
+  while (answered.load() < at_reload + 50 && failures.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(admin->Quit().ok());
+
+  EXPECT_EQ(service.cache_stats().invalidations, 1u);
+  std::remove(index_path.c_str());
+}
+
+TEST(TcpServerTest, ShutdownDisconnectsIdleClientsAndStopsAccepting) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  auto server = std::make_unique<TcpServer>(service, TcpServerOptions{});
+  ASSERT_TRUE(server->Start().ok());
+  const uint16_t port = server->port();
+
+  auto idle = MustConnect(*server);
+  ASSERT_NE(idle, nullptr);
+  ASSERT_TRUE(idle->Ping().ok());
+
+  server->Shutdown();
+  EXPECT_FALSE(server->running());
+  // The idle connection was kicked: the next exchange fails cleanly
+  // instead of hanging.
+  EXPECT_FALSE(idle->Ping().ok());
+  // Nobody is listening on the port anymore.
+  EXPECT_FALSE(Client::Connect("127.0.0.1", port).ok());
+  // Shutdown is idempotent, including via the destructor.
+  server->Shutdown();
+  server.reset();
+}
+
+TEST(TcpServerTest, StartReportsBindFailures) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+
+  TcpServerOptions bad_addr;
+  bad_addr.bind_address = "not-an-address";
+  EXPECT_TRUE(TcpServer(service, bad_addr).Start().IsInvalidArgument());
+
+  TcpServer first(service, {});
+  ASSERT_TRUE(first.Start().ok());
+  TcpServerOptions in_use;
+  in_use.port = first.port();
+  EXPECT_TRUE(TcpServer(service, in_use).Start().IsIOError());
+  EXPECT_TRUE(first.Start().IsInvalidArgument());  // double start
+}
+
+}  // namespace
+}  // namespace tcf

@@ -10,6 +10,11 @@
 #    network, build + persist a TC-Tree index, synthesize a 1000-query
 #    workload, and serve it twice — the warm pass must report a nonzero
 #    cache hit rate.
+# 4. Exercise the network path: start `tcf serve --listen` on an
+#    ephemeral port, drive it with `tcf client` (ping, queries, a
+#    workload, STATS, a RELOAD of a rebuilt index, QUIT), assert every
+#    client exit code, and check the server shuts down cleanly on
+#    SIGTERM.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,7 +29,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 echo "== serve smoke =="
 TMP="$(mktemp -d)"
-trap 'rm -rf "$TMP"' EXIT
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
 TCF="$BUILD_DIR/tcf"
 
 "$TCF" generate --kind=syn --out="$TMP/smoke.net" --scale=0.2 --seed=7
@@ -55,5 +65,49 @@ echo "$OUT" | awk '
     if (!found) { print "FAIL: warm pass shows no cache hits"; exit 1 }
     print "OK: warm pass cache hit rate > 0"
   }'
+
+echo "== network smoke =="
+# Long-lived server on a kernel-assigned port; the log tells us which.
+"$TCF" serve --in="$TMP/smoke.net" --index="$TMP/smoke.idx" --listen=0 \
+       --threads=4 > "$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 100); do
+  PORT="$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' \
+          "$TMP/server.log")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: server died on startup";
+                                         cat "$TMP/server.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "FAIL: server never reported its port"; exit 1; }
+echo "server is up on port $PORT"
+
+# Ping + a query + STATS over one connection (ends with QUIT).
+"$TCF" client --port="$PORT" --ping --query="0.01;s1,s2" --stats
+
+# The whole workload over the wire.
+"$TCF" client --port="$PORT" --workload="$TMP/workload.txt"
+
+# Hot-reload: rebuild the index (single-threaded this time, same tree)
+# and roll it in under the running server, then query again.
+"$TCF" index --in="$TMP/smoke.net" --out="$TMP/smoke2.idx" --threads=1
+"$TCF" client --port="$PORT" --reload="$TMP/smoke2.idx" \
+       --query="0.01;s1,s2" --stats
+
+# A malformed query must fail the client (non-zero exit) without
+# killing the server.
+if "$TCF" client --port="$PORT" --query="nan;s1" 2>/dev/null; then
+  echo "FAIL: malformed query did not fail the client"; exit 1
+fi
+"$TCF" client --port="$PORT" --ping
+
+# Graceful shutdown: SIGTERM, clean exit code, final report printed.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: server exited non-zero"; exit 1; }
+SERVER_PID=""
+grep -q "shutting down" "$TMP/server.log" || {
+  echo "FAIL: server log lacks the shutdown banner"; exit 1; }
+echo "OK: network smoke (serve --listen / client / RELOAD / shutdown)"
 
 echo "== all checks passed =="

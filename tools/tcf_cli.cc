@@ -29,12 +29,34 @@
 //       exercises the warm cache) in batches of B queries (default: one
 //       batch), and a per-pass throughput/latency/hit-rate table plus a
 //       final detailed report are printed.
+//   serve   --in=FILE --listen=PORT [--host=ADDR] [--index=FILE.idx]
+//           [--threads=T] [--cache-mb=M] [--max-conns=C] [--max-nodes=N]
+//           [--no-reload]
+//       Long-lived server mode (mutually exclusive with --workload):
+//       answer remote clients over the TCF1 line protocol
+//       (docs/serve-protocol.md) on ADDR:PORT (default 127.0.0.1;
+//       PORT 0 = kernel-assigned, printed on startup). Up to C
+//       connections (default 8) are serviced concurrently. RELOAD lets
+//       a client hot-swap in a rebuilt index unless --no-reload is
+//       given. SIGINT/SIGTERM shut down gracefully and print the final
+//       serving report.
+//   client  --port=PORT [--host=ADDR] [--ping] [--reload=FILE.idx]
+//           [--query=LINE] [--workload=FILE] [--stats]
+//       Connect to a running `tcf serve --listen` server and run the
+//       given actions in order (ping, reload, query, workload, stats),
+//       always ending with QUIT. --query takes one `alpha;item,...`
+//       line and prints the returned communities; --workload streams a
+//       workload file and prints one count per query. Exits non-zero if
+//       any action fails.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "core/communities.h"
 #include "core/tc_tree.h"
@@ -48,7 +70,10 @@
 #include "gen/syn_generator.h"
 #include "net/network_io.h"
 #include "net/stats.h"
+#include "serve/client.h"
+#include "serve/line_protocol.h"
 #include "serve/query_service.h"
+#include "serve/tcp_server.h"
 #include "util/string_util.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -92,7 +117,7 @@ class Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: tcf <generate|stats|mine|index|query|serve> "
+               "usage: tcf <generate|stats|mine|index|query|serve|client> "
                "[--key=value ...]\n"
                "  generate --kind=bk|gw|aminer|syn --out=FILE [--scale=S] "
                "[--seed=N]\n"
@@ -105,7 +130,13 @@ int Usage() {
                "[--items=a,b,c] [--threads=T]\n"
                "  serve    --in=FILE --workload=FILE [--index=FILE.idx] "
                "[--threads=T] [--cache-mb=M] [--repeat=R] [--batch=B] "
-               "[--max-nodes=N]\n");
+               "[--max-nodes=N]\n"
+               "  serve    --in=FILE --listen=PORT [--host=ADDR] "
+               "[--index=FILE.idx] [--threads=T] [--cache-mb=M] "
+               "[--max-conns=C] [--max-nodes=N] [--no-reload]\n"
+               "  client   --port=PORT [--host=ADDR] [--ping] "
+               "[--reload=FILE.idx] [--query=LINE] [--workload=FILE] "
+               "[--stats]\n");
   return 2;
 }
 
@@ -329,6 +360,62 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+/// Set by SIGINT/SIGTERM; polled by the --listen serve loop.
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStopSignal(int) { g_stop = 1; }
+
+/// `tcf serve --listen=PORT`: long-lived line-protocol server over a
+/// QueryService (see docs/serve-protocol.md). Returns on SIGINT/SIGTERM
+/// after a graceful TcpServer::Shutdown.
+int ServeListen(const Args& args, const DatabaseNetwork& net,
+                const std::string& listen) {
+  auto port = ParseUint64(listen);
+  if (!port.ok() || *port > 65535) {
+    std::fprintf(stderr, "serve: --listen=%s is not a port (0-65535)\n",
+                 listen.c_str());
+    return 2;
+  }
+  const size_t threads = args.GetUint("threads", 4);
+  const size_t cache_mb = args.GetUint("cache-mb", 64);
+
+  std::optional<TcTree> tree = LoadOrBuildTree(args, net, "serve", threads);
+  if (!tree) return 1;
+
+  QueryServiceOptions service_options;
+  service_options.num_threads = threads;
+  service_options.cache_bytes = cache_mb << 20;
+  QueryService service(std::move(*tree), net.dictionary(), service_options);
+
+  TcpServerOptions server_options;
+  server_options.bind_address = args.Get("host", "127.0.0.1");
+  server_options.port = static_cast<uint16_t>(*port);
+  server_options.num_threads = args.GetUint("max-conns", 8);
+  server_options.allow_reload = args.Get("no-reload", "") != "true";
+  TcpServer server(service, server_options);
+  // Handlers go in *before* the listening banner: a supervisor that
+  // greps the log and immediately signals must still get the graceful
+  // path.
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "serve: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("serve: listening on %s:%u (%zu query threads, %zu MiB "
+              "cache, reload %s)\n",
+              server.bind_address().c_str(), server.port(), threads,
+              cache_mb, server_options.allow_reload ? "on" : "off");
+  std::fflush(stdout);  // the smoke test greps a redirected log for this
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("serve: shutting down\n");
+  server.Shutdown();
+  service.Report().ToTable().Print(std::cout);
+  return 0;
+}
+
 int CmdServe(const Args& args) {
   auto net = LoadArg(args);
   if (!net.ok()) {
@@ -336,8 +423,16 @@ int CmdServe(const Args& args) {
     return 1;
   }
   const std::string workload_path = args.Get("workload", "");
+  const std::string listen = args.Get("listen", "");
+  if (!listen.empty() && !workload_path.empty()) {
+    std::fprintf(stderr,
+                 "serve: --listen and --workload are mutually exclusive\n");
+    return 2;
+  }
+  if (!listen.empty()) return ServeListen(args, *net, listen);
   if (workload_path.empty()) {
-    std::fprintf(stderr, "serve: --workload=FILE is required\n");
+    std::fprintf(stderr,
+                 "serve: --workload=FILE or --listen=PORT is required\n");
     return 2;
   }
   const size_t threads = args.GetUint("threads", 4);
@@ -377,9 +472,10 @@ int CmdServe(const Args& args) {
   std::optional<TcTree> tree = LoadOrBuildTree(args, *net, "serve", threads);
   if (!tree) return 1;
 
-  QueryService service(std::move(*tree), net->dictionary(),
-                       {.num_threads = threads,
-                        .cache_bytes = cache_mb << 20});
+  QueryServiceOptions service_options;
+  service_options.num_threads = threads;
+  service_options.cache_bytes = cache_mb << 20;
+  QueryService service(std::move(*tree), net->dictionary(), service_options);
   std::printf("serving %zu queries x%zu passes, %zu threads, %zu MiB cache\n",
               workload.size(), repeat, service.num_threads(), cache_mb);
 
@@ -428,6 +524,106 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+/// Renders one wire truss like CmdQuery renders in-process ones.
+void PrintWireTruss(const WireTruss& truss) {
+  std::string names = "{";
+  for (size_t i = 0; i < truss.pattern.size(); ++i) {
+    if (i > 0) names += ", ";
+    names += truss.pattern[i];
+  }
+  names += "}";
+  std::printf("  %-40s |V|=%4zu |E|=%4zu\n", names.c_str(),
+              truss.vertices.size(), truss.edges.size());
+}
+
+int CmdClient(const Args& args) {
+  const uint64_t port = args.GetUint("port", 0);
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "client: --port=PORT (1-65535) is required\n");
+    return 2;
+  }
+  auto client = Client::Connect(args.Get("host", "127.0.0.1"),
+                                static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "client: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (args.Get("ping", "") == "true") {
+    if (Status s = (*client)->Ping(); !s.ok()) {
+      std::fprintf(stderr, "client: ping: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("PONG\n");
+  }
+
+  if (const std::string path = args.Get("reload", ""); !path.empty()) {
+    auto nodes = (*client)->Reload(path);
+    if (!nodes.ok()) {
+      std::fprintf(stderr, "client: reload: %s\n",
+                   nodes.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("reloaded %s: %llu nodes\n", path.c_str(),
+                static_cast<unsigned long long>(*nodes));
+  }
+
+  if (const std::string query = args.Get("query", ""); !query.empty()) {
+    auto trusses = (*client)->Query(query);
+    if (!trusses.ok()) {
+      std::fprintf(stderr, "client: query: %s\n",
+                   trusses.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("query '%s': %zu communities\n", query.c_str(),
+                trusses->size());
+    for (const WireTruss& truss : *trusses) PrintWireTruss(truss);
+  }
+
+  if (const std::string path = args.Get("workload", ""); !path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "client: cannot open workload %s\n", path.c_str());
+      return 1;
+    }
+    std::string line;
+    size_t line_no = 0, queries = 0, trusses_total = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      const std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      auto trusses = (*client)->Query(std::string(trimmed));
+      if (!trusses.ok()) {
+        std::fprintf(stderr, "client: %s:%zu: %s\n", path.c_str(), line_no,
+                     trusses.status().ToString().c_str());
+        return 1;
+      }
+      ++queries;
+      trusses_total += trusses->size();
+    }
+    std::printf("workload %s: %zu queries, %zu communities\n", path.c_str(),
+                queries, trusses_total);
+  }
+
+  if (args.Get("stats", "") == "true") {
+    auto stats = (*client)->Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "client: stats: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& [key, value] : *stats) {
+      std::printf("%-22s %s\n", key.c_str(), value.c_str());
+    }
+  }
+
+  if (Status s = (*client)->Quit(); !s.ok()) {
+    std::fprintf(stderr, "client: quit: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -440,5 +636,6 @@ int main(int argc, char** argv) {
   if (cmd == "index") return CmdIndex(args);
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "serve") return CmdServe(args);
+  if (cmd == "client") return CmdClient(args);
   return Usage();
 }
