@@ -49,11 +49,9 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status Client::SendLine(const std::string& line) {
+Status Client::SendAll(std::string_view data) {
   if (fd_ < 0) return Status::IOError("connection is closed");
-  std::string wire = line;
-  wire += '\n';
-  std::string_view data = wire;
+  const size_t total = data.size();
   while (!data.empty()) {
     const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
     if (n < 0) {
@@ -62,8 +60,14 @@ Status Client::SendLine(const std::string& line) {
     }
     data.remove_prefix(static_cast<size_t>(n));
   }
-  bytes_sent_ += wire.size();
+  bytes_sent_ += total;
   return Status::OK();
+}
+
+Status Client::SendLine(const std::string& line) {
+  std::string wire = line;
+  wire += '\n';
+  return SendAll(wire);
 }
 
 StatusOr<std::string> Client::ReadLine() {
@@ -139,6 +143,57 @@ StatusOr<std::vector<WireTruss>> Client::Query(
     trusses.push_back(std::move(*truss));
   }
   return trusses;
+}
+
+StatusOr<std::vector<Client::BatchItem>> Client::Batch(
+    const std::vector<std::string>& query_lines) {
+  std::vector<BatchItem> items;
+  if (query_lines.empty()) return items;
+  if (query_lines.size() > kMaxBatchLines) {
+    return Status::InvalidArgument(
+        StrFormat("batch of %zu lines exceeds the protocol limit of %zu",
+                  query_lines.size(), kMaxBatchLines));
+  }
+  Request header;
+  header.kind = Request::Kind::kBatch;
+  header.batch_size = query_lines.size();
+  std::string wire = EncodeRequest(header);
+  wire += '\n';
+  for (const std::string& line : query_lines) {
+    wire += line;
+    wire += '\n';
+  }
+  TCF_RETURN_IF_ERROR(SendAll(wire));  // the whole batch in one write
+
+  items.reserve(query_lines.size());
+  for (size_t i = 0; i < query_lines.size(); ++i) {
+    auto status_line = ReadLine();
+    if (!status_line.ok()) return status_line.status();
+    auto response_header = ParseResponseHeader(*status_line);
+    if (!response_header.ok()) return response_header.status();
+    BatchItem item;
+    if (!response_header->ok) {
+      item.status = response_header->ToStatus();
+      items.push_back(std::move(item));
+      continue;
+    }
+    if (response_header->kind != "TRUSSES") {
+      return Status::Internal("batch slot " + std::to_string(i + 1) +
+                              ": expected TRUSSES, got " +
+                              response_header->kind);
+    }
+    item.trusses.reserve(
+        std::min<size_t>(response_header->payload_lines, 4096));
+    for (size_t j = 0; j < response_header->payload_lines; ++j) {
+      auto line = ReadLine();
+      if (!line.ok()) return line.status();
+      auto truss = DecodeTruss(*line);
+      if (!truss.ok()) return truss.status();
+      item.trusses.push_back(std::move(*truss));
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
 }
 
 StatusOr<std::vector<std::pair<std::string, std::string>>> Client::Stats() {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -15,10 +16,12 @@ namespace tcf {
 /// \brief Small blocking client for the tcf line protocol.
 ///
 /// One `Client` owns one TCP connection and speaks one request/response
-/// exchange at a time (the protocol has no pipelining). It is the
-/// counterpart `TcpServer` is tested against, and what `tcf client` and
-/// the bench_serve network mode are built on. Not thread-safe: use one
-/// Client per thread (connections are cheap; the server fans them out).
+/// exchange at a time — where an exchange is either a single request or
+/// a pipelined `BATCH` of query lines sent in one write and answered in
+/// one round trip (`Batch()`). It is the counterpart `TcpServer` is
+/// tested against, and what `tcf client` and the bench_serve network
+/// mode are built on. Not thread-safe: use one Client per thread
+/// (connections are cheap; the server parks idle ones in epoll).
 class Client {
  public:
   /// Connects to `host:port`. `host` is an IPv4 dotted quad, or
@@ -52,6 +55,24 @@ class Client {
   /// carried ERR status.
   StatusOr<std::vector<WireTruss>> Query(const std::string& query_line);
 
+  /// One slot of a BATCH answer: the slot's carried status (OK, or the
+  /// server's per-line ERR — an unknown item in slot 3 does not disturb
+  /// slots 4..n), and the decoded communities when OK.
+  struct BatchItem {
+    Status status;
+    std::vector<WireTruss> trusses;
+  };
+
+  /// Pipelines `query_lines` as one `BATCH <n>` exchange: a single
+  /// write carries the header and all n lines, a single round trip
+  /// returns n responses in request order. A non-OK *return* status
+  /// means the exchange itself failed (connection lost, unparseable
+  /// response, more lines than kMaxBatchLines); per-query errors live
+  /// in the slots. An empty input returns an empty vector without
+  /// touching the wire.
+  StatusOr<std::vector<BatchItem>> Batch(
+      const std::vector<std::string>& query_lines);
+
   /// STATS as ordered `key value` pairs.
   StatusOr<std::vector<std::pair<std::string, std::string>>> Stats();
 
@@ -74,6 +95,8 @@ class Client {
   /// Next '\n'-terminated line off the socket (newline stripped).
   StatusOr<std::string> ReadLine();
   Status SendLine(const std::string& line);
+  /// Writes `data` verbatim, riding out short writes.
+  Status SendAll(std::string_view data);
 
   int fd_ = -1;
   std::string buffer_;  // bytes read but not yet consumed as lines

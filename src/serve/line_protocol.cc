@@ -8,12 +8,13 @@
 namespace tcf {
 namespace {
 
-/// The four admin verbs. Everything else on the request side is a query
-/// line (workload-file format).
+/// The four admin verbs plus the pipelining verb. Everything else on
+/// the request side is a query line (workload-file format).
 constexpr std::string_view kPing = "PING";
 constexpr std::string_view kStats = "STATS";
 constexpr std::string_view kReload = "RELOAD";
 constexpr std::string_view kQuit = "QUIT";
+constexpr std::string_view kBatch = "BATCH";
 
 /// First whitespace-delimited token of `s`.
 std::string_view FirstToken(std::string_view s) {
@@ -99,13 +100,34 @@ StatusOr<Request> ParseRequest(std::string_view line) {
     request.reload_path = std::string(rest);
     return request;
   }
+  if (verb == kBatch) {
+    auto n = ParseUint64(rest);
+    if (rest.empty() || !n.ok()) {
+      return AtColumn(verb.size() + 2,
+                      "BATCH requires a line count, 'BATCH <n>'");
+    }
+    if (*n == 0) {
+      return AtColumn(verb.size() + 2, "BATCH of 0 lines is meaningless");
+    }
+    if (*n > kMaxBatchLines) {
+      return AtColumn(verb.size() + 2,
+                      StrFormat("BATCH of %llu lines exceeds the limit of "
+                                "%zu",
+                                static_cast<unsigned long long>(*n),
+                                kMaxBatchLines));
+    }
+    request.kind = Request::Kind::kBatch;
+    request.batch_size = static_cast<size_t>(*n);
+    return request;
+  }
   // Not a verb: a query line. Insist on the `alpha;items` separator here
   // so a typo'd verb ("RELAOD /x") fails fast with a protocol error
   // instead of a confusing alpha-parse error downstream.
   if (trimmed.find(';') == std::string_view::npos) {
     return AtColumn(
-        1, StrFormat("'%.*s' is neither an admin verb (PING, STATS, "
-                     "RELOAD <path>, QUIT) nor a query 'alpha;item,...'",
+        1, StrFormat("'%.*s' is neither a verb (PING, STATS, "
+                     "RELOAD <path>, QUIT, BATCH <n>) nor a query "
+                     "'alpha;item,...'",
                      static_cast<int>(verb.size()), verb.data()));
   }
   request.kind = Request::Kind::kQuery;
@@ -123,6 +145,9 @@ std::string EncodeRequest(const Request& request) {
       return std::string(kQuit);
     case Request::Kind::kReload:
       return std::string(kReload) + " " + request.reload_path;
+    case Request::Kind::kBatch:
+      return StrFormat("%.*s %zu", static_cast<int>(kBatch.size()),
+                       kBatch.data(), request.batch_size);
     case Request::Kind::kQuery:
       return request.query_line;
   }
@@ -318,8 +343,12 @@ std::vector<std::string> EncodeStats(const ServeReport& report) {
   add_u("snapshot_swaps", report.cache.invalidations);
   add_u("connections_accepted", report.connections_accepted);
   add_u("connections_active", report.connections_active);
+  add_u("connections_peak", report.connections_peak);
   add_u("bytes_in", report.bytes_in);
   add_u("bytes_out", report.bytes_out);
+  add_u("batches", report.batches);
+  add_u("batch_queries", report.batch_queries);
+  add_u("batch_max_depth", report.batch_max_depth);
   return lines;
 }
 

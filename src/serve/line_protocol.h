@@ -19,9 +19,12 @@ namespace tcf {
 ///
 /// A newline-delimited text protocol spoken between `TcpServer` and
 /// `Client`. Requests mirror the workload-file format: a query is the
-/// literal line `alpha;item,item,...`, and everything else is one of four
-/// upper-case admin verbs (`PING`, `STATS`, `RELOAD <path>`, `QUIT`).
-/// Every response starts with a versioned status line —
+/// literal line `alpha;item,item,...`, and everything else is an
+/// upper-case verb — the four admin verbs (`PING`, `STATS`,
+/// `RELOAD <path>`, `QUIT`) or the pipelining verb `BATCH <n>`, which
+/// announces that the next n lines are query lines to be answered in
+/// order with n back-to-back responses (one round trip for a whole
+/// workload chunk). Every response starts with a versioned status line —
 /// `TCF1 OK <KIND> <n>` followed by exactly n payload lines, or
 /// `TCF1 ERR <Code> <message>` — so clients can frame replies without
 /// sniffing payload contents. All encode/decode routines are pure
@@ -29,11 +32,18 @@ namespace tcf {
 
 /// Version token that leads every response status line. Bump when the
 /// grammar changes incompatibly; clients reject mismatched versions.
+/// BATCH is an additive verb: a TCF1 client that never sends it sees a
+/// byte-identical protocol, so the token stays.
 inline constexpr std::string_view kProtocolVersion = "TCF1";
+
+/// Most query lines one `BATCH <n>` may announce. Bounds the memory a
+/// peer can make the server buffer for a single batch (the per-line
+/// 1 MiB cap still applies to each member line).
+inline constexpr size_t kMaxBatchLines = 16384;
 
 /// One parsed client request.
 struct Request {
-  enum class Kind { kQuery, kPing, kStats, kReload, kQuit };
+  enum class Kind { kQuery, kPing, kStats, kReload, kQuit, kBatch };
 
   Kind kind = Kind::kQuery;
   /// kQuery: the raw `alpha;item,item,...` line, resolved against the
@@ -42,6 +52,9 @@ struct Request {
   std::string query_line;
   /// kReload: path (on the *server's* filesystem) of the index to load.
   std::string reload_path;
+  /// kBatch: how many query lines follow this header line. The lines
+  /// themselves are framed by the transport, not carried here.
+  size_t batch_size = 0;
 };
 
 /// Parses one request line (no trailing newline; a trailing '\r' is

@@ -43,8 +43,17 @@ TextTable ServeReport::ToTable() const {
   if (connections_accepted > 0) {
     t.AddRow({"connections accepted", TextTable::Num(connections_accepted)});
     t.AddRow({"connections active", TextTable::Num(connections_active)});
+    t.AddRow({"connections peak", TextTable::Num(connections_peak)});
     t.AddRow({"bytes in", TextTable::Num(bytes_in)});
     t.AddRow({"bytes out", TextTable::Num(bytes_out)});
+  }
+  if (batches > 0) {
+    t.AddRow({"batches", TextTable::Num(batches)});
+    t.AddRow({"batch queries", TextTable::Num(batch_queries)});
+    t.AddRow({"batch depth (mean)",
+              TextTable::Num(static_cast<double>(batch_queries) /
+                             static_cast<double>(batches))});
+    t.AddRow({"batch depth (max)", TextTable::Num(batch_max_depth)});
   }
   return t;
 }
@@ -70,7 +79,17 @@ void ServeStats::RecordQuery(double latency_us, uint64_t num_trusses) {
 }
 
 void ServeStats::RecordConnectionOpened() {
-  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t opened =
+      connections_opened_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t closed = connections_closed_.load(std::memory_order_relaxed);
+  // `active` can momentarily undercount under concurrent closes; that
+  // only ever makes the recorded peak conservative, never inflated.
+  const uint64_t active = opened - std::min(opened, closed);
+  uint64_t peak = connections_peak_.load(std::memory_order_relaxed);
+  while (active > peak &&
+         !connections_peak_.compare_exchange_weak(
+             peak, active, std::memory_order_relaxed)) {
+  }
 }
 
 void ServeStats::RecordConnectionClosed() {
@@ -80,6 +99,16 @@ void ServeStats::RecordConnectionClosed() {
 void ServeStats::RecordNetworkBytes(uint64_t in, uint64_t out) {
   bytes_in_.fetch_add(in, std::memory_order_relaxed);
   bytes_out_.fetch_add(out, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordBatch(uint64_t depth) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_queries_.fetch_add(depth, std::memory_order_relaxed);
+  uint64_t max = batch_max_depth_.load(std::memory_order_relaxed);
+  while (depth > max &&
+         !batch_max_depth_.compare_exchange_weak(
+             max, depth, std::memory_order_relaxed)) {
+  }
 }
 
 void ServeStats::Reset() {
@@ -99,8 +128,14 @@ ServeReport ServeStats::Report(const ResultCacheStats& cache) const {
   const uint64_t closed = connections_closed_.load(std::memory_order_relaxed);
   report.connections_accepted = opened;
   report.connections_active = opened - std::min(opened, closed);
+  report.connections_peak =
+      connections_peak_.load(std::memory_order_relaxed);
   report.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   report.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  report.batches = batches_.load(std::memory_order_relaxed);
+  report.batch_queries = batch_queries_.load(std::memory_order_relaxed);
+  report.batch_max_depth =
+      batch_max_depth_.load(std::memory_order_relaxed);
 
   std::vector<double> all;
   for (const Stripe& stripe : stripes_) {

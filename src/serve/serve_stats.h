@@ -32,8 +32,15 @@ struct ServeReport {
   // clients are attached.
   uint64_t connections_accepted = 0;
   uint64_t connections_active = 0;  // accepted minus closed
+  uint64_t connections_peak = 0;    // high-water mark of active
   uint64_t bytes_in = 0;            // request bytes read off sockets
   uint64_t bytes_out = 0;           // response bytes written
+
+  // Pipelining counters (BATCH verb; lifetime-of-server like the
+  // connection counters). batch_queries / batches is the mean depth.
+  uint64_t batches = 0;
+  uint64_t batch_queries = 0;   // query lines carried inside batches
+  uint64_t batch_max_depth = 0;
 
   /// Renders the report as a two-column (metric, value) table.
   TextTable ToTable() const;
@@ -58,7 +65,8 @@ class ServeStats {
   /// Records one finished query.
   void RecordQuery(double latency_us, uint64_t num_trusses);
 
-  /// Records one accepted network connection (TcpServer's accept loop).
+  /// Records one accepted network connection (TcpServer's accept path)
+  /// and advances the active-connection high-water mark.
   void RecordConnectionOpened();
 
   /// Records one closed network connection.
@@ -66,6 +74,9 @@ class ServeStats {
 
   /// Folds one request/response exchange's socket traffic in.
   void RecordNetworkBytes(uint64_t in, uint64_t out);
+
+  /// Records one executed BATCH of `depth` query lines.
+  void RecordBatch(uint64_t depth);
 
   /// Forgets all samples and restarts the wall clock (used between the
   /// cold and warm passes of `tcf serve --repeat`). Network counters are
@@ -92,8 +103,12 @@ class ServeStats {
 
   std::atomic<uint64_t> connections_opened_{0};
   std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> connections_peak_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batch_queries_{0};
+  std::atomic<uint64_t> batch_max_depth_{0};
 };
 
 }  // namespace tcf

@@ -2,13 +2,15 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstring>
-#include <thread>
 #include <utility>
 
 #include "core/tc_tree_io.h"
@@ -21,18 +23,23 @@ namespace {
 /// garbage, not speaking the protocol; cap what we will hold for it.
 constexpr size_t kMaxRequestLine = size_t{1} << 20;  // 1 MiB
 
-/// Writes all of `data`, riding out short writes. MSG_NOSIGNAL so a
-/// vanished peer surfaces as EPIPE instead of killing the process.
-bool SendAll(int fd, std::string_view data) {
-  while (!data.empty()) {
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<size_t>(n));
+/// Cap on the bytes one BATCH body may accumulate before execution —
+/// n query lines bounded individually by kMaxRequestLine could still
+/// add up to gigabytes; real query lines are tens of bytes.
+constexpr size_t kMaxBatchBytes = size_t{16} << 20;  // 16 MiB
+
+/// Most bytes drained from one socket per readiness event. A peer that
+/// streams nonstop still yields the loop to its neighbours; level-
+/// triggered epoll re-reports the leftover immediately.
+constexpr size_t kMaxReadPerEvent = size_t{256} << 10;
+
+/// Writes 1 to an eventfd, riding out EINTR. Used for worker-completion
+/// and shutdown wakeups; the counter semantics coalesce any number of
+/// signals into one epoll event.
+void SignalEventFd(int fd) {
+  const uint64_t one = 1;
+  while (::write(fd, &one, sizeof(one)) < 0 && errno == EINTR) {
   }
-  return true;
 }
 
 }  // namespace
@@ -48,153 +55,450 @@ Status TcpServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("server already started");
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) {
     return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
+  auto fail = [this](Status s) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    wake_fd_ = -1;
+    return s;
+  };
+
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(options_.port);
   if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
       1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("bad IPv4 bind address: " +
-                                   options_.bind_address);
+    return fail(Status::InvalidArgument("bad IPv4 bind address: " +
+                                        options_.bind_address));
   }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    const Status s = Status::IOError(
+    return fail(Status::IOError(
         StrFormat("bind %s:%u: %s", options_.bind_address.c_str(),
-                  options_.port, std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return s;
+                  options_.port, std::strerror(errno))));
   }
   if (::listen(listen_fd_, options_.backlog) < 0) {
-    const Status s =
-        Status::IOError(StrFormat("listen: %s", std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return s;
+    return fail(
+        Status::IOError(StrFormat("listen: %s", std::strerror(errno))));
   }
   // Read back the kernel's port choice (options_.port may have been 0).
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
       0) {
-    const Status s =
-        Status::IOError(StrFormat("getsockname: %s", std::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return s;
+    return fail(
+        Status::IOError(StrFormat("getsockname: %s", std::strerror(errno))));
   }
   port_ = ntohs(bound.sin_port);
 
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    return fail(
+        Status::IOError(StrFormat("epoll_create1: %s", std::strerror(errno))));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return fail(
+        Status::IOError(StrFormat("eventfd: %s", std::strerror(errno))));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return fail(
+        Status::IOError(StrFormat("epoll_ctl: %s", std::strerror(errno))));
+  }
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return fail(
+        Status::IOError(StrFormat("epoll_ctl: %s", std::strerror(errno))));
+  }
+
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  loop_thread_ = std::thread([this] { EventLoop(); });
   return Status::OK();
 }
 
 void TcpServer::Shutdown() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
+  SignalEventFd(wake_fd_);
+  if (loop_thread_.joinable()) loop_thread_.join();
 
-  // Wake the accept thread: shutdown(2) makes the blocked accept(2)
-  // return immediately (EINVAL) without racing on the fd number the way
-  // a bare close would.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  // In-flight executions still hold Conn pointers; let them finish
+  // before tearing the connections down. Their completion signals go
+  // unanswered — the responses are undeliverable anyway.
+  pool_.Wait();
+  for (auto& [fd, conn] : conns_) {
+    ::close(fd);
+    service_.stats().RecordConnectionClosed();
+  }
+  conns_.clear();
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done_fds_.clear();
+  }
   ::close(listen_fd_);
   listen_fd_ = -1;
-
-  // Kick every connected client off its blocking read; handlers observe
-  // EOF, send nothing further, and unwind. Done under the lock so we
-  // only touch sockets that are still registered (handlers deregister
-  // *before* closing, so no fd here can have been reused).
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  pool_.Wait();
+  ::close(epoll_fd_);
+  epoll_fd_ = -1;
+  ::close(wake_fd_);
+  wake_fd_ = -1;
 }
 
-void TcpServer::AcceptLoop() {
-  while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (stopping_.load(std::memory_order_acquire)) {
-      if (fd >= 0) ::close(fd);
-      return;
+void TcpServer::EventLoop() {
+  std::vector<epoll_event> events(512);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll set is gone; nothing sane left to do
     }
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      // Transient resource exhaustion (fd limits, memory) must not kill
-      // the accept loop for good — back off briefly and retry.
-      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
-          errno == ENOMEM) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    for (int i = 0; i < n; ++i) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        ProcessCompletions();
         continue;
       }
-      return;  // listening socket is gone; nothing left to accept
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      // Look the connection up by fd for every sub-step: any step may
+      // close it, and a stale entry in this event batch must not touch
+      // freed memory.
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        auto it = conns_.find(fd);
+        if (it != conns_.end()) ReadReady(*it->second);
+      }
+      if (events[i].events & EPOLLOUT) {
+        auto it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+        Conn& conn = *it->second;
+        FlushWrites(conn);
+        if ((conn.quitting || conn.read_closed) && Drained(conn)) {
+          CloseConn(conn);
+        }
+      }
     }
-    {
-      std::lock_guard<std::mutex> lock(conn_mu_);
-      open_fds_.insert(fd);
-    }
-    service_.stats().RecordConnectionOpened();
-    pool_.Submit([this, fd] { HandleConnection(fd); });
   }
 }
 
-void TcpServer::HandleConnection(int fd) {
-  std::string pending;
-  char buf[4096];
-  bool quit = false;
-
-  while (!quit) {
-    // Drain complete lines already buffered before reading more.
-    size_t newline;
-    while (!quit && (newline = pending.find('\n')) != std::string::npos) {
-      const std::string line = pending.substr(0, newline);
-      pending.erase(0, newline + 1);
-
-      auto request = ParseRequest(line);
-      std::string response;
-      if (!request.ok()) {
-        response = EncodeErrHeader(request.status());
-        response += '\n';
-      } else {
-        response = HandleRequest(*request, &quit);
+void TcpServer::AcceptReady() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      // Resource exhaustion (fd limits, memory): take the listen fd
+      // out of the epoll set instead of letting the level-triggered
+      // event spin (or stall) the loop that every established
+      // connection shares. CloseConn re-arms it when an fd frees up.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        accept_paused_ = true;
+        return;
       }
-      service_.stats().RecordNetworkBytes(line.size() + 1, response.size());
-      if (!SendAll(fd, response)) {
-        quit = true;  // peer vanished mid-response
-      }
+      return;  // listening socket is gone
     }
-    if (quit) break;
+    if (options_.max_connections > 0 &&
+        conns_.size() >= options_.max_connections) {
+      ::close(fd);  // over the cap: refuse by immediate close
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->interest = EPOLLIN;
+    conns_.emplace(fd, std::move(conn));
+    service_.stats().RecordConnectionOpened();
+  }
+}
 
-    if (pending.size() > kMaxRequestLine) {
-      SendAll(fd, EncodeErrHeader(Status::InvalidArgument(
-                      "request line exceeds 1 MiB")) +
-                      "\n");
+void TcpServer::ReadReady(Conn& conn) {
+  // A stale readiness event may land after backpressure dropped
+  // EPOLLIN in this same epoll batch; honor the pause.
+  if (conn.paused_read) return;
+  char buf[65536];
+  size_t drained = 0;
+  while (drained < kMaxReadPerEvent) {
+    const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      drained += static_cast<size_t>(n);
+      // Input after QUIT (or after a protocol violation) is discarded:
+      // the connection is already on its way out.
+      if (!conn.quitting) conn.in.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      conn.read_closed = true;
       break;
     }
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF, error, or Shutdown()'s shutdown(2)
-    pending.append(buf, static_cast<size_t>(n));
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    conn.read_closed = true;  // RST or worse: no more requests
+    break;
   }
 
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    open_fds_.erase(fd);
+  FrameRequests(conn);
+  if (!conn.quitting && conn.in.size() > kMaxRequestLine) {
+    // No newline within the cap: this peer is not speaking the protocol.
+    conn.out += EncodeErrHeader(
+        Status::InvalidArgument("request line exceeds 1 MiB"));
+    conn.out += '\n';
+    conn.quitting = true;
+    conn.in.clear();
+    conn.queued.clear();
   }
+  DispatchIfReady(conn);
+  FlushWrites(conn);
+  if ((conn.quitting || conn.read_closed) && !conn.busy && Drained(conn)) {
+    CloseConn(conn);
+  }
+}
+
+void TcpServer::FrameRequests(Conn& conn) {
+  // Scan with an offset and erase the consumed prefix once: a burst of
+  // thousands of short lines must not memmove the buffer per line on
+  // the loop thread every connection shares.
+  size_t pos = 0;
+  size_t newline;
+  while (!conn.quitting &&
+         (newline = conn.in.find('\n', pos)) != std::string::npos) {
+    FrameLine(conn, conn.in.substr(pos, newline - pos));
+    pos = newline + 1;
+  }
+  // FrameLine may have cleared the buffer (protocol violation).
+  conn.in.erase(0, std::min(pos, conn.in.size()));
+}
+
+void TcpServer::FrameLine(Conn& conn, std::string line) {
+  if (conn.batch_expect > 0) {
+    // Inside a BATCH body: collect raw query lines until the announced
+    // count is reached, then frame the whole batch as one unit.
+    conn.batch_bytes += line.size() + 1;
+    conn.batch_lines.push_back(std::move(line));
+    if (conn.batch_bytes > kMaxBatchBytes) {
+      conn.out += EncodeErrHeader(Status::InvalidArgument(
+          StrFormat("BATCH body exceeds %zu MiB", kMaxBatchBytes >> 20)));
+      conn.out += '\n';
+      conn.quitting = true;
+      conn.in.clear();
+      conn.queued.clear();
+      conn.batch_expect = 0;
+      conn.batch_lines.clear();
+      return;
+    }
+    if (--conn.batch_expect == 0) {
+      Unit unit;
+      unit.request = conn.batch_header;
+      unit.batch_lines = std::move(conn.batch_lines);
+      unit.wire_bytes = conn.batch_header_bytes + conn.batch_bytes;
+      conn.batch_lines.clear();
+      conn.batch_bytes = 0;
+      conn.queued.push_back(std::move(unit));
+    }
+    return;
+  }
+
+  auto parsed = ParseRequest(line);
+  if (parsed.ok() && parsed->kind == Request::Kind::kBatch) {
+    // The header alone is not executable; arm the body collector. A
+    // malformed header (BATCH 0, BATCH x, over-limit n) falls through
+    // as a unit and is answered with ERR — it consumes no body lines.
+    conn.batch_header = *parsed;
+    conn.batch_header_bytes = line.size() + 1;
+    conn.batch_expect = parsed->batch_size;
+    conn.batch_lines.clear();
+    conn.batch_bytes = 0;
+    return;
+  }
+  Unit unit;
+  unit.request = std::move(parsed);
+  unit.wire_bytes = line.size() + 1;
+  conn.queued.push_back(std::move(unit));
+}
+
+void TcpServer::DispatchIfReady(Conn& conn) {
+  if (conn.busy || conn.queued.empty() ||
+      stopping_.load(std::memory_order_acquire)) {
+    return;
+  }
+  // Backpressure: while the peer is not consuming responses, don't
+  // compute more for it. Queued units wait; FlushWrites re-dispatches
+  // once the buffer drains. (0 = unlimited.)
+  if (options_.max_write_buffer > 0 &&
+      conn.out.size() >= options_.max_write_buffer) {
+    return;
+  }
+  // Take the next run of framed requests: one task executes them in
+  // order, and at most one task per connection is ever in flight (the
+  // ordering guarantee). The run length is capped so a pipelined flood
+  // framed in one gulp cannot materialize its entire output in a
+  // single run and sail past the write-buffer gate above — the
+  // remainder waits for the next completion, which re-checks the gate.
+  constexpr size_t kMaxUnitsPerRun = 64;
+  auto units = std::make_shared<std::vector<Unit>>();
+  units->reserve(std::min(conn.queued.size(), kMaxUnitsPerRun));
+  while (!conn.queued.empty() && units->size() < kMaxUnitsPerRun) {
+    units->push_back(std::move(conn.queued.front()));
+    conn.queued.pop_front();
+  }
+  conn.busy = true;
+  Conn* c = &conn;
+  pool_.Submit([this, c, units] { ExecuteUnits(c, std::move(*units)); });
+}
+
+void TcpServer::ExecuteUnits(Conn* conn, std::vector<Unit> units) {
+  std::string responses;
+  bool quit = false;
+  for (const Unit& unit : units) {
+    if (quit) break;  // pipelined requests after QUIT are not answered
+    std::string response;
+    if (!unit.request.ok()) {
+      response = EncodeErrHeader(unit.request.status());
+      response += '\n';
+    } else if (unit.request->kind == Request::Kind::kBatch) {
+      response = HandleBatch(unit.batch_lines);
+    } else {
+      response = HandleRequest(*unit.request, &quit);
+    }
+    service_.stats().RecordNetworkBytes(unit.wire_bytes, response.size());
+    responses += response;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->outbox += responses;
+    conn->worker_quit = conn->worker_quit || quit;
+  }
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done_fds_.push_back(conn->fd);
+  }
+  // After this signal the loop may clear `busy` and close the
+  // connection, so `conn` must not be touched again.
+  SignalEventFd(wake_fd_);
+}
+
+void TcpServer::ProcessCompletions() {
+  std::vector<int> done;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done.swap(done_fds_);
+  }
+  for (const int fd : done) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;  // closed during shutdown sweep
+    Conn& conn = *it->second;
+    {
+      std::lock_guard<std::mutex> lock(conn.mu);
+      conn.out += conn.outbox;
+      conn.outbox.clear();
+      conn.quitting = conn.quitting || conn.worker_quit;
+    }
+    conn.busy = false;
+    if (conn.quitting) {
+      conn.queued.clear();  // QUIT discards the rest of the pipeline
+    } else {
+      DispatchIfReady(conn);
+    }
+    FlushWrites(conn);
+    if ((conn.quitting || conn.read_closed) && Drained(conn)) {
+      CloseConn(conn);
+    }
+  }
+}
+
+void TcpServer::FlushWrites(Conn& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Peer vanished mid-response: everything pending is undeliverable.
+    conn.out.clear();
+    conn.read_closed = true;
+    break;
+  }
+  // Backpressure state machine: pause reads above the high-water mark
+  // and resume them below half of it. Dispatch must be re-attempted on
+  // *every* drain below the mark — not just on unpause — because the
+  // gate in DispatchIfReady may have deferred units while the buffer
+  // was momentarily full even though reads never paused.
+  if (options_.max_write_buffer > 0 &&
+      conn.out.size() >= options_.max_write_buffer) {
+    conn.paused_read = true;
+  } else {
+    if (conn.paused_read &&
+        conn.out.size() < options_.max_write_buffer / 2) {
+      conn.paused_read = false;
+      FrameRequests(conn);  // input framed but parked while paused
+    }
+    DispatchIfReady(conn);
+  }
+  UpdateInterest(conn);
+}
+
+void TcpServer::UpdateInterest(Conn& conn) {
+  const uint32_t want =
+      (conn.paused_read ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+      (conn.out.empty() ? 0u : static_cast<uint32_t>(EPOLLOUT));
+  if (want == conn.interest) return;
+  conn.interest = want;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+bool TcpServer::Drained(const Conn& conn) const {
+  return !conn.busy && conn.queued.empty() && conn.out.empty();
+}
+
+void TcpServer::CloseConn(Conn& conn) {
+  const int fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
+  conns_.erase(fd);  // destroys conn; the reference is dead now
   service_.stats().RecordConnectionClosed();
+  if (accept_paused_) {
+    // An fd just freed up; resume accepting.
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+      accept_paused_ = false;
+    }
+  }
 }
 
 std::string TcpServer::HandleRequest(const Request& request, bool* quit) {
@@ -245,6 +549,9 @@ std::string TcpServer::HandleRequest(const Request& request, bool* quit) {
       return response;
     }
 
+    case Request::Kind::kBatch:
+      break;  // framed by the transport; never reaches here
+
     case Request::Kind::kQuery: {
       auto query = service_.ParseQueryLine(request.query_line);
       if (!query.ok()) {
@@ -264,6 +571,46 @@ std::string TcpServer::HandleRequest(const Request& request, bool* quit) {
   }
   response = EncodeErrHeader(Status::Internal("unhandled request kind"));
   response += '\n';
+  return response;
+}
+
+std::string TcpServer::HandleBatch(const std::vector<std::string>& lines) {
+  // Parse every member first so the valid ones fan out over the service
+  // pool together; each slot is answered independently, in order, and a
+  // bad line never aborts its neighbours.
+  std::vector<Status> slot_errors(lines.size(), Status::OK());
+  std::vector<ptrdiff_t> slot_query(lines.size(), -1);
+  std::vector<ServeQuery> queries;
+  queries.reserve(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    auto query = service_.ParseQueryLine(lines[i]);
+    if (query.ok()) {
+      slot_query[i] = static_cast<ptrdiff_t>(queries.size());
+      queries.push_back(std::move(*query));
+    } else {
+      slot_errors[i] = query.status();
+    }
+  }
+  const std::vector<QueryService::Result> results =
+      service_.ExecuteBatch(queries);
+  service_.stats().RecordBatch(lines.size());
+
+  std::string response;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (slot_query[i] < 0) {
+      response += EncodeErrHeader(slot_errors[i]);
+      response += '\n';
+      continue;
+    }
+    const QueryService::Result& result =
+        results[static_cast<size_t>(slot_query[i])];
+    response += EncodeOkHeader("TRUSSES", result->trusses.size());
+    response += '\n';
+    for (const PatternTruss& truss : result->trusses) {
+      response += EncodeTruss(service_.dictionary(), truss);
+      response += '\n';
+    }
+  }
   return response;
 }
 

@@ -3,10 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_set>
+#include <unordered_map>
+#include <vector>
 
 #include "serve/line_protocol.h"
 #include "serve/query_service.h"
@@ -23,12 +26,23 @@ struct TcpServerOptions {
   /// TCP port; 0 asks the kernel for an ephemeral port (read the choice
   /// back from port() after Start — tests and the smoke script do this).
   uint16_t port = 0;
-  /// Connection-handler pool size: the number of connections serviced
-  /// *concurrently*. Further accepted connections queue until a handler
-  /// frees up.
+  /// Request-execution pool size: how many *ready* requests are executed
+  /// concurrently. Unrelated to the connection count — idle connections
+  /// are parked in epoll and cost a file descriptor, not a thread.
   size_t num_threads = 8;
   /// listen(2) backlog.
   int backlog = 64;
+  /// Open-connection cap; further accepts are closed immediately.
+  /// 0 = unlimited (bounded only by the process fd limit).
+  size_t max_connections = 0;
+  /// Write-buffer high-water mark, per connection. A peer that sends
+  /// requests but does not read its responses stops being *read* once
+  /// this many response bytes are queued for it, and resumes when the
+  /// buffer drains below half — so a non-consuming client bounds its
+  /// own memory cost instead of growing the server's. (One in-flight
+  /// response can still exceed the mark transiently; the cap gates new
+  /// work, it does not truncate answers.)
+  size_t max_write_buffer = size_t{4} << 20;  // 4 MiB
   /// When false, RELOAD answers ERR Unimplemented — for deployments
   /// where the index must only change via restart.
   bool allow_reload = true;
@@ -36,22 +50,31 @@ struct TcpServerOptions {
 
 /// \brief Line-protocol TCP front end over a QueryService.
 ///
-/// `Start()` binds a POSIX listening socket and spawns one accept
-/// thread; each accepted connection is fanned out to the shared
-/// `ThreadPool`, where a handler loops reading request lines and writing
-/// responses (grammar in serve/line_protocol.h, spec in
-/// docs/serve-protocol.md) until the peer sends `QUIT`, disconnects, or
-/// the server shuts down. Queries go through `QueryService::Execute`, so
-/// remote traffic shares the result cache, the snapshot/epoch machinery,
-/// and the latency percentiles with in-process callers; `RELOAD <path>`
+/// `Start()` binds a POSIX listening socket and spawns one event-loop
+/// thread. The loop owns every connection through a level-triggered
+/// epoll set: sockets are non-blocking, inbound bytes accumulate in a
+/// per-connection read buffer, and only *complete* requests (a framed
+/// line, or a full `BATCH <n>` header plus its n query lines) are
+/// dispatched onto the shared `ThreadPool` for execution. N idle or
+/// slow-trickling connections therefore cost N file descriptors, not N
+/// threads — the C10K shape. Responses are handed back to the loop
+/// (eventfd wakeup) and written from its per-connection write buffer,
+/// with EPOLLOUT armed only while a short write leaves bytes pending.
+///
+/// Per connection, requests are executed strictly in arrival order and
+/// at most one execution task is in flight, so pipelined clients (many
+/// requests sent before the first response is read) get responses in
+/// request order. Queries go through `QueryService::Execute` — and
+/// `BATCH` bodies through `QueryService::ExecuteBatch` — so remote
+/// traffic shares the result cache, the snapshot/epoch machinery, and
+/// the latency percentiles with in-process callers; `RELOAD <path>`
 /// loads a persisted index and installs it via the epoch-safe
 /// `SwapSnapshot`, rolling a rebuilt index in under live traffic.
 ///
-/// Shutdown is graceful and idempotent: the listening socket stops
-/// accepting, every open connection is shutdown(2) so blocked reads
-/// return, and `Shutdown()` joins the accept thread and drains the
-/// handler pool before returning. Connection and byte counters are
-/// folded into the service's ServeStats.
+/// Shutdown is graceful and idempotent: the loop stops accepting and
+/// exits, in-flight executions drain, and every remaining connection is
+/// closed before `Shutdown()` returns. Connection, byte, and batch
+/// counters are folded into the service's ServeStats.
 class TcpServer {
  public:
   /// `service` must outlive the server.
@@ -62,13 +85,13 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds, listens, and starts accepting. IOError on bind/listen
+  /// Binds, listens, and starts the event loop. IOError on bind/listen
   /// failure (port in use, bad address); InvalidArgument if already
   /// started.
   Status Start();
 
-  /// Stops accepting, disconnects every client, waits for in-flight
-  /// handlers. Safe to call twice and from a destructor.
+  /// Stops accepting, waits for in-flight request executions, and
+  /// disconnects every client. Safe to call twice and from a destructor.
   void Shutdown();
 
   /// True between a successful Start() and Shutdown().
@@ -81,23 +104,97 @@ class TcpServer {
   const std::string& bind_address() const { return options_.bind_address; }
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd);
+  /// One framed request unit, ready for execution: either a single
+  /// request line (possibly a parse error, answered with ERR) or a
+  /// complete BATCH with its collected query lines.
+  struct Unit {
+    StatusOr<Request> request = Status::Internal("unparsed");
+    std::vector<std::string> batch_lines;  // kBatch bodies only
+    uint64_t wire_bytes = 0;  // request bytes incl. newlines, for stats
+  };
+
+  /// Per-connection state. Everything except the outbox (mutex-guarded,
+  /// written by pool workers) is owned by the event-loop thread.
+  struct Conn {
+    int fd = -1;
+    std::string in;           // unframed inbound bytes
+    std::deque<Unit> queued;  // framed requests not yet dispatched
+
+    // Incremental BATCH framing: header seen, body lines outstanding.
+    Request batch_header;
+    uint64_t batch_header_bytes = 0;
+    size_t batch_expect = 0;  // body lines still missing (0 = no batch)
+    std::vector<std::string> batch_lines;
+    size_t batch_bytes = 0;
+
+    std::string out;          // bytes awaiting write to the socket
+    uint32_t interest = 0;    // epoll mask currently registered
+    bool paused_read = false; // EPOLLIN dropped: write buffer over the
+                              // high-water mark (backpressure)
+    bool busy = false;        // an execution task is in flight
+    bool read_closed = false; // peer EOF / read error seen
+    bool quitting = false;    // QUIT answered: flush, then close
+
+    std::mutex mu;            // guards the two fields below
+    std::string outbox;       // responses produced by the worker
+    bool worker_quit = false; // the worker executed a QUIT
+  };
+
+  void EventLoop();
+  void AcceptReady();
+  void ReadReady(Conn& conn);
+  /// Extracts complete lines from conn.in and frames them into units.
+  void FrameRequests(Conn& conn);
+  void FrameLine(Conn& conn, std::string line);
+  /// Launches one execution task if the connection has framed units and
+  /// none in flight.
+  void DispatchIfReady(Conn& conn);
+  /// Worker-side: executes `units` in order, delivers the concatenated
+  /// responses through conn.outbox, and wakes the loop.
+  void ExecuteUnits(Conn* conn, std::vector<Unit> units);
+  /// Drains the completion queue: moves outboxes into write buffers,
+  /// clears busy flags, re-dispatches, flushes.
+  void ProcessCompletions();
+  void FlushWrites(Conn& conn);
+  /// Reconciles the epoll interest mask with the connection's state:
+  /// EPOLLOUT while bytes are pending, EPOLLIN unless backpressure has
+  /// paused reading.
+  void UpdateInterest(Conn& conn);
+  /// Closes the socket, deregisters it, and destroys the connection.
+  /// Must not be called while conn.busy (a worker still holds the
+  /// pointer); busy connections are closed from ProcessCompletions.
+  void CloseConn(Conn& conn);
+  /// True once the connection has nothing left to do (no pending input,
+  /// no in-flight execution, nothing to write) and no way to get more.
+  bool Drained(const Conn& conn) const;
+
   /// Executes one parsed request; returns the full response (status line
   /// + payload, newline-terminated). Sets `*quit` on QUIT.
   std::string HandleRequest(const Request& request, bool* quit);
+  /// Executes a BATCH body: n query lines through ExecuteBatch, n
+  /// back-to-back responses in order.
+  std::string HandleBatch(const std::vector<std::string>& lines);
 
   QueryService& service_;
   TcpServerOptions options_;
   ThreadPool pool_;
-  std::thread accept_thread_;
+  std::thread loop_thread_;
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: worker completions + shutdown
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  /// True while the listen fd is out of the epoll set because accept
+  /// hit fd exhaustion; re-armed when a connection closes.
+  bool accept_paused_ = false;
 
-  std::mutex conn_mu_;
-  std::unordered_set<int> open_fds_;
+  /// Live connections, keyed by fd. Owned by the event-loop thread
+  /// while it runs; Shutdown() sweeps leftovers after joining it.
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+
+  std::mutex done_mu_;
+  std::vector<int> done_fds_;  // connections with a filled outbox
 };
 
 }  // namespace tcf

@@ -18,7 +18,7 @@ using testing::MakeFigureOneNetwork;
 
 TEST(LineProtocolTest, RequestRoundTrip) {
   const std::vector<Request> requests = [] {
-    std::vector<Request> r(5);
+    std::vector<Request> r(6);
     r[0].kind = Request::Kind::kPing;
     r[1].kind = Request::Kind::kStats;
     r[2].kind = Request::Kind::kQuit;
@@ -26,6 +26,8 @@ TEST(LineProtocolTest, RequestRoundTrip) {
     r[3].reload_path = "/tmp/rebuilt.idx";
     r[4].kind = Request::Kind::kQuery;
     r[4].query_line = "0.25;i1,i3";
+    r[5].kind = Request::Kind::kBatch;
+    r[5].batch_size = 128;
     return r;
   }();
   for (const Request& request : requests) {
@@ -35,6 +37,41 @@ TEST(LineProtocolTest, RequestRoundTrip) {
     EXPECT_EQ(parsed->kind, request.kind) << wire;
     EXPECT_EQ(parsed->query_line, request.query_line) << wire;
     EXPECT_EQ(parsed->reload_path, request.reload_path) << wire;
+    EXPECT_EQ(parsed->batch_size, request.batch_size) << wire;
+  }
+}
+
+TEST(LineProtocolTest, ParseBatchHeader) {
+  auto one = ParseRequest("BATCH 1");
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->kind, Request::Kind::kBatch);
+  EXPECT_EQ(one->batch_size, 1u);
+
+  auto limit = ParseRequest("BATCH 16384");  // kMaxBatchLines, inclusive
+  ASSERT_TRUE(limit.ok());
+  EXPECT_EQ(limit->batch_size, kMaxBatchLines);
+
+  EXPECT_EQ(ParseRequest("BATCH  7\r")->batch_size, 7u);  // CRLF + spaces
+
+  const struct {
+    const char* line;
+    const char* wants;
+  } kBad[] = {
+      {"BATCH", "requires a line count"},
+      {"BATCH   ", "requires a line count"},
+      {"BATCH x", "requires a line count"},
+      {"BATCH 3x", "requires a line count"},
+      {"BATCH -1", "requires a line count"},
+      {"BATCH 0", "meaningless"},
+      {"BATCH 16385", "exceeds the limit"},
+      {"batch 3", "neither a verb"},  // verbs are upper-case
+  };
+  for (const auto& c : kBad) {
+    auto parsed = ParseRequest(c.line);
+    ASSERT_FALSE(parsed.ok()) << "'" << c.line << "' should not parse";
+    EXPECT_TRUE(parsed.status().IsInvalidArgument()) << c.line;
+    EXPECT_NE(parsed.status().message().find(c.wants), std::string::npos)
+        << "'" << c.line << "' -> " << parsed.status();
   }
 }
 
@@ -62,9 +99,9 @@ TEST(LineProtocolTest, ParseRequestMalformedTable) {
       {"QUIT 1", "takes no arguments"},
       {"RELOAD", "requires an index path"},
       {"RELOAD   ", "requires an index path"},
-      {"BOGUS", "neither an admin verb"},
-      {"RELAOD /x.idx", "neither an admin verb"},  // typo'd verb, no ';'
-      {"ping", "neither an admin verb"},           // verbs are upper-case
+      {"BOGUS", "neither a verb"},
+      {"RELAOD /x.idx", "neither a verb"},  // typo'd verb, no ';'
+      {"ping", "neither a verb"},           // verbs are upper-case
   };
   for (const auto& c : kCases) {
     auto parsed = ParseRequest(c.line);
@@ -217,8 +254,12 @@ TEST(LineProtocolTest, StatsRoundTrip) {
   report.cache.misses = 30;
   report.connections_accepted = 3;
   report.connections_active = 2;
+  report.connections_peak = 3;
   report.bytes_in = 1000;
   report.bytes_out = 9000;
+  report.batches = 4;
+  report.batch_queries = 64;
+  report.batch_max_depth = 32;
 
   const std::vector<std::string> lines = EncodeStats(report);
   auto decoded = DecodeStats(lines);
@@ -239,8 +280,12 @@ TEST(LineProtocolTest, StatsRoundTrip) {
   EXPECT_EQ(find("cache_hit_rate"), "0.25");
   EXPECT_EQ(find("connections_accepted"), "3");
   EXPECT_EQ(find("connections_active"), "2");
+  EXPECT_EQ(find("connections_peak"), "3");
   EXPECT_EQ(find("bytes_in"), "1000");
   EXPECT_EQ(find("bytes_out"), "9000");
+  EXPECT_EQ(find("batches"), "4");
+  EXPECT_EQ(find("batch_queries"), "64");
+  EXPECT_EQ(find("batch_max_depth"), "32");
 
   EXPECT_FALSE(DecodeStats({"keyonly"}).ok());
   EXPECT_FALSE(DecodeStats({""}).ok());

@@ -1,11 +1,19 @@
 #include "serve/tcp_server.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -66,6 +74,103 @@ std::unique_ptr<Client> MustConnect(const TcpServer& server) {
   auto client = Client::Connect("127.0.0.1", server.port());
   EXPECT_TRUE(client.ok()) << client.status();
   return client.ok() ? std::move(*client) : nullptr;
+}
+
+// --- raw-socket helpers: drive the server below the Client abstraction
+// (partial lines, mid-batch disconnects, hand-rolled pipelining).
+
+int RawConnect(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool RawSend(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+/// Next '\n'-terminated line (newline stripped); empty string on EOF.
+std::string RawReadLine(int fd) {
+  std::string line;
+  char c;
+  while (true) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return line;
+    if (c == '\n') return line;
+    line += c;
+  }
+}
+
+/// Polls the service report until `pred` holds or ~5s pass.
+template <typename Pred>
+bool WaitForReport(QueryService& service, Pred pred) {
+  for (int i = 0; i < 5000; ++i) {
+    if (pred(service.Report())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+/// Buffered line reader over a raw fd, for tests that pull back large
+/// pipelined response streams (RawReadLine's byte-at-a-time recv is
+/// fine for a handful of lines, quadratic-feeling for megabytes).
+class RawReader {
+ public:
+  explicit RawReader(int fd) : fd_(fd) {}
+
+  /// Next line (newline stripped); empty string on EOF.
+  std::string ReadLine() {
+    while (true) {
+      const size_t newline = buf_.find('\n', pos_);
+      if (newline != std::string::npos) {
+        std::string line = buf_.substr(pos_, newline - pos_);
+        pos_ = newline + 1;
+        return line;
+      }
+      buf_.erase(0, pos_);
+      pos_ = 0;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return {};
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+/// Ensures the process may hold at least `needed` file descriptors,
+/// raising the soft limit toward the hard limit if necessary. False if
+/// the hard limit is too low to comply.
+bool EnsureFdLimit(rlim_t needed) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return false;
+  if (rl.rlim_cur >= needed) return true;
+  if (rl.rlim_max < needed && rl.rlim_max != RLIM_INFINITY) return false;
+  rl.rlim_cur = needed;
+  return ::setrlimit(RLIMIT_NOFILE, &rl) == 0;
 }
 
 TEST(TcpServerTest, PingQueryStatsQuit) {
@@ -197,7 +302,11 @@ TEST(TcpServerTest, ConcurrentClientsGetIdenticalAnswers) {
   const ServeReport report = service.Report();
   EXPECT_EQ(report.queries, static_cast<uint64_t>(kClients) * kRounds);
   EXPECT_EQ(report.connections_accepted, static_cast<uint64_t>(kClients));
-  EXPECT_EQ(report.connections_active, 0u);  // all QUIT before join
+  // All clients QUIT; the loop may still be a beat away from recording
+  // the last close (BYE reaches the client before CloseConn runs).
+  EXPECT_TRUE(WaitForReport(service, [](const ServeReport& r) {
+    return r.connections_active == 0;
+  }));
   EXPECT_GT(report.bytes_in, 0u);
   EXPECT_GT(report.bytes_out, 0u);
 }
@@ -323,6 +432,330 @@ TEST(TcpServerTest, ShutdownDisconnectsIdleClientsAndStopsAccepting) {
   // Shutdown is idempotent, including via the destructor.
   server->Shutdown();
   server.reset();
+}
+
+// A client may send many requests before reading any response; the
+// server must answer all of them, in order, on one connection.
+TEST(TcpServerTest, PipelinedRequestsAnswerInOrder) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(RawSend(fd, "PING\n0.1;i0\nPING\nnot_a_verb\nQUIT\n"));
+
+  EXPECT_EQ(RawReadLine(fd).rfind("TCF1 OK PONG 0", 0), 0u);
+  const std::string trusses = RawReadLine(fd);
+  ASSERT_EQ(trusses.rfind("TCF1 OK TRUSSES ", 0), 0u) << trusses;
+  const size_t count = std::stoul(trusses.substr(16));
+  for (size_t i = 0; i < count; ++i) {
+    EXPECT_FALSE(RawReadLine(fd).empty());
+  }
+  EXPECT_EQ(RawReadLine(fd).rfind("TCF1 OK PONG 0", 0), 0u);
+  EXPECT_EQ(RawReadLine(fd).rfind("TCF1 ERR InvalidArgument", 0), 0u);
+  EXPECT_EQ(RawReadLine(fd).rfind("TCF1 OK BYE 0", 0), 0u);
+  EXPECT_TRUE(RawReadLine(fd).empty());  // server closed after QUIT
+  ::close(fd);
+  server.Shutdown();
+}
+
+// The epoll point: a connection trickling a request one byte at a time
+// must not pin an execution worker. With a single worker thread, a
+// thread-per-connection server would deadlock here; the event loop
+// keeps serving others and answers the slow line once it completes.
+TEST(TcpServerTest, SlowLorisPartialLineDoesNotPinTheWorker) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServerOptions options;
+  options.num_threads = 1;  // the loris would starve a blocking design
+  TcpServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int loris = RawConnect(server.port());
+  ASSERT_GE(loris, 0);
+  ASSERT_TRUE(RawSend(loris, "0."));  // partial query line, no newline
+
+  // While the loris dribbles, full service on other connections.
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(client->Ping().ok());
+    auto trusses = client->Query("0.1;i0");
+    EXPECT_TRUE(trusses.ok()) << trusses.status();
+  }
+  EXPECT_TRUE(client->Quit().ok());
+
+  // More dribbling, then the newline: the request completes and is
+  // answered like any other.
+  ASSERT_TRUE(RawSend(loris, "1;i"));
+  ASSERT_TRUE(RawSend(loris, "0\n"));
+  EXPECT_EQ(RawReadLine(loris).rfind("TCF1 OK TRUSSES ", 0), 0u);
+  ::close(loris);
+  server.Shutdown();
+}
+
+// A peer that announces a BATCH and dies before sending the body must
+// not wedge the server or leak its half-collected state.
+TEST(TcpServerTest, ClientDyingMidBatchLeavesServerHealthy) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  const int dying = RawConnect(server.port());
+  ASSERT_GE(dying, 0);
+  // Header promises 5 lines; only 2 arrive, the second cut mid-byte.
+  ASSERT_TRUE(RawSend(dying, "BATCH 5\n0.1;i0\n0.2;i"));
+  ::close(dying);
+
+  // The abandoned connection is reaped...
+  EXPECT_TRUE(WaitForReport(service, [](const ServeReport& r) {
+    return r.connections_active == 0;
+  }));
+
+  // ...and the server keeps serving, including fresh batches.
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Ping().ok());
+  auto items = client->Batch({"0.1;i0", "0.1;i1"});
+  ASSERT_TRUE(items.ok()) << items.status();
+  ASSERT_EQ(items->size(), 2u);
+  EXPECT_TRUE((*items)[0].status.ok());
+  EXPECT_TRUE((*items)[1].status.ok());
+  EXPECT_TRUE(client->Quit().ok());
+  server.Shutdown();
+}
+
+// Each BATCH slot is answered independently and in order: a bad line
+// gets its ERR in its slot, and its neighbours are unaffected.
+TEST(TcpServerTest, BatchSlotsAnswerIndependentlyInOrder) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+
+  auto empty = client->Batch({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  auto items = client->Batch(
+      {"0.1;i0", "nan;i0", "0.1;nosuchitem", "PING", "0.1;i1"});
+  ASSERT_TRUE(items.ok()) << items.status();
+  ASSERT_EQ(items->size(), 5u);
+  EXPECT_TRUE((*items)[0].status.ok()) << (*items)[0].status;
+  ExpectWireMatches(net.dictionary(), QueryTcTree(tree, Itemset{0}, 0.1),
+                    (*items)[0].trusses, "slot 0");
+  EXPECT_TRUE((*items)[1].status.IsInvalidArgument()) << (*items)[1].status;
+  EXPECT_TRUE((*items)[2].status.IsNotFound()) << (*items)[2].status;
+  // Batch bodies are query lines only; a verb in a slot is an error for
+  // that slot, not a command.
+  EXPECT_TRUE((*items)[3].status.IsInvalidArgument()) << (*items)[3].status;
+  EXPECT_TRUE((*items)[4].status.ok()) << (*items)[4].status;
+  ExpectWireMatches(net.dictionary(), QueryTcTree(tree, Itemset{1}, 0.1),
+                    (*items)[4].trusses, "slot 4");
+
+  // The error slots poisoned nothing: the connection still works.
+  EXPECT_TRUE(client->Ping().ok());
+
+  const ServeReport report = service.Report();
+  EXPECT_EQ(report.batches, 1u);
+  EXPECT_EQ(report.batch_queries, 5u);
+  EXPECT_EQ(report.batch_max_depth, 5u);
+  EXPECT_TRUE(client->Quit().ok());
+  server.Shutdown();
+}
+
+// The C10K shape: a thousand idle connections cost file descriptors,
+// not threads — interactive traffic flows past them undisturbed.
+TEST(TcpServerTest, ThousandIdleConnectionsSoak) {
+  // Both ends of every loopback connection live in this process: 1000
+  // idle pairs plus the server's own fds. Stock 1024-fd soft limits
+  // can't hold that; raise it or skip rather than fail spuriously.
+  if (!EnsureFdLimit(2200)) {
+    GTEST_SKIP() << "RLIMIT_NOFILE hard limit too low for the 1000-"
+                    "connection soak";
+  }
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServerOptions options;
+  options.num_threads = 2;
+  TcpServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kIdle = 1000;
+  std::vector<int> idle;
+  idle.reserve(kIdle);
+  for (size_t i = 0; i < kIdle; ++i) {
+    const int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0) << "connection " << i;
+    idle.push_back(fd);
+    // Half of them park with a partial line in the buffer, the nastier
+    // kind of idle.
+    if (i % 2 == 0) {
+      ASSERT_TRUE(RawSend(fd, "0.0"));
+    }
+  }
+  ASSERT_TRUE(WaitForReport(service, [](const ServeReport& r) {
+    return r.connections_active >= kIdle;
+  }));
+
+  // Interleaved PING/STATS/queries while the herd sits parked.
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_TRUE(client->Ping().ok());
+    auto stats = client->Stats();
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    auto trusses = client->Query("0.1;i0");
+    ASSERT_TRUE(trusses.ok()) << trusses.status();
+  }
+  const ServeReport report = service.Report();
+  EXPECT_GE(report.connections_peak, kIdle + 1);
+  EXPECT_GE(report.connections_active, kIdle);
+
+  for (int fd : idle) ::close(fd);
+  EXPECT_TRUE(WaitForReport(service, [](const ServeReport& r) {
+    return r.connections_active == 1;  // just the interactive client
+  }));
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_TRUE(client->Quit().ok());
+  server.Shutdown();
+}
+
+// A pipelining client that sends a flood of requests and only starts
+// reading afterwards is backpressured (reads pause at the write-buffer
+// high-water mark) instead of growing server memory without bound —
+// and still receives every response, in order, once it drains.
+TEST(TcpServerTest, NonReadingPipelinerIsBackpressuredNotDropped) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServerOptions options;
+  // A deliberately tiny high-water mark so the pause/resume machinery
+  // cycles many times within one test.
+  options.max_write_buffer = 1024;
+  TcpServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  constexpr size_t kQueries = 2000;
+  std::string burst;
+  for (size_t i = 0; i < kQueries; ++i) burst += "0.0;*\n";
+  burst += "QUIT\n";
+  ASSERT_TRUE(RawSend(fd, burst));  // send everything before reading
+
+  RawReader reader(fd);
+  for (size_t i = 0; i < kQueries; ++i) {
+    const std::string header = reader.ReadLine();
+    ASSERT_EQ(header.rfind("TCF1 OK TRUSSES ", 0), 0u)
+        << "response " << i << ": " << header;
+    const size_t payload = std::stoul(header.substr(16));
+    for (size_t j = 0; j < payload; ++j) {
+      ASSERT_FALSE(reader.ReadLine().empty());
+    }
+  }
+  EXPECT_EQ(reader.ReadLine().rfind("TCF1 OK BYE 0", 0), 0u);
+  EXPECT_TRUE(reader.ReadLine().empty());  // closed after QUIT
+  ::close(fd);
+  server.Shutdown();
+}
+
+// RELOAD under *pipelined* traffic: whole batches keep flowing while
+// the snapshot swaps; every slot of every batch must match one of the
+// two snapshots exactly and nothing may be dropped.
+TEST(TcpServerTest, ReloadUnderPipelinedBatchTraffic) {
+  DatabaseNetwork net_a = MakeRandomNetwork({.seed = 303});
+  DatabaseNetwork net_b = MakeRandomNetwork({.seed = 404});
+  TcTree tree_a = TcTree::Build(net_a);
+  TcTree tree_b = TcTree::Build(net_b);
+
+  const std::string query_line = "0.0;*";
+  auto parsed = ParseServeQuery(net_a.dictionary(), query_line);
+  ASSERT_TRUE(parsed.ok());
+  const TcTreeQueryResult expect_a =
+      QueryTcTree(tree_a, parsed->items, parsed->alpha);
+  const TcTreeQueryResult expect_b =
+      QueryTcTree(tree_b, parsed->items, parsed->alpha);
+
+  const std::string index_path =
+      ::testing::TempDir() + "/tcp_server_batch_reload.idx";
+  ASSERT_TRUE(SaveTcTreeToFile(tree_b, index_path).ok());
+
+  QueryService service(tree_a, net_a.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 2;
+  constexpr size_t kDepth = 8;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> answered{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      auto client = Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      const std::vector<std::string> batch(kDepth, query_line);
+      while (!stop.load(std::memory_order_acquire)) {
+        auto items = (*client)->Batch(batch);
+        if (!items.ok() || items->size() != kDepth) {
+          ++failures;
+          return;
+        }
+        for (const Client::BatchItem& item : *items) {
+          if (!item.status.ok() ||
+              (!WireEquals(net_a.dictionary(), expect_a, item.trusses) &&
+               !WireEquals(net_a.dictionary(), expect_b, item.trusses))) {
+            ++failures;
+            return;
+          }
+          ++answered;
+        }
+      }
+      if (!(*client)->Quit().ok()) ++failures;
+    });
+  }
+
+  while (answered.load() < 100 && failures.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto admin = MustConnect(server);
+  ASSERT_NE(admin, nullptr);
+  auto reloaded = admin->Reload(index_path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+
+  // Batches *after* the RELOAD ack answer only from the new snapshot.
+  auto post = admin->Batch({query_line});
+  ASSERT_TRUE(post.ok()) << post.status();
+  ASSERT_EQ(post->size(), 1u);
+  ASSERT_TRUE((*post)[0].status.ok());
+  ExpectWireMatches(net_a.dictionary(), expect_b, (*post)[0].trusses,
+                    "post-reload batch");
+
+  const uint64_t at_reload = answered.load();
+  while (answered.load() < at_reload + 100 && failures.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(admin->Quit().ok());
+  server.Shutdown();
+  std::remove(index_path.c_str());
 }
 
 TEST(TcpServerTest, StartReportsBindFailures) {

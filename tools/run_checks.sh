@@ -11,10 +11,13 @@
 #    workload, and serve it twice — the warm pass must report a nonzero
 #    cache hit rate.
 # 4. Exercise the network path: start `tcf serve --listen` on an
-#    ephemeral port, drive it with `tcf client` (ping, queries, a
-#    workload, STATS, a RELOAD of a rebuilt index, QUIT), assert every
-#    client exit code, and check the server shuts down cleanly on
-#    SIGTERM.
+#    ephemeral port, drive it with `tcf client` (ping, queries, the
+#    workload both as one-request round trips and as pipelined BATCH
+#    exchanges, STATS, a RELOAD of a rebuilt index, QUIT), prove the
+#    server survives an abruptly closed connection (a peer that dies
+#    mid-BATCH), assert every client exit code, check the server does
+#    not leak file descriptors across all of that traffic, and check it
+#    shuts down cleanly on SIGTERM.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -83,11 +86,31 @@ done
 [ -n "$PORT" ] || { echo "FAIL: server never reported its port"; exit 1; }
 echo "server is up on port $PORT"
 
+# Baseline fd count, taken once the server is idle and listening. Every
+# connection the smoke opens below must be returned by the time we
+# measure again — an epoll server that forgets to close parked or
+# half-dead sockets fails here.
+count_fds() { ls "/proc/$SERVER_PID/fd" | wc -l; }
+FDS_BEFORE="$(count_fds)"
+
 # Ping + a query + STATS over one connection (ends with QUIT).
 "$TCF" client --port="$PORT" --ping --query="0.01;s1,s2" --stats
 
-# The whole workload over the wire.
+# The whole workload over the wire, one request per round trip.
 "$TCF" client --port="$PORT" --workload="$TMP/workload.txt"
+
+# The same workload as pipelined BATCH exchanges (64 queries per round
+# trip): same answers, a fraction of the round trips.
+"$TCF" client --port="$PORT" --batch="$TMP/workload.txt" --batch-size=64
+
+# An abruptly closed connection — a peer that announces a BATCH, sends
+# part of the body, and vanishes — must not wedge or kill the server.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'PING\nBATCH 5\n0.01;s1\n0.01;s' >&3
+exec 3<&- 3>&-
+"$TCF" client --port="$PORT" --ping --query="0.01;s1,s2" \
+  || { echo "FAIL: server unhealthy after abrupt close"; exit 1; }
+echo "OK: server survived an abruptly closed mid-BATCH connection"
 
 # Hot-reload: rebuild the index (single-threaded this time, same tree)
 # and roll it in under the running server, then query again.
@@ -101,6 +124,31 @@ if "$TCF" client --port="$PORT" --query="nan;s1" 2>/dev/null; then
   echo "FAIL: malformed query did not fail the client"; exit 1
 fi
 "$TCF" client --port="$PORT" --ping
+
+# A malformed line inside a BATCH must fail the client the same way,
+# and leave the server standing (the bad slot answers ERR; its
+# neighbours still answer).
+printf '0.01;s1\nnan;s1\n0.01;s2\n' > "$TMP/bad_batch.txt"
+if "$TCF" client --port="$PORT" --batch="$TMP/bad_batch.txt" 2>/dev/null
+then
+  echo "FAIL: malformed batch line did not fail the client"; exit 1
+fi
+"$TCF" client --port="$PORT" --ping
+
+# No fd leaks: every connection above (client sessions, the workload
+# runs, the abruptly closed peer) must be back. Poll briefly — the
+# server reaps dead peers asynchronously.
+FDS_AFTER="$(count_fds)"
+for _ in $(seq 50); do
+  FDS_AFTER="$(count_fds)"
+  [ "$FDS_AFTER" -le "$FDS_BEFORE" ] && break
+  sleep 0.1
+done
+if [ "$FDS_AFTER" -gt "$FDS_BEFORE" ]; then
+  echo "FAIL: server leaks fds ($FDS_BEFORE before traffic, $FDS_AFTER after)"
+  exit 1
+fi
+echo "OK: no fd leak ($FDS_BEFORE fds before traffic, $FDS_AFTER after)"
 
 # Graceful shutdown: SIGTERM, clean exit code, final report printed.
 kill -TERM "$SERVER_PID"

@@ -35,19 +35,24 @@
 //       Long-lived server mode (mutually exclusive with --workload):
 //       answer remote clients over the TCF1 line protocol
 //       (docs/serve-protocol.md) on ADDR:PORT (default 127.0.0.1;
-//       PORT 0 = kernel-assigned, printed on startup). Up to C
-//       connections (default 8) are serviced concurrently. RELOAD lets
-//       a client hot-swap in a rebuilt index unless --no-reload is
-//       given. SIGINT/SIGTERM shut down gracefully and print the final
-//       serving report.
+//       PORT 0 = kernel-assigned, printed on startup). Connections are
+//       parked in an epoll event loop (idle ones cost a file
+//       descriptor, not a thread); T workers (default 4) execute ready
+//       requests; C caps open connections (default 0 = unlimited).
+//       RELOAD lets a client hot-swap in a rebuilt index unless
+//       --no-reload is given. SIGINT/SIGTERM shut down gracefully and
+//       print the final serving report.
 //   client  --port=PORT [--host=ADDR] [--ping] [--reload=FILE.idx]
-//           [--query=LINE] [--workload=FILE] [--stats]
+//           [--query=LINE] [--batch=FILE] [--batch-size=B]
+//           [--workload=FILE] [--stats]
 //       Connect to a running `tcf serve --listen` server and run the
-//       given actions in order (ping, reload, query, workload, stats),
-//       always ending with QUIT. --query takes one `alpha;item,...`
-//       line and prints the returned communities; --workload streams a
-//       workload file and prints one count per query. Exits non-zero if
-//       any action fails.
+//       given actions in order (ping, reload, query, batch, workload,
+//       stats), always ending with QUIT. --query takes one
+//       `alpha;item,...` line and prints the returned communities;
+//       --batch streams a workload file as pipelined `BATCH` exchanges
+//       of B queries per round trip (default 128); --workload streams
+//       it one request per round trip and prints one count per query.
+//       Exits non-zero if any action fails.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -135,8 +140,8 @@ int Usage() {
                "[--index=FILE.idx] [--threads=T] [--cache-mb=M] "
                "[--max-conns=C] [--max-nodes=N] [--no-reload]\n"
                "  client   --port=PORT [--host=ADDR] [--ping] "
-               "[--reload=FILE.idx] [--query=LINE] [--workload=FILE] "
-               "[--stats]\n");
+               "[--reload=FILE.idx] [--query=LINE] [--batch=FILE] "
+               "[--batch-size=B] [--workload=FILE] [--stats]\n");
   return 2;
 }
 
@@ -389,7 +394,8 @@ int ServeListen(const Args& args, const DatabaseNetwork& net,
   TcpServerOptions server_options;
   server_options.bind_address = args.Get("host", "127.0.0.1");
   server_options.port = static_cast<uint16_t>(*port);
-  server_options.num_threads = args.GetUint("max-conns", 8);
+  server_options.num_threads = threads;
+  server_options.max_connections = args.GetUint("max-conns", 0);
   server_options.allow_reload = args.Get("no-reload", "") != "true";
   TcpServer server(service, server_options);
   // Handlers go in *before* the listening banner: a supervisor that
@@ -401,8 +407,8 @@ int ServeListen(const Args& args, const DatabaseNetwork& net,
     std::fprintf(stderr, "serve: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("serve: listening on %s:%u (%zu query threads, %zu MiB "
-              "cache, reload %s)\n",
+  std::printf("serve: listening on %s:%u (epoll loop, %zu workers, "
+              "%zu MiB cache, reload %s)\n",
               server.bind_address().c_str(), server.port(), threads,
               cache_mb, server_options.allow_reload ? "on" : "off");
   std::fflush(stdout);  // the smoke test greps a redirected log for this
@@ -578,6 +584,55 @@ int CmdClient(const Args& args) {
     std::printf("query '%s': %zu communities\n", query.c_str(),
                 trusses->size());
     for (const WireTruss& truss : *trusses) PrintWireTruss(truss);
+  }
+
+  if (const std::string path = args.Get("batch", ""); !path.empty()) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "client: cannot open batch file %s\n",
+                   path.c_str());
+      return 1;
+    }
+    const size_t batch_size = std::max<uint64_t>(
+        1, std::min<uint64_t>(args.GetUint("batch-size", 128),
+                              kMaxBatchLines));
+    std::vector<std::string> pending;
+    std::string line;
+    size_t queries = 0, trusses_total = 0, batches = 0;
+    // Returns false (after printing) on a transport or per-slot error.
+    auto flush = [&]() -> bool {
+      if (pending.empty()) return true;
+      auto items = (*client)->Batch(pending);
+      if (!items.ok()) {
+        std::fprintf(stderr, "client: batch: %s\n",
+                     items.status().ToString().c_str());
+        return false;
+      }
+      for (size_t i = 0; i < items->size(); ++i) {
+        const Client::BatchItem& item = (*items)[i];
+        if (!item.status.ok()) {
+          std::fprintf(stderr, "client: batch: '%s': %s\n",
+                       pending[i].c_str(), item.status.ToString().c_str());
+          return false;
+        }
+        ++queries;
+        trusses_total += item.trusses.size();
+      }
+      ++batches;
+      pending.clear();
+      return true;
+    };
+    while (std::getline(in, line)) {
+      const std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      pending.emplace_back(trimmed);
+      if (pending.size() == batch_size && !flush()) return 1;
+    }
+    if (!flush()) return 1;
+    std::printf("batch %s: %zu queries in %zu round trip%s, "
+                "%zu communities\n",
+                path.c_str(), queries, batches, batches == 1 ? "" : "s",
+                trusses_total);
   }
 
   if (const std::string path = args.Get("workload", ""); !path.empty()) {
