@@ -1,6 +1,8 @@
 #include "core/tc_tree_query.h"
 
 #include <deque>
+#include <unordered_map>
+#include <utility>
 
 namespace tcf {
 
@@ -45,6 +47,99 @@ TcTreeQueryResult QueryTcTree(const TcTree& tree, const Itemset& q,
     }
   }
   return result;
+}
+
+TcTreeQueryResult ComposeTcTreeQuery(const TcTree& tree, const Itemset& q,
+                                     double alpha_q,
+                                     const std::vector<SubPatternCover>& covers,
+                                     const TcTreeQueryOptions& options,
+                                     TcTreeComposeStats* compose_stats) {
+  if (covers.empty() || covers.size() > 64 || options.min_truss_edges != 0 ||
+      options.max_results != 0) {
+    return QueryTcTree(tree, q, alpha_q, options);
+  }
+  const CohesionValue aq = QuantizeAlpha(alpha_q);
+
+  // item → bitmask of covers containing it; the pattern of a node is ⊆
+  // cover j iff every item on its root trail keeps bit j alive.
+  std::unordered_map<ItemId, uint64_t> item_masks;
+  // pattern → its truss inside some cover. Two covers both containing p
+  // hold identical trusses (same tree, same α_q), so first-in wins.
+  std::unordered_map<Itemset, const PatternTruss*, ItemsetHash> reusable;
+  for (size_t j = 0; j < covers.size(); ++j) {
+    for (ItemId item : *covers[j].itemset) {
+      item_masks[item] |= uint64_t{1} << j;
+    }
+    for (const PatternTruss& t : covers[j].result->trusses) {
+      reusable.emplace(t.pattern, &t);
+    }
+  }
+  const uint64_t all_covers =
+      covers.size() == 64 ? ~uint64_t{0} : (uint64_t{1} << covers.size()) - 1;
+
+  TcTreeQueryResult result;
+  // (node, bitmask of covers its pattern is still ⊆ of). The empty root
+  // pattern is a subset of every cover.
+  std::deque<std::pair<TcTree::NodeId, uint64_t>> queue;
+  queue.emplace_back(TcTree::kRoot, all_covers);
+  while (!queue.empty()) {
+    const auto [f, mask] = queue.front();
+    queue.pop_front();
+    for (TcTree::NodeId c : tree.node(f).children) {
+      const TcTree::Node& child = tree.node(c);
+      if (!q.Contains(child.item)) continue;  // subtree can't be ⊆ q
+      ++result.visited_nodes;
+      uint64_t child_mask = 0;
+      if (mask != 0) {
+        const auto it = item_masks.find(child.item);
+        if (it != item_masks.end()) child_mask = mask & it->second;
+      }
+      if (child_mask != 0) {
+        // Covered: the cover's answer already settled this pattern.
+        const auto hit = reusable.find(tree.PatternOf(c));
+        if (hit == reusable.end()) {
+          // ⊆ a cover yet absent from its answer: C*_p(α_q) = ∅, and by
+          // Prop. 5.2 so is every descendant's truss.
+          if (compose_stats != nullptr) ++compose_stats->covered_prunes;
+          continue;
+        }
+        result.trusses.push_back(*hit->second);
+        ++result.retrieved_nodes;
+        if (compose_stats != nullptr) ++compose_stats->reused_trusses;
+        queue.emplace_back(c, child_mask);
+        continue;
+      }
+      // Residual probe: no cover speaks for this pattern (nor, since
+      // supersets of an uncovered pattern stay uncovered, for anything
+      // below it — hence mask 0 on descent). Same arithmetic as
+      // QueryTcTree.
+      if (child.decomposition.max_alpha() <= aq) continue;
+      PatternTruss truss;
+      truss.pattern = tree.PatternOf(c);
+      truss.edges = child.decomposition.EdgesAtAlphaQ(aq);
+      if (truss.edges.empty()) continue;
+      queue.emplace_back(c, uint64_t{0});
+      if (options.materialize_vertices) {
+        FillVerticesFromEdges(child.decomposition.vertices(),
+                              child.decomposition.frequencies(), &truss);
+      }
+      result.trusses.push_back(std::move(truss));
+      ++result.retrieved_nodes;
+      if (compose_stats != nullptr) ++compose_stats->computed_trusses;
+    }
+  }
+  return result;
+}
+
+TcTreeQueryResult DeriveSubResult(const TcTreeQueryResult& full,
+                                  const Itemset& s) {
+  TcTreeQueryResult out;
+  for (const PatternTruss& t : full.trusses) {
+    if (t.pattern.IsSubsetOf(s)) out.trusses.push_back(t);
+  }
+  out.retrieved_nodes = out.trusses.size();
+  out.visited_nodes = out.trusses.size();
+  return out;
 }
 
 std::vector<ThemeCommunity> QueryThemeCommunities(const TcTree& tree,

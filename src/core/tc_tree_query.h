@@ -43,6 +43,63 @@ TcTreeQueryResult QueryTcTree(const TcTree& tree, const Itemset& q,
                               double alpha_q,
                               const TcTreeQueryOptions& options = {});
 
+/// A reusable building block for answering `(q, α_q)` by composition:
+/// the complete answer of an earlier query `(itemset, α_q)` with
+/// `itemset ⊆ q`, produced over the *same* tree snapshot with the same
+/// options. Because the answer for q is the superset-union over all
+/// patterns p ⊆ q (§6.3), the cover's trusses are exactly the members
+/// of the answer whose pattern is ⊆ `itemset` — and a pattern p ⊆
+/// `itemset` *missing* from the cover proves `C*_p(α_q) = ∅`, which by
+/// Prop. 5.2 empties p's whole subtree.
+struct SubPatternCover {
+  const Itemset* itemset = nullptr;
+  const TcTreeQueryResult* result = nullptr;
+};
+
+/// How ComposeTcTreeQuery assembled its answer (for cache accounting).
+struct TcTreeComposeStats {
+  uint64_t reused_trusses = 0;    // copied from a cover
+  uint64_t computed_trusses = 0;  // rebuilt from decompositions
+  uint64_t covered_prunes = 0;    // subtrees cut by a cover's absence
+};
+
+/// \brief Answers `(q, α_q)` as the deduplicated union of the covers'
+/// trusses plus a residual tree probe for the uncovered sub-patterns.
+///
+/// Walks the same pruned BFS as QueryTcTree, threading a bitmask of
+/// which covers still contain the node's pattern. A covered node takes
+/// its truss from the cover (or prunes its subtree when the cover lacks
+/// it) without touching the node's decomposition — that reconstruction
+/// is the cost a cover saves; only uncovered nodes fall back to the
+/// QueryTcTree arithmetic. Trusses arrive in the identical BFS order, so
+/// the result equals QueryTcTree(tree, q, α_q) field for field.
+///
+/// Preconditions: every cover was computed over `tree` at the same
+/// quantized α_q with the same `options`, and the result-shaping knobs
+/// are off (`min_truss_edges == 0`, `max_results == 0` — a cover that
+/// dropped or truncated trusses would turn "absent" into a false empty
+/// proof). Violations (or > 64 covers) fall back to a plain QueryTcTree.
+TcTreeQueryResult ComposeTcTreeQuery(const TcTree& tree, const Itemset& q,
+                                     double alpha_q,
+                                     const std::vector<SubPatternCover>& covers,
+                                     const TcTreeQueryOptions& options = {},
+                                     TcTreeComposeStats* compose_stats =
+                                         nullptr);
+
+/// \brief Projects the answer for `q` down to the answer for `s ⊆ q`
+/// without touching the tree: keeps exactly the trusses whose pattern is
+/// ⊆ s, in order.
+///
+/// Sound because the answer for s is `{C*_p(α) ≠ ∅ : p ⊆ s}` — a stable
+/// filter of the answer for q — and the BFS visit order over s's
+/// subforest is a subsequence of the visit order over q's. Requires
+/// `full` to be a complete answer (`min_truss_edges == 0`,
+/// `max_results == 0`). `visited_nodes` is set to the kept-truss count —
+/// the walk that never happened can't be counted, and the conservative
+/// value keeps cost-aware cache admission honest.
+TcTreeQueryResult DeriveSubResult(const TcTreeQueryResult& full,
+                                  const Itemset& s);
+
 /// Convenience: query, then split every retrieved truss into its theme
 /// communities (Def. 3.5).
 std::vector<ThemeCommunity> QueryThemeCommunities(

@@ -349,6 +349,11 @@ std::vector<std::string> EncodeStats(const ServeReport& report) {
   add_u("batches", report.batches);
   add_u("batch_queries", report.batch_queries);
   add_u("batch_max_depth", report.batch_max_depth);
+  // Subset-composable cache counters — appended at the end, per the
+  // STATS compatibility rule (docs/serve-protocol.md).
+  add_u("cache_partial_hits", report.cache.partial_hits);
+  add_u("cache_composed_queries", report.cache.composed_queries);
+  add_u("cache_admission_rejects", report.cache.admission_rejects);
   return lines;
 }
 

@@ -21,7 +21,8 @@ QueryService::QueryService(TcTree tree, ItemDictionary dictionary,
   if (options_.cache_bytes > 0) {
     cache_ = std::make_unique<ResultCache>(ResultCacheOptions{
         .capacity_bytes = options_.cache_bytes,
-        .num_shards = options_.cache_shards});
+        .num_shards = options_.cache_shards,
+        .admission_bytes_per_node = options_.cache_admission_bytes_per_node});
   }
 }
 
@@ -39,6 +40,52 @@ std::shared_ptr<const TcTree> QueryService::snapshot() const {
   return snapshot_;
 }
 
+bool QueryService::CanCompose(const Itemset& items) const {
+  return options_.cache_composition && items.size() >= 2 &&
+         options_.query_options.min_truss_edges == 0 &&
+         options_.query_options.max_results == 0;
+}
+
+bool QueryService::ShouldCompose(const Itemset& items) const {
+  return CanCompose(items) &&
+         (options_.cache_compose_min_walk_us <= 0 ||
+          walk_us_ewma_.load(std::memory_order_relaxed) >=
+              options_.cache_compose_min_walk_us);
+}
+
+bool QueryService::ShouldSampleWalk() {
+  // The gate floor being 0 means "always compose" — tests and smoke
+  // checks rely on that being literal, so sampling is off too.
+  if (options_.cache_compose_min_walk_us <= 0) return false;
+  return composable_misses_.fetch_add(1, std::memory_order_relaxed) % 64 ==
+         0;
+}
+
+void QueryService::RecordWalkMicros(double micros) {
+  double ewma = walk_us_ewma_.load(std::memory_order_relaxed);
+  double next = ewma == 0 ? micros : 0.9 * ewma + 0.1 * micros;
+  while (!walk_us_ewma_.compare_exchange_weak(
+      ewma, next, std::memory_order_relaxed)) {
+    next = ewma == 0 ? micros : 0.9 * ewma + 0.1 * micros;
+  }
+}
+
+void QueryService::AdmitDerivedSubsets(
+    const Itemset& items, CohesionValue alpha_q, const Result& result,
+    uint64_t epoch_seen, const std::shared_ptr<const TcTree>& tree) {
+  if (!options_.cache_admit_derived || !ShouldCompose(items) ||
+      items.size() > 8) {
+    return;
+  }
+  for (const Itemset& sub : items.AllSubsetsMinusOne()) {
+    if (sub.empty() || cache_->Contains(sub, alpha_q)) continue;
+    cache_->Insert(sub, alpha_q,
+                   std::make_shared<TcTreeQueryResult>(
+                       DeriveSubResult(*result, sub)),
+                   epoch_seen, tree, /*speculative=*/true);
+  }
+}
+
 QueryService::Result QueryService::Execute(const ServeQuery& query) {
   WallTimer timer;
   const CohesionValue alpha_q = QuantizeAlpha(query.alpha);
@@ -54,9 +101,40 @@ QueryService::Result QueryService::Execute(const ServeQuery& query) {
   // while we compute, the epoch check in Insert drops our stale answer.
   const uint64_t epoch = cache_ ? cache_->epoch() : 0;
   const std::shared_ptr<const TcTree> tree = snapshot();
-  auto result = std::make_shared<TcTreeQueryResult>(
-      QueryTcTree(*tree, query.items, query.alpha, options_.query_options));
-  if (cache_) cache_->Insert(query.items, alpha_q, result, epoch);
+
+  std::shared_ptr<TcTreeQueryResult> result;
+  if (cache_ && ShouldCompose(query.items) && !ShouldSampleWalk()) {
+    // Partial reuse: compose the answer from cached subset answers plus
+    // a residual probe. Covers are tagged with the snapshot they were
+    // computed from, so a swap racing this miss can at worst leave the
+    // plan empty — never mix answers from two trees.
+    const std::vector<ResultCache::CachedCover> covers =
+        cache_->LookupSubsets(query.items, alpha_q, tree.get());
+    if (!covers.empty()) {
+      std::vector<SubPatternCover> blocks;
+      blocks.reserve(covers.size());
+      for (const ResultCache::CachedCover& cover : covers) {
+        blocks.push_back({&cover.itemset, cover.value.get()});
+      }
+      result = std::make_shared<TcTreeQueryResult>(
+          ComposeTcTreeQuery(*tree, query.items, query.alpha, blocks,
+                             options_.query_options));
+    }
+  }
+  if (result == nullptr) {
+    // A full walk: its cost feeds the work-aware gate, so partial reuse
+    // engages exactly on the workloads where walks are expensive. CPU
+    // time, not wall time — an oversubscribed worker pool would
+    // otherwise inflate every sample by the timeslicing factor.
+    ThreadCpuTimer walk_timer;
+    result = std::make_shared<TcTreeQueryResult>(
+        QueryTcTree(*tree, query.items, query.alpha, options_.query_options));
+    RecordWalkMicros(walk_timer.Micros());
+  }
+  if (cache_) {
+    cache_->Insert(query.items, alpha_q, result, epoch, tree);
+    AdmitDerivedSubsets(query.items, alpha_q, result, epoch, tree);
+  }
 
   stats_.RecordQuery(timer.Micros(), result->trusses.size());
   return result;

@@ -1,6 +1,7 @@
 #ifndef TCF_SERVE_QUERY_SERVICE_H_
 #define TCF_SERVE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,6 +53,29 @@ struct QueryServiceOptions {
   size_t cache_bytes = size_t{64} << 20;
   /// Result-cache shards (see ResultCacheOptions::num_shards).
   size_t cache_shards = 16;
+  /// When true, a miss for `(q, α)` probes the cache for sub-pattern
+  /// covers (ResultCache::LookupSubsets) and composes the answer from
+  /// them plus a residual tree probe (ComposeTcTreeQuery) instead of
+  /// walking the whole tree. Only engaged while the result-shaping
+  /// query_options knobs are at their defaults — composition needs
+  /// complete answers. False restores the exact-only PR-1 cache.
+  bool cache_composition = true;
+  /// When true, answering `q` (2 ≤ |q| ≤ 8) also derives and admits the
+  /// answers for q's size-(|q|−1) sub-itemsets (DeriveSubResult): the
+  /// covers an overlapping workload's *next* superset query composes
+  /// with. Each derived entry still passes cost-aware admission.
+  bool cache_admit_derived = true;
+  /// Cost-aware admission knob, forwarded to
+  /// ResultCacheOptions::admission_bytes_per_node.
+  size_t cache_admission_bytes_per_node = size_t{64} << 10;
+  /// Work-aware engagement floor for partial reuse, in microseconds.
+  /// Subset probing and derived admission only run while the service's
+  /// EWMA of *full-walk* miss latency is at least this value — on
+  /// workloads whose tree walks are already nearly free (a handful of
+  /// visited nodes), every microsecond of cover planning is pure tax
+  /// and the cache behaves exactly-only. 0 engages partial reuse
+  /// unconditionally (tests and smoke checks use this).
+  double cache_compose_min_walk_us = 100.0;
   /// Per-query traversal knobs, fixed for the service's lifetime so that
   /// cached results are interchangeable with fresh ones.
   TcTreeQueryOptions query_options;
@@ -117,11 +141,45 @@ class QueryService {
   ServeReport Report() const { return stats_.Report(cache_stats()); }
 
  private:
+  /// True when subset composition is both enabled and sound (the
+  /// result-shaping query_options knobs are off; see ComposeTcTreeQuery
+  /// preconditions) for a query over `items`.
+  bool CanCompose(const Itemset& items) const;
+
+  /// CanCompose plus the work-aware gate: full walks must currently be
+  /// expensive enough (cache_compose_min_walk_us) for reuse to pay.
+  bool ShouldCompose(const Itemset& items) const;
+
+  /// True for every 64th otherwise-composable miss: that miss walks the
+  /// tree instead, keeping the walk-cost EWMA a live estimate while
+  /// composition serves the rest — so the gate can disengage when a
+  /// snapshot swap or workload shift makes walks cheap, not only
+  /// engage. (An EWMA fed solely by pre-engagement walks would latch on
+  /// a few cold-start outliers forever.)
+  bool ShouldSampleWalk();
+
+  /// Folds one measured full-walk miss latency into the EWMA behind
+  /// ShouldCompose.
+  void RecordWalkMicros(double micros);
+
+  /// Derives answers for `items`'s size-(|items|−1) sub-itemsets from
+  /// `result` and admits the ones not already resident (see
+  /// QueryServiceOptions::cache_admit_derived).
+  void AdmitDerivedSubsets(const Itemset& items, CohesionValue alpha_q,
+                           const Result& result, uint64_t epoch_seen,
+                           const std::shared_ptr<const TcTree>& tree);
+
   ItemDictionary dictionary_;
   QueryServiceOptions options_;
   ThreadPool pool_;
   std::unique_ptr<ResultCache> cache_;  // null when caching is disabled
   ServeStats stats_;
+  /// EWMA (α = 0.1) of full-walk miss latency, µs. Composed misses do
+  /// not update it — it tracks what a walk *would* cost, so the gate
+  /// cannot oscillate by measuring its own savings; ShouldSampleWalk's
+  /// periodic forced walks keep it live while composition is engaged.
+  std::atomic<double> walk_us_ewma_{0.0};
+  std::atomic<uint64_t> composable_misses_{0};  // ShouldSampleWalk clock
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const TcTree> snapshot_;

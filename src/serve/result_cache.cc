@@ -1,6 +1,8 @@
 #include "serve/result_cache.h"
 
+#include <algorithm>
 #include <atomic>
+#include <unordered_set>
 #include <utility>
 
 namespace tcf {
@@ -39,6 +41,9 @@ ResultCache::ResultCache(const ResultCacheOptions& options) {
     shards_.push_back(std::make_unique<Shard>());
   }
   shard_capacity_bytes_ = options.capacity_bytes / shards;
+  admission_bytes_per_node_ = options.admission_bytes_per_node;
+  max_covers_ = std::min<size_t>(options.max_covers, 64);
+  subset_enum_limit_ = std::min<size_t>(options.subset_enum_limit, 16);
 }
 
 ResultCache::Value ResultCache::Lookup(const Itemset& q, CohesionValue alpha) {
@@ -57,18 +62,162 @@ ResultCache::Value ResultCache::Lookup(const Itemset& q, CohesionValue alpha) {
   return it->second->value;
 }
 
+bool ResultCache::Contains(const Itemset& q, CohesionValue alpha) const {
+  const size_t hash = HashKey(q.items(), alpha);
+  const Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index.find(KeyRef{&q.items(), alpha, hash}) !=
+         shard.index.end();
+}
+
+std::vector<ResultCache::CachedCover> ResultCache::LookupSubsets(
+    const Itemset& q, CohesionValue alpha, const void* snapshot) {
+  std::vector<CachedCover> candidates;
+  if (shard_capacity_bytes_ == 0 || max_covers_ == 0 || snapshot == nullptr ||
+      q.size() < 2) {
+    return candidates;
+  }
+  const std::vector<ItemId>& items = q.items();
+  if (items.size() <= subset_enum_limit_) {
+    // Small query: point-probe every proper non-empty subset. A mask
+    // selects a subsequence of the sorted items, so each probe key is
+    // already canonical.
+    const uint64_t full = (uint64_t{1} << items.size()) - 1;
+    std::vector<ItemId> subset;
+    for (uint64_t mask = 1; mask < full; ++mask) {
+      subset.clear();
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (mask & (uint64_t{1} << i)) subset.push_back(items[i]);
+      }
+      const size_t hash = HashKey(subset, alpha);
+      Shard& shard = ShardFor(hash);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.index.find(KeyRef{&subset, alpha, hash});
+      if (it == shard.index.end()) continue;
+      if (it->second->snapshot.get() != snapshot) continue;
+      candidates.push_back({Itemset(subset), it->second->value});
+    }
+  } else {
+    for (const auto& shard_ptr : shards_) {
+      Shard& shard = *shard_ptr;
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto consider = [&](const Entry& entry) {
+        if (entry.key.alpha != alpha) return;
+        if (entry.snapshot.get() != snapshot) return;
+        if (entry.key.items.size() >= items.size()) return;
+        if (!std::includes(items.begin(), items.end(),
+                           entry.key.items.begin(),
+                           entry.key.items.end())) {
+          return;
+        }
+        candidates.push_back({Itemset(entry.key.items), entry.value});
+      };
+      if (items.size() >= shard.lru.size()) {
+        // Wildcard-sized queries ('0;*' expands to the whole
+        // dictionary): scanning the resident entries — bounded by
+        // capacity — beats walking a posting list per query item.
+        for (const Entry& entry : shard.lru) consider(entry);
+      } else {
+        // Any cached subset must contain one of q's items, so the
+        // union of q's posting lists covers every candidate.
+        std::unordered_set<const Entry*> seen;
+        for (ItemId item : items) {
+          const auto posting = shard.by_item.find(item);
+          if (posting == shard.by_item.end()) continue;
+          for (const Entry* entry : posting->second) {
+            if (seen.insert(entry).second) consider(*entry);
+          }
+        }
+      }
+    }
+  }
+  std::vector<CachedCover> plan = PlanCovers(std::move(candidates));
+  // Promote only the covers actually returned: splicing every candidate
+  // would keep perpetually refreshing subsumed entries the planner
+  // always drops, aging genuinely hot entries out instead of them.
+  for (const CachedCover& cover : plan) {
+    const size_t hash = HashKey(cover.itemset.items(), alpha);
+    Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it =
+        shard.index.find(KeyRef{&cover.itemset.items(), alpha, hash});
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    }
+  }
+  if (!plan.empty()) {
+    composed_queries_.fetch_add(1, std::memory_order_relaxed);
+    partial_hits_.fetch_add(plan.size(), std::memory_order_relaxed);
+  }
+  return plan;
+}
+
+std::vector<ResultCache::CachedCover> ResultCache::PlanCovers(
+    std::vector<CachedCover> candidates) const {
+  // Largest first: a big cover settles more patterns per composition
+  // probe, and makes the subsumption filter below effective.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const CachedCover& a, const CachedCover& b) {
+                     return a.itemset.size() > b.itemset.size();
+                   });
+  std::vector<CachedCover> plan;
+  for (CachedCover& candidate : candidates) {
+    if (plan.size() >= max_covers_) break;
+    bool subsumed = false;
+    for (const CachedCover& chosen : plan) {
+      if (candidate.itemset.IsSubsetOf(chosen.itemset)) {
+        subsumed = true;  // every pattern ⊆ candidate is ⊆ chosen already
+        break;
+      }
+    }
+    if (!subsumed) plan.push_back(std::move(candidate));
+  }
+  return plan;
+}
+
 void ResultCache::Insert(const Itemset& q, CohesionValue alpha, Value value) {
   Insert(q, alpha, std::move(value), epoch());
 }
 
+void ResultCache::UnindexEntry(Shard& shard, std::list<Entry>::iterator it) {
+  shard.index.erase(it->Ref());
+  for (ItemId item : it->key.items) {
+    const auto posting = shard.by_item.find(item);
+    if (posting == shard.by_item.end()) continue;
+    auto& list = posting->second;
+    const auto where = std::find(list.begin(), list.end(), &*it);
+    if (where != list.end()) {
+      *where = list.back();
+      list.pop_back();
+    }
+    if (list.empty()) shard.by_item.erase(posting);
+  }
+}
+
 void ResultCache::Insert(const Itemset& q, CohesionValue alpha, Value value,
-                         uint64_t epoch_seen) {
+                         uint64_t epoch_seen,
+                         std::shared_ptr<const void> snapshot,
+                         bool speculative) {
   if (shard_capacity_bytes_ == 0 || value == nullptr) return;
   const size_t cost = CostOf(q, *value);
-  if (cost > shard_capacity_bytes_) return;  // never admissible
-
   const size_t hash = HashKey(q.items(), alpha);
   Shard& shard = ShardFor(hash);
+  // Cost-aware admission, speculative entries only: a derived result
+  // that pins many bytes but would save little work (visited_nodes)
+  // must not evict denser entries someone actually asked for. Demanded
+  // answers are exempt — their rebuild cost scales with their own
+  // payload. An entry larger than the whole shard is never admissible
+  // regardless (it would only evict everything and then be evicted
+  // itself on the next insert).
+  const bool too_expensive =
+      speculative && admission_bytes_per_node_ != 0 &&
+      cost > admission_bytes_per_node_ * (value->visited_nodes + 1);
+  if (too_expensive || cost > shard_capacity_bytes_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ++shard.admission_rejects;
+    return;
+  }
+
   std::lock_guard<std::mutex> lock(shard.mu);
   if (epoch_.load(std::memory_order_acquire) != epoch_seen) return;
   auto it = shard.index.find(KeyRef{&q.items(), alpha, hash});
@@ -76,22 +225,26 @@ void ResultCache::Insert(const Itemset& q, CohesionValue alpha, Value value,
     // Same key already resident (e.g. two threads raced on the same
     // miss): drop the old entry and fall through to the normal insert
     // path, so a larger replacement still respects the capacity bound.
-    // Unlink from the map first — its key views the list entry.
+    // Unlink from the maps first — the index key views the list entry.
     const auto stale = it->second;
     shard.bytes -= stale->cost;
-    shard.index.erase(it);
+    UnindexEntry(shard, stale);
     shard.lru.erase(stale);
   }
   while (shard.bytes + cost > shard_capacity_bytes_ && !shard.lru.empty()) {
-    const Entry& victim = shard.lru.back();
-    shard.bytes -= victim.cost;
-    shard.index.erase(victim.Ref());
+    const auto victim = std::prev(shard.lru.end());
+    shard.bytes -= victim->cost;
+    UnindexEntry(shard, victim);
     shard.lru.pop_back();
     ++shard.evictions;
   }
-  shard.lru.push_front(
-      Entry{Key{q.items(), alpha, hash}, std::move(value), cost});
-  shard.index.emplace(shard.lru.front().Ref(), shard.lru.begin());
+  shard.lru.push_front(Entry{Key{q.items(), alpha, hash}, std::move(value),
+                             cost, std::move(snapshot)});
+  Entry& entry = shard.lru.front();
+  shard.index.emplace(entry.Ref(), shard.lru.begin());
+  for (ItemId item : entry.key.items) {
+    shard.by_item[item].push_back(&entry);
+  }
   shard.bytes += cost;
   ++shard.inserts;
 }
@@ -104,6 +257,7 @@ void ResultCache::Invalidate() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->index.clear();  // before the list: its keys view list entries
+    shard->by_item.clear();
     shard->lru.clear();
     shard->bytes = 0;
   }
@@ -113,12 +267,15 @@ ResultCacheStats ResultCache::Stats() const {
   ResultCacheStats stats;
   stats.capacity_bytes = shard_capacity_bytes_ * shards_.size();
   stats.invalidations = epoch();
+  stats.partial_hits = partial_hits_.load(std::memory_order_relaxed);
+  stats.composed_queries = composed_queries_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     stats.hits += shard->hits;
     stats.misses += shard->misses;
     stats.inserts += shard->inserts;
     stats.evictions += shard->evictions;
+    stats.admission_rejects += shard->admission_rejects;
     stats.entries += shard->lru.size();
     stats.bytes += shard->bytes;
   }
@@ -126,10 +283,11 @@ ResultCacheStats ResultCache::Stats() const {
 }
 
 size_t ResultCache::CostOf(const Itemset& q, const TcTreeQueryResult& result) {
-  // Entry + its share of the list and map nodes (key stored once; the
-  // map is keyed by a view into the entry).
+  // Entry + its share of the list, map, and inverted-index nodes (key
+  // stored once; the map is keyed by a view into the entry).
   constexpr size_t kNodeOverhead = 6 * sizeof(void*) + sizeof(KeyRef);
-  size_t bytes = sizeof(Entry) + kNodeOverhead + q.size() * sizeof(ItemId) +
+  size_t bytes = sizeof(Entry) + kNodeOverhead +
+                 q.size() * (sizeof(ItemId) + sizeof(Entry*)) +
                  result.trusses.capacity() * sizeof(PatternTruss);
   for (const PatternTruss& t : result.trusses) {
     bytes += t.pattern.size() * sizeof(ItemId);

@@ -23,17 +23,35 @@ struct ResultCacheOptions {
   /// Number of independently locked shards; rounded up to a power of two
   /// so shard selection is a mask. More shards = less lock contention.
   size_t num_shards = 16;
+  /// Cost-aware admission for *speculative* inserts (derived
+  /// sub-results nobody asked for yet): such an entry is admitted only
+  /// when its heap cost is at most `admission_bytes_per_node ×
+  /// (visited_nodes + 1)` — the bytes it pins must be justified by the
+  /// work its answer saves. Demanded answers are exempt: their rebuild
+  /// cost scales with their own payload, so the byte-vs-work test would
+  /// only refuse the entries most worth keeping. 0 disables the policy.
+  size_t admission_bytes_per_node = size_t{64} << 10;
+  /// Most covers LookupSubsets returns per query. Clamped to 64: the
+  /// composition walk tracks coverage in a 64-bit mask.
+  size_t max_covers = 8;
+  /// Queries up to this many items take the exhaustive subset-
+  /// enumeration probe in LookupSubsets (2^|q|−2 point lookups); larger
+  /// queries scan the per-item inverted index instead. Capped at 16.
+  size_t subset_enum_limit = 8;
 };
 
 /// Point-in-time counters aggregated over all shards.
 struct ResultCacheStats {
-  uint64_t hits = 0;
+  uint64_t hits = 0;    // exact (q, α) matches
   uint64_t misses = 0;
   uint64_t inserts = 0;
   uint64_t evictions = 0;      // entries removed to make room
   uint64_t invalidations = 0;  // Invalidate() calls (snapshot swaps)
-  size_t entries = 0;          // resident entries
-  size_t bytes = 0;            // resident approximate bytes
+  uint64_t partial_hits = 0;   // cached sub-patterns reused as covers
+  uint64_t composed_queries = 0;   // misses that found ≥ 1 cover
+  uint64_t admission_rejects = 0;  // inserts refused by the cost policy
+  size_t entries = 0;              // resident entries
+  size_t bytes = 0;                // resident approximate bytes
   size_t capacity_bytes = 0;
 
   /// hits / (hits + misses), 0 when nothing was looked up.
@@ -43,13 +61,22 @@ struct ResultCacheStats {
   }
 };
 
-/// \brief Sharded LRU cache of TC-Tree query results.
+/// \brief Sharded, subset-composable LRU cache of TC-Tree query results.
 ///
-/// Keyed by the *exact* query: the canonical sorted itemset plus the
-/// quantized threshold. Because all cohesion arithmetic is fixed-point
-/// (core/cohesion.h), two α values that quantize to the same grid point
-/// provably produce identical answers, so serving the cached result is
-/// not an approximation — the key is exact.
+/// The pattern store is keyed by the *exact* query: the canonical sorted
+/// itemset plus the quantized threshold. Because all cohesion arithmetic
+/// is fixed-point (core/cohesion.h), two α values that quantize to the
+/// same grid point provably produce identical answers, so serving the
+/// cached result is not an approximation — the key is exact.
+///
+/// On top of the exact store, each shard keeps an inverted index from
+/// item → resident entries containing it, and `LookupSubsets` plans a
+/// set of cached *sub-pattern* answers (covers) that a miss for a
+/// superset query can compose with (ComposeTcTreeQuery) instead of
+/// walking the whole tree. Covers are only reusable against the tree
+/// snapshot they were computed from, so entries carry an opaque snapshot
+/// tag and LookupSubsets filters on it — a swap-in-progress can never
+/// mix answers from two trees into one composition.
 ///
 /// Values are shared_ptr-to-const: a result stays valid for readers that
 /// hold it even after eviction or Invalidate(), and concurrent queries
@@ -57,10 +84,19 @@ struct ResultCacheStats {
 ///
 /// Thread safety: all methods are safe to call concurrently; each shard
 /// has its own mutex and LRU list, keyed by a hash of the query, so
-/// unrelated queries do not contend.
+/// unrelated queries do not contend. LookupSubsets locks one shard at a
+/// time.
 class ResultCache {
  public:
   using Value = std::shared_ptr<const TcTreeQueryResult>;
+
+  /// A cached sub-pattern answer planned as a composition building
+  /// block: `itemset ⊆ q` and `value` is its complete answer at the
+  /// probed α-bucket against the probed snapshot.
+  struct CachedCover {
+    Itemset itemset;
+    Value value;
+  };
 
   explicit ResultCache(const ResultCacheOptions& options = {});
 
@@ -71,10 +107,28 @@ class ResultCache {
   /// recently used, or nullptr on a miss.
   Value Lookup(const Itemset& q, CohesionValue alpha);
 
+  /// True if `(q, alpha)` is resident. Counts nothing and does not touch
+  /// LRU order — a side-effect-free probe for admission decisions.
+  bool Contains(const Itemset& q, CohesionValue alpha) const;
+
+  /// Plans covers for a miss on `(q, alpha)`: up to `max_covers` cached
+  /// entries at the same α-bucket whose itemset is a *proper* subset of
+  /// `q` and whose snapshot tag matches `snapshot` (pass
+  /// `tree_snapshot.get()`; entries inserted without a tag are never
+  /// returned). Small queries enumerate their subsets and point-probe
+  /// the store; large ones collect candidates through the inverted
+  /// index. The planner keeps the largest covers first and drops any
+  /// cover subsumed by an already-chosen one (it could only contribute
+  /// duplicate patterns). Returned covers are marked most recently used;
+  /// a non-empty plan counts one composed query and
+  /// `plan.size()` partial hits.
+  std::vector<CachedCover> LookupSubsets(const Itemset& q,
+                                         CohesionValue alpha,
+                                         const void* snapshot);
+
   /// Caches `value` for `(q, alpha)`, evicting least-recently-used
   /// entries of the same shard until it fits. An entry larger than the
-  /// whole shard is not admitted (it would only evict everything and
-  /// then be evicted itself on the next insert).
+  /// whole shard is refused and counted in `admission_rejects`.
   void Insert(const Itemset& q, CohesionValue alpha, Value value);
 
   /// Epoch-checked insert for writers racing against Invalidate(): the
@@ -82,9 +136,18 @@ class ResultCache {
   /// invalidation lands in between, the stale value is dropped instead
   /// of cached. The check runs under the shard lock and Invalidate()
   /// bumps the epoch before clearing, so no interleaving can leave a
-  /// pre-invalidation result resident afterwards.
+  /// pre-invalidation result resident afterwards. `snapshot` tags the
+  /// entry with the tree it was computed from (LookupSubsets only
+  /// reuses tagged entries); the shared_ptr keeps the tag comparable —
+  /// never dangling or recycled — for the entry's lifetime.
+  /// `speculative` marks an entry nobody queried for (a derived
+  /// sub-result) and subjects it to the cost-aware admission policy
+  /// (ResultCacheOptions::admission_bytes_per_node); demanded answers
+  /// pass `false` and are admitted whenever they fit.
   void Insert(const Itemset& q, CohesionValue alpha, Value value,
-              uint64_t epoch_seen);
+              uint64_t epoch_seen,
+              std::shared_ptr<const void> snapshot = nullptr,
+              bool speculative = false);
 
   /// Monotonic invalidation epoch (see the epoch-checked Insert).
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
@@ -130,6 +193,9 @@ class ResultCache {
     Key key;
     Value value;
     size_t cost = 0;
+    /// Identity of the tree snapshot the value answers for; owning, so
+    /// the pointer can never be recycled while the entry lives.
+    std::shared_ptr<const void> snapshot;
 
     KeyRef Ref() const { return {&key.items, key.alpha, key.hash}; }
   };
@@ -138,21 +204,41 @@ class ResultCache {
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<KeyRef, std::list<Entry>::iterator, KeyHash, KeyEq>
         index;
+    /// item → resident entries containing it (the subset-probe index for
+    /// queries too large to enumerate). Kept in lockstep with `lru`.
+    std::unordered_map<ItemId, std::vector<Entry*>> by_item;
     size_t bytes = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t inserts = 0;
     uint64_t evictions = 0;
+    uint64_t admission_rejects = 0;
   };
 
   Shard& ShardFor(size_t hash) {
     return *shards_[hash & (shards_.size() - 1)];
   }
+  const Shard& ShardFor(size_t hash) const {
+    return *shards_[hash & (shards_.size() - 1)];
+  }
+
+  /// Unlinks `it` from a shard's maps (not the LRU list) — inverted
+  /// index included. Caller holds the shard lock.
+  static void UnindexEntry(Shard& shard, std::list<Entry>::iterator it);
+
+  /// Largest-first greedy cover selection; see LookupSubsets.
+  std::vector<CachedCover> PlanCovers(
+      std::vector<CachedCover> candidates) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_capacity_bytes_ = 0;
+  size_t admission_bytes_per_node_ = 0;
+  size_t max_covers_ = 0;
+  size_t subset_enum_limit_ = 0;
   /// Bumped by Invalidate(); doubles as the invalidation counter.
   std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> partial_hits_{0};
+  std::atomic<uint64_t> composed_queries_{0};
 };
 
 }  // namespace tcf

@@ -38,6 +38,12 @@ TextTable ServeReport::ToTable() const {
   t.AddRow({"cache bytes", TextTable::Num(static_cast<uint64_t>(
                                cache.bytes))});
   t.AddRow({"cache evictions", TextTable::Num(cache.evictions)});
+  // Partial-reuse counters (subset-composable cache): a "partial hit" is
+  // one cached sub-pattern answer reused as a composition building block.
+  t.AddRow({"cache partial hits", TextTable::Num(cache.partial_hits)});
+  t.AddRow({"cache composed", TextTable::Num(cache.composed_queries)});
+  t.AddRow(
+      {"cache admission rejects", TextTable::Num(cache.admission_rejects)});
   // Network rows appear only once a transport is attached, so the
   // in-process `tcf serve --workload` report is unchanged.
   if (connections_accepted > 0) {

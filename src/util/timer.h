@@ -2,6 +2,7 @@
 #define TCF_UTIL_TIMER_H_
 
 #include <chrono>
+#include <ctime>
 
 namespace tcf {
 
@@ -27,6 +28,38 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// \brief Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID).
+///
+/// Measures compute cost, not elapsed time: preemption and worker-pool
+/// oversubscription do not inflate it, which is what a load-independent
+/// cost model (e.g. the serving layer's work-aware composition gate)
+/// needs — a wall clock under N threads on M < N cores reads N/M times
+/// the true cost. Falls back to 0-duration readings if the clock is
+/// unavailable (no known platform we build on).
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(Now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Now(); }
+
+  /// CPU seconds this thread spent since construction or Reset().
+  double Seconds() const { return Now() - start_; }
+
+  /// CPU microseconds elapsed.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  double start_;
 };
 
 }  // namespace tcf

@@ -1,0 +1,179 @@
+// Property tests for the subset-composition primitives behind the
+// serving layer's partial-reuse cache: ComposeTcTreeQuery must equal a
+// cold QueryTcTree for any cover set drawn from real sub-query answers,
+// and DeriveSubResult must project an answer for q down to the exact
+// answer for any s ⊆ q.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/tc_tree.h"
+#include "core/tc_tree_query.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeFigureOneNetwork;
+using testing::MakeRandomNetwork;
+using testing::RandomNetOptions;
+
+/// Field-for-field equality, traversal order included: composition must
+/// be indistinguishable from the cold walk, not merely set-equal.
+void ExpectIdentical(const TcTreeQueryResult& expected,
+                     const TcTreeQueryResult& actual,
+                     const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(expected.retrieved_nodes, actual.retrieved_nodes);
+  ASSERT_EQ(expected.trusses.size(), actual.trusses.size());
+  for (size_t i = 0; i < expected.trusses.size(); ++i) {
+    const PatternTruss& e = expected.trusses[i];
+    const PatternTruss& a = actual.trusses[i];
+    EXPECT_EQ(e.pattern, a.pattern);
+    EXPECT_EQ(e.edges, a.edges);
+    EXPECT_EQ(e.vertices, a.vertices);
+    EXPECT_EQ(e.frequencies, a.frequencies);  // bitwise: same code path
+    EXPECT_EQ(e.edge_cohesions, a.edge_cohesions);
+  }
+}
+
+/// A random sub-itemset of `q` (possibly empty or q itself).
+Itemset RandomSubset(const Itemset& q, Rng& rng) {
+  std::vector<ItemId> items;
+  for (ItemId item : q) {
+    if (rng.NextBool(0.5)) items.push_back(item);
+  }
+  return Itemset(std::move(items));
+}
+
+TEST(ComposeQueryTest, MatchesColdQueryOverRandomCovers) {
+  // The property test the cache leans on: for random overlapping
+  // itemsets, composing from any set of genuine sub-answers (including
+  // overlapping and subsumed ones) reproduces the cold answer exactly.
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 6, .seed = 19});
+  TcTree tree = TcTree::Build(net);
+  const std::vector<ItemId> items = net.ActiveItems();
+  Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<ItemId> subset;
+    const size_t len = 2 + rng.NextUint64(items.size() - 1);
+    for (size_t i = 0; i < len; ++i) {
+      subset.push_back(items[rng.NextUint64(items.size())]);
+    }
+    const Itemset q(std::move(subset));
+    const double alpha = 0.05 * static_cast<double>(rng.NextUint64(6));
+    const TcTreeQueryResult expected = QueryTcTree(tree, q, alpha);
+
+    // 0-4 covers, each the real answer of a random proper subset.
+    std::vector<Itemset> cover_sets;
+    std::vector<TcTreeQueryResult> cover_results;
+    const size_t num_covers = rng.NextUint64(5);
+    for (size_t i = 0; i < num_covers; ++i) {
+      Itemset s = RandomSubset(q, rng);
+      if (s == q || s.empty()) continue;
+      cover_results.push_back(QueryTcTree(tree, s, alpha));
+      cover_sets.push_back(std::move(s));
+    }
+    std::vector<SubPatternCover> covers;
+    for (size_t i = 0; i < cover_sets.size(); ++i) {
+      covers.push_back({&cover_sets[i], &cover_results[i]});
+    }
+
+    TcTreeComposeStats stats;
+    const TcTreeQueryResult composed =
+        ComposeTcTreeQuery(tree, q, alpha, covers, {}, &stats);
+    ExpectIdentical(expected, composed,
+                    "trial " + std::to_string(trial) + " q=" + q.ToString());
+    EXPECT_EQ(composed.visited_nodes, expected.visited_nodes);
+    if (!covers.empty()) {  // an empty cover set takes the fallback path
+      EXPECT_EQ(stats.reused_trusses + stats.computed_trusses,
+                composed.retrieved_nodes);
+    }
+  }
+}
+
+TEST(ComposeQueryTest, FullCoverReusesEverything) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  const Itemset q{0, 1};
+  const TcTreeQueryResult expected = QueryTcTree(tree, q, 0.1);
+  // Covers {0} and {1} jointly contain every proper sub-pattern; only
+  // the patterns needing both items still hit the tree.
+  const Itemset s0{0}, s1{1};
+  const TcTreeQueryResult r0 = QueryTcTree(tree, s0, 0.1);
+  const TcTreeQueryResult r1 = QueryTcTree(tree, s1, 0.1);
+  TcTreeComposeStats stats;
+  const TcTreeQueryResult composed = ComposeTcTreeQuery(
+      tree, q, 0.1, {{&s0, &r0}, {&s1, &r1}}, {}, &stats);
+  ExpectIdentical(expected, composed, "full singleton cover");
+  EXPECT_EQ(stats.reused_trusses, r0.trusses.size() + r1.trusses.size());
+}
+
+TEST(ComposeQueryTest, EmptyCoverSuppressesResidualWork) {
+  // A cover with zero trusses proves its whole item subtree is empty at
+  // this α — the composition must prune rather than recompute.
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  const Itemset q{0, 1};
+  // Item 0's communities die at α = 0.3 (the triangle's eco), so at 0.35
+  // its cached answer is empty while item 1 (the 0.7–0.9-frequency
+  // filler) still backs communities.
+  const Itemset s0{0};
+  const TcTreeQueryResult r0 = QueryTcTree(tree, s0, 0.35);
+  ASSERT_TRUE(r0.trusses.empty());
+  TcTreeComposeStats stats;
+  const TcTreeQueryResult composed =
+      ComposeTcTreeQuery(tree, q, 0.35, {{&s0, &r0}}, {}, &stats);
+  ExpectIdentical(QueryTcTree(tree, q, 0.35), composed, "empty cover");
+  EXPECT_GT(stats.covered_prunes, 0u);
+}
+
+TEST(ComposeQueryTest, ShapingOptionsFallBackToColdQuery) {
+  // min_truss_edges / max_results make cover absence ambiguous; the
+  // compose entry point must detect that and answer cold.
+  DatabaseNetwork net = MakeRandomNetwork({.seed = 5});
+  TcTree tree = TcTree::Build(net);
+  const Itemset q{0, 1, 2};
+  const Itemset s{0, 1};
+  const TcTreeQueryResult cover_result = QueryTcTree(tree, s, 0.0);
+  for (const TcTreeQueryOptions options :
+       {TcTreeQueryOptions{.min_truss_edges = 100},
+        TcTreeQueryOptions{.max_results = 1}}) {
+    TcTreeComposeStats stats;
+    const TcTreeQueryResult composed = ComposeTcTreeQuery(
+        tree, q, 0.0, {{&s, &cover_result}}, options, &stats);
+    ExpectIdentical(QueryTcTree(tree, q, 0.0, options), composed,
+                    "shaping fallback");
+    EXPECT_EQ(stats.reused_trusses, 0u);
+  }
+}
+
+TEST(ComposeQueryTest, DeriveSubResultEqualsDirectQuery) {
+  // DeriveSubResult(answer(q), s) == answer(s) for every s ⊆ q — the
+  // guarantee that makes derived admission sound.
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 33});
+  TcTree tree = TcTree::Build(net);
+  const std::vector<ItemId> items = net.ActiveItems();
+  Rng rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<ItemId> subset;
+    const size_t len = 1 + rng.NextUint64(items.size());
+    for (size_t i = 0; i < len; ++i) {
+      subset.push_back(items[rng.NextUint64(items.size())]);
+    }
+    const Itemset q(std::move(subset));
+    const double alpha = 0.05 * static_cast<double>(rng.NextUint64(5));
+    const TcTreeQueryResult full = QueryTcTree(tree, q, alpha);
+    for (int k = 0; k < 4; ++k) {
+      const Itemset s = RandomSubset(q, rng);
+      const TcTreeQueryResult expected = QueryTcTree(tree, s, alpha);
+      const TcTreeQueryResult derived = DeriveSubResult(full, s);
+      ExpectIdentical(expected, derived,
+                      "q=" + q.ToString() + " s=" + s.ToString());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tcf

@@ -252,6 +252,9 @@ TEST(LineProtocolTest, StatsRoundTrip) {
   report.p99_us = 42.25;
   report.cache.hits = 10;
   report.cache.misses = 30;
+  report.cache.partial_hits = 7;
+  report.cache.composed_queries = 5;
+  report.cache.admission_rejects = 2;
   report.connections_accepted = 3;
   report.connections_active = 2;
   report.connections_peak = 3;
@@ -286,6 +289,12 @@ TEST(LineProtocolTest, StatsRoundTrip) {
   EXPECT_EQ(find("batches"), "4");
   EXPECT_EQ(find("batch_queries"), "64");
   EXPECT_EQ(find("batch_max_depth"), "32");
+  // The composable-cache keys are appended at the end (additive TCF1
+  // change; see docs/serve-protocol.md).
+  EXPECT_EQ(find("cache_partial_hits"), "7");
+  EXPECT_EQ(find("cache_composed_queries"), "5");
+  EXPECT_EQ(find("cache_admission_rejects"), "2");
+  EXPECT_EQ(lines.back(), "cache_admission_rejects 2");
 
   EXPECT_FALSE(DecodeStats({"keyonly"}).ok());
   EXPECT_FALSE(DecodeStats({""}).ok());

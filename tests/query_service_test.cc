@@ -183,6 +183,139 @@ TEST(QueryServiceTest, SwapSnapshotInvalidatesCache) {
   EXPECT_EQ(service.Execute(query).get(), after.get());
 }
 
+TEST(QueryServiceTest, ComposedAnswersMatchColdQueries) {
+  // Property test for the subset-composable cache: a random overlapping
+  // workload (shared hot items, rare exact repeats) must produce answers
+  // identical to serial QueryTcTree even though most of them are
+  // composed from cached sub-pattern results.
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 6, .seed = 71});
+  TcTree tree = TcTree::Build(net);
+  const std::vector<ItemId> items = net.ActiveItems();
+  Rng rng(29);
+
+  // Gate floor 0: this network's walks are microseconds, and the test
+  // targets composition correctness, not the work-aware engagement.
+  QueryService service(tree, net.dictionary(),
+                       {.num_threads = 2, .cache_compose_min_walk_us = 0});
+  for (int i = 0; i < 400; ++i) {
+    std::vector<ItemId> subset;
+    const size_t len = 2 + rng.NextUint64(items.size() - 1);
+    for (size_t j = 0; j < len; ++j) {
+      subset.push_back(items[rng.NextUint64(items.size())]);
+    }
+    const ServeQuery query{Itemset(std::move(subset)),
+                           0.05 * static_cast<double>(rng.NextUint64(4))};
+    const auto result = service.Execute(query);
+    ASSERT_NE(result, nullptr);
+    ExpectIdentical(QueryTcTree(tree, query.items, query.alpha), *result,
+                    "composed " + query.items.ToString());
+  }
+  // The overlap guarantees the composition path actually ran.
+  const ResultCacheStats stats = service.cache_stats();
+  EXPECT_GT(stats.partial_hits, 0u);
+  EXPECT_GT(stats.composed_queries, 0u);
+  EXPECT_GE(stats.partial_hits, stats.composed_queries);
+}
+
+TEST(QueryServiceTest, DerivedSubsetsServeFollowUpQueriesExactly) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 13});
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(),
+                       {.cache_compose_min_walk_us = 0});
+
+  // Answering {0,1,2} derives and admits {0,1}, {0,2}, {1,2}: the
+  // follow-up sub-queries are exact hits that never touch the tree,
+  // and their payloads equal a cold walk's.
+  const auto full = service.Execute({Itemset{0, 1, 2}, 0.0});
+  ASSERT_NE(full, nullptr);
+  const ResultCacheStats after_first = service.cache_stats();
+  EXPECT_GE(after_first.inserts, 2u);  // the query + admitted deriveds
+
+  const auto sub = service.Execute({Itemset{0, 1}, 0.0});
+  ExpectIdentical(QueryTcTree(tree, Itemset{0, 1}, 0.0), *sub, "derived");
+  EXPECT_EQ(service.cache_stats().hits, after_first.hits + 1);
+}
+
+TEST(QueryServiceTest, WorkAwareGateKeepsPartialReuseOffForCheapWalks) {
+  // With an unreachably high engagement floor, the service behaves
+  // exactly-only — no probes, no derived admissions — even though
+  // composition is enabled and the workload overlaps.
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 13});
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(),
+                       {.cache_compose_min_walk_us = 1e12});
+
+  service.Execute({Itemset{0, 1}, 0.0});
+  const auto result = service.Execute({Itemset{0, 1, 2}, 0.0});
+  ExpectIdentical(QueryTcTree(tree, Itemset{0, 1, 2}, 0.0), *result,
+                  "gated");
+  const ResultCacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.composed_queries, 0u);
+  EXPECT_EQ(stats.partial_hits, 0u);
+  EXPECT_EQ(stats.inserts, 2u);  // no derived admissions
+}
+
+TEST(QueryServiceTest, ExactOnlyModeDisablesPartialReuse) {
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 13});
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(),
+                       {.cache_composition = false,
+                        .cache_admit_derived = false});
+
+  service.Execute({Itemset{0, 1}, 0.0});
+  service.Execute({Itemset{0, 1, 2}, 0.0});
+  const ResultCacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.partial_hits, 0u);
+  EXPECT_EQ(stats.composed_queries, 0u);
+  EXPECT_EQ(stats.inserts, 2u);  // no derived admissions either
+}
+
+TEST(QueryServiceTest, ShapedQueriesNeverCompose) {
+  // Result-shaping knobs make cached answers incomplete; the service
+  // must fall back to exact-only caching rather than compose from them.
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 5, .seed = 13});
+  TcTree tree = TcTree::Build(net);
+  QueryServiceOptions options;
+  options.cache_compose_min_walk_us = 0;  // shaping, not the gate, blocks
+  options.query_options.max_results = 2;
+  QueryService service(tree, net.dictionary(), options);
+
+  service.Execute({Itemset{0, 1}, 0.0});
+  const auto result = service.Execute({Itemset{0, 1, 2}, 0.0});
+  ExpectIdentical(
+      QueryTcTree(tree, Itemset{0, 1, 2}, 0.0, options.query_options),
+      *result, "shaped");
+  const ResultCacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.composed_queries, 0u);
+}
+
+TEST(QueryServiceTest, SwapSnapshotDropsComposedAndDerivedEntries) {
+  // RELOAD semantics: every entry — exact, composed, or derived — is
+  // dropped on a snapshot swap, and post-swap answers (composed ones
+  // included) come from the new tree only.
+  DatabaseNetwork net_a = MakeRandomNetwork({.num_items = 5, .seed = 61});
+  DatabaseNetwork net_b = MakeRandomNetwork(
+      {.num_vertices = 16, .edge_prob = 0.5, .num_items = 5, .seed = 62});
+  TcTree tree_a = TcTree::Build(net_a);
+  TcTree tree_b = TcTree::Build(net_b);
+
+  QueryService service(tree_a, net_a.dictionary(),
+                       {.cache_compose_min_walk_us = 0});
+  service.Execute({Itemset{0, 1}, 0.0});
+  service.Execute({Itemset{0, 1, 2}, 0.0});  // composes + derives
+  ASSERT_GT(service.cache_stats().entries, 2u);
+
+  service.SwapSnapshot(tree_b);
+  EXPECT_EQ(service.cache_stats().entries, 0u);
+
+  // Re-running the same sequence against the new snapshot composes from
+  // fresh entries and matches tree_b's cold answers exactly.
+  service.Execute({Itemset{0, 1}, 0.0});
+  const auto after = service.Execute({Itemset{0, 1, 2}, 0.0});
+  ExpectIdentical(QueryTcTree(tree_b, Itemset{0, 1, 2}, 0.0), *after,
+                  "post-swap composed");
+}
+
 TEST(QueryServiceTest, OpenLoadsPersistedIndex) {
   DatabaseNetwork net = MakeFigureOneNetwork();
   TcTree tree = TcTree::Build(net);

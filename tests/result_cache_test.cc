@@ -13,6 +13,8 @@ namespace tcf {
 namespace {
 
 /// A result whose payload is `num_edges` edges — controls entry cost.
+/// `visited_nodes` is set high so speculative-insert tests can lower it
+/// deliberately without the default admission policy interfering here.
 std::shared_ptr<const TcTreeQueryResult> MakeResult(size_t num_edges,
                                                     uint64_t tag = 0) {
   auto r = std::make_shared<TcTreeQueryResult>();
@@ -25,7 +27,13 @@ std::shared_ptr<const TcTreeQueryResult> MakeResult(size_t num_edges,
   t.edges.shrink_to_fit();
   r->trusses.push_back(std::move(t));
   r->retrieved_nodes = tag;  // lets tests tell results apart
+  r->visited_nodes = 1u << 20;
   return r;
+}
+
+/// An opaque snapshot tag (stands in for the TC-Tree shared_ptr).
+std::shared_ptr<const void> MakeTag() {
+  return std::make_shared<const int>(0);
 }
 
 TEST(ResultCacheTest, LookupReturnsInsertedValue) {
@@ -141,6 +149,180 @@ TEST(ResultCacheTest, EpochCheckedInsertDropsStaleValues) {
 
   cache.Insert(Itemset{1}, 0, MakeResult(4), cache.epoch());
   EXPECT_NE(cache.Lookup(Itemset{1}, 0), nullptr);
+}
+
+TEST(ResultCacheTest, LookupSubsetsPlansCoversSmallQuery) {
+  // |q| ≤ subset_enum_limit takes the exhaustive-enumeration path.
+  ResultCache cache;
+  const auto tag = MakeTag();
+  cache.Insert(Itemset{1, 2}, 0, MakeResult(4, 1), cache.epoch(), tag);
+  cache.Insert(Itemset{3}, 0, MakeResult(4, 2), cache.epoch(), tag);
+  cache.Insert(Itemset{9}, 0, MakeResult(4, 3), cache.epoch(), tag);   // ⊄ q
+  cache.Insert(Itemset{1, 2}, 5, MakeResult(4, 4), cache.epoch(), tag);  // α≠
+
+  const auto covers = cache.LookupSubsets(Itemset{1, 2, 3}, 0, tag.get());
+  ASSERT_EQ(covers.size(), 2u);
+  // Planner orders largest first.
+  EXPECT_EQ(covers[0].itemset, (Itemset{1, 2}));
+  EXPECT_EQ(covers[0].value->retrieved_nodes, 1u);
+  EXPECT_EQ(covers[1].itemset, (Itemset{3}));
+
+  // The exact query itself is never a cover, and singletons find nothing.
+  EXPECT_TRUE(cache.LookupSubsets(Itemset{1, 2}, 5, tag.get()).empty());
+  EXPECT_TRUE(cache.LookupSubsets(Itemset{3}, 0, tag.get()).empty());
+
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.partial_hits, 2u);
+  EXPECT_EQ(stats.composed_queries, 1u);
+  // Subset probes never count as exact hits or misses.
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(ResultCacheTest, LookupSubsetsUsesInvertedIndexForLargeQueries) {
+  // |q| above the enumeration limit scans the per-item inverted index.
+  ResultCache cache({.subset_enum_limit = 4});
+  const auto tag = MakeTag();
+  cache.Insert(Itemset{1, 2, 3}, 7, MakeResult(4, 1), cache.epoch(), tag);
+  cache.Insert(Itemset{8, 9}, 7, MakeResult(4, 2), cache.epoch(), tag);
+  cache.Insert(Itemset{1, 50}, 7, MakeResult(4, 3), cache.epoch(), tag);
+
+  const Itemset q{1, 2, 3, 4, 8, 9};  // 6 items > limit 4
+  auto covers = cache.LookupSubsets(q, 7, tag.get());
+  ASSERT_EQ(covers.size(), 2u);
+  EXPECT_EQ(covers[0].itemset, (Itemset{1, 2, 3}));
+  EXPECT_EQ(covers[1].itemset, (Itemset{8, 9}));
+
+  // Eviction unlinks postings: once {8, 9} is gone, it is not planned.
+  cache.Invalidate();
+  EXPECT_TRUE(cache.LookupSubsets(q, 7, tag.get()).empty());
+}
+
+TEST(ResultCacheTest, PlannerDropsSubsumedCovers) {
+  ResultCache cache;
+  const auto tag = MakeTag();
+  cache.Insert(Itemset{1, 2, 3}, 0, MakeResult(4, 1), cache.epoch(), tag);
+  cache.Insert(Itemset{1, 2}, 0, MakeResult(4, 2), cache.epoch(), tag);
+  cache.Insert(Itemset{2, 3}, 0, MakeResult(4, 3), cache.epoch(), tag);
+  cache.Insert(Itemset{4}, 0, MakeResult(4, 4), cache.epoch(), tag);
+
+  const auto covers = cache.LookupSubsets(Itemset{1, 2, 3, 4}, 0, tag.get());
+  // {1,2} and {2,3} are ⊆ {1,2,3}: they could only contribute duplicate
+  // patterns, so the plan is the two maximal covers.
+  ASSERT_EQ(covers.size(), 2u);
+  EXPECT_EQ(covers[0].itemset, (Itemset{1, 2, 3}));
+  EXPECT_EQ(covers[1].itemset, (Itemset{4}));
+}
+
+TEST(ResultCacheTest, LookupSubsetsFiltersBySnapshotTag) {
+  ResultCache cache;
+  const auto tag_a = MakeTag();
+  const auto tag_b = MakeTag();
+  cache.Insert(Itemset{1}, 0, MakeResult(4, 1), cache.epoch(), tag_a);
+  cache.Insert(Itemset{2}, 0, MakeResult(4, 2), cache.epoch(), tag_b);
+  // Untagged entries (the 3-arg Insert) are exact-only.
+  cache.Insert(Itemset{3}, 0, MakeResult(4, 3));
+
+  const auto covers = cache.LookupSubsets(Itemset{1, 2, 3}, 0, tag_a.get());
+  ASSERT_EQ(covers.size(), 1u);
+  EXPECT_EQ(covers[0].itemset, (Itemset{1}));
+  // All three still serve exact lookups regardless of tag.
+  EXPECT_NE(cache.Lookup(Itemset{2}, 0), nullptr);
+  EXPECT_NE(cache.Lookup(Itemset{3}, 0), nullptr);
+}
+
+TEST(ResultCacheTest, CostAwareAdmissionGatesSpeculativeInserts) {
+  // Two speculative (derived) results of identical byte cost; only the
+  // one standing in for an expensive walk (high visited_nodes) is worth
+  // pinning.
+  ResultCache cache({.admission_bytes_per_node = 64});
+  const auto tag = MakeTag();
+  auto cheap_to_rebuild = std::make_shared<TcTreeQueryResult>(
+      *MakeResult(512, 1));
+  cheap_to_rebuild->visited_nodes = 2;  // ~4 KiB for 2 nodes of work
+  cache.Insert(Itemset{1}, 0, std::move(cheap_to_rebuild), cache.epoch(),
+               tag, /*speculative=*/true);
+  EXPECT_EQ(cache.Lookup(Itemset{1}, 0), nullptr);
+  EXPECT_EQ(cache.Stats().admission_rejects, 1u);
+  EXPECT_EQ(cache.Stats().inserts, 0u);
+
+  auto expensive_to_rebuild = std::make_shared<TcTreeQueryResult>(
+      *MakeResult(512, 2));
+  expensive_to_rebuild->visited_nodes = 1000;
+  cache.Insert(Itemset{2}, 0, std::move(expensive_to_rebuild),
+               cache.epoch(), tag, /*speculative=*/true);
+  EXPECT_NE(cache.Lookup(Itemset{2}, 0), nullptr);
+  EXPECT_EQ(cache.Stats().admission_rejects, 1u);
+
+  // A *demanded* answer with the same lopsided bytes-to-work shape is
+  // exempt — its rebuild cost scales with its own payload, so refusing
+  // it would only force the expensive recomputation every repeat
+  // (exactly the pre-composable cache's behavior, preserved).
+  auto demanded = std::make_shared<TcTreeQueryResult>(*MakeResult(512, 3));
+  demanded->visited_nodes = 2;
+  cache.Insert(Itemset{3}, 0, std::move(demanded));
+  EXPECT_NE(cache.Lookup(Itemset{3}, 0), nullptr);
+  EXPECT_EQ(cache.Stats().admission_rejects, 1u);
+
+  // 0 disables the policy even for speculative inserts.
+  ResultCache lax({.admission_bytes_per_node = 0});
+  auto sparse = std::make_shared<TcTreeQueryResult>(*MakeResult(512, 4));
+  sparse->visited_nodes = 0;
+  lax.Insert(Itemset{1}, 0, std::move(sparse), lax.epoch(), tag,
+             /*speculative=*/true);
+  EXPECT_NE(lax.Lookup(Itemset{1}, 0), nullptr);
+  EXPECT_EQ(lax.Stats().admission_rejects, 0u);
+}
+
+TEST(ResultCacheTest, ContainsIsSideEffectFree) {
+  ResultCache cache;
+  cache.Insert(Itemset{1}, 0, MakeResult(4, 1));
+  EXPECT_TRUE(cache.Contains(Itemset{1}, 0));
+  EXPECT_FALSE(cache.Contains(Itemset{1}, 1));
+  EXPECT_FALSE(cache.Contains(Itemset{2}, 0));
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST(ResultCacheTest, EvictionUnlinksInvertedIndex) {
+  const auto probe = MakeResult(64);
+  const size_t cost = ResultCache::CostOf(Itemset{0}, *probe);
+  ResultCache cache({.capacity_bytes = 2 * cost, .num_shards = 1});
+  const auto tag = MakeTag();
+  cache.Insert(Itemset{1}, 0, MakeResult(64, 1), cache.epoch(), tag);
+  cache.Insert(Itemset{2}, 0, MakeResult(64, 2), cache.epoch(), tag);
+  // {1} is now LRU; this insert evicts it.
+  cache.Insert(Itemset{3}, 0, MakeResult(64, 3), cache.epoch(), tag);
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+
+  const auto covers = cache.LookupSubsets(Itemset{1, 2, 3}, 0, tag.get());
+  ASSERT_EQ(covers.size(), 2u);  // the evicted {1} must not be planned
+  EXPECT_EQ(covers[0].itemset, (Itemset{2}));
+  EXPECT_EQ(covers[1].itemset, (Itemset{3}));
+}
+
+TEST(ResultCacheTest, ConcurrentSubsetTrafficIsSafe) {
+  ResultCache cache({.capacity_bytes = size_t{1} << 18, .num_shards = 8});
+  const auto tag = MakeTag();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &tag, t] {
+      for (int i = 0; i < 300; ++i) {
+        const ItemId a = static_cast<ItemId>(i % 11);
+        const ItemId b = static_cast<ItemId>(7 + i % 17);
+        cache.Insert(Itemset{a}, 0, MakeResult(8, a), cache.epoch(), tag);
+        const auto covers =
+            cache.LookupSubsets(Itemset{a, b, 40}, 0, tag.get());
+        for (const auto& cover : covers) {
+          ASSERT_NE(cover.value, nullptr);
+          EXPECT_TRUE(cover.itemset.IsSubsetOf(Itemset{a, b, 40}));
+        }
+        if (t == 0 && i % 100 == 99) cache.Invalidate();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
 }
 
 TEST(ResultCacheTest, ConcurrentMixedTrafficIsSafe) {

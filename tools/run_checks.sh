@@ -13,22 +13,30 @@
 # 4. Exercise the network path: start `tcf serve --listen` on an
 #    ephemeral port, drive it with `tcf client` (ping, queries, the
 #    workload both as one-request round trips and as pipelined BATCH
-#    exchanges, STATS, a RELOAD of a rebuilt index, QUIT), prove the
-#    server survives an abruptly closed connection (a peer that dies
-#    mid-BATCH), assert every client exit code, check the server does
-#    not leak file descriptors across all of that traffic, and check it
-#    shuts down cleanly on SIGTERM.
+#    exchanges, STATS — including the subset-composable cache's
+#    cache_partial_hits counter going positive — a RELOAD of a rebuilt
+#    index, QUIT), prove the server survives an abruptly closed
+#    connection (a peer that dies mid-BATCH), assert every client exit
+#    code, check the server does not leak file descriptors across all of
+#    that traffic, and check it shuts down cleanly on SIGTERM.
+#
+# CI-friendly: every smoke failure exits non-zero (set -e covers the
+# backgrounded server through explicit guards), worker counts fall back
+# when `nproc` is missing, and the /proc fd-leak check is skipped — not
+# failed — on runners without /proc (macOS).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+# nproc is Linux-only; macOS CI runners spell it sysctl.
+NPROC="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== configure + build =="
 cmake -B "$BUILD_DIR" -S .
-cmake --build "$BUILD_DIR" -j "$(nproc)"
+cmake --build "$BUILD_DIR" -j "$NPROC"
 
 echo "== ctest =="
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$NPROC"
 
 echo "== serve smoke =="
 TMP="$(mktemp -d)"
@@ -53,8 +61,12 @@ TCF="$BUILD_DIR/tcf"
   done
 } > "$TMP/workload.txt"
 
+# --compose-min-us=0 pins the work-aware gate open: this tiny network's
+# walks are microseconds, and the smoke must exercise partial reuse
+# deterministically, not depend on the gate's latency estimate.
 OUT="$("$TCF" serve --in="$TMP/smoke.net" --index="$TMP/smoke.idx" \
-        --workload="$TMP/workload.txt" --threads=4 --repeat=2)"
+        --workload="$TMP/workload.txt" --threads=4 --repeat=2 \
+        --compose-min-us=0)"
 echo "$OUT"
 
 # The warm pass must report a cache hit rate > 0.
@@ -72,7 +84,7 @@ echo "$OUT" | awk '
 echo "== network smoke =="
 # Long-lived server on a kernel-assigned port; the log tells us which.
 "$TCF" serve --in="$TMP/smoke.net" --index="$TMP/smoke.idx" --listen=0 \
-       --threads=4 > "$TMP/server.log" 2>&1 &
+       --threads=4 --compose-min-us=0 > "$TMP/server.log" 2>&1 &
 SERVER_PID=$!
 PORT=""
 for _ in $(seq 100); do
@@ -89,15 +101,34 @@ echo "server is up on port $PORT"
 # Baseline fd count, taken once the server is idle and listening. Every
 # connection the smoke opens below must be returned by the time we
 # measure again — an epoll server that forgets to close parked or
-# half-dead sockets fails here.
+# half-dead sockets fails here. /proc is Linux-only; on runners without
+# it (macOS) the leak check is skipped, not failed.
+HAVE_PROC=0
+[ -d "/proc/$SERVER_PID/fd" ] && HAVE_PROC=1
 count_fds() { ls "/proc/$SERVER_PID/fd" | wc -l; }
-FDS_BEFORE="$(count_fds)"
+FDS_BEFORE=0
+if [ "$HAVE_PROC" = 1 ]; then
+  FDS_BEFORE="$(count_fds)"
+else
+  echo "note: /proc unavailable; skipping the fd-leak check"
+fi
 
 # Ping + a query + STATS over one connection (ends with QUIT).
 "$TCF" client --port="$PORT" --ping --query="0.01;s1,s2" --stats
 
-# The whole workload over the wire, one request per round trip.
+# The whole workload over the wire, one request per round trip. The
+# workload's 2-item queries overlap heavily without repeating exactly,
+# so the subset-composable cache must report partial reuse afterwards.
 "$TCF" client --port="$PORT" --workload="$TMP/workload.txt"
+"$TCF" client --port="$PORT" --stats | awk '
+  $1 == "cache_partial_hits" {
+    if ($2 + 0 > 0) { found = 1 }
+  }
+  END {
+    if (!found) { print "FAIL: no partial cache hits after the workload";
+                  exit 1 }
+    print "OK: composable cache reported partial hits over the wire"
+  }'
 
 # The same workload as pipelined BATCH exchanges (64 queries per round
 # trip): same answers, a fraction of the round trips.
@@ -138,20 +169,26 @@ fi
 # No fd leaks: every connection above (client sessions, the workload
 # runs, the abruptly closed peer) must be back. Poll briefly — the
 # server reaps dead peers asynchronously.
-FDS_AFTER="$(count_fds)"
-for _ in $(seq 50); do
+if [ "$HAVE_PROC" = 1 ]; then
   FDS_AFTER="$(count_fds)"
-  [ "$FDS_AFTER" -le "$FDS_BEFORE" ] && break
-  sleep 0.1
-done
-if [ "$FDS_AFTER" -gt "$FDS_BEFORE" ]; then
-  echo "FAIL: server leaks fds ($FDS_BEFORE before traffic, $FDS_AFTER after)"
-  exit 1
+  for _ in $(seq 50); do
+    FDS_AFTER="$(count_fds)"
+    [ "$FDS_AFTER" -le "$FDS_BEFORE" ] && break
+    sleep 0.1
+  done
+  if [ "$FDS_AFTER" -gt "$FDS_BEFORE" ]; then
+    echo "FAIL: server leaks fds ($FDS_BEFORE before traffic," \
+         "$FDS_AFTER after)"
+    exit 1
+  fi
+  echo "OK: no fd leak ($FDS_BEFORE fds before traffic, $FDS_AFTER after)"
 fi
-echo "OK: no fd leak ($FDS_BEFORE fds before traffic, $FDS_AFTER after)"
 
-# Graceful shutdown: SIGTERM, clean exit code, final report printed.
-kill -TERM "$SERVER_PID"
+# Graceful shutdown: SIGTERM, clean exit code, final report printed. The
+# kill itself is guarded: a server that already died would otherwise
+# fail the script here with a bare `kill` error instead of a diagnosis.
+kill -TERM "$SERVER_PID" || { echo "FAIL: server died before SIGTERM";
+                              cat "$TMP/server.log"; exit 1; }
 wait "$SERVER_PID" || { echo "FAIL: server exited non-zero"; exit 1; }
 SERVER_PID=""
 grep -q "shutting down" "$TMP/server.log" || {

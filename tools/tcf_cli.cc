@@ -16,10 +16,14 @@
 //       items) against a freshly built or previously saved TC-Tree.
 //   serve   --in=FILE --workload=FILE [--index=FILE.idx] [--threads=T]
 //           [--cache-mb=M] [--repeat=R] [--batch=B] [--max-nodes=N]
+//           [--compose-min-us=U]
 //       Run a query workload through the concurrent serving layer
 //       (src/serve/): answers are produced by QueryService worker
 //       threads over one immutable TC-Tree snapshot, with a sharded LRU
-//       result cache of M MiB (default 64; 0 disables). The workload
+//       result cache of M MiB (default 64; 0 disables). The cache is
+//       subset-composable (docs/architecture.md): misses compose cached
+//       sub-pattern answers once the average full walk costs at least U
+//       microseconds (default 100; 0 = always). The workload
 //       file has one query per line in the form
 //           alpha;item,item,...
 //       where `alpha` is the cohesion threshold and the items are
@@ -31,7 +35,7 @@
 //       final detailed report are printed.
 //   serve   --in=FILE --listen=PORT [--host=ADDR] [--index=FILE.idx]
 //           [--threads=T] [--cache-mb=M] [--max-conns=C] [--max-nodes=N]
-//           [--no-reload]
+//           [--no-reload] [--compose-min-us=U]
 //       Long-lived server mode (mutually exclusive with --workload):
 //       answer remote clients over the TCF1 line protocol
 //       (docs/serve-protocol.md) on ADDR:PORT (default 127.0.0.1;
@@ -135,10 +139,11 @@ int Usage() {
                "[--items=a,b,c] [--threads=T]\n"
                "  serve    --in=FILE --workload=FILE [--index=FILE.idx] "
                "[--threads=T] [--cache-mb=M] [--repeat=R] [--batch=B] "
-               "[--max-nodes=N]\n"
+               "[--max-nodes=N] [--compose-min-us=U]\n"
                "  serve    --in=FILE --listen=PORT [--host=ADDR] "
                "[--index=FILE.idx] [--threads=T] [--cache-mb=M] "
-               "[--max-conns=C] [--max-nodes=N] [--no-reload]\n"
+               "[--max-conns=C] [--max-nodes=N] [--no-reload] "
+               "[--compose-min-us=U]\n"
                "  client   --port=PORT [--host=ADDR] [--ping] "
                "[--reload=FILE.idx] [--query=LINE] [--batch=FILE] "
                "[--batch-size=B] [--workload=FILE] [--stats]\n");
@@ -389,6 +394,8 @@ int ServeListen(const Args& args, const DatabaseNetwork& net,
   QueryServiceOptions service_options;
   service_options.num_threads = threads;
   service_options.cache_bytes = cache_mb << 20;
+  service_options.cache_compose_min_walk_us =
+      args.GetDouble("compose-min-us", 100.0);
   QueryService service(std::move(*tree), net.dictionary(), service_options);
 
   TcpServerOptions server_options;
@@ -481,6 +488,8 @@ int CmdServe(const Args& args) {
   QueryServiceOptions service_options;
   service_options.num_threads = threads;
   service_options.cache_bytes = cache_mb << 20;
+  service_options.cache_compose_min_walk_us =
+      args.GetDouble("compose-min-us", 100.0);
   QueryService service(std::move(*tree), net->dictionary(), service_options);
   std::printf("serving %zu queries x%zu passes, %zu threads, %zu MiB cache\n",
               workload.size(), repeat, service.num_threads(), cache_mb);
