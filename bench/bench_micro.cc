@@ -3,6 +3,8 @@
 // reconstruction (Eq. 1) and TC-Tree queries.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "bench_common.h"
 #include "core/decomposition.h"
 #include "core/mptd.h"
@@ -40,6 +42,45 @@ void BM_TriangleCount(benchmark::State& state) {
                           static_cast<int64_t>(g.num_edges()));
 }
 BENCHMARK(BM_TriangleCount)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Before/after pair for the ForEachTriangle devirtualization: the
+// template version inlines the callback into the sorted-merge loop; the
+// "std::function" row re-wraps the same lambda the way the pre-template
+// API forced every caller to, paying one indirect call per triangle.
+void BM_EdgeSupportTemplate(benchmark::State& state) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(1024, 1024 * 8, rng);
+  std::vector<uint8_t> alive(g.num_edges(), 1);
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      ForEachTriangle(g, e, &alive,
+                      [&](VertexId, EdgeId, EdgeId) { ++total; });
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_EdgeSupportTemplate);
+
+void BM_EdgeSupportStdFunction(benchmark::State& state) {
+  Rng rng(1);
+  Graph g = ErdosRenyi(1024, 1024 * 8, rng);
+  std::vector<uint8_t> alive(g.num_edges(), 1);
+  for (auto _ : state) {
+    uint64_t total = 0;
+    const std::function<void(VertexId, EdgeId, EdgeId)> fn =
+        [&](VertexId, EdgeId, EdgeId) { ++total; };
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      ForEachTriangle(g, e, &alive, fn);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_EdgeSupportStdFunction);
 
 void BM_ThemeNetworkInduction(benchmark::State& state) {
   const DatabaseNetwork& net = BkNet();
@@ -109,6 +150,26 @@ void BM_Decomposition(benchmark::State& state) {
   state.SetLabel("theme edges=" + std::to_string(biggest.num_edges()));
 }
 BENCHMARK(BM_Decomposition);
+
+// The TC-Tree build's per-candidate shape: decompose many theme networks
+// with one reusable peeling workspace (high-water-sized buffers) vs a
+// fresh ThemePeeler allocation set per call.
+void BM_DecompositionReusedWorkspace(benchmark::State& state) {
+  const DatabaseNetwork& net = BkNet();
+  const auto items = net.ActiveItems();
+  ThemeNetwork biggest;
+  for (ItemId item : items) {
+    ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(item));
+    if (tn.num_edges() > biggest.num_edges()) biggest = std::move(tn);
+  }
+  ThemePeeler workspace;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TrussDecomposition::FromThemeNetwork(biggest, &workspace));
+  }
+  state.SetLabel("theme edges=" + std::to_string(biggest.num_edges()));
+}
+BENCHMARK(BM_DecompositionReusedWorkspace);
 
 void BM_ReconstructTruss(benchmark::State& state) {
   const DatabaseNetwork& net = BkNet();

@@ -47,12 +47,54 @@ void IndexOne(const char* name, const DatabaseNetwork& net, bool csv,
        TextTable::Num(rss_after > rss_before ? rss_after - rss_before : 0)});
 }
 
+/// Builds the same network at 1, 2, 4 and 8 threads (plus the hardware
+/// count when it exceeds 8) and reports wall time and speedup vs the
+/// 1-thread build. Every layer of the build is parallel with an ordered
+/// commit, so the node count column must not move across rows — the
+/// sweep doubles as a determinism smoke check.
+void ThreadSweep(const char* name, const DatabaseNetwork& net, bool csv,
+                 std::ostream& os) {
+  TextTable sweep({"dataset", "threads", "build time (s)", "speedup",
+                   "#Nodes"});
+  double t1 = 0;
+  // Always sweep 1..8 (the acceptance grid, even when oversubscribed on
+  // a smaller box — the ordered commit must not cost throughput there),
+  // plus the full hardware width when it exceeds 8.
+  std::vector<size_t> counts = {1, 2, 4, 8};
+  if (HardwareThreads() > 8) counts.push_back(HardwareThreads());
+  for (size_t t : counts) {
+    WallTimer timer;
+    TcTree tree =
+        TcTree::Build(net, {.num_threads = t, .max_nodes = kNodeBudget});
+    const double secs = timer.Seconds();
+    if (t == 1) t1 = secs;
+    sweep.AddRow({name, TextTable::Num(static_cast<uint64_t>(t)),
+                  TextTable::Num(secs, 2),
+                  TextTable::Num(secs > 0 ? t1 / secs : 0.0, 2),
+                  TextTable::Num(static_cast<uint64_t>(tree.num_nodes()))});
+  }
+  if (csv) sweep.PrintCsv(os);
+  else sweep.Print(os);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
   const bool csv = bench::ParseCsvFlag(argc, argv);
   bench::PrintHeader("Table 3", "TC-Tree indexing performance", scale);
+
+  // Build-parallelism sweep (every layer expands in parallel since PR 5).
+  // It runs *before* the big dataset builds: a multi-million-node build
+  // leaves glibc arenas with free lists large enough to slow later
+  // single-threaded allocation by an order of magnitude, which would
+  // corrupt the sweep's 1-thread baseline.
+  std::printf("thread sweep (parallel TC-Tree build):\n");
+  {
+    DatabaseNetwork bk = bench::MakeBkLike(scale);
+    ThreadSweep("BK-like", bk, csv, std::cout);
+  }
+  std::printf("\n");
 
   TextTable table({"dataset", "Indexing Time (s)", "Index Memory", "#Nodes",
                    "indexed edges", "max depth", "rss delta (B)"});

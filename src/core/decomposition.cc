@@ -7,11 +7,13 @@
 namespace tcf {
 
 TrussDecomposition TrussDecomposition::FromThemeNetwork(
-    const ThemeNetwork& tn) {
+    const ThemeNetwork& tn, ThemePeeler* reusable) {
   TrussDecomposition d;
   d.pattern_ = tn.pattern;
 
-  ThemePeeler peeler(tn);
+  ThemePeeler local;
+  ThemePeeler& peeler = reusable != nullptr ? *reusable : local;
+  peeler.Reset(tn);
   // C*_p(α_0 = 0): drop edges with eco ≤ 0; they are in no pattern truss
   // and therefore never stored in L_p.
   peeler.PeelToThreshold(0);
@@ -28,11 +30,12 @@ TrussDecomposition TrussDecomposition::FromThemeNetwork(
   // Ascending-threshold peeling: each wave at β = min alive cohesion is
   // exactly R_p(β) = E*(previous α) \ E*(β), because peeling at β from
   // C*(previous α) is MPTD's fixpoint at β (Thm. 6.1).
+  std::vector<EdgeId> removed_local;
   while (peeler.num_alive() > 0) {
     const CohesionValue beta = peeler.MinAliveCohesion();
     TCF_CHECK(beta != ThemePeeler::kNoAliveEdges);
     TCF_CHECK_MSG(beta > 0, "edges at or below the previous level survived");
-    std::vector<EdgeId> removed_local;
+    removed_local.clear();
     peeler.PeelToThreshold(beta, &removed_local);
     TCF_CHECK(!removed_local.empty());
     DecompositionLevel level;

@@ -39,7 +39,13 @@ class TrussDecomposition {
   /// Peels `G_p` at α=0 (discarding zero-cohesion edges, which belong to
   /// no pattern truss), then repeatedly finds the minimum alive cohesion
   /// β and peels at β, recording each removal wave as one level.
-  static TrussDecomposition FromThemeNetwork(const ThemeNetwork& tn);
+  ///
+  /// `peeler`, when non-null, is used as the (Reset) peeling workspace so
+  /// a caller decomposing many candidate networks — the TC-Tree build —
+  /// reuses its high-water-sized buffers instead of allocating fresh
+  /// ones per call. Results are identical either way.
+  static TrussDecomposition FromThemeNetwork(const ThemeNetwork& tn,
+                                             ThemePeeler* peeler = nullptr);
 
   /// Reassembles a decomposition from stored parts (index persistence).
   /// `levels` must be strictly ascending in alpha with non-empty,

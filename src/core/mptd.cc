@@ -6,57 +6,97 @@
 
 namespace tcf {
 
-ThemePeeler::ThemePeeler(const ThemeNetwork& tn) : tn_(&tn) {
+void ThemePeeler::Reset(const ThemeNetwork& tn) {
+  tn_ = &tn;
   const size_t n = tn.vertices.size();
+  const size_t m = tn.edges.size();
+  // The two-pass CSR fill below relies on canonical (u,v)-sorted edges
+  // (which both induction paths produce); unsorted input would silently
+  // break the sorted-merge triangle enumeration, so check it here.
+  TCF_CHECK_MSG(std::is_sorted(tn.edges.begin(), tn.edges.end()),
+                "theme-network edges must be canonically sorted");
+
+  qfreq_.clear();
   qfreq_.reserve(n);
   for (double f : tn.frequencies) qfreq_.push_back(QuantizeFrequency(f));
 
-  // Global -> local vertex ids. tn.vertices is sorted, so local order
-  // preserves global order and canonical edges stay canonical locally.
-  auto local_of = [&](VertexId global) -> uint32_t {
-    auto it = std::lower_bound(tn.vertices.begin(), tn.vertices.end(), global);
-    TCF_CHECK(it != tn.vertices.end() && *it == global);
-    return static_cast<uint32_t>(it - tn.vertices.begin());
-  };
+  // Global -> local vertex ids via the stamped dense map: one pass over
+  // the (sorted) vertex list publishes every mapping, one pass over the
+  // edges consumes them — no per-endpoint binary search. Bumping the
+  // stamp invalidates the previous network's entries without clearing.
+  if (++stamp_value_ == 0) {  // uint32 wrap: flush and restart at 1
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    stamp_value_ = 1;
+  }
+  const size_t id_space = n == 0 ? 0 : static_cast<size_t>(tn.vertices.back()) + 1;
+  if (local_of_.size() < id_space) {
+    local_of_.resize(id_space);
+    stamp_.resize(id_space, 0);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    local_of_[tn.vertices[i]] = static_cast<uint32_t>(i);
+    stamp_[tn.vertices[i]] = stamp_value_;
+  }
 
-  local_edges_.reserve(tn.edges.size());
-  adj_.assign(n, {});
-  for (EdgeId e = 0; e < tn.edges.size(); ++e) {
-    const Edge& ge = tn.edges[e];
-    const uint32_t lu = local_of(ge.u);
-    const uint32_t lv = local_of(ge.v);
-    local_edges_.push_back({lu, lv});
-    adj_[lu].push_back({lv, e});
-    adj_[lv].push_back({lu, e});
+  local_edges_.clear();
+  local_edges_.reserve(m);
+  for (const Edge& ge : tn.edges) {
+    TCF_CHECK(ge.u < id_space && stamp_[ge.u] == stamp_value_);
+    TCF_CHECK(ge.v < id_space && stamp_[ge.v] == stamp_value_);
+    // tn.vertices is sorted, so local order preserves global order and
+    // canonical edges stay canonical locally.
+    local_edges_.push_back({local_of_[ge.u], local_of_[ge.v]});
   }
-  for (auto& a : adj_) {
-    std::sort(a.begin(), a.end(),
-              [](const LocalNeighbor& x, const LocalNeighbor& y) {
-                return x.vertex < y.vertex;
-              });
+
+  // CSR adjacency, sorted by neighbour without a per-range sort: for a
+  // vertex x, neighbours below x come from edges (u, x) — which the
+  // canonical (u, v)-sorted edge list visits in ascending u — and
+  // neighbours above x from edges (x, w) in ascending w. Filling all
+  // low-side entries first, then all high-side entries, leaves every
+  // range sorted.
+  adj_offsets_.assign(n + 1, 0);
+  for (const LocalEdge& le : local_edges_) {
+    ++adj_offsets_[le.u + 1];
+    ++adj_offsets_[le.v + 1];
   }
-  alive_.assign(local_edges_.size(), 1);
-  num_alive_ = local_edges_.size();
+  for (size_t i = 1; i <= n; ++i) adj_offsets_[i] += adj_offsets_[i - 1];
+  adj_.resize(2 * m);
+  adj_cursor_.assign(adj_offsets_.begin(), adj_offsets_.begin() + n);
+  for (EdgeId e = 0; e < m; ++e) {
+    const LocalEdge& le = local_edges_[e];
+    adj_[adj_cursor_[le.v]++] = {le.u, static_cast<uint32_t>(e)};
+  }
+  for (EdgeId e = 0; e < m; ++e) {
+    const LocalEdge& le = local_edges_[e];
+    adj_[adj_cursor_[le.u]++] = {le.v, static_cast<uint32_t>(e)};
+  }
+
+  alive_.assign(m, 1);
+  num_alive_ = m;
+  triangle_visits_ = 0;
+  min_heap_.clear();
+  min_tracking_ = false;
   ComputeInitialCohesions();
 }
 
 template <typename Fn>
 void ThemePeeler::ForEachAliveTriangle(EdgeId e, Fn&& fn) const {
   const LocalEdge& le = local_edges_[e];
-  const auto& a = adj_[le.u];
-  const auto& b = adj_[le.v];
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i].vertex < b[j].vertex) {
-      ++i;
-    } else if (a[i].vertex > b[j].vertex) {
-      ++j;
+  const LocalNeighbor* a = adj_.data() + adj_offsets_[le.u];
+  const LocalNeighbor* a_end = adj_.data() + adj_offsets_[le.u + 1];
+  const LocalNeighbor* b = adj_.data() + adj_offsets_[le.v];
+  const LocalNeighbor* b_end = adj_.data() + adj_offsets_[le.v + 1];
+  while (a != a_end && b != b_end) {
+    if (a->vertex < b->vertex) {
+      ++a;
+    } else if (a->vertex > b->vertex) {
+      ++b;
     } else {
-      if (alive_[a[i].edge] && alive_[b[j].edge]) {
-        fn(a[i].vertex, a[i].edge, b[j].edge);
+      if (alive_[a->edge] && alive_[b->edge]) {
+        fn(a->vertex, a->edge, b->edge);
       }
-      ++i;
-      ++j;
+      ++a;
+      ++b;
     }
   }
 }
@@ -75,19 +115,25 @@ void ThemePeeler::ComputeInitialCohesions() {
   }
 }
 
+void ThemePeeler::HeapPush(CohesionValue c, EdgeId e) {
+  min_heap_.emplace_back(c, e);
+  std::push_heap(min_heap_.begin(), min_heap_.end(),
+                 std::greater<HeapEntry>());
+}
+
 void ThemePeeler::PeelToThreshold(CohesionValue alpha_q,
                                   std::vector<EdgeId>* removed) {
-  std::vector<EdgeId> queue;
-  std::vector<uint8_t> in_queue(local_edges_.size(), 0);
+  peel_queue_.clear();
+  in_queue_.assign(local_edges_.size(), 0);
   for (EdgeId e = 0; e < local_edges_.size(); ++e) {
     if (alive_[e] && cohesion_[e] <= alpha_q) {
-      queue.push_back(e);
-      in_queue[e] = 1;
+      peel_queue_.push_back(e);
+      in_queue_[e] = 1;
     }
   }
   size_t head = 0;
-  while (head < queue.size()) {
-    const EdgeId e = queue[head++];
+  while (head < peel_queue_.size()) {
+    const EdgeId e = peel_queue_[head++];
     if (!alive_[e]) continue;
     // Mark dead *before* enumerating, so the broken triangles are exactly
     // the alive ones that contained e (Alg. 1 lines 11-16).
@@ -100,10 +146,10 @@ void ThemePeeler::PeelToThreshold(CohesionValue alpha_q,
       const CohesionValue m = std::min(fuv, qfreq_[w]);
       for (EdgeId wing : {e1, e2}) {
         cohesion_[wing] -= m;
-        if (min_tracking_) min_heap_.emplace(cohesion_[wing], wing);
-        if (!in_queue[wing] && cohesion_[wing] <= alpha_q) {
-          queue.push_back(wing);
-          in_queue[wing] = 1;
+        if (min_tracking_) HeapPush(cohesion_[wing], wing);
+        if (!in_queue_[wing] && cohesion_[wing] <= alpha_q) {
+          peel_queue_.push_back(wing);
+          in_queue_[wing] = 1;
         }
       }
     });
@@ -115,13 +161,17 @@ CohesionValue ThemePeeler::MinAliveCohesion() {
   if (!min_tracking_) {
     min_tracking_ = true;
     for (EdgeId e = 0; e < local_edges_.size(); ++e) {
-      if (alive_[e]) min_heap_.emplace(cohesion_[e], e);
+      if (alive_[e]) min_heap_.emplace_back(cohesion_[e], e);
     }
+    std::make_heap(min_heap_.begin(), min_heap_.end(),
+                   std::greater<HeapEntry>());
   }
   while (!min_heap_.empty()) {
-    const auto& [c, e] = min_heap_.top();
+    const auto& [c, e] = min_heap_.front();
     if (alive_[e] && cohesion_[e] == c) return c;
-    min_heap_.pop();
+    std::pop_heap(min_heap_.begin(), min_heap_.end(),
+                  std::greater<HeapEntry>());
+    min_heap_.pop_back();
   }
   return kNoAliveEdges;
 }

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <limits>
-#include <queue>
 #include <vector>
 
 #include "core/cohesion.h"
@@ -15,19 +14,35 @@ namespace tcf {
 /// \brief The peeling engine behind MPTD (Alg. 1) and the maximal-
 /// pattern-truss decomposition (§6.1).
 ///
-/// On construction the theme network is remapped to dense local ids,
-/// adjacency is built sorted, and every edge's initial cohesion
-/// `eco_ij(G_p) = Σ_△ min(f_i, f_j, f_k)` is computed by sorted-merge
-/// triangle enumeration (Alg. 1 lines 2-8), in O(Σ d²(v)).
+/// On construction (or `Reset`) the theme network is remapped to dense
+/// local ids, adjacency is built sorted in one CSR array, and every
+/// edge's initial cohesion `eco_ij(G_p) = Σ_△ min(f_i, f_j, f_k)` is
+/// computed by sorted-merge triangle enumeration (Alg. 1 lines 2-8), in
+/// O(Σ d²(v)).
 ///
 /// `PeelToThreshold(α)` then removes unqualified edges (eco ≤ α) with the
 /// cascading queue of Alg. 1 lines 9-18. Cohesions are maintained
 /// incrementally in fixed point (see cohesion.h), so repeated calls with
 /// ascending thresholds — the decomposition loop — continue from the
 /// current state instead of recomputing.
+///
+/// A peeler is reusable: `Reset` re-targets it at another theme network
+/// while keeping every internal buffer's capacity (high-water sized), so
+/// a loop that decomposes millions of candidate networks — the TC-Tree
+/// build — performs no per-candidate allocations once the buffers have
+/// grown to the workload's largest network. The global→local vertex
+/// mapping is a stamped dense array (one pass over vertices + one pass
+/// over edges) instead of a per-endpoint binary search.
 class ThemePeeler {
  public:
-  explicit ThemePeeler(const ThemeNetwork& tn);
+  /// An empty peeler; call Reset before anything else.
+  ThemePeeler() = default;
+
+  explicit ThemePeeler(const ThemeNetwork& tn) { Reset(tn); }
+
+  /// Re-targets the peeler at `tn` (which must outlive it), reusing all
+  /// internal buffers. Equivalent to constructing a fresh peeler.
+  void Reset(const ThemeNetwork& tn);
 
   size_t num_edges() const { return local_edges_.size(); }
   size_t num_alive() const { return num_alive_; }
@@ -56,8 +71,8 @@ class ThemePeeler {
   bool alive(EdgeId e) const { return alive_[e] != 0; }
   CohesionValue cohesion(EdgeId e) const { return cohesion_[e]; }
 
-  /// Number of triangle visits performed so far (instrumentation for the
-  /// §7 pruning-effectiveness counters).
+  /// Number of triangle visits performed since the last Reset
+  /// (instrumentation for the §7 pruning-effectiveness counters).
   uint64_t triangle_visits() const { return triangle_visits_; }
 
  private:
@@ -77,20 +92,38 @@ class ThemePeeler {
   template <typename Fn>
   void ForEachAliveTriangle(EdgeId e, Fn&& fn) const;
 
-  const ThemeNetwork* tn_;
-  std::vector<CohesionValue> qfreq_;             // per local vertex
-  std::vector<LocalEdge> local_edges_;           // canonical local pairs
-  std::vector<std::vector<LocalNeighbor>> adj_;  // sorted by vertex
-  std::vector<CohesionValue> cohesion_;          // per local edge
+  void HeapPush(CohesionValue c, EdgeId e);
+
+  const ThemeNetwork* tn_ = nullptr;
+  std::vector<CohesionValue> qfreq_;    // per local vertex
+  std::vector<LocalEdge> local_edges_;  // canonical local pairs
+
+  // Stamped dense global→local map: local_of_[v] is valid iff
+  // stamp_[v] == stamp_. Sized to the high-water max global id + 1, so
+  // Reset never clears it — bumping the stamp invalidates everything.
+  std::vector<uint32_t> local_of_;
+  std::vector<uint32_t> stamp_;
+  uint32_t stamp_value_ = 0;
+
+  // CSR adjacency, sorted by neighbour vertex within each range.
+  std::vector<uint32_t> adj_offsets_;      // n + 1
+  std::vector<LocalNeighbor> adj_;         // 2m entries
+  std::vector<uint32_t> adj_cursor_;       // build scratch
+
+  std::vector<CohesionValue> cohesion_;    // per local edge
   std::vector<uint8_t> alive_;
   size_t num_alive_ = 0;
   uint64_t triangle_visits_ = 0;
 
+  // PeelToThreshold scratch, reused across calls and Resets.
+  std::vector<EdgeId> peel_queue_;
+  std::vector<uint8_t> in_queue_;
+
   // Lazy min-heap of (cohesion, edge); entries go stale on update.
+  // A plain vector + std::push/pop_heap so Reset can clear it without
+  // releasing capacity.
   using HeapEntry = std::pair<CohesionValue, EdgeId>;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      min_heap_;
+  std::vector<HeapEntry> min_heap_;
   bool min_tracking_ = false;
 };
 

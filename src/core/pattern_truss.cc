@@ -35,10 +35,17 @@ std::string PatternTruss::ToString() const {
 std::vector<Edge> IntersectEdgeSets(const std::vector<Edge>& a,
                                     const std::vector<Edge>& b) {
   std::vector<Edge> out;
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
+  IntersectEdgeSetsInto(a, b, &out);
   return out;
+}
+
+void IntersectEdgeSetsInto(const std::vector<Edge>& a,
+                           const std::vector<Edge>& b,
+                           std::vector<Edge>* out) {
+  out->clear();
+  out->reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(*out));
 }
 
 void FillVerticesFromEdges(const std::vector<VertexId>& superset_vertices,

@@ -50,6 +50,12 @@ struct PatternTruss {
 std::vector<Edge> IntersectEdgeSets(const std::vector<Edge>& a,
                                     const std::vector<Edge>& b);
 
+/// Same, writing into `*out` (cleared first) so a hot caller reuses one
+/// high-water-sized buffer instead of allocating per intersection.
+void IntersectEdgeSetsInto(const std::vector<Edge>& a,
+                           const std::vector<Edge>& b,
+                           std::vector<Edge>* out);
+
 /// Rebuilds the sorted vertex/frequency arrays of a truss from its edges,
 /// looking frequencies up in (vertex, frequency) pairs of a superset
 /// (e.g. the theme network it was peeled from).

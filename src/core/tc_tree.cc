@@ -11,27 +11,76 @@
 
 namespace tcf {
 
+namespace {
+
+/// One BFS frontier entry. Depth and the node's position in its parent's
+/// child list are carried along instead of being recomputed per expansion
+/// (walking parent links and std::find-ing the sibling slot made the old
+/// loop quadratic in tree size).
+struct FrontierEntry {
+  TcTree::NodeId id;
+  uint32_t depth;        // pattern length of `id`
+  uint32_t sibling_pos;  // index of `id` in its parent's children
+};
+
+/// One produced child of an expansion, ready to be committed.
+struct ChildResult {
+  ItemId item;
+  TrussDecomposition decomposition;
+};
+
+/// Everything an expansion task produces for one frontier node. Stats are
+/// carried here — not accumulated globally — so the commit loop can fold
+/// exactly the expansions that happen *before* the node budget trips,
+/// keeping every counter identical to the sequential build's.
+struct Expansion {
+  std::vector<ChildResult> children;  // sibling order = item-ascending
+  uint64_t candidates = 0;
+  uint64_t pruned = 0;
+  uint64_t mptd_calls = 0;
+};
+
+/// Per-worker reusable buffers: the MPTD peeling workspace, the Prop.-5.3
+/// overlap buffer, and the induced theme network — the whole per-candidate
+/// hot path runs allocation-free once these reach their high-water sizes.
+struct BuildWorkspace {
+  ThemePeeler peeler;
+  std::vector<Edge> overlap;
+  ThemeNetwork tn;
+  ThemeInductionScratch induction;
+};
+
+BuildWorkspace& WorkspaceForThisWorker(std::vector<BuildWorkspace>& all) {
+  const size_t idx = ThreadPool::CurrentWorkerIndex();
+  TCF_CHECK(idx < all.size());
+  return all[idx];
+}
+
+}  // namespace
+
 TcTree TcTree::Build(const DatabaseNetwork& net, const TcTreeOptions& options) {
   WallTimer timer;
   TcTree tree;
   tree.nodes_.emplace_back();  // root: pattern ∅, empty decomposition
 
+  ThreadPool pool(options.num_threads);
+  std::vector<BuildWorkspace> workspaces(pool.num_threads());
+
   // --- Layer 1 (Alg. 4 lines 2-5), parallel over items. ---------------
   const std::vector<ItemId> items = net.ActiveItems();
   std::vector<std::optional<TrussDecomposition>> layer1(items.size());
-  {
-    ThreadPool pool(options.num_threads);
-    ParallelFor(pool, items.size(), [&](size_t i) {
-      ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(items[i]));
-      if (tn.empty()) return;
-      TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
-      if (!d.empty()) layer1[i] = std::move(d);
-    });
-  }
+  ParallelForDynamic(pool, items.size(), [&](size_t i) {
+    BuildWorkspace& ws = WorkspaceForThisWorker(workspaces);
+    ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(items[i]));
+    if (tn.empty()) return;
+    TrussDecomposition d =
+        TrussDecomposition::FromThemeNetwork(tn, &ws.peeler);
+    if (!d.empty()) layer1[i] = std::move(d);
+  });
   tree.stats_.candidates_considered += items.size();
   tree.stats_.mptd_calls += items.size();
 
-  std::vector<NodeId> frontier;  // BFS queue (indices into the arena)
+  std::vector<FrontierEntry> frontier;  // BFS queue (arena indices)
   for (size_t i = 0; i < items.size(); ++i) {
     if (!layer1[i].has_value()) continue;
     Node n;
@@ -40,64 +89,117 @@ TcTree TcTree::Build(const DatabaseNetwork& net, const TcTreeOptions& options) {
     n.decomposition = std::move(*layer1[i]);
     tree.nodes_.push_back(std::move(n));
     const NodeId id = static_cast<NodeId>(tree.nodes_.size() - 1);
+    const uint32_t pos =
+        static_cast<uint32_t>(tree.nodes_[kRoot].children.size());
     tree.nodes_[kRoot].children.push_back(id);
-    frontier.push_back(id);
+    frontier.push_back({id, 1, pos});
   }
 
-  // --- Deeper layers, breadth-first (Alg. 4 lines 6-12). --------------
+  // --- Deeper layers (Alg. 4 lines 6-12), parallel frontier waves. ----
+  //
+  // Each wave expands a window of the BFS queue in parallel: an
+  // expansion only reads nodes committed before its window began (its
+  // own node, its parent's child list, and its right-siblings'
+  // decompositions — all created when the parent was expanded), so the
+  // arena is immutable while tasks run. The commit loop then replays
+  // the expansions sequentially in frontier order — which is exactly the
+  // order the sequential BFS created nodes in — so arena order, node
+  // ids, child lists, stats, and the budget-trip point are all
+  // deterministic regardless of thread count *and* of how the queue is
+  // partitioned into waves. Waves are capped at a multiple of the pool
+  // width: wide enough to self-schedule evenly, narrow enough that a
+  // `max_nodes` trip mid-wave discards at most one window of
+  // speculative expansions, not an entire layer.
+  const size_t max_wave = pool.num_threads() * 32;
   size_t head = 0;
-  while (head < frontier.size()) {
+  std::vector<Expansion> wave;
+  auto trip_budget = [&] {
+    tree.stats_.truncated = true;
+    TCF_LOG(Warn) << "TC-Tree node budget (" << options.max_nodes
+                  << ") exhausted; deeper themes are not indexed";
+  };
+  bool budget_exhausted = false;
+  while (head < frontier.size() && !budget_exhausted) {
     if (options.max_nodes != 0 && tree.num_nodes() >= options.max_nodes) {
-      tree.stats_.truncated = true;
-      TCF_LOG(Warn) << "TC-Tree node budget (" << options.max_nodes
-                    << ") exhausted; deeper themes are not indexed";
+      trip_budget();  // the budget filled exactly at a wave boundary
       break;
     }
-    const NodeId f = frontier[head++];
-    const NodeId parent = tree.nodes_[f].parent;
-    const size_t depth_f = [&] {
-      size_t d = 0;
-      for (NodeId x = f; x != kRoot; x = tree.nodes_[x].parent) ++d;
-      return d;
-    }();
-    if (options.max_depth != 0 && depth_f >= options.max_depth) continue;
+    const size_t wave_begin = head;
+    const size_t wave_end = std::min(frontier.size(), head + max_wave);
+    wave.clear();
+    wave.resize(wave_end - wave_begin);
 
-    // Siblings b of f with s_f ≺ s_b (children lists are item-ascending,
-    // so they follow f in the parent's child list).
-    const std::vector<NodeId>& siblings = tree.nodes_[parent].children;
-    auto it = std::find(siblings.begin(), siblings.end(), f);
-    TCF_CHECK(it != siblings.end());
-    for (auto bit = it + 1; bit != siblings.end(); ++bit) {
-      const NodeId b = *bit;
-      ++tree.stats_.candidates_considered;
+    ParallelForDynamic(pool, wave_end - wave_begin, [&](size_t w) {
+      const FrontierEntry entry = frontier[wave_begin + w];
+      if (options.max_depth != 0 && entry.depth >= options.max_depth) {
+        return;  // depth-capped: no expansion, no stats (as sequential)
+      }
+      BuildWorkspace& ws = WorkspaceForThisWorker(workspaces);
+      Expansion& ex = wave[w];
+      const NodeId f = entry.id;
+      const Node& node_f = tree.nodes_[f];
+      const std::vector<NodeId>& siblings =
+          tree.nodes_[node_f.parent].children;
+      const Itemset pattern_f = tree.PatternOf(f);
 
-      // Prop. 5.3: C*_{p_c}(0) ⊆ C*_{p_f}(0) ∩ C*_{p_b}(0).
-      std::vector<Edge> overlap =
-          IntersectEdgeSets(tree.nodes_[f].decomposition.sorted_edges(),
-                            tree.nodes_[b].decomposition.sorted_edges());
-      if (overlap.empty()) {
-        ++tree.stats_.pruned_by_intersection;
+      // Siblings b of f with s_f ≺ s_b (children lists are
+      // item-ascending, so they follow f in the parent's child list).
+      for (size_t s = entry.sibling_pos + 1; s < siblings.size(); ++s) {
+        const NodeId b = siblings[s];
+        ++ex.candidates;
+
+        // Prop. 5.3: C*_{p_c}(0) ⊆ C*_{p_f}(0) ∩ C*_{p_b}(0).
+        IntersectEdgeSetsInto(node_f.decomposition.sorted_edges(),
+                              tree.nodes_[b].decomposition.sorted_edges(),
+                              &ws.overlap);
+        if (ws.overlap.empty()) {
+          ++ex.pruned;
+          continue;
+        }
+        const Itemset pc = pattern_f.Union(tree.nodes_[b].item);
+        InduceThemeNetworkFromEdgesInto(net, pc, ws.overlap, &ws.tn,
+                                        &ws.induction);
+        if (ws.tn.empty()) {
+          ++ex.pruned;
+          continue;
+        }
+        ++ex.mptd_calls;
+        TrussDecomposition d =
+            TrussDecomposition::FromThemeNetwork(ws.tn, &ws.peeler);
+        if (d.empty()) continue;  // Prop. 5.2 prunes the whole subtree
+        ex.children.push_back({tree.nodes_[b].item, std::move(d)});
+      }
+    });
+
+    // Ordered commit: per frontier entry, per parent, item-ascending.
+    for (size_t w = 0; w < wave.size(); ++w) {
+      if (options.max_nodes != 0 && tree.num_nodes() >= options.max_nodes) {
+        trip_budget();
+        budget_exhausted = true;
+        break;
+      }
+      const FrontierEntry entry = frontier[wave_begin + w];
+      if (options.max_depth != 0 && entry.depth >= options.max_depth) {
         continue;
       }
-      const Itemset pc = tree.PatternOf(f).Union(tree.nodes_[b].item);
-      ThemeNetwork tn = InduceThemeNetworkFromEdges(net, pc, overlap);
-      if (tn.empty()) {
-        ++tree.stats_.pruned_by_intersection;
-        continue;
+      Expansion& ex = wave[w];
+      tree.stats_.candidates_considered += ex.candidates;
+      tree.stats_.pruned_by_intersection += ex.pruned;
+      tree.stats_.mptd_calls += ex.mptd_calls;
+      for (ChildResult& child : ex.children) {
+        Node n;
+        n.item = child.item;
+        n.parent = entry.id;
+        n.decomposition = std::move(child.decomposition);
+        tree.nodes_.push_back(std::move(n));
+        const NodeId id = static_cast<NodeId>(tree.nodes_.size() - 1);
+        const uint32_t pos =
+            static_cast<uint32_t>(tree.nodes_[entry.id].children.size());
+        tree.nodes_[entry.id].children.push_back(id);
+        frontier.push_back({id, entry.depth + 1, pos});
       }
-      ++tree.stats_.mptd_calls;
-      TrussDecomposition d = TrussDecomposition::FromThemeNetwork(tn);
-      if (d.empty()) continue;  // Prop. 5.2 prunes the whole subtree
-
-      Node n;
-      n.item = tree.nodes_[b].item;
-      n.parent = f;
-      n.decomposition = std::move(d);
-      tree.nodes_.push_back(std::move(n));
-      const NodeId id = static_cast<NodeId>(tree.nodes_.size() - 1);
-      tree.nodes_[f].children.push_back(id);
-      frontier.push_back(id);
     }
+    head = wave_end;
   }
 
   tree.stats_.build_seconds = timer.Seconds();

@@ -13,8 +13,12 @@ namespace tcf {
 
 /// Build-time configuration for the TC-Tree.
 struct TcTreeOptions {
-  /// Worker threads for the first layer (Alg. 4 lines 2-5; the paper uses
-  /// 4 OpenMP threads). Deeper layers are sequential, as in the paper.
+  /// Worker threads for the build. The paper parallelizes only the first
+  /// layer (Alg. 4 lines 2-5, 4 OpenMP threads); here *every* layer
+  /// expands in parallel — frontier nodes fan out over a self-scheduling
+  /// pool, and results commit through a deterministic ordered merge, so
+  /// the built tree (arena order, node ids, serialized bytes) is
+  /// identical for any thread count.
   size_t num_threads = 1;
   /// Optional cap on tree depth = pattern length (0 = unlimited).
   size_t max_depth = 0;
@@ -60,7 +64,14 @@ class TcTree {
   /// Builds the tree over `net` (Alg. 4): layer 1 decomposes every
   /// single-item theme network (in parallel); node `c = f ∪ {s_b}` is
   /// computed inside `C*_{p_f}(0) ∩ C*_{p_b}(0)` (Prop. 5.3) and pruned —
-  /// subtree included — when empty (Prop. 5.2).
+  /// subtree included — when empty (Prop. 5.2). Deeper layers expand in
+  /// parallel too: each layer's frontier fans out over the worker pool
+  /// (every frontier node expands against its right-siblings
+  /// independently, with per-worker reusable MPTD workspaces), and the
+  /// results are committed sequentially in frontier order — per parent,
+  /// item-ascending — so node ids, build stats, and `max_nodes` /
+  /// `max_depth` budget semantics are byte-for-byte identical to the
+  /// single-threaded build for any `num_threads`.
   static TcTree Build(const DatabaseNetwork& net,
                       const TcTreeOptions& options = {});
 

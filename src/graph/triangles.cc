@@ -2,32 +2,6 @@
 
 namespace tcf {
 
-void ForEachTriangle(const Graph& g, EdgeId e,
-                     const std::vector<uint8_t>* alive,
-                     const std::function<void(VertexId, EdgeId, EdgeId)>& fn) {
-  const Edge& edge = g.edge(e);
-  auto a = g.neighbors(edge.u);
-  auto b = g.neighbors(edge.v);
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i].vertex < b[j].vertex) {
-      ++i;
-    } else if (a[i].vertex > b[j].vertex) {
-      ++j;
-    } else {
-      const VertexId w = a[i].vertex;
-      const EdgeId e_uw = a[i].edge;
-      const EdgeId e_vw = b[j].edge;
-      // w == u or w == v is impossible in a simple graph.
-      if (alive == nullptr || ((*alive)[e_uw] && (*alive)[e_vw])) {
-        fn(w, e_uw, e_vw);
-      }
-      ++i;
-      ++j;
-    }
-  }
-}
-
 std::vector<uint32_t> CountEdgeTriangles(const Graph& g) {
   std::vector<uint32_t> support(g.num_edges(), 0);
   for (EdgeId e = 0; e < g.num_edges(); ++e) {

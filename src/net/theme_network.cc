@@ -64,10 +64,25 @@ ThemeNetwork InduceThemeNetworkFromEdges(
     const DatabaseNetwork& net, const Itemset& pattern,
     const std::vector<Edge>& candidate_edges) {
   ThemeNetwork tn;
-  tn.pattern = pattern;
+  ThemeInductionScratch scratch;
+  InduceThemeNetworkFromEdgesInto(net, pattern, candidate_edges, &tn,
+                                  &scratch);
+  return tn;
+}
+
+void InduceThemeNetworkFromEdgesInto(const DatabaseNetwork& net,
+                                     const Itemset& pattern,
+                                     const std::vector<Edge>& candidate_edges,
+                                     ThemeNetwork* out,
+                                     ThemeInductionScratch* scratch) {
+  out->pattern = pattern;
+  out->vertices.clear();
+  out->frequencies.clear();
+  out->edges.clear();
 
   // Collect distinct endpoints.
-  std::vector<VertexId> endpoints;
+  std::vector<VertexId>& endpoints = scratch->endpoints;
+  endpoints.clear();
   endpoints.reserve(candidate_edges.size() * 2);
   for (const Edge& e : candidate_edges) {
     endpoints.push_back(e.u);
@@ -77,29 +92,31 @@ ThemeNetwork InduceThemeNetworkFromEdges(
   endpoints.erase(std::unique(endpoints.begin(), endpoints.end()),
                   endpoints.end());
 
-  // Frequency-check each endpoint once.
-  std::unordered_map<VertexId, double> freq;
-  freq.reserve(endpoints.size() * 2);
+  // Frequency-check each endpoint once; the surviving vertices inherit
+  // the endpoints' sorted order, so edge membership below is a binary
+  // search instead of a per-call hash map.
   for (VertexId v : endpoints) {
     const double f = net.Frequency(v, pattern);
     if (f > 0) {
-      tn.vertices.push_back(v);
-      tn.frequencies.push_back(f);
-      freq.emplace(v, f);
+      out->vertices.push_back(v);
+      out->frequencies.push_back(f);
     }
   }
 
+  auto member = [&](VertexId v) {
+    auto it = std::lower_bound(out->vertices.begin(), out->vertices.end(), v);
+    return it != out->vertices.end() && *it == v;
+  };
   for (const Edge& e : candidate_edges) {
-    if (freq.count(e.u) && freq.count(e.v)) tn.edges.push_back(e);
+    if (member(e.u) && member(e.v)) out->edges.push_back(e);
   }
-  std::sort(tn.edges.begin(), tn.edges.end());
-  tn.edges.erase(std::unique(tn.edges.begin(), tn.edges.end()),
-                 tn.edges.end());
+  std::sort(out->edges.begin(), out->edges.end());
+  out->edges.erase(std::unique(out->edges.begin(), out->edges.end()),
+                   out->edges.end());
 
   // Drop vertices that lost all incident edges? No: Def. 3.3 induces the
   // truss from edges anyway, and MPTD ignores isolated vertices; keeping
   // them preserves the formal V_p for inspection.
-  return tn;
 }
 
 }  // namespace tcf

@@ -1,7 +1,6 @@
 #ifndef TCF_NET_THEME_NETWORK_H_
 #define TCF_NET_THEME_NETWORK_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "net/database_network.h"
@@ -44,6 +43,24 @@ ThemeNetwork InduceThemeNetwork(const DatabaseNetwork& net,
 ThemeNetwork InduceThemeNetworkFromEdges(const DatabaseNetwork& net,
                                          const Itemset& pattern,
                                          const std::vector<Edge>& candidate_edges);
+
+/// Reusable scratch for InduceThemeNetworkFromEdgesInto; buffers stay
+/// high-water sized across calls.
+struct ThemeInductionScratch {
+  std::vector<VertexId> endpoints;
+};
+
+/// Allocation-free variant of InduceThemeNetworkFromEdges: the result is
+/// written into `*out` (whose vectors keep their capacity across calls)
+/// and endpoint collection reuses `*scratch*`. Membership tests run as
+/// binary searches over the induced (sorted) vertex list instead of a
+/// freshly built hash map. Output is identical to the value-returning
+/// overload.
+void InduceThemeNetworkFromEdgesInto(const DatabaseNetwork& net,
+                                     const Itemset& pattern,
+                                     const std::vector<Edge>& candidate_edges,
+                                     ThemeNetwork* out,
+                                     ThemeInductionScratch* scratch);
 
 }  // namespace tcf
 

@@ -354,6 +354,9 @@ std::vector<std::string> EncodeStats(const ServeReport& report) {
   add_u("cache_partial_hits", report.cache.partial_hits);
   add_u("cache_composed_queries", report.cache.composed_queries);
   add_u("cache_admission_rejects", report.cache.admission_rejects);
+  // Snapshot-roll counters — appended after the cache block, same rule.
+  add_u("reloads", report.reloads);
+  add_d("last_reload_ms", report.last_reload_ms);
   return lines;
 }
 

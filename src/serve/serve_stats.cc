@@ -61,6 +61,10 @@ TextTable ServeReport::ToTable() const {
                              static_cast<double>(batches))});
     t.AddRow({"batch depth (max)", TextTable::Num(batch_max_depth)});
   }
+  if (reloads > 0) {
+    t.AddRow({"reloads", TextTable::Num(reloads)});
+    t.AddRow({"last reload (ms)", TextTable::Num(last_reload_ms)});
+  }
   return t;
 }
 
@@ -117,6 +121,11 @@ void ServeStats::RecordBatch(uint64_t depth) {
   }
 }
 
+void ServeStats::RecordReload(double wall_ms) {
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  last_reload_ms_.store(wall_ms, std::memory_order_relaxed);
+}
+
 void ServeStats::Reset() {
   for (Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);
@@ -142,6 +151,8 @@ ServeReport ServeStats::Report(const ResultCacheStats& cache) const {
   report.batch_queries = batch_queries_.load(std::memory_order_relaxed);
   report.batch_max_depth =
       batch_max_depth_.load(std::memory_order_relaxed);
+  report.reloads = reloads_.load(std::memory_order_relaxed);
+  report.last_reload_ms = last_reload_ms_.load(std::memory_order_relaxed);
 
   std::vector<double> all;
   for (const Stripe& stripe : stripes_) {

@@ -42,6 +42,13 @@ struct ServeReport {
   uint64_t batch_queries = 0;   // query lines carried inside batches
   uint64_t batch_max_depth = 0;
 
+  // Snapshot-roll counters (RELOAD verb / SwapSnapshot; lifetime-of-
+  // server). `last_reload_ms` is the wall time of the most recent
+  // load-and-swap — the number an operator watches shrink when the index
+  // is rebuilt with more `--build-threads`.
+  uint64_t reloads = 0;
+  double last_reload_ms = 0;
+
   /// Renders the report as a two-column (metric, value) table.
   TextTable ToTable() const;
   std::string ToString() const;
@@ -78,6 +85,9 @@ class ServeStats {
   /// Records one executed BATCH of `depth` query lines.
   void RecordBatch(uint64_t depth);
 
+  /// Records one completed snapshot reload that took `wall_ms`.
+  void RecordReload(double wall_ms);
+
   /// Forgets all samples and restarts the wall clock (used between the
   /// cold and warm passes of `tcf serve --repeat`). Network counters are
   /// cumulative over the collector's lifetime and are *not* reset — a
@@ -109,6 +119,8 @@ class ServeStats {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> batch_queries_{0};
   std::atomic<uint64_t> batch_max_depth_{0};
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<double> last_reload_ms_{0};
 };
 
 }  // namespace tcf

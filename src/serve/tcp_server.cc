@@ -15,6 +15,7 @@
 
 #include "core/tc_tree_io.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace tcf {
 namespace {
@@ -533,6 +534,7 @@ std::string TcpServer::HandleRequest(const Request& request, bool* quit) {
         response += '\n';
         return response;
       }
+      WallTimer reload_timer;
       auto tree = LoadTcTreeFromFile(request.reload_path);
       if (!tree.ok()) {
         response = EncodeErrHeader(tree.status());
@@ -543,6 +545,7 @@ std::string TcpServer::HandleRequest(const Request& request, bool* quit) {
       // The epoch-checked SwapSnapshot path: in-flight queries finish on
       // the old tree and their results are dropped, not cached.
       service_.SwapSnapshot(std::move(*tree));
+      service_.stats().RecordReload(reload_timer.Millis());
       response = EncodeOkHeader("RELOADED", 1);
       response += '\n';
       response += StrFormat("nodes %zu\n", nodes);

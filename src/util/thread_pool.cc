@@ -1,14 +1,21 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <latch>
 
 namespace tcf {
+
+namespace {
+/// Worker identity of the calling thread, set once when a pool worker
+/// starts and never changed (a worker belongs to one pool for life).
+thread_local size_t tls_worker_index = ThreadPool::kNotAWorker;
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -35,7 +42,10 @@ void ThreadPool::Wait() {
   done_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+size_t ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_worker_index = worker_index;
   for (;;) {
     std::function<void()> task;
     {
@@ -67,6 +77,25 @@ void ParallelFor(ThreadPool& pool, size_t n,
     });
   }
   pool.Wait();
+}
+
+void ParallelForDynamic(ThreadPool& pool, size_t n,
+                        const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t num_tasks = std::min(n, pool.num_threads());
+  std::atomic<size_t> next{0};
+  std::latch done(static_cast<ptrdiff_t>(num_tasks));
+  for (size_t t = 0; t < num_tasks; ++t) {
+    pool.Submit([&next, &done, &fn, n] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        fn(i);
+      }
+      done.count_down();
+    });
+  }
+  done.wait();
 }
 
 size_t HardwareThreads() {

@@ -16,10 +16,14 @@ namespace tcf {
 ///
 /// The paper parallelizes the first layer of the TC-Tree build with OpenMP
 /// (Alg. 4, lines 2-5). We ship a small portable pool instead so the
-/// library has no OpenMP dependency; `TcTreeBuilder` uses it through
-/// `ParallelFor`.
+/// library has no OpenMP dependency; `TcTree::Build` uses it through
+/// `ParallelForDynamic`.
 class ThreadPool {
  public:
+  /// Returned by CurrentWorkerIndex() on threads that are not workers of
+  /// any pool.
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+
   /// Spawns `num_threads` workers (>=1; 0 is clamped to 1).
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
@@ -35,8 +39,17 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Index of the calling thread within its owning pool — 0 .. n-1 on a
+  /// worker thread, kNotAWorker elsewhere. Lets callers keep per-worker
+  /// scratch state (e.g. the TC-Tree build's reusable MPTD workspaces)
+  /// in a plain vector indexed without locks. The index is only
+  /// meaningful while exactly one pool's tasks run on the thread, which
+  /// is the case for pool workers (a worker belongs to one pool for its
+  /// whole life).
+  static size_t CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
@@ -53,6 +66,17 @@ class ThreadPool {
 /// regardless of scheduling.
 void ParallelFor(ThreadPool& pool, size_t n,
                  const std::function<void(size_t)>& fn);
+
+/// Same contract as ParallelFor, but self-scheduling: one task per worker
+/// pulls indices off a shared atomic cursor until none remain. Where
+/// ParallelFor pre-chunks [0, n) into static ranges, this keeps every
+/// worker busy until the very last index — the work-stealing shape the
+/// TC-Tree expansion needs, where per-index cost varies by orders of
+/// magnitude (the first sibling of a layer has the most candidates).
+/// Safe to call while other tasks run on `pool`: completion is tracked by
+/// an internal latch, not ThreadPool::Wait.
+void ParallelForDynamic(ThreadPool& pool, size_t n,
+                        const std::function<void(size_t)>& fn);
 
 /// Number of hardware threads, at least 1.
 size_t HardwareThreads();

@@ -263,6 +263,8 @@ TEST(LineProtocolTest, StatsRoundTrip) {
   report.batches = 4;
   report.batch_queries = 64;
   report.batch_max_depth = 32;
+  report.reloads = 2;
+  report.last_reload_ms = 12.5;
 
   const std::vector<std::string> lines = EncodeStats(report);
   auto decoded = DecodeStats(lines);
@@ -294,7 +296,10 @@ TEST(LineProtocolTest, StatsRoundTrip) {
   EXPECT_EQ(find("cache_partial_hits"), "7");
   EXPECT_EQ(find("cache_composed_queries"), "5");
   EXPECT_EQ(find("cache_admission_rejects"), "2");
-  EXPECT_EQ(lines.back(), "cache_admission_rejects 2");
+  // ...followed by the snapshot-roll keys (same additive rule).
+  EXPECT_EQ(find("reloads"), "2");
+  EXPECT_EQ(find("last_reload_ms"), "12.5");
+  EXPECT_EQ(lines.back(), "last_reload_ms 12.5");
 
   EXPECT_FALSE(DecodeStats({"keyonly"}).ok());
   EXPECT_FALSE(DecodeStats({""}).ok());

@@ -8,15 +8,17 @@
 //   mine    --in=FILE [--alpha=A] [--method=tcfi|tcfa|tcs] [--epsilon=E]
 //           [--max-len=K] [--top=N]
 //       Mine theme communities and print the top N by size.
-//   index   --in=FILE --out=FILE.idx [--threads=T] [--max-nodes=N]
+//   index   --in=FILE --out=FILE.idx [--build-threads=T] [--max-nodes=N]
 //       Build a TC-Tree and persist it (the §6 data-warehouse workflow).
+//       Every tree layer builds in parallel over T workers (default:
+//       hardware concurrency; --threads is accepted as a legacy alias).
 //   query   --in=FILE [--index=FILE.idx] [--alpha=A] [--items=a,b,c]
-//           [--threads=T]
+//           [--build-threads=T]
 //       Answer one query (item *names*, comma-separated; defaults to all
 //       items) against a freshly built or previously saved TC-Tree.
 //   serve   --in=FILE --workload=FILE [--index=FILE.idx] [--threads=T]
-//           [--cache-mb=M] [--repeat=R] [--batch=B] [--max-nodes=N]
-//           [--compose-min-us=U]
+//           [--build-threads=B] [--cache-mb=M] [--repeat=R] [--batch=B]
+//           [--max-nodes=N] [--compose-min-us=U]
 //       Run a query workload through the concurrent serving layer
 //       (src/serve/): answers are produced by QueryService worker
 //       threads over one immutable TC-Tree snapshot, with a sharded LRU
@@ -34,8 +36,9 @@
 //       batch), and a per-pass throughput/latency/hit-rate table plus a
 //       final detailed report are printed.
 //   serve   --in=FILE --listen=PORT [--host=ADDR] [--index=FILE.idx]
-//           [--threads=T] [--cache-mb=M] [--max-conns=C] [--max-nodes=N]
-//           [--no-reload] [--compose-min-us=U]
+//           [--threads=T] [--build-threads=B] [--cache-mb=M]
+//           [--max-conns=C] [--max-nodes=N] [--no-reload]
+//           [--compose-min-us=U]
 //       Long-lived server mode (mutually exclusive with --workload):
 //       answer remote clients over the TCF1 line protocol
 //       (docs/serve-protocol.md) on ADDR:PORT (default 127.0.0.1;
@@ -85,6 +88,7 @@
 #include "serve/tcp_server.h"
 #include "util/string_util.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 using namespace tcf;
@@ -133,17 +137,18 @@ int Usage() {
                "  stats    --in=FILE\n"
                "  mine     --in=FILE [--alpha=A] [--method=tcfi|tcfa|tcs] "
                "[--epsilon=E] [--max-len=K] [--top=N]\n"
-               "  index    --in=FILE --out=FILE.idx [--threads=T] "
+               "  index    --in=FILE --out=FILE.idx [--build-threads=T] "
                "[--max-nodes=N]\n"
                "  query    --in=FILE [--index=FILE.idx] [--alpha=A] "
-               "[--items=a,b,c] [--threads=T]\n"
+               "[--items=a,b,c] [--build-threads=T]\n"
                "  serve    --in=FILE --workload=FILE [--index=FILE.idx] "
-               "[--threads=T] [--cache-mb=M] [--repeat=R] [--batch=B] "
-               "[--max-nodes=N] [--compose-min-us=U]\n"
-               "  serve    --in=FILE --listen=PORT [--host=ADDR] "
-               "[--index=FILE.idx] [--threads=T] [--cache-mb=M] "
-               "[--max-conns=C] [--max-nodes=N] [--no-reload] "
+               "[--threads=T] [--build-threads=B] [--cache-mb=M] "
+               "[--repeat=R] [--batch=B] [--max-nodes=N] "
                "[--compose-min-us=U]\n"
+               "  serve    --in=FILE --listen=PORT [--host=ADDR] "
+               "[--index=FILE.idx] [--threads=T] [--build-threads=B] "
+               "[--cache-mb=M] [--max-conns=C] [--max-nodes=N] "
+               "[--no-reload] [--compose-min-us=U]\n"
                "  client   --port=PORT [--host=ADDR] [--ping] "
                "[--reload=FILE.idx] [--query=LINE] [--batch=FILE] "
                "[--batch-size=B] [--workload=FILE] [--stats]\n");
@@ -267,6 +272,15 @@ int CmdMine(const Args& args) {
   return 0;
 }
 
+/// Build-thread count for in-process index builds: --build-threads,
+/// falling back to --threads (which sized these builds before
+/// --build-threads existed, and still sizes the serve worker pool),
+/// then to hardware concurrency (every TC-Tree layer is parallel).
+size_t BuildThreadsArg(const Args& args) {
+  return args.GetUint("build-threads",
+                      args.GetUint("threads", HardwareThreads()));
+}
+
 int CmdIndex(const Args& args) {
   auto net = LoadArg(args);
   if (!net.ok()) {
@@ -278,12 +292,13 @@ int CmdIndex(const Args& args) {
     std::fprintf(stderr, "index: --out=FILE is required\n");
     return 2;
   }
+  const size_t build_threads = BuildThreadsArg(args);
   WallTimer t;
   TcTree tree = TcTree::Build(
-      *net, {.num_threads = args.GetUint("threads", 2),
+      *net, {.num_threads = build_threads,
              .max_nodes = args.GetUint("max-nodes", 2000000)});
-  std::printf("built TC-Tree: %zu nodes in %.2f s%s\n", tree.num_nodes(),
-              t.Seconds(),
+  std::printf("built TC-Tree: %zu nodes in %.2f s (%zu threads)%s\n",
+              tree.num_nodes(), t.Seconds(), build_threads,
               tree.build_stats().truncated ? " (node budget hit)" : "");
   if (Status s = SaveTcTreeToFile(tree, out); !s.ok()) {
     std::fprintf(stderr, "index: %s\n", s.ToString().c_str());
@@ -294,11 +309,13 @@ int CmdIndex(const Args& args) {
 }
 
 /// Shared by query/serve: load a persisted TC-Tree when --index=FILE is
-/// given, otherwise build one in-process. Prints what it did; returns
-/// nullopt (after printing the error) on a failed load.
+/// given, otherwise build one in-process over `BuildThreadsArg` workers.
+/// Prints what it did — including the build/load wall time an operator
+/// compares against the `last_reload_ms` STATS key — and returns nullopt
+/// (after printing the error) on a failed load.
 std::optional<TcTree> LoadOrBuildTree(const Args& args,
                                       const DatabaseNetwork& net,
-                                      const char* cmd, size_t threads) {
+                                      const char* cmd) {
   WallTimer t;
   const std::string index_path = args.Get("index", "");
   if (!index_path.empty()) {
@@ -312,11 +329,12 @@ std::optional<TcTree> LoadOrBuildTree(const Args& args,
                 loaded->num_nodes(), index_path.c_str(), t.Seconds());
     return std::move(*loaded);
   }
+  const size_t build_threads = BuildThreadsArg(args);
   TcTree tree = TcTree::Build(
-      net, {.num_threads = threads,
+      net, {.num_threads = build_threads,
             .max_nodes = args.GetUint("max-nodes", 2000000)});
-  std::printf("TC-Tree: %zu nodes built in %.2f s%s\n", tree.num_nodes(),
-              t.Seconds(),
+  std::printf("TC-Tree: %zu nodes built in %.2f s (%zu threads)%s\n",
+              tree.num_nodes(), t.Seconds(), build_threads,
               tree.build_stats().truncated ? " (node budget hit)" : "");
   return tree;
 }
@@ -328,7 +346,6 @@ int CmdQuery(const Args& args) {
     return 1;
   }
   const double alpha = args.GetDouble("alpha", 0.0);
-  const size_t threads = args.GetUint("threads", 2);
 
   Itemset q;
   const std::string items = args.Get("items", "");
@@ -347,7 +364,7 @@ int CmdQuery(const Args& args) {
     q = Itemset(std::move(ids));
   }
 
-  std::optional<TcTree> tree = LoadOrBuildTree(args, *net, "query", threads);
+  std::optional<TcTree> tree = LoadOrBuildTree(args, *net, "query");
   if (!tree) return 1;
 
   WallTimer qt;
@@ -388,7 +405,7 @@ int ServeListen(const Args& args, const DatabaseNetwork& net,
   const size_t threads = args.GetUint("threads", 4);
   const size_t cache_mb = args.GetUint("cache-mb", 64);
 
-  std::optional<TcTree> tree = LoadOrBuildTree(args, net, "serve", threads);
+  std::optional<TcTree> tree = LoadOrBuildTree(args, net, "serve");
   if (!tree) return 1;
 
   QueryServiceOptions service_options;
@@ -482,7 +499,7 @@ int CmdServe(const Args& args) {
     return 1;
   }
 
-  std::optional<TcTree> tree = LoadOrBuildTree(args, *net, "serve", threads);
+  std::optional<TcTree> tree = LoadOrBuildTree(args, *net, "serve");
   if (!tree) return 1;
 
   QueryServiceOptions service_options;
