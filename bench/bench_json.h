@@ -1,0 +1,137 @@
+// Flat JSON emission for the benchmark harnesses: `--json=FILE` writes
+// one object of `"metric": value` pairs next to the human-readable
+// tables, so nightly CI can archive a run and `tools/bench_diff.py` can
+// diff it against the checked-in baselines in bench/baselines/.
+//
+// Deliberately flat (no nesting): a diff tool over `key -> number` needs
+// no schema, and dataset/mode context lives in the key
+// ("serve.bk_like.warm_qps"). Keys keep insertion order so a run diffs
+// cleanly under `git diff` too.
+#ifndef TCF_BENCH_BENCH_JSON_H_
+#define TCF_BENCH_BENCH_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace tcf {
+namespace bench {
+
+/// Accumulates `key -> value` pairs and renders them as one JSON object.
+/// Values are numbers (doubles get shortest-round-trip %.17g, non-finite
+/// doubles become null — JSON has no NaN) or strings (minimally
+/// escaped). Re-adding a key appends; the diff tool takes the last
+/// occurrence, but benches should just not do that.
+class JsonWriter {
+ public:
+  void Add(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      fields_.emplace_back(key, "null");
+      return;
+    }
+    fields_.emplace_back(key, StrFormat("%.17g", value));
+  }
+
+  void Add(const std::string& key, uint64_t value) {
+    fields_.emplace_back(
+        key, StrFormat("%llu", static_cast<unsigned long long>(value)));
+  }
+
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, Quote(value));
+  }
+
+  bool empty() const { return fields_.empty(); }
+
+  std::string ToString() const {
+    std::string out = "{\n";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      out += "  ";
+      out += Quote(fields_[i].first);
+      out += ": ";
+      out += fields_[i].second;
+      if (i + 1 < fields_.size()) out += ',';
+      out += '\n';
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes the object to `path` (truncating). Returns false — after
+  /// printing a diagnosis to stderr — when the file cannot be written;
+  /// benches treat that as a run failure so CI never archives a
+  /// half-written artifact.
+  bool WriteToFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write --json file %s\n",
+                   path.c_str());
+      return false;
+    }
+    const std::string text = ToString();
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) ==
+                    text.size();
+    if (std::fclose(f) != 0 || !ok) {
+      std::fprintf(stderr, "bench: short write to --json file %s\n",
+                   path.c_str());
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out += StrFormat("\\u%04x", c);
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// `--json=FILE` from argv, or "" when absent.
+inline std::string ParseJsonPath(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return "";
+}
+
+/// Key-safe dataset slug: "BK-like" -> "bk_like". Keys are dotted paths
+/// ("serve.bk_like.warm_qps"), so everything outside [a-z0-9] folds to
+/// '_' to keep one separator meaning one thing.
+inline std::string KeySlug(const std::string& name) {
+  std::string slug;
+  slug.reserve(name.size());
+  for (char c : name) {
+    if (c >= 'A' && c <= 'Z') slug += static_cast<char>(c - 'A' + 'a');
+    else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) slug += c;
+    else slug += '_';
+  }
+  return slug;
+}
+
+}  // namespace bench
+}  // namespace tcf
+
+#endif  // TCF_BENCH_BENCH_JSON_H_

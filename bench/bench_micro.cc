@@ -14,6 +14,7 @@
 #include "graph/random_graphs.h"
 #include "graph/triangles.h"
 #include "net/theme_network.h"
+#include "serve/query_service.h"
 #include "util/rng.h"
 
 namespace tcf {
@@ -238,6 +239,43 @@ void BM_EdgeMptd(benchmark::State& state) {
   state.SetLabel("edges=" + std::to_string(tn.edges.size()));
 }
 BENCHMARK(BM_EdgeMptd)->Arg(0)->Arg(10);
+
+// The tracing-overhead guard: the same QueryService hot path with
+// request tracing on (stage spans + histograms + slow-ring check, the
+// PR-6 default) and off (relaxed counters only). docs/performance.md
+// quotes this pair; the on/off gap is the observability tax and must
+// stay within a couple percent. range(0) picks the cache regime: 0
+// repeats one query (every iteration a cache hit — the worst case for
+// relative overhead, nothing to hide the spans behind), 1 cycles
+// alphas so iterations alternate hit/miss.
+void RunQueryServiceBench(benchmark::State& state, bool tracing) {
+  const DatabaseNetwork& net = BkNet();
+  const TcTree& tree = BkTree();
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.tracing = tracing;
+  QueryService service(tree, net.dictionary(), options);
+  const auto items = net.ActiveItems();
+  ServeQuery query{Itemset({items[0], items[1 % items.size()]}), 0.0};
+  const bool vary_alpha = state.range(0) != 0;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    query.alpha = vary_alpha ? 0.001 * static_cast<double>(i % 64) : 0.0;
+    benchmark::DoNotOptimize(service.Execute(query));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_QueryServiceTraced(benchmark::State& state) {
+  RunQueryServiceBench(state, /*tracing=*/true);
+}
+BENCHMARK(BM_QueryServiceTraced)->Arg(0)->Arg(1);
+
+void BM_QueryServiceUntraced(benchmark::State& state) {
+  RunQueryServiceBench(state, /*tracing=*/false);
+}
+BENCHMARK(BM_QueryServiceUntraced)->Arg(0)->Arg(1);
 
 void BM_ItemsetUnion(benchmark::State& state) {
   Itemset a({1, 5, 9, 12, 40});

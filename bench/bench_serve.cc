@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/tc_tree.h"
 #include "core/tc_tree_io.h"
 #include "serve/client.h"
@@ -90,7 +91,7 @@ std::vector<ServeQuery> MakeWorkload(const DatabaseNetwork& net, size_t n,
 }
 
 void RunDataset(const char* name, const DatabaseNetwork& net, size_t queries,
-                bool csv) {
+                bool csv, bool tracing, bench::JsonWriter* json) {
   TcTree tree = TcTree::Build(net, {.num_threads = HardwareThreads(),
                                     .max_nodes = 1000000});
   std::printf("\n--- serve on %s (tree: %zu nodes, %zu queries/pass) ---\n",
@@ -99,9 +100,13 @@ void RunDataset(const char* name, const DatabaseNetwork& net, size_t queries,
 
   TextTable table({"threads", "cold q/s", "cold p99(us)", "warm q/s",
                    "warm p99(us)", "warm/cold", "warm hit rate"});
-  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+  const size_t thread_counts[] = {1, 2, 4, 8};
+  for (size_t threads : thread_counts) {
     // A fresh service per thread count: empty cache, cold first pass.
-    QueryService service(tree, net.dictionary(), {.num_threads = threads});
+    QueryServiceOptions options;
+    options.num_threads = threads;
+    options.tracing = tracing;
+    QueryService service(tree, net.dictionary(), options);
 
     service.stats().Reset();
     service.ExecuteBatch(workload);
@@ -120,6 +125,20 @@ void RunDataset(const char* name, const DatabaseNetwork& net, size_t queries,
                   TextTable::Num(warm.qps, 0), TextTable::Num(warm.p99_us, 1),
                   TextTable::Num(warm.qps / std::max(cold.qps, 1.0), 2),
                   TextTable::Num(delta.HitRate(), 3)});
+
+    // The JSON artifact keeps the widest row only — the one
+    // docs/performance.md quotes and the one whose regression matters.
+    if (json != nullptr && threads == thread_counts[3]) {
+      const std::string p = "serve." + bench::KeySlug(name) + ".";
+      json->Add(p + "threads", static_cast<uint64_t>(threads));
+      json->Add(p + "cold_qps", cold.qps);
+      json->Add(p + "cold_p50_us", cold.p50_us);
+      json->Add(p + "cold_p99_us", cold.p99_us);
+      json->Add(p + "warm_qps", warm.qps);
+      json->Add(p + "warm_p50_us", warm.p50_us);
+      json->Add(p + "warm_p99_us", warm.p99_us);
+      json->Add(p + "warm_hit_rate", delta.HitRate());
+    }
   }
   if (csv) table.PrintCsv(std::cout);
   else table.Print(std::cout);
@@ -171,7 +190,8 @@ std::vector<ServeQuery> MakeZipfWorkload(const DatabaseNetwork& net, size_t n,
 /// exact-match caching misses — is the number docs/performance.md
 /// quotes, and the composable cache must win it with partial hits > 0.
 void RunZipfDataset(const char* name, const DatabaseNetwork& net,
-                    size_t queries, bool csv) {
+                    size_t queries, bool csv, bool tracing,
+                    bench::JsonWriter* json) {
   TcTree tree = TcTree::Build(net, {.num_threads = HardwareThreads(),
                                     .max_nodes = 1000000});
   std::printf(
@@ -200,6 +220,7 @@ void RunZipfDataset(const char* name, const DatabaseNetwork& net,
     options.cache_bytes = size_t{256} << 20;
     options.cache_composition = composable != 0;
     options.cache_admit_derived = composable != 0;
+    options.tracing = tracing;
     QueryService service(tree, net.dictionary(), options);
 
     service.stats().Reset();
@@ -232,6 +253,13 @@ void RunZipfDataset(const char* name, const DatabaseNetwork& net,
   }
   if (csv) table.PrintCsv(std::cout);
   else table.Print(std::cout);
+  if (json != nullptr) {
+    const std::string p = "serve_zipf." + bench::KeySlug(name) + ".";
+    json->Add(p + "fresh_qps_exact", fresh_qps[0]);
+    json->Add(p + "fresh_qps_composable", fresh_qps[1]);
+    json->Add(p + "partial_hits", partial_hits);
+    json->Add(p + "composed", composed);
+  }
   // Two acceptable outcomes, decided by the work-aware gate
   // (QueryServiceOptions::cache_compose_min_walk_us): where walks are
   // expensive the gate engages and composition must WIN with partial
@@ -362,7 +390,7 @@ std::vector<size_t> ConnectionRamp(size_t max) {
 /// count that must drop zero responses.
 void RunNetworkDataset(const char* name, const DatabaseNetwork& net,
                        size_t queries, size_t max_connections, size_t depth,
-                       bool csv) {
+                       bool csv, bool tracing, bench::JsonWriter* json) {
   TcTree tree = TcTree::Build(net, {.num_threads = HardwareThreads(),
                                     .max_nodes = 1000000});
   std::printf(
@@ -384,7 +412,9 @@ void RunNetworkDataset(const char* name, const DatabaseNetwork& net,
   TextTable server_table({"conns", "cold srv q/s", "cold srv p99(us)",
                           "warm srv q/s", "warm srv p99(us)"});
   for (size_t connections : ConnectionRamp(max_connections)) {
-    QueryService service(tree, net.dictionary(), {});
+    QueryServiceOptions service_options;
+    service_options.tracing = tracing;
+    QueryService service(tree, net.dictionary(), service_options);
     TcpServerOptions options;
     options.num_threads = HardwareThreads();
     // All C clients connect in one burst; a backlog smaller than that
@@ -423,6 +453,16 @@ void RunNetworkDataset(const char* name, const DatabaseNetwork& net,
                          TextTable::Num(cold_srv.p99_us, 1),
                          TextTable::Num(warm_srv.qps, 0),
                          TextTable::Num(warm_srv.p99_us, 1)});
+    if (json != nullptr && connections == max_connections) {
+      const std::string p = "serve_net." + bench::KeySlug(name) + ".";
+      json->Add(p + "connections", static_cast<uint64_t>(connections));
+      json->Add(p + "cold_qps", cold.qps);
+      json->Add(p + "warm_qps", warm.qps);
+      json->Add(p + "warm_p99_rt_us", warm.p99_rt_us);
+      json->Add(p + "srv_warm_qps", warm_srv.qps);
+      json->Add(p + "srv_warm_p50_us", warm_srv.p50_us);
+      json->Add(p + "srv_warm_p99_us", warm_srv.p99_us);
+    }
     server.Shutdown();
   }
   std::printf("client-observed (one rt = %zu quer%s):\n", depth,
@@ -445,7 +485,9 @@ void RunNetworkDataset(const char* name, const DatabaseNetwork& net,
                  s.ToString().c_str());
     return;
   }
-  QueryService service(tree, net.dictionary(), {});
+  QueryServiceOptions reload_service_options;
+  reload_service_options.tracing = tracing;
+  QueryService service(tree, net.dictionary(), reload_service_options);
   TcpServerOptions options;
   options.num_threads = HardwareThreads();
   options.backlog = static_cast<int>(std::max<size_t>(64, max_connections));
@@ -490,13 +532,16 @@ void RunNetworkDataset(const char* name, const DatabaseNetwork& net,
 int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
   const bool csv = bench::ParseCsvFlag(argc, argv);
+  const std::string json_path = bench::ParseJsonPath(argc, argv);
   bool net_mode = false;
   bool zipf_mode = false;
+  bool tracing = true;
   size_t max_connections = 8;
   size_t depth = 16;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--net") == 0) net_mode = true;
     if (std::strcmp(argv[i], "--zipf") == 0) zipf_mode = true;
+    if (std::strcmp(argv[i], "--no-trace") == 0) tracing = false;
     if (std::strncmp(argv[i], "--connections=", 14) == 0) {
       max_connections = std::max(1, std::atoi(argv[i] + 14));
     }
@@ -510,22 +555,32 @@ int main(int argc, char** argv) {
       : net_mode ? "TcpServer throughput over loopback connections"
                  : "QueryService throughput, cold vs. warm cache",
       scale);
+  if (!tracing) std::printf("(request tracing disabled: --no-trace)\n");
 
+  bench::JsonWriter json;
+  bench::JsonWriter* jw = json_path.empty() ? nullptr : &json;
   const size_t queries =
       static_cast<size_t>((net_mode ? 5000 : 20000) * std::max(0.05, scale));
   {
     DatabaseNetwork bk = bench::MakeBkLike(scale);
-    if (zipf_mode) RunZipfDataset("BK-like", bk, queries, csv);
+    if (zipf_mode) RunZipfDataset("BK-like", bk, queries, csv, tracing, jw);
     else if (net_mode) RunNetworkDataset("BK-like", bk, queries,
-                                         max_connections, depth, csv);
-    else RunDataset("BK-like", bk, queries, csv);
+                                         max_connections, depth, csv,
+                                         tracing, jw);
+    else RunDataset("BK-like", bk, queries, csv, tracing, jw);
   }
   {
     DatabaseNetwork syn = bench::MakeSynLike(scale);
-    if (zipf_mode) RunZipfDataset("SYN", syn, queries, csv);
+    if (zipf_mode) RunZipfDataset("SYN", syn, queries, csv, tracing, jw);
     else if (net_mode) RunNetworkDataset("SYN", syn, queries,
-                                         max_connections, depth, csv);
-    else RunDataset("SYN", syn, queries, csv);
+                                         max_connections, depth, csv,
+                                         tracing, jw);
+    else RunDataset("SYN", syn, queries, csv, tracing, jw);
+  }
+  if (jw != nullptr) {
+    json.Add("scale", scale);
+    if (!json.WriteToFile(json_path)) return 1;
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
 
   if (zipf_mode) {

@@ -9,8 +9,10 @@
 // Shape to check: node counts spread over orders of magnitude across the
 // datasets, memory tracks indexed edges, build time tracks node count.
 #include <iostream>
+#include <string>
 
 #include "bench_common.h"
+#include "bench_json.h"
 #include "core/tc_tree.h"
 #include "util/memory.h"
 #include "util/table.h"
@@ -27,7 +29,7 @@ namespace {
 constexpr size_t kNodeBudget = 3000000;
 
 void IndexOne(const char* name, const DatabaseNetwork& net, bool csv,
-              TextTable& table) {
+              TextTable& table, bench::JsonWriter* json) {
   const uint64_t rss_before = CurrentRssBytes();
   WallTimer t;
   TcTree tree = TcTree::Build(net, {.num_threads = HardwareThreads(),
@@ -45,6 +47,16 @@ void IndexOne(const char* name, const DatabaseNetwork& net, bool csv,
        TextTable::Num(tree.TotalIndexedEdges()),
        TextTable::Num(static_cast<uint64_t>(tree.MaxDepth())),
        TextTable::Num(rss_after > rss_before ? rss_after - rss_before : 0)});
+  if (json != nullptr) {
+    // Node and edge counts are deterministic at a fixed --scale (the
+    // parallel build commits in order), so bench_diff.py holds them to
+    // exact equality; seconds and bytes diff with tolerance.
+    const std::string p = "table3." + bench::KeySlug(name) + ".";
+    json->Add(p + "build_seconds", secs);
+    json->Add(p + "nodes", static_cast<uint64_t>(tree.num_nodes()));
+    json->Add(p + "indexed_edges", tree.TotalIndexedEdges());
+    json->Add(p + "memory_bytes", static_cast<uint64_t>(tree.MemoryBytes()));
+  }
 }
 
 /// Builds the same network at 1, 2, 4 and 8 threads (plus the hardware
@@ -53,7 +65,7 @@ void IndexOne(const char* name, const DatabaseNetwork& net, bool csv,
 /// commit, so the node count column must not move across rows — the
 /// sweep doubles as a determinism smoke check.
 void ThreadSweep(const char* name, const DatabaseNetwork& net, bool csv,
-                 std::ostream& os) {
+                 std::ostream& os, bench::JsonWriter* json) {
   TextTable sweep({"dataset", "threads", "build time (s)", "speedup",
                    "#Nodes"});
   double t1 = 0;
@@ -72,6 +84,11 @@ void ThreadSweep(const char* name, const DatabaseNetwork& net, bool csv,
                   TextTable::Num(secs, 2),
                   TextTable::Num(secs > 0 ? t1 / secs : 0.0, 2),
                   TextTable::Num(static_cast<uint64_t>(tree.num_nodes()))});
+    if (json != nullptr && t == 8) {
+      const std::string p = "table3.sweep." + bench::KeySlug(name) + ".";
+      json->Add(p + "speedup_8t", secs > 0 ? t1 / secs : 0.0);
+      json->Add(p + "nodes", static_cast<uint64_t>(tree.num_nodes()));
+    }
   }
   if (csv) sweep.PrintCsv(os);
   else sweep.Print(os);
@@ -82,6 +99,9 @@ void ThreadSweep(const char* name, const DatabaseNetwork& net, bool csv,
 int main(int argc, char** argv) {
   const double scale = bench::ParseScale(argc, argv);
   const bool csv = bench::ParseCsvFlag(argc, argv);
+  const std::string json_path = bench::ParseJsonPath(argc, argv);
+  bench::JsonWriter json;
+  bench::JsonWriter* jw = json_path.empty() ? nullptr : &json;
   bench::PrintHeader("Table 3", "TC-Tree indexing performance", scale);
 
   // Build-parallelism sweep (every layer expands in parallel since PR 5).
@@ -92,7 +112,7 @@ int main(int argc, char** argv) {
   std::printf("thread sweep (parallel TC-Tree build):\n");
   {
     DatabaseNetwork bk = bench::MakeBkLike(scale);
-    ThreadSweep("BK-like", bk, csv, std::cout);
+    ThreadSweep("BK-like", bk, csv, std::cout, jw);
   }
   std::printf("\n");
 
@@ -100,23 +120,29 @@ int main(int argc, char** argv) {
                    "indexed edges", "max depth", "rss delta (B)"});
   {
     DatabaseNetwork bk = bench::MakeBkLike(scale);
-    IndexOne("BK-like", bk, csv, table);
+    IndexOne("BK-like", bk, csv, table, jw);
   }
   {
     DatabaseNetwork gw = bench::MakeGwLike(scale);
-    IndexOne("GW-like", gw, csv, table);
+    IndexOne("GW-like", gw, csv, table, jw);
   }
   {
     CoauthorNetwork am = bench::MakeAminerLike(scale);
-    IndexOne("AMINER-like", am.network, csv, table);
+    IndexOne("AMINER-like", am.network, csv, table, jw);
   }
   {
     DatabaseNetwork syn = bench::MakeSynLike(scale);
-    IndexOne("SYN", syn, csv, table);
+    IndexOne("SYN", syn, csv, table, jw);
   }
 
   if (csv) table.PrintCsv(std::cout);
   else table.Print(std::cout);
+
+  if (jw != nullptr) {
+    json.Add("scale", scale);
+    if (!json.WriteToFile(json_path)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
 
   std::printf("\npeak RSS overall: ");
   double v = 0;

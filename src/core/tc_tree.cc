@@ -69,6 +69,7 @@ TcTree TcTree::Build(const DatabaseNetwork& net, const TcTreeOptions& options) {
   // --- Layer 1 (Alg. 4 lines 2-5), parallel over items. ---------------
   const std::vector<ItemId> items = net.ActiveItems();
   std::vector<std::optional<TrussDecomposition>> layer1(items.size());
+  WallTimer wave_timer;  // layer 1 is wave 0 of the build trace
   ParallelForDynamic(pool, items.size(), [&](size_t i) {
     BuildWorkspace& ws = WorkspaceForThisWorker(workspaces);
     ThemeNetwork tn = InduceThemeNetwork(net, Itemset::Single(items[i]));
@@ -94,6 +95,10 @@ TcTree TcTree::Build(const DatabaseNetwork& net, const TcTreeOptions& options) {
     tree.nodes_[kRoot].children.push_back(id);
     frontier.push_back({id, 1, pos});
   }
+  tree.stats_.waves.push_back({/*depth=*/0,
+                               static_cast<uint32_t>(items.size()),
+                               static_cast<uint64_t>(frontier.size()),
+                               wave_timer.Millis()});
 
   // --- Deeper layers (Alg. 4 lines 6-12), parallel frontier waves. ----
   //
@@ -128,6 +133,8 @@ TcTree TcTree::Build(const DatabaseNetwork& net, const TcTreeOptions& options) {
     const size_t wave_end = std::min(frontier.size(), head + max_wave);
     wave.clear();
     wave.resize(wave_end - wave_begin);
+    wave_timer.Reset();
+    const size_t nodes_before_wave = tree.nodes_.size();
 
     ParallelForDynamic(pool, wave_end - wave_begin, [&](size_t w) {
       const FrontierEntry entry = frontier[wave_begin + w];
@@ -199,10 +206,40 @@ TcTree TcTree::Build(const DatabaseNetwork& net, const TcTreeOptions& options) {
         frontier.push_back({id, entry.depth + 1, pos});
       }
     }
+    tree.stats_.waves.push_back(
+        {frontier[wave_begin].depth,
+         static_cast<uint32_t>(wave_end - wave_begin),
+         static_cast<uint64_t>(tree.nodes_.size() - nodes_before_wave),
+         wave_timer.Millis()});
     head = wave_end;
   }
 
   tree.stats_.build_seconds = timer.Seconds();
+  if (options.metrics != nullptr) {
+    MetricsRegistry& m = *options.metrics;
+    Histogram& wave_ms = m.GetHistogram(
+        "tcf_build_wave_ms",
+        "Wall milliseconds per parallel TC-Tree expansion wave");
+    Histogram& wave_width = m.GetHistogram(
+        "tcf_build_wave_frontier",
+        "Frontier nodes expanded per TC-Tree build wave");
+    for (const TcTreeWaveStats& w : tree.stats_.waves) {
+      wave_ms.Record(w.wall_ms);
+      wave_width.Record(w.frontier_width);
+    }
+    m.GetCounter("tcf_build_nodes_total",
+                 "TC-Tree nodes committed by builds")
+        .Increment(tree.num_nodes());
+    m.GetCounter("tcf_build_mptd_calls_total",
+                 "Truss decompositions computed by builds")
+        .Increment(tree.stats_.mptd_calls);
+    m.GetCounter("tcf_build_pruned_intersections_total",
+                 "Build candidates cut by the Prop-5.3 overlap prune")
+        .Increment(tree.stats_.pruned_by_intersection);
+    m.GetGauge("tcf_build_seconds",
+               "Wall seconds of the most recent TC-Tree build")
+        .Set(tree.stats_.build_seconds);
+  }
   return tree;
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/decomposition.h"
 #include "net/database_network.h"
+#include "obs/metrics_registry.h"
 #include "tx/itemset.h"
 
 namespace tcf {
@@ -28,6 +29,22 @@ struct TcTreeOptions {
   /// `TcTreeBuildStats::truncated` is set — already-built nodes stay
   /// exact, only deeper/later patterns are missing.
   size_t max_nodes = 0;
+  /// Optional registry for build-side observability: per-wave timing
+  /// and frontier-width histograms plus lifetime counters (nodes,
+  /// MPTD calls, prunes) are recorded under `tcf_build_*` names. Must
+  /// outlive the Build call; null disables exporting (the per-wave
+  /// numbers still land in TcTreeBuildStats::waves either way).
+  MetricsRegistry* metrics = nullptr;
+};
+
+/// One parallel expansion wave of the build (a window of the BFS
+/// frontier). `tcf index --verbose` prints these; wide-then-narrowing
+/// frontiers with per-wave millisecond costs are the build's shape.
+struct TcTreeWaveStats {
+  uint32_t depth = 0;           // pattern length of the wave's first entry
+  uint32_t frontier_width = 0;  // nodes expanded in this wave
+  uint64_t nodes_added = 0;     // children committed from this wave
+  double wall_ms = 0;           // expand + commit wall time
 };
 
 /// Counters recorded while building (for Table 3 and the ablations).
@@ -37,6 +54,9 @@ struct TcTreeBuildStats {
   uint64_t mptd_calls = 0;              // decompositions computed
   double build_seconds = 0.0;
   bool truncated = false;               // node budget exhausted
+  /// Per-wave expansion trace (layer 1 is wave 0). Bounded by the wave
+  /// count — frontier/max_wave windows — not the node count.
+  std::vector<TcTreeWaveStats> waves;
 };
 
 /// \brief The Theme-Community Tree (§6.2): a set-enumeration tree over

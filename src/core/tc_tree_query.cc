@@ -25,11 +25,17 @@ TcTreeQueryResult QueryTcTree(const TcTree& tree, const Itemset& q,
       const TcTree::Node& child = tree.node(c);
       if (!q.Contains(child.item)) continue;  // subtree can't be ⊆ q
       ++result.visited_nodes;
-      if (child.decomposition.max_alpha() <= aq) continue;  // empty at α_q
+      if (child.decomposition.max_alpha() <= aq) {  // empty at α_q
+        ++result.pruned_subtrees;
+        continue;
+      }
       PatternTruss truss;
       truss.pattern = tree.PatternOf(c);
       truss.edges = child.decomposition.EdgesAtAlphaQ(aq);
-      if (truss.edges.empty()) continue;
+      if (truss.edges.empty()) {
+        ++result.pruned_subtrees;
+        continue;
+      }
       // Non-empty: keep descending (Prop. 5.2) even when the size filter
       // drops this truss from the result list.
       queue.push_back(c);
@@ -99,7 +105,10 @@ TcTreeQueryResult ComposeTcTreeQuery(const TcTree& tree, const Itemset& q,
         const auto hit = reusable.find(tree.PatternOf(c));
         if (hit == reusable.end()) {
           // ⊆ a cover yet absent from its answer: C*_p(α_q) = ∅, and by
-          // Prop. 5.2 so is every descendant's truss.
+          // Prop. 5.2 so is every descendant's truss. The cold walk
+          // visits this node and finds it empty, so the prune counter
+          // advances identically on both paths.
+          ++result.pruned_subtrees;
           if (compose_stats != nullptr) ++compose_stats->covered_prunes;
           continue;
         }
@@ -113,11 +122,17 @@ TcTreeQueryResult ComposeTcTreeQuery(const TcTree& tree, const Itemset& q,
       // supersets of an uncovered pattern stay uncovered, for anything
       // below it — hence mask 0 on descent). Same arithmetic as
       // QueryTcTree.
-      if (child.decomposition.max_alpha() <= aq) continue;
+      if (child.decomposition.max_alpha() <= aq) {
+        ++result.pruned_subtrees;
+        continue;
+      }
       PatternTruss truss;
       truss.pattern = tree.PatternOf(c);
       truss.edges = child.decomposition.EdgesAtAlphaQ(aq);
-      if (truss.edges.empty()) continue;
+      if (truss.edges.empty()) {
+        ++result.pruned_subtrees;
+        continue;
+      }
       queue.emplace_back(c, uint64_t{0});
       if (options.materialize_vertices) {
         FillVerticesFromEdges(child.decomposition.vertices(),

@@ -32,6 +32,10 @@ struct TcTreeQueryResult {
   uint64_t retrieved_nodes = 0;
   /// Nodes whose decomposition was consulted at all.
   uint64_t visited_nodes = 0;
+  /// Visited nodes whose truss was empty at α_q, cutting their whole
+  /// subtree (Prop. 5.2). Composition counts a cover's absence proof the
+  /// same way, so composed and cold walks agree on this field too.
+  uint64_t pruned_subtrees = 0;
 };
 
 /// \brief Algorithm 5: pruned breadth-first collection over the TC-Tree.

@@ -1,0 +1,74 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tcf {
+
+std::string_view QueryStageName(QueryStage stage) {
+  switch (stage) {
+    case QueryStage::kParse:
+      return "parse";
+    case QueryStage::kCacheProbe:
+      return "cache_probe";
+    case QueryStage::kCompose:
+      return "compose";
+    case QueryStage::kWalk:
+      return "walk";
+    case QueryStage::kSerialize:
+      return "serialize";
+  }
+  return "unknown";
+}
+
+double QueryTrace::StageSumUs() const {
+  double sum = 0;
+  for (double us : stage_wall_us) sum += us;
+  return sum;
+}
+
+StageSpan::StageSpan(QueryTrace* trace, QueryStage stage)
+    : trace_(trace), stage_(stage) {
+  if (trace_ == nullptr) return;
+  wall_start_ = std::chrono::steady_clock::now();
+  if (trace_->sample_cpu) cpu_start_s_ = ThreadCpuTimer::NowSeconds();
+}
+
+void StageSpan::Stop() {
+  if (trace_ == nullptr) return;
+  const size_t i = static_cast<size_t>(stage_);
+  trace_->stage_wall_us[i] +=
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - wall_start_)
+          .count();
+  if (trace_->sample_cpu) {
+    trace_->stage_cpu_us[i] +=
+        (ThreadCpuTimer::NowSeconds() - cpu_start_s_) * 1e6;
+  }
+  trace_ = nullptr;
+}
+
+SlowQueryLog::SlowQueryLog(double threshold_us, size_t capacity)
+    : threshold_us_(threshold_us), capacity_(std::max<size_t>(1, capacity)) {}
+
+void SlowQueryLog::Record(std::string query_line, const QueryTrace& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() == capacity_) ring_.pop_front();  // oldest goes first
+  Entry entry;
+  entry.seq = next_seq_++;
+  entry.query_line = std::move(query_line);
+  entry.trace = trace;
+  ring_.push_back(std::move(entry));
+}
+
+std::vector<SlowQueryLog::Entry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+}  // namespace tcf

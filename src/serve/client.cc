@@ -206,6 +206,34 @@ StatusOr<std::vector<std::pair<std::string, std::string>>> Client::Stats() {
   return DecodeStats(reply->payload);
 }
 
+StatusOr<std::string> Client::Metrics() {
+  auto reply = RoundTrip(MakeRequest(Request::Kind::kMetrics));
+  if (!reply.ok()) return reply.status();
+  TCF_RETURN_IF_ERROR(reply->header.ToStatus());
+  if (reply->header.kind != "METRICS") {
+    return Status::Internal("expected METRICS, got " + reply->header.kind);
+  }
+  std::string text;
+  for (const std::string& line : reply->payload) {
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+StatusOr<std::vector<std::pair<std::string, std::string>>> Client::Explain(
+    const std::string& query_line) {
+  Request request = MakeRequest(Request::Kind::kExplain);
+  request.query_line = query_line;
+  auto reply = RoundTrip(request);
+  if (!reply.ok()) return reply.status();
+  TCF_RETURN_IF_ERROR(reply->header.ToStatus());
+  if (reply->header.kind != "EXPLAIN") {
+    return Status::Internal("expected EXPLAIN, got " + reply->header.kind);
+  }
+  return DecodeStats(reply->payload);  // same `key value` grammar
+}
+
 StatusOr<uint64_t> Client::Reload(const std::string& index_path) {
   Request request = MakeRequest(Request::Kind::kReload);
   request.reload_path = index_path;

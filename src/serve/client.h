@@ -76,6 +76,17 @@ class Client {
   /// STATS as ordered `key value` pairs.
   StatusOr<std::vector<std::pair<std::string, std::string>>> Stats();
 
+  /// METRICS: the server's registry in Prometheus text exposition, lines
+  /// rejoined with '\n' (trailing newline included) — ready to pipe to a
+  /// scrape endpoint or a file.
+  StatusOr<std::string> Metrics();
+
+  /// EXPLAIN: answers `query_line` server-side and returns the trace as
+  /// ordered `key value` pairs (stage_<name>_us spans, total_us, walk
+  /// facts — see docs/observability.md).
+  StatusOr<std::vector<std::pair<std::string, std::string>>> Explain(
+      const std::string& query_line);
+
   /// Asks the server to hot-reload the index at `index_path` (a path on
   /// the server's filesystem). Returns the new tree's node count.
   StatusOr<uint64_t> Reload(const std::string& index_path);

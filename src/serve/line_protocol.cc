@@ -15,6 +15,8 @@ constexpr std::string_view kStats = "STATS";
 constexpr std::string_view kReload = "RELOAD";
 constexpr std::string_view kQuit = "QUIT";
 constexpr std::string_view kBatch = "BATCH";
+constexpr std::string_view kMetrics = "METRICS";
+constexpr std::string_view kExplain = "EXPLAIN";
 
 /// First whitespace-delimited token of `s`.
 std::string_view FirstToken(std::string_view s) {
@@ -81,15 +83,27 @@ StatusOr<Request> ParseRequest(std::string_view line) {
   const std::string_view rest = Trim(trimmed.substr(verb.size()));
 
   Request request;
-  if (verb == kPing || verb == kStats || verb == kQuit) {
+  if (verb == kPing || verb == kStats || verb == kQuit ||
+      verb == kMetrics) {
     if (!rest.empty()) {
       return AtColumn(verb.size() + 2,
                       StrFormat("verb %.*s takes no arguments",
                                 static_cast<int>(verb.size()), verb.data()));
     }
-    request.kind = verb == kPing ? Request::Kind::kPing
+    request.kind = verb == kPing    ? Request::Kind::kPing
                    : verb == kStats ? Request::Kind::kStats
-                                    : Request::Kind::kQuit;
+                   : verb == kQuit  ? Request::Kind::kQuit
+                                    : Request::Kind::kMetrics;
+    return request;
+  }
+  if (verb == kExplain) {
+    if (rest.empty() || rest.find(';') == std::string_view::npos) {
+      return AtColumn(verb.size() + 2,
+                      "EXPLAIN requires a query line, "
+                      "'EXPLAIN alpha;item,...'");
+    }
+    request.kind = Request::Kind::kExplain;
+    request.query_line = std::string(rest);
     return request;
   }
   if (verb == kReload) {
@@ -126,8 +140,8 @@ StatusOr<Request> ParseRequest(std::string_view line) {
   if (trimmed.find(';') == std::string_view::npos) {
     return AtColumn(
         1, StrFormat("'%.*s' is neither a verb (PING, STATS, "
-                     "RELOAD <path>, QUIT, BATCH <n>) nor a query "
-                     "'alpha;item,...'",
+                     "RELOAD <path>, QUIT, BATCH <n>, METRICS, "
+                     "EXPLAIN <query>) nor a query 'alpha;item,...'",
                      static_cast<int>(verb.size()), verb.data()));
   }
   request.kind = Request::Kind::kQuery;
@@ -145,6 +159,10 @@ std::string EncodeRequest(const Request& request) {
       return std::string(kQuit);
     case Request::Kind::kReload:
       return std::string(kReload) + " " + request.reload_path;
+    case Request::Kind::kMetrics:
+      return std::string(kMetrics);
+    case Request::Kind::kExplain:
+      return std::string(kExplain) + " " + request.query_line;
     case Request::Kind::kBatch:
       return StrFormat("%.*s %zu", static_cast<int>(kBatch.size()),
                        kBatch.data(), request.batch_size);
@@ -357,6 +375,34 @@ std::vector<std::string> EncodeStats(const ServeReport& report) {
   // Snapshot-roll counters — appended after the cache block, same rule.
   add_u("reloads", report.reloads);
   add_d("last_reload_ms", report.last_reload_ms);
+  return lines;
+}
+
+std::vector<std::string> EncodeExplain(const QueryTrace& trace) {
+  std::vector<std::string> lines;
+  auto add_u = [&lines](const char* key, uint64_t value) {
+    lines.push_back(StrFormat("%s %llu", key,
+                              static_cast<unsigned long long>(value)));
+  };
+  auto add_d = [&lines](const std::string& key, double value) {
+    lines.push_back(StrFormat("%s %.6g", key.c_str(), value));
+  };
+  for (size_t i = 0; i < kNumQueryStages; ++i) {
+    const std::string name(QueryStageName(static_cast<QueryStage>(i)));
+    add_d("stage_" + name + "_us", trace.stage_wall_us[i]);
+  }
+  for (size_t i = 0; i < kNumQueryStages; ++i) {
+    const std::string name(QueryStageName(static_cast<QueryStage>(i)));
+    add_d("stage_" + name + "_cpu_us", trace.stage_cpu_us[i]);
+  }
+  add_d("total_us", trace.total_us);
+  add_u("visited_nodes", trace.visited_nodes);
+  add_u("retrieved_nodes", trace.retrieved_nodes);
+  add_u("pruned_subtrees", trace.pruned_subtrees);
+  add_u("covers_used", trace.covers_used);
+  add_u("trusses", trace.trusses);
+  add_u("cache_hit", trace.cache_hit ? 1 : 0);
+  add_u("composed", trace.composed ? 1 : 0);
   return lines;
 }
 

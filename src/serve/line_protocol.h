@@ -20,11 +20,15 @@ namespace tcf {
 /// A newline-delimited text protocol spoken between `TcpServer` and
 /// `Client`. Requests mirror the workload-file format: a query is the
 /// literal line `alpha;item,item,...`, and everything else is an
-/// upper-case verb — the four admin verbs (`PING`, `STATS`,
-/// `RELOAD <path>`, `QUIT`) or the pipelining verb `BATCH <n>`, which
-/// announces that the next n lines are query lines to be answered in
-/// order with n back-to-back responses (one round trip for a whole
-/// workload chunk). Every response starts with a versioned status line —
+/// upper-case verb — the admin verbs (`PING`, `STATS`, `RELOAD <path>`,
+/// `QUIT`), the observability verbs (`METRICS`, which scrapes the
+/// server's registry in Prometheus text exposition, and
+/// `EXPLAIN <query-line>`, which answers the query and returns its
+/// stage-timed trace instead of the trusses) or the pipelining verb
+/// `BATCH <n>`, which announces that the next n lines are query lines
+/// to be answered in order with n back-to-back responses (one round
+/// trip for a whole workload chunk). Every response starts with a
+/// versioned status line —
 /// `TCF1 OK <KIND> <n>` followed by exactly n payload lines, or
 /// `TCF1 ERR <Code> <message>` — so clients can frame replies without
 /// sniffing payload contents. All encode/decode routines are pure
@@ -43,12 +47,21 @@ inline constexpr size_t kMaxBatchLines = 16384;
 
 /// One parsed client request.
 struct Request {
-  enum class Kind { kQuery, kPing, kStats, kReload, kQuit, kBatch };
+  enum class Kind {
+    kQuery,
+    kPing,
+    kStats,
+    kReload,
+    kQuit,
+    kBatch,
+    kMetrics,
+    kExplain
+  };
 
   Kind kind = Kind::kQuery;
-  /// kQuery: the raw `alpha;item,item,...` line, resolved against the
-  /// server's dictionary by ParseServeQuery (names are server-side state
-  /// the protocol layer does not have).
+  /// kQuery / kExplain: the raw `alpha;item,item,...` line, resolved
+  /// against the server's dictionary by ParseServeQuery (names are
+  /// server-side state the protocol layer does not have).
   std::string query_line;
   /// kReload: path (on the *server's* filesystem) of the index to load.
   std::string reload_path;
@@ -127,6 +140,14 @@ std::vector<std::string> EncodeStats(const ServeReport& report);
 /// Inverse of EncodeStats: `key value` pairs in wire order.
 StatusOr<std::vector<std::pair<std::string, std::string>>> DecodeStats(
     const std::vector<std::string>& payload);
+
+/// `EXPLAIN` payload: one `key value` line per trace fact — the five
+/// `stage_<name>_us` wall spans and their `stage_<name>_cpu_us` CPU
+/// twins (docs/observability.md lists the stage names), `total_us`, the
+/// walk facts (`visited_nodes`, `retrieved_nodes`, `pruned_subtrees`,
+/// `covers_used`, `trusses`), and the booleans `cache_hit` / `composed`
+/// as 0/1. Same `key value` grammar as STATS, so DecodeStats reads it.
+std::vector<std::string> EncodeExplain(const QueryTrace& trace);
 
 }  // namespace tcf
 

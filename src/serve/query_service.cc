@@ -13,17 +13,86 @@ namespace tcf {
 
 QueryService::QueryService(TcTree tree, ItemDictionary dictionary,
                            const QueryServiceOptions& options)
-    : dictionary_(std::move(dictionary)),
+    : slow_log_(options.tracing ? options.slow_query_us : 0,
+                options.slow_log_capacity),
+      dictionary_(std::move(dictionary)),
       options_(options),
       pool_(options.num_threads == 0 ? HardwareThreads()
                                      : options.num_threads),
+      queries_total_(metrics_.GetCounter("tcf_queries_total",
+                                         "Queries answered by Execute")),
+      cache_hits_total_(metrics_.GetCounter(
+          "tcf_query_cache_hits_total",
+          "Queries answered from the exact-match result cache")),
+      cache_misses_total_(metrics_.GetCounter(
+          "tcf_query_cache_misses_total",
+          "Queries that missed the exact-match result cache")),
+      composed_total_(metrics_.GetCounter(
+          "tcf_query_composed_total",
+          "Misses answered by subset composition instead of a full walk")),
+      covers_used_total_(metrics_.GetCounter(
+          "tcf_query_covers_used_total",
+          "Cached sub-pattern answers reused as composition covers")),
+      nodes_visited_total_(metrics_.GetCounter(
+          "tcf_query_nodes_visited_total",
+          "TC-Tree nodes whose decomposition a query walk consulted")),
+      prunes_total_(metrics_.GetCounter(
+          "tcf_query_prunes_total",
+          "Prop-5.2 subtree prunes taken by query walks")),
+      slow_queries_total_(metrics_.GetCounter(
+          "tcf_slow_queries_total",
+          "Queries admitted to the slow-query ring")),
+      query_total_us_(metrics_.GetHistogram(
+          "tcf_query_total_us", "End-to-end Execute wall microseconds")),
       snapshot_(std::make_shared<const TcTree>(std::move(tree))) {
+  for (size_t i = 0; i < kNumQueryStages; ++i) {
+    const auto stage = static_cast<QueryStage>(i);
+    stage_us_[i] = &metrics_.GetHistogram(
+        StrFormat("tcf_query_stage_%.*s_us",
+                  static_cast<int>(QueryStageName(stage).size()),
+                  QueryStageName(stage).data()),
+        std::string("Wall microseconds spent in the ") +
+            std::string(QueryStageName(stage)) + " stage");
+  }
   if (options_.cache_bytes > 0) {
     cache_ = std::make_unique<ResultCache>(ResultCacheOptions{
         .capacity_bytes = options_.cache_bytes,
         .num_shards = options_.cache_shards,
         .admission_bytes_per_node = options_.cache_admission_bytes_per_node});
+    // Scrape-time cache residency and lifetime counters: the callbacks
+    // take the cache's shard locks, a cost paid per scrape, never per
+    // query. `this` outlives the registry's renders (the registry is a
+    // member destroyed after the cache).
+    metrics_.RegisterCallback(
+        "tcf_cache_entries", "Resident result-cache entries",
+        MetricsRegistry::CallbackKind::kGauge,
+        [this] { return static_cast<double>(cache_->Stats().entries); });
+    metrics_.RegisterCallback(
+        "tcf_cache_bytes", "Resident result-cache bytes",
+        MetricsRegistry::CallbackKind::kGauge,
+        [this] { return static_cast<double>(cache_->Stats().bytes); });
+    metrics_.RegisterCallback(
+        "tcf_cache_evictions_total", "Result-cache entries evicted",
+        MetricsRegistry::CallbackKind::kCounter,
+        [this] { return static_cast<double>(cache_->Stats().evictions); });
+    metrics_.RegisterCallback(
+        "tcf_cache_partial_hits_total",
+        "Cached sub-pattern answers reused as covers (cache view)",
+        MetricsRegistry::CallbackKind::kCounter,
+        [this] { return static_cast<double>(cache_->Stats().partial_hits); });
+    metrics_.RegisterCallback(
+        "tcf_cache_admission_rejects_total",
+        "Inserts refused by cost-aware admission",
+        MetricsRegistry::CallbackKind::kCounter, [this] {
+          return static_cast<double>(cache_->Stats().admission_rejects);
+        });
   }
+  stats_.RegisterMetrics(&metrics_);
+  metrics_.RegisterCallback(
+      "tcf_walk_us_ewma",
+      "EWMA of full-walk miss CPU microseconds (composition gate input)",
+      MetricsRegistry::CallbackKind::kGauge,
+      [this] { return walk_us_ewma_.load(std::memory_order_relaxed); });
 }
 
 StatusOr<std::unique_ptr<QueryService>> QueryService::Open(
@@ -86,15 +155,69 @@ void QueryService::AdmitDerivedSubsets(
   }
 }
 
-QueryService::Result QueryService::Execute(const ServeQuery& query) {
+std::string QueryService::RenderQueryLine(const ServeQuery& query) const {
+  // Mirrors line_protocol's EncodeQueryLine (which lives above this
+  // layer): %.17g keeps the alpha bit-exact, so pasting the logged line
+  // into `EXPLAIN` replays the identical quantized query.
+  std::string out = StrFormat("%.17g;", query.alpha);
+  bool first = true;
+  for (ItemId item : query.items.items()) {
+    if (!first) out += ',';
+    out += dictionary_.Name(item);
+    first = false;
+  }
+  return out;
+}
+
+void QueryService::RecordTrace(const ServeQuery& query,
+                               const QueryTrace& trace) {
+  query_total_us_.Record(trace.total_us);
+  // kParse/kSerialize belong to the transport; Execute's stages are the
+  // middle three. Zero-duration stages that never ran stay out of their
+  // histograms so the bucket counts mean "times this stage executed".
+  for (const QueryStage stage :
+       {QueryStage::kCacheProbe, QueryStage::kCompose, QueryStage::kWalk}) {
+    const double us = trace.stage_wall_us[static_cast<size_t>(stage)];
+    if (us > 0) stage_us_[static_cast<size_t>(stage)]->Record(us);
+  }
+  if (slow_log_.Qualifies(trace.total_us)) {
+    slow_queries_total_.Increment();
+    slow_log_.Record(RenderQueryLine(query), trace);
+  }
+}
+
+QueryService::Result QueryService::Execute(const ServeQuery& query,
+                                           QueryTrace* trace) {
   WallTimer timer;
+  // Tracing selects between one shared code path with spans and the
+  // span-free fast path: a stack-local trace when the option is on, the
+  // caller's when one is passed (EXPLAIN), nullptr otherwise.
+  QueryTrace local_trace;
+  QueryTrace* t = trace != nullptr
+                      ? trace
+                      : (options_.tracing ? &local_trace : nullptr);
   const CohesionValue alpha_q = QuantizeAlpha(query.alpha);
+  queries_total_.Increment();
 
   if (cache_) {
-    if (Result hit = cache_->Lookup(query.items, alpha_q)) {
-      stats_.RecordQuery(timer.Micros(), hit->trusses.size());
+    Result hit;
+    {
+      StageSpan probe(t, QueryStage::kCacheProbe);
+      hit = cache_->Lookup(query.items, alpha_q);
+    }
+    if (hit) {
+      cache_hits_total_.Increment();
+      const double us = timer.Micros();
+      stats_.RecordQuery(us, hit->trusses.size());
+      if (t != nullptr) {
+        t->cache_hit = true;
+        t->trusses = hit->trusses.size();
+        t->total_us = us;
+        RecordTrace(query, *t);
+      }
       return hit;
     }
+    cache_misses_total_.Increment();
   }
 
   // Read the cache epoch *before* picking the snapshot: if a swap lands
@@ -108,6 +231,7 @@ QueryService::Result QueryService::Execute(const ServeQuery& query) {
     // a residual probe. Covers are tagged with the snapshot they were
     // computed from, so a swap racing this miss can at worst leave the
     // plan empty — never mix answers from two trees.
+    StageSpan compose(t, QueryStage::kCompose);
     const std::vector<ResultCache::CachedCover> covers =
         cache_->LookupSubsets(query.items, alpha_q, tree.get());
     if (!covers.empty()) {
@@ -119,6 +243,12 @@ QueryService::Result QueryService::Execute(const ServeQuery& query) {
       result = std::make_shared<TcTreeQueryResult>(
           ComposeTcTreeQuery(*tree, query.items, query.alpha, blocks,
                              options_.query_options));
+      composed_total_.Increment();
+      covers_used_total_.Increment(covers.size());
+      if (t != nullptr) {
+        t->composed = true;
+        t->covers_used = covers.size();
+      }
     }
   }
   if (result == nullptr) {
@@ -126,17 +256,29 @@ QueryService::Result QueryService::Execute(const ServeQuery& query) {
     // engages exactly on the workloads where walks are expensive. CPU
     // time, not wall time — an oversubscribed worker pool would
     // otherwise inflate every sample by the timeslicing factor.
+    StageSpan walk(t, QueryStage::kWalk);
     ThreadCpuTimer walk_timer;
     result = std::make_shared<TcTreeQueryResult>(
         QueryTcTree(*tree, query.items, query.alpha, options_.query_options));
     RecordWalkMicros(walk_timer.Micros());
   }
+  nodes_visited_total_.Increment(result->visited_nodes);
+  prunes_total_.Increment(result->pruned_subtrees);
   if (cache_) {
     cache_->Insert(query.items, alpha_q, result, epoch, tree);
     AdmitDerivedSubsets(query.items, alpha_q, result, epoch, tree);
   }
 
-  stats_.RecordQuery(timer.Micros(), result->trusses.size());
+  const double us = timer.Micros();
+  stats_.RecordQuery(us, result->trusses.size());
+  if (t != nullptr) {
+    t->visited_nodes = result->visited_nodes;
+    t->retrieved_nodes = result->retrieved_nodes;
+    t->pruned_subtrees = result->pruned_subtrees;
+    t->trusses = result->trusses.size();
+    t->total_us = us;
+    RecordTrace(query, *t);
+  }
   return result;
 }
 

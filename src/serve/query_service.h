@@ -10,6 +10,8 @@
 
 #include "core/tc_tree.h"
 #include "core/tc_tree_query.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "serve/result_cache.h"
 #include "serve/serve_stats.h"
 #include "tx/item_dictionary.h"
@@ -79,6 +81,19 @@ struct QueryServiceOptions {
   /// Per-query traversal knobs, fixed for the service's lifetime so that
   /// cached results are interchangeable with fresh ones.
   TcTreeQueryOptions query_options;
+  /// Request-scoped tracing (docs/observability.md): every Execute
+  /// records per-stage wall/CPU spans into the metrics registry's
+  /// histograms and threshold-checks the slow-query log. Off, queries
+  /// keep only the flat counters (a handful of relaxed atomic adds) —
+  /// the bench_micro overhead guard holds that path regression-free.
+  /// `EXPLAIN` passes its own trace and works either way.
+  bool tracing = true;
+  /// Queries at least this slow (total wall µs) enter the slow-query
+  /// ring with their full trace and rendered query line. <= 0 disables
+  /// the ring. Only consulted while `tracing` is on.
+  double slow_query_us = 10000.0;
+  /// Slow-query ring capacity (oldest evicted first).
+  size_t slow_log_capacity = 128;
 };
 
 /// \brief The online query-answering facade (§6.3 as a service).
@@ -112,7 +127,15 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Answers one query, consulting the cache first. Never returns null.
-  Result Execute(const ServeQuery& query);
+  Result Execute(const ServeQuery& query) { return Execute(query, nullptr); }
+
+  /// Execute with an explicit trace: stage spans (cache probe, compose,
+  /// walk), walk facts, and total_us are recorded into `*trace` even
+  /// when the service-wide `tracing` option is off — this is what the
+  /// `EXPLAIN` verb rides on. A null trace falls back to the option:
+  /// tracing on uses a stack-local trace to feed the stage histograms
+  /// and the slow-query ring; off skips all span timing.
+  Result Execute(const ServeQuery& query, QueryTrace* trace);
 
   /// Answers `queries[i]` into slot i of the returned vector, fanning
   /// out over the worker pool. Results are byte-identical to calling
@@ -139,6 +162,14 @@ class QueryService {
   }
   /// Stats + cache counters in one report.
   ServeReport Report() const { return stats_.Report(cache_stats()); }
+
+  /// The service-owned metrics registry (rendered by the METRICS verb).
+  /// Transports and build hooks register their own instruments here.
+  MetricsRegistry& metrics() { return metrics_; }
+  /// The slow-query ring (empty while tracing is off or nothing crossed
+  /// the threshold).
+  const SlowQueryLog& slow_log() const { return slow_log_; }
+  bool tracing_enabled() const { return options_.tracing; }
 
  private:
   /// True when subset composition is both enabled and sound (the
@@ -169,11 +200,36 @@ class QueryService {
                            const Result& result, uint64_t epoch_seen,
                            const std::shared_ptr<const TcTree>& tree);
 
+  /// Renders the query back into its `alpha;item,...` wire form for the
+  /// slow-query ring (paid only for queries that already crossed the
+  /// threshold).
+  std::string RenderQueryLine(const ServeQuery& query) const;
+
+  /// Folds one finished traced query into the registry histograms and,
+  /// when slow enough, the ring.
+  void RecordTrace(const ServeQuery& query, const QueryTrace& trace);
+
+  // Declared before the cache and stats so the registry (whose callback
+  // instruments read them at scrape time) is destroyed last.
+  MetricsRegistry metrics_;
+  SlowQueryLog slow_log_;
   ItemDictionary dictionary_;
   QueryServiceOptions options_;
   ThreadPool pool_;
   std::unique_ptr<ResultCache> cache_;  // null when caching is disabled
   ServeStats stats_;
+
+  // Hot-path instrument handles, resolved once at construction.
+  Counter& queries_total_;
+  Counter& cache_hits_total_;
+  Counter& cache_misses_total_;
+  Counter& composed_total_;
+  Counter& covers_used_total_;
+  Counter& nodes_visited_total_;
+  Counter& prunes_total_;
+  Counter& slow_queries_total_;
+  Histogram& query_total_us_;
+  std::array<Histogram*, kNumQueryStages> stage_us_;
   /// EWMA (α = 0.1) of full-walk miss latency, µs. Composed misses do
   /// not update it — it tracks what a walk *would* cost, so the gate
   /// cannot oscillate by measuring its own savings; ShouldSampleWalk's

@@ -126,6 +126,49 @@ void ServeStats::RecordReload(double wall_ms) {
   last_reload_ms_.store(wall_ms, std::memory_order_relaxed);
 }
 
+void ServeStats::RegisterMetrics(MetricsRegistry* registry) {
+  const auto counter = [](const std::atomic<uint64_t>* v) {
+    return [v] {
+      return static_cast<double>(v->load(std::memory_order_relaxed));
+    };
+  };
+  registry->RegisterCallback(
+      "tcf_connections_accepted_total", "Network connections accepted.",
+      MetricsRegistry::CallbackKind::kCounter, counter(&connections_opened_));
+  registry->RegisterCallback(
+      "tcf_connections_active", "Currently open network connections.",
+      MetricsRegistry::CallbackKind::kGauge, [this] {
+        const uint64_t opened =
+            connections_opened_.load(std::memory_order_relaxed);
+        const uint64_t closed =
+            connections_closed_.load(std::memory_order_relaxed);
+        return static_cast<double>(opened - std::min(opened, closed));
+      });
+  registry->RegisterCallback(
+      "tcf_connections_peak", "High-water mark of active connections.",
+      MetricsRegistry::CallbackKind::kGauge, counter(&connections_peak_));
+  registry->RegisterCallback(
+      "tcf_bytes_in_total", "Request bytes read off sockets.",
+      MetricsRegistry::CallbackKind::kCounter, counter(&bytes_in_));
+  registry->RegisterCallback(
+      "tcf_bytes_out_total", "Response bytes written to sockets.",
+      MetricsRegistry::CallbackKind::kCounter, counter(&bytes_out_));
+  registry->RegisterCallback(
+      "tcf_batches_total", "BATCH requests executed.",
+      MetricsRegistry::CallbackKind::kCounter, counter(&batches_));
+  registry->RegisterCallback(
+      "tcf_batch_queries_total", "Query lines carried inside batches.",
+      MetricsRegistry::CallbackKind::kCounter, counter(&batch_queries_));
+  registry->RegisterCallback(
+      "tcf_reloads_total", "Snapshot reloads completed.",
+      MetricsRegistry::CallbackKind::kCounter, counter(&reloads_));
+  registry->RegisterCallback(
+      "tcf_last_reload_ms", "Wall time of the most recent reload, ms.",
+      MetricsRegistry::CallbackKind::kGauge, [this] {
+        return last_reload_ms_.load(std::memory_order_relaxed);
+      });
+}
+
 void ServeStats::Reset() {
   for (Stripe& stripe : stripes_) {
     std::lock_guard<std::mutex> lock(stripe.mu);

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "serve/result_cache.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -97,6 +98,13 @@ class ServeStats {
   /// Summarizes everything recorded since the last Reset(). Pass the
   /// cache's counters to fold the hit rate into the report.
   ServeReport Report(const ResultCacheStats& cache = {}) const;
+
+  /// Exports the transport counters into `registry` as callback
+  /// instruments (tcf_connections_*, tcf_bytes_*, tcf_batch*,
+  /// tcf_reloads_total, tcf_last_reload_ms): the registry reads the
+  /// atomics at scrape time, so the record paths stay untouched. This
+  /// collector must outlive the registry's last Render().
+  void RegisterMetrics(MetricsRegistry* registry);
 
  private:
   struct Stripe {

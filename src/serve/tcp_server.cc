@@ -14,6 +14,8 @@
 #include <utility>
 
 #include "core/tc_tree_io.h"
+#include "obs/trace.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -48,6 +50,12 @@ void SignalEventFd(int fd) {
 TcpServer::TcpServer(QueryService& service, const TcpServerOptions& options)
     : service_(service),
       options_(options),
+      parse_us_(service.metrics().GetHistogram(
+          "tcf_query_stage_parse_us",
+          "Wall microseconds spent in the parse stage")),
+      serialize_us_(service.metrics().GetHistogram(
+          "tcf_query_stage_serialize_us",
+          "Wall microseconds spent in the serialize stage")),
       pool_(options.num_threads == 0 ? 1 : options.num_threads) {}
 
 TcpServer::~TcpServer() { Shutdown(); }
@@ -221,6 +229,8 @@ void TcpServer::AcceptReady() {
     }
     if (options_.max_connections > 0 &&
         conns_.size() >= options_.max_connections) {
+      TCF_LOG(Warn) << "refusing connection: " << conns_.size()
+                    << " open connections at the --max-connections cap";
       ::close(fd);  // over the cap: refuse by immediate close
       continue;
     }
@@ -238,6 +248,8 @@ void TcpServer::AcceptReady() {
     conn->interest = EPOLLIN;
     conns_.emplace(fd, std::move(conn));
     service_.stats().RecordConnectionOpened();
+    TCF_LOG(Debug) << "accepted connection fd=" << fd << " ("
+                   << conns_.size() << " open)";
   }
 }
 
@@ -269,6 +281,9 @@ void TcpServer::ReadReady(Conn& conn) {
   FrameRequests(conn);
   if (!conn.quitting && conn.in.size() > kMaxRequestLine) {
     // No newline within the cap: this peer is not speaking the protocol.
+    TCF_LOG(Warn) << "fd=" << conn.fd
+                  << ": request line exceeds 1 MiB without a newline; "
+                     "dropping the connection";
     conn.out += EncodeErrHeader(
         Status::InvalidArgument("request line exceeds 1 MiB"));
     conn.out += '\n';
@@ -305,6 +320,9 @@ void TcpServer::FrameLine(Conn& conn, std::string line) {
     conn.batch_bytes += line.size() + 1;
     conn.batch_lines.push_back(std::move(line));
     if (conn.batch_bytes > kMaxBatchBytes) {
+      TCF_LOG(Warn) << "fd=" << conn.fd << ": BATCH body exceeds "
+                    << (kMaxBatchBytes >> 20)
+                    << " MiB; dropping the connection";
       conn.out += EncodeErrHeader(Status::InvalidArgument(
           StrFormat("BATCH body exceeds %zu MiB", kMaxBatchBytes >> 20)));
       conn.out += '\n';
@@ -491,6 +509,8 @@ void TcpServer::CloseConn(Conn& conn) {
   ::close(fd);
   conns_.erase(fd);  // destroys conn; the reference is dead now
   service_.stats().RecordConnectionClosed();
+  TCF_LOG(Debug) << "closed connection fd=" << fd << " (" << conns_.size()
+                 << " open)";
   if (accept_paused_) {
     // An fd just freed up; resume accepting.
     epoll_event ev{};
@@ -537,6 +557,8 @@ std::string TcpServer::HandleRequest(const Request& request, bool* quit) {
       WallTimer reload_timer;
       auto tree = LoadTcTreeFromFile(request.reload_path);
       if (!tree.ok()) {
+        TCF_LOG(Warn) << "RELOAD " << request.reload_path
+                      << " failed: " << tree.status().ToString();
         response = EncodeErrHeader(tree.status());
         response += '\n';
         return response;
@@ -545,35 +567,124 @@ std::string TcpServer::HandleRequest(const Request& request, bool* quit) {
       // The epoch-checked SwapSnapshot path: in-flight queries finish on
       // the old tree and their results are dropped, not cached.
       service_.SwapSnapshot(std::move(*tree));
-      service_.stats().RecordReload(reload_timer.Millis());
+      const double reload_ms = reload_timer.Millis();
+      service_.stats().RecordReload(reload_ms);
+      TCF_LOG(Info) << "RELOAD " << request.reload_path << ": " << nodes
+                    << " nodes swapped in over live traffic in " << reload_ms
+                    << " ms";
       response = EncodeOkHeader("RELOADED", 1);
       response += '\n';
       response += StrFormat("nodes %zu\n", nodes);
       return response;
     }
 
-    case Request::Kind::kBatch:
-      break;  // framed by the transport; never reaches here
-
-    case Request::Kind::kQuery: {
-      auto query = service_.ParseQueryLine(request.query_line);
-      if (!query.ok()) {
-        response = EncodeErrHeader(query.status());
-        response += '\n';
-        return response;
-      }
-      const QueryService::Result result = service_.Execute(*query);
-      response = EncodeOkHeader("TRUSSES", result->trusses.size());
+    case Request::Kind::kMetrics: {
+      // One Render, split into payload lines: the exposition is the
+      // payload, so `curl`-less scrapers (tcf client --metrics, the
+      // smoke script) reassemble the exact Prometheus text by joining.
+      std::vector<std::string> lines =
+          Split(service_.metrics().Render(), '\n');
+      // Render's text ends with '\n'; Split keeps the empty tail.
+      while (!lines.empty() && lines.back().empty()) lines.pop_back();
+      response = EncodeOkHeader("METRICS", lines.size());
       response += '\n';
-      for (const PatternTruss& truss : result->trusses) {
-        response += EncodeTruss(service_.dictionary(), truss);
+      for (const std::string& l : lines) {
+        response += l;
         response += '\n';
       }
       return response;
     }
+
+    case Request::Kind::kExplain:
+      return HandleExplain(request);
+
+    case Request::Kind::kBatch:
+      break;  // framed by the transport; never reaches here
+
+    case Request::Kind::kQuery:
+      return HandleQuery(request);
   }
   response = EncodeErrHeader(Status::Internal("unhandled request kind"));
   response += '\n';
+  return response;
+}
+
+std::string TcpServer::HandleQuery(const Request& request) {
+  const bool traced = service_.tracing_enabled();
+  std::string response;
+
+  WallTimer parse_timer;
+  auto query = service_.ParseQueryLine(request.query_line);
+  if (traced) parse_us_.Record(parse_timer.Micros());
+  if (!query.ok()) {
+    response = EncodeErrHeader(query.status());
+    response += '\n';
+    return response;
+  }
+
+  const QueryService::Result result = service_.Execute(*query);
+
+  WallTimer serialize_timer;
+  response = EncodeOkHeader("TRUSSES", result->trusses.size());
+  response += '\n';
+  for (const PatternTruss& truss : result->trusses) {
+    response += EncodeTruss(service_.dictionary(), truss);
+    response += '\n';
+  }
+  if (traced) serialize_us_.Record(serialize_timer.Micros());
+  return response;
+}
+
+std::string TcpServer::HandleExplain(const Request& request) {
+  // EXPLAIN answers the query for real — same cache, same counters, same
+  // snapshot as the query it replays — but returns the trace instead of
+  // the trusses. The serialize stage is measured on the TRUSSES payload
+  // the query *would* have sent, so the breakdown is honest about what
+  // the un-explained query costs end to end.
+  std::string response;
+  QueryTrace trace;
+  trace.sample_cpu = true;  // one deliberate request; pay for CPU columns
+  WallTimer total_timer;
+
+  {
+    StageSpan parse(&trace, QueryStage::kParse);
+    auto query = service_.ParseQueryLine(request.query_line);
+    parse.Stop();
+    if (!query.ok()) {
+      response = EncodeErrHeader(query.status());
+      response += '\n';
+      return response;
+    }
+
+    const QueryService::Result result = service_.Execute(*query, &trace);
+
+    StageSpan serialize(&trace, QueryStage::kSerialize);
+    std::string discarded = EncodeOkHeader("TRUSSES", result->trusses.size());
+    discarded += '\n';
+    for (const PatternTruss& truss : result->trusses) {
+      discarded += EncodeTruss(service_.dictionary(), truss);
+      discarded += '\n';
+    }
+    serialize.Stop();
+    if (service_.tracing_enabled()) {
+      parse_us_.Record(
+          trace.stage_wall_us[static_cast<size_t>(QueryStage::kParse)]);
+      serialize_us_.Record(
+          trace.stage_wall_us[static_cast<size_t>(QueryStage::kSerialize)]);
+    }
+  }
+  // All five stages are in; the total now covers parse through
+  // serialize, which is what the within-10% stage-sum invariant in
+  // run_checks.sh is checked against.
+  trace.total_us = total_timer.Micros();
+
+  const std::vector<std::string> lines = EncodeExplain(trace);
+  response = EncodeOkHeader("EXPLAIN", lines.size());
+  response += '\n';
+  for (const std::string& l : lines) {
+    response += l;
+    response += '\n';
+  }
   return response;
 }
 

@@ -174,9 +174,18 @@ class TcpServer {
   /// Executes a BATCH body: n query lines through ExecuteBatch, n
   /// back-to-back responses in order.
   std::string HandleBatch(const std::vector<std::string>& lines);
+  /// The kQuery / kExplain paths of HandleRequest: parse and serialize
+  /// are timed here (they are transport stages — the service cannot see
+  /// them), Execute fills in the middle three.
+  std::string HandleQuery(const Request& request);
+  std::string HandleExplain(const Request& request);
 
   QueryService& service_;
   TcpServerOptions options_;
+  /// Transport-stage histograms (tcf_query_stage_{parse,serialize}_us in
+  /// the service's registry); recorded only while the service traces.
+  Histogram& parse_us_;
+  Histogram& serialize_us_;
   ThreadPool pool_;
   std::thread loop_thread_;
   int listen_fd_ = -1;

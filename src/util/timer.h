@@ -51,6 +51,11 @@ class ThreadCpuTimer {
   /// CPU microseconds elapsed.
   double Micros() const { return Seconds() * 1e6; }
 
+  /// One raw reading of the thread-CPU clock, in seconds. For callers
+  /// that need to sample lazily/conditionally (obs::StageSpan) instead
+  /// of paying the constructor's read.
+  static double NowSeconds() { return Now(); }
+
  private:
   static double Now() {
     timespec ts;

@@ -86,6 +86,10 @@ TEST(ComposeQueryTest, MatchesColdQueryOverRandomCovers) {
     ExpectIdentical(expected, composed,
                     "trial " + std::to_string(trial) + " q=" + q.ToString());
     EXPECT_EQ(composed.visited_nodes, expected.visited_nodes);
+    // EXPLAIN surfaces pruned_subtrees as a walk fact; the composed
+    // walk counts its covered-absence prunes exactly where the cold
+    // walk counts empty-node prunes, so the two must agree.
+    EXPECT_EQ(composed.pruned_subtrees, expected.pruned_subtrees);
     if (!covers.empty()) {  // an empty cover set takes the fallback path
       EXPECT_EQ(stats.reused_trusses + stats.computed_trusses,
                 composed.retrieved_nodes);

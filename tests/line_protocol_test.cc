@@ -7,6 +7,7 @@
 
 #include "core/tc_tree.h"
 #include "core/tc_tree_query.h"
+#include "obs/trace.h"
 #include "test_util.h"
 
 namespace tcf {
@@ -303,6 +304,80 @@ TEST(LineProtocolTest, StatsRoundTrip) {
 
   EXPECT_FALSE(DecodeStats({"keyonly"}).ok());
   EXPECT_FALSE(DecodeStats({""}).ok());
+}
+
+// ----------------------------------------------- METRICS / EXPLAIN (PR 6)
+
+TEST(LineProtocolTest, MetricsAndExplainRequestRoundTrip) {
+  Request metrics;
+  metrics.kind = Request::Kind::kMetrics;
+  EXPECT_EQ(EncodeRequest(metrics), "METRICS");
+  auto parsed = ParseRequest("METRICS");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, Request::Kind::kMetrics);
+
+  Request explain;
+  explain.kind = Request::Kind::kExplain;
+  explain.query_line = "0.25;i1,i3";
+  const std::string wire = EncodeRequest(explain);
+  EXPECT_EQ(wire, "EXPLAIN 0.25;i1,i3");
+  parsed = ParseRequest(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->kind, Request::Kind::kExplain);
+  EXPECT_EQ(parsed->query_line, "0.25;i1,i3");
+
+  // EXPLAIN needs a query line that at least looks like one.
+  EXPECT_FALSE(ParseRequest("EXPLAIN").ok());
+  EXPECT_FALSE(ParseRequest("EXPLAIN notaquery").ok());
+}
+
+TEST(LineProtocolTest, EncodeExplainRoundTripsThroughDecodeStats) {
+  QueryTrace trace;
+  trace.stage_wall_us[static_cast<size_t>(QueryStage::kParse)] = 1.5;
+  trace.stage_wall_us[static_cast<size_t>(QueryStage::kCacheProbe)] = 2.0;
+  trace.stage_wall_us[static_cast<size_t>(QueryStage::kWalk)] = 140.25;
+  trace.stage_cpu_us[static_cast<size_t>(QueryStage::kWalk)] = 139.0;
+  trace.total_us = 150.0;
+  trace.visited_nodes = 42;
+  trace.retrieved_nodes = 7;
+  trace.pruned_subtrees = 12;
+  trace.covers_used = 2;
+  trace.trusses = 7;
+  trace.cache_hit = false;
+  trace.composed = true;
+
+  const std::vector<std::string> lines = EncodeExplain(trace);
+  // Same `key value` grammar as STATS, so the same decoder reads it.
+  auto pairs = DecodeStats(lines);
+  ASSERT_TRUE(pairs.ok());
+  auto find = [&](const std::string& key) -> std::string {
+    for (const auto& [k, v] : *pairs) {
+      if (k == key) return v;
+    }
+    return "<missing " + key + ">";
+  };
+  // One wall and one CPU key per stage, in stage order first.
+  ASSERT_GE(lines.size(), 2 * kNumQueryStages);
+  for (size_t i = 0; i < kNumQueryStages; ++i) {
+    const std::string name(QueryStageName(static_cast<QueryStage>(i)));
+    EXPECT_EQ(lines[i].rfind("stage_" + name + "_us ", 0), 0u) << lines[i];
+    EXPECT_EQ(lines[kNumQueryStages + i].rfind(
+                  "stage_" + name + "_cpu_us ", 0),
+              0u)
+        << lines[kNumQueryStages + i];
+  }
+  EXPECT_EQ(find("stage_parse_us"), "1.5");
+  EXPECT_EQ(find("stage_cache_probe_us"), "2");
+  EXPECT_EQ(find("stage_walk_us"), "140.25");
+  EXPECT_EQ(find("stage_walk_cpu_us"), "139");
+  EXPECT_EQ(find("total_us"), "150");
+  EXPECT_EQ(find("visited_nodes"), "42");
+  EXPECT_EQ(find("retrieved_nodes"), "7");
+  EXPECT_EQ(find("pruned_subtrees"), "12");
+  EXPECT_EQ(find("covers_used"), "2");
+  EXPECT_EQ(find("trusses"), "7");
+  EXPECT_EQ(find("cache_hit"), "0");
+  EXPECT_EQ(find("composed"), "1");
 }
 
 }  // namespace

@@ -1,0 +1,274 @@
+// The observability primitives (src/obs/): striped counters and
+// histograms folding to exact totals under contention, the Prometheus
+// text exposition, stage spans, and the slow-query ring.
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/string_util.h"
+
+namespace tcf {
+namespace {
+
+// ------------------------------------------------------------ instruments
+
+TEST(CounterTest, ExactTotalsUnderContention) {
+  // Striping trades contention for a fold at read time; what it must
+  // never trade away is exactness. 8 threads x 100k increments (some
+  // n-sized) have to fold to the arithmetic total, not an estimate.
+  Counter counter;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        if (i % 10 == 0) counter.Increment(3);
+        else counter.Increment();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Per thread: 10k increments of 3 + 90k of 1.
+  EXPECT_EQ(counter.Value(), kThreads * (10000 * 3 + 90000));
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0.0);
+  gauge.Set(42.5);
+  EXPECT_EQ(gauge.Value(), 42.5);
+  gauge.Add(-2.5);
+  EXPECT_EQ(gauge.Value(), 40.0);
+}
+
+TEST(HistogramTest, Log2BucketPlacement) {
+  // Bounds are exact powers of two and a sample lands in the first
+  // bucket whose bound it does not exceed: 1 -> le="1", 2 -> le="2",
+  // 3 -> le="4", past 2^20 -> +Inf.
+  Histogram h;
+  h.Record(0.5);
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(3.0);
+  h.Record(static_cast<double>(1 << 20));
+  h.Record(static_cast<double>((1 << 20) + 1));
+  const Histogram::Snapshot snap = h.Fold();
+  EXPECT_EQ(snap.buckets[0], 2u);  // 0.5 and 1.0, le="1"
+  EXPECT_EQ(snap.buckets[1], 1u);  // 2.0, le="2"
+  EXPECT_EQ(snap.buckets[2], 1u);  // 3.0, le="4"
+  EXPECT_EQ(snap.buckets[20], 1u);  // 2^20, the last finite bound
+  EXPECT_EQ(snap.buckets[Histogram::kBuckets - 1], 1u);  // +Inf
+  EXPECT_EQ(snap.count, 6u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 2.0 + 3.0 + (1 << 20) +
+                                 ((1 << 20) + 1));
+}
+
+TEST(HistogramTest, ExactCountUnderContention) {
+  Histogram h;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>((t + i) % 100));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.Fold().count, kThreads * kPerThread);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, SameNameSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("tcf_things_total", "Things");
+  Counter& b = registry.GetCounter("tcf_things_total", "Things");
+  EXPECT_EQ(&a, &b);
+  a.Increment(5);
+  EXPECT_EQ(b.Value(), 5u);
+  // References must stay stable as the registry grows.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("tcf_filler_" + std::to_string(i) + "_total", "f");
+  }
+  EXPECT_EQ(a.Value(), 5u);
+}
+
+TEST(MetricsRegistryTest, ExpositionGolden) {
+  // The exact text exposition for a small registry: sorted by name,
+  // # HELP then # TYPE then samples, counters as integers, gauges
+  // through the shortest-form renderer, callbacks typed by their
+  // declared kind.
+  MetricsRegistry registry;
+  registry.GetCounter("tcf_b_total", "B counter").Increment(7);
+  registry.GetGauge("tcf_a_gauge", "A gauge").Set(1.5);
+  registry.RegisterCallback("tcf_c_cb", "C callback",
+                            MetricsRegistry::CallbackKind::kGauge,
+                            [] { return 3.0; });
+  EXPECT_EQ(registry.Render(),
+            "# HELP tcf_a_gauge A gauge\n"
+            "# TYPE tcf_a_gauge gauge\n"
+            "tcf_a_gauge 1.5\n"
+            "# HELP tcf_b_total B counter\n"
+            "# TYPE tcf_b_total counter\n"
+            "tcf_b_total 7\n"
+            "# HELP tcf_c_cb C callback\n"
+            "# TYPE tcf_c_cb gauge\n"
+            "tcf_c_cb 3\n");
+}
+
+TEST(MetricsRegistryTest, HistogramExpositionIsCumulative) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("tcf_h_us", "H");
+  h.Record(1.0);
+  h.Record(3.0);
+  h.Record(100.0);
+  const std::string text = registry.Render();
+  // Cumulative bucket counts: le="1" holds 1, le="4" holds 2 (the 3.0
+  // joined), le="128" holds all 3, and +Inf always equals _count.
+  EXPECT_NE(text.find("tcf_h_us_bucket{le=\"1\"} 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tcf_h_us_bucket{le=\"4\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("tcf_h_us_bucket{le=\"128\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("tcf_h_us_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcf_h_us_sum 104\n"), std::string::npos);
+  EXPECT_NE(text.find("tcf_h_us_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ExpositionParsesAsPrometheusText) {
+  // Every line of a mixed registry must be either a comment in the
+  // `# HELP|TYPE <name> ...` form or a `<name>[{labels}] <value>`
+  // sample whose value parses as a double — the contract a scraper
+  // relies on.
+  MetricsRegistry registry;
+  registry.GetCounter("tcf_queries_total", "Queries").Increment(3);
+  registry.GetGauge("tcf_cache_bytes", "Bytes").Set(12.25);
+  registry.GetHistogram("tcf_lat_us", "Latency").Record(42.0);
+  registry.RegisterCallback("tcf_up", "Up",
+                            MetricsRegistry::CallbackKind::kCounter,
+                            [] { return 1.0; });
+  const std::string text = registry.Render();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  for (const std::string& line : Split(text, '\n')) {
+    if (line.empty()) continue;  // the trailing newline's empty tail
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    auto value = ParseDouble(std::string_view(line).substr(space + 1));
+    EXPECT_TRUE(value.ok()) << line;
+    const std::string name = line.substr(0, space);
+    for (char c : name.substr(0, name.find('{'))) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_')
+          << line;
+    }
+  }
+}
+
+// ------------------------------------------------------------ stage spans
+
+TEST(StageSpanTest, RecordsWallIntoItsStage) {
+  QueryTrace trace;
+  {
+    StageSpan span(&trace, QueryStage::kWalk);
+    // Spin a hair so the span is nonzero even on coarse clocks.
+    volatile uint64_t x = 0;
+    for (int i = 0; i < 10000; ++i) x = x + static_cast<uint64_t>(i);
+  }
+  EXPECT_GT(trace.stage_wall_us[static_cast<size_t>(QueryStage::kWalk)], 0);
+  EXPECT_EQ(trace.stage_wall_us[static_cast<size_t>(QueryStage::kParse)], 0);
+  EXPECT_DOUBLE_EQ(trace.StageSumUs(),
+                   trace.stage_wall_us[static_cast<size_t>(
+                       QueryStage::kWalk)]);
+}
+
+TEST(StageSpanTest, CpuSamplingIsOptIn) {
+  // Ambient tracing keeps the syscall-priced CPU clock off; EXPLAIN
+  // opts in. Both must record wall time either way.
+  for (const bool sample_cpu : {false, true}) {
+    QueryTrace trace;
+    trace.sample_cpu = sample_cpu;
+    {
+      StageSpan span(&trace, QueryStage::kCompose);
+      volatile uint64_t x = 0;
+      for (int i = 0; i < 200000; ++i) x = x + static_cast<uint64_t>(i);
+    }
+    const size_t i = static_cast<size_t>(QueryStage::kCompose);
+    EXPECT_GT(trace.stage_wall_us[i], 0) << sample_cpu;
+    if (sample_cpu) {
+      EXPECT_GT(trace.stage_cpu_us[i], 0);
+    } else {
+      EXPECT_EQ(trace.stage_cpu_us[i], 0);
+    }
+  }
+}
+
+TEST(StageSpanTest, NullTraceAndIdempotentStop) {
+  StageSpan disabled(nullptr, QueryStage::kParse);  // must not crash
+  disabled.Stop();
+
+  QueryTrace trace;
+  StageSpan span(&trace, QueryStage::kSerialize);
+  span.Stop();
+  const double first =
+      trace.stage_wall_us[static_cast<size_t>(QueryStage::kSerialize)];
+  span.Stop();  // second stop must not add a second sample
+  EXPECT_EQ(
+      trace.stage_wall_us[static_cast<size_t>(QueryStage::kSerialize)],
+      first);
+}
+
+// -------------------------------------------------------- slow-query ring
+
+QueryTrace TraceWithTotal(double total_us) {
+  QueryTrace t;
+  t.total_us = total_us;
+  return t;
+}
+
+TEST(SlowQueryLogTest, ThresholdGates) {
+  SlowQueryLog log(1000.0, 8);
+  EXPECT_FALSE(log.Qualifies(999.9));
+  EXPECT_TRUE(log.Qualifies(1000.0));
+  EXPECT_TRUE(log.Qualifies(5000.0));
+  // threshold <= 0 disables the ring entirely.
+  SlowQueryLog disabled(0.0, 8);
+  EXPECT_FALSE(disabled.Qualifies(1e9));
+}
+
+TEST(SlowQueryLogTest, EvictsOldestFirst) {
+  SlowQueryLog log(1.0, 3);
+  for (int i = 0; i < 5; ++i) {
+    log.Record("q" + std::to_string(i),
+               TraceWithTotal(100.0 + static_cast<double>(i)));
+  }
+  const std::vector<SlowQueryLog::Entry> entries = log.Snapshot();
+  // Capacity 3, 5 admissions: q0 and q1 evicted, snapshot is oldest to
+  // newest with monotone seq.
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].query_line, "q2");
+  EXPECT_EQ(entries[1].query_line, "q3");
+  EXPECT_EQ(entries[2].query_line, "q4");
+  EXPECT_EQ(entries[0].seq, 2u);
+  EXPECT_EQ(entries[2].seq, 4u);
+  EXPECT_DOUBLE_EQ(entries[2].trace.total_us, 104.0);
+  EXPECT_EQ(log.total_recorded(), 5u);  // eviction never decrements
+}
+
+}  // namespace
+}  // namespace tcf

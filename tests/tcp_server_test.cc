@@ -20,9 +20,11 @@
 #include "core/tc_tree.h"
 #include "core/tc_tree_io.h"
 #include "core/tc_tree_query.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/line_protocol.h"
 #include "test_util.h"
+#include "util/string_util.h"
 
 namespace tcf {
 namespace {
@@ -756,6 +758,144 @@ TEST(TcpServerTest, ReloadUnderPipelinedBatchTraffic) {
   EXPECT_TRUE(admin->Quit().ok());
   server.Shutdown();
   std::remove(index_path.c_str());
+}
+
+TEST(TcpServerTest, MetricsScrapeOverTheWire) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Query("0.1;i0").ok());
+
+  auto scrape = client->Metrics();
+  ASSERT_TRUE(scrape.ok()) << scrape.status();
+  // Valid Prometheus text exposition: typed families, a counter that
+  // saw the query, the transport stage histograms, and the callback
+  // instruments over ServeStats.
+  EXPECT_NE(scrape->find("# TYPE tcf_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(scrape->find("tcf_queries_total 1\n"), std::string::npos)
+      << *scrape;
+  EXPECT_NE(scrape->find("tcf_query_stage_parse_us_count 1\n"),
+            std::string::npos);
+  EXPECT_NE(scrape->find("# TYPE tcf_connections_accepted_total counter"),
+            std::string::npos);
+  EXPECT_NE(scrape->find("tcf_query_total_us_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+
+  // The counter must advance between scrapes — the run_checks smoke
+  // asserts the same thing end to end.
+  ASSERT_TRUE(client->Query("0.1;i0").ok());
+  scrape = client->Metrics();
+  ASSERT_TRUE(scrape.ok());
+  EXPECT_NE(scrape->find("tcf_queries_total 2\n"), std::string::npos);
+  EXPECT_NE(scrape->find("tcf_query_cache_hits_total 1\n"),
+            std::string::npos)
+      << *scrape;
+  EXPECT_TRUE(client->Quit().ok());
+}
+
+TEST(TcpServerTest, ExplainOverTheWire) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+
+  auto pairs = client->Explain("0.1;i0");
+  ASSERT_TRUE(pairs.ok()) << pairs.status();
+  auto find = [&](const std::string& key) -> std::string {
+    for (const auto& [k, v] : *pairs) {
+      if (k == key) return v;
+    }
+    ADD_FAILURE() << "EXPLAIN reply lacks key " << key;
+    return "0";
+  };
+  // Every stage key present, every span non-negative, and the spans
+  // nest inside the handler's total.
+  double stage_sum = 0;
+  for (size_t i = 0; i < kNumQueryStages; ++i) {
+    const std::string name(QueryStageName(static_cast<QueryStage>(i)));
+    auto wall = ParseDouble(find("stage_" + name + "_us"));
+    ASSERT_TRUE(wall.ok());
+    EXPECT_GE(*wall, 0) << name;
+    stage_sum += *wall;
+    auto cpu = ParseDouble(find("stage_" + name + "_cpu_us"));
+    ASSERT_TRUE(cpu.ok());
+    EXPECT_GE(*cpu, 0) << name;
+  }
+  auto total = ParseDouble(find("total_us"));
+  ASSERT_TRUE(total.ok());
+  EXPECT_GT(*total, 0);
+  EXPECT_GT(stage_sum, 0);
+  // Stage spans are sub-intervals of the handler's total timer; a tiny
+  // epsilon covers clock-granularity jitter on the two reads.
+  EXPECT_LE(stage_sum, *total * 1.05 + 1.0);
+  EXPECT_EQ(find("cache_hit"), "0");  // fresh service: first touch
+
+  // EXPLAIN answers for real: its trusses count matches the query's,
+  // and the probe it ran warmed the cache for the next one.
+  auto trusses = client->Query("0.1;i0");
+  ASSERT_TRUE(trusses.ok());
+  auto reported = ParseUint64(find("trusses"));
+  ASSERT_TRUE(reported.ok());
+  EXPECT_EQ(*reported, trusses->size());
+
+  pairs = client->Explain("0.1;i0");
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(find("cache_hit"), "1");
+  EXPECT_EQ(find("visited_nodes"), "0");  // a hit never walks
+
+  // A malformed query line comes back as the carried parse error and
+  // leaves the connection healthy.
+  auto bad = client->Explain("nan;i0");
+  EXPECT_TRUE(bad.status().IsInvalidArgument()) << bad.status();
+  EXPECT_TRUE(client->Ping().ok());
+  EXPECT_TRUE(client->Quit().ok());
+}
+
+TEST(TcpServerTest, TracingOffStillServesMetricsAndExplain) {
+  // tracing=false strips histograms/slow-ring sampling from the hot
+  // path, but EXPLAIN passes its own trace explicitly and counters are
+  // unconditional — both verbs must keep answering.
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryServiceOptions options;
+  options.tracing = false;
+  QueryService service(tree, net.dictionary(), options);
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->Query("0.1;i0").ok());
+
+  auto pairs = client->Explain("0.1;i0");
+  ASSERT_TRUE(pairs.ok()) << pairs.status();
+  bool saw_probe_stage = false;
+  for (const auto& [k, v] : *pairs) {
+    if (k == "stage_cache_probe_us") saw_probe_stage = true;
+  }
+  EXPECT_TRUE(saw_probe_stage);
+
+  auto scrape = client->Metrics();
+  ASSERT_TRUE(scrape.ok());
+  // Counters advance untraced (1 query + 1 explain = 2 executes)...
+  EXPECT_NE(scrape->find("tcf_queries_total 2\n"), std::string::npos)
+      << *scrape;
+  // ...but the per-query histograms stay empty for untraced requests:
+  // only the explicit EXPLAIN trace recorded one sample.
+  EXPECT_NE(scrape->find("tcf_query_total_us_count 1\n"),
+            std::string::npos)
+      << *scrape;
+  EXPECT_TRUE(client->Quit().ok());
 }
 
 TEST(TcpServerTest, StartReportsBindFailures) {

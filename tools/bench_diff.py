@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Diff a benchmark --json=FILE artifact against a checked-in baseline.
+
+    tools/bench_diff.py BASELINE CURRENT [--tolerance=0.5] [--fail]
+
+Both inputs are the flat `"metric": value` objects the bench harnesses
+emit (bench/bench_json.h). Three classes of key, decided by name:
+
+  exact      *.nodes, *.indexed_edges — deterministic at a fixed
+             --scale (the parallel build commits in order). Any drift
+             is a real behaviour change and always flagged.
+  higher     *qps*, *hit_rate*, *speedup*, *partial_hits*, *composed*
+             — throughput-like; flagged when current falls more than
+             --tolerance below baseline.
+  lower      *_us, *_seconds, *_bytes — latency/footprint-like; flagged
+             when current rises more than --tolerance above baseline.
+
+Perf classes default to a wide --tolerance (0.5 = 50%) because baseline
+and current rarely run on the same physical box; the exact class is the
+tripwire with teeth. Without --fail the script reports and exits 0
+(nightly CI mode: the artifact and the diff land in the run log, a noisy
+runner does not page anyone); with --fail any flagged row exits 1.
+"""
+
+import json
+import sys
+
+
+def classify(key):
+    leaf = key.rsplit(".", 1)[-1]
+    if leaf in ("nodes", "indexed_edges"):
+        return "exact"
+    if any(t in leaf for t in ("qps", "hit_rate", "speedup", "partial_hits",
+                               "composed")):
+        return "higher"
+    if leaf.endswith(("_us", "_seconds", "_bytes")):
+        return "lower"
+    return "info"
+
+
+def main(argv):
+    tolerance = 0.5
+    fail = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tolerance="):
+            tolerance = float(arg.split("=", 1)[1])
+        elif arg == "--fail":
+            fail = True
+        elif arg.startswith("--"):
+            sys.exit(f"bench_diff: unknown flag {arg}\n\n{__doc__}")
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(__doc__)
+
+    with open(paths[0]) as f:
+        baseline = json.load(f)
+    with open(paths[1]) as f:
+        current = json.load(f)
+
+    flagged = []
+    rows = []
+    for key, base in baseline.items():
+        if key == "scale":
+            continue
+        kind = classify(key)
+        if key not in current:
+            rows.append((key, base, None, "MISSING"))
+            flagged.append(key)
+            continue
+        cur = current[key]
+        if not isinstance(base, (int, float)) or isinstance(base, bool) or \
+           not isinstance(cur, (int, float)) or isinstance(cur, bool):
+            verdict = "ok" if base == cur else "CHANGED"
+            rows.append((key, base, cur, verdict))
+            if verdict != "ok":
+                flagged.append(key)
+            continue
+        if kind == "exact":
+            verdict = "ok" if base == cur else "DRIFT (must be exact)"
+        elif base == 0:
+            verdict = "ok" if cur == 0 or kind == "info" else "was zero"
+        else:
+            rel = (cur - base) / abs(base)
+            if kind == "higher" and rel < -tolerance:
+                verdict = f"REGRESSED {rel:+.0%}"
+            elif kind == "lower" and rel > tolerance:
+                verdict = f"REGRESSED {rel:+.0%}"
+            elif kind == "info":
+                verdict = f"{rel:+.0%}"
+            else:
+                verdict = f"ok {rel:+.0%}"
+        rows.append((key, base, cur, verdict))
+        if "REGRESSED" in verdict or "DRIFT" in verdict or \
+           verdict == "was zero":
+            flagged.append(key)
+    for key in current:
+        if key != "scale" and key not in baseline:
+            rows.append((key, None, current[key], "new"))
+
+    if (baseline.get("scale"), current.get("scale")) != (None, None) and \
+       baseline.get("scale") != current.get("scale"):
+        print(f"bench_diff: scale mismatch (baseline "
+              f"{baseline.get('scale')}, current {current.get('scale')}) — "
+              f"exact-class keys will drift; comparing anyway")
+
+    width = max((len(r[0]) for r in rows), default=3)
+
+    def fmt(v):
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  verdict")
+    for key, base, cur, verdict in rows:
+        print(f"{key:<{width}}  {fmt(base):>12}  {fmt(cur):>12}  {verdict}")
+
+    if flagged:
+        print(f"\n{len(flagged)} flagged: " + ", ".join(flagged))
+        if fail:
+            return 1
+        print("(report-only mode; pass --fail to make this exit non-zero)")
+    else:
+        print("\nno regressions beyond tolerance "
+              f"({tolerance:.0%}); exact keys match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

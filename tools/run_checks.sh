@@ -14,8 +14,10 @@
 #    ephemeral port, drive it with `tcf client` (ping, queries, the
 #    workload both as one-request round trips and as pipelined BATCH
 #    exchanges, STATS — including the subset-composable cache's
-#    cache_partial_hits counter going positive — a RELOAD of a rebuilt
-#    index, QUIT), prove the server survives an abruptly closed
+#    cache_partial_hits counter going positive — a METRICS scrape whose
+#    query counter advances across a query, an EXPLAIN carrying every
+#    stage span, a RELOAD of a rebuilt index, QUIT), prove the server
+#    survives an abruptly closed
 #    connection (a peer that dies mid-BATCH), assert every client exit
 #    code, check the server does not leak file descriptors across all of
 #    that traffic, and check it shuts down cleanly on SIGTERM.
@@ -133,6 +135,34 @@ fi
 # The same workload as pipelined BATCH exchanges (64 queries per round
 # trip): same answers, a fraction of the round trips.
 "$TCF" client --port="$PORT" --batch="$TMP/workload.txt" --batch-size=64
+
+# Observability over the wire. METRICS must be scrapeable and its
+# query counter must advance between scrapes — the registry observes
+# live traffic, not a snapshot.
+Q1="$("$TCF" client --port="$PORT" --metrics \
+      | awk '$1 == "tcf_queries_total" { print $2 }')"
+[ -n "$Q1" ] || { echo "FAIL: METRICS lacks tcf_queries_total"; exit 1; }
+"$TCF" client --port="$PORT" --query="0.01;s3,s4"
+Q2="$("$TCF" client --port="$PORT" --metrics \
+      | awk '$1 == "tcf_queries_total" { print $2 }')"
+if [ "${Q2%.*}" -le "${Q1%.*}" ]; then
+  echo "FAIL: tcf_queries_total did not advance ($Q1 -> $Q2)"; exit 1
+fi
+echo "OK: METRICS scrape parses and tcf_queries_total advanced ($Q1 -> $Q2)"
+
+# EXPLAIN executes the query and answers with its trace: all five
+# stage keys, wall and CPU, plus total_us must be present.
+"$TCF" client --port="$PORT" --explain="0.01;s1,s2" | awk '
+  $1 ~ /^stage_(parse|cache_probe|compose|walk|serialize)_us$/ { w++ }
+  $1 ~ /^stage_(parse|cache_probe|compose|walk|serialize)_cpu_us$/ { c++ }
+  $1 == "total_us" { t = 1 }
+  END {
+    if (w != 5 || c != 5 || !t) {
+      print "FAIL: EXPLAIN reply incomplete (" w " wall, " c " cpu keys)"
+      exit 1
+    }
+    print "OK: EXPLAIN returned all stage spans and total_us"
+  }'
 
 # An abruptly closed connection — a peer that announces a BATCH, sends
 # part of the body, and vanishes — must not wedge or kill the server.

@@ -50,16 +50,25 @@
 //       --no-reload is given. SIGINT/SIGTERM shut down gracefully and
 //       print the final serving report.
 //   client  --port=PORT [--host=ADDR] [--ping] [--reload=FILE.idx]
-//           [--query=LINE] [--batch=FILE] [--batch-size=B]
-//           [--workload=FILE] [--stats]
+//           [--query=LINE] [--explain=LINE] [--batch=FILE]
+//           [--batch-size=B] [--workload=FILE] [--stats] [--metrics]
 //       Connect to a running `tcf serve --listen` server and run the
-//       given actions in order (ping, reload, query, batch, workload,
-//       stats), always ending with QUIT. --query takes one
-//       `alpha;item,...` line and prints the returned communities;
-//       --batch streams a workload file as pipelined `BATCH` exchanges
-//       of B queries per round trip (default 128); --workload streams
-//       it one request per round trip and prints one count per query.
-//       Exits non-zero if any action fails.
+//       given actions in order (ping, reload, query, explain, batch,
+//       workload, stats, metrics), always ending with QUIT. --query
+//       takes one `alpha;item,...` line and prints the returned
+//       communities; --explain answers the same line server-side but
+//       prints its stage-timed trace (docs/observability.md); --batch
+//       streams a workload file as pipelined `BATCH` exchanges of B
+//       queries per round trip (default 128); --workload streams it one
+//       request per round trip and prints one count per query;
+//       --metrics scrapes the server's registry and prints the
+//       Prometheus text exposition verbatim. Exits non-zero if any
+//       action fails.
+//
+// Global flags (any subcommand):
+//   --log-level=debug|info|warn|error
+//       Minimum severity of TCF_LOG lines on stderr (default: info).
+//       debug makes the server narrate accepts/closes per connection.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -86,6 +95,7 @@
 #include "serve/line_protocol.h"
 #include "serve/query_service.h"
 #include "serve/tcp_server.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -128,30 +138,56 @@ class Args {
   std::map<std::string, std::string> kv_;
 };
 
+/// Applies the global --log-level flag (scanned over the whole argv so
+/// it works in any position, before or after the subcommand). Returns
+/// false on an unknown level name, after printing the choices.
+bool ApplyLogLevel(int argc, char** argv) {
+  constexpr std::string_view kFlag = "--log-level=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!StartsWith(arg, kFlag)) continue;
+    const std::string_view level = arg.substr(kFlag.size());
+    if (level == "debug") SetLogLevel(LogLevel::kDebug);
+    else if (level == "info") SetLogLevel(LogLevel::kInfo);
+    else if (level == "warn") SetLogLevel(LogLevel::kWarn);
+    else if (level == "error") SetLogLevel(LogLevel::kError);
+    else {
+      std::fprintf(stderr,
+                   "tcf: --log-level=%.*s is not one of "
+                   "debug|info|warn|error\n",
+                   static_cast<int>(level.size()), level.data());
+      return false;
+    }
+  }
+  return true;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: tcf <generate|stats|mine|index|query|serve|client> "
-               "[--key=value ...]\n"
+               "[--key=value ...] [--log-level=debug|info|warn|error]\n"
                "  generate --kind=bk|gw|aminer|syn --out=FILE [--scale=S] "
                "[--seed=N]\n"
                "  stats    --in=FILE\n"
                "  mine     --in=FILE [--alpha=A] [--method=tcfi|tcfa|tcs] "
                "[--epsilon=E] [--max-len=K] [--top=N]\n"
                "  index    --in=FILE --out=FILE.idx [--build-threads=T] "
-               "[--max-nodes=N]\n"
+               "[--max-nodes=N] [--verbose]\n"
                "  query    --in=FILE [--index=FILE.idx] [--alpha=A] "
                "[--items=a,b,c] [--build-threads=T]\n"
                "  serve    --in=FILE --workload=FILE [--index=FILE.idx] "
                "[--threads=T] [--build-threads=B] [--cache-mb=M] "
                "[--repeat=R] [--batch=B] [--max-nodes=N] "
-               "[--compose-min-us=U]\n"
+               "[--compose-min-us=U] [--slow-us=U] [--no-trace]\n"
                "  serve    --in=FILE --listen=PORT [--host=ADDR] "
                "[--index=FILE.idx] [--threads=T] [--build-threads=B] "
                "[--cache-mb=M] [--max-conns=C] [--max-nodes=N] "
-               "[--no-reload] [--compose-min-us=U]\n"
+               "[--no-reload] [--compose-min-us=U] [--slow-us=U] "
+               "[--no-trace]\n"
                "  client   --port=PORT [--host=ADDR] [--ping] "
-               "[--reload=FILE.idx] [--query=LINE] [--batch=FILE] "
-               "[--batch-size=B] [--workload=FILE] [--stats]\n");
+               "[--reload=FILE.idx] [--query=LINE] [--explain=LINE] "
+               "[--batch=FILE] [--batch-size=B] [--workload=FILE] "
+               "[--stats] [--metrics]\n");
   return 2;
 }
 
@@ -293,13 +329,33 @@ int CmdIndex(const Args& args) {
     return 2;
   }
   const size_t build_threads = BuildThreadsArg(args);
+  const bool verbose = args.Get("verbose", "") == "true";
+  MetricsRegistry build_metrics;
   WallTimer t;
   TcTree tree = TcTree::Build(
       *net, {.num_threads = build_threads,
-             .max_nodes = args.GetUint("max-nodes", 2000000)});
+             .max_nodes = args.GetUint("max-nodes", 2000000),
+             .metrics = verbose ? &build_metrics : nullptr});
   std::printf("built TC-Tree: %zu nodes in %.2f s (%zu threads)%s\n",
               tree.num_nodes(), t.Seconds(), build_threads,
               tree.build_stats().truncated ? " (node budget hit)" : "");
+  if (verbose) {
+    // The build's shape, wave by wave: a wide layer-1 frontier that
+    // narrows as Prop-5.2 prunes take hold is healthy; a wave whose
+    // wall time dwarfs its neighbours is where the dense patterns live.
+    TextTable waves({"wave", "depth", "frontier", "nodes added", "ms"});
+    for (size_t i = 0; i < tree.build_stats().waves.size(); ++i) {
+      const TcTreeWaveStats& w = tree.build_stats().waves[i];
+      waves.AddRow({TextTable::Num(static_cast<uint64_t>(i)),
+                    TextTable::Num(static_cast<uint64_t>(w.depth)),
+                    TextTable::Num(static_cast<uint64_t>(w.frontier_width)),
+                    TextTable::Num(w.nodes_added),
+                    TextTable::Num(w.wall_ms)});
+    }
+    waves.Print(std::cout);
+    std::printf("\nbuild metrics (tcf_build_*):\n%s",
+                build_metrics.Render().c_str());
+  }
   if (Status s = SaveTcTreeToFile(tree, out); !s.ok()) {
     std::fprintf(stderr, "index: %s\n", s.ToString().c_str());
     return 1;
@@ -387,6 +443,41 @@ int CmdQuery(const Args& args) {
   return 0;
 }
 
+/// The observability knobs both serve modes share: --no-trace turns
+/// request-scoped tracing off (flat counters only), --slow-us moves the
+/// slow-query ring threshold (default 10000).
+void ApplyTracingArgs(const Args& args, QueryServiceOptions* options) {
+  options->tracing = args.Get("no-trace", "") != "true";
+  options->slow_query_us =
+      args.GetDouble("slow-us", options->slow_query_us);
+}
+
+/// Dumps the slow-query ring after a serving run (no-op when empty —
+/// tracing off, or nothing crossed the threshold).
+void PrintSlowQueries(const QueryService& service) {
+  const std::vector<SlowQueryLog::Entry> entries =
+      service.slow_log().Snapshot();
+  if (entries.empty()) return;
+  std::printf("\nslow queries (>= %.0f us; %llu recorded, newest last):\n",
+              service.slow_log().threshold_us(),
+              static_cast<unsigned long long>(
+                  service.slow_log().total_recorded()));
+  TextTable slow({"#", "total(us)", "walk(us)", "visited", "pruned", "src",
+                  "query"});
+  for (const SlowQueryLog::Entry& e : entries) {
+    const double walk_us =
+        e.trace.stage_wall_us[static_cast<size_t>(QueryStage::kWalk)];
+    slow.AddRow({TextTable::Num(e.seq), TextTable::Num(e.trace.total_us),
+                 TextTable::Num(walk_us), TextTable::Num(e.trace.visited_nodes),
+                 TextTable::Num(e.trace.pruned_subtrees),
+                 e.trace.cache_hit    ? "hit"
+                 : e.trace.composed ? "composed"
+                                    : "walk",
+                 e.query_line});
+  }
+  slow.Print(std::cout);
+}
+
 /// Set by SIGINT/SIGTERM; polled by the --listen serve loop.
 volatile std::sig_atomic_t g_stop = 0;
 void HandleStopSignal(int) { g_stop = 1; }
@@ -413,6 +504,7 @@ int ServeListen(const Args& args, const DatabaseNetwork& net,
   service_options.cache_bytes = cache_mb << 20;
   service_options.cache_compose_min_walk_us =
       args.GetDouble("compose-min-us", 100.0);
+  ApplyTracingArgs(args, &service_options);
   QueryService service(std::move(*tree), net.dictionary(), service_options);
 
   TcpServerOptions server_options;
@@ -443,6 +535,7 @@ int ServeListen(const Args& args, const DatabaseNetwork& net,
   std::printf("serve: shutting down\n");
   server.Shutdown();
   service.Report().ToTable().Print(std::cout);
+  PrintSlowQueries(service);
   return 0;
 }
 
@@ -507,6 +600,7 @@ int CmdServe(const Args& args) {
   service_options.cache_bytes = cache_mb << 20;
   service_options.cache_compose_min_walk_us =
       args.GetDouble("compose-min-us", 100.0);
+  ApplyTracingArgs(args, &service_options);
   QueryService service(std::move(*tree), net->dictionary(), service_options);
   std::printf("serving %zu queries x%zu passes, %zu threads, %zu MiB cache\n",
               workload.size(), repeat, service.num_threads(), cache_mb);
@@ -553,6 +647,7 @@ int CmdServe(const Args& args) {
   passes.Print(std::cout);
   std::printf("\nfinal pass report:\n");
   last.ToTable().Print(std::cout);
+  PrintSlowQueries(service);
   return 0;
 }
 
@@ -610,6 +705,19 @@ int CmdClient(const Args& args) {
     std::printf("query '%s': %zu communities\n", query.c_str(),
                 trusses->size());
     for (const WireTruss& truss : *trusses) PrintWireTruss(truss);
+  }
+
+  if (const std::string query = args.Get("explain", ""); !query.empty()) {
+    auto trace = (*client)->Explain(query);
+    if (!trace.ok()) {
+      std::fprintf(stderr, "client: explain: %s\n",
+                   trace.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("explain '%s':\n", query.c_str());
+    for (const auto& [key, value] : *trace) {
+      std::printf("%-26s %s\n", key.c_str(), value.c_str());
+    }
   }
 
   if (const std::string path = args.Get("batch", ""); !path.empty()) {
@@ -698,6 +806,17 @@ int CmdClient(const Args& args) {
     }
   }
 
+  if (args.Get("metrics", "") == "true") {
+    auto text = (*client)->Metrics();
+    if (!text.ok()) {
+      std::fprintf(stderr, "client: metrics: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    // Verbatim: `tcf client --metrics > scrape.prom` IS a scrape.
+    std::fputs(text->c_str(), stdout);
+  }
+
   if (Status s = (*client)->Quit(); !s.ok()) {
     std::fprintf(stderr, "client: quit: %s\n", s.ToString().c_str());
     return 1;
@@ -709,6 +828,7 @@ int CmdClient(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
+  if (!ApplyLogLevel(argc, argv)) return 2;
   const Args args(argc, argv);
   const std::string cmd = argv[1];
   if (cmd == "generate") return CmdGenerate(args);
