@@ -1,0 +1,107 @@
+#include "core/partition.h"
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+namespace tcf {
+namespace {
+
+// splitmix64 finalizer (Steele/Vigna): full-avalanche mix so shard
+// assignment is uniform even over the dense, frequency-rank-correlated
+// ids an ItemDictionary hands out.
+uint64_t MixItem(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t HashShardPartitioner::ShardOf(ItemId item, size_t num_shards) const {
+  if (num_shards <= 1) return 0;
+  return static_cast<size_t>(MixItem(item) % num_shards);
+}
+
+std::vector<TcTree> PartitionTcTree(TcTree tree,
+                                    const ShardPartitioner& partitioner,
+                                    size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  std::vector<TcTree> shards;
+  shards.reserve(num_shards);
+  if (num_shards == 1) {
+    shards.push_back(std::move(tree));
+    return shards;
+  }
+  std::deque<TcTree::Node> nodes = std::move(tree).TakeNodes();
+  std::vector<std::deque<TcTree::Node>> arenas(num_shards);
+  for (auto& arena : arenas) arena.emplace_back();  // fresh root per shard
+  // Owner of a node = shard of its layer-1 ancestor's item. The arena is
+  // in BFS commit order (parents strictly precede children), so one
+  // forward scan both resolves owners and keeps each shard's slice in
+  // the original relative order — per-parent child lists stay contiguous
+  // and item-ascending, and parents keep smaller ids than children.
+  std::vector<uint32_t> owner(nodes.size(), 0);
+  std::vector<TcTree::NodeId> new_id(nodes.size(), TcTree::kRoot);
+  for (size_t id = 1; id < nodes.size(); ++id) {
+    TcTree::Node& node = nodes[id];
+    const uint32_t s =
+        node.parent == TcTree::kRoot
+            ? static_cast<uint32_t>(partitioner.ShardOf(node.item, num_shards))
+            : owner[node.parent];
+    owner[id] = s;
+    std::deque<TcTree::Node>& arena = arenas[s];
+    const TcTree::NodeId nid = static_cast<TcTree::NodeId>(arena.size());
+    new_id[id] = nid;
+    const TcTree::NodeId parent =
+        node.parent == TcTree::kRoot ? TcTree::kRoot : new_id[node.parent];
+    arena.emplace_back();
+    TcTree::Node& moved = arena.back();
+    moved.item = node.item;
+    moved.parent = parent;
+    moved.decomposition = std::move(node.decomposition);
+    arena[parent].children.push_back(nid);
+  }
+  for (auto& arena : arenas) {
+    shards.push_back(TcTree::FromNodes(std::move(arena)));
+  }
+  return shards;
+}
+
+std::vector<DatabaseNetwork> PartitionTransactions(
+    const DatabaseNetwork& net, const ShardPartitioner& partitioner,
+    size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  std::vector<DatabaseNetwork> out;
+  out.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    std::vector<TransactionDb> databases;
+    databases.reserve(net.num_vertices());
+    for (size_t v = 0; v < net.num_vertices(); ++v) {
+      const TransactionDb& db = net.db(static_cast<VertexId>(v));
+      const Itemset distinct = db.DistinctItems();
+      bool keep = false;
+      for (ItemId item : distinct) {
+        if (partitioner.ShardOf(item, num_shards) == s) {
+          keep = true;
+          break;
+        }
+      }
+      databases.push_back(keep ? db : TransactionDb{});
+    }
+    out.emplace_back(net.graph(), std::move(databases), net.dictionary());
+  }
+  return out;
+}
+
+TcTree BuildShardTree(const DatabaseNetwork& shard_net,
+                      const ShardPartitioner& partitioner, size_t num_shards,
+                      size_t shard, const TcTreeOptions& options) {
+  TcTree full = TcTree::Build(shard_net, options);
+  std::vector<TcTree> parts =
+      PartitionTcTree(std::move(full), partitioner, num_shards);
+  return std::move(parts[shard]);
+}
+
+}  // namespace tcf

@@ -102,6 +102,12 @@ class TcTree {
 
   const Node& node(NodeId id) const { return nodes_[id]; }
 
+  /// Surrenders the node arena (root included, BFS commit order —
+  /// parents precede children). The tree is left empty; build stats are
+  /// discarded. This is the raw material for core/partition.h, which
+  /// re-links subsequences of the arena into per-shard trees.
+  std::deque<Node> TakeNodes() && { return std::move(nodes_); }
+
   /// Number of pattern-bearing nodes (excludes the root), i.e. the count
   /// of non-empty maximal pattern trusses — Table 3's "#Nodes".
   size_t num_nodes() const { return nodes_.size() - 1; }

@@ -73,6 +73,10 @@ struct QueryTrace {
   uint64_t trusses = 0;          // result size
   bool cache_hit = false;        // exact-match hit, no walk at all
   bool composed = false;         // answered by cover composition
+  /// Shards this query fanned out to (serve/shard_router.h). 0 means
+  /// the query ran on an unsharded backend; 1 is the sharded
+  /// single-owner fast path; >1 is a scatter-gather merge.
+  uint64_t shards_probed = 0;
 
   /// Sum of the recorded stage wall times (the EXPLAIN invariant: this
   /// must land within 10% of total_us on a loopback run).

@@ -375,6 +375,11 @@ std::vector<std::string> EncodeStats(const ServeReport& report) {
   // Snapshot-roll counters — appended after the cache block, same rule.
   add_u("reloads", report.reloads);
   add_d("last_reload_ms", report.last_reload_ms);
+  // Shard counters — appended after the snapshot-roll block, same rule.
+  // All zero (shards 0) on an unsharded backend.
+  add_u("shards", report.shards);
+  add_u("shard_queries", report.shard_queries);
+  add_d("shard_reload_ms", report.shard_reload_ms);
   return lines;
 }
 
@@ -403,6 +408,9 @@ std::vector<std::string> EncodeExplain(const QueryTrace& trace) {
   add_u("trusses", trace.trusses);
   add_u("cache_hit", trace.cache_hit ? 1 : 0);
   add_u("composed", trace.composed ? 1 : 0);
+  // Appended (additive TCF1 rule): scatter fan-out of this query, 0 on
+  // an unsharded backend.
+  add_u("shards_probed", trace.shards_probed);
   return lines;
 }
 

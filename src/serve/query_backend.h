@@ -1,0 +1,101 @@
+#ifndef TCF_SERVE_QUERY_BACKEND_H_
+#define TCF_SERVE_QUERY_BACKEND_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/tc_tree.h"
+#include "core/tc_tree_query.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "serve/result_cache.h"
+#include "serve/serve_stats.h"
+#include "tx/item_dictionary.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// One online query: a theme plus its cohesion threshold.
+struct ServeQuery {
+  Itemset items;
+  double alpha = 0;
+};
+
+/// Largest alpha the serving layer accepts. Cohesion arithmetic is
+/// fixed-point with 2^-30 resolution (core/cohesion.h), so thresholds
+/// beyond 2^32 would overflow the int64 grid; no real network's edge
+/// cohesion gets anywhere near this.
+inline constexpr double kMaxServeAlpha = 4294967296.0;  // 2^32
+
+/// Parses one workload line: `alpha;name,name,...`. Item names resolve
+/// through `dictionary`; `*` (or an empty item list) means every
+/// dictionary item. Free-standing so callers can validate a workload
+/// before building/loading the (expensive) index a QueryService needs.
+///
+/// Rejects — with a 1-based column of the offending token (relative to
+/// the line after outer trimming) in the message, so protocol ERR
+/// replies and workload-file diagnostics can point at the problem —
+/// lines with no `;`, alphas that are non-numeric, carry trailing
+/// garbage, are NaN, negative, or exceed kMaxServeAlpha
+/// (InvalidArgument / OutOfRange), and empty or unknown item names
+/// (InvalidArgument / NotFound).
+StatusOr<ServeQuery> ParseServeQuery(const ItemDictionary& dictionary,
+                                     std::string_view line);
+
+/// \brief What a transport needs from whatever answers queries.
+///
+/// TcpServer, the CLI serve loop, and the benches are written against
+/// this interface, so a single-tree QueryService and the scatter-gather
+/// ShardedQueryService (serve/shard_router.h) are interchangeable
+/// behind one `--shards=N` flag. The contract every implementation
+/// honours: Execute never returns null, answers are in single-tree BFS
+/// retrieval order field-for-field, all entry points are thread-safe,
+/// and SwapSnapshot rolls a new index in under live traffic without
+/// mixing snapshots inside any one answer.
+class QueryBackend {
+ public:
+  using Result = std::shared_ptr<const TcTreeQueryResult>;
+
+  virtual ~QueryBackend() = default;
+
+  /// Answers one query, consulting caches first. Never returns null.
+  Result Execute(const ServeQuery& query) { return Execute(query, nullptr); }
+
+  /// Execute with an explicit trace (the EXPLAIN verb rides on this):
+  /// stage spans, walk facts, and total_us are recorded into `*trace`
+  /// even when service-wide tracing is off. A null trace falls back to
+  /// the backend's tracing option.
+  virtual Result Execute(const ServeQuery& query, QueryTrace* trace) = 0;
+
+  /// Answers `queries[i]` into slot i, fanning out over worker threads.
+  /// Results are identical to calling Execute serially on each query.
+  virtual std::vector<Result> ExecuteBatch(
+      const std::vector<ServeQuery>& queries) = 0;
+
+  /// ParseServeQuery against this backend's dictionary.
+  virtual StatusOr<ServeQuery> ParseQueryLine(std::string_view line) const = 0;
+
+  /// Installs a new tree snapshot under live traffic (RELOAD).
+  virtual void SwapSnapshot(TcTree tree) = 0;
+
+  virtual const ItemDictionary& dictionary() const = 0;
+  virtual size_t num_threads() const = 0;
+
+  virtual ServeStats& stats() = 0;
+  virtual ResultCacheStats cache_stats() const = 0;
+  /// Stats + cache counters in one report.
+  virtual ServeReport Report() const = 0;
+
+  /// The backend-owned metrics registry (rendered by the METRICS verb).
+  /// Transports and build hooks register their own instruments here.
+  virtual MetricsRegistry& metrics() = 0;
+  /// The slow-query ring (empty while tracing is off or nothing crossed
+  /// the threshold).
+  virtual const SlowQueryLog& slow_log() const = 0;
+  virtual bool tracing_enabled() const = 0;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_SERVE_QUERY_BACKEND_H_

@@ -12,6 +12,7 @@
 #include "core/tc_tree_query.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "serve/query_backend.h"
 #include "serve/result_cache.h"
 #include "serve/serve_stats.h"
 #include "tx/item_dictionary.h"
@@ -19,33 +20,6 @@
 #include "util/thread_pool.h"
 
 namespace tcf {
-
-/// One online query: a theme plus its cohesion threshold.
-struct ServeQuery {
-  Itemset items;
-  double alpha = 0;
-};
-
-/// Largest alpha the serving layer accepts. Cohesion arithmetic is
-/// fixed-point with 2^-30 resolution (core/cohesion.h), so thresholds
-/// beyond 2^32 would overflow the int64 grid; no real network's edge
-/// cohesion gets anywhere near this.
-inline constexpr double kMaxServeAlpha = 4294967296.0;  // 2^32
-
-/// Parses one workload line: `alpha;name,name,...`. Item names resolve
-/// through `dictionary`; `*` (or an empty item list) means every
-/// dictionary item. Free-standing so callers can validate a workload
-/// before building/loading the (expensive) index a QueryService needs.
-///
-/// Rejects — with a 1-based column of the offending token (relative to
-/// the line after outer trimming) in the message, so protocol ERR
-/// replies and workload-file diagnostics can point at the problem —
-/// lines with no `;`, alphas that are non-numeric, carry trailing
-/// garbage, are NaN, negative, or exceed kMaxServeAlpha
-/// (InvalidArgument / OutOfRange), and empty or unknown item names
-/// (InvalidArgument / NotFound).
-StatusOr<ServeQuery> ParseServeQuery(const ItemDictionary& dictionary,
-                                     std::string_view line);
 
 /// Configuration of a QueryService.
 struct QueryServiceOptions {
@@ -109,10 +83,8 @@ struct QueryServiceOptions {
 /// without stopping traffic: in-flight queries finish against the old
 /// snapshot, the cache is invalidated, and results computed against the
 /// superseded snapshot are dropped rather than cached (epoch check).
-class QueryService {
+class QueryService : public QueryBackend {
  public:
-  using Result = std::shared_ptr<const TcTreeQueryResult>;
-
   QueryService(TcTree tree, ItemDictionary dictionary,
                const QueryServiceOptions& options = {});
 
@@ -126,8 +98,8 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Answers one query, consulting the cache first. Never returns null.
-  Result Execute(const ServeQuery& query) { return Execute(query, nullptr); }
+  /// The nullptr-trace convenience overload from the base class.
+  using QueryBackend::Execute;
 
   /// Execute with an explicit trace: stage spans (cache probe, compose,
   /// walk), walk facts, and total_us are recorded into `*trace` even
@@ -135,41 +107,42 @@ class QueryService {
   /// `EXPLAIN` verb rides on. A null trace falls back to the option:
   /// tracing on uses a stack-local trace to feed the stage histograms
   /// and the slow-query ring; off skips all span timing.
-  Result Execute(const ServeQuery& query, QueryTrace* trace);
+  Result Execute(const ServeQuery& query, QueryTrace* trace) override;
 
   /// Answers `queries[i]` into slot i of the returned vector, fanning
   /// out over the worker pool. Results are byte-identical to calling
   /// Execute (or QueryTcTree) serially on each query.
-  std::vector<Result> ExecuteBatch(const std::vector<ServeQuery>& queries);
+  std::vector<Result> ExecuteBatch(
+      const std::vector<ServeQuery>& queries) override;
 
   /// ParseServeQuery against this service's dictionary.
-  StatusOr<ServeQuery> ParseQueryLine(std::string_view line) const {
+  StatusOr<ServeQuery> ParseQueryLine(std::string_view line) const override {
     return ParseServeQuery(dictionary_, line);
   }
 
   /// Installs a new tree snapshot and invalidates the cache.
-  void SwapSnapshot(TcTree tree);
+  void SwapSnapshot(TcTree tree) override;
 
   /// The current snapshot (shared; stays valid across swaps).
   std::shared_ptr<const TcTree> snapshot() const;
 
-  const ItemDictionary& dictionary() const { return dictionary_; }
-  size_t num_threads() const { return pool_.num_threads(); }
+  const ItemDictionary& dictionary() const override { return dictionary_; }
+  size_t num_threads() const override { return pool_.num_threads(); }
 
-  ServeStats& stats() { return stats_; }
-  ResultCacheStats cache_stats() const {
+  ServeStats& stats() override { return stats_; }
+  ResultCacheStats cache_stats() const override {
     return cache_ ? cache_->Stats() : ResultCacheStats{};
   }
   /// Stats + cache counters in one report.
-  ServeReport Report() const { return stats_.Report(cache_stats()); }
+  ServeReport Report() const override { return stats_.Report(cache_stats()); }
 
   /// The service-owned metrics registry (rendered by the METRICS verb).
   /// Transports and build hooks register their own instruments here.
-  MetricsRegistry& metrics() { return metrics_; }
+  MetricsRegistry& metrics() override { return metrics_; }
   /// The slow-query ring (empty while tracing is off or nothing crossed
   /// the threshold).
-  const SlowQueryLog& slow_log() const { return slow_log_; }
-  bool tracing_enabled() const { return options_.tracing; }
+  const SlowQueryLog& slow_log() const override { return slow_log_; }
+  bool tracing_enabled() const override { return options_.tracing; }
 
  private:
   /// True when subset composition is both enabled and sound (the

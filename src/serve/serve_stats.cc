@@ -65,6 +65,18 @@ TextTable ServeReport::ToTable() const {
     t.AddRow({"reloads", TextTable::Num(reloads)});
     t.AddRow({"last reload (ms)", TextTable::Num(last_reload_ms)});
   }
+  // Shard rows appear only on a sharded backend, so single-tree
+  // reports keep their PR-1 shape.
+  if (shards > 0) {
+    t.AddRow({"shards", TextTable::Num(shards)});
+    t.AddRow({"shard queries", TextTable::Num(shard_queries)});
+    if (queries > 0) {
+      t.AddRow({"shard fan-out (mean)",
+                TextTable::Num(static_cast<double>(shard_queries) /
+                               static_cast<double>(queries))});
+    }
+    t.AddRow({"shard reload (ms)", TextTable::Num(shard_reload_ms)});
+  }
   return t;
 }
 

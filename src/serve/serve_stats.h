@@ -50,6 +50,16 @@ struct ServeReport {
   uint64_t reloads = 0;
   double last_reload_ms = 0;
 
+  // Sharding counters (serve/shard_router.h; all zero on an unsharded
+  // backend). `shard_queries` counts per-shard sub-queries — divided by
+  // `queries` it is the mean scatter fan-out. `shard_reload_ms` is the
+  // wall time of the most recent *single-shard* snapshot swap: the
+  // longest pause any one shard's cache sees during a rolling reload,
+  // as opposed to `last_reload_ms`, which times the whole roll.
+  uint64_t shards = 0;
+  uint64_t shard_queries = 0;
+  double shard_reload_ms = 0;
+
   /// Renders the report as a two-column (metric, value) table.
   TextTable ToTable() const;
   std::string ToString() const;

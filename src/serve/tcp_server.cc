@@ -47,7 +47,7 @@ void SignalEventFd(int fd) {
 
 }  // namespace
 
-TcpServer::TcpServer(QueryService& service, const TcpServerOptions& options)
+TcpServer::TcpServer(QueryBackend& service, const TcpServerOptions& options)
     : service_(service),
       options_(options),
       parse_us_(service.metrics().GetHistogram(
@@ -622,7 +622,7 @@ std::string TcpServer::HandleQuery(const Request& request) {
     return response;
   }
 
-  const QueryService::Result result = service_.Execute(*query);
+  const QueryBackend::Result result = service_.Execute(*query);
 
   WallTimer serialize_timer;
   response = EncodeOkHeader("TRUSSES", result->trusses.size());
@@ -656,7 +656,7 @@ std::string TcpServer::HandleExplain(const Request& request) {
       return response;
     }
 
-    const QueryService::Result result = service_.Execute(*query, &trace);
+    const QueryBackend::Result result = service_.Execute(*query, &trace);
 
     StageSpan serialize(&trace, QueryStage::kSerialize);
     std::string discarded = EncodeOkHeader("TRUSSES", result->trusses.size());
@@ -705,7 +705,7 @@ std::string TcpServer::HandleBatch(const std::vector<std::string>& lines) {
       slot_errors[i] = query.status();
     }
   }
-  const std::vector<QueryService::Result> results =
+  const std::vector<QueryBackend::Result> results =
       service_.ExecuteBatch(queries);
   service_.stats().RecordBatch(lines.size());
 
@@ -716,7 +716,7 @@ std::string TcpServer::HandleBatch(const std::vector<std::string>& lines) {
       response += '\n';
       continue;
     }
-    const QueryService::Result& result =
+    const QueryBackend::Result& result =
         results[static_cast<size_t>(slot_query[i])];
     response += EncodeOkHeader("TRUSSES", result->trusses.size());
     response += '\n';

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "serve/line_protocol.h"
-#include "serve/query_service.h"
+#include "serve/query_backend.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -48,7 +48,8 @@ struct TcpServerOptions {
   bool allow_reload = true;
 };
 
-/// \brief Line-protocol TCP front end over a QueryService.
+/// \brief Line-protocol TCP front end over a QueryBackend
+/// (a single-tree QueryService or the sharded scatter-gather router).
 ///
 /// `Start()` binds a POSIX listening socket and spawns one event-loop
 /// thread. The loop owns every connection through a level-triggered
@@ -64,8 +65,8 @@ struct TcpServerOptions {
 /// Per connection, requests are executed strictly in arrival order and
 /// at most one execution task is in flight, so pipelined clients (many
 /// requests sent before the first response is read) get responses in
-/// request order. Queries go through `QueryService::Execute` — and
-/// `BATCH` bodies through `QueryService::ExecuteBatch` — so remote
+/// request order. Queries go through `QueryBackend::Execute` — and
+/// `BATCH` bodies through `QueryBackend::ExecuteBatch` — so remote
 /// traffic shares the result cache, the snapshot/epoch machinery, and
 /// the latency percentiles with in-process callers; `RELOAD <path>`
 /// loads a persisted index and installs it via the epoch-safe
@@ -78,7 +79,7 @@ struct TcpServerOptions {
 class TcpServer {
  public:
   /// `service` must outlive the server.
-  explicit TcpServer(QueryService& service,
+  explicit TcpServer(QueryBackend& service,
                      const TcpServerOptions& options = {});
   ~TcpServer();
 
@@ -180,7 +181,7 @@ class TcpServer {
   std::string HandleQuery(const Request& request);
   std::string HandleExplain(const Request& request);
 
-  QueryService& service_;
+  QueryBackend& service_;
   TcpServerOptions options_;
   /// Transport-stage histograms (tcf_query_stage_{parse,serialize}_us in
   /// the service's registry); recorded only while the service traces.

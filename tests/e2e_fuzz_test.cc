@@ -20,6 +20,9 @@
 #include "net/binary_io.h"
 #include "net/network_io.h"
 #include "net/sampler.h"
+#include "serve/line_protocol.h"
+#include "serve/query_service.h"
+#include "serve/shard_router.h"
 #include "test_util.h"
 
 namespace tcf {
@@ -81,6 +84,42 @@ TEST_P(E2EFuzzTest, PipelineStagesAgree) {
   for (auto& t : direct_no_coh.trusses) t.edge_cohesions.clear();
   ExpectSameResults(std::move(direct_no_coh), std::move(from_tree),
                     "tree vs direct");
+
+  // --- Sharded serving is byte-identical on the wire. --------------------
+  // Render every query's answer exactly as the serve layer would (one
+  // EncodeTruss line per truss) through an unsharded QueryService and a
+  // ShardedQueryService over the same build, and require the serialized
+  // response streams to match byte for byte.
+  {
+    QueryServiceOptions bare;
+    bare.num_threads = 1;
+    bare.cache_bytes = 0;
+    bare.tracing = false;
+    QueryService unsharded(tree, net.dictionary(), bare);
+    const size_t num_shards = 2 + seed % 3;
+    ShardedQueryService sharded(tree, net.dictionary(), num_shards, bare);
+    std::vector<ServeQuery> queries;
+    queries.push_back({everything, alpha});
+    for (ItemId item : net.ActiveItems()) {
+      queries.push_back({Itemset::Single(item), alpha});
+      queries.push_back({everything.Minus(Itemset::Single(item)), alpha});
+    }
+    auto render = [&](QueryBackend& backend) {
+      std::string out;
+      for (const ServeQuery& q : queries) {
+        const auto result = backend.Execute(q);
+        for (const PatternTruss& t : result->trusses) {
+          out += EncodeTruss(net.dictionary(), t);
+          out += '\n';
+        }
+        out += StrFormat("end %zu\n", result->trusses.size());
+      }
+      return out;
+    };
+    EXPECT_EQ(render(unsharded), render(sharded))
+        << "sharded wire responses diverge, seed=" << seed
+        << " num_shards=" << num_shards;
+  }
 
   // --- Community search composes with extraction. -----------------------
   auto communities = ExtractThemeCommunities(via_tree.trusses);

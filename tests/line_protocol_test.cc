@@ -266,6 +266,9 @@ TEST(LineProtocolTest, StatsRoundTrip) {
   report.batch_max_depth = 32;
   report.reloads = 2;
   report.last_reload_ms = 12.5;
+  report.shards = 4;
+  report.shard_queries = 2468;
+  report.shard_reload_ms = 3.25;
 
   const std::vector<std::string> lines = EncodeStats(report);
   auto decoded = DecodeStats(lines);
@@ -300,7 +303,12 @@ TEST(LineProtocolTest, StatsRoundTrip) {
   // ...followed by the snapshot-roll keys (same additive rule).
   EXPECT_EQ(find("reloads"), "2");
   EXPECT_EQ(find("last_reload_ms"), "12.5");
-  EXPECT_EQ(lines.back(), "last_reload_ms 12.5");
+  // ...followed by the shard keys (same additive rule; all zero on an
+  // unsharded backend).
+  EXPECT_EQ(find("shards"), "4");
+  EXPECT_EQ(find("shard_queries"), "2468");
+  EXPECT_EQ(find("shard_reload_ms"), "3.25");
+  EXPECT_EQ(lines.back(), "shard_reload_ms 3.25");
 
   EXPECT_FALSE(DecodeStats({"keyonly"}).ok());
   EXPECT_FALSE(DecodeStats({""}).ok());
@@ -345,6 +353,7 @@ TEST(LineProtocolTest, EncodeExplainRoundTripsThroughDecodeStats) {
   trace.trusses = 7;
   trace.cache_hit = false;
   trace.composed = true;
+  trace.shards_probed = 3;
 
   const std::vector<std::string> lines = EncodeExplain(trace);
   // Same `key value` grammar as STATS, so the same decoder reads it.
@@ -378,6 +387,7 @@ TEST(LineProtocolTest, EncodeExplainRoundTripsThroughDecodeStats) {
   EXPECT_EQ(find("trusses"), "7");
   EXPECT_EQ(find("cache_hit"), "0");
   EXPECT_EQ(find("composed"), "1");
+  EXPECT_EQ(find("shards_probed"), "3");
 }
 
 }  // namespace

@@ -6,9 +6,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/partition.h"
 #include "core/tc_tree.h"
 #include "core/tc_tree_io.h"
 #include "core/tc_tree_query.h"
+#include "serve/shard_router.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -181,6 +183,65 @@ TEST(QueryServiceTest, SwapSnapshotInvalidatesCache) {
                   "post-swap");
   // The new answer is cached again.
   EXPECT_EQ(service.Execute(query).get(), after.get());
+}
+
+TEST(QueryServiceTest, ShardReloadKeepsOtherShardsCacheEntries) {
+  // The sharded counterpart of SwapSnapshotInvalidatesCache: with two
+  // shards, reloading shard B invalidates only B's cache — a query
+  // owned by shard A keeps hitting its cached entry — while a whole
+  // rolling SwapSnapshot invalidates every shard.
+  DatabaseNetwork net = MakeRandomNetwork({.num_items = 8, .seed = 33});
+  TcTree tree = TcTree::Build(net);
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.tracing = false;
+  ShardedQueryService service(tree, net.dictionary(), 2, options);
+
+  // One active item per shard (single-item queries take the router's
+  // single-owner fast path, touching exactly one shard cache).
+  ItemId item_a = 0, item_b = 0;
+  bool have_a = false, have_b = false;
+  for (ItemId item : net.ActiveItems()) {
+    if (service.ShardOfItem(item) == 0 && !have_a) {
+      item_a = item;
+      have_a = true;
+    } else if (service.ShardOfItem(item) == 1 && !have_b) {
+      item_b = item;
+      have_b = true;
+    }
+  }
+  ASSERT_TRUE(have_a && have_b) << "fixture has items on one shard only";
+  const ServeQuery query_a{Itemset::Single(item_a), 0.0};
+  const ServeQuery query_b{Itemset::Single(item_b), 0.0};
+
+  const auto first_a = service.Execute(query_a);
+  const auto first_b = service.Execute(query_b);
+  // Both entries are warm: repeats serve the shared cached object.
+  EXPECT_EQ(service.Execute(query_a).get(), first_a.get());
+  EXPECT_EQ(service.Execute(query_b).get(), first_b.get());
+
+  // Reload only shard B (same index content, fresh snapshot).
+  HashShardPartitioner partitioner;
+  std::vector<TcTree> parts = PartitionTcTree(tree, partitioner, 2);
+  service.SwapShardSnapshot(1, std::move(parts[1]));
+  EXPECT_EQ(service.cache_stats().invalidations, 1u);
+
+  // Shard A's entry survived the foreign reload and still hits; shard
+  // B recomputes (identical answer on the identical index, but a fresh
+  // object — the old entry is gone).
+  EXPECT_EQ(service.Execute(query_a).get(), first_a.get());
+  const auto after_b = service.Execute(query_b);
+  EXPECT_NE(after_b.get(), first_b.get());
+  ExpectIdentical(*first_b, *after_b, "shard B answer after its reload");
+
+  // A full rolling swap rolls every shard: all caches invalidated.
+  const auto before_roll = service.cache_stats();
+  service.SwapSnapshot(tree);
+  const auto after_roll = service.cache_stats();
+  EXPECT_EQ(after_roll.invalidations, before_roll.invalidations + 2);
+  EXPECT_EQ(after_roll.entries, 0u);
+  EXPECT_NE(service.Execute(query_a).get(), first_a.get());
+  ExpectIdentical(*first_a, *service.Execute(query_a), "post-roll shard A");
 }
 
 TEST(QueryServiceTest, ComposedAnswersMatchColdQueries) {

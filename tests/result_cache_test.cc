@@ -139,6 +139,40 @@ TEST(ResultCacheTest, InvalidateDropsEverything) {
   }
 }
 
+TEST(ResultCacheTest, EntriesSurviveForeignSnapshotChurn) {
+  // The per-shard cache property sharded serving leans on: each shard
+  // owns a private ResultCache, so *another* shard's reload shows up
+  // here only as unrelated snapshot tags being born and dying — never
+  // as an Invalidate(). Entries tagged with a still-live snapshot must
+  // keep serving exact hits and keep planning as covers throughout.
+  ResultCache cache;
+  const auto tag_mine = MakeTag();
+  cache.Insert(Itemset{1, 2}, 0, MakeResult(4, 1), cache.epoch(), tag_mine);
+
+  // Foreign churn: other snapshots appear, tag some inserts, and die.
+  for (int round = 0; round < 3; ++round) {
+    auto tag_foreign = MakeTag();
+    cache.Insert(Itemset{7, 8}, 0, MakeResult(4, 10 + round), cache.epoch(),
+                 tag_foreign);
+  }
+
+  // The exact hit is still resident and shared, not recomputed.
+  auto hit = cache.Lookup(Itemset{1, 2}, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->retrieved_nodes, 1u);
+
+  // Still composable against its own (live) snapshot...
+  auto covers = cache.LookupSubsets(Itemset{1, 2, 3}, 0, tag_mine.get());
+  ASSERT_EQ(covers.size(), 1u);
+  EXPECT_EQ(covers[0].itemset, Itemset({1, 2}));
+  // ...but never against a snapshot it was not computed from.
+  const auto tag_other = MakeTag();
+  EXPECT_TRUE(cache.LookupSubsets(Itemset{1, 2, 3}, 0, tag_other.get())
+                  .empty());
+
+  EXPECT_EQ(cache.Stats().invalidations, 0u);
+}
+
 TEST(ResultCacheTest, EpochCheckedInsertDropsStaleValues) {
   ResultCache cache;
   const uint64_t stale = cache.epoch();

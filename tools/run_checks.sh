@@ -21,6 +21,10 @@
 #    connection (a peer that dies mid-BATCH), assert every client exit
 #    code, check the server does not leak file descriptors across all of
 #    that traffic, and check it shuts down cleanly on SIGTERM.
+# 5. Repeat the network path against `tcf serve --shards=2`: the sharded
+#    backend must answer the same traffic, STATS must expose the shard
+#    counters (shards / shard_queries / shard_reload_ms), EXPLAIN must
+#    report shards_probed, and RELOAD must roll shard by shard.
 #
 # CI-friendly: every smoke failure exits non-zero (set -e covers the
 # backgrounded server through explicit guards), worker counts fall back
@@ -224,5 +228,89 @@ SERVER_PID=""
 grep -q "shutting down" "$TMP/server.log" || {
   echo "FAIL: server log lacks the shutdown banner"; exit 1; }
 echo "OK: network smoke (serve --listen / client / RELOAD / shutdown)"
+
+echo "== sharded network smoke (--shards=2) =="
+# Same server, hash-partitioned across two shards: answers must be
+# indistinguishable from the single-shard path on the wire, STATS must
+# expose the shard counters, EXPLAIN must report the scatter fan-out,
+# and RELOAD must roll every shard (one rolling swap per shard, never a
+# global pause).
+"$TCF" serve --in="$TMP/smoke.net" --index="$TMP/smoke.idx" --listen=0 \
+       --threads=4 --shards=2 --compose-min-us=0 \
+       > "$TMP/server2.log" 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 100); do
+  PORT="$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' \
+          "$TMP/server2.log")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "FAIL: sharded server died on startup"
+    cat "$TMP/server2.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "FAIL: sharded server never reported its port";
+                    exit 1; }
+echo "sharded server is up on port $PORT"
+
+"$TCF" client --port="$PORT" --ping --query="0.01;s1,s2"
+"$TCF" client --port="$PORT" --workload="$TMP/workload.txt"
+
+# STATS must show the sharded backend: shards == 2 and the scatter
+# counter strictly positive after the workload.
+"$TCF" client --port="$PORT" --stats | awk '
+  $1 == "shards" && $2 + 0 == 2 { shards_ok = 1 }
+  $1 == "shard_queries" && $2 + 0 > 0 { scatter_ok = 1 }
+  END {
+    if (!shards_ok) { print "FAIL: STATS does not report shards 2"; exit 1 }
+    if (!scatter_ok) { print "FAIL: shard_queries never advanced"; exit 1 }
+    print "OK: STATS reports shards=2 and shard_queries > 0"
+  }'
+
+# EXPLAIN on a 2-item query must report its scatter fan-out: at least
+# one shard probed, never more than min(shards, |items|) = 2.
+"$TCF" client --port="$PORT" --explain="0.01;s1,s2" | awk '
+  $1 == "shards_probed" { probed = $2 + 0; seen = 1 }
+  END {
+    if (!seen) { print "FAIL: EXPLAIN lacks shards_probed"; exit 1 }
+    if (probed < 1 || probed > 2) {
+      print "FAIL: shards_probed out of range: " probed; exit 1
+    }
+    print "OK: EXPLAIN reports shards_probed=" probed
+  }'
+
+# RELOAD rolls shard by shard; afterwards every shard must carry the
+# new snapshot and queries must keep answering.
+"$TCF" client --port="$PORT" --reload="$TMP/smoke2.idx" \
+       --query="0.01;s1,s2"
+"$TCF" client --port="$PORT" --stats | awk '
+  $1 == "shard_reload_ms" && $2 + 0 > 0 { found = 1 }
+  END {
+    if (!found) { print "FAIL: shard_reload_ms is zero after RELOAD";
+                  exit 1 }
+    print "OK: rolling reload touched the shards (shard_reload_ms > 0)"
+  }'
+
+# The metrics registry must observe sharded traffic too.
+Q1="$("$TCF" client --port="$PORT" --metrics \
+      | awk '$1 == "tcf_queries_total" { print $2 }')"
+[ -n "$Q1" ] || { echo "FAIL: sharded METRICS lacks tcf_queries_total";
+                  exit 1; }
+"$TCF" client --port="$PORT" --query="0.01;s3,s4"
+Q2="$("$TCF" client --port="$PORT" --metrics \
+      | awk '$1 == "tcf_queries_total" { print $2 }')"
+if [ "${Q2%.*}" -le "${Q1%.*}" ]; then
+  echo "FAIL: sharded tcf_queries_total did not advance ($Q1 -> $Q2)"
+  exit 1
+fi
+
+kill -TERM "$SERVER_PID" || { echo "FAIL: sharded server died early";
+                              cat "$TMP/server2.log"; exit 1; }
+wait "$SERVER_PID" || { echo "FAIL: sharded server exited non-zero";
+                        exit 1; }
+SERVER_PID=""
+grep -q "shutting down" "$TMP/server2.log" || {
+  echo "FAIL: sharded server log lacks the shutdown banner"; exit 1; }
+echo "OK: sharded network smoke (--shards=2 / STATS / EXPLAIN / RELOAD)"
 
 echo "== all checks passed =="

@@ -76,6 +76,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -93,7 +94,9 @@
 #include "net/stats.h"
 #include "serve/client.h"
 #include "serve/line_protocol.h"
+#include "serve/query_backend.h"
 #include "serve/query_service.h"
+#include "serve/shard_router.h"
 #include "serve/tcp_server.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -178,12 +181,13 @@ int Usage() {
                "  serve    --in=FILE --workload=FILE [--index=FILE.idx] "
                "[--threads=T] [--build-threads=B] [--cache-mb=M] "
                "[--repeat=R] [--batch=B] [--max-nodes=N] "
-               "[--compose-min-us=U] [--slow-us=U] [--no-trace]\n"
+               "[--shards=N] [--compose-min-us=U] [--slow-us=U] "
+               "[--no-trace]\n"
                "  serve    --in=FILE --listen=PORT [--host=ADDR] "
                "[--index=FILE.idx] [--threads=T] [--build-threads=B] "
                "[--cache-mb=M] [--max-conns=C] [--max-nodes=N] "
-               "[--no-reload] [--compose-min-us=U] [--slow-us=U] "
-               "[--no-trace]\n"
+               "[--shards=N] [--no-reload] [--compose-min-us=U] "
+               "[--slow-us=U] [--no-trace]\n"
                "  client   --port=PORT [--host=ADDR] [--ping] "
                "[--reload=FILE.idx] [--query=LINE] [--explain=LINE] "
                "[--batch=FILE] [--batch-size=B] [--workload=FILE] "
@@ -452,9 +456,24 @@ void ApplyTracingArgs(const Args& args, QueryServiceOptions* options) {
       args.GetDouble("slow-us", options->slow_query_us);
 }
 
+/// Builds the serving backend both serve modes share: a single-tree
+/// QueryService or, with --shards=N (N >= 2), the scatter-gather
+/// ShardedQueryService over N item-space shards (rolling RELOAD,
+/// per-shard caches; see docs/architecture.md).
+std::unique_ptr<QueryBackend> MakeBackend(const Args& args, TcTree tree,
+                                          const ItemDictionary& dictionary,
+                                          const QueryServiceOptions& options) {
+  const size_t shards = args.GetUint("shards", 1);
+  if (shards >= 2) {
+    return std::make_unique<ShardedQueryService>(std::move(tree), dictionary,
+                                                 shards, options);
+  }
+  return std::make_unique<QueryService>(std::move(tree), dictionary, options);
+}
+
 /// Dumps the slow-query ring after a serving run (no-op when empty —
 /// tracing off, or nothing crossed the threshold).
-void PrintSlowQueries(const QueryService& service) {
+void PrintSlowQueries(const QueryBackend& service) {
   const std::vector<SlowQueryLog::Entry> entries =
       service.slow_log().Snapshot();
   if (entries.empty()) return;
@@ -505,7 +524,10 @@ int ServeListen(const Args& args, const DatabaseNetwork& net,
   service_options.cache_compose_min_walk_us =
       args.GetDouble("compose-min-us", 100.0);
   ApplyTracingArgs(args, &service_options);
-  QueryService service(std::move(*tree), net.dictionary(), service_options);
+  const size_t shards = args.GetUint("shards", 1);
+  std::unique_ptr<QueryBackend> backend =
+      MakeBackend(args, std::move(*tree), net.dictionary(), service_options);
+  QueryBackend& service = *backend;
 
   TcpServerOptions server_options;
   server_options.bind_address = args.Get("host", "127.0.0.1");
@@ -524,9 +546,10 @@ int ServeListen(const Args& args, const DatabaseNetwork& net,
     return 1;
   }
   std::printf("serve: listening on %s:%u (epoll loop, %zu workers, "
-              "%zu MiB cache, reload %s)\n",
+              "%zu MiB cache, %zu shard%s, reload %s)\n",
               server.bind_address().c_str(), server.port(), threads,
-              cache_mb, server_options.allow_reload ? "on" : "off");
+              cache_mb, std::max<size_t>(1, shards), shards >= 2 ? "s" : "",
+              server_options.allow_reload ? "on" : "off");
   std::fflush(stdout);  // the smoke test greps a redirected log for this
 
   while (!g_stop) {
@@ -601,9 +624,15 @@ int CmdServe(const Args& args) {
   service_options.cache_compose_min_walk_us =
       args.GetDouble("compose-min-us", 100.0);
   ApplyTracingArgs(args, &service_options);
-  QueryService service(std::move(*tree), net->dictionary(), service_options);
-  std::printf("serving %zu queries x%zu passes, %zu threads, %zu MiB cache\n",
-              workload.size(), repeat, service.num_threads(), cache_mb);
+  const size_t shards = args.GetUint("shards", 1);
+  std::unique_ptr<QueryBackend> backend =
+      MakeBackend(args, std::move(*tree), net->dictionary(), service_options);
+  QueryBackend& service = *backend;
+  std::printf(
+      "serving %zu queries x%zu passes, %zu threads, %zu MiB cache, "
+      "%zu shard%s\n",
+      workload.size(), repeat, service.num_threads(), cache_mb,
+      std::max<size_t>(1, shards), shards >= 2 ? "s" : "");
 
   // Pre-split the workload into batches outside the timed passes so the
   // reported throughput measures serving, not vector copies.
