@@ -1,6 +1,10 @@
 #include "net/database_network.h"
 
+#include <algorithm>
+
+#include "graph/graph_builder.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace tcf {
 
@@ -41,6 +45,64 @@ const std::vector<VertexFrequency>& DatabaseNetwork::ItemVertices(
     ItemId item) const {
   if (item >= item_vertices_.size()) return kNoVertices;
   return item_vertices_[item];
+}
+
+void DatabaseNetwork::ReindexVertex(VertexId v) {
+  // Drop v's stale item→vertex entries before the vertical is replaced:
+  // the old index names exactly the items whose lists mention v.
+  for (ItemId item : verticals_[v]->items()) {
+    auto& list = item_vertices_[item];
+    const auto it = std::find_if(
+        list.begin(), list.end(),
+        [v](const VertexFrequency& vf) { return vf.vertex == v; });
+    if (it != list.end()) list.erase(it);
+  }
+  verticals_[v] = std::make_unique<VerticalIndex>(databases_[v]);
+  const VerticalIndex& vi = *verticals_[v];
+  const double n = static_cast<double>(vi.num_transactions());
+  if (n == 0) return;
+  for (ItemId item : vi.items()) {
+    const double freq = static_cast<double>(vi.TidList(item).size()) / n;
+    if (freq <= 0) continue;
+    if (item_vertices_.size() <= item) item_vertices_.resize(item + 1);
+    auto& list = item_vertices_[item];
+    // Lists stay ascending by vertex id — theme-network induction and
+    // the singleton seeds rely on that order.
+    const auto pos = std::lower_bound(
+        list.begin(), list.end(), v,
+        [](const VertexFrequency& vf, VertexId id) { return vf.vertex < id; });
+    list.insert(pos, {v, freq});
+  }
+}
+
+Status DatabaseNetwork::AddTransaction(VertexId v, Itemset tx) {
+  if (v >= num_vertices()) {
+    return Status::InvalidArgument(
+        StrFormat("vertex %u out of range (network has %zu vertices)", v,
+                  num_vertices()));
+  }
+  databases_[v].Add(std::move(tx));
+  ReindexVertex(v);
+  return Status::OK();
+}
+
+Status DatabaseNetwork::AddEdge(VertexId u, VertexId v) {
+  if (u >= num_vertices() || v >= num_vertices()) {
+    return Status::InvalidArgument(
+        StrFormat("edge {%u, %u} leaves the vertex range [0, %zu)", u, v,
+                  num_vertices()));
+  }
+  if (u == v) {
+    return Status::InvalidArgument(
+        StrFormat("self-loop {%u, %u} rejected", u, v));
+  }
+  GraphBuilder builder(graph_.num_vertices());
+  for (const Edge& e : graph_.edges()) {
+    TCF_CHECK(builder.AddEdge(e.u, e.v).ok());
+  }
+  TCF_CHECK(builder.AddEdge(u, v).ok());
+  graph_ = builder.Build();
+  return Status::OK();
 }
 
 std::vector<ItemId> DatabaseNetwork::ActiveItems() const {

@@ -73,7 +73,31 @@ class DatabaseNetwork {
   /// All item ids present in at least one vertex database.
   std::vector<ItemId> ActiveItems() const;
 
+  // --- Streaming mutation (core/tc_tree_update.h) ----------------------
+  //
+  // Updates only *add*: transactions append to an existing vertex's
+  // database and edges join existing vertices. New vertices or items are
+  // not created here — the dictionary and vertex space are fixed at
+  // construction, which is what keeps incremental index maintenance a
+  // pure re-peel of dirty theme networks.
+
+  /// Appends `tx` to vertex `v`'s database and reindexes the vertex: its
+  /// vertical index is rebuilt and every item→vertex entry mentioning
+  /// `v` is refreshed (appending one transaction grows the denominator
+  /// |D_v|, so *every* active item's frequency at `v` changes). Fails
+  /// without mutating anything if `v` is out of range.
+  Status AddTransaction(VertexId v, Itemset tx);
+
+  /// Inserts the undirected edge {u, v}. Duplicates are accepted and
+  /// coalesced (the graph stays simple); self-loops and out-of-range
+  /// endpoints fail without mutating anything.
+  Status AddEdge(VertexId u, VertexId v);
+
  private:
+  /// Rebuilds vertex `v`'s vertical index and its item→vertex entries
+  /// after its database changed.
+  void ReindexVertex(VertexId v);
+
   Graph graph_;
   std::vector<TransactionDb> databases_;
   ItemDictionary dictionary_;

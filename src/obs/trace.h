@@ -77,6 +77,11 @@ struct QueryTrace {
   /// the query ran on an unsharded backend; 1 is the sharded
   /// single-owner fast path; >1 is a scatter-gather merge.
   uint64_t shards_probed = 0;
+  /// Streaming updates the backend had applied when this query ran
+  /// (core/tc_tree_update.h) — pins an EXPLAIN to an index freshness
+  /// generation, so an answer can be correlated with the update that
+  /// last moved it.
+  uint64_t updates_applied = 0;
 
   /// Sum of the recorded stage wall times (the EXPLAIN invariant: this
   /// must land within 10% of total_us on a loopback run).

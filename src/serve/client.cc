@@ -196,6 +196,46 @@ StatusOr<std::vector<Client::BatchItem>> Client::Batch(
   return items;
 }
 
+StatusOr<std::vector<std::pair<std::string, std::string>>> Client::Update(
+    const std::vector<std::string>& update_lines) {
+  if (update_lines.empty()) {
+    return Status::InvalidArgument("empty update");
+  }
+  if (update_lines.size() > kMaxUpdateLines) {
+    return Status::InvalidArgument(
+        StrFormat("update of %zu lines exceeds the protocol limit of %zu",
+                  update_lines.size(), kMaxUpdateLines));
+  }
+  Request header;
+  header.kind = Request::Kind::kUpdate;
+  header.update_size = update_lines.size();
+  std::string wire = EncodeRequest(header);
+  wire += '\n';
+  for (const std::string& line : update_lines) {
+    wire += line;
+    wire += '\n';
+  }
+  TCF_RETURN_IF_ERROR(SendAll(wire));  // the whole update in one write
+
+  auto status_line = ReadLine();
+  if (!status_line.ok()) return status_line.status();
+  auto response_header = ParseResponseHeader(*status_line);
+  if (!response_header.ok()) return response_header.status();
+  TCF_RETURN_IF_ERROR(response_header->ToStatus());
+  if (response_header->kind != "UPDATED") {
+    return Status::Internal("expected UPDATED, got " +
+                            response_header->kind);
+  }
+  std::vector<std::string> payload;
+  payload.reserve(std::min<size_t>(response_header->payload_lines, 4096));
+  for (size_t i = 0; i < response_header->payload_lines; ++i) {
+    auto line = ReadLine();
+    if (!line.ok()) return line.status();
+    payload.push_back(std::move(*line));
+  }
+  return DecodeStats(payload);  // same `key value` grammar
+}
+
 StatusOr<std::vector<std::pair<std::string, std::string>>> Client::Stats() {
   auto reply = RoundTrip(MakeRequest(Request::Kind::kStats));
   if (!reply.ok()) return reply.status();

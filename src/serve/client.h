@@ -73,6 +73,17 @@ class Client {
   StatusOr<std::vector<BatchItem>> Batch(
       const std::vector<std::string>& query_lines);
 
+  /// Sends `update_lines` (`tx <vertex> <name,...>` / `edge <u> <v>`,
+  /// ParseUpdateLine grammar) as one `UPDATE <n>` exchange — a single
+  /// write carries the header and the whole body, and the server applies
+  /// it as one atomic batch. Returns the UPDATED summary as ordered
+  /// `key value` pairs (update_txs, dirty_items, changed_roots,
+  /// shards_swapped, ...). The carried ERR status reports a rejected
+  /// batch (bad line, unknown item, updates disabled) — the index is
+  /// untouched then.
+  StatusOr<std::vector<std::pair<std::string, std::string>>> Update(
+      const std::vector<std::string>& update_lines);
+
   /// STATS as ordered `key value` pairs.
   StatusOr<std::vector<std::pair<std::string, std::string>>> Stats();
 

@@ -1,0 +1,93 @@
+#ifndef TCF_SERVE_FILE_WATCHER_H_
+#define TCF_SERVE_FILE_WATCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/query_backend.h"
+#include "util/status.h"
+
+namespace tcf {
+
+/// Configuration of a FileWatcher.
+struct FileWatcherOptions {
+  /// Index file (core/tc_tree_io.h format) to watch. Need not exist at
+  /// Start(): the watcher arms on its first appearance.
+  std::string path;
+  /// Poll cadence. mtime polling (not inotify) keeps the watcher
+  /// portable and dependency-free; at serving timescales a sub-second
+  /// poll is indistinguishable from an event.
+  double poll_ms = 500;
+};
+
+/// \brief Hot-reload-on-write: polls an index file's mtime and rolls
+/// each new version into a live backend (`tcf serve --watch=PATH`).
+///
+/// The operational complement of the RELOAD verb: instead of a client
+/// pushing a reload, the server watches the artifact the index build
+/// pipeline writes and swaps every new version in through the same
+/// epoch-safe `SwapSnapshot` path (full invalidation semantics, counted
+/// in `reloads`/`last_reload_ms` like a wire RELOAD). A half-written
+/// file is harmless: the loader's validation rejects it, the failure is
+/// counted, and the *next* mtime change (the writer finishing, or the
+/// recommended rename-into-place) retries. Writers should still prefer
+/// write-to-temp + rename, which makes the swap atomic at the
+/// filesystem level.
+class FileWatcher {
+ public:
+  /// `backend` must outlive the watcher.
+  FileWatcher(QueryBackend& backend, FileWatcherOptions options);
+  ~FileWatcher();
+
+  FileWatcher(const FileWatcher&) = delete;
+  FileWatcher& operator=(const FileWatcher&) = delete;
+
+  /// Records the file's current fingerprint (so only *subsequent*
+  /// writes trigger reloads) and starts the poll thread.
+  /// InvalidArgument if already started or the path is empty.
+  Status Start();
+
+  /// Stops the poll thread. Idempotent; called by the destructor.
+  void Stop();
+
+  /// Successful watch-triggered reloads so far.
+  uint64_t reloads() const { return reloads_.load(std::memory_order_acquire); }
+  /// Changed-but-unloadable observations (e.g. a write in progress).
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// (mtime ns, size) — enough to see every completed write, including
+  /// same-size rewrites on filesystems with nanosecond timestamps.
+  struct Fingerprint {
+    int64_t mtime_ns = -1;  // -1: file absent
+    int64_t size = -1;
+    bool operator==(const Fingerprint& o) const {
+      return mtime_ns == o.mtime_ns && size == o.size;
+    }
+  };
+
+  static Fingerprint Stat(const std::string& path);
+  void Loop();
+
+  QueryBackend& backend_;
+  FileWatcherOptions options_;
+  Fingerprint last_seen_;
+
+  std::thread thread_;
+  std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;  // wakes the poll loop for prompt Stop()
+  bool stopping_ = false;       // guarded by mu_
+  bool started_ = false;
+};
+
+}  // namespace tcf
+
+#endif  // TCF_SERVE_FILE_WATCHER_H_

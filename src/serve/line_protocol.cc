@@ -17,6 +17,12 @@ constexpr std::string_view kQuit = "QUIT";
 constexpr std::string_view kBatch = "BATCH";
 constexpr std::string_view kMetrics = "METRICS";
 constexpr std::string_view kExplain = "EXPLAIN";
+constexpr std::string_view kUpdate = "UPDATE";
+
+/// Update body-line verbs (lower-case: they are data lines, not
+/// request verbs, and never collide with the upper-case request space).
+constexpr std::string_view kUpdateTx = "tx";
+constexpr std::string_view kUpdateEdge = "edge";
 
 /// First whitespace-delimited token of `s`.
 std::string_view FirstToken(std::string_view s) {
@@ -134,6 +140,26 @@ StatusOr<Request> ParseRequest(std::string_view line) {
     request.batch_size = static_cast<size_t>(*n);
     return request;
   }
+  if (verb == kUpdate) {
+    auto n = ParseUint64(rest);
+    if (rest.empty() || !n.ok()) {
+      return AtColumn(verb.size() + 2,
+                      "UPDATE requires a line count, 'UPDATE <n>'");
+    }
+    if (*n == 0) {
+      return AtColumn(verb.size() + 2, "UPDATE of 0 lines is meaningless");
+    }
+    if (*n > kMaxUpdateLines) {
+      return AtColumn(verb.size() + 2,
+                      StrFormat("UPDATE of %llu lines exceeds the limit of "
+                                "%zu",
+                                static_cast<unsigned long long>(*n),
+                                kMaxUpdateLines));
+    }
+    request.kind = Request::Kind::kUpdate;
+    request.update_size = static_cast<size_t>(*n);
+    return request;
+  }
   // Not a verb: a query line. Insist on the `alpha;items` separator here
   // so a typo'd verb ("RELAOD /x") fails fast with a protocol error
   // instead of a confusing alpha-parse error downstream.
@@ -141,7 +167,8 @@ StatusOr<Request> ParseRequest(std::string_view line) {
     return AtColumn(
         1, StrFormat("'%.*s' is neither a verb (PING, STATS, "
                      "RELOAD <path>, QUIT, BATCH <n>, METRICS, "
-                     "EXPLAIN <query>) nor a query 'alpha;item,...'",
+                     "EXPLAIN <query>, UPDATE <n>) nor a query "
+                     "'alpha;item,...'",
                      static_cast<int>(verb.size()), verb.data()));
   }
   request.kind = Request::Kind::kQuery;
@@ -166,6 +193,9 @@ std::string EncodeRequest(const Request& request) {
     case Request::Kind::kBatch:
       return StrFormat("%.*s %zu", static_cast<int>(kBatch.size()),
                        kBatch.data(), request.batch_size);
+    case Request::Kind::kUpdate:
+      return StrFormat("%.*s %zu", static_cast<int>(kUpdate.size()),
+                       kUpdate.data(), request.update_size);
     case Request::Kind::kQuery:
       return request.query_line;
   }
@@ -335,6 +365,118 @@ std::string EncodeQueryLine(const ItemDictionary& dictionary,
   return out;
 }
 
+Status ParseUpdateLine(const ItemDictionary& dictionary,
+                       std::string_view line, NetworkUpdate* update) {
+  const std::string_view trimmed = Trim(StripCr(line));
+  if (trimmed.empty()) return AtColumn(1, "empty update line");
+  const std::string_view verb = FirstToken(trimmed);
+  const std::string_view rest = Trim(trimmed.substr(verb.size()));
+
+  if (verb == kUpdateTx) {
+    const std::string_view vertex_tok = FirstToken(rest);
+    auto v = ParseUint64(vertex_tok);
+    if (vertex_tok.empty() || !v.ok() || *v >= kInvalidVertex) {
+      return AtColumn(verb.size() + 2,
+                      "tx needs 'tx <vertex> <name,name,...>'");
+    }
+    const std::string_view names = Trim(rest.substr(vertex_tok.size()));
+    if (names.empty()) {
+      return AtColumn(trimmed.size() + 1, "tx has no item names");
+    }
+    std::vector<ItemId> ids;
+    for (const std::string& name : Split(names, ',')) {
+      const std::string_view t = Trim(name);
+      if (t.empty()) {
+        return AtColumn(trimmed.size() - names.size() + 1,
+                        "empty item name in tx");
+      }
+      auto id = dictionary.Find(t);
+      if (!id.ok()) {
+        // Streaming updates reuse the built vocabulary; a new item needs
+        // a dictionary rebuild (RELOAD), so surface it as NotFound.
+        return Status::NotFound(
+            StrFormat("unknown item '%.*s' (streaming updates may only "
+                      "use items the index was built over)",
+                      static_cast<int>(t.size()), t.data()));
+      }
+      ids.push_back(*id);
+    }
+    NetworkUpdate::TxInsert tx;
+    tx.vertex = static_cast<VertexId>(*v);
+    tx.items = Itemset(std::move(ids));
+    update->transactions.push_back(std::move(tx));
+    return Status::OK();
+  }
+
+  if (verb == kUpdateEdge) {
+    const std::string_view u_tok = FirstToken(rest);
+    const std::string_view v_tok = Trim(rest.substr(u_tok.size()));
+    auto u = ParseUint64(u_tok);
+    auto v = ParseUint64(v_tok);
+    if (u_tok.empty() || v_tok.empty() || !u.ok() || !v.ok() ||
+        v_tok.find_first_of(" \t") != std::string_view::npos ||
+        *u >= kInvalidVertex || *v >= kInvalidVertex) {
+      return AtColumn(verb.size() + 2, "edge needs 'edge <u> <v>'");
+    }
+    update->edges.push_back(
+        {static_cast<VertexId>(*u), static_cast<VertexId>(*v)});
+    return Status::OK();
+  }
+
+  return AtColumn(1, StrFormat("'%.*s' is not an update line ('tx "
+                               "<vertex> <name,...>' or 'edge <u> <v>')",
+                               static_cast<int>(verb.size()), verb.data()));
+}
+
+std::vector<std::string> EncodeUpdate(const ItemDictionary& dictionary,
+                                      const NetworkUpdate& update) {
+  std::vector<std::string> lines;
+  lines.reserve(update.transactions.size() + update.edges.size());
+  for (const NetworkUpdate::TxInsert& tx : update.transactions) {
+    std::string out = StrFormat("%.*s %llu ",
+                                static_cast<int>(kUpdateTx.size()),
+                                kUpdateTx.data(),
+                                static_cast<unsigned long long>(tx.vertex));
+    bool first = true;
+    for (ItemId item : tx.items.items()) {
+      if (!first) out += ',';
+      out += dictionary.Name(item);
+      first = false;
+    }
+    lines.push_back(std::move(out));
+  }
+  for (const Edge& e : update.edges) {
+    lines.push_back(StrFormat("%.*s %llu %llu",
+                              static_cast<int>(kUpdateEdge.size()),
+                              kUpdateEdge.data(),
+                              static_cast<unsigned long long>(e.u),
+                              static_cast<unsigned long long>(e.v)));
+  }
+  return lines;
+}
+
+std::vector<std::string> EncodeUpdateOutcome(const UpdateOutcome& outcome) {
+  std::vector<std::string> lines;
+  auto add_u = [&lines](const char* key, uint64_t value) {
+    lines.push_back(StrFormat("%s %llu", key,
+                              static_cast<unsigned long long>(value)));
+  };
+  auto add_d = [&lines](const char* key, double value) {
+    lines.push_back(StrFormat("%s %.6g", key, value));
+  };
+  add_u("update_txs", outcome.transactions);
+  add_u("update_edges", outcome.edges);
+  add_u("dirty_items", outcome.dirty_items);
+  add_u("changed_roots", outcome.changed_roots);
+  add_u("shards_swapped", outcome.shards_swapped);
+  add_u("nodes", outcome.tree_nodes);
+  add_u("copied", outcome.stats.copied);
+  add_u("recomputed", outcome.stats.recomputed);
+  add_u("full_rebuild", outcome.stats.full_rebuild ? 1 : 0);
+  add_d("update_ms", outcome.apply_ms);
+  return lines;
+}
+
 std::vector<std::string> EncodeStats(const ServeReport& report) {
   std::vector<std::string> lines;
   auto add_u = [&lines](const char* key, uint64_t value) {
@@ -380,6 +522,14 @@ std::vector<std::string> EncodeStats(const ServeReport& report) {
   add_u("shards", report.shards);
   add_u("shard_queries", report.shard_queries);
   add_d("shard_reload_ms", report.shard_reload_ms);
+  // Streaming-update counters — appended after the shard block, same
+  // rule. All zero while no UPDATE has been accepted.
+  add_u("updates", report.updates);
+  add_u("update_txs", report.update_txs);
+  add_u("update_edges", report.update_edges);
+  add_u("update_dirty_items", report.update_dirty_items);
+  add_u("update_shards_swapped", report.update_shards_swapped);
+  add_d("last_update_ms", report.last_update_ms);
   return lines;
 }
 
@@ -411,6 +561,9 @@ std::vector<std::string> EncodeExplain(const QueryTrace& trace) {
   // Appended (additive TCF1 rule): scatter fan-out of this query, 0 on
   // an unsharded backend.
   add_u("shards_probed", trace.shards_probed);
+  // Appended (same rule): streaming updates the backend had applied
+  // when this query ran — ties a trace to an index freshness point.
+  add_u("updates_applied", trace.updates_applied);
   return lines;
 }
 

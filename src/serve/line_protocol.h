@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/pattern_truss.h"
+#include "core/tc_tree_update.h"
 #include "serve/query_service.h"
 #include "serve/serve_stats.h"
 #include "tx/item_dictionary.h"
@@ -24,10 +25,15 @@ namespace tcf {
 /// `QUIT`), the observability verbs (`METRICS`, which scrapes the
 /// server's registry in Prometheus text exposition, and
 /// `EXPLAIN <query-line>`, which answers the query and returns its
-/// stage-timed trace instead of the trusses) or the pipelining verb
+/// stage-timed trace instead of the trusses), the pipelining verb
 /// `BATCH <n>`, which announces that the next n lines are query lines
 /// to be answered in order with n back-to-back responses (one round
-/// trip for a whole workload chunk). Every response starts with a
+/// trip for a whole workload chunk), or the mutation verb
+/// `UPDATE <n>`, which announces n update lines — `tx <vertex>
+/// <name,name,...>` transaction insertions and `edge <u> <v>` edge
+/// insertions — applied as one atomic batch through the server's
+/// incremental index maintainer (core/tc_tree_update.h) and answered
+/// with a single `UPDATED` summary. Every response starts with a
 /// versioned status line —
 /// `TCF1 OK <KIND> <n>` followed by exactly n payload lines, or
 /// `TCF1 ERR <Code> <message>` — so clients can frame replies without
@@ -45,6 +51,12 @@ inline constexpr std::string_view kProtocolVersion = "TCF1";
 /// 1 MiB cap still applies to each member line).
 inline constexpr size_t kMaxBatchLines = 16384;
 
+/// Most update lines one `UPDATE <n>` may announce. Smaller than the
+/// batch cap: each accepted line mutates the network and (on flush)
+/// re-peels the dirty index slice, so a single frame is kept to an
+/// amount the updater can absorb in one swap.
+inline constexpr size_t kMaxUpdateLines = 4096;
+
 /// One parsed client request.
 struct Request {
   enum class Kind {
@@ -55,7 +67,8 @@ struct Request {
     kQuit,
     kBatch,
     kMetrics,
-    kExplain
+    kExplain,
+    kUpdate
   };
 
   Kind kind = Kind::kQuery;
@@ -68,6 +81,9 @@ struct Request {
   /// kBatch: how many query lines follow this header line. The lines
   /// themselves are framed by the transport, not carried here.
   size_t batch_size = 0;
+  /// kUpdate: how many update lines follow this header line (framed by
+  /// the transport, like a batch body).
+  size_t update_size = 0;
 };
 
 /// Parses one request line (no trailing newline; a trailing '\r' is
@@ -131,6 +147,31 @@ StatusOr<WireTruss> DecodeTruss(std::string_view line);
 /// (used by the network load generator to replay in-process workloads).
 std::string EncodeQueryLine(const ItemDictionary& dictionary,
                             const ServeQuery& query);
+
+/// Parses one `UPDATE` body line into `update` (appended, not reset):
+///   `tx <vertex> <name,name,...>` — insert a transaction at a vertex;
+///   `edge <u> <v>`                — insert an undirected edge.
+/// Item *names* are resolved against `dictionary` (the client has no
+/// ItemId space); an unknown name is kNotFound — streaming updates may
+/// only reuse the vocabulary the index was built over, because a brand
+/// new item would need a dictionary and vertical-index schema change,
+/// which is RELOAD territory. Vertex-range and self-loop checks are
+/// the updater's job (ValidateUpdate); this only checks grammar and
+/// name resolution. Errors carry 1-based column context.
+Status ParseUpdateLine(const ItemDictionary& dictionary,
+                       std::string_view line, NetworkUpdate* update);
+
+/// Renders one update (tx lines first, then edge lines) in
+/// ParseUpdateLine grammar — the body a client sends after `UPDATE <n>`.
+std::vector<std::string> EncodeUpdate(const ItemDictionary& dictionary,
+                                      const NetworkUpdate& update);
+
+/// `UPDATED` payload: one `key value` line per apply fact —
+/// `update_txs`, `update_edges`, `dirty_items`, `changed_roots`,
+/// `shards_swapped`, `nodes`, `copied`, `recomputed`, `full_rebuild`
+/// (0/1) and `update_ms`. Same grammar as STATS, so DecodeStats reads
+/// it.
+std::vector<std::string> EncodeUpdateOutcome(const UpdateOutcome& outcome);
 
 /// `STATS` payload: one `key value` line per ServeReport metric, network
 /// counters included. Keys are stable identifiers (see

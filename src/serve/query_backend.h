@@ -79,6 +79,25 @@ class QueryBackend {
   /// Installs a new tree snapshot under live traffic (RELOAD).
   virtual void SwapSnapshot(TcTree tree) = 0;
 
+  /// Installs an *incrementally updated* snapshot (the UPDATE verb /
+  /// IndexUpdater sink; core/tc_tree_update.h). `changed_roots` are the
+  /// layer-1 items whose subtrees may differ from the live snapshot's,
+  /// and `dirty_items` the items whose patterns changed — backends use
+  /// them to bound the work: a sharded backend swaps only the shards
+  /// owning a changed root, a caching backend drops only the entries
+  /// whose patterns intersect the dirty set and keeps the rest serving.
+  /// Returns the number of shard snapshots actually swapped. The
+  /// default ignores the hints and does a plain full swap (correct for
+  /// any backend; just not targeted).
+  virtual size_t ApplyUpdatedSnapshot(TcTree tree,
+                                      const std::vector<ItemId>& changed_roots,
+                                      const std::vector<ItemId>& dirty_items) {
+    (void)changed_roots;
+    (void)dirty_items;
+    SwapSnapshot(std::move(tree));
+    return 1;
+  }
+
   virtual const ItemDictionary& dictionary() const = 0;
   virtual size_t num_threads() const = 0;
 

@@ -211,6 +211,7 @@ QueryService::Result QueryService::Execute(const ServeQuery& query,
       stats_.RecordQuery(us, hit->trusses.size());
       if (t != nullptr) {
         t->cache_hit = true;
+        t->updates_applied = updates_applied();
         t->trusses = hit->trusses.size();
         t->total_us = us;
         RecordTrace(query, *t);
@@ -272,6 +273,7 @@ QueryService::Result QueryService::Execute(const ServeQuery& query,
   const double us = timer.Micros();
   stats_.RecordQuery(us, result->trusses.size());
   if (t != nullptr) {
+    t->updates_applied = updates_applied();
     t->visited_nodes = result->visited_nodes;
     t->retrieved_nodes = result->retrieved_nodes;
     t->pruned_subtrees = result->pruned_subtrees;
@@ -392,6 +394,27 @@ void QueryService::SwapSnapshot(TcTree tree) {
     snapshot_ = std::move(fresh);
   }
   if (cache_) cache_->Invalidate();
+}
+
+size_t QueryService::ApplyUpdatedSnapshot(
+    TcTree tree, const std::vector<ItemId>& changed_roots,
+    const std::vector<ItemId>& dirty_items) {
+  (void)changed_roots;  // a single-tree service always swaps its one tree
+  auto fresh = std::make_shared<const TcTree>(std::move(tree));
+  std::shared_ptr<const TcTree> old;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    old = std::move(snapshot_);
+    snapshot_ = fresh;
+  }
+  // Install first, invalidate second. A query that read the *old*
+  // snapshot also read the cache epoch before that (Execute's
+  // discipline), so InvalidateItems' epoch bump makes its insert a
+  // no-op; a query that reads the *new* snapshot computes answers the
+  // retagged survivors are — by the dirty-set argument — identical to.
+  if (cache_) cache_->InvalidateItems(dirty_items, old.get(), fresh);
+  updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  return 1;
 }
 
 }  // namespace tcf

@@ -123,6 +123,21 @@ class QueryService : public QueryBackend {
   /// Installs a new tree snapshot and invalidates the cache.
   void SwapSnapshot(TcTree tree) override;
 
+  /// Incremental swap (core/tc_tree_update.h): installs the updated
+  /// tree, then drops *only* the cached entries whose pattern
+  /// intersects `dirty_items` — survivors are retagged to the new
+  /// snapshot and keep serving as exact hits and composition covers.
+  /// Always returns 1 (one snapshot swapped; `changed_roots` only
+  /// matters to sharded backends).
+  size_t ApplyUpdatedSnapshot(TcTree tree,
+                              const std::vector<ItemId>& changed_roots,
+                              const std::vector<ItemId>& dirty_items) override;
+
+  /// Streaming updates applied so far (ApplyUpdatedSnapshot calls).
+  uint64_t updates_applied() const {
+    return updates_applied_.load(std::memory_order_relaxed);
+  }
+
   /// The current snapshot (shared; stays valid across swaps).
   std::shared_ptr<const TcTree> snapshot() const;
 
@@ -209,6 +224,7 @@ class QueryService : public QueryBackend {
   /// periodic forced walks keep it live while composition is engaged.
   std::atomic<double> walk_us_ewma_{0.0};
   std::atomic<uint64_t> composable_misses_{0};  // ShouldSampleWalk clock
+  std::atomic<uint64_t> updates_applied_{0};    // incremental swaps so far
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const TcTree> snapshot_;

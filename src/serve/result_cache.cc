@@ -263,6 +263,38 @@ void ResultCache::Invalidate() {
   }
 }
 
+void ResultCache::InvalidateItems(const std::vector<ItemId>& dirty_items,
+                                  const void* old_snapshot,
+                                  std::shared_ptr<const void> new_snapshot) {
+  // Same ordering discipline as Invalidate(): bump the epoch first so a
+  // racing epoch-checked Insert of a pre-update result is dropped
+  // rather than cached against the new tree.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    // Victims via the inverted index: exactly the resident entries
+    // whose pattern mentions a dirty item.
+    std::unordered_set<const Entry*> victims;
+    for (ItemId item : dirty_items) {
+      const auto it = shard->by_item.find(item);
+      if (it == shard->by_item.end()) continue;
+      victims.insert(it->second.begin(), it->second.end());
+    }
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (victims.count(&*it) != 0) {
+        shard->bytes -= it->cost;
+        UnindexEntry(*shard, it);
+        it = shard->lru.erase(it);
+        continue;
+      }
+      if (it->snapshot != nullptr && it->snapshot.get() == old_snapshot) {
+        it->snapshot = new_snapshot;
+      }
+      ++it;
+    }
+  }
+}
+
 ResultCacheStats ResultCache::Stats() const {
   ResultCacheStats stats;
   stats.capacity_bytes = shard_capacity_bytes_ * shards_.size();

@@ -156,6 +156,25 @@ class ResultCache {
   /// cached answers may no longer match the new tree.
   void Invalidate();
 
+  /// Targeted invalidation for an *incremental* snapshot swap
+  /// (core/tc_tree_update.h): drops exactly the entries whose pattern
+  /// intersects `dirty_items` (found through the per-item inverted
+  /// index) and keeps everything else serving. A surviving entry's
+  /// pattern is disjoint from the dirty set, so its answer under the
+  /// new tree is field-for-field what it was under the old one — and
+  /// since that holds for its sub-patterns too, survivors tagged with
+  /// `old_snapshot` are retagged to `new_snapshot`, keeping them live
+  /// as exact hits *and* as composition covers. Entries tagged with
+  /// some other (or no) snapshot are left untouched: unreachable for
+  /// composition, still exact for direct hits.
+  ///
+  /// Bumps the epoch first (like Invalidate), so in-flight results
+  /// computed against the outgoing tree fail their epoch-checked
+  /// Insert instead of landing stale. `dirty_items` must be sorted.
+  void InvalidateItems(const std::vector<ItemId>& dirty_items,
+                       const void* old_snapshot,
+                       std::shared_ptr<const void> new_snapshot);
+
   /// Aggregated counters; consistent per shard, approximate globally.
   ResultCacheStats Stats() const;
 

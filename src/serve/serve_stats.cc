@@ -77,6 +77,17 @@ TextTable ServeReport::ToTable() const {
     }
     t.AddRow({"shard reload (ms)", TextTable::Num(shard_reload_ms)});
   }
+  // Update rows appear only once a streaming update has been accepted,
+  // so static-index reports keep their shape.
+  if (updates > 0) {
+    t.AddRow({"updates", TextTable::Num(updates)});
+    t.AddRow({"update txs", TextTable::Num(update_txs)});
+    t.AddRow({"update edges", TextTable::Num(update_edges)});
+    t.AddRow({"update dirty items", TextTable::Num(update_dirty_items)});
+    t.AddRow(
+        {"update shards swapped", TextTable::Num(update_shards_swapped)});
+    t.AddRow({"last update (ms)", TextTable::Num(last_update_ms)});
+  }
   return t;
 }
 
@@ -138,6 +149,18 @@ void ServeStats::RecordReload(double wall_ms) {
   last_reload_ms_.store(wall_ms, std::memory_order_relaxed);
 }
 
+void ServeStats::RecordUpdate(uint64_t txs, uint64_t edges,
+                              uint64_t dirty_items, uint64_t shards_swapped,
+                              double wall_ms) {
+  updates_.fetch_add(1, std::memory_order_relaxed);
+  update_txs_.fetch_add(txs, std::memory_order_relaxed);
+  update_edges_.fetch_add(edges, std::memory_order_relaxed);
+  update_dirty_items_.fetch_add(dirty_items, std::memory_order_relaxed);
+  update_shards_swapped_.fetch_add(shards_swapped,
+                                   std::memory_order_relaxed);
+  last_update_ms_.store(wall_ms, std::memory_order_relaxed);
+}
+
 void ServeStats::RegisterMetrics(MetricsRegistry* registry) {
   const auto counter = [](const std::atomic<uint64_t>* v) {
     return [v] {
@@ -179,6 +202,31 @@ void ServeStats::RegisterMetrics(MetricsRegistry* registry) {
       MetricsRegistry::CallbackKind::kGauge, [this] {
         return last_reload_ms_.load(std::memory_order_relaxed);
       });
+  registry->RegisterCallback(
+      "tcf_updates_total", "Streaming-update flushes accepted.",
+      MetricsRegistry::CallbackKind::kCounter, counter(&updates_));
+  registry->RegisterCallback(
+      "tcf_update_txs_total", "Transactions applied by streaming updates.",
+      MetricsRegistry::CallbackKind::kCounter, counter(&update_txs_));
+  registry->RegisterCallback(
+      "tcf_update_edges_total", "Edges applied by streaming updates.",
+      MetricsRegistry::CallbackKind::kCounter, counter(&update_edges_));
+  registry->RegisterCallback(
+      "tcf_update_dirty_items_total",
+      "Items dirtied by streaming updates (cache-invalidation scope).",
+      MetricsRegistry::CallbackKind::kCounter,
+      counter(&update_dirty_items_));
+  registry->RegisterCallback(
+      "tcf_update_shards_swapped_total",
+      "Shard snapshots rolled by streaming updates.",
+      MetricsRegistry::CallbackKind::kCounter,
+      counter(&update_shards_swapped_));
+  registry->RegisterCallback(
+      "tcf_last_update_ms",
+      "Enqueue-to-swap wall time of the most recent update, ms.",
+      MetricsRegistry::CallbackKind::kGauge, [this] {
+        return last_update_ms_.load(std::memory_order_relaxed);
+      });
 }
 
 void ServeStats::Reset() {
@@ -208,6 +256,14 @@ ServeReport ServeStats::Report(const ResultCacheStats& cache) const {
       batch_max_depth_.load(std::memory_order_relaxed);
   report.reloads = reloads_.load(std::memory_order_relaxed);
   report.last_reload_ms = last_reload_ms_.load(std::memory_order_relaxed);
+  report.updates = updates_.load(std::memory_order_relaxed);
+  report.update_txs = update_txs_.load(std::memory_order_relaxed);
+  report.update_edges = update_edges_.load(std::memory_order_relaxed);
+  report.update_dirty_items =
+      update_dirty_items_.load(std::memory_order_relaxed);
+  report.update_shards_swapped =
+      update_shards_swapped_.load(std::memory_order_relaxed);
+  report.last_update_ms = last_update_ms_.load(std::memory_order_relaxed);
 
   std::vector<double> all;
   for (const Stripe& stripe : stripes_) {

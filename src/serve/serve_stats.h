@@ -60,6 +60,20 @@ struct ServeReport {
   uint64_t shard_queries = 0;
   double shard_reload_ms = 0;
 
+  // Streaming-update counters (UPDATE verb / IndexUpdater; lifetime-of-
+  // server). `updates` counts accepted flushes; txs/edges/dirty items
+  // sum over them; `update_shards_swapped` sums the snapshots each
+  // apply actually rolled (1 per flush unsharded; only the shards
+  // owning a changed root on a sharded backend). `last_update_ms` is
+  // the wall time of the most recent enqueue-to-swap apply — the
+  // freshness latency an operator watches under churn.
+  uint64_t updates = 0;
+  uint64_t update_txs = 0;
+  uint64_t update_edges = 0;
+  uint64_t update_dirty_items = 0;
+  uint64_t update_shards_swapped = 0;
+  double last_update_ms = 0;
+
   /// Renders the report as a two-column (metric, value) table.
   TextTable ToTable() const;
   std::string ToString() const;
@@ -98,6 +112,12 @@ class ServeStats {
 
   /// Records one completed snapshot reload that took `wall_ms`.
   void RecordReload(double wall_ms);
+
+  /// Records one accepted streaming-update flush: `txs` transactions
+  /// and `edges` edges applied, `dirty_items` items dirtied,
+  /// `shards_swapped` snapshots rolled, `wall_ms` enqueue-to-swap time.
+  void RecordUpdate(uint64_t txs, uint64_t edges, uint64_t dirty_items,
+                    uint64_t shards_swapped, double wall_ms);
 
   /// Forgets all samples and restarts the wall clock (used between the
   /// cold and warm passes of `tcf serve --repeat`). Network counters are
@@ -139,6 +159,12 @@ class ServeStats {
   std::atomic<uint64_t> batch_max_depth_{0};
   std::atomic<uint64_t> reloads_{0};
   std::atomic<double> last_reload_ms_{0};
+  std::atomic<uint64_t> updates_{0};
+  std::atomic<uint64_t> update_txs_{0};
+  std::atomic<uint64_t> update_edges_{0};
+  std::atomic<uint64_t> update_dirty_items_{0};
+  std::atomic<uint64_t> update_shards_swapped_{0};
+  std::atomic<double> last_update_ms_{0};
 };
 
 }  // namespace tcf

@@ -246,6 +246,7 @@ ShardedQueryService::Result ShardedQueryService::Execute(
   stats_.RecordQuery(us, result->trusses.size());
   if (t != nullptr) {
     t->shards_probed = relevant.size();
+    t->updates_applied = updates_applied();
     t->total_us = us;
     RecordTrace(query, *t);
   }
@@ -295,6 +296,37 @@ void ShardedQueryService::SwapSnapshot(TcTree tree) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     SwapShardSnapshot(s, std::move(parts[s]));
   }
+}
+
+size_t ShardedQueryService::ApplyUpdatedSnapshot(
+    TcTree tree, const std::vector<ItemId>& changed_roots,
+    const std::vector<ItemId>& dirty_items) {
+  std::vector<TcTree> parts =
+      PartitionTcTree(std::move(tree), *partitioner_, shards_.size());
+  // Every pattern lives on the shard of its minimum item — its layer-1
+  // ancestor's item — so a shard owning none of the changed roots got a
+  // partition identical to what it is already serving (the partitioner
+  // is deterministic and the arena subsequence it selects is unchanged):
+  // skip it entirely, snapshot and cache both. Changed shards roll one
+  // at a time like SwapSnapshot, but invalidate only the dirty-item
+  // entries instead of flushing.
+  std::vector<char> changed(shards_.size(), 0);
+  for (ItemId root : changed_roots) {
+    changed[ShardOfItem(root)] = 1;
+  }
+  size_t swapped = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!changed[s]) continue;
+    WallTimer timer;
+    shards_[s]->ApplyUpdatedSnapshot(std::move(parts[s]), changed_roots,
+                                     dirty_items);
+    const double ms = timer.Millis();
+    per_shard_reload_ms_[s]->Set(ms);
+    shard_reload_ms_.Set(ms);
+    ++swapped;
+  }
+  updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  return swapped;
 }
 
 ResultCacheStats ShardedQueryService::cache_stats() const {

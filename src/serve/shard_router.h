@@ -2,6 +2,8 @@
 #define TCF_SERVE_SHARD_ROUTER_H_
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -86,6 +88,23 @@ class ShardedQueryService : public QueryBackend {
   /// reloads and the reload-survival tests.
   void SwapShardSnapshot(size_t shard, TcTree shard_tree);
 
+  /// Shard-aware incremental swap (core/tc_tree_update.h): partitions
+  /// the updated tree, then rolls *only* the shards owning a changed
+  /// layer-1 root — every pattern lives on the shard of its minimum
+  /// item, so a shard owning no changed root has a provably identical
+  /// partition and keeps both its snapshot and its whole cache. Swapped
+  /// shards invalidate just the entries intersecting `dirty_items`
+  /// (QueryService::ApplyUpdatedSnapshot). Returns the number of shards
+  /// swapped.
+  size_t ApplyUpdatedSnapshot(TcTree tree,
+                              const std::vector<ItemId>& changed_roots,
+                              const std::vector<ItemId>& dirty_items) override;
+
+  /// Streaming updates applied so far (ApplyUpdatedSnapshot calls).
+  uint64_t updates_applied() const {
+    return updates_applied_.load(std::memory_order_relaxed);
+  }
+
   const ItemDictionary& dictionary() const override { return dictionary_; }
   size_t num_threads() const override { return pool_.num_threads(); }
 
@@ -131,6 +150,7 @@ class ShardedQueryService : public QueryBackend {
   ThreadPool pool_;
   std::vector<std::unique_ptr<QueryService>> shards_;
   ServeStats stats_;
+  std::atomic<uint64_t> updates_applied_{0};  // incremental swaps so far
 
   // Router-level instruments (the shard services keep their own
   // registries; TcpServer scrapes only this one).

@@ -346,13 +346,18 @@ void TcpServer::FrameLine(Conn& conn, std::string line) {
   }
 
   auto parsed = ParseRequest(line);
-  if (parsed.ok() && parsed->kind == Request::Kind::kBatch) {
+  if (parsed.ok() && (parsed->kind == Request::Kind::kBatch ||
+                      parsed->kind == Request::Kind::kUpdate)) {
     // The header alone is not executable; arm the body collector. A
     // malformed header (BATCH 0, BATCH x, over-limit n) falls through
     // as a unit and is answered with ERR — it consumes no body lines.
+    // UPDATE bodies are framed identically (the announced count of raw
+    // lines follows); only execution differs.
     conn.batch_header = *parsed;
     conn.batch_header_bytes = line.size() + 1;
-    conn.batch_expect = parsed->batch_size;
+    conn.batch_expect = parsed->kind == Request::Kind::kBatch
+                            ? parsed->batch_size
+                            : parsed->update_size;
     conn.batch_lines.clear();
     conn.batch_bytes = 0;
     return;
@@ -404,6 +409,8 @@ void TcpServer::ExecuteUnits(Conn* conn, std::vector<Unit> units) {
       response += '\n';
     } else if (unit.request->kind == Request::Kind::kBatch) {
       response = HandleBatch(unit.batch_lines);
+    } else if (unit.request->kind == Request::Kind::kUpdate) {
+      response = HandleUpdate(unit.batch_lines);
     } else {
       response = HandleRequest(*unit.request, &quit);
     }
@@ -599,6 +606,7 @@ std::string TcpServer::HandleRequest(const Request& request, bool* quit) {
       return HandleExplain(request);
 
     case Request::Kind::kBatch:
+    case Request::Kind::kUpdate:
       break;  // framed by the transport; never reaches here
 
     case Request::Kind::kQuery:
@@ -682,6 +690,61 @@ std::string TcpServer::HandleExplain(const Request& request) {
   response = EncodeOkHeader("EXPLAIN", lines.size());
   response += '\n';
   for (const std::string& l : lines) {
+    response += l;
+    response += '\n';
+  }
+  return response;
+}
+
+std::string TcpServer::HandleUpdate(const std::vector<std::string>& lines) {
+  std::string response;
+  if (options_.updater == nullptr) {
+    response = EncodeErrHeader(Status::Unimplemented(
+        "UPDATE is disabled on this server (started without a streaming "
+        "updater — serve from a network, not a prebuilt index)"));
+    response += '\n';
+    return response;
+  }
+  // Parse the whole body before touching the updater: a mutation batch
+  // is atomic, so one malformed line rejects the frame with the index
+  // untouched.
+  NetworkUpdate update;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const Status s =
+        ParseUpdateLine(service_.dictionary(), lines[i], &update);
+    if (!s.ok()) {
+      const std::string msg =
+          StrFormat("update line %zu: %s", i + 1, s.message().c_str());
+      response = EncodeErrHeader(s.code() == Status::Code::kNotFound
+                                     ? Status::NotFound(msg)
+                                     : Status::InvalidArgument(msg));
+      response += '\n';
+      return response;
+    }
+  }
+
+  WallTimer update_timer;
+  auto outcome = options_.updater->Apply(std::move(update));
+  if (!outcome.ok()) {
+    TCF_LOG(Warn) << "UPDATE rejected: " << outcome.status().ToString();
+    response = EncodeErrHeader(outcome.status());
+    response += '\n';
+    return response;
+  }
+  service_.stats().RecordUpdate(outcome->transactions, outcome->edges,
+                                outcome->dirty_items,
+                                outcome->shards_swapped, outcome->apply_ms);
+  TCF_LOG(Info) << "UPDATE: " << outcome->transactions << " txs, "
+                << outcome->edges << " edges -> " << outcome->dirty_items
+                << " dirty items, " << outcome->changed_roots
+                << " changed roots, " << outcome->shards_swapped
+                << " snapshots swapped in " << update_timer.Millis()
+                << " ms";
+
+  const std::vector<std::string> payload = EncodeUpdateOutcome(*outcome);
+  response = EncodeOkHeader("UPDATED", payload.size());
+  response += '\n';
+  for (const std::string& l : payload) {
     response += l;
     response += '\n';
   }

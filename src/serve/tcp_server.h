@@ -46,6 +46,13 @@ struct TcpServerOptions {
   /// When false, RELOAD answers ERR Unimplemented — for deployments
   /// where the index must only change via restart.
   bool allow_reload = true;
+  /// Streaming-update sink for the UPDATE verb (core/tc_tree_update.h).
+  /// Null (the default) answers UPDATE with ERR Unimplemented. The
+  /// updater must outlive the server, own the authoritative network for
+  /// the served index, and sink its snapshots into the same backend
+  /// (QueryBackend::ApplyUpdatedSnapshot) — `tcf serve` wires this when
+  /// it has the network to build from.
+  IndexUpdater* updater = nullptr;
 };
 
 /// \brief Line-protocol TCP front end over a QueryBackend
@@ -107,10 +114,10 @@ class TcpServer {
  private:
   /// One framed request unit, ready for execution: either a single
   /// request line (possibly a parse error, answered with ERR) or a
-  /// complete BATCH with its collected query lines.
+  /// complete BATCH / UPDATE with its collected body lines.
   struct Unit {
     StatusOr<Request> request = Status::Internal("unparsed");
-    std::vector<std::string> batch_lines;  // kBatch bodies only
+    std::vector<std::string> batch_lines;  // kBatch / kUpdate bodies only
     uint64_t wire_bytes = 0;  // request bytes incl. newlines, for stats
   };
 
@@ -121,7 +128,9 @@ class TcpServer {
     std::string in;           // unframed inbound bytes
     std::deque<Unit> queued;  // framed requests not yet dispatched
 
-    // Incremental BATCH framing: header seen, body lines outstanding.
+    // Incremental BATCH / UPDATE framing: header seen, body lines
+    // outstanding (both verbs share the collector — at most one body is
+    // ever in flight per connection).
     Request batch_header;
     uint64_t batch_header_bytes = 0;
     size_t batch_expect = 0;  // body lines still missing (0 = no batch)
@@ -175,6 +184,10 @@ class TcpServer {
   /// Executes a BATCH body: n query lines through ExecuteBatch, n
   /// back-to-back responses in order.
   std::string HandleBatch(const std::vector<std::string>& lines);
+  /// Executes an UPDATE body: parses all n update lines, applies them as
+  /// one atomic batch through options_.updater, answers with a single
+  /// UPDATED summary (or one ERR — a bad line rejects the whole frame).
+  std::string HandleUpdate(const std::vector<std::string>& lines);
   /// The kQuery / kExplain paths of HandleRequest: parse and serialize
   /// are timed here (they are transport stages — the service cannot see
   /// them), Execute fills in the middle three.

@@ -3,10 +3,21 @@
 // all three miners → index → persist index → query — and check that
 // every stage agrees with every other. This is the "no seam leaks"
 // suite: each individual stage has its own oracle tests; this one checks
-// the composition.
+// the composition. The second suite below adds the update-interleaving
+// mode: random UPDATE batches over a live TCP server, byte-identical to
+// a from-scratch rebuild oracle after every batch, sharded and not.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/brute_force.h"
 #include "core/communities.h"
@@ -14,6 +25,7 @@
 #include "core/tc_tree.h"
 #include "core/tc_tree_io.h"
 #include "core/tc_tree_query.h"
+#include "core/tc_tree_update.h"
 #include "core/tcfa.h"
 #include "core/tcfi.h"
 #include "core/tcs.h"
@@ -23,6 +35,7 @@
 #include "serve/line_protocol.h"
 #include "serve/query_service.h"
 #include "serve/shard_router.h"
+#include "serve/tcp_server.h"
 #include "test_util.h"
 
 namespace tcf {
@@ -146,6 +159,218 @@ TEST_P(E2EFuzzTest, PipelineStagesAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, E2EFuzzTest,
                          ::testing::Range<uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------
+// Update-interleaving mode: the same generated networks, but now served
+// over a real TCP socket with an IndexUpdater attached. Random UPDATE
+// batches are pushed over the wire between query rounds, and after
+// every batch each query's response stream must match — byte for byte,
+// header included — what a cache-less service over a from-scratch
+// rebuild of the accumulated network would emit. Runs unsharded and
+// sharded, with warm composing caches kept live through the rolling
+// delta swaps.
+// ---------------------------------------------------------------------
+
+int RawConnect(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool RawSend(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+/// Next '\n'-terminated line (newline stripped); empty string on EOF.
+std::string RawReadLine(int fd) {
+  std::string line;
+  char c;
+  while (true) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return line;
+    if (c == '\n') return line;
+    line += c;
+  }
+}
+
+NetworkUpdate RandomUpdateBatch(Rng& rng, const DatabaseNetwork& net,
+                                size_t ops) {
+  NetworkUpdate u;
+  const size_t v = net.num_vertices();
+  const size_t items = net.num_items();
+  for (size_t i = 0; i < ops; ++i) {
+    if (rng.NextBool(0.3) && v >= 2) {
+      VertexId a = static_cast<VertexId>(rng.NextUint64(v));
+      VertexId b = static_cast<VertexId>(rng.NextUint64(v));
+      if (a == b) b = (b + 1) % v;
+      u.edges.push_back(MakeEdge(a, b));
+    } else {
+      NetworkUpdate::TxInsert tx;
+      tx.vertex = static_cast<VertexId>(rng.NextUint64(v));
+      const size_t len = 1 + rng.NextUint64(3);
+      std::vector<ItemId> ids;
+      for (size_t k = 0; k < len; ++k) {
+        ids.push_back(static_cast<ItemId>(rng.NextUint64(items)));
+      }
+      tx.items = Itemset(std::move(ids));
+      u.transactions.push_back(std::move(tx));
+    }
+  }
+  return u;
+}
+
+class E2EUpdateFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(E2EUpdateFuzzTest, WireUpdateInterleavingMatchesRebuildOracle) {
+  const uint64_t seed = GetParam();
+  auto fresh_net = [seed] {
+    return MakeRandomNetwork({.num_vertices = 15,
+                              .edge_prob = 0.4,
+                              .num_items = 5,
+                              .tx_per_vertex = 6,
+                              .seed = seed});
+  };
+  const double alpha = 0.1 * static_cast<double>(seed % 4);
+  const size_t shard_configs[] = {1, 2 + seed % 3};
+
+  for (const size_t num_shards : shard_configs) {
+    SCOPED_TRACE("num_shards=" + std::to_string(num_shards));
+    DatabaseNetwork serve_net = fresh_net();
+    DatabaseNetwork oracle_net = fresh_net();
+    TcTree initial = TcTree::Build(serve_net);
+
+    QueryServiceOptions warm;
+    warm.num_threads = 1;
+    warm.cache_bytes = size_t{4} << 20;
+    warm.cache_composition = true;
+    warm.cache_admit_derived = true;
+    warm.cache_compose_min_walk_us = 0;  // compose unconditionally
+    warm.tracing = false;
+    std::unique_ptr<QueryBackend> backend;
+    if (num_shards == 1) {
+      backend = std::make_unique<QueryService>(initial, serve_net.dictionary(),
+                                               warm);
+    } else {
+      backend = std::make_unique<ShardedQueryService>(
+          initial, serve_net.dictionary(), num_shards, warm);
+    }
+    IndexUpdater updater(
+        std::move(serve_net), std::move(initial),
+        [&](TcTree tree, const std::vector<ItemId>& changed_roots,
+            const std::vector<ItemId>& dirty_items) {
+          return backend->ApplyUpdatedSnapshot(std::move(tree), changed_roots,
+                                               dirty_items);
+        });
+
+    TcpServerOptions server_options;
+    server_options.updater = &updater;
+    TcpServer server(*backend, server_options);
+    ASSERT_TRUE(server.Start().ok());
+    const int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+
+    const ItemDictionary& dict = updater.network().dictionary();
+    const std::vector<ItemId> items = updater.network().ActiveItems();
+    ASSERT_FALSE(items.empty());
+
+    // A fixed query-line set: everything, every single item, adjacent
+    // pairs. Asked after every batch, it exercises exact hits, retagged
+    // survivors, and covers composed from them.
+    std::vector<std::string> query_lines;
+    query_lines.push_back(StrFormat("%g;*", alpha));
+    for (const ItemId item : items) {
+      query_lines.push_back(
+          StrFormat("%g;%s", alpha, dict.Name(item).c_str()));
+    }
+    for (size_t i = 0; i + 1 < items.size(); ++i) {
+      query_lines.push_back(StrFormat("%g;%s,%s", alpha,
+                                      dict.Name(items[i]).c_str(),
+                                      dict.Name(items[i + 1]).c_str()));
+    }
+
+    // Byte-identity against the rebuild oracle: every response off the
+    // live socket — header line included — equals what a cache-less
+    // service over TcTree::Build(oracle_net) renders.
+    auto check_round = [&](const std::string& context) {
+      SCOPED_TRACE(context);
+      QueryServiceOptions bare;
+      bare.num_threads = 1;
+      bare.cache_bytes = 0;
+      bare.tracing = false;
+      QueryService oracle(TcTree::Build(oracle_net), oracle_net.dictionary(),
+                          bare);
+      for (const std::string& line : query_lines) {
+        ASSERT_TRUE(RawSend(fd, line + "\n"));
+        auto query = oracle.ParseQueryLine(line);
+        ASSERT_TRUE(query.ok()) << query.status();
+        const auto want = oracle.Execute(*query);
+        EXPECT_EQ(RawReadLine(fd),
+                  EncodeOkHeader("TRUSSES", want->trusses.size()))
+            << line;
+        for (const PatternTruss& t : want->trusses) {
+          EXPECT_EQ(RawReadLine(fd), EncodeTruss(dict, t)) << line;
+        }
+      }
+    };
+
+    check_round("pre-update");
+    Rng rng(seed * 131 + num_shards);
+    for (int round = 0; round < 3; ++round) {
+      NetworkUpdate batch = RandomUpdateBatch(rng, updater.network(), 3);
+      const std::vector<std::string> lines = EncodeUpdate(dict, batch);
+      for (const NetworkUpdate::TxInsert& tx : batch.transactions) {
+        ASSERT_TRUE(oracle_net.AddTransaction(tx.vertex, tx.items).ok());
+      }
+      for (const Edge& e : batch.edges) {
+        ASSERT_TRUE(oracle_net.AddEdge(e.u, e.v).ok());
+      }
+
+      std::string wire = StrFormat("UPDATE %zu\n", lines.size());
+      for (const std::string& l : lines) {
+        wire += l;
+        wire += '\n';
+      }
+      ASSERT_TRUE(RawSend(fd, wire));
+      const std::string header = RawReadLine(fd);
+      ASSERT_EQ(header.rfind("TCF1 OK UPDATED ", 0), 0u) << header;
+      const size_t payload =
+          std::stoul(header.substr(header.find_last_of(' ') + 1));
+      bool saw_txs = false;
+      for (size_t i = 0; i < payload; ++i) {
+        if (RawReadLine(fd).rfind("update_txs ", 0) == 0) saw_txs = true;
+      }
+      EXPECT_TRUE(saw_txs);
+
+      check_round("after round " + std::to_string(round));
+    }
+
+    ASSERT_TRUE(RawSend(fd, "QUIT\n"));
+    EXPECT_EQ(RawReadLine(fd).rfind("TCF1 OK BYE", 0), 0u);
+    ::close(fd);
+    server.Shutdown();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, E2EUpdateFuzzTest,
+                         ::testing::Range<uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace tcf

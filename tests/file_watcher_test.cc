@@ -1,0 +1,134 @@
+#include "serve/file_watcher.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "core/tc_tree.h"
+#include "core/tc_tree_io.h"
+#include "core/tc_tree_query.h"
+#include "serve/query_service.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeFigureOneNetwork;
+
+/// Polls `pred` for ~5 s (the watcher is asynchronous by design).
+template <typename Pred>
+bool WaitFor(Pred pred) {
+  for (int i = 0; i < 5000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST(FileWatcherTest, SwapsInEachNewVersionOnWrite) {
+  // A multi-item network so the depth cap actually removes nodes.
+  DatabaseNetwork net = testing::MakeRandomNetwork(
+      {.num_vertices = 14, .edge_prob = 0.5, .num_items = 4, .seed = 7});
+  TcTree full = TcTree::Build(net);
+  TcTree shallow = TcTree::Build(net, {.max_depth = 1});
+  ASSERT_LT(shallow.num_nodes(), full.num_nodes());
+
+  const std::string path = ::testing::TempDir() + "/file_watcher_swap.idx";
+  ASSERT_TRUE(SaveTcTreeToFile(full, path).ok());
+
+  QueryService service(full, net.dictionary(), {});
+  FileWatcherOptions options;
+  options.path = path;
+  options.poll_ms = 5;
+  FileWatcher watcher(service, options);
+  ASSERT_TRUE(watcher.Start().ok());
+
+  // The version present at Start() is the baseline — no spurious reload.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(watcher.reloads(), 0u);
+
+  // A writer replaces the artifact; the watcher swaps it in and counts
+  // it as a reload (same path as the wire RELOAD verb).
+  ASSERT_TRUE(SaveTcTreeToFile(shallow, path).ok());
+  ASSERT_TRUE(WaitFor([&] { return watcher.reloads() >= 1; }));
+  ASSERT_TRUE(WaitFor([&] { return service.Report().reloads >= 1; }));
+
+  // Served answers now come from the shallow tree: the depth-capped
+  // index has no depth-2 pattern for {i0, i1}.
+  const ServeQuery query{Itemset{0, 1}, 0.0};
+  const auto result = service.Execute(query);
+  const TcTreeQueryResult oracle = QueryTcTree(shallow, query.items, 0.0);
+  ASSERT_EQ(result->trusses.size(), oracle.trusses.size());
+  for (size_t i = 0; i < oracle.trusses.size(); ++i) {
+    testing::ExpectSameTruss(result->trusses[i], oracle.trusses[i]);
+  }
+
+  // Roll forward again: the full tree returns.
+  ASSERT_TRUE(SaveTcTreeToFile(full, path).ok());
+  ASSERT_TRUE(WaitFor([&] { return watcher.reloads() >= 2; }));
+  const auto back = service.Execute(query);
+  const TcTreeQueryResult full_oracle = QueryTcTree(full, query.items, 0.0);
+  ASSERT_EQ(back->trusses.size(), full_oracle.trusses.size());
+  for (size_t i = 0; i < full_oracle.trusses.size(); ++i) {
+    testing::ExpectSameTruss(back->trusses[i], full_oracle.trusses[i]);
+  }
+
+  watcher.Stop();
+  watcher.Stop();  // idempotent
+}
+
+TEST(FileWatcherTest, HalfWrittenFileIsRetriedNotServed) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  const std::string path = ::testing::TempDir() + "/file_watcher_torn.idx";
+  ASSERT_TRUE(SaveTcTreeToFile(tree, path).ok());
+
+  QueryService service(tree, net.dictionary(), {});
+  FileWatcherOptions options;
+  options.path = path;
+  options.poll_ms = 5;
+  FileWatcher watcher(service, options);
+  ASSERT_TRUE(watcher.Start().ok());
+
+  // Simulate a torn write: the loader must reject it, the failure is
+  // counted, and the old snapshot keeps serving.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "not an index";
+  }
+  ASSERT_TRUE(WaitFor([&] { return watcher.failures() >= 1; }));
+  EXPECT_EQ(watcher.reloads(), 0u);
+  const ServeQuery query{Itemset{0}, 0.1};
+  const auto still = service.Execute(query);
+  const TcTreeQueryResult oracle = QueryTcTree(tree, query.items, 0.1);
+  EXPECT_EQ(still->trusses.size(), oracle.trusses.size());
+
+  // The writer finishes (a valid file lands): the retry succeeds.
+  ASSERT_TRUE(SaveTcTreeToFile(tree, path).ok());
+  ASSERT_TRUE(WaitFor([&] { return watcher.reloads() >= 1; }));
+
+  watcher.Stop();
+}
+
+TEST(FileWatcherTest, StartRejectsEmptyPathAndDoubleStart) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+
+  FileWatcher empty(service, {});
+  EXPECT_TRUE(empty.Start().IsInvalidArgument());
+
+  FileWatcherOptions options;
+  options.path = ::testing::TempDir() + "/file_watcher_double.idx";
+  options.poll_ms = 5;
+  FileWatcher watcher(service, options);
+  ASSERT_TRUE(watcher.Start().ok());
+  EXPECT_TRUE(watcher.Start().IsInvalidArgument());
+  watcher.Stop();
+}
+
+}  // namespace
+}  // namespace tcf

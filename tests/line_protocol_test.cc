@@ -269,6 +269,12 @@ TEST(LineProtocolTest, StatsRoundTrip) {
   report.shards = 4;
   report.shard_queries = 2468;
   report.shard_reload_ms = 3.25;
+  report.updates = 3;
+  report.update_txs = 5;
+  report.update_edges = 2;
+  report.update_dirty_items = 9;
+  report.update_shards_swapped = 4;
+  report.last_update_ms = 6.5;
 
   const std::vector<std::string> lines = EncodeStats(report);
   auto decoded = DecodeStats(lines);
@@ -308,7 +314,15 @@ TEST(LineProtocolTest, StatsRoundTrip) {
   EXPECT_EQ(find("shards"), "4");
   EXPECT_EQ(find("shard_queries"), "2468");
   EXPECT_EQ(find("shard_reload_ms"), "3.25");
-  EXPECT_EQ(lines.back(), "shard_reload_ms 3.25");
+  // ...followed by the streaming-update keys (same additive rule; all
+  // zero until the first UPDATE frame).
+  EXPECT_EQ(find("updates"), "3");
+  EXPECT_EQ(find("update_txs"), "5");
+  EXPECT_EQ(find("update_edges"), "2");
+  EXPECT_EQ(find("update_dirty_items"), "9");
+  EXPECT_EQ(find("update_shards_swapped"), "4");
+  EXPECT_EQ(find("last_update_ms"), "6.5");
+  EXPECT_EQ(lines.back(), "last_update_ms 6.5");
 
   EXPECT_FALSE(DecodeStats({"keyonly"}).ok());
   EXPECT_FALSE(DecodeStats({""}).ok());

@@ -336,6 +336,105 @@ TEST(ResultCacheTest, EvictionUnlinksInvertedIndex) {
   EXPECT_EQ(covers[1].itemset, (Itemset{3}));
 }
 
+// --- Targeted invalidation (core/tc_tree_update.h roll-ins) -----------
+
+TEST(ResultCacheTest, InvalidateItemsDropsExactlyIntersectingEntries) {
+  ResultCacheOptions opts;
+  opts.num_shards = 4;
+  ResultCache cache(opts);
+  const auto old_tag = MakeTag();
+
+  // Every 3-subset of {0..5}; the property must hold per entry, across
+  // shards, whatever the dirty set.
+  std::vector<Itemset> patterns;
+  for (ItemId a = 0; a < 6; ++a) {
+    for (ItemId b = a + 1; b < 6; ++b) {
+      for (ItemId c = b + 1; c < 6; ++c) patterns.push_back(Itemset{a, b, c});
+    }
+  }
+  std::vector<std::shared_ptr<const TcTreeQueryResult>> values;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    values.push_back(MakeResult(2, i));
+    cache.Insert(patterns[i], 100, values[i], cache.epoch(), old_tag);
+  }
+
+  const std::vector<ItemId> dirty = {1, 4};
+  const auto new_tag = MakeTag();
+  cache.InvalidateItems(dirty, old_tag.get(), new_tag);
+
+  size_t survivors = 0;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const bool intersects =
+        patterns[i].Contains(1) || patterns[i].Contains(4);
+    auto hit = cache.Lookup(patterns[i], 100);
+    if (intersects) {
+      EXPECT_EQ(hit, nullptr) << patterns[i].ToString();
+    } else {
+      ++survivors;
+      ASSERT_NE(hit, nullptr) << patterns[i].ToString();
+      // Byte-identical: the very same shared payload, untouched.
+      EXPECT_EQ(hit.get(), values[i].get()) << patterns[i].ToString();
+    }
+  }
+  EXPECT_GT(survivors, 0u);
+  EXPECT_EQ(cache.Stats().entries, survivors);
+}
+
+TEST(ResultCacheTest, InvalidateItemsRetagsSurvivorsAsCovers) {
+  ResultCache cache;
+  const auto old_tag = MakeTag();
+  const auto foreign_tag = MakeTag();
+  cache.Insert(Itemset{1, 2}, 100, MakeResult(2, 1), cache.epoch(), old_tag);
+  cache.Insert(Itemset{2, 3}, 100, MakeResult(2, 2), cache.epoch(),
+               foreign_tag);
+  cache.Insert(Itemset{5, 6}, 100, MakeResult(2, 3), cache.epoch(), old_tag);
+  cache.Insert(Itemset{8, 9}, 100, MakeResult(2, 4));  // untagged
+
+  const auto new_tag = MakeTag();
+  cache.InvalidateItems({5}, old_tag.get(), new_tag);
+
+  // The clean old-snapshot entry was retagged: it now composes against
+  // the *new* snapshot. The foreign-tagged {2,3} was left alone, so it
+  // is not offered as a cover here — only {1,2} is.
+  auto covers = cache.LookupSubsets(Itemset{1, 2, 3}, 100, new_tag.get());
+  ASSERT_EQ(covers.size(), 1u);
+  EXPECT_EQ(covers[0].itemset, (Itemset{1, 2}));
+
+  // Foreign-tagged and untagged survivors still serve exact hits.
+  EXPECT_NE(cache.Lookup(Itemset{2, 3}, 100), nullptr);
+  EXPECT_NE(cache.Lookup(Itemset{8, 9}, 100), nullptr);
+  // The dirty-intersecting entry is gone entirely.
+  EXPECT_EQ(cache.Lookup(Itemset{5, 6}, 100), nullptr);
+}
+
+TEST(ResultCacheTest, InvalidateItemsDropsRacingStaleInserts) {
+  ResultCache cache;
+  const auto old_tag = MakeTag();
+  const auto new_tag = MakeTag();
+  const uint64_t epoch_seen = cache.epoch();
+  cache.InvalidateItems({1}, old_tag.get(), new_tag);
+  // A writer that read the epoch before the roll-in must drop its
+  // (possibly old-tree) value, exactly as with a full Invalidate().
+  cache.Insert(Itemset{7}, 100, MakeResult(2, 9), epoch_seen, new_tag);
+  EXPECT_EQ(cache.Lookup(Itemset{7}, 100), nullptr);
+  EXPECT_EQ(cache.Stats().invalidations, 1u);
+}
+
+TEST(ResultCacheTest, InvalidateItemsCoversSpeculativeEntries) {
+  ResultCacheOptions opts;
+  opts.admission_bytes_per_node = 0;  // admit every derived entry
+  ResultCache cache(opts);
+  const auto old_tag = MakeTag();
+  cache.Insert(Itemset{1, 2}, 100, MakeResult(2, 1), cache.epoch(), old_tag,
+               /*speculative=*/true);
+  cache.Insert(Itemset{3, 4}, 100, MakeResult(2, 2), cache.epoch(), old_tag,
+               /*speculative=*/true);
+  const auto new_tag = MakeTag();
+  cache.InvalidateItems({2}, old_tag.get(), new_tag);
+  EXPECT_EQ(cache.Lookup(Itemset{1, 2}, 100), nullptr);
+  EXPECT_NE(cache.Lookup(Itemset{3, 4}, 100), nullptr);
+}
+
 TEST(ResultCacheTest, ConcurrentSubsetTrafficIsSafe) {
   ResultCache cache({.capacity_bytes = size_t{1} << 18, .num_shards = 8});
   const auto tag = MakeTag();

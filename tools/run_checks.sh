@@ -21,7 +21,12 @@
 #    connection (a peer that dies mid-BATCH), assert every client exit
 #    code, check the server does not leak file descriptors across all of
 #    that traffic, and check it shuts down cleanly on SIGTERM.
-# 5. Repeat the network path against `tcf serve --shards=2`: the sharded
+# 5. Streaming-update smoke: push an UPDATE over the wire with
+#    `tcf client --update-tx/--update-edge`, check the STATS `updates`
+#    counter advances, and prove post-update answers match a second
+#    server whose index was rebuilt from scratch over the mutated
+#    network (the rebuild oracle, byte-for-byte on client output).
+# 6. Repeat the network path against `tcf serve --shards=2`: the sharded
 #    backend must answer the same traffic, STATS must expose the shard
 #    counters (shards / shard_queries / shard_reload_ms), EXPLAIN must
 #    report shards_probed, and RELOAD must roll shard by shard.
@@ -47,8 +52,10 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$NPROC"
 echo "== serve smoke =="
 TMP="$(mktemp -d)"
 SERVER_PID=""
+ORACLE_PID=""
 cleanup() {
   [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  [ -n "$ORACLE_PID" ] && kill "$ORACLE_PID" 2>/dev/null || true
   rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -176,6 +183,86 @@ exec 3<&- 3>&-
 "$TCF" client --port="$PORT" --ping --query="0.01;s1,s2" \
   || { echo "FAIL: server unhealthy after abrupt close"; exit 1; }
 echo "OK: server survived an abruptly closed mid-BATCH connection"
+
+echo "== streaming update smoke =="
+# UPDATE over the wire: one transaction + one edge pushed into the live
+# index through the client. The STATS `updates` counter must advance.
+U1="$("$TCF" client --port="$PORT" --stats \
+      | awk '$1 == "updates" { print $2 }')"
+[ -n "$U1" ] || { echo "FAIL: STATS lacks the updates counter"; exit 1; }
+"$TCF" client --port="$PORT" --update-tx="0:s1,s2" --update-edge="0-1"
+U2="$("$TCF" client --port="$PORT" --stats \
+      | awk '$1 == "updates" { print $2 }')"
+if [ "${U2:-0}" -le "${U1:-0}" ]; then
+  echo "FAIL: STATS updates counter did not advance ($U1 -> $U2)"; exit 1
+fi
+echo "OK: UPDATE accepted over the wire (updates $U1 -> $U2)"
+
+# An update referencing vocabulary the index was never built over must
+# be rejected atomically (client exits non-zero, server unharmed).
+if "$TCF" client --port="$PORT" --update-tx="0:no_such_item" 2>/dev/null
+then
+  echo "FAIL: unknown-item update did not fail the client"; exit 1
+fi
+"$TCF" client --port="$PORT" --ping
+
+# Post-update parity against the rebuild oracle: replay the same
+# mutation onto the text network, rebuild an index from scratch, serve
+# it from a second server, and require byte-identical client output.
+python3 - "$TMP/smoke.net" "$TMP/mutated.net" <<'PY'
+import sys
+src, dst = sys.argv[1], sys.argv[2]
+lines = open(src).read().splitlines()
+ids = {p[2]: p[1] for p in (l.split() for l in lines)
+       if p and p[0] == "i"}
+out = []
+i = 0
+while i < len(lines):
+    parts = lines[i].split()
+    if parts and parts[0] == "d" and parts[1] == "0":
+        n = int(parts[2])
+        out.append(f"d 0 {n + 1}")
+        for _ in range(n):
+            i += 1
+            out.append(lines[i])
+        # the transaction --update-tx=0:s1,s2 appended, in insert order
+        out.append(f"t {ids['s1']} {ids['s2']}")
+    elif parts and parts[0] == "end":
+        out.append("e 0 1")  # --update-edge=0-1 (builder dedups)
+        out.append(lines[i])
+    else:
+        out.append(lines[i])
+    i += 1
+open(dst, "w").write("\n".join(out) + "\n")
+PY
+"$TCF" index --in="$TMP/mutated.net" --out="$TMP/oracle.idx" --threads=2
+"$TCF" serve --in="$TMP/mutated.net" --index="$TMP/oracle.idx" --listen=0 \
+       --threads=2 --compose-min-us=0 > "$TMP/server_oracle.log" 2>&1 &
+ORACLE_PID=$!
+OPORT=""
+for _ in $(seq 100); do
+  OPORT="$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' \
+           "$TMP/server_oracle.log")"
+  [ -n "$OPORT" ] && break
+  kill -0 "$ORACLE_PID" 2>/dev/null || { echo "FAIL: oracle server died";
+                                         cat "$TMP/server_oracle.log";
+                                         exit 1; }
+  sleep 0.1
+done
+[ -n "$OPORT" ] || { echo "FAIL: oracle server never reported its port";
+                     exit 1; }
+for q in "0;s1,s2" "0.01;s1" "0.02;s2,s3"; do
+  "$TCF" client --port="$PORT" --query="$q" >> "$TMP/live.out"
+  "$TCF" client --port="$OPORT" --query="$q" >> "$TMP/oracle.out"
+done
+diff "$TMP/live.out" "$TMP/oracle.out" || {
+  echo "FAIL: post-update answers diverge from the rebuild oracle"
+  exit 1
+}
+echo "OK: post-update answers match the from-scratch rebuild oracle"
+kill -TERM "$ORACLE_PID"
+wait "$ORACLE_PID" || { echo "FAIL: oracle server exited non-zero"; exit 1; }
+ORACLE_PID=""
 
 # Hot-reload: rebuild the index (single-threaded this time, same tree)
 # and roll it in under the running server, then query again.

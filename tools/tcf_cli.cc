@@ -38,7 +38,8 @@
 //   serve   --in=FILE --listen=PORT [--host=ADDR] [--index=FILE.idx]
 //           [--threads=T] [--build-threads=B] [--cache-mb=M]
 //           [--max-conns=C] [--max-nodes=N] [--no-reload]
-//           [--compose-min-us=U]
+//           [--compose-min-us=U] [--no-update] [--update-threads=T]
+//           [--watch=FILE.idx] [--watch-ms=M]
 //       Long-lived server mode (mutually exclusive with --workload):
 //       answer remote clients over the TCF1 line protocol
 //       (docs/serve-protocol.md) on ADDR:PORT (default 127.0.0.1;
@@ -47,23 +48,33 @@
 //       descriptor, not a thread); T workers (default 4) execute ready
 //       requests; C caps open connections (default 0 = unlimited).
 //       RELOAD lets a client hot-swap in a rebuilt index unless
-//       --no-reload is given. SIGINT/SIGTERM shut down gracefully and
-//       print the final serving report.
+//       --no-reload is given. The UPDATE verb streams transaction/edge
+//       insertions into the live index through the incremental
+//       maintainer (core/tc_tree_update.h) unless --no-update is given
+//       (--update-threads sizes its re-peel pool, default
+//       --build-threads). --watch polls FILE.idx every M ms (default
+//       500) and hot-swaps each new version in — reload-on-write, no
+//       client needed. SIGINT/SIGTERM shut down gracefully and print
+//       the final serving report.
 //   client  --port=PORT [--host=ADDR] [--ping] [--reload=FILE.idx]
 //           [--query=LINE] [--explain=LINE] [--batch=FILE]
 //           [--batch-size=B] [--workload=FILE] [--stats] [--metrics]
+//           [--update-tx=V:a,b;...] [--update-edge=U-V;...]
 //       Connect to a running `tcf serve --listen` server and run the
-//       given actions in order (ping, reload, query, explain, batch,
-//       workload, stats, metrics), always ending with QUIT. --query
-//       takes one `alpha;item,...` line and prints the returned
+//       given actions in order (ping, reload, update, query, explain,
+//       batch, workload, stats, metrics), always ending with QUIT.
+//       --query takes one `alpha;item,...` line and prints the returned
 //       communities; --explain answers the same line server-side but
 //       prints its stage-timed trace (docs/observability.md); --batch
 //       streams a workload file as pipelined `BATCH` exchanges of B
 //       queries per round trip (default 128); --workload streams it one
 //       request per round trip and prints one count per query;
 //       --metrics scrapes the server's registry and prints the
-//       Prometheus text exposition verbatim. Exits non-zero if any
-//       action fails.
+//       Prometheus text exposition verbatim. --update-tx appends
+//       transactions (`vertex:name,name`; ';'-separated for several)
+//       and --update-edge inserts edges (`u-v;...`); both ride in ONE
+//       atomic UPDATE exchange and print the server's apply summary.
+//       Exits non-zero if any action fails.
 //
 // Global flags (any subcommand):
 //   --log-level=debug|info|warn|error
@@ -92,7 +103,9 @@
 #include "gen/syn_generator.h"
 #include "net/network_io.h"
 #include "net/stats.h"
+#include "core/tc_tree_update.h"
 #include "serve/client.h"
+#include "serve/file_watcher.h"
 #include "serve/line_protocol.h"
 #include "serve/query_backend.h"
 #include "serve/query_service.h"
@@ -187,11 +200,13 @@ int Usage() {
                "[--index=FILE.idx] [--threads=T] [--build-threads=B] "
                "[--cache-mb=M] [--max-conns=C] [--max-nodes=N] "
                "[--shards=N] [--no-reload] [--compose-min-us=U] "
-               "[--slow-us=U] [--no-trace]\n"
+               "[--slow-us=U] [--no-trace] [--no-update] "
+               "[--update-threads=T] [--watch=FILE.idx] [--watch-ms=M]\n"
                "  client   --port=PORT [--host=ADDR] [--ping] "
                "[--reload=FILE.idx] [--query=LINE] [--explain=LINE] "
                "[--batch=FILE] [--batch-size=B] [--workload=FILE] "
-               "[--stats] [--metrics]\n");
+               "[--stats] [--metrics] [--update-tx=V:a,b;...] "
+               "[--update-edge=U-V;...]\n");
   return 2;
 }
 
@@ -503,8 +518,9 @@ void HandleStopSignal(int) { g_stop = 1; }
 
 /// `tcf serve --listen=PORT`: long-lived line-protocol server over a
 /// QueryService (see docs/serve-protocol.md). Returns on SIGINT/SIGTERM
-/// after a graceful TcpServer::Shutdown.
-int ServeListen(const Args& args, const DatabaseNetwork& net,
+/// after a graceful TcpServer::Shutdown. Takes the network by value:
+/// the streaming updater becomes its owner (UPDATE mutates it).
+int ServeListen(const Args& args, DatabaseNetwork net,
                 const std::string& listen) {
   auto port = ParseUint64(listen);
   if (!port.ok() || *port > 65535) {
@@ -525,9 +541,34 @@ int ServeListen(const Args& args, const DatabaseNetwork& net,
       args.GetDouble("compose-min-us", 100.0);
   ApplyTracingArgs(args, &service_options);
   const size_t shards = args.GetUint("shards", 1);
+  // Streaming updates need the served tree as the updater's baseline;
+  // copy it before the backend consumes the original.
+  const bool allow_update = args.Get("no-update", "") != "true";
+  std::optional<TcTree> updater_tree;
+  if (allow_update) updater_tree = *tree;
   std::unique_ptr<QueryBackend> backend =
       MakeBackend(args, std::move(*tree), net.dictionary(), service_options);
   QueryBackend& service = *backend;
+
+  // The updater owns the authoritative network and sinks every
+  // incrementally rebuilt snapshot into the backend's shard-aware
+  // swap; its build options pin the replay to the served tree's.
+  // Destroyed before the backend (declared after), after the server
+  // (declared before) — both reference it.
+  std::unique_ptr<IndexUpdater> updater;
+  if (allow_update) {
+    TcTreeOptions update_options;
+    update_options.num_threads =
+        args.GetUint("update-threads", BuildThreadsArg(args));
+    update_options.max_nodes = args.GetUint("max-nodes", 2000000);
+    updater = std::make_unique<IndexUpdater>(
+        std::move(net), std::move(*updater_tree),
+        [&service](TcTree t, const std::vector<ItemId>& roots,
+                   const std::vector<ItemId>& dirty) {
+          return service.ApplyUpdatedSnapshot(std::move(t), roots, dirty);
+        },
+        update_options);
+  }
 
   TcpServerOptions server_options;
   server_options.bind_address = args.Get("host", "127.0.0.1");
@@ -535,6 +576,7 @@ int ServeListen(const Args& args, const DatabaseNetwork& net,
   server_options.num_threads = threads;
   server_options.max_connections = args.GetUint("max-conns", 0);
   server_options.allow_reload = args.Get("no-reload", "") != "true";
+  server_options.updater = updater.get();
   TcpServer server(service, server_options);
   // Handlers go in *before* the listening banner: a supervisor that
   // greps the log and immediately signals must still get the graceful
@@ -545,17 +587,36 @@ int ServeListen(const Args& args, const DatabaseNetwork& net,
     std::fprintf(stderr, "serve: %s\n", s.ToString().c_str());
     return 1;
   }
+
+  // Reload-on-write: watch an index file and hot-swap each new version
+  // (the push-free counterpart of the RELOAD verb).
+  std::unique_ptr<FileWatcher> watcher;
+  if (const std::string watch = args.Get("watch", ""); !watch.empty()) {
+    FileWatcherOptions watch_options;
+    watch_options.path = watch;
+    watch_options.poll_ms = args.GetDouble("watch-ms", 500.0);
+    watcher = std::make_unique<FileWatcher>(service, watch_options);
+    if (Status s = watcher->Start(); !s.ok()) {
+      std::fprintf(stderr, "serve: watch: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("serve: watching %s (every %.0f ms)\n", watch.c_str(),
+                watch_options.poll_ms);
+  }
+
   std::printf("serve: listening on %s:%u (epoll loop, %zu workers, "
-              "%zu MiB cache, %zu shard%s, reload %s)\n",
+              "%zu MiB cache, %zu shard%s, reload %s, update %s)\n",
               server.bind_address().c_str(), server.port(), threads,
               cache_mb, std::max<size_t>(1, shards), shards >= 2 ? "s" : "",
-              server_options.allow_reload ? "on" : "off");
+              server_options.allow_reload ? "on" : "off",
+              allow_update ? "on" : "off");
   std::fflush(stdout);  // the smoke test greps a redirected log for this
 
   while (!g_stop) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   std::printf("serve: shutting down\n");
+  if (watcher) watcher->Stop();
   server.Shutdown();
   service.Report().ToTable().Print(std::cout);
   PrintSlowQueries(service);
@@ -575,7 +636,7 @@ int CmdServe(const Args& args) {
                  "serve: --listen and --workload are mutually exclusive\n");
     return 2;
   }
-  if (!listen.empty()) return ServeListen(args, *net, listen);
+  if (!listen.empty()) return ServeListen(args, std::move(*net), listen);
   if (workload_path.empty()) {
     std::fprintf(stderr,
                  "serve: --workload=FILE or --listen=PORT is required\n");
@@ -722,6 +783,56 @@ int CmdClient(const Args& args) {
     }
     std::printf("reloaded %s: %llu nodes\n", path.c_str(),
                 static_cast<unsigned long long>(*nodes));
+  }
+
+  const std::string update_txs = args.Get("update-tx", "");
+  const std::string update_edges = args.Get("update-edge", "");
+  if (!update_txs.empty() || !update_edges.empty()) {
+    // Both flags fold into ONE atomic UPDATE exchange: either the whole
+    // batch lands or none of it does.
+    std::vector<std::string> lines;
+    for (const std::string& spec : Split(update_txs, ';')) {
+      const std::string_view t = Trim(spec);
+      if (t.empty()) continue;
+      const size_t colon = t.find(':');
+      if (colon == std::string_view::npos || colon == 0 ||
+          colon + 1 == t.size()) {
+        std::fprintf(stderr,
+                     "client: --update-tx spec '%.*s' is not "
+                     "'vertex:name,name,...'\n",
+                     static_cast<int>(t.size()), t.data());
+        return 2;
+      }
+      lines.push_back(StrFormat("tx %.*s %.*s", static_cast<int>(colon),
+                                t.data(), static_cast<int>(t.size() - colon - 1),
+                                t.data() + colon + 1));
+    }
+    for (const std::string& spec : Split(update_edges, ';')) {
+      const std::string_view t = Trim(spec);
+      if (t.empty()) continue;
+      const size_t dash = t.find('-');
+      if (dash == std::string_view::npos || dash == 0 ||
+          dash + 1 == t.size()) {
+        std::fprintf(stderr,
+                     "client: --update-edge spec '%.*s' is not 'u-v'\n",
+                     static_cast<int>(t.size()), t.data());
+        return 2;
+      }
+      lines.push_back(StrFormat("edge %.*s %.*s", static_cast<int>(dash),
+                                t.data(), static_cast<int>(t.size() - dash - 1),
+                                t.data() + dash + 1));
+    }
+    auto summary = (*client)->Update(lines);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "client: update: %s\n",
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("updated (%zu line%s):\n", lines.size(),
+                lines.size() == 1 ? "" : "s");
+    for (const auto& [key, value] : *summary) {
+      std::printf("%-22s %s\n", key.c_str(), value.c_str());
+    }
   }
 
   if (const std::string query = args.Get("query", ""); !query.empty()) {
