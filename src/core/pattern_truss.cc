@@ -51,6 +51,13 @@ void IntersectEdgeSetsInto(const std::vector<Edge>& a,
 void FillVerticesFromEdges(const std::vector<VertexId>& superset_vertices,
                            const std::vector<double>& superset_frequencies,
                            PatternTruss* truss) {
+  FillVerticesFromEdges(superset_vertices.data(), superset_frequencies.data(),
+                        superset_vertices.size(), truss);
+}
+
+void FillVerticesFromEdges(const VertexId* superset_vertices,
+                           const double* superset_frequencies,
+                           size_t superset_size, PatternTruss* truss) {
   truss->vertices.clear();
   truss->frequencies.clear();
   std::vector<VertexId> endpoints;
@@ -64,13 +71,12 @@ void FillVerticesFromEdges(const std::vector<VertexId>& superset_vertices,
                   endpoints.end());
   truss->vertices = std::move(endpoints);
   truss->frequencies.reserve(truss->vertices.size());
+  const VertexId* superset_end = superset_vertices + superset_size;
   for (VertexId v : truss->vertices) {
-    auto it = std::lower_bound(superset_vertices.begin(),
-                               superset_vertices.end(), v);
+    auto it = std::lower_bound(superset_vertices, superset_end, v);
     double f = 0.0;
-    if (it != superset_vertices.end() && *it == v) {
-      f = superset_frequencies[static_cast<size_t>(
-          it - superset_vertices.begin())];
+    if (it != superset_end && *it == v) {
+      f = superset_frequencies[static_cast<size_t>(it - superset_vertices)];
     }
     truss->frequencies.push_back(f);
   }

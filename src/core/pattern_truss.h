@@ -63,6 +63,12 @@ void FillVerticesFromEdges(const std::vector<VertexId>& superset_vertices,
                            const std::vector<double>& superset_frequencies,
                            PatternTruss* truss);
 
+/// Pointer/count flavor of the same, for callers whose superset arrays
+/// live in a mapped arena (core/tcfi_format.h) rather than vectors.
+void FillVerticesFromEdges(const VertexId* superset_vertices,
+                           const double* superset_frequencies,
+                           size_t superset_size, PatternTruss* truss);
+
 }  // namespace tcf
 
 #endif  // TCF_CORE_PATTERN_TRUSS_H_

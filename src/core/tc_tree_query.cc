@@ -4,11 +4,61 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/tcfi_format.h"
+
 namespace tcf {
 
-TcTreeQueryResult QueryTcTree(const TcTree& tree, const Itemset& q,
-                              double alpha_q,
-                              const TcTreeQueryOptions& options) {
+namespace {
+
+// The walks below are templated over a *tree view* so the owned
+// (TcTree) and mapped (MappedTcTree, core/tcfi_format.h) snapshots run
+// the exact same traversal — same visit order, same counters, same
+// truss assembly — and therefore produce byte-identical answers for the
+// same index bytes. The views adapt only the arena access: vector
+// members on one side, mapped CSR slices on the other.
+
+struct OwnedTreeView {
+  const TcTree& t;
+  using NodeId = TcTree::NodeId;
+
+  size_t num_children(NodeId id) const { return t.node(id).children.size(); }
+  NodeId child(NodeId id, size_t k) const { return t.node(id).children[k]; }
+  ItemId item(NodeId id) const { return t.node(id).item; }
+  CohesionValue max_alpha(NodeId id) const {
+    return t.node(id).decomposition.max_alpha();
+  }
+  std::vector<Edge> EdgesAtAlphaQ(NodeId id, CohesionValue aq) const {
+    return t.node(id).decomposition.EdgesAtAlphaQ(aq);
+  }
+  Itemset PatternOf(NodeId id) const { return t.PatternOf(id); }
+  void FillVertices(NodeId id, PatternTruss* truss) const {
+    const TrussDecomposition& d = t.node(id).decomposition;
+    FillVerticesFromEdges(d.vertices(), d.frequencies(), truss);
+  }
+};
+
+struct MappedTreeView {
+  const MappedTcTree& t;
+  using NodeId = MappedTcTree::NodeId;
+
+  size_t num_children(NodeId id) const { return t.num_children(id); }
+  NodeId child(NodeId id, size_t k) const { return t.children(id)[k]; }
+  ItemId item(NodeId id) const { return t.item(id); }
+  CohesionValue max_alpha(NodeId id) const { return t.node_max_alpha(id); }
+  std::vector<Edge> EdgesAtAlphaQ(NodeId id, CohesionValue aq) const {
+    return t.EdgesAtAlphaQ(id, aq);
+  }
+  Itemset PatternOf(NodeId id) const { return t.PatternOf(id); }
+  void FillVertices(NodeId id, PatternTruss* truss) const {
+    FillVerticesFromEdges(t.vertices(id), t.frequencies(id),
+                          t.num_vertices(id), truss);
+  }
+};
+
+template <typename View>
+TcTreeQueryResult QueryWalk(const View& tree, const Itemset& q,
+                            double alpha_q,
+                            const TcTreeQueryOptions& options) {
   TcTreeQueryResult result;
   const CohesionValue aq = QuantizeAlpha(alpha_q);
 
@@ -21,17 +71,18 @@ TcTreeQueryResult QueryTcTree(const TcTree& tree, const Itemset& q,
     }
     const TcTree::NodeId f = queue.front();
     queue.pop_front();
-    for (TcTree::NodeId c : tree.node(f).children) {
-      const TcTree::Node& child = tree.node(c);
-      if (!q.Contains(child.item)) continue;  // subtree can't be ⊆ q
+    const size_t fanout = tree.num_children(f);
+    for (size_t k = 0; k < fanout; ++k) {
+      const TcTree::NodeId c = tree.child(f, k);
+      if (!q.Contains(tree.item(c))) continue;  // subtree can't be ⊆ q
       ++result.visited_nodes;
-      if (child.decomposition.max_alpha() <= aq) {  // empty at α_q
+      if (tree.max_alpha(c) <= aq) {  // empty at α_q
         ++result.pruned_subtrees;
         continue;
       }
       PatternTruss truss;
       truss.pattern = tree.PatternOf(c);
-      truss.edges = child.decomposition.EdgesAtAlphaQ(aq);
+      truss.edges = tree.EdgesAtAlphaQ(c, aq);
       if (truss.edges.empty()) {
         ++result.pruned_subtrees;
         continue;
@@ -45,8 +96,7 @@ TcTreeQueryResult QueryTcTree(const TcTree& tree, const Itemset& q,
         continue;
       }
       if (options.materialize_vertices) {
-        FillVerticesFromEdges(child.decomposition.vertices(),
-                              child.decomposition.frequencies(), &truss);
+        tree.FillVertices(c, &truss);
       }
       result.trusses.push_back(std::move(truss));
       ++result.retrieved_nodes;
@@ -55,14 +105,15 @@ TcTreeQueryResult QueryTcTree(const TcTree& tree, const Itemset& q,
   return result;
 }
 
-TcTreeQueryResult ComposeTcTreeQuery(const TcTree& tree, const Itemset& q,
-                                     double alpha_q,
-                                     const std::vector<SubPatternCover>& covers,
-                                     const TcTreeQueryOptions& options,
-                                     TcTreeComposeStats* compose_stats) {
+template <typename View>
+TcTreeQueryResult ComposeWalk(const View& tree, const Itemset& q,
+                              double alpha_q,
+                              const std::vector<SubPatternCover>& covers,
+                              const TcTreeQueryOptions& options,
+                              TcTreeComposeStats* compose_stats) {
   if (covers.empty() || covers.size() > 64 || options.min_truss_edges != 0 ||
       options.max_results != 0) {
-    return QueryTcTree(tree, q, alpha_q, options);
+    return QueryWalk(tree, q, alpha_q, options);
   }
   const CohesionValue aq = QuantizeAlpha(alpha_q);
 
@@ -91,13 +142,15 @@ TcTreeQueryResult ComposeTcTreeQuery(const TcTree& tree, const Itemset& q,
   while (!queue.empty()) {
     const auto [f, mask] = queue.front();
     queue.pop_front();
-    for (TcTree::NodeId c : tree.node(f).children) {
-      const TcTree::Node& child = tree.node(c);
-      if (!q.Contains(child.item)) continue;  // subtree can't be ⊆ q
+    const size_t fanout = tree.num_children(f);
+    for (size_t k = 0; k < fanout; ++k) {
+      const TcTree::NodeId c = tree.child(f, k);
+      const ItemId child_item = tree.item(c);
+      if (!q.Contains(child_item)) continue;  // subtree can't be ⊆ q
       ++result.visited_nodes;
       uint64_t child_mask = 0;
       if (mask != 0) {
-        const auto it = item_masks.find(child.item);
+        const auto it = item_masks.find(child_item);
         if (it != item_masks.end()) child_mask = mask & it->second;
       }
       if (child_mask != 0) {
@@ -122,21 +175,20 @@ TcTreeQueryResult ComposeTcTreeQuery(const TcTree& tree, const Itemset& q,
       // supersets of an uncovered pattern stay uncovered, for anything
       // below it — hence mask 0 on descent). Same arithmetic as
       // QueryTcTree.
-      if (child.decomposition.max_alpha() <= aq) {
+      if (tree.max_alpha(c) <= aq) {
         ++result.pruned_subtrees;
         continue;
       }
       PatternTruss truss;
       truss.pattern = tree.PatternOf(c);
-      truss.edges = child.decomposition.EdgesAtAlphaQ(aq);
+      truss.edges = tree.EdgesAtAlphaQ(c, aq);
       if (truss.edges.empty()) {
         ++result.pruned_subtrees;
         continue;
       }
       queue.emplace_back(c, uint64_t{0});
       if (options.materialize_vertices) {
-        FillVerticesFromEdges(child.decomposition.vertices(),
-                              child.decomposition.frequencies(), &truss);
+        tree.FillVertices(c, &truss);
       }
       result.trusses.push_back(std::move(truss));
       ++result.retrieved_nodes;
@@ -144,6 +196,38 @@ TcTreeQueryResult ComposeTcTreeQuery(const TcTree& tree, const Itemset& q,
     }
   }
   return result;
+}
+
+}  // namespace
+
+TcTreeQueryResult QueryTcTree(const TcTree& tree, const Itemset& q,
+                              double alpha_q,
+                              const TcTreeQueryOptions& options) {
+  return QueryWalk(OwnedTreeView{tree}, q, alpha_q, options);
+}
+
+TcTreeQueryResult QueryTcTree(const MappedTcTree& tree, const Itemset& q,
+                              double alpha_q,
+                              const TcTreeQueryOptions& options) {
+  return QueryWalk(MappedTreeView{tree}, q, alpha_q, options);
+}
+
+TcTreeQueryResult ComposeTcTreeQuery(const TcTree& tree, const Itemset& q,
+                                     double alpha_q,
+                                     const std::vector<SubPatternCover>& covers,
+                                     const TcTreeQueryOptions& options,
+                                     TcTreeComposeStats* compose_stats) {
+  return ComposeWalk(OwnedTreeView{tree}, q, alpha_q, covers, options,
+                     compose_stats);
+}
+
+TcTreeQueryResult ComposeTcTreeQuery(const MappedTcTree& tree,
+                                     const Itemset& q, double alpha_q,
+                                     const std::vector<SubPatternCover>& covers,
+                                     const TcTreeQueryOptions& options,
+                                     TcTreeComposeStats* compose_stats) {
+  return ComposeWalk(MappedTreeView{tree}, q, alpha_q, covers, options,
+                     compose_stats);
 }
 
 TcTreeQueryResult DeriveSubResult(const TcTreeQueryResult& full,

@@ -9,6 +9,8 @@
 
 namespace tcf {
 
+class MappedTcTree;  // core/tcfi_format.h
+
 /// Query-time knobs.
 struct TcTreeQueryOptions {
   /// When false, results carry edges only (vertices/frequencies skipped),
@@ -44,6 +46,13 @@ struct TcTreeQueryResult {
 /// descendant pattern can be ⊆ q) and its reconstructed truss at α_q is
 /// non-empty (otherwise Prop. 5.2 empties the whole subtree).
 TcTreeQueryResult QueryTcTree(const TcTree& tree, const Itemset& q,
+                              double alpha_q,
+                              const TcTreeQueryOptions& options = {});
+
+/// The same pruned BFS straight over a zero-copy mapped snapshot
+/// (core/tcfi_format.h). Both overloads instantiate one templated walk,
+/// so results are byte-identical for the same index bytes.
+TcTreeQueryResult QueryTcTree(const MappedTcTree& tree, const Itemset& q,
                               double alpha_q,
                               const TcTreeQueryOptions& options = {});
 
@@ -85,6 +94,14 @@ struct TcTreeComposeStats {
 /// proof). Violations (or > 64 covers) fall back to a plain QueryTcTree.
 TcTreeQueryResult ComposeTcTreeQuery(const TcTree& tree, const Itemset& q,
                                      double alpha_q,
+                                     const std::vector<SubPatternCover>& covers,
+                                     const TcTreeQueryOptions& options = {},
+                                     TcTreeComposeStats* compose_stats =
+                                         nullptr);
+
+/// Composition over a mapped snapshot — same walk, same guarantees.
+TcTreeQueryResult ComposeTcTreeQuery(const MappedTcTree& tree,
+                                     const Itemset& q, double alpha_q,
                                      const std::vector<SubPatternCover>& covers,
                                      const TcTreeQueryOptions& options = {},
                                      TcTreeComposeStats* compose_stats =

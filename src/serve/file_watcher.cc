@@ -5,7 +5,7 @@
 #include <chrono>
 #include <utility>
 
-#include "core/tc_tree_io.h"
+#include "core/tcfi_format.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -20,8 +20,13 @@ FileWatcher::Fingerprint FileWatcher::Stat(const std::string& path) {
   struct stat st;
   Fingerprint fp;
   if (::stat(path.c_str(), &st) != 0) return fp;  // absent: {-1, -1}
+#ifdef __APPLE__
+  fp.mtime_ns = static_cast<int64_t>(st.st_mtimespec.tv_sec) * 1000000000 +
+                st.st_mtimespec.tv_nsec;
+#else
   fp.mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
                 st.st_mtim.tv_nsec;
+#endif
   fp.size = static_cast<int64_t>(st.st_size);
   return fp;
 }
@@ -65,16 +70,30 @@ void FileWatcher::Loop() {
 
     const Fingerprint now = Stat(options_.path);
     if (!(now == last_seen_) && now.mtime_ns >= 0) {
+      // A changed TCFI file is probed first: the header carries its own
+      // checksum and the file size it expects, so a writer mid-copy is
+      // detected with a 232-byte read instead of a failed full load.
+      // Skips leave last_seen_ alone — the finished write's mtime bump
+      // (or the next tick) retries.
+      if (LooksLikeTcfiFile(options_.path)) {
+        const Status probe = ProbeTcfiFile(options_.path);
+        if (!probe.ok()) {
+          skipped_.fetch_add(1, std::memory_order_acq_rel);
+          TCF_LOG(Warn) << "watch " << options_.path
+                        << ": tcfi header probe failed (write in "
+                        << "progress?): " << probe.ToString();
+          lock.lock();
+          continue;
+        }
+      }
       WallTimer timer;
-      auto tree = LoadTcTreeFromFile(options_.path);
-      if (tree.ok()) {
-        const size_t nodes = tree->num_nodes();
-        backend_.SwapSnapshot(std::move(*tree));
+      auto reloaded = backend_.ReloadFromFile(options_.path);
+      if (reloaded.ok()) {
         const double ms = timer.Millis();
         backend_.stats().RecordReload(ms);
         reloads_.fetch_add(1, std::memory_order_acq_rel);
         last_seen_ = now;
-        TCF_LOG(Info) << "watch " << options_.path << ": " << nodes
+        TCF_LOG(Info) << "watch " << options_.path << ": " << *reloaded
                       << " nodes swapped in over live traffic in " << ms
                       << " ms";
       } else {
@@ -83,7 +102,7 @@ void FileWatcher::Loop() {
         failures_.fetch_add(1, std::memory_order_acq_rel);
         TCF_LOG(Warn) << "watch " << options_.path
                       << ": changed but not loadable yet: "
-                      << tree.status().ToString();
+                      << reloaded.status().ToString();
       }
     } else if (now.mtime_ns < 0 && last_seen_.mtime_ns >= 0) {
       // Deleted: keep serving the last good snapshot, re-arm on return.

@@ -15,7 +15,8 @@ namespace tcf {
 
 /// Configuration of a FileWatcher.
 struct FileWatcherOptions {
-  /// Index file (core/tc_tree_io.h format) to watch. Need not exist at
+  /// Index file to watch — TCFT (core/tc_tree_io.h) or TCFI
+  /// (core/tcfi_format.h), sniffed per reload. Need not exist at
   /// Start(): the watcher arms on its first appearance.
   std::string path;
   /// Poll cadence. mtime polling (not inotify) keeps the watcher
@@ -30,13 +31,17 @@ struct FileWatcherOptions {
 /// The operational complement of the RELOAD verb: instead of a client
 /// pushing a reload, the server watches the artifact the index build
 /// pipeline writes and swaps every new version in through the same
-/// epoch-safe `SwapSnapshot` path (full invalidation semantics, counted
-/// in `reloads`/`last_reload_ms` like a wire RELOAD). A half-written
-/// file is harmless: the loader's validation rejects it, the failure is
-/// counted, and the *next* mtime change (the writer finishing, or the
-/// recommended rename-into-place) retries. Writers should still prefer
-/// write-to-temp + rename, which makes the swap atomic at the
-/// filesystem level.
+/// epoch-safe snapshot-swap path (full invalidation semantics, counted
+/// in `reloads`/`last_reload_ms` like a wire RELOAD), format-sniffed by
+/// `ReloadFromFile` — a `.tcfi` file installs as a zero-copy mapped
+/// snapshot. A half-written file is harmless: a TCFI file is *probed*
+/// first (header + checksum, a 232-byte read — ProbeTcfiFile) and a
+/// failing probe is counted in `skipped`, not `failures`, with no load
+/// attempted; a non-TCFI file that fails the loader's validation counts
+/// a failure. Either way the watcher leaves `last_seen_` alone so the
+/// next tick (or the finished write's mtime bump) retries. Writers
+/// should still prefer write-to-temp + rename (SaveTcTreeBinary does),
+/// which makes the swap atomic at the filesystem level.
 class FileWatcher {
  public:
   /// `backend` must outlive the watcher.
@@ -60,6 +65,10 @@ class FileWatcher {
   uint64_t failures() const {
     return failures_.load(std::memory_order_acquire);
   }
+  /// Changed TCFI files whose header probe said "not done being
+  /// written" (bad or truncated header/checksum) — skipped without
+  /// attempting a load, retried on a later tick.
+  uint64_t skipped() const { return skipped_.load(std::memory_order_acquire); }
 
  private:
   /// (mtime ns, size) — enough to see every completed write, including
@@ -82,6 +91,7 @@ class FileWatcher {
   std::thread thread_;
   std::atomic<uint64_t> reloads_{0};
   std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> skipped_{0};
   std::mutex mu_;
   std::condition_variable cv_;  // wakes the poll loop for prompt Stop()
   bool stopping_ = false;       // guarded by mu_

@@ -2,6 +2,7 @@
 #define TCF_SERVE_QUERY_BACKEND_H_
 
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -78,6 +79,18 @@ class QueryBackend {
 
   /// Installs a new tree snapshot under live traffic (RELOAD).
   virtual void SwapSnapshot(TcTree tree) = 0;
+
+  /// Reloads the index from `path` under live traffic and returns the
+  /// pattern-bearing node count installed. A `.tcfi` file (sniffed by
+  /// magic) takes the zero-copy path: mmap + O(1) validation + epoch
+  /// swap — no parse, no per-node heap build; anything else goes
+  /// through the streaming TCFT loader. Every RELOAD surface (the wire
+  /// verb, `--watch`, operational tooling) funnels through here so the
+  /// format dispatch lives in one place. The default implementation
+  /// works for any backend via SwapSnapshot (materializing a mapped
+  /// file); QueryService and ShardedQueryService override it to install
+  /// mapped snapshots directly.
+  virtual StatusOr<size_t> ReloadFromFile(const std::string& path);
 
   /// Installs an *incrementally updated* snapshot (the UPDATE verb /
   /// IndexUpdater sink; core/tc_tree_update.h). `changed_roots` are the

@@ -6,12 +6,13 @@
 
 #include "core/cohesion.h"
 #include "core/tc_tree_io.h"
+#include "core/tcfi_format.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
 namespace tcf {
 
-QueryService::QueryService(TcTree tree, ItemDictionary dictionary,
+QueryService::QueryService(TcTreeSnapshot snapshot, ItemDictionary dictionary,
                            const QueryServiceOptions& options)
     : slow_log_(options.tracing ? options.slow_query_us : 0,
                 options.slow_log_capacity),
@@ -44,7 +45,7 @@ QueryService::QueryService(TcTree tree, ItemDictionary dictionary,
           "Queries admitted to the slow-query ring")),
       query_total_us_(metrics_.GetHistogram(
           "tcf_query_total_us", "End-to-end Execute wall microseconds")),
-      snapshot_(std::make_shared<const TcTree>(std::move(tree))) {
+      snapshot_(std::make_shared<const TcTreeSnapshot>(std::move(snapshot))) {
   for (size_t i = 0; i < kNumQueryStages; ++i) {
     const auto stage = static_cast<QueryStage>(i);
     stage_us_[i] = &metrics_.GetHistogram(
@@ -98,13 +99,19 @@ QueryService::QueryService(TcTree tree, ItemDictionary dictionary,
 StatusOr<std::unique_ptr<QueryService>> QueryService::Open(
     const std::string& index_path, ItemDictionary dictionary,
     const QueryServiceOptions& options) {
+  if (LooksLikeTcfiFile(index_path)) {
+    auto mapped = MapTcTree(index_path);
+    if (!mapped.ok()) return mapped.status();
+    return std::make_unique<QueryService>(TcTreeSnapshot(std::move(*mapped)),
+                                          std::move(dictionary), options);
+  }
   auto tree = LoadTcTreeFromFile(index_path);
   if (!tree.ok()) return tree.status();
   return std::make_unique<QueryService>(std::move(*tree),
                                         std::move(dictionary), options);
 }
 
-std::shared_ptr<const TcTree> QueryService::snapshot() const {
+std::shared_ptr<const TcTreeSnapshot> QueryService::snapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;
 }
@@ -141,7 +148,7 @@ void QueryService::RecordWalkMicros(double micros) {
 
 void QueryService::AdmitDerivedSubsets(
     const Itemset& items, CohesionValue alpha_q, const Result& result,
-    uint64_t epoch_seen, const std::shared_ptr<const TcTree>& tree) {
+    uint64_t epoch_seen, const std::shared_ptr<const TcTreeSnapshot>& snap) {
   if (!options_.cache_admit_derived || !ShouldCompose(items) ||
       items.size() > 8) {
     return;
@@ -151,7 +158,7 @@ void QueryService::AdmitDerivedSubsets(
     cache_->Insert(sub, alpha_q,
                    std::make_shared<TcTreeQueryResult>(
                        DeriveSubResult(*result, sub)),
-                   epoch_seen, tree, /*speculative=*/true);
+                   epoch_seen, snap, /*speculative=*/true);
   }
 }
 
@@ -224,7 +231,7 @@ QueryService::Result QueryService::Execute(const ServeQuery& query,
   // Read the cache epoch *before* picking the snapshot: if a swap lands
   // while we compute, the epoch check in Insert drops our stale answer.
   const uint64_t epoch = cache_ ? cache_->epoch() : 0;
-  const std::shared_ptr<const TcTree> tree = snapshot();
+  const std::shared_ptr<const TcTreeSnapshot> snap = snapshot();
 
   std::shared_ptr<TcTreeQueryResult> result;
   if (cache_ && ShouldCompose(query.items) && !ShouldSampleWalk()) {
@@ -234,7 +241,7 @@ QueryService::Result QueryService::Execute(const ServeQuery& query,
     // plan empty — never mix answers from two trees.
     StageSpan compose(t, QueryStage::kCompose);
     const std::vector<ResultCache::CachedCover> covers =
-        cache_->LookupSubsets(query.items, alpha_q, tree.get());
+        cache_->LookupSubsets(query.items, alpha_q, snap.get());
     if (!covers.empty()) {
       std::vector<SubPatternCover> blocks;
       blocks.reserve(covers.size());
@@ -242,8 +249,8 @@ QueryService::Result QueryService::Execute(const ServeQuery& query,
         blocks.push_back({&cover.itemset, cover.value.get()});
       }
       result = std::make_shared<TcTreeQueryResult>(
-          ComposeTcTreeQuery(*tree, query.items, query.alpha, blocks,
-                             options_.query_options));
+          snap->Compose(query.items, query.alpha, blocks,
+                        options_.query_options));
       composed_total_.Increment();
       covers_used_total_.Increment(covers.size());
       if (t != nullptr) {
@@ -260,14 +267,14 @@ QueryService::Result QueryService::Execute(const ServeQuery& query,
     StageSpan walk(t, QueryStage::kWalk);
     ThreadCpuTimer walk_timer;
     result = std::make_shared<TcTreeQueryResult>(
-        QueryTcTree(*tree, query.items, query.alpha, options_.query_options));
+        snap->Query(query.items, query.alpha, options_.query_options));
     RecordWalkMicros(walk_timer.Micros());
   }
   nodes_visited_total_.Increment(result->visited_nodes);
   prunes_total_.Increment(result->pruned_subtrees);
   if (cache_) {
-    cache_->Insert(query.items, alpha_q, result, epoch, tree);
-    AdmitDerivedSubsets(query.items, alpha_q, result, epoch, tree);
+    cache_->Insert(query.items, alpha_q, result, epoch, snap);
+    AdmitDerivedSubsets(query.items, alpha_q, result, epoch, snap);
   }
 
   const double us = timer.Micros();
@@ -387,8 +394,8 @@ StatusOr<ServeQuery> ParseServeQuery(const ItemDictionary& dictionary,
   return query;
 }
 
-void QueryService::SwapSnapshot(TcTree tree) {
-  auto fresh = std::make_shared<const TcTree>(std::move(tree));
+void QueryService::SwapSnapshot(TcTreeSnapshot snapshot) {
+  auto fresh = std::make_shared<const TcTreeSnapshot>(std::move(snapshot));
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_ = std::move(fresh);
@@ -396,12 +403,32 @@ void QueryService::SwapSnapshot(TcTree tree) {
   if (cache_) cache_->Invalidate();
 }
 
+void QueryService::SwapSnapshot(TcTree tree) {
+  SwapSnapshot(TcTreeSnapshot(std::move(tree)));
+}
+
+StatusOr<size_t> QueryService::ReloadFromFile(const std::string& path) {
+  if (LooksLikeTcfiFile(path)) {
+    auto mapped = MapTcTree(path);
+    if (!mapped.ok()) return mapped.status();
+    TcTreeSnapshot snap(std::move(*mapped));
+    const size_t nodes = snap.num_nodes();
+    SwapSnapshot(std::move(snap));
+    return nodes;
+  }
+  auto tree = LoadTcTreeFromFile(path);
+  if (!tree.ok()) return tree.status();
+  const size_t nodes = tree->num_nodes();
+  SwapSnapshot(std::move(*tree));
+  return nodes;
+}
+
 size_t QueryService::ApplyUpdatedSnapshot(
     TcTree tree, const std::vector<ItemId>& changed_roots,
     const std::vector<ItemId>& dirty_items) {
   (void)changed_roots;  // a single-tree service always swaps its one tree
-  auto fresh = std::make_shared<const TcTree>(std::move(tree));
-  std::shared_ptr<const TcTree> old;
+  auto fresh = std::make_shared<const TcTreeSnapshot>(std::move(tree));
+  std::shared_ptr<const TcTreeSnapshot> old;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     old = std::move(snapshot_);

@@ -10,6 +10,7 @@
 
 #include "core/tc_tree.h"
 #include "core/tc_tree_query.h"
+#include "core/tc_tree_snapshot.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "serve/query_backend.h"
@@ -85,12 +86,21 @@ struct QueryServiceOptions {
 /// superseded snapshot are dropped rather than cached (epoch check).
 class QueryService : public QueryBackend {
  public:
-  QueryService(TcTree tree, ItemDictionary dictionary,
+  /// The primary constructor: serves whichever snapshot flavor it is
+  /// handed — a heap-owned TcTree or a zero-copy mmap'ed TCFI file.
+  QueryService(TcTreeSnapshot snapshot, ItemDictionary dictionary,
                const QueryServiceOptions& options = {});
 
-  /// Loads a persisted index (tc_tree_io) and pairs it with `dictionary`
-  /// (the network's, so query item names resolve to the ids the index
-  /// was built over).
+  QueryService(TcTree tree, ItemDictionary dictionary,
+               const QueryServiceOptions& options = {})
+      : QueryService(TcTreeSnapshot(std::move(tree)), std::move(dictionary),
+                     options) {}
+
+  /// Loads a persisted index and pairs it with `dictionary` (the
+  /// network's, so query item names resolve to the ids the index was
+  /// built over). A `.tcfi` file (sniffed by magic, not extension) is
+  /// mmap'ed and served zero-copy; anything else goes through the
+  /// streaming TCFT loader into an owned tree.
   static StatusOr<std::unique_ptr<QueryService>> Open(
       const std::string& index_path, ItemDictionary dictionary,
       const QueryServiceOptions& options = {});
@@ -120,8 +130,16 @@ class QueryService : public QueryBackend {
     return ParseServeQuery(dictionary_, line);
   }
 
+  /// Installs a new snapshot (either flavor) and invalidates the cache.
+  void SwapSnapshot(TcTreeSnapshot snapshot);
   /// Installs a new tree snapshot and invalidates the cache.
   void SwapSnapshot(TcTree tree) override;
+
+  /// RELOAD from disk: a valid `.tcfi` file is installed as a mapped
+  /// snapshot (no materialization — the load is O(1) validation plus an
+  /// epoch swap); anything else parses as TCFT. See
+  /// QueryBackend::ReloadFromFile.
+  StatusOr<size_t> ReloadFromFile(const std::string& path) override;
 
   /// Incremental swap (core/tc_tree_update.h): installs the updated
   /// tree, then drops *only* the cached entries whose pattern
@@ -139,7 +157,7 @@ class QueryService : public QueryBackend {
   }
 
   /// The current snapshot (shared; stays valid across swaps).
-  std::shared_ptr<const TcTree> snapshot() const;
+  std::shared_ptr<const TcTreeSnapshot> snapshot() const;
 
   const ItemDictionary& dictionary() const override { return dictionary_; }
   size_t num_threads() const override { return pool_.num_threads(); }
@@ -186,7 +204,7 @@ class QueryService : public QueryBackend {
   /// QueryServiceOptions::cache_admit_derived).
   void AdmitDerivedSubsets(const Itemset& items, CohesionValue alpha_q,
                            const Result& result, uint64_t epoch_seen,
-                           const std::shared_ptr<const TcTree>& tree);
+                           const std::shared_ptr<const TcTreeSnapshot>& snap);
 
   /// Renders the query back into its `alpha;item,...` wire form for the
   /// slow-query ring (paid only for queries that already crossed the
@@ -227,7 +245,7 @@ class QueryService : public QueryBackend {
   std::atomic<uint64_t> updates_applied_{0};    // incremental swaps so far
 
   mutable std::mutex snapshot_mu_;
-  std::shared_ptr<const TcTree> snapshot_;
+  std::shared_ptr<const TcTreeSnapshot> snapshot_;
 };
 
 }  // namespace tcf

@@ -4,6 +4,7 @@
 #include <latch>
 #include <utility>
 
+#include "core/tcfi_format.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -39,16 +40,49 @@ ResultCacheStats AddCacheStats(ResultCacheStats total,
 
 }  // namespace
 
+ShardedQueryService::ShardedInit ShardedQueryService::MakeInit(
+    TcTree tree, size_t num_shards,
+    std::unique_ptr<ShardPartitioner> partitioner) {
+  ShardedInit init;
+  init.partitioner = partitioner ? std::move(partitioner)
+                                 : std::make_unique<HashShardPartitioner>();
+  if (num_shards == 0) num_shards = 1;
+  std::vector<TcTree> parts =
+      PartitionTcTree(std::move(tree), *init.partitioner, num_shards);
+  init.parts.reserve(parts.size());
+  for (TcTree& part : parts) {
+    init.parts.emplace_back(std::move(part));
+  }
+  return init;
+}
+
 ShardedQueryService::ShardedQueryService(
     TcTree tree, ItemDictionary dictionary, size_t num_shards,
     const QueryServiceOptions& options,
     std::unique_ptr<ShardPartitioner> partitioner)
+    : ShardedQueryService(
+          MakeInit(std::move(tree), num_shards, std::move(partitioner)),
+          std::move(dictionary), options) {}
+
+ShardedQueryService::ShardedQueryService(
+    std::vector<TcTreeSnapshot> parts, ItemDictionary dictionary,
+    const QueryServiceOptions& options,
+    std::unique_ptr<ShardPartitioner> partitioner)
+    : ShardedQueryService(
+          ShardedInit{std::move(parts),
+                      partitioner
+                          ? std::move(partitioner)
+                          : std::make_unique<HashShardPartitioner>()},
+          std::move(dictionary), options) {}
+
+ShardedQueryService::ShardedQueryService(
+    ShardedInit init, ItemDictionary dictionary,
+    const QueryServiceOptions& options)
     : slow_log_(options.tracing ? options.slow_query_us : 0,
                 options.slow_log_capacity),
       dictionary_(std::move(dictionary)),
       options_(options),
-      partitioner_(partitioner ? std::move(partitioner)
-                               : std::make_unique<HashShardPartitioner>()),
+      partitioner_(std::move(init.partitioner)),
       pool_(options.num_threads == 0 ? HardwareThreads()
                                      : options.num_threads),
       queries_total_(metrics_.GetCounter("tcf_queries_total",
@@ -66,7 +100,7 @@ ShardedQueryService::ShardedQueryService(
       shard_reload_ms_(metrics_.GetGauge(
           "tcf_shard_reload_ms",
           "Wall ms of the most recent single-shard snapshot swap")) {
-  if (num_shards == 0) num_shards = 1;
+  const size_t num_shards = init.parts.size();
   for (size_t i = 0; i < kNumQueryStages; ++i) {
     const auto stage = static_cast<QueryStage>(i);
     stage_us_[i] = &metrics_.GetHistogram(
@@ -87,12 +121,10 @@ ShardedQueryService::ShardedQueryService(
     shard_options.cache_bytes =
         std::max<size_t>(1, options.cache_bytes / num_shards);
   }
-  std::vector<TcTree> parts =
-      PartitionTcTree(std::move(tree), *partitioner_, num_shards);
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<QueryService>(
-        std::move(parts[s]), dictionary_, shard_options));
+        std::move(init.parts[s]), dictionary_, shard_options));
     per_shard_queries_.push_back(&metrics_.GetCounter(
         StrFormat("tcf_shard%zu_queries_total", s),
         StrFormat("Sub-queries routed to shard %zu", s)));
@@ -138,6 +170,30 @@ ShardedQueryService::ShardedQueryService(
         });
   }
   stats_.RegisterMetrics(&metrics_);
+}
+
+StatusOr<std::unique_ptr<ShardedQueryService>> ShardedQueryService::OpenSlices(
+    const std::string& base, ItemDictionary dictionary, size_t num_shards,
+    const QueryServiceOptions& options) {
+  if (num_shards == 0) num_shards = 1;
+  std::vector<TcTreeSnapshot> parts;
+  parts.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const std::string path = TcfiSlicePath(base, s, num_shards);
+    auto mapped = MapTcTree(path);
+    if (!mapped.ok()) return mapped.status();
+    if (mapped->shard_id() != s || mapped->num_shards() != num_shards) {
+      return Status::Corruption(
+          StrFormat("%s: slice carries shard %zu/%zu, expected %zu/%zu",
+                    path.c_str(),
+                    static_cast<size_t>(mapped->shard_id()),
+                    static_cast<size_t>(mapped->num_shards()), s,
+                    num_shards));
+    }
+    parts.emplace_back(std::move(*mapped));
+  }
+  return std::make_unique<ShardedQueryService>(std::move(parts),
+                                               std::move(dictionary), options);
 }
 
 std::vector<size_t> ShardedQueryService::RelevantShards(
@@ -277,12 +333,55 @@ std::vector<ShardedQueryService::Result> ShardedQueryService::ExecuteBatch(
   return results;
 }
 
-void ShardedQueryService::SwapShardSnapshot(size_t shard, TcTree shard_tree) {
+void ShardedQueryService::SwapShardSnapshot(size_t shard,
+                                            TcTreeSnapshot shard_snapshot) {
   WallTimer timer;
-  shards_[shard]->SwapSnapshot(std::move(shard_tree));
+  shards_[shard]->SwapSnapshot(std::move(shard_snapshot));
   const double ms = timer.Millis();
   per_shard_reload_ms_[shard]->Set(ms);
   shard_reload_ms_.Set(ms);
+}
+
+void ShardedQueryService::SwapShardSnapshot(size_t shard, TcTree shard_tree) {
+  SwapShardSnapshot(shard, TcTreeSnapshot(std::move(shard_tree)));
+}
+
+StatusOr<size_t> ShardedQueryService::ReloadFromFile(const std::string& path) {
+  // Slice-aware path: when every per-shard slice file is present, each
+  // shard swaps its own mapped slice and no partitioning happens at
+  // all. Map and validate *all* slices before swapping *any* — a
+  // corrupt slice must not leave the service half-rolled.
+  const size_t n = shards_.size();
+  bool all_slices = n > 0;
+  for (size_t s = 0; s < n && all_slices; ++s) {
+    all_slices = LooksLikeTcfiFile(TcfiSlicePath(path, s, n));
+  }
+  if (all_slices) {
+    std::vector<TcTreeSnapshot> parts;
+    parts.reserve(n);
+    size_t nodes = 0;
+    for (size_t s = 0; s < n; ++s) {
+      const std::string slice = TcfiSlicePath(path, s, n);
+      auto mapped = MapTcTree(slice);
+      if (!mapped.ok()) return mapped.status();
+      if (mapped->shard_id() != s || mapped->num_shards() != n) {
+        return Status::Corruption(
+            StrFormat("%s: slice carries shard %zu/%zu, expected %zu/%zu",
+                      slice.c_str(),
+                      static_cast<size_t>(mapped->shard_id()),
+                      static_cast<size_t>(mapped->num_shards()), s, n));
+      }
+      nodes += mapped->num_nodes();
+      parts.emplace_back(std::move(*mapped));
+    }
+    for (size_t s = 0; s < n; ++s) {
+      SwapShardSnapshot(s, std::move(parts[s]));
+    }
+    return nodes;
+  }
+  // Whole-tree file (TCFI or TCFT): the base implementation
+  // materializes as needed and funnels into the rolling SwapSnapshot.
+  return QueryBackend::ReloadFromFile(path);
 }
 
 void ShardedQueryService::SwapSnapshot(TcTree tree) {

@@ -5,11 +5,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/partition.h"
 #include "core/tc_tree.h"
+#include "core/tc_tree_snapshot.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "serve/query_backend.h"
@@ -64,6 +66,24 @@ class ShardedQueryService : public QueryBackend {
                       const QueryServiceOptions& options = {},
                       std::unique_ptr<ShardPartitioner> partitioner = nullptr);
 
+  /// Serves pre-partitioned shard snapshots (one per shard, ascending
+  /// shard id — e.g. mmap'ed TCFI slice files written by
+  /// SaveTcfiShardSlices). `parts` must be non-empty and partitioned by
+  /// `partitioner` (null = HashShardPartitioner, the slice writer's
+  /// choice), or routing would miss patterns.
+  ShardedQueryService(std::vector<TcTreeSnapshot> parts,
+                      ItemDictionary dictionary,
+                      const QueryServiceOptions& options = {},
+                      std::unique_ptr<ShardPartitioner> partitioner = nullptr);
+
+  /// Opens the `num_shards` TCFI slice files `TcfiSlicePath(base, s,
+  /// num_shards)` as zero-copy mapped shard snapshots. Every slice must
+  /// map cleanly and carry matching shard metadata (shard_id == s,
+  /// num_shards) or the whole open fails — no half-sharded service.
+  static StatusOr<std::unique_ptr<ShardedQueryService>> OpenSlices(
+      const std::string& base, ItemDictionary dictionary, size_t num_shards,
+      const QueryServiceOptions& options = {});
+
   ShardedQueryService(const ShardedQueryService&) = delete;
   ShardedQueryService& operator=(const ShardedQueryService&) = delete;
 
@@ -80,6 +100,15 @@ class ShardedQueryService : public QueryBackend {
   /// a time (ascending shard id). Shards not mid-swap keep serving.
   void SwapSnapshot(TcTree tree) override;
 
+  /// RELOAD from disk. When all N slice files `TcfiSlicePath(path, s,
+  /// N)` are present, each shard swaps its own mapped slice (rolling,
+  /// zero-copy, no partitioning work) — every slice is mapped and
+  /// validated *before* the first swap, so a corrupt slice never leaves
+  /// the service half-rolled. Otherwise falls back to the base
+  /// behavior: load/materialize the whole tree at `path` and do a
+  /// rolling partitioned swap.
+  StatusOr<size_t> ReloadFromFile(const std::string& path) override;
+
   /// Swaps a single shard's snapshot (`shard_tree` must be that shard's
   /// partition — built by PartitionTcTree or BuildShardTree with the
   /// same partitioner). Only this shard's cache is invalidated; the
@@ -87,6 +116,8 @@ class ShardedQueryService : public QueryBackend {
   /// rolling SwapSnapshot iterates, exposed for per-shard operational
   /// reloads and the reload-survival tests.
   void SwapShardSnapshot(size_t shard, TcTree shard_tree);
+  /// Same, for a pre-built snapshot (e.g. a mapped TCFI slice).
+  void SwapShardSnapshot(size_t shard, TcTreeSnapshot shard_snapshot);
 
   /// Shard-aware incremental swap (core/tc_tree_update.h): partitions
   /// the updated tree, then rolls *only* the shards owning a changed
@@ -127,6 +158,20 @@ class ShardedQueryService : public QueryBackend {
   const QueryService& shard(size_t s) const { return *shards_[s]; }
 
  private:
+  /// Everything the delegating constructors must hand the primary one
+  /// in a single argument: the partitioner is *used* to cut the tree
+  /// and then *owned* by the service, and bundling both into one value
+  /// keeps that free of argument-evaluation-order traps.
+  struct ShardedInit {
+    std::vector<TcTreeSnapshot> parts;
+    std::unique_ptr<ShardPartitioner> partitioner;
+  };
+  static ShardedInit MakeInit(TcTree tree, size_t num_shards,
+                              std::unique_ptr<ShardPartitioner> partitioner);
+
+  ShardedQueryService(ShardedInit init, ItemDictionary dictionary,
+                      const QueryServiceOptions& options);
+
   /// Ascending ids of the shards that can own part of `items`'s answer
   /// (the shard of some item of the query). Empty queries probe shard 0
   /// so Execute still returns the usual empty result.

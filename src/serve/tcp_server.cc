@@ -562,18 +562,20 @@ std::string TcpServer::HandleRequest(const Request& request, bool* quit) {
         return response;
       }
       WallTimer reload_timer;
-      auto tree = LoadTcTreeFromFile(request.reload_path);
-      if (!tree.ok()) {
+      // The backend sniffs the format: a .tcfi file installs as a
+      // zero-copy mapped snapshot (O(1) validation, no parse), TCFT
+      // goes through the streaming loader. Either way the swap is the
+      // epoch-checked path: in-flight queries finish on the old
+      // snapshot and their results are dropped, not cached.
+      auto reloaded = service_.ReloadFromFile(request.reload_path);
+      if (!reloaded.ok()) {
         TCF_LOG(Warn) << "RELOAD " << request.reload_path
-                      << " failed: " << tree.status().ToString();
-        response = EncodeErrHeader(tree.status());
+                      << " failed: " << reloaded.status().ToString();
+        response = EncodeErrHeader(reloaded.status());
         response += '\n';
         return response;
       }
-      const size_t nodes = tree->num_nodes();
-      // The epoch-checked SwapSnapshot path: in-flight queries finish on
-      // the old tree and their results are dropped, not cached.
-      service_.SwapSnapshot(std::move(*tree));
+      const size_t nodes = *reloaded;
       const double reload_ms = reload_timer.Millis();
       service_.stats().RecordReload(reload_ms);
       TCF_LOG(Info) << "RELOAD " << request.reload_path << ": " << nodes

@@ -1,0 +1,212 @@
+// TCFI mmap snapshot format: round-trip fidelity, mapped-vs-owned query
+// equivalence (byte-for-byte), shard slices, and the probe helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/partition.h"
+#include "core/tc_tree.h"
+#include "core/tc_tree_io.h"
+#include "core/tc_tree_query.h"
+#include "core/tc_tree_snapshot.h"
+#include "core/tcfi_format.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::ExpectSameTruss;
+using testing::MakeFigureOneNetwork;
+using testing::MakeRandomNetwork;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TcTree BuildRandomTree(uint64_t seed) {
+  return TcTree::Build(MakeRandomNetwork(
+      {.num_vertices = 14, .num_items = 6, .tx_per_vertex = 7, .seed = seed}));
+}
+
+std::string SerializeTcft(const TcTree& tree) {
+  std::stringstream ss;
+  EXPECT_TRUE(SaveTcTree(tree, ss).ok());
+  return ss.str();
+}
+
+void ExpectSameResult(const TcTreeQueryResult& a, const TcTreeQueryResult& b,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(a.retrieved_nodes, b.retrieved_nodes);
+  EXPECT_EQ(a.visited_nodes, b.visited_nodes);
+  EXPECT_EQ(a.pruned_subtrees, b.pruned_subtrees);
+  ASSERT_EQ(a.trusses.size(), b.trusses.size());
+  for (size_t i = 0; i < a.trusses.size(); ++i) {
+    ExpectSameTruss(a.trusses[i], b.trusses[i], "truss " + std::to_string(i));
+  }
+}
+
+// Save → map → materialize → re-save must reproduce the original TCFT
+// bytes exactly: nothing about the tree survives only in memory.
+TEST(TcfiFormatTest, MaterializedRoundTripIsByteIdentical) {
+  const TcTree tree = BuildRandomTree(21);
+  const std::string path = TempPath("tcfi_roundtrip.tcfi");
+  ASSERT_TRUE(SaveTcTreeBinary(tree, path).ok());
+  auto mapped = MapTcTree(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  const TcTree rebuilt = MaterializeTcTree(*mapped);
+  EXPECT_EQ(SerializeTcft(tree), SerializeTcft(rebuilt));
+}
+
+TEST(TcfiFormatTest, MappedMetadataMatchesTree) {
+  const TcTree tree = BuildRandomTree(22);
+  const std::string path = TempPath("tcfi_meta.tcfi");
+  ASSERT_TRUE(SaveTcTreeBinary(tree, path).ok());
+  auto mapped = MapTcTree(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(mapped->num_nodes(), tree.num_nodes());
+  EXPECT_EQ(mapped->MaxAlphaOverNodes(), tree.MaxAlphaOverNodes());
+  EXPECT_EQ(mapped->MaxDepth(), tree.MaxDepth());
+  EXPECT_EQ(mapped->TotalIndexedEdges(), tree.TotalIndexedEdges());
+  EXPECT_EQ(mapped->shard_id(), 0u);
+  EXPECT_EQ(mapped->num_shards(), 1u);
+  for (TcTree::NodeId id = 1; id <= tree.num_nodes(); ++id) {
+    ASSERT_EQ(mapped->PatternOf(id), tree.PatternOf(id)) << "node " << id;
+    ASSERT_EQ(mapped->node_max_alpha(id),
+              tree.node(id).decomposition.max_alpha());
+  }
+}
+
+// The acceptance bar: the mapped walk answers every query byte-for-byte
+// like the owned tree, across an alpha grid and itemset shapes,
+// including the counters composition equivalence depends on.
+TEST(TcfiFormatTest, MappedQueriesMatchOwnedAcrossGrid) {
+  const TcTree tree = BuildRandomTree(23);
+  const std::string path = TempPath("tcfi_queries.tcfi");
+  ASSERT_TRUE(SaveTcTreeBinary(tree, path).ok());
+  auto mapped = MapTcTree(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  const std::vector<Itemset> queries = {
+      Itemset({0}),          Itemset({1, 2}),       Itemset({0, 1, 2}),
+      Itemset({2, 3, 4, 5}), Itemset({0, 1, 2, 3, 4, 5})};
+  for (double alpha : {0.0, 0.05, 0.11, 0.2, 0.5, 1.0}) {
+    for (const Itemset& q : queries) {
+      ExpectSameResult(QueryTcTree(tree, q, alpha),
+                       QueryTcTree(*mapped, q, alpha),
+                       "alpha=" + std::to_string(alpha) +
+                           " q=" + q.ToString());
+    }
+  }
+}
+
+TEST(TcfiFormatTest, MappedCompositionMatchesCold) {
+  const TcTree tree = BuildRandomTree(24);
+  const std::string path = TempPath("tcfi_compose.tcfi");
+  ASSERT_TRUE(SaveTcTreeBinary(tree, path).ok());
+  auto mapped = MapTcTree(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  const double alpha = 0.08;
+  const Itemset q({0, 1, 2, 3});
+  const Itemset c1({0, 1});
+  const Itemset c2({2, 3});
+  const TcTreeQueryResult r1 = QueryTcTree(*mapped, c1, alpha);
+  const TcTreeQueryResult r2 = QueryTcTree(*mapped, c2, alpha);
+  const std::vector<SubPatternCover> covers = {{&c1, &r1}, {&c2, &r2}};
+  ExpectSameResult(QueryTcTree(tree, q, alpha),
+                   ComposeTcTreeQuery(*mapped, q, alpha, covers),
+                   "composed over mapped");
+}
+
+TEST(TcfiFormatTest, SnapshotDispatchesBothFlavors) {
+  const TcTree tree = BuildRandomTree(25);
+  const std::string path = TempPath("tcfi_snapshot.tcfi");
+  ASSERT_TRUE(SaveTcTreeBinary(tree, path).ok());
+  auto mapped = MapTcTree(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+
+  const TcTreeSnapshot owned{TcTree(tree)};
+  const TcTreeSnapshot zero_copy{std::move(*mapped)};
+  EXPECT_FALSE(owned.mapped());
+  EXPECT_TRUE(zero_copy.mapped());
+  EXPECT_EQ(owned.num_nodes(), zero_copy.num_nodes());
+  EXPECT_EQ(owned.MaxAlphaOverNodes(), zero_copy.MaxAlphaOverNodes());
+  const Itemset q({0, 2, 4});
+  ExpectSameResult(owned.Query(q, 0.1), zero_copy.Query(q, 0.1),
+                   "snapshot query");
+  EXPECT_EQ(SerializeTcft(owned.MaterializeTree()),
+            SerializeTcft(zero_copy.MaterializeTree()));
+}
+
+TEST(TcfiFormatTest, RootOnlyTreeRoundTrips) {
+  std::deque<TcTree::Node> nodes(1);  // just a root
+  const TcTree tree = TcTree::FromNodes(std::move(nodes));
+  const std::string path = TempPath("tcfi_empty.tcfi");
+  ASSERT_TRUE(SaveTcTreeBinary(tree, path).ok());
+  auto mapped = MapTcTree(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_EQ(mapped->num_nodes(), 0u);
+  EXPECT_TRUE(QueryTcTree(*mapped, Itemset({0, 1}), 0.0).trusses.empty());
+}
+
+TEST(TcfiFormatTest, ShardSlicesCarryMetadataAndPartitionExactly) {
+  const size_t kShards = 3;
+  const TcTree tree = BuildRandomTree(26);
+  const std::string base = TempPath("tcfi_sliced.tcfi");
+  ASSERT_TRUE(SaveTcfiShardSlices(TcTree(tree), base, kShards).ok());
+
+  // Reference partition of the same tree with the same partitioner.
+  const HashShardPartitioner partitioner;
+  const std::vector<TcTree> parts =
+      PartitionTcTree(TcTree(tree), partitioner, kShards);
+
+  size_t total_nodes = 0;
+  for (size_t s = 0; s < kShards; ++s) {
+    auto mapped = MapTcTree(TcfiSlicePath(base, s, kShards));
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+    EXPECT_EQ(mapped->shard_id(), s);
+    EXPECT_EQ(mapped->num_shards(), kShards);
+    total_nodes += mapped->num_nodes();
+    EXPECT_EQ(SerializeTcft(MaterializeTcTree(*mapped)),
+              SerializeTcft(parts[s]))
+        << "slice " << s;
+  }
+  EXPECT_EQ(total_nodes, tree.num_nodes());
+}
+
+TEST(TcfiFormatTest, ProbeAndSniffHelpers) {
+  const TcTree tree = BuildRandomTree(27);
+  const std::string tcfi_path = TempPath("tcfi_probe.tcfi");
+  const std::string tcft_path = TempPath("tcfi_probe.tcft");
+  ASSERT_TRUE(SaveTcTreeBinary(tree, tcfi_path).ok());
+  ASSERT_TRUE(SaveTcTreeToFile(tree, tcft_path).ok());
+
+  EXPECT_TRUE(ProbeTcfiFile(tcfi_path).ok());
+  EXPECT_TRUE(LooksLikeTcfiFile(tcfi_path));
+  EXPECT_FALSE(LooksLikeTcfiFile(tcft_path));
+  EXPECT_TRUE(ProbeTcfiFile(tcft_path).IsCorruption());
+  EXPECT_TRUE(ProbeTcfiFile("/no/such/file.tcfi").IsIOError());
+
+  // The writer leaves no temp droppings behind.
+  std::ifstream tmp(tcfi_path + ".tmp");
+  EXPECT_FALSE(tmp.is_open());
+}
+
+TEST(TcfiFormatTest, FigureOneSemanticsSurviveMapping) {
+  const TcTree tree = TcTree::Build(MakeFigureOneNetwork());
+  const std::string path = TempPath("tcfi_fig1.tcfi");
+  ASSERT_TRUE(SaveTcTreeBinary(tree, path).ok());
+  auto mapped = MapTcTree(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  // At α ∈ [0, 0.2) item 0's truss holds K4 + triangle; at 0.25 only the
+  // triangle; at 0.35 nothing (see MakeFigureOneNetwork's contract).
+  EXPECT_EQ(QueryTcTree(*mapped, Itemset({0}), 0.0).trusses.size(), 1u);
+  EXPECT_EQ(
+      QueryTcTree(*mapped, Itemset({0}), 0.25).trusses.at(0).edges.size(),
+      3u);
+  EXPECT_TRUE(QueryTcTree(*mapped, Itemset({0}), 0.35).trusses.empty());
+}
+
+}  // namespace
+}  // namespace tcf

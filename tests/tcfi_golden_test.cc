@@ -1,0 +1,160 @@
+// Format-compat gate for TCFI v1: tests/golden/ carries a small
+// checked-in artifact (BK-like shape, fixed seed) plus the text
+// rendering of a query grid answered over it. Every CI run maps the
+// checked-in *bytes* with today's reader and re-renders the grid — so
+// a change that breaks reading existing v1 files, or silently changes
+// what mapped queries answer, fails here even when the writer+reader
+// of the same commit agree with each other.
+//
+// Regeneration is deliberate, never automatic:
+//
+//   TCF_REGEN_GOLDEN=1 ./build/tcfi_golden_test
+//
+// rewrites both files; commit them together with the format change and
+// a version-policy note in docs/index-format.md.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/tc_tree.h"
+#include "core/tc_tree_query.h"
+#include "core/tcfi_format.h"
+#include "test_util.h"
+#include "util/string_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::MakeRandomNetwork;
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(TCF_SOURCE_DIR) + "/tests/golden/" + name;
+}
+
+/// The fixed recipe behind the artifact. The recipe is part of the
+/// contract: the checked-in bytes were produced by building this exact
+/// network, so a fresh build must still agree with them query-for-query
+/// (and regeneration reproduces the same logical index).
+DatabaseNetwork GoldenNet() {
+  return MakeRandomNetwork(
+      {.num_vertices = 24, .num_items = 6, .tx_per_vertex = 5,
+       .seed = 20190801});
+}
+
+std::vector<std::pair<Itemset, double>> GoldenQueries() {
+  std::vector<std::pair<Itemset, double>> queries;
+  const std::vector<Itemset> itemsets = {
+      Itemset({0}),       Itemset({1}),          Itemset({3}),
+      Itemset({0, 1}),    Itemset({2, 3}),       Itemset({1, 4}),
+      Itemset({0, 1, 2}), Itemset({2, 3, 5}),
+      Itemset({0, 1, 2, 3, 4, 5})};
+  for (double alpha : {0.0, 0.05, 0.12, 0.25}) {
+    for (const Itemset& q : itemsets) queries.emplace_back(q, alpha);
+  }
+  return queries;
+}
+
+std::string RenderItemset(const Itemset& q) {
+  std::string out;
+  for (size_t i = 0; i < q.size(); ++i) {
+    if (i > 0) out += ',';
+    out += StrFormat("%u", static_cast<unsigned>(q[i]));
+  }
+  return out;
+}
+
+/// Full-fidelity deterministic rendering of the query grid: every
+/// truss's pattern, edges, and vertices with their frequencies (query
+/// results carry no edge cohesions — only the mining path fills those).
+/// Doubles print as %.17g (shortest round-trip), so equal bits render
+/// equal text.
+template <typename Tree>
+std::string RenderAnswers(const Tree& tree) {
+  std::string out = "tcfi golden answers v1\n";
+  for (const auto& [q, alpha] : GoldenQueries()) {
+    const TcTreeQueryResult r = QueryTcTree(tree, q, alpha);
+    out += StrFormat("query a=%.17g q=%s trusses=%zu retrieved=%llu "
+                     "visited=%llu pruned=%llu\n",
+                     alpha, RenderItemset(q).c_str(), r.trusses.size(),
+                     static_cast<unsigned long long>(r.retrieved_nodes),
+                     static_cast<unsigned long long>(r.visited_nodes),
+                     static_cast<unsigned long long>(r.pruned_subtrees));
+    for (const PatternTruss& truss : r.trusses) {
+      out += StrFormat("truss p=%s\n", RenderItemset(truss.pattern).c_str());
+      for (const Edge& e : truss.edges) {
+        out += StrFormat("e %u-%u\n", static_cast<unsigned>(e.u),
+                         static_cast<unsigned>(e.v));
+      }
+      for (size_t i = 0; i < truss.vertices.size(); ++i) {
+        out += StrFormat("v %u f=%.17g\n",
+                         static_cast<unsigned>(truss.vertices[i]),
+                         truss.frequencies[i]);
+      }
+    }
+  }
+  return out;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return "";
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return f.good();
+}
+
+TEST(TcfiGoldenTest, CheckedInV1ArtifactStillLoadsAndAnswers) {
+  const std::string tcfi = GoldenPath("v1_small.tcfi");
+  const std::string answers = GoldenPath("v1_small_answers.txt");
+
+  if (std::getenv("TCF_REGEN_GOLDEN") != nullptr) {
+    TcTree tree = TcTree::Build(GoldenNet());
+    ASSERT_TRUE(SaveTcTreeBinary(tree, tcfi).ok());
+    auto mapped = MapTcTree(tcfi);
+    ASSERT_TRUE(mapped.ok()) << mapped.status();
+    ASSERT_TRUE(WriteFile(answers, RenderAnswers(*mapped)));
+    GTEST_SKIP() << "regenerated " << tcfi << " and " << answers;
+  }
+
+  // The checked-in bytes pass the header probe and a fully-validated
+  // map — today's reader still reads yesterday's v1 files.
+  ASSERT_TRUE(ProbeTcfiFile(tcfi).ok());
+  auto mapped = MapTcTree(tcfi);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+
+  // And answers over those bytes render exactly the checked-in text.
+  const std::string expected = ReadFileOrEmpty(answers);
+  ASSERT_FALSE(expected.empty()) << "missing golden answers: " << answers;
+  EXPECT_EQ(expected, RenderAnswers(*mapped))
+      << "mapped answers drifted from tests/golden/. If this is a "
+         "deliberate format or walk change, regenerate with "
+         "TCF_REGEN_GOLDEN=1 and commit both files.";
+}
+
+TEST(TcfiGoldenTest, FreshBuildOfRecipeMatchesCheckedInArtifact) {
+  if (std::getenv("TCF_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "regeneration run";
+  }
+  auto mapped = MapTcTree(GoldenPath("v1_small.tcfi"));
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+
+  // The build pipeline still produces the same logical index from the
+  // fixed recipe (node count + the full query grid).
+  TcTree tree = TcTree::Build(GoldenNet());
+  EXPECT_EQ(tree.num_nodes(), mapped->num_nodes());
+  EXPECT_EQ(RenderAnswers(tree), RenderAnswers(*mapped));
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1,0 +1,224 @@
+// Serve-layer coverage of TCFI snapshots: a service opened over a
+// mapped .tcfi file must answer byte-for-byte like one built in
+// process, RELOAD must sniff both formats, sharded slice files must
+// reproduce unsharded answers, and the watcher must probe-and-skip
+// torn TCFI writes instead of attempting a load.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/tc_tree.h"
+#include "core/tc_tree_io.h"
+#include "core/tc_tree_query.h"
+#include "core/tcfi_format.h"
+#include "serve/file_watcher.h"
+#include "serve/query_service.h"
+#include "serve/shard_router.h"
+#include "test_util.h"
+
+namespace tcf {
+namespace {
+
+using testing::ExpectSameTruss;
+using testing::MakeRandomNetwork;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+DatabaseNetwork BuildNet(uint64_t seed) {
+  return MakeRandomNetwork(
+      {.num_vertices = 16, .num_items = 6, .tx_per_vertex = 7, .seed = seed});
+}
+
+std::vector<ServeQuery> GridQueries() {
+  std::vector<ServeQuery> queries;
+  for (double alpha : {0.0, 0.05, 0.12, 0.3}) {
+    queries.push_back({Itemset({0}), alpha});
+    queries.push_back({Itemset({1, 2}), alpha});
+    queries.push_back({Itemset({0, 3, 5}), alpha});
+    queries.push_back({Itemset({0, 1, 2, 3, 4, 5}), alpha});
+  }
+  return queries;
+}
+
+void ExpectSameAnswer(const TcTreeQueryResult& a, const TcTreeQueryResult& b,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  ASSERT_EQ(a.trusses.size(), b.trusses.size());
+  for (size_t i = 0; i < a.trusses.size(); ++i) {
+    ExpectSameTruss(a.trusses[i], b.trusses[i], "truss " + std::to_string(i));
+  }
+}
+
+/// Polls `pred` for ~5 s (the watcher is asynchronous by design).
+template <typename Pred>
+bool WaitFor(Pred pred) {
+  for (int i = 0; i < 5000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+TEST(TcfiServeTest, OpenedMappedServiceMatchesOwnedService) {
+  DatabaseNetwork net = BuildNet(61);
+  TcTree tree = TcTree::Build(net);
+  const std::string path = TempPath("tcfi_serve_open.tcfi");
+  ASSERT_TRUE(SaveTcTreeBinary(tree, path).ok());
+
+  QueryService owned(TcTree(tree), net.dictionary(), {});
+  auto mapped = QueryService::Open(path, net.dictionary(), {});
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_TRUE((*mapped)->snapshot()->mapped());
+
+  for (const ServeQuery& q : GridQueries()) {
+    ExpectSameAnswer(*owned.Execute(q), *(*mapped)->Execute(q),
+                     "alpha=" + std::to_string(q.alpha));
+  }
+}
+
+TEST(TcfiServeTest, ReloadFromFileSniffsBothFormats) {
+  DatabaseNetwork net = BuildNet(62);
+  TcTree full = TcTree::Build(net);
+  TcTree shallow = TcTree::Build(net, {.max_depth = 1});
+  ASSERT_LT(shallow.num_nodes(), full.num_nodes());
+
+  const std::string tcfi = TempPath("tcfi_serve_reload.tcfi");
+  const std::string tcft = TempPath("tcfi_serve_reload.tcft");
+  ASSERT_TRUE(SaveTcTreeBinary(shallow, tcfi).ok());
+  ASSERT_TRUE(SaveTcTreeToFile(full, tcft).ok());
+
+  QueryService service(TcTree(full), net.dictionary(), {});
+
+  // TCFI reload: installs the mapped snapshot zero-copy.
+  auto nodes = service.ReloadFromFile(tcfi);
+  ASSERT_TRUE(nodes.ok()) << nodes.status();
+  EXPECT_EQ(*nodes, shallow.num_nodes());
+  ASSERT_TRUE(service.snapshot()->mapped());
+  const ServeQuery probe{Itemset({0, 1}), 0.0};
+  ExpectSameAnswer(*service.Execute(probe),
+                   QueryTcTree(shallow, probe.items, probe.alpha),
+                   "after tcfi reload");
+
+  // TCFT reload through the same entry point: back to an owned tree.
+  nodes = service.ReloadFromFile(tcft);
+  ASSERT_TRUE(nodes.ok()) << nodes.status();
+  EXPECT_EQ(*nodes, full.num_nodes());
+  ASSERT_FALSE(service.snapshot()->mapped());
+
+  // A bad file leaves the live snapshot untouched.
+  const std::string bad = TempPath("tcfi_serve_reload_bad.tcfi");
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out << "TCFI but torn";
+  }
+  EXPECT_FALSE(service.ReloadFromFile(bad).ok());
+  EXPECT_EQ(service.snapshot()->num_nodes(), full.num_nodes());
+}
+
+TEST(TcfiServeTest, OpenSlicesMatchesUnshardedService) {
+  const size_t kShards = 3;
+  DatabaseNetwork net = BuildNet(63);
+  TcTree tree = TcTree::Build(net);
+  const std::string base = TempPath("tcfi_serve_slices.tcfi");
+  ASSERT_TRUE(SaveTcfiShardSlices(TcTree(tree), base, kShards).ok());
+
+  QueryService unsharded(TcTree(tree), net.dictionary(), {});
+  auto sharded =
+      ShardedQueryService::OpenSlices(base, net.dictionary(), kShards, {});
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  EXPECT_EQ((*sharded)->num_shards(), kShards);
+
+  for (const ServeQuery& q : GridQueries()) {
+    ExpectSameAnswer(*unsharded.Execute(q), *(*sharded)->Execute(q),
+                     "alpha=" + std::to_string(q.alpha));
+  }
+
+  // A shard-count mismatch is rejected, not mis-routed.
+  EXPECT_FALSE(
+      ShardedQueryService::OpenSlices(base, net.dictionary(), 2, {}).ok());
+}
+
+TEST(TcfiServeTest, ShardedReloadPrefersSliceFiles) {
+  const size_t kShards = 3;
+  DatabaseNetwork net = BuildNet(64);
+  TcTree full = TcTree::Build(net);
+  TcTree shallow = TcTree::Build(net, {.max_depth = 1});
+
+  ShardedQueryService service(TcTree(full), net.dictionary(), kShards, {});
+
+  // All N slice files present: rolling zero-copy per-shard swap.
+  const std::string base = TempPath("tcfi_serve_roll.tcfi");
+  ASSERT_TRUE(SaveTcfiShardSlices(TcTree(shallow), base, kShards).ok());
+  auto nodes = service.ReloadFromFile(base);
+  ASSERT_TRUE(nodes.ok()) << nodes.status();
+  EXPECT_EQ(*nodes, shallow.num_nodes());
+  const ServeQuery probe{Itemset({0, 1, 2}), 0.0};
+  ExpectSameAnswer(*service.Execute(probe),
+                   QueryTcTree(shallow, probe.items, probe.alpha),
+                   "after slice reload");
+
+  // No slices at this path: fall back to the whole-file reload
+  // (materialize + partition + rolling swap).
+  const std::string whole = TempPath("tcfi_serve_whole.tcfi");
+  ASSERT_TRUE(SaveTcTreeBinary(full, whole).ok());
+  nodes = service.ReloadFromFile(whole);
+  ASSERT_TRUE(nodes.ok()) << nodes.status();
+  EXPECT_EQ(*nodes, full.num_nodes());
+  ExpectSameAnswer(*service.Execute(probe),
+                   QueryTcTree(full, probe.items, probe.alpha),
+                   "after whole-file reload");
+}
+
+TEST(TcfiServeTest, WatcherSkipsTornTcfiViaHeaderProbe) {
+  DatabaseNetwork net = BuildNet(65);
+  TcTree tree = TcTree::Build(net);
+  const std::string path = TempPath("tcfi_serve_watch.tcfi");
+  ASSERT_TRUE(SaveTcTreeBinary(tree, path).ok());
+  const std::string good = [&] {
+    std::ifstream f(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+  }();
+
+  QueryService service(TcTree(tree), net.dictionary(), {});
+  FileWatcherOptions options;
+  options.path = path;
+  options.poll_ms = 5;
+  FileWatcher watcher(service, options);
+  ASSERT_TRUE(watcher.Start().ok());
+
+  // A torn TCFI write (magic present, body incomplete): the header
+  // probe rejects it without a load attempt — counted as skipped, not
+  // as a failure — and the old snapshot keeps serving.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(good.data(), static_cast<std::streamsize>(good.size() / 2));
+  }
+  ASSERT_TRUE(WaitFor([&] { return watcher.skipped() >= 1; }));
+  EXPECT_EQ(watcher.reloads(), 0u);
+  EXPECT_EQ(watcher.failures(), 0u);
+  EXPECT_EQ(service.snapshot()->num_nodes(), tree.num_nodes());
+
+  // The writer finishes (rename-into-place semantics simulated by the
+  // full rewrite): the watcher swaps the mapped snapshot in.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(good.data(), static_cast<std::streamsize>(good.size()));
+  }
+  ASSERT_TRUE(WaitFor([&] { return watcher.reloads() >= 1; }));
+  ASSERT_TRUE(WaitFor([&] { return service.snapshot()->mapped(); }));
+  const ServeQuery probe{Itemset({0}), 0.05};
+  ExpectSameAnswer(*service.Execute(probe),
+                   QueryTcTree(tree, probe.items, probe.alpha),
+                   "after finished write");
+  watcher.Stop();
+}
+
+}  // namespace
+}  // namespace tcf

@@ -12,8 +12,9 @@ emit (bench/bench_json.h). Three classes of key, decided by name:
   higher     *qps*, *hit_rate*, *speedup*, *partial_hits*, *composed*
              — throughput-like; flagged when current falls more than
              --tolerance below baseline.
-  lower      *_us, *_seconds, *_bytes — latency/footprint-like; flagged
-             when current rises more than --tolerance above baseline.
+  lower      *_us, *_ms, *_seconds, *_bytes — latency/footprint-like;
+             flagged when current rises more than --tolerance above
+             baseline.
 
 Perf classes default to a wide --tolerance (0.5 = 50%) because baseline
 and current rarely run on the same physical box; the exact class is the
@@ -33,7 +34,7 @@ def classify(key):
     if any(t in leaf for t in ("qps", "hit_rate", "speedup", "partial_hits",
                                "composed")):
         return "higher"
-    if leaf.endswith(("_us", "_seconds", "_bytes")):
+    if leaf.endswith(("_us", "_ms", "_seconds", "_bytes")):
         return "lower"
     return "info"
 

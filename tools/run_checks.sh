@@ -30,6 +30,11 @@
 #    backend must answer the same traffic, STATS must expose the shard
 #    counters (shards / shard_queries / shard_reload_ms), EXPLAIN must
 #    report shards_probed, and RELOAD must roll shard by shard.
+# 7. TCFI zero-copy snapshot smoke: `tcf index --format=tcfi --slices=2`,
+#    query parity mapped vs. text, clean rejection of torn and
+#    bit-flipped files, RELOAD-to-mmap on a live server (torn RELOAD
+#    fails the client, server keeps serving), and `--shards=2` serving
+#    straight from the mapped slice files.
 #
 # CI-friendly: every smoke failure exits non-zero (set -e covers the
 # backgrounded server through explicit guards), worker counts fall back
@@ -399,5 +404,113 @@ SERVER_PID=""
 grep -q "shutting down" "$TMP/server2.log" || {
   echo "FAIL: sharded server log lacks the shutdown banner"; exit 1; }
 echo "OK: sharded network smoke (--shards=2 / STATS / EXPLAIN / RELOAD)"
+
+echo "== tcfi zero-copy snapshot smoke =="
+# The binary index format end-to-end through the CLI: write (+ shard
+# slices), query parity with the text index, RELOAD-to-mmap on a live
+# server, sliced sharded serving, and loader rejection of torn/corrupt
+# files — clean errors, never crashes. tests/tcfi_corrupt_test.cc owns
+# the exhaustive mutation property suite; this is the CLI-visible
+# slice of the same guarantees.
+"$TCF" index --in="$TMP/smoke.net" --out="$TMP/smoke.tcfi" --threads=2 \
+       --slices=2
+
+# Query parity, mapped vs. text-deserialized (timing lines filtered;
+# the truss lines must match byte-for-byte and must be non-empty).
+"$TCF" query --in="$TMP/smoke.net" --index="$TMP/smoke.idx" \
+       --items=s1,s2 --alpha=0 | grep '^  ' > "$TMP/q_text.out"
+"$TCF" query --in="$TMP/smoke.net" --index="$TMP/smoke.tcfi" \
+       --items=s1,s2 --alpha=0 | grep '^  ' > "$TMP/q_tcfi.out"
+[ -s "$TMP/q_text.out" ] || { echo "FAIL: parity query returned nothing";
+                              exit 1; }
+diff "$TMP/q_text.out" "$TMP/q_tcfi.out" || {
+  echo "FAIL: mapped .tcfi answers diverge from the text index"; exit 1; }
+echo "OK: tcf query over a mapped .tcfi matches the text index"
+
+# Torn write: a truncated file must be rejected with a clean error.
+head -c 100 "$TMP/smoke.tcfi" > "$TMP/torn.tcfi"
+if "$TCF" query --in="$TMP/smoke.net" --index="$TMP/torn.tcfi" \
+          --items=s1 --alpha=0 2>/dev/null; then
+  echo "FAIL: truncated .tcfi was not rejected"; exit 1
+fi
+# Bit rot: one flipped byte in the node arena must trip the section
+# checksum at map time.
+python3 - "$TMP/smoke.tcfi" "$TMP/flipped.tcfi" <<'PY'
+import sys
+data = bytearray(open(sys.argv[1], "rb").read())
+data[300] ^= 0xFF
+open(sys.argv[2], "wb").write(bytes(data))
+PY
+if "$TCF" query --in="$TMP/smoke.net" --index="$TMP/flipped.tcfi" \
+          --items=s1 --alpha=0 2>/dev/null; then
+  echo "FAIL: corrupt .tcfi passed checksum validation"; exit 1
+fi
+echo "OK: torn and bit-flipped .tcfi files are rejected cleanly"
+
+# RELOAD-to-mmap on a live server: roll the .tcfi in over the wire;
+# answers must match the text index it replaces, a RELOAD of a torn
+# file must fail the client and leave the server serving.
+"$TCF" serve --in="$TMP/smoke.net" --index="$TMP/smoke.idx" --listen=0 \
+       --threads=2 --compose-min-us=0 > "$TMP/server3.log" 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 100); do
+  PORT="$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' \
+          "$TMP/server3.log")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: tcfi server died";
+                                         cat "$TMP/server3.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "FAIL: tcfi server never reported its port";
+                    exit 1; }
+"$TCF" client --port="$PORT" --query="0;s1,s2" > "$TMP/r_text.out"
+"$TCF" client --port="$PORT" --reload="$TMP/smoke.tcfi"
+"$TCF" client --port="$PORT" --query="0;s1,s2" > "$TMP/r_tcfi.out"
+diff "$TMP/r_text.out" "$TMP/r_tcfi.out" || {
+  echo "FAIL: answers changed after RELOAD to the mapped .tcfi"; exit 1; }
+if "$TCF" client --port="$PORT" --reload="$TMP/torn.tcfi" 2>/dev/null; then
+  echo "FAIL: RELOAD of a torn .tcfi did not fail the client"; exit 1
+fi
+"$TCF" client --port="$PORT" --ping --query="0;s1,s2" > /dev/null \
+  || { echo "FAIL: server unhealthy after rejected RELOAD"; exit 1; }
+kill -TERM "$SERVER_PID" || { echo "FAIL: tcfi server died early";
+                              cat "$TMP/server3.log"; exit 1; }
+wait "$SERVER_PID" || { echo "FAIL: tcfi server exited non-zero"; exit 1; }
+SERVER_PID=""
+echo "OK: RELOAD swapped in the mapped snapshot; torn RELOAD rejected"
+
+# Sliced sharded serving: --shards=2 over the slice files written by
+# `index --slices=2` must map per-shard slices zero-copy and answer
+# like the unsharded mapped index. (--no-update: the streaming updater
+# needs an owned whole-tree baseline, so slices serve read-only.)
+"$TCF" serve --in="$TMP/smoke.net" --index="$TMP/smoke.tcfi" --listen=0 \
+       --threads=2 --shards=2 --no-update --compose-min-us=0 \
+       > "$TMP/server4.log" 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 100); do
+  PORT="$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' \
+          "$TMP/server4.log")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: sliced server died";
+                                         cat "$TMP/server4.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "FAIL: sliced server never reported its port";
+                    exit 1; }
+grep -q "shard slices" "$TMP/server4.log" || {
+  echo "FAIL: sliced server did not map the shard slice files"
+  cat "$TMP/server4.log"; exit 1; }
+"$TCF" client --port="$PORT" --query="0;s1,s2" > "$TMP/r_sliced.out"
+diff "$TMP/r_tcfi.out" "$TMP/r_sliced.out" || {
+  echo "FAIL: sliced shards answer differently from the mapped index"
+  exit 1; }
+kill -TERM "$SERVER_PID" || { echo "FAIL: sliced server died early";
+                              cat "$TMP/server4.log"; exit 1; }
+wait "$SERVER_PID" || { echo "FAIL: sliced server exited non-zero";
+                        exit 1; }
+SERVER_PID=""
+echo "OK: --shards=2 served zero-copy from the checked slice files"
 
 echo "== all checks passed =="

@@ -8,10 +8,17 @@
 //   mine    --in=FILE [--alpha=A] [--method=tcfi|tcfa|tcs] [--epsilon=E]
 //           [--max-len=K] [--top=N]
 //       Mine theme communities and print the top N by size.
-//   index   --in=FILE --out=FILE.idx [--build-threads=T] [--max-nodes=N]
+//   index   --in=FILE --out=FILE.idx [--format=tcft|tcfi] [--slices=N]
+//           [--build-threads=T] [--max-nodes=N]
 //       Build a TC-Tree and persist it (the §6 data-warehouse workflow).
 //       Every tree layer builds in parallel over T workers (default:
 //       hardware concurrency; --threads is accepted as a legacy alias).
+//       --format picks the on-disk format (default: tcfi when --out
+//       ends in .tcfi, else the tcft text format): tcfi is the
+//       pointer-free binary layout (docs/index-format.md) that query
+//       and serve mmap zero-copy instead of parsing. --slices=N
+//       (tcfi only) additionally writes the N per-shard slice files
+//       `FILE.shard<i>-of-<N>` that `serve --shards=N` maps directly.
 //   query   --in=FILE [--index=FILE.idx] [--alpha=A] [--items=a,b,c]
 //           [--build-threads=T]
 //       Answer one query (item *names*, comma-separated; defaults to all
@@ -95,6 +102,8 @@
 #include "core/tc_tree.h"
 #include "core/tc_tree_io.h"
 #include "core/tc_tree_query.h"
+#include "core/tc_tree_snapshot.h"
+#include "core/tcfi_format.h"
 #include "core/tcfa.h"
 #include "core/tcfi.h"
 #include "core/tcs.h"
@@ -187,8 +196,9 @@ int Usage() {
                "  stats    --in=FILE\n"
                "  mine     --in=FILE [--alpha=A] [--method=tcfi|tcfa|tcs] "
                "[--epsilon=E] [--max-len=K] [--top=N]\n"
-               "  index    --in=FILE --out=FILE.idx [--build-threads=T] "
-               "[--max-nodes=N] [--verbose]\n"
+               "  index    --in=FILE --out=FILE.idx [--format=tcft|tcfi] "
+               "[--slices=N] [--build-threads=T] [--max-nodes=N] "
+               "[--verbose]\n"
                "  query    --in=FILE [--index=FILE.idx] [--alpha=A] "
                "[--items=a,b,c] [--build-threads=T]\n"
                "  serve    --in=FILE --workload=FILE [--index=FILE.idx] "
@@ -375,25 +385,61 @@ int CmdIndex(const Args& args) {
     std::printf("\nbuild metrics (tcf_build_*):\n%s",
                 build_metrics.Render().c_str());
   }
-  if (Status s = SaveTcTreeToFile(tree, out); !s.ok()) {
+  std::string format = args.Get("format", "");
+  if (format.empty()) format = EndsWith(out, ".tcfi") ? "tcfi" : "tcft";
+  if (format != "tcft" && format != "tcfi") {
+    std::fprintf(stderr, "index: --format=%s is not tcft|tcfi\n",
+                 format.c_str());
+    return 2;
+  }
+  const size_t slices = args.GetUint("slices", 0);
+  if (slices >= 2 && format != "tcfi") {
+    std::fprintf(stderr, "index: --slices=N needs --format=tcfi\n");
+    return 2;
+  }
+  if (Status s = format == "tcfi" ? SaveTcTreeBinary(tree, out)
+                                  : SaveTcTreeToFile(tree, out);
+      !s.ok()) {
     std::fprintf(stderr, "index: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s\n", out.c_str());
+  if (slices >= 2) {
+    if (Status s = SaveTcfiShardSlices(TcTree(tree), out, slices); !s.ok()) {
+      std::fprintf(stderr, "index: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%s) + %zu shard slices\n", out.c_str(),
+                format.c_str(), slices);
+  } else {
+    std::printf("wrote %s (%s)\n", out.c_str(), format.c_str());
+  }
   return 0;
 }
 
 /// Shared by query/serve: load a persisted TC-Tree when --index=FILE is
-/// given, otherwise build one in-process over `BuildThreadsArg` workers.
-/// Prints what it did — including the build/load wall time an operator
-/// compares against the `last_reload_ms` STATS key — and returns nullopt
-/// (after printing the error) on a failed load.
-std::optional<TcTree> LoadOrBuildTree(const Args& args,
-                                      const DatabaseNetwork& net,
-                                      const char* cmd) {
+/// given — a TCFI file (sniffed by magic) is mmap'ed and served
+/// zero-copy, a TCFT file is parsed into an owned tree — otherwise
+/// build one in-process over `BuildThreadsArg` workers. Prints what it
+/// did — including the build/load wall time an operator compares
+/// against the `last_reload_ms` STATS key — and returns nullopt (after
+/// printing the error) on a failed load.
+std::optional<TcTreeSnapshot> LoadOrBuildSnapshot(const Args& args,
+                                                  const DatabaseNetwork& net,
+                                                  const char* cmd) {
   WallTimer t;
   const std::string index_path = args.Get("index", "");
   if (!index_path.empty()) {
+    if (LooksLikeTcfiFile(index_path)) {
+      auto mapped = MapTcTree(index_path);
+      if (!mapped.ok()) {
+        std::fprintf(stderr, "%s: %s\n", cmd,
+                     mapped.status().ToString().c_str());
+        return std::nullopt;
+      }
+      std::printf("TC-Tree: %zu nodes mapped zero-copy from %s in %.3f s\n",
+                  mapped->num_nodes(), index_path.c_str(), t.Seconds());
+      return TcTreeSnapshot(std::move(*mapped));
+    }
     auto loaded = LoadTcTreeFromFile(index_path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s: %s\n", cmd,
@@ -402,7 +448,7 @@ std::optional<TcTree> LoadOrBuildTree(const Args& args,
     }
     std::printf("TC-Tree: %zu nodes loaded from %s in %.2f s\n",
                 loaded->num_nodes(), index_path.c_str(), t.Seconds());
-    return std::move(*loaded);
+    return TcTreeSnapshot(std::move(*loaded));
   }
   const size_t build_threads = BuildThreadsArg(args);
   TcTree tree = TcTree::Build(
@@ -411,7 +457,18 @@ std::optional<TcTree> LoadOrBuildTree(const Args& args,
   std::printf("TC-Tree: %zu nodes built in %.2f s (%zu threads)%s\n",
               tree.num_nodes(), t.Seconds(), build_threads,
               tree.build_stats().truncated ? " (node budget hit)" : "");
-  return tree;
+  return TcTreeSnapshot(std::move(tree));
+}
+
+/// LoadOrBuildSnapshot for callers that must *own* the tree (the shard
+/// partitioner and the streaming updater's baseline): a mapped TCFI
+/// snapshot is materialized onto the heap.
+std::optional<TcTree> LoadOrBuildTree(const Args& args,
+                                      const DatabaseNetwork& net,
+                                      const char* cmd) {
+  std::optional<TcTreeSnapshot> snap = LoadOrBuildSnapshot(args, net, cmd);
+  if (!snap) return std::nullopt;
+  return std::move(*snap).TakeTree();
 }
 
 int CmdQuery(const Args& args) {
@@ -439,11 +496,11 @@ int CmdQuery(const Args& args) {
     q = Itemset(std::move(ids));
   }
 
-  std::optional<TcTree> tree = LoadOrBuildTree(args, *net, "query");
-  if (!tree) return 1;
+  std::optional<TcTreeSnapshot> snap = LoadOrBuildSnapshot(args, *net, "query");
+  if (!snap) return 1;
 
   WallTimer qt;
-  TcTreeQueryResult r = QueryTcTree(*tree, q, alpha);
+  TcTreeQueryResult r = snap->Query(q, alpha);
   std::printf("query(alpha=%.3f, |q|=%zu): %llu trusses in %.3f ms\n", alpha,
               q.size(), static_cast<unsigned long long>(r.retrieved_nodes),
               qt.Millis());
@@ -471,19 +528,55 @@ void ApplyTracingArgs(const Args& args, QueryServiceOptions* options) {
       args.GetDouble("slow-us", options->slow_query_us);
 }
 
-/// Builds the serving backend both serve modes share: a single-tree
-/// QueryService or, with --shards=N (N >= 2), the scatter-gather
-/// ShardedQueryService over N item-space shards (rolling RELOAD,
-/// per-shard caches; see docs/architecture.md).
-std::unique_ptr<QueryBackend> MakeBackend(const Args& args, TcTree tree,
-                                          const ItemDictionary& dictionary,
-                                          const QueryServiceOptions& options) {
+/// Builds the serving backend both serve modes share, loading or
+/// building the index itself: a single-tree QueryService (serving a
+/// mapped TCFI snapshot zero-copy when --index points at one) or, with
+/// --shards=N (N >= 2), the scatter-gather ShardedQueryService over N
+/// item-space shards (rolling RELOAD, per-shard caches; see
+/// docs/architecture.md). Sharded serving prefers the N per-shard TCFI
+/// slice files `TcfiSlicePath(--index, s, N)` (written by `tcf index
+/// --format=tcfi --slices=N`) — each shard maps its own slice, no
+/// partitioning work. When `baseline` is non-null (the streaming
+/// updater needs an owned whole-tree copy of what is being served) it
+/// is filled and the slice path is skipped — slices cannot reconstruct
+/// the whole tree. Returns null after printing the error.
+std::unique_ptr<QueryBackend> MakeServeBackend(
+    const Args& args, const DatabaseNetwork& net,
+    const QueryServiceOptions& options, std::optional<TcTree>* baseline) {
   const size_t shards = args.GetUint("shards", 1);
   if (shards >= 2) {
-    return std::make_unique<ShardedQueryService>(std::move(tree), dictionary,
-                                                 shards, options);
+    const std::string index_path = args.Get("index", "");
+    if (baseline == nullptr && !index_path.empty()) {
+      bool all_slices = true;
+      for (size_t s = 0; s < shards && all_slices; ++s) {
+        all_slices = LooksLikeTcfiFile(TcfiSlicePath(index_path, s, shards));
+      }
+      if (all_slices) {
+        WallTimer t;
+        auto sharded = ShardedQueryService::OpenSlices(
+            index_path, net.dictionary(), shards, options);
+        if (!sharded.ok()) {
+          std::fprintf(stderr, "serve: %s\n",
+                       sharded.status().ToString().c_str());
+          return nullptr;
+        }
+        std::printf(
+            "TC-Tree: %zu shard slices of %s mapped zero-copy in %.3f s\n",
+            shards, index_path.c_str(), t.Seconds());
+        return std::move(*sharded);
+      }
+    }
+    std::optional<TcTree> tree = LoadOrBuildTree(args, net, "serve");
+    if (!tree) return nullptr;
+    if (baseline != nullptr) *baseline = *tree;
+    return std::make_unique<ShardedQueryService>(
+        std::move(*tree), net.dictionary(), shards, options);
   }
-  return std::make_unique<QueryService>(std::move(tree), dictionary, options);
+  std::optional<TcTreeSnapshot> snap = LoadOrBuildSnapshot(args, net, "serve");
+  if (!snap) return nullptr;
+  if (baseline != nullptr) *baseline = snap->MaterializeTree();
+  return std::make_unique<QueryService>(std::move(*snap), net.dictionary(),
+                                        options);
 }
 
 /// Dumps the slow-query ring after a serving run (no-op when empty —
@@ -531,9 +624,6 @@ int ServeListen(const Args& args, DatabaseNetwork net,
   const size_t threads = args.GetUint("threads", 4);
   const size_t cache_mb = args.GetUint("cache-mb", 64);
 
-  std::optional<TcTree> tree = LoadOrBuildTree(args, net, "serve");
-  if (!tree) return 1;
-
   QueryServiceOptions service_options;
   service_options.num_threads = threads;
   service_options.cache_bytes = cache_mb << 20;
@@ -541,13 +631,14 @@ int ServeListen(const Args& args, DatabaseNetwork net,
       args.GetDouble("compose-min-us", 100.0);
   ApplyTracingArgs(args, &service_options);
   const size_t shards = args.GetUint("shards", 1);
-  // Streaming updates need the served tree as the updater's baseline;
-  // copy it before the backend consumes the original.
+  // Streaming updates need an owned copy of the served tree as the
+  // updater's baseline; the backend factory fills it while it still
+  // has the tree in hand.
   const bool allow_update = args.Get("no-update", "") != "true";
   std::optional<TcTree> updater_tree;
-  if (allow_update) updater_tree = *tree;
-  std::unique_ptr<QueryBackend> backend =
-      MakeBackend(args, std::move(*tree), net.dictionary(), service_options);
+  std::unique_ptr<QueryBackend> backend = MakeServeBackend(
+      args, net, service_options, allow_update ? &updater_tree : nullptr);
+  if (!backend) return 1;
   QueryBackend& service = *backend;
 
   // The updater owns the authoritative network and sinks every
@@ -676,9 +767,6 @@ int CmdServe(const Args& args) {
     return 1;
   }
 
-  std::optional<TcTree> tree = LoadOrBuildTree(args, *net, "serve");
-  if (!tree) return 1;
-
   QueryServiceOptions service_options;
   service_options.num_threads = threads;
   service_options.cache_bytes = cache_mb << 20;
@@ -687,7 +775,8 @@ int CmdServe(const Args& args) {
   ApplyTracingArgs(args, &service_options);
   const size_t shards = args.GetUint("shards", 1);
   std::unique_ptr<QueryBackend> backend =
-      MakeBackend(args, std::move(*tree), net->dictionary(), service_options);
+      MakeServeBackend(args, *net, service_options, nullptr);
+  if (!backend) return 1;
   QueryBackend& service = *backend;
   std::printf(
       "serving %zu queries x%zu passes, %zu threads, %zu MiB cache, "
