@@ -62,6 +62,15 @@ TcTreeQueryResult QueryWalk(const View& tree, const Itemset& q,
   TcTreeQueryResult result;
   const CohesionValue aq = QuantizeAlpha(alpha_q);
 
+  // Cooperative cancellation: a bounded deadline is re-checked every
+  // kDeadlineCheckStride visited nodes (and once up front, so an
+  // already-expired budget never starts the walk).
+  const bool bounded = options.deadline.bounded();
+  if (bounded && options.deadline.IsExpired()) {
+    result.deadline_exceeded = true;
+    return result;
+  }
+
   std::deque<TcTree::NodeId> queue;
   queue.push_back(TcTree::kRoot);
   while (!queue.empty()) {
@@ -76,6 +85,11 @@ TcTreeQueryResult QueryWalk(const View& tree, const Itemset& q,
       const TcTree::NodeId c = tree.child(f, k);
       if (!q.Contains(tree.item(c))) continue;  // subtree can't be ⊆ q
       ++result.visited_nodes;
+      if (bounded && result.visited_nodes % kDeadlineCheckStride == 0 &&
+          options.deadline.IsExpired()) {
+        result.deadline_exceeded = true;
+        return result;
+      }
       if (tree.max_alpha(c) <= aq) {  // empty at α_q
         ++result.pruned_subtrees;
         continue;
@@ -135,6 +149,14 @@ TcTreeQueryResult ComposeWalk(const View& tree, const Itemset& q,
       covers.size() == 64 ? ~uint64_t{0} : (uint64_t{1} << covers.size()) - 1;
 
   TcTreeQueryResult result;
+  // Same cancellation contract as QueryWalk: the composed and cold
+  // paths expire identically, so a deadline never changes which path a
+  // clean answer took.
+  const bool bounded = options.deadline.bounded();
+  if (bounded && options.deadline.IsExpired()) {
+    result.deadline_exceeded = true;
+    return result;
+  }
   // (node, bitmask of covers its pattern is still ⊆ of). The empty root
   // pattern is a subset of every cover.
   std::deque<std::pair<TcTree::NodeId, uint64_t>> queue;
@@ -148,6 +170,11 @@ TcTreeQueryResult ComposeWalk(const View& tree, const Itemset& q,
       const ItemId child_item = tree.item(c);
       if (!q.Contains(child_item)) continue;  // subtree can't be ⊆ q
       ++result.visited_nodes;
+      if (bounded && result.visited_nodes % kDeadlineCheckStride == 0 &&
+          options.deadline.IsExpired()) {
+        result.deadline_exceeded = true;
+        return result;
+      }
       uint64_t child_mask = 0;
       if (mask != 0) {
         const auto it = item_masks.find(child_item);

@@ -6,6 +6,7 @@
 
 #include "core/communities.h"
 #include "core/tc_tree.h"
+#include "util/deadline.h"
 
 namespace tcf {
 
@@ -24,6 +25,12 @@ struct TcTreeQueryOptions {
   /// Stop collecting after this many trusses (0 = unlimited). Traversal
   /// ends early; `retrieved_nodes` reports the truncated count.
   size_t max_results = 0;
+  /// Cooperative cancellation point: checked every
+  /// `kDeadlineCheckStride` visited nodes. An expired deadline unwinds
+  /// the walk with `TcTreeQueryResult::deadline_exceeded` set and
+  /// whatever partial counters it had — never a crash or a hang.
+  /// Default-constructed = unbounded (no clock reads at all).
+  Deadline deadline;
 };
 
 /// Result of one `(q, α_q)` query (§6.3).
@@ -38,6 +45,11 @@ struct TcTreeQueryResult {
   /// subtree (Prop. 5.2). Composition counts a cover's absence proof the
   /// same way, so composed and cold walks agree on this field too.
   uint64_t pruned_subtrees = 0;
+  /// True when `TcTreeQueryOptions::deadline` expired mid-walk: the
+  /// trusses and counters above are partial work, not an answer. The
+  /// serving layer turns this into ERR DeadlineExceeded; it must never
+  /// be cached or served as a result.
+  bool deadline_exceeded = false;
 };
 
 /// \brief Algorithm 5: pruned breadth-first collection over the TC-Tree.

@@ -84,6 +84,31 @@ Histogram::Snapshot Histogram::Fold() const {
   return snap;
 }
 
+double HistogramQuantile(const Histogram::Snapshot& snap, double q) {
+  if (snap.count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double rank = q * static_cast<double>(snap.count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    const uint64_t in_bucket = snap.buckets[b];
+    if (in_bucket == 0) continue;
+    const double below = static_cast<double>(cumulative);
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < rank) continue;
+    const double hi = Histogram::BucketBound(b);
+    if (std::isinf(hi)) {
+      // +Inf bucket: report the last finite bound rather than inventing
+      // an upper edge to interpolate against.
+      return Histogram::BucketBound(Histogram::kBuckets - 2);
+    }
+    const double lo = b == 0 ? 0 : Histogram::BucketBound(b - 1);
+    const double frac = (rank - below) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * frac;
+  }
+  return Histogram::BucketBound(Histogram::kBuckets - 2);
+}
+
 MetricsRegistry::Entry& MetricsRegistry::Register(const std::string& name,
                                                   const std::string& help,
                                                   Kind kind) {

@@ -94,6 +94,15 @@ class Histogram {
   std::array<Stripe, kStripes> stripes_{};
 };
 
+/// Estimates quantile `q` (in [0,1]) from a folded histogram by linear
+/// interpolation inside the bucket where the cumulative count crosses
+/// q·count — the standard Prometheus `histogram_quantile` arithmetic,
+/// so a scraped p99 gauge and a recording rule agree. Samples landing
+/// in the +Inf bucket clamp to the last finite bound (the estimate is
+/// a floor there, not a lie about magnitude). Returns 0 for an empty
+/// histogram.
+double HistogramQuantile(const Histogram::Snapshot& snap, double q);
+
 /// \brief Named-instrument registry with Prometheus text rendering.
 ///
 /// Get* registers on first use and returns a stable reference (the

@@ -82,6 +82,10 @@ struct QueryTrace {
   /// generation, so an answer can be correlated with the update that
   /// last moved it.
   uint64_t updates_applied = 0;
+  /// True when the request deadline expired mid-execution: the walk
+  /// facts above are partial-work counters, and the transport answered
+  /// ERR DeadlineExceeded instead of trusses (docs/robustness.md).
+  bool deadline_exceeded = false;
 
   /// Sum of the recorded stage wall times (the EXPLAIN invariant: this
   /// must land within 10% of total_us on a loopback run).

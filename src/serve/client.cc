@@ -20,29 +20,64 @@ Request MakeRequest(Request::Kind kind) {
   return request;
 }
 
-}  // namespace
-
-StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host,
-                                                  uint16_t port) {
-  const std::string address = host == "localhost" ? "127.0.0.1" : host;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("bad IPv4 host address: " + host);
+/// Connects one address literal (v6 tried before v4, matching the
+/// server's own family sniff). Returns the connected fd, or a Status.
+StatusOr<int> ConnectLiteral(const std::string& address, uint16_t port) {
+  sockaddr_storage storage{};
+  socklen_t addr_len = 0;
+  sockaddr_in6 addr6{};
+  sockaddr_in addr4{};
+  int family = AF_UNSPEC;
+  if (::inet_pton(AF_INET6, address.c_str(), &addr6.sin6_addr) == 1) {
+    family = AF_INET6;
+    addr6.sin6_family = AF_INET6;
+    addr6.sin6_port = htons(port);
+    std::memcpy(&storage, &addr6, sizeof(addr6));
+    addr_len = sizeof(addr6);
+  } else if (::inet_pton(AF_INET, address.c_str(), &addr4.sin_addr) == 1) {
+    family = AF_INET;
+    addr4.sin_family = AF_INET;
+    addr4.sin_port = htons(port);
+    std::memcpy(&storage, &addr4, sizeof(addr4));
+    addr_len = sizeof(addr4);
+  } else {
+    return Status::InvalidArgument(
+        "bad host address (need an IPv4 or IPv6 literal): " + address);
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(family, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&storage), addr_len) <
       0) {
     const Status s = Status::IOError(StrFormat(
         "connect %s:%u: %s", address.c_str(), port, std::strerror(errno)));
     ::close(fd);
     return s;
   }
-  return std::unique_ptr<Client>(new Client(fd));
+  return fd;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                  uint16_t port) {
+  // "localhost" resolves to both loopbacks: ::1 first (a dual-stack
+  // server answers either way), falling back to 127.0.0.1 for a
+  // v4-only listener.
+  std::vector<std::string> candidates;
+  if (host == "localhost") {
+    candidates = {"::1", "127.0.0.1"};
+  } else {
+    candidates = {host};
+  }
+  Status last = Status::IOError("no candidate addresses");
+  for (const std::string& address : candidates) {
+    auto fd = ConnectLiteral(address, port);
+    if (fd.ok()) return std::unique_ptr<Client>(new Client(*fd));
+    last = fd.status();
+  }
+  return last;
 }
 
 Client::~Client() {

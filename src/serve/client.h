@@ -24,8 +24,10 @@ namespace tcf {
 /// (connections are cheap; the server parks idle ones in epoll).
 class Client {
  public:
-  /// Connects to `host:port`. `host` is an IPv4 dotted quad, or
-  /// "localhost" for 127.0.0.1. IOError if the connection is refused.
+  /// Connects to `host:port`. `host` is an IPv4 dotted quad, an IPv6
+  /// literal (e.g. "::1"), or "localhost" — which tries ::1 and then
+  /// 127.0.0.1, so it reaches both dual-stack and v4-only servers.
+  /// IOError if every candidate connection is refused.
   static StatusOr<std::unique_ptr<Client>> Connect(const std::string& host,
                                                    uint16_t port);
 

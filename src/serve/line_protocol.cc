@@ -18,6 +18,7 @@ constexpr std::string_view kBatch = "BATCH";
 constexpr std::string_view kMetrics = "METRICS";
 constexpr std::string_view kExplain = "EXPLAIN";
 constexpr std::string_view kUpdate = "UPDATE";
+constexpr std::string_view kDeadline = "DEADLINE";
 
 /// Update body-line verbs (lower-case: they are data lines, not
 /// request verbs, and never collide with the upper-case request space).
@@ -43,11 +44,12 @@ Status AtColumn(size_t col, const std::string& msg) {
 /// Status codes that may cross the wire, in a fixed order so name<->code
 /// translation stays total. kOk is excluded: OK responses use the OK
 /// grammar, never an ERR line.
-constexpr std::array<Status::Code, 8> kWireCodes = {
-    Status::Code::kInvalidArgument, Status::Code::kNotFound,
-    Status::Code::kAlreadyExists,   Status::Code::kOutOfRange,
-    Status::Code::kCorruption,      Status::Code::kIOError,
-    Status::Code::kUnimplemented,   Status::Code::kInternal,
+constexpr std::array<Status::Code, 10> kWireCodes = {
+    Status::Code::kInvalidArgument,  Status::Code::kNotFound,
+    Status::Code::kAlreadyExists,    Status::Code::kOutOfRange,
+    Status::Code::kCorruption,       Status::Code::kIOError,
+    Status::Code::kUnimplemented,    Status::Code::kInternal,
+    Status::Code::kDeadlineExceeded, Status::Code::kRateLimited,
 };
 
 StatusOr<Status::Code> CodeFromName(std::string_view name) {
@@ -75,6 +77,10 @@ Status MakeStatus(Status::Code code, std::string msg) {
       return Status::IOError(std::move(msg));
     case Status::Code::kUnimplemented:
       return Status::Unimplemented(std::move(msg));
+    case Status::Code::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(msg));
+    case Status::Code::kRateLimited:
+      return Status::RateLimited(std::move(msg));
     default:
       return Status::Internal(std::move(msg));
   }
@@ -89,6 +95,25 @@ StatusOr<Request> ParseRequest(std::string_view line) {
   const std::string_view rest = Trim(trimmed.substr(verb.size()));
 
   Request request;
+  if (verb == kDeadline) {
+    // Additive prefix: `DEADLINE <ms> <request...>` bounds the request
+    // that follows. Parsed by recursion so every verb (and the query
+    // grammar) accepts it uniformly.
+    const std::string_view ms_tok = FirstToken(rest);
+    auto ms = ParseUint64(ms_tok);
+    if (ms_tok.empty() || !ms.ok() || *ms == 0) {
+      return AtColumn(verb.size() + 2,
+                      "DEADLINE requires a positive millisecond budget, "
+                      "'DEADLINE <ms> <request>'");
+    }
+    auto inner = ParseRequest(Trim(rest.substr(ms_tok.size())));
+    if (!inner.ok()) return inner.status();
+    if (inner->deadline_ms != 0) {
+      return AtColumn(verb.size() + 2, "duplicate DEADLINE prefix");
+    }
+    inner->deadline_ms = *ms;
+    return inner;
+  }
   if (verb == kPing || verb == kStats || verb == kQuit ||
       verb == kMetrics) {
     if (!rest.empty()) {
@@ -167,7 +192,8 @@ StatusOr<Request> ParseRequest(std::string_view line) {
     return AtColumn(
         1, StrFormat("'%.*s' is neither a verb (PING, STATS, "
                      "RELOAD <path>, QUIT, BATCH <n>, METRICS, "
-                     "EXPLAIN <query>, UPDATE <n>) nor a query "
+                     "EXPLAIN <query>, UPDATE <n>, optionally "
+                     "prefixed DEADLINE <ms>) nor a query "
                      "'alpha;item,...'",
                      static_cast<int>(verb.size()), verb.data()));
   }
@@ -177,6 +203,14 @@ StatusOr<Request> ParseRequest(std::string_view line) {
 }
 
 std::string EncodeRequest(const Request& request) {
+  if (request.deadline_ms != 0) {
+    Request bare = request;
+    bare.deadline_ms = 0;
+    return StrFormat("%.*s %llu %s", static_cast<int>(kDeadline.size()),
+                     kDeadline.data(),
+                     static_cast<unsigned long long>(request.deadline_ms),
+                     EncodeRequest(bare).c_str());
+  }
   switch (request.kind) {
     case Request::Kind::kPing:
       return std::string(kPing);
@@ -530,6 +564,13 @@ std::vector<std::string> EncodeStats(const ServeReport& report) {
   add_u("update_dirty_items", report.update_dirty_items);
   add_u("update_shards_swapped", report.update_shards_swapped);
   add_d("last_update_ms", report.last_update_ms);
+  // Overload-protection counters — appended after the update block,
+  // same rule. All zero while no deadline expired and nothing was
+  // refused.
+  add_u("deadline_exceeded", report.deadline_exceeded);
+  add_u("rate_limited", report.rate_limited);
+  add_u("shed", report.shed);
+  add_u("clients_tracked", report.clients_tracked);
   return lines;
 }
 
@@ -564,6 +605,10 @@ std::vector<std::string> EncodeExplain(const QueryTrace& trace) {
   // Appended (same rule): streaming updates the backend had applied
   // when this query ran — ties a trace to an index freshness point.
   add_u("updates_applied", trace.updates_applied);
+  // Appended (same rule): whether the walk/merge was cut short by the
+  // request deadline — the walk facts above are then partial-work
+  // counters, not a full answer's.
+  add_u("deadline_exceeded", trace.deadline_exceeded ? 1 : 0);
   return lines;
 }
 

@@ -72,6 +72,12 @@ struct Request {
   };
 
   Kind kind = Kind::kQuery;
+  /// Per-request deadline budget in milliseconds, set by the additive
+  /// `DEADLINE <ms>` prefix (`DEADLINE 50 0.1;i0`). 0 means "none
+  /// given": the server applies its `--default-deadline-ms` (which may
+  /// itself be 0 = unbounded). A batch's prefix is inherited by every
+  /// slot of the batch.
+  uint64_t deadline_ms = 0;
   /// kQuery / kExplain: the raw `alpha;item,item,...` line, resolved
   /// against the server's dictionary by ParseServeQuery (names are
   /// server-side state the protocol layer does not have).
@@ -90,6 +96,8 @@ struct Request {
 /// tolerated). A line starting with a known verb must match the verb
 /// grammar exactly — `PING x` is an error, not a query; anything else is
 /// treated as a query line and must contain the `alpha;items` separator.
+/// An optional `DEADLINE <ms>` prefix (additive, TCF1-compatible) may
+/// lead any request and sets `Request::deadline_ms` for what follows.
 /// Errors carry 1-based column context.
 StatusOr<Request> ParseRequest(std::string_view line);
 

@@ -21,6 +21,13 @@ namespace tcf {
 struct ServeQuery {
   Itemset items;
   double alpha = 0;
+  /// Compute budget for this query. The transport stamps it from the
+  /// request's `DEADLINE <ms>` prefix (or the server-wide
+  /// `--default-deadline-ms`); in-process callers that leave it
+  /// default-constructed get the unbounded pre-deadline behaviour.
+  /// An expired budget surfaces as `deadline_exceeded` on the result —
+  /// partial work the transport turns into ERR DeadlineExceeded.
+  Deadline deadline;
 };
 
 /// Largest alpha the serving layer accepts. Cohesion arithmetic is

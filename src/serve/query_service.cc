@@ -7,6 +7,7 @@
 #include "core/cohesion.h"
 #include "core/tc_tree_io.h"
 #include "core/tcfi_format.h"
+#include "util/failpoint.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -94,6 +95,12 @@ QueryService::QueryService(TcTreeSnapshot snapshot, ItemDictionary dictionary,
       "EWMA of full-walk miss CPU microseconds (composition gate input)",
       MetricsRegistry::CallbackKind::kGauge,
       [this] { return walk_us_ewma_.load(std::memory_order_relaxed); });
+  metrics_.RegisterCallback(
+      "tcf_query_latency_p99_us",
+      "p99 end-to-end query latency, interpolated from the "
+      "tcf_query_total_us buckets (0 until a traced query lands)",
+      MetricsRegistry::CallbackKind::kGauge,
+      [this] { return HistogramQuantile(query_total_us_.Fold(), 0.99); });
 }
 
 StatusOr<std::unique_ptr<QueryService>> QueryService::Open(
@@ -134,6 +141,14 @@ bool QueryService::ShouldSampleWalk() {
   // checks rely on that being literal, so sampling is off too.
   if (options_.cache_compose_min_walk_us <= 0) return false;
   return composable_misses_.fetch_add(1, std::memory_order_relaxed) % 64 ==
+         0;
+}
+
+bool QueryService::ShouldTrace() {
+  if (!options_.tracing) return false;
+  if (options_.trace_sample_every <= 1) return true;
+  return trace_clock_.fetch_add(1, std::memory_order_relaxed) %
+             options_.trace_sample_every ==
          0;
 }
 
@@ -200,11 +215,20 @@ QueryService::Result QueryService::Execute(const ServeQuery& query,
   // span-free fast path: a stack-local trace when the option is on, the
   // caller's when one is passed (EXPLAIN), nullptr otherwise.
   QueryTrace local_trace;
-  QueryTrace* t = trace != nullptr
-                      ? trace
-                      : (options_.tracing ? &local_trace : nullptr);
+  QueryTrace* t =
+      trace != nullptr ? trace : (ShouldTrace() ? &local_trace : nullptr);
   const CohesionValue alpha_q = QuantizeAlpha(query.alpha);
   queries_total_.Increment();
+
+  // Per-call traversal options: the service-wide knobs plus this
+  // query's budget. The "walk.deadline" failpoint stamps an
+  // already-expired budget so chaos tests exercise the genuine in-walk
+  // cancellation path, not a shortcut.
+  TcTreeQueryOptions walk_options = options_.query_options;
+  walk_options.deadline = query.deadline;
+  if (TCF_FAILPOINT("walk.deadline")) {
+    walk_options.deadline = Deadline::Expired();
+  }
 
   if (cache_) {
     Result hit;
@@ -249,8 +273,7 @@ QueryService::Result QueryService::Execute(const ServeQuery& query,
         blocks.push_back({&cover.itemset, cover.value.get()});
       }
       result = std::make_shared<TcTreeQueryResult>(
-          snap->Compose(query.items, query.alpha, blocks,
-                        options_.query_options));
+          snap->Compose(query.items, query.alpha, blocks, walk_options));
       composed_total_.Increment();
       covers_used_total_.Increment(covers.size());
       if (t != nullptr) {
@@ -267,11 +290,30 @@ QueryService::Result QueryService::Execute(const ServeQuery& query,
     StageSpan walk(t, QueryStage::kWalk);
     ThreadCpuTimer walk_timer;
     result = std::make_shared<TcTreeQueryResult>(
-        snap->Query(query.items, query.alpha, options_.query_options));
-    RecordWalkMicros(walk_timer.Micros());
+        snap->Query(query.items, query.alpha, walk_options));
+    // A truncated walk would feed the composition gate a cost the full
+    // walk never had; only clean walks update the EWMA.
+    if (!result->deadline_exceeded) RecordWalkMicros(walk_timer.Micros());
   }
   nodes_visited_total_.Increment(result->visited_nodes);
   prunes_total_.Increment(result->pruned_subtrees);
+  if (result->deadline_exceeded) {
+    // Partial work is not an answer: never cached, never derived from,
+    // and not counted as a served query. The transport turns the flag
+    // into ERR DeadlineExceeded.
+    stats_.RecordDeadlineExceeded();
+    if (t != nullptr) {
+      t->deadline_exceeded = true;
+      t->updates_applied = updates_applied();
+      t->visited_nodes = result->visited_nodes;
+      t->retrieved_nodes = result->retrieved_nodes;
+      t->pruned_subtrees = result->pruned_subtrees;
+      t->trusses = result->trusses.size();
+      t->total_us = timer.Micros();
+      RecordTrace(query, *t);
+    }
+    return result;
+  }
   if (cache_) {
     cache_->Insert(query.items, alpha_q, result, epoch, snap);
     AdmitDerivedSubsets(query.items, alpha_q, result, epoch, snap);

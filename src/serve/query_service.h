@@ -69,6 +69,12 @@ struct QueryServiceOptions {
   double slow_query_us = 10000.0;
   /// Slow-query ring capacity (oldest evicted first).
   size_t slow_log_capacity = 128;
+  /// While `tracing` is on, span-time every Nth query instead of every
+  /// one (`--trace-sample=N`): the sampled queries keep the stage
+  /// histograms and slow-query ring alive at 1/N the span overhead.
+  /// Unsampled queries keep only the flat counters. <= 1 traces
+  /// everything; `EXPLAIN` always traces its own query regardless.
+  size_t trace_sample_every = 1;
 };
 
 /// \brief The online query-answering facade (§6.3 as a service).
@@ -199,6 +205,11 @@ class QueryService : public QueryBackend {
   /// ShouldCompose.
   void RecordWalkMicros(double micros);
 
+  /// True when this query should carry a stack-local trace: tracing is
+  /// on and the sample clock says it's this query's turn (every
+  /// trace_sample_every-th; <= 1 means all).
+  bool ShouldTrace();
+
   /// Derives answers for `items`'s size-(|items|−1) sub-itemsets from
   /// `result` and admits the ones not already resident (see
   /// QueryServiceOptions::cache_admit_derived).
@@ -242,6 +253,7 @@ class QueryService : public QueryBackend {
   /// periodic forced walks keep it live while composition is engaged.
   std::atomic<double> walk_us_ewma_{0.0};
   std::atomic<uint64_t> composable_misses_{0};  // ShouldSampleWalk clock
+  std::atomic<uint64_t> trace_clock_{0};        // ShouldTrace clock
   std::atomic<uint64_t> updates_applied_{0};    // incremental swaps so far
 
   mutable std::mutex snapshot_mu_;

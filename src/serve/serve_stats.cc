@@ -88,6 +88,14 @@ TextTable ServeReport::ToTable() const {
         {"update shards swapped", TextTable::Num(update_shards_swapped)});
     t.AddRow({"last update (ms)", TextTable::Num(last_update_ms)});
   }
+  // Overload-protection rows appear only once a deadline expired or the
+  // transport refused work, so calm-weather reports keep their shape.
+  if (deadline_exceeded > 0 || rate_limited > 0 || shed > 0) {
+    t.AddRow({"deadline exceeded", TextTable::Num(deadline_exceeded)});
+    t.AddRow({"rate limited", TextTable::Num(rate_limited)});
+    t.AddRow({"shed", TextTable::Num(shed)});
+    t.AddRow({"clients tracked", TextTable::Num(clients_tracked)});
+  }
   return t;
 }
 
@@ -161,6 +169,22 @@ void ServeStats::RecordUpdate(uint64_t txs, uint64_t edges,
   last_update_ms_.store(wall_ms, std::memory_order_relaxed);
 }
 
+void ServeStats::RecordDeadlineExceeded() {
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordRateLimited() {
+  rate_limited_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeStats::RecordShed() {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ServeStats::SetClientsTracked(uint64_t n) {
+  clients_tracked_.store(n, std::memory_order_relaxed);
+}
+
 void ServeStats::RegisterMetrics(MetricsRegistry* registry) {
   const auto counter = [](const std::atomic<uint64_t>* v) {
     return [v] {
@@ -227,6 +251,22 @@ void ServeStats::RegisterMetrics(MetricsRegistry* registry) {
       MetricsRegistry::CallbackKind::kGauge, [this] {
         return last_update_ms_.load(std::memory_order_relaxed);
       });
+  registry->RegisterCallback(
+      "tcf_deadline_exceeded_total",
+      "Queries that expired mid-execution (ERR DeadlineExceeded).",
+      MetricsRegistry::CallbackKind::kCounter,
+      counter(&deadline_exceeded_));
+  registry->RegisterCallback(
+      "tcf_rate_limited_total",
+      "Requests refused by the per-client token bucket.",
+      MetricsRegistry::CallbackKind::kCounter, counter(&rate_limited_));
+  registry->RegisterCallback(
+      "tcf_shed_total", "Requests dropped by queue-depth load shedding.",
+      MetricsRegistry::CallbackKind::kCounter, counter(&shed_));
+  registry->RegisterCallback(
+      "tcf_clients_tracked",
+      "Per-client accounting records currently held in the LRU.",
+      MetricsRegistry::CallbackKind::kGauge, counter(&clients_tracked_));
 }
 
 void ServeStats::Reset() {
@@ -264,6 +304,11 @@ ServeReport ServeStats::Report(const ResultCacheStats& cache) const {
   report.update_shards_swapped =
       update_shards_swapped_.load(std::memory_order_relaxed);
   report.last_update_ms = last_update_ms_.load(std::memory_order_relaxed);
+  report.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  report.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+  report.shed = shed_.load(std::memory_order_relaxed);
+  report.clients_tracked = clients_tracked_.load(std::memory_order_relaxed);
 
   std::vector<double> all;
   for (const Stripe& stripe : stripes_) {

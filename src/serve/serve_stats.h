@@ -74,6 +74,18 @@ struct ServeReport {
   uint64_t update_shards_swapped = 0;
   double last_update_ms = 0;
 
+  // Overload-protection counters (deadlines / rate limiting / load
+  // shedding; lifetime-of-server like the other transport counters).
+  // `deadline_exceeded` counts queries that expired mid-execution and
+  // returned ERR DeadlineExceeded; `rate_limited` counts requests
+  // refused by the per-client token bucket; `shed` counts requests
+  // dropped by queue-depth load shedding; `clients_tracked` is the
+  // point-in-time size of the per-client accounting LRU.
+  uint64_t deadline_exceeded = 0;
+  uint64_t rate_limited = 0;
+  uint64_t shed = 0;
+  uint64_t clients_tracked = 0;
+
   /// Renders the report as a two-column (metric, value) table.
   TextTable ToTable() const;
   std::string ToString() const;
@@ -118,6 +130,19 @@ class ServeStats {
   /// `shards_swapped` snapshots rolled, `wall_ms` enqueue-to-swap time.
   void RecordUpdate(uint64_t txs, uint64_t edges, uint64_t dirty_items,
                     uint64_t shards_swapped, double wall_ms);
+
+  /// Records one query that expired mid-execution (ERR DeadlineExceeded).
+  void RecordDeadlineExceeded();
+
+  /// Records one request refused by the per-client token bucket.
+  void RecordRateLimited();
+
+  /// Records one request dropped by queue-depth load shedding.
+  void RecordShed();
+
+  /// Publishes the point-in-time size of the per-client accounting LRU
+  /// (set by the transport whenever the table changes).
+  void SetClientsTracked(uint64_t n);
 
   /// Forgets all samples and restarts the wall clock (used between the
   /// cold and warm passes of `tcf serve --repeat`). Network counters are
@@ -165,6 +190,10 @@ class ServeStats {
   std::atomic<uint64_t> update_dirty_items_{0};
   std::atomic<uint64_t> update_shards_swapped_{0};
   std::atomic<double> last_update_ms_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> rate_limited_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> clients_tracked_{0};
 };
 
 }  // namespace tcf

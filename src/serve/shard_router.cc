@@ -170,6 +170,20 @@ ShardedQueryService::ShardedQueryService(
         });
   }
   stats_.RegisterMetrics(&metrics_);
+  metrics_.RegisterCallback(
+      "tcf_query_latency_p99_us",
+      "p99 end-to-end query latency, interpolated from the "
+      "tcf_query_total_us buckets (0 until a traced query lands)",
+      MetricsRegistry::CallbackKind::kGauge,
+      [this] { return HistogramQuantile(query_total_us_.Fold(), 0.99); });
+}
+
+bool ShardedQueryService::ShouldTrace() {
+  if (!options_.tracing) return false;
+  if (options_.trace_sample_every <= 1) return true;
+  return trace_clock_.fetch_add(1, std::memory_order_relaxed) %
+             options_.trace_sample_every ==
+         0;
 }
 
 StatusOr<std::unique_ptr<ShardedQueryService>> ShardedQueryService::OpenSlices(
@@ -212,20 +226,34 @@ std::vector<size_t> ShardedQueryService::RelevantShards(
 }
 
 std::shared_ptr<TcTreeQueryResult> ShardedQueryService::MergeShardResults(
-    const std::vector<Result>& parts, size_t max_results) {
+    const std::vector<Result>& parts, size_t max_results,
+    const Deadline& deadline) {
   auto merged = std::make_shared<TcTreeQueryResult>();
   size_t total = 0;
   for (const Result& part : parts) {
     merged->visited_nodes += part->visited_nodes;
     merged->pruned_subtrees += part->pruned_subtrees;
     total += part->trusses.size();
+    // An expired shard answer is partial work, which poisons the whole
+    // merge — there is no complete merged answer to build from it.
+    merged->deadline_exceeded =
+        merged->deadline_exceeded || part->deadline_exceeded;
   }
+  if (merged->deadline_exceeded) return merged;
   merged->trusses.reserve(max_results == 0 ? total
                                            : std::min(total, max_results));
   // K-way merge on the BFS-order key. Shard answer sets are disjoint
   // (each pattern has exactly one owner), so no tie-break is needed.
+  // The merge is the router's own long loop, so it honours the same
+  // cooperative-cancellation stride as the shard walks.
+  const bool bounded = deadline.bounded();
   std::vector<size_t> pos(parts.size(), 0);
   while (max_results == 0 || merged->trusses.size() < max_results) {
+    if (bounded && merged->trusses.size() % kDeadlineCheckStride == 0 &&
+        deadline.IsExpired()) {
+      merged->deadline_exceeded = true;
+      return merged;
+    }
     size_t best = parts.size();
     for (size_t k = 0; k < parts.size(); ++k) {
       if (pos[k] >= parts[k]->trusses.size()) continue;
@@ -248,9 +276,8 @@ ShardedQueryService::Result ShardedQueryService::Execute(
     const ServeQuery& query, QueryTrace* trace) {
   WallTimer timer;
   QueryTrace local_trace;
-  QueryTrace* t = trace != nullptr
-                      ? trace
-                      : (options_.tracing ? &local_trace : nullptr);
+  QueryTrace* t =
+      trace != nullptr ? trace : (ShouldTrace() ? &local_trace : nullptr);
   queries_total_.Increment();
   const std::vector<size_t> relevant = RelevantShards(query.items);
   shard_queries_total_.Increment(relevant.size());
@@ -283,9 +310,13 @@ ShardedQueryService::Result ShardedQueryService::Execute(
         any_composed = any_composed || sub.composed;
         covers += sub.covers_used;
       }
+      // A shard that ran out of budget ends the scatter: the remaining
+      // shards would burn the same spent budget to produce more partial
+      // work the merge must throw away anyway.
+      if (parts.back()->deadline_exceeded) break;
     }
-    std::shared_ptr<TcTreeQueryResult> merged =
-        MergeShardResults(parts, options_.query_options.max_results);
+    std::shared_ptr<TcTreeQueryResult> merged = MergeShardResults(
+        parts, options_.query_options.max_results, query.deadline);
     if (t != nullptr) {
       t->cache_hit = all_hit;
       t->composed = any_composed;
@@ -299,6 +330,21 @@ ShardedQueryService::Result ShardedQueryService::Execute(
   }
 
   const double us = timer.Micros();
+  if (result->deadline_exceeded) {
+    // Partial work, not an answer (see QueryService::Execute). The
+    // single-owner shard already recorded its own deadline counter;
+    // this one feeds the router's STATS/metrics, which is what the
+    // transport reports.
+    stats_.RecordDeadlineExceeded();
+    if (t != nullptr) {
+      t->deadline_exceeded = true;
+      t->shards_probed = relevant.size();
+      t->updates_applied = updates_applied();
+      t->total_us = us;
+      RecordTrace(query, *t);
+    }
+    return result;
+  }
   stats_.RecordQuery(us, result->trusses.size());
   if (t != nullptr) {
     t->shards_probed = relevant.size();

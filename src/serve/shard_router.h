@@ -178,9 +178,16 @@ class ShardedQueryService : public QueryBackend {
   std::vector<size_t> RelevantShards(const Itemset& items) const;
 
   /// Merges disjoint per-shard results into single-tree BFS retrieval
-  /// order; truncates at `max_results` when nonzero.
+  /// order; truncates at `max_results` when nonzero. Checks `deadline`
+  /// every kDeadlineCheckStride merged trusses (the k-way merge is the
+  /// router's own long loop); a part that already expired, or an expiry
+  /// mid-merge, marks the merged result `deadline_exceeded`.
   static std::shared_ptr<TcTreeQueryResult> MergeShardResults(
-      const std::vector<Result>& parts, size_t max_results);
+      const std::vector<Result>& parts, size_t max_results,
+      const Deadline& deadline);
+
+  /// Trace sampling, as in QueryService::ShouldTrace.
+  bool ShouldTrace();
 
   std::string RenderQueryLine(const ServeQuery& query) const;
   void RecordTrace(const ServeQuery& query, const QueryTrace& trace);
@@ -195,6 +202,7 @@ class ShardedQueryService : public QueryBackend {
   ThreadPool pool_;
   std::vector<std::unique_ptr<QueryService>> shards_;
   ServeStats stats_;
+  std::atomic<uint64_t> trace_clock_{0};      // ShouldTrace clock
   std::atomic<uint64_t> updates_applied_{0};  // incremental swaps so far
 
   // Router-level instruments (the shard services keep their own

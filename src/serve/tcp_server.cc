@@ -10,11 +10,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
 #include "core/tc_tree_io.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -36,6 +38,12 @@ constexpr size_t kMaxBatchBytes = size_t{16} << 20;  // 16 MiB
 /// triggered epoll re-reports the leftover immediately.
 constexpr size_t kMaxReadPerEvent = size_t{256} << 10;
 
+/// Client records older than this cap get evicted least-recently-seen
+/// first — an abuser rotating source ports (or a NAT pool) cannot grow
+/// the map unboundedly, and a client idle long enough to be evicted
+/// just starts over with a full burst budget.
+constexpr size_t kMaxClientRecords = 4096;
+
 /// Writes 1 to an eventfd, riding out EINTR. Used for worker-completion
 /// and shutdown wakeups; the counter semantics coalesce any number of
 /// signals into one epoll event.
@@ -43,6 +51,36 @@ void SignalEventFd(int fd) {
   const uint64_t one = 1;
   while (::write(fd, &one, sizeof(one)) < 0 && errno == EINTR) {
   }
+}
+
+/// The peer's IP as text — the rate-limit key. A v4-mapped IPv6 address
+/// (what a v4 client looks like through a dual-stack socket) is
+/// normalized to its dotted-quad form, so the same client hits the same
+/// record whichever family carried the connection.
+std::string PeerIpOf(const sockaddr_storage& ss) {
+  char buf[INET6_ADDRSTRLEN] = {0};
+  if (ss.ss_family == AF_INET) {
+    const auto& a = reinterpret_cast<const sockaddr_in&>(ss);
+    ::inet_ntop(AF_INET, &a.sin_addr, buf, sizeof(buf));
+  } else if (ss.ss_family == AF_INET6) {
+    const auto& a = reinterpret_cast<const sockaddr_in6&>(ss);
+    if (IN6_IS_ADDR_V4MAPPED(&a.sin6_addr)) {
+      in_addr v4;
+      std::memcpy(&v4, &a.sin6_addr.s6_addr[12], sizeof(v4));
+      ::inet_ntop(AF_INET, &v4, buf, sizeof(buf));
+    } else {
+      ::inet_ntop(AF_INET6, &a.sin6_addr, buf, sizeof(buf));
+    }
+  }
+  return buf[0] != '\0' ? std::string(buf) : std::string("unknown");
+}
+
+/// Health and teardown verbs stay exempt from rate limiting: an
+/// operator must be able to PING and scrape STATS/METRICS from an
+/// overloaded server — that is when the numbers matter most.
+bool RateLimitExempt(Request::Kind kind) {
+  return kind == Request::Kind::kPing || kind == Request::Kind::kQuit ||
+         kind == Request::Kind::kStats || kind == Request::Kind::kMetrics;
 }
 
 }  // namespace
@@ -56,6 +94,10 @@ TcpServer::TcpServer(QueryBackend& service, const TcpServerOptions& options)
       serialize_us_(service.metrics().GetHistogram(
           "tcf_query_stage_serialize_us",
           "Wall microseconds spent in the serialize stage")),
+      pending_units_gauge_(service.metrics().GetGauge(
+          "tcf_server_pending_units",
+          "Request units queued or executing in the TCP server "
+          "(the load-shedding pressure signal)")),
       pool_(options.num_threads == 0 ? 1 : options.num_threads) {}
 
 TcpServer::~TcpServer() { Shutdown(); }
@@ -64,7 +106,24 @@ Status TcpServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("server already started");
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  // Family from the literal: an IPv6 literal (`::`, `::1`) gets a
+  // dual-stack socket — IPV6_V6ONLY off, so `::` also accepts IPv4
+  // peers through v4-mapped addresses; an IPv4 literal keeps the plain
+  // AF_INET socket (a v6 socket cannot bind 127.0.0.1).
+  in6_addr v6{};
+  in_addr v4{};
+  const bool is_v6 =
+      ::inet_pton(AF_INET6, options_.bind_address.c_str(), &v6) == 1;
+  const bool is_v4 =
+      !is_v6 && ::inet_pton(AF_INET, options_.bind_address.c_str(), &v4) == 1;
+  if (!is_v6 && !is_v4) {
+    return Status::InvalidArgument(
+        "bad bind address (need an IPv4 or IPv6 literal): " +
+        options_.bind_address);
+  }
+
+  listen_fd_ = ::socket(is_v6 ? AF_INET6 : AF_INET,
+                        SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) {
     return Status::IOError(StrFormat("socket: %s", std::strerror(errno)));
   }
@@ -81,16 +140,24 @@ Status TcpServer::Start() {
     return s;
   };
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    return fail(Status::InvalidArgument("bad IPv4 bind address: " +
-                                        options_.bind_address));
+  sockaddr_storage addr{};
+  socklen_t addr_len;
+  if (is_v6) {
+    const int off = 0;
+    ::setsockopt(listen_fd_, IPPROTO_IPV6, IPV6_V6ONLY, &off, sizeof(off));
+    auto& a6 = reinterpret_cast<sockaddr_in6&>(addr);
+    a6.sin6_family = AF_INET6;
+    a6.sin6_port = htons(options_.port);
+    a6.sin6_addr = v6;
+    addr_len = sizeof(sockaddr_in6);
+  } else {
+    auto& a4 = reinterpret_cast<sockaddr_in&>(addr);
+    a4.sin_family = AF_INET;
+    a4.sin_port = htons(options_.port);
+    a4.sin_addr = v4;
+    addr_len = sizeof(sockaddr_in);
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), addr_len) < 0) {
     return fail(Status::IOError(
         StrFormat("bind %s:%u: %s", options_.bind_address.c_str(),
                   options_.port, std::strerror(errno))));
@@ -100,14 +167,16 @@ Status TcpServer::Start() {
         Status::IOError(StrFormat("listen: %s", std::strerror(errno))));
   }
   // Read back the kernel's port choice (options_.port may have been 0).
-  sockaddr_in bound{};
+  sockaddr_storage bound{};
   socklen_t len = sizeof(bound);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
       0) {
     return fail(
         Status::IOError(StrFormat("getsockname: %s", std::strerror(errno))));
   }
-  port_ = ntohs(bound.sin_port);
+  port_ = ntohs(bound.ss_family == AF_INET6
+                    ? reinterpret_cast<sockaddr_in6&>(bound).sin6_port
+                    : reinterpret_cast<sockaddr_in&>(bound).sin_port);
 
   epoll_fd_ = ::epoll_create1(0);
   if (epoll_fd_ < 0) {
@@ -149,6 +218,9 @@ void TcpServer::Shutdown() {
   // unanswered — the responses are undeliverable anyway.
   pool_.Wait();
   for (auto& [fd, conn] : conns_) {
+    // The registry gauge outlives this server: units dying with their
+    // connection must leave it at zero, not a phantom backlog.
+    DropQueued(*conn);
     ::close(fd);
     service_.stats().RecordConnectionClosed();
   }
@@ -211,7 +283,10 @@ void TcpServer::EventLoop() {
 
 void TcpServer::AcceptReady() {
   while (true) {
-    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    sockaddr_storage peer{};
+    socklen_t peer_len = sizeof(peer);
+    const int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                             &peer_len, SOCK_NONBLOCK);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
@@ -245,6 +320,7 @@ void TcpServer::AcceptReady() {
     }
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
+    conn->peer_ip = PeerIpOf(peer);
     conn->interest = EPOLLIN;
     conns_.emplace(fd, std::move(conn));
     service_.stats().RecordConnectionOpened();
@@ -289,7 +365,7 @@ void TcpServer::ReadReady(Conn& conn) {
     conn.out += '\n';
     conn.quitting = true;
     conn.in.clear();
-    conn.queued.clear();
+    DropQueued(conn);
   }
   DispatchIfReady(conn);
   FlushWrites(conn);
@@ -328,7 +404,7 @@ void TcpServer::FrameLine(Conn& conn, std::string line) {
       conn.out += '\n';
       conn.quitting = true;
       conn.in.clear();
-      conn.queued.clear();
+      DropQueued(conn);
       conn.batch_expect = 0;
       conn.batch_lines.clear();
       return;
@@ -341,6 +417,8 @@ void TcpServer::FrameLine(Conn& conn, std::string line) {
       conn.batch_lines.clear();
       conn.batch_bytes = 0;
       conn.queued.push_back(std::move(unit));
+      pending_units_.fetch_add(1, std::memory_order_relaxed);
+      pending_units_gauge_.Add(1);
     }
     return;
   }
@@ -366,6 +444,73 @@ void TcpServer::FrameLine(Conn& conn, std::string line) {
   unit.request = std::move(parsed);
   unit.wire_bytes = line.size() + 1;
   conn.queued.push_back(std::move(unit));
+  pending_units_.fetch_add(1, std::memory_order_relaxed);
+  pending_units_gauge_.Add(1);
+}
+
+void TcpServer::DropQueued(Conn& conn) {
+  if (conn.queued.empty()) return;
+  pending_units_.fetch_sub(conn.queued.size(), std::memory_order_relaxed);
+  pending_units_gauge_.Add(-static_cast<double>(conn.queued.size()));
+  conn.queued.clear();
+}
+
+Deadline TcpServer::EffectiveDeadline(const Request& request) const {
+  const uint64_t ms = request.deadline_ms != 0 ? request.deadline_ms
+                                               : options_.default_deadline_ms;
+  return Deadline::AfterMillis(ms);
+}
+
+bool TcpServer::ShedColdWalk(size_t num_items) const {
+  if (options_.shed_watermark == 0) return false;
+  const size_t pending = pending_units_.load(std::memory_order_relaxed);
+  if (pending >= 2 * options_.shed_watermark) return true;
+  return pending >= options_.shed_watermark &&
+         num_items >= kShedLargeQueryItems;
+}
+
+bool TcpServer::AdmitClient(const std::string& peer_ip, double cost,
+                            double* retry_after_ms) {
+  if (options_.rate_limit_qps <= 0) return true;
+  const double qps = options_.rate_limit_qps;
+  const double burst = options_.rate_limit_burst > 0
+                           ? options_.rate_limit_burst
+                           : std::max(1.0, qps);
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(clients_mu_);
+  auto [it, inserted] = clients_.try_emplace(peer_ip);
+  ClientRecord& rec = it->second;
+  if (inserted) {
+    rec.tokens = burst;
+    rec.last_refill = now;
+    if (clients_.size() > kMaxClientRecords) {
+      // Decay: drop the least-recently-seen record. The scan is linear
+      // but only ever runs once per insertion past the cap.
+      auto oldest = clients_.end();
+      for (auto c = clients_.begin(); c != clients_.end(); ++c) {
+        if (c == it) continue;  // never evict the record being admitted
+        if (oldest == clients_.end() ||
+            c->second.last_seen < oldest->second.last_seen) {
+          oldest = c;
+        }
+      }
+      if (oldest != clients_.end()) clients_.erase(oldest);
+    }
+    service_.stats().SetClientsTracked(clients_.size());
+  }
+  const double elapsed =
+      std::chrono::duration<double>(now - rec.last_refill).count();
+  rec.tokens = std::min(burst, rec.tokens + elapsed * qps);
+  rec.last_refill = now;
+  rec.last_seen = now;
+  if (rec.tokens >= cost) {
+    rec.tokens -= cost;
+    ++rec.admitted;
+    return true;
+  }
+  ++rec.limited;
+  *retry_after_ms = (cost - rec.tokens) / qps * 1000.0;
+  return false;
 }
 
 void TcpServer::DispatchIfReady(Conn& conn) {
@@ -402,13 +547,31 @@ void TcpServer::ExecuteUnits(Conn* conn, std::vector<Unit> units) {
   std::string responses;
   bool quit = false;
   for (const Unit& unit : units) {
-    if (quit) break;  // pipelined requests after QUIT are not answered
+    pending_units_.fetch_sub(1, std::memory_order_relaxed);
+    pending_units_gauge_.Add(-1);
+    if (quit) continue;  // pipelined requests after QUIT are not answered
     std::string response;
+    double retry_after_ms = 0;
     if (!unit.request.ok()) {
       response = EncodeErrHeader(unit.request.status());
       response += '\n';
+    } else if (!RateLimitExempt(unit.request->kind) &&
+               !AdmitClient(
+                   conn->peer_ip,
+                   static_cast<double>(
+                       std::max<size_t>(1, unit.batch_lines.size())),
+                   &retry_after_ms)) {
+      // Over the per-client budget (a BATCH/UPDATE body costs its line
+      // count, so batching cannot launder a flood). The hint tells a
+      // well-behaved client exactly how long to back off.
+      service_.stats().RecordRateLimited();
+      response = EncodeErrHeader(Status::RateLimited(
+          StrFormat("client %s over %g req/s; retry in %.0f ms",
+                    conn->peer_ip.c_str(), options_.rate_limit_qps,
+                    retry_after_ms)));
+      response += '\n';
     } else if (unit.request->kind == Request::Kind::kBatch) {
-      response = HandleBatch(unit.batch_lines);
+      response = HandleBatch(*unit.request, unit.batch_lines);
     } else if (unit.request->kind == Request::Kind::kUpdate) {
       response = HandleUpdate(unit.batch_lines);
     } else {
@@ -449,7 +612,7 @@ void TcpServer::ProcessCompletions() {
     }
     conn.busy = false;
     if (conn.quitting) {
-      conn.queued.clear();  // QUIT discards the rest of the pipeline
+      DropQueued(conn);  // QUIT discards the rest of the pipeline
     } else {
       DispatchIfReady(conn);
     }
@@ -462,6 +625,12 @@ void TcpServer::ProcessCompletions() {
 
 void TcpServer::FlushWrites(Conn& conn) {
   while (!conn.out.empty()) {
+    // Simulated EAGAIN (docs/robustness.md): bytes stay buffered, the
+    // backpressure machinery below runs, EPOLLOUT re-arms, and the next
+    // writable event retries — the stream is never corrupted. (An
+    // `always` trigger would starve writes forever; chaos tests use
+    // prob:/times:.)
+    if (TCF_FAILPOINT("net.write.eagain")) break;
     const ssize_t n =
         ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
     if (n > 0) {
@@ -561,6 +730,12 @@ std::string TcpServer::HandleRequest(const Request& request, bool* quit) {
         response += '\n';
         return response;
       }
+      if (TCF_FAILPOINT("reload.load")) {
+        response = EncodeErrHeader(Status::IOError(
+            "injected fault (failpoint reload.load): index load failed"));
+        response += '\n';
+        return response;
+      }
       WallTimer reload_timer;
       // The backend sniffs the format: a .tcfi file installs as a
       // zero-copy mapped snapshot (O(1) validation, no parse), TCFT
@@ -632,7 +807,36 @@ std::string TcpServer::HandleQuery(const Request& request) {
     return response;
   }
 
+  query->deadline = EffectiveDeadline(request);
+  // Graceful degradation under overload: a shed query runs with an
+  // already-spent budget, so an exact cache hit still serves (the hit
+  // path never consults the deadline) while a cold walk unwinds
+  // immediately — "serve what is cheap, refuse what is not".
+  const bool shed = ShedColdWalk(query->items.size());
+  if (shed) query->deadline = Deadline::Expired();
+
   const QueryBackend::Result result = service_.Execute(*query);
+  if (result->deadline_exceeded) {
+    if (shed) {
+      service_.stats().RecordShed();
+      response = EncodeErrHeader(Status::RateLimited(StrFormat(
+          "overloaded (%zu pending units >= watermark %zu): cold query "
+          "walk shed; retry later or narrow the query",
+          pending_units_.load(std::memory_order_relaxed),
+          options_.shed_watermark)));
+    } else {
+      response = EncodeErrHeader(Status::DeadlineExceeded(StrFormat(
+          "deadline of %llu ms exceeded after %llu visited nodes "
+          "(%zu trusses of partial work discarded)",
+          static_cast<unsigned long long>(
+              request.deadline_ms != 0 ? request.deadline_ms
+                                       : options_.default_deadline_ms),
+          static_cast<unsigned long long>(result->visited_nodes),
+          result->trusses.size())));
+    }
+    response += '\n';
+    return response;
+  }
 
   WallTimer serialize_timer;
   response = EncodeOkHeader("TRUSSES", result->trusses.size());
@@ -666,7 +870,21 @@ std::string TcpServer::HandleExplain(const Request& request) {
       return response;
     }
 
+    // EXPLAIN honours the deadline like the query it replays, but is
+    // never shed: it is a deliberate diagnostic, and its trace is how
+    // an operator sees *why* things are slow.
+    query->deadline = EffectiveDeadline(request);
     const QueryBackend::Result result = service_.Execute(*query, &trace);
+    if (result->deadline_exceeded) {
+      response = EncodeErrHeader(Status::DeadlineExceeded(StrFormat(
+          "deadline of %llu ms exceeded after %llu visited nodes",
+          static_cast<unsigned long long>(
+              request.deadline_ms != 0 ? request.deadline_ms
+                                       : options_.default_deadline_ms),
+          static_cast<unsigned long long>(result->visited_nodes))));
+      response += '\n';
+      return response;
+    }
 
     StageSpan serialize(&trace, QueryStage::kSerialize);
     std::string discarded = EncodeOkHeader("TRUSSES", result->trusses.size());
@@ -725,6 +943,13 @@ std::string TcpServer::HandleUpdate(const std::vector<std::string>& lines) {
     }
   }
 
+  if (TCF_FAILPOINT("update.apply")) {
+    response = EncodeErrHeader(Status::Internal(
+        "injected fault (failpoint update.apply): update apply failed"));
+    response += '\n';
+    return response;
+  }
+
   WallTimer update_timer;
   auto outcome = options_.updater->Apply(std::move(update));
   if (!outcome.ok()) {
@@ -753,7 +978,8 @@ std::string TcpServer::HandleUpdate(const std::vector<std::string>& lines) {
   return response;
 }
 
-std::string TcpServer::HandleBatch(const std::vector<std::string>& lines) {
+std::string TcpServer::HandleBatch(const Request& header,
+                                   const std::vector<std::string>& lines) {
   // Parse every member first so the valid ones fan out over the service
   // pool together; each slot is answered independently, in order, and a
   // bad line never aborts its neighbours.
@@ -761,9 +987,14 @@ std::string TcpServer::HandleBatch(const std::vector<std::string>& lines) {
   std::vector<ptrdiff_t> slot_query(lines.size(), -1);
   std::vector<ServeQuery> queries;
   queries.reserve(lines.size());
+  // Every slot inherits the batch header's deadline: the budget bounds
+  // the caller-visible request, and the slots run concurrently against
+  // the same wall clock.
+  const Deadline deadline = EffectiveDeadline(header);
   for (size_t i = 0; i < lines.size(); ++i) {
     auto query = service_.ParseQueryLine(lines[i]);
     if (query.ok()) {
+      query->deadline = deadline;
       slot_query[i] = static_cast<ptrdiff_t>(queries.size());
       queries.push_back(std::move(*query));
     } else {
@@ -783,6 +1014,18 @@ std::string TcpServer::HandleBatch(const std::vector<std::string>& lines) {
     }
     const QueryBackend::Result& result =
         results[static_cast<size_t>(slot_query[i])];
+    if (result->deadline_exceeded) {
+      // Slots that beat the deadline still answer normally; only the
+      // ones caught by the expiry degrade, each with a clean ERR.
+      response += EncodeErrHeader(Status::DeadlineExceeded(StrFormat(
+          "batch deadline of %llu ms exceeded in slot %zu",
+          static_cast<unsigned long long>(
+              header.deadline_ms != 0 ? header.deadline_ms
+                                      : options_.default_deadline_ms),
+          i + 1)));
+      response += '\n';
+      continue;
+    }
     response += EncodeOkHeader("TRUSSES", result->trusses.size());
     response += '\n';
     for (const PatternTruss& truss : result->trusses) {

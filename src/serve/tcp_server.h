@@ -2,6 +2,7 @@
 #define TCF_SERVE_TCP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -13,6 +14,7 @@
 
 #include "serve/line_protocol.h"
 #include "serve/query_backend.h"
+#include "util/deadline.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -20,8 +22,11 @@ namespace tcf {
 
 /// Configuration of a TcpServer.
 struct TcpServerOptions {
-  /// IPv4 address to bind. The default keeps the server loopback-only;
-  /// bind 0.0.0.0 explicitly to accept remote traffic.
+  /// Address to bind — an IPv4 or IPv6 literal. An IPv6 literal (e.g.
+  /// `::` or `::1`) gets a dual-stack socket (IPV6_V6ONLY off), so `::`
+  /// accepts IPv4 peers too via v4-mapped addresses. The default keeps
+  /// the server loopback-only; bind 0.0.0.0 or :: explicitly to accept
+  /// remote traffic.
   std::string bind_address = "127.0.0.1";
   /// TCP port; 0 asks the kernel for an ephemeral port (read the choice
   /// back from port() after Start — tests and the smoke script do this).
@@ -53,7 +58,36 @@ struct TcpServerOptions {
   /// (QueryBackend::ApplyUpdatedSnapshot) — `tcf serve` wires this when
   /// it has the network to build from.
   IndexUpdater* updater = nullptr;
+  /// Default per-request compute budget in milliseconds, applied to any
+  /// request that carries no `DEADLINE <ms>` prefix of its own. The
+  /// budget covers execution (walk, compose, shard merge); an expired
+  /// query answers ERR DeadlineExceeded with its partial-work counters.
+  /// 0 = unbounded (the pre-deadline behaviour).
+  uint64_t default_deadline_ms = 0;
+  /// Per-client token-bucket rate limit, in sustained requests per
+  /// second per peer IP (a BATCH/UPDATE body costs its line count;
+  /// PING/STATS/METRICS/QUIT are exempt so health checks keep working
+  /// under pressure). Client records are keyed by peer address, so the
+  /// budget survives reconnects. Over-budget requests answer ERR
+  /// RateLimited with a retry-after hint. 0 = off.
+  double rate_limit_qps = 0;
+  /// Token-bucket capacity (burst allowance). <= 0 defaults to
+  /// max(1, rate_limit_qps).
+  double rate_limit_burst = 0;
+  /// Load-shedding watermark, in request units queued or executing
+  /// across all connections (docs/robustness.md). At the watermark,
+  /// *large* cold query walks (>= kShedLargeQueryItems items) degrade
+  /// to cache-only — a hit still serves, a cold walk answers ERR
+  /// RateLimited immediately; at twice the watermark every cold walk is
+  /// shed. Lowest-value work goes first, and the server keeps answering
+  /// from cache instead of queueing unboundedly. 0 = off.
+  size_t shed_watermark = 0;
 };
+
+/// Queries with at least this many items count as "large" for load
+/// shedding: their walks touch the most subtrees, so they are the
+/// first work shed at the watermark.
+inline constexpr size_t kShedLargeQueryItems = 4;
 
 /// \brief Line-protocol TCP front end over a QueryBackend
 /// (a single-tree QueryService or the sharded scatter-gather router).
@@ -121,10 +155,21 @@ class TcpServer {
     uint64_t wire_bytes = 0;  // request bytes incl. newlines, for stats
   };
 
+  /// Per-client accounting record, keyed by peer IP in `clients_` so it
+  /// survives reconnects. Token-bucket state plus counters.
+  struct ClientRecord {
+    double tokens = 0;
+    std::chrono::steady_clock::time_point last_refill{};
+    std::chrono::steady_clock::time_point last_seen{};
+    uint64_t admitted = 0;
+    uint64_t limited = 0;
+  };
+
   /// Per-connection state. Everything except the outbox (mutex-guarded,
   /// written by pool workers) is owned by the event-loop thread.
   struct Conn {
     int fd = -1;
+    std::string peer_ip;      // rate-limit key; set at accept, immutable
     std::string in;           // unframed inbound bytes
     std::deque<Unit> queued;  // framed requests not yet dispatched
 
@@ -178,12 +223,33 @@ class TcpServer {
   /// no in-flight execution, nothing to write) and no way to get more.
   bool Drained(const Conn& conn) const;
 
+  /// Drops every still-queued unit of `conn` (QUIT, protocol
+  /// violations), keeping the server-wide pending-unit count honest.
+  void DropQueued(Conn& conn);
+
+  /// The effective Deadline for a request: its own `DEADLINE <ms>`
+  /// prefix when given, else the server default, else unbounded. The
+  /// clock starts when execution starts (queue time is not billed).
+  Deadline EffectiveDeadline(const Request& request) const;
+
+  /// True when the load-shedding policy says this query's cold walk
+  /// should not run right now (see TcpServerOptions::shed_watermark).
+  bool ShedColdWalk(size_t num_items) const;
+
+  /// Token-bucket admission for `peer_ip` at `cost` tokens. On denial
+  /// returns false and sets `*retry_after_ms` to when one token's worth
+  /// of budget is back.
+  bool AdmitClient(const std::string& peer_ip, double cost,
+                   double* retry_after_ms);
+
   /// Executes one parsed request; returns the full response (status line
   /// + payload, newline-terminated). Sets `*quit` on QUIT.
   std::string HandleRequest(const Request& request, bool* quit);
   /// Executes a BATCH body: n query lines through ExecuteBatch, n
-  /// back-to-back responses in order.
-  std::string HandleBatch(const std::vector<std::string>& lines);
+  /// back-to-back responses in order. Every slot inherits the batch
+  /// header's deadline.
+  std::string HandleBatch(const Request& header,
+                          const std::vector<std::string>& lines);
   /// Executes an UPDATE body: parses all n update lines, applies them as
   /// one atomic batch through options_.updater, answers with a single
   /// UPDATED summary (or one ERR — a bad line rejects the whole frame).
@@ -200,6 +266,10 @@ class TcpServer {
   /// the service's registry); recorded only while the service traces.
   Histogram& parse_us_;
   Histogram& serialize_us_;
+  /// Mirror of pending_units_ in the service registry
+  /// (tcf_server_pending_units). A Gauge, not a callback: the registry
+  /// outlives this server, so a callback capturing `this` would dangle.
+  Gauge& pending_units_gauge_;
   ThreadPool pool_;
   std::thread loop_thread_;
   int listen_fd_ = -1;
@@ -215,6 +285,17 @@ class TcpServer {
   /// Live connections, keyed by fd. Owned by the event-loop thread
   /// while it runs; Shutdown() sweeps leftovers after joining it.
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+
+  /// Request units framed but not yet executed, across all connections
+  /// — the load-shedding pressure signal. Bumped on the loop thread,
+  /// drained by workers.
+  std::atomic<size_t> pending_units_{0};
+
+  /// Per-client records, keyed by peer IP (decaying LRU, capped at
+  /// kMaxClientRecords; least-recently-seen evicted first). Accessed by
+  /// pool workers under clients_mu_.
+  std::mutex clients_mu_;
+  std::unordered_map<std::string, ClientRecord> clients_;
 
   std::mutex done_mu_;
   std::vector<int> done_fds_;  // connections with a filled outbox

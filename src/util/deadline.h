@@ -1,0 +1,73 @@
+#ifndef TCF_UTIL_DEADLINE_H_
+#define TCF_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tcf {
+
+/// \brief A point in time after which a request should stop working.
+///
+/// Carried by value through the query path (ServeQuery ->
+/// TcTreeQueryOptions -> the walk loops), so cancellation is
+/// cooperative: long loops call Expired() at cheap intervals — every
+/// `kDeadlineCheckStride` visited nodes, one steady_clock read per
+/// check — and unwind with whatever partial-work counters they have.
+/// A default-constructed Deadline is unbounded and costs two branches
+/// per check, never a clock read.
+class Deadline {
+ public:
+  /// Unbounded: Expired() is always false.
+  Deadline() = default;
+
+  /// Expires `ms` milliseconds from now (0 = unbounded).
+  static Deadline AfterMillis(uint64_t ms) {
+    Deadline d;
+    if (ms > 0) {
+      d.bounded_ = true;
+      d.at_ = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(ms);
+    }
+    return d;
+  }
+
+  /// Already expired (used by the fault-injection harness to drive the
+  /// real cancellation path without waiting).
+  static Deadline Expired() {
+    Deadline d;
+    d.bounded_ = true;
+    d.at_ = std::chrono::steady_clock::time_point::min();
+    return d;
+  }
+
+  bool bounded() const { return bounded_; }
+
+  /// True once the budget is spent. Reads the clock only when bounded.
+  bool IsExpired() const {
+    return bounded_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Milliseconds left (clamped at 0); 0 when unbounded too — callers
+  /// gate on bounded() first.
+  double RemainingMillis() const {
+    if (!bounded_) return 0;
+    // Compare before subtracting: time_point::min() minus now would
+    // overflow the duration representation and report a huge budget.
+    const auto now = std::chrono::steady_clock::now();
+    if (at_ <= now) return 0;
+    return std::chrono::duration<double, std::milli>(at_ - now).count();
+  }
+
+ private:
+  bool bounded_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// How many walk/merge iterations run between two Expired() checks: the
+/// steady_clock read amortizes to noise, and the overshoot past an
+/// expired deadline stays bounded by a few hundred node visits.
+inline constexpr uint64_t kDeadlineCheckStride = 256;
+
+}  // namespace tcf
+
+#endif  // TCF_UTIL_DEADLINE_H_

@@ -1,0 +1,164 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace tcf {
+namespace {
+
+enum class TriggerMode { kOff, kAlways, kProb, kAfter, kTimes };
+
+struct FailpointState {
+  TriggerMode mode = TriggerMode::kOff;
+  double prob = 0;      // kProb
+  uint64_t n = 0;       // kAfter / kTimes threshold
+  uint64_t evals = 0;   // evaluations while armed
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, FailpointState> points;
+  // Deterministic per-process stream is fine: chaos tests assert
+  // "clean status under faults", never a specific fault schedule.
+  std::mt19937_64 rng{0x7cf5a11ed5eedULL};
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Arms once from the environment; the spec variable is applied at the
+/// same moment so `TCF_FAILPOINTS=1 TCF_FAILPOINTS_SPEC=... tcf serve`
+/// needs no code-side setup.
+bool ArmFromEnvironment() {
+  const char* armed = std::getenv("TCF_FAILPOINTS");
+  if (armed == nullptr || std::string_view(armed) != "1") return false;
+  if (const char* spec = std::getenv("TCF_FAILPOINTS_SPEC")) {
+    // A bad spec in the environment must not crash the process the
+    // harness exists to protect; it just stays unconfigured.
+    (void)ConfigureFailpointsFromSpec(spec);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FailpointsArmed() {
+  static const bool armed = ArmFromEnvironment();
+  return armed;
+}
+
+Status ConfigureFailpoint(std::string_view name,
+                          std::string_view trigger) {
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint name is empty");
+  }
+  FailpointState state;
+  if (trigger == "off") {
+    state.mode = TriggerMode::kOff;
+  } else if (trigger == "always") {
+    state.mode = TriggerMode::kAlways;
+  } else if (StartsWith(trigger, "prob:")) {
+    auto p = ParseDouble(trigger.substr(5));
+    if (!p.ok() || *p < 0 || *p > 1) {
+      return Status::InvalidArgument(
+          StrFormat("failpoint '%.*s': prob wants a probability in "
+                    "[0,1], got '%.*s'",
+                    static_cast<int>(name.size()), name.data(),
+                    static_cast<int>(trigger.size()), trigger.data()));
+    }
+    state.mode = TriggerMode::kProb;
+    state.prob = *p;
+  } else if (StartsWith(trigger, "after:")) {
+    auto n = ParseUint64(trigger.substr(6));
+    if (!n.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("failpoint '%.*s': after wants a count, got '%.*s'",
+                    static_cast<int>(name.size()), name.data(),
+                    static_cast<int>(trigger.size()), trigger.data()));
+    }
+    state.mode = TriggerMode::kAfter;
+    state.n = *n;
+  } else if (StartsWith(trigger, "times:")) {
+    auto n = ParseUint64(trigger.substr(6));
+    if (!n.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("failpoint '%.*s': times wants a count, got '%.*s'",
+                    static_cast<int>(name.size()), name.data(),
+                    static_cast<int>(trigger.size()), trigger.data()));
+    }
+    state.mode = TriggerMode::kTimes;
+    state.n = *n;
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("failpoint '%.*s': trigger '%.*s' is not off|always|"
+                  "prob:P|after:N|times:N",
+                  static_cast<int>(name.size()), name.data(),
+                  static_cast<int>(trigger.size()), trigger.data()));
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points[std::string(name)] = state;
+  return Status::OK();
+}
+
+Status ConfigureFailpointsFromSpec(std::string_view spec) {
+  for (const std::string& entry : Split(spec, ',')) {
+    const std::string_view t = Trim(entry);
+    if (t.empty()) continue;
+    const size_t eq = t.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrFormat("failpoint spec entry '%.*s' is not 'name=trigger'",
+                    static_cast<int>(t.size()), t.data()));
+    }
+    TCF_RETURN_IF_ERROR(
+        ConfigureFailpoint(Trim(t.substr(0, eq)), Trim(t.substr(eq + 1))));
+  }
+  return Status::OK();
+}
+
+void ResetFailpoints() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.clear();
+}
+
+uint64_t FailpointEvaluations(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.points.find(std::string(name));
+  return it == registry.points.end() ? 0 : it->second.evals;
+}
+
+bool FailpointShouldFail(std::string_view name) {
+  if (!FailpointsArmed()) return false;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const auto it = registry.points.find(std::string(name));
+  if (it == registry.points.end()) return false;
+  FailpointState& state = it->second;
+  const uint64_t eval = state.evals++;
+  switch (state.mode) {
+    case TriggerMode::kOff:
+      return false;
+    case TriggerMode::kAlways:
+      return true;
+    case TriggerMode::kProb:
+      return std::uniform_real_distribution<double>(0.0, 1.0)(
+                 registry.rng) < state.prob;
+    case TriggerMode::kAfter:
+      return eval >= state.n;
+    case TriggerMode::kTimes:
+      return eval < state.n;
+  }
+  return false;
+}
+
+}  // namespace tcf

@@ -1,0 +1,64 @@
+#ifndef TCF_UTIL_FAILPOINT_H_
+#define TCF_UTIL_FAILPOINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tcf {
+
+/// \file
+/// \brief Named fault-injection points (docs/robustness.md).
+///
+/// A failpoint is a named site in the code that can be made to fail on
+/// demand, so tests can drive error paths that real hardware rarely
+/// takes (mmap failures mid-RELOAD, allocation pressure mid-walk,
+/// EAGAIN storms on socket writes). The whole harness is **disarmed
+/// unless the process environment carries `TCF_FAILPOINTS=1`**: a
+/// disarmed check is one relaxed atomic load and a branch, so
+/// production binaries pay nothing and no build flag is needed.
+///
+/// Armed, each failpoint fires according to its configured trigger:
+///   `off`       — never fires (the default for unconfigured names)
+///   `always`    — fires on every evaluation
+///   `prob:P`    — fires with probability P in [0,1] per evaluation
+///   `after:N`   — stays quiet for N evaluations, then fires forever
+///   `times:N`   — fires on the first N evaluations, then goes quiet
+/// Initial configuration comes from the `TCF_FAILPOINTS_SPEC`
+/// environment variable (`name=trigger,name=trigger,...`, read once at
+/// arm time); tests reconfigure at runtime with ConfigureFailpoint.
+/// The failpoint catalog lives in docs/robustness.md.
+
+/// True iff `TCF_FAILPOINTS=1` was in the environment at first call
+/// (cached; later calls are one relaxed load).
+bool FailpointsArmed();
+
+/// Sets `name`'s trigger (see the grammar above). Works whether or not
+/// the harness is armed — an unarmed harness just never evaluates.
+Status ConfigureFailpoint(std::string_view name, std::string_view trigger);
+
+/// Applies a `name=trigger,name=trigger,...` spec (the
+/// TCF_FAILPOINTS_SPEC form). Empty spec is OK and a no-op.
+Status ConfigureFailpointsFromSpec(std::string_view spec);
+
+/// Clears every configured trigger and evaluation counter.
+void ResetFailpoints();
+
+/// Times `name` has been evaluated while armed (for tests asserting a
+/// site is actually exercised).
+uint64_t FailpointEvaluations(std::string_view name);
+
+/// Evaluates `name`: false when the harness is disarmed or the trigger
+/// says no; true when the site should fail now.
+bool FailpointShouldFail(std::string_view name);
+
+}  // namespace tcf
+
+/// The check sites use: short-circuits to `false` on the armed flag
+/// before any registry work.
+#define TCF_FAILPOINT(name) \
+  (::tcf::FailpointsArmed() && ::tcf::FailpointShouldFail(name))
+
+#endif  // TCF_UTIL_FAILPOINT_H_

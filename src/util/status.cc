@@ -22,6 +22,10 @@ std::string_view StatusCodeName(Status::Code code) {
       return "Unimplemented";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kRateLimited:
+      return "RateLimited";
   }
   return "Unknown";
 }

@@ -28,6 +28,8 @@ class Status {
     kIOError,
     kUnimplemented,
     kInternal,
+    kDeadlineExceeded,
+    kRateLimited,
   };
 
   /// Constructs an OK status.
@@ -58,6 +60,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status RateLimited(std::string msg) {
+    return Status(Code::kRateLimited, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -71,6 +79,10 @@ class Status {
   bool IsIOError() const { return code_ == Code::kIOError; }
   bool IsUnimplemented() const { return code_ == Code::kUnimplemented; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
+  bool IsRateLimited() const { return code_ == Code::kRateLimited; }
 
   /// Returns "OK" or "<code>: <message>".
   std::string ToString() const;

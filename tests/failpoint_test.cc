@@ -1,0 +1,103 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace tcf {
+namespace {
+
+/// Whether the harness is armed is decided by the environment at
+/// process start (TCF_FAILPOINTS=1). These tests cover both halves: the
+/// configuration layer always works, but evaluation is a no-op unless
+/// armed — the chaos leg of CI runs this binary with the variable set.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ResetFailpoints(); }
+};
+
+TEST_F(FailpointTest, TriggerGrammarAcceptsAllForms) {
+  EXPECT_TRUE(ConfigureFailpoint("t", "off").ok());
+  EXPECT_TRUE(ConfigureFailpoint("t", "always").ok());
+  EXPECT_TRUE(ConfigureFailpoint("t", "prob:0.5").ok());
+  EXPECT_TRUE(ConfigureFailpoint("t", "prob:0").ok());
+  EXPECT_TRUE(ConfigureFailpoint("t", "prob:1").ok());
+  EXPECT_TRUE(ConfigureFailpoint("t", "after:3").ok());
+  EXPECT_TRUE(ConfigureFailpoint("t", "times:2").ok());
+}
+
+TEST_F(FailpointTest, TriggerGrammarRejectsMalformedForms) {
+  EXPECT_FALSE(ConfigureFailpoint("t", "").ok());
+  EXPECT_FALSE(ConfigureFailpoint("t", "sometimes").ok());
+  EXPECT_FALSE(ConfigureFailpoint("t", "prob:").ok());
+  EXPECT_FALSE(ConfigureFailpoint("t", "prob:1.5").ok());
+  EXPECT_FALSE(ConfigureFailpoint("t", "prob:-0.1").ok());
+  EXPECT_FALSE(ConfigureFailpoint("t", "after:").ok());
+  EXPECT_FALSE(ConfigureFailpoint("t", "after:x").ok());
+  EXPECT_FALSE(ConfigureFailpoint("t", "times:x").ok());
+  EXPECT_FALSE(ConfigureFailpoint("", "always").ok());
+}
+
+TEST_F(FailpointTest, SpecAppliesManyAndRejectsBadPairs) {
+  EXPECT_TRUE(ConfigureFailpointsFromSpec("").ok());
+  EXPECT_TRUE(ConfigureFailpointsFromSpec("a=always,b=times:1").ok());
+  EXPECT_FALSE(ConfigureFailpointsFromSpec("a=always,b").ok());
+  EXPECT_FALSE(ConfigureFailpointsFromSpec("a=nope").ok());
+}
+
+TEST_F(FailpointTest, DisarmedHarnessNeverFires) {
+  if (FailpointsArmed()) GTEST_SKIP() << "TCF_FAILPOINTS=1 in environment";
+  ASSERT_TRUE(ConfigureFailpoint("unit.always", "always").ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(TCF_FAILPOINT("unit.always"));
+  }
+  // Disarmed evaluations are not even counted: the macro short-circuits
+  // before the registry.
+  EXPECT_EQ(FailpointEvaluations("unit.always"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedTriggersFireAsSpecified) {
+  if (!FailpointsArmed()) GTEST_SKIP() << "set TCF_FAILPOINTS=1 to run";
+
+  ASSERT_TRUE(ConfigureFailpoint("unit.always", "always").ok());
+  EXPECT_TRUE(TCF_FAILPOINT("unit.always"));
+  EXPECT_TRUE(TCF_FAILPOINT("unit.always"));
+
+  // Unconfigured names default to off and are never tracked.
+  EXPECT_FALSE(TCF_FAILPOINT("unit.unconfigured"));
+  EXPECT_EQ(FailpointEvaluations("unit.unconfigured"), 0u);
+
+  ASSERT_TRUE(ConfigureFailpoint("unit.after", "after:2").ok());
+  EXPECT_FALSE(TCF_FAILPOINT("unit.after"));
+  EXPECT_FALSE(TCF_FAILPOINT("unit.after"));
+  EXPECT_TRUE(TCF_FAILPOINT("unit.after"));
+  EXPECT_TRUE(TCF_FAILPOINT("unit.after"));
+
+  ASSERT_TRUE(ConfigureFailpoint("unit.times", "times:2").ok());
+  EXPECT_TRUE(TCF_FAILPOINT("unit.times"));
+  EXPECT_TRUE(TCF_FAILPOINT("unit.times"));
+  EXPECT_FALSE(TCF_FAILPOINT("unit.times"));
+
+  // prob:0 and prob:1 are the deterministic ends of the dial.
+  ASSERT_TRUE(ConfigureFailpoint("unit.never", "prob:0").ok());
+  ASSERT_TRUE(ConfigureFailpoint("unit.certain", "prob:1").ok());
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(TCF_FAILPOINT("unit.never"));
+    EXPECT_TRUE(TCF_FAILPOINT("unit.certain"));
+  }
+
+  EXPECT_EQ(FailpointEvaluations("unit.always"), 2u);
+  EXPECT_EQ(FailpointEvaluations("unit.times"), 3u);
+
+  // Reconfiguring resets the per-name counter state.
+  ASSERT_TRUE(ConfigureFailpoint("unit.after", "after:1").ok());
+  EXPECT_FALSE(TCF_FAILPOINT("unit.after"));
+  EXPECT_TRUE(TCF_FAILPOINT("unit.after"));
+
+  ResetFailpoints();
+  EXPECT_FALSE(TCF_FAILPOINT("unit.always"));
+  EXPECT_EQ(FailpointEvaluations("unit.times"), 0u);
+}
+
+}  // namespace
+}  // namespace tcf

@@ -115,6 +115,63 @@ TEST(LineProtocolTest, ParseRequestMalformedTable) {
   }
 }
 
+TEST(LineProtocolTest, DeadlinePrefixLeadsAnyRequest) {
+  // The additive `DEADLINE <ms>` prefix composes with every verb and
+  // with the bare query grammar.
+  auto query = ParseRequest("DEADLINE 50 0.1;i0,i1");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->kind, Request::Kind::kQuery);
+  EXPECT_EQ(query->deadline_ms, 50u);
+  EXPECT_EQ(query->query_line, "0.1;i0,i1");
+
+  auto batch = ParseRequest("DEADLINE 200 BATCH 16");
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  EXPECT_EQ(batch->kind, Request::Kind::kBatch);
+  EXPECT_EQ(batch->deadline_ms, 200u);
+  EXPECT_EQ(batch->batch_size, 16u);
+
+  auto ping = ParseRequest("DEADLINE 5 PING\r");
+  ASSERT_TRUE(ping.ok()) << ping.status();
+  EXPECT_EQ(ping->kind, Request::Kind::kPing);
+  EXPECT_EQ(ping->deadline_ms, 5u);
+
+  // A request without the prefix carries no budget of its own.
+  EXPECT_EQ(ParseRequest("PING")->deadline_ms, 0u);
+}
+
+TEST(LineProtocolTest, DeadlinePrefixRoundTripsThroughEncode) {
+  Request request;
+  request.kind = Request::Kind::kQuery;
+  request.query_line = "0.25;i1,i3";
+  request.deadline_ms = 75;
+  const std::string wire = EncodeRequest(request);
+  EXPECT_EQ(wire, "DEADLINE 75 0.25;i1,i3");
+  auto parsed = ParseRequest(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->deadline_ms, 75u);
+  EXPECT_EQ(parsed->query_line, request.query_line);
+}
+
+TEST(LineProtocolTest, DeadlinePrefixMalformedTable) {
+  const struct {
+    const char* line;
+    const char* wants;
+  } kBad[] = {
+      {"DEADLINE", "positive millisecond budget"},
+      {"DEADLINE PING", "positive millisecond budget"},
+      {"DEADLINE 0 PING", "positive millisecond budget"},
+      {"DEADLINE -5 PING", "positive millisecond budget"},
+      {"DEADLINE 5", "empty request"},  // nothing left to bound
+      {"DEADLINE 5 DEADLINE 6 PING", "duplicate DEADLINE prefix"},
+  };
+  for (const auto& c : kBad) {
+    auto parsed = ParseRequest(c.line);
+    ASSERT_FALSE(parsed.ok()) << "'" << c.line << "' should not parse";
+    EXPECT_NE(parsed.status().message().find(c.wants), std::string::npos)
+        << "'" << c.line << "' -> " << parsed.status();
+  }
+}
+
 // --------------------------------------------------------------- responses
 
 TEST(LineProtocolTest, ResponseHeaderRoundTrip) {
@@ -275,6 +332,10 @@ TEST(LineProtocolTest, StatsRoundTrip) {
   report.update_dirty_items = 9;
   report.update_shards_swapped = 4;
   report.last_update_ms = 6.5;
+  report.deadline_exceeded = 11;
+  report.rate_limited = 13;
+  report.shed = 6;
+  report.clients_tracked = 2;
 
   const std::vector<std::string> lines = EncodeStats(report);
   auto decoded = DecodeStats(lines);
@@ -322,7 +383,13 @@ TEST(LineProtocolTest, StatsRoundTrip) {
   EXPECT_EQ(find("update_dirty_items"), "9");
   EXPECT_EQ(find("update_shards_swapped"), "4");
   EXPECT_EQ(find("last_update_ms"), "6.5");
-  EXPECT_EQ(lines.back(), "last_update_ms 6.5");
+  // ...followed by the overload-protection keys (same additive rule;
+  // all zero until a deadline, rate limit, or shed fires).
+  EXPECT_EQ(find("deadline_exceeded"), "11");
+  EXPECT_EQ(find("rate_limited"), "13");
+  EXPECT_EQ(find("shed"), "6");
+  EXPECT_EQ(find("clients_tracked"), "2");
+  EXPECT_EQ(lines.back(), "clients_tracked 2");
 
   EXPECT_FALSE(DecodeStats({"keyonly"}).ok());
   EXPECT_FALSE(DecodeStats({""}).ok());

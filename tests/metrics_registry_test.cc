@@ -233,6 +233,47 @@ TEST(StageSpanTest, NullTraceAndIdempotentStop) {
       first);
 }
 
+// ------------------------------------------------- histogram quantiles
+
+TEST(HistogramQuantileTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(HistogramQuantile(h.Fold(), 0.99), 0.0);
+}
+
+TEST(HistogramQuantileTest, InterpolatesInsideTheCrossingBucket) {
+  Histogram h;
+  // 100 samples in the first bucket (le=1, implicit lower edge 0): the
+  // quantile is pure linear interpolation over [0, 1].
+  for (int i = 0; i < 100; ++i) h.Record(0.5);
+  const Histogram::Snapshot snap = h.Fold();
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.99), 0.99);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 1.0), 1.0);
+}
+
+TEST(HistogramQuantileTest, CrossesBucketsLikePrometheus) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.Record(1.5);  // bucket (1, 2]
+  for (int i = 0; i < 50; ++i) h.Record(3.0);  // bucket (2, 4]
+  const Histogram::Snapshot snap = h.Fold();
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.25), 1.5);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.75), 3.0);
+  // Out-of-range q clamps instead of reading junk.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, -1.0),
+                   HistogramQuantile(snap, 0.0));
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 2.0),
+                   HistogramQuantile(snap, 1.0));
+}
+
+TEST(HistogramQuantileTest, InfBucketClampsToLastFiniteBound) {
+  Histogram h;
+  h.Record(3e6);  // beyond 2^20: lands in +Inf
+  const Histogram::Snapshot snap = h.Fold();
+  EXPECT_DOUBLE_EQ(HistogramQuantile(snap, 0.99),
+                   Histogram::BucketBound(Histogram::kBuckets - 2));
+}
+
 // -------------------------------------------------------- slow-query ring
 
 QueryTrace TraceWithTotal(double total_us) {

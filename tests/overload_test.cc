@@ -1,0 +1,510 @@
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/tc_tree.h"
+#include "serve/client.h"
+#include "serve/line_protocol.h"
+#include "serve/query_service.h"
+#include "serve/tcp_server.h"
+#include "test_util.h"
+#include "util/failpoint.h"
+#include "util/string_util.h"
+
+// Overload-protection behaviour of the serving stack (docs/robustness.md):
+// request deadlines, per-client rate limiting, load shedding, and the
+// fault-injection chaos drills. The deadline *correctness* property —
+// bounded answers equal unbounded answers byte for byte — lives here too.
+
+namespace tcf {
+namespace {
+
+using testing::MakeRandomNetwork;
+using testing::RandomNetOptions;
+
+int RawConnect(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool RawSend(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+/// Buffered line reader (see tcp_server_test.cc's RawReader).
+class RawReader {
+ public:
+  explicit RawReader(int fd) : fd_(fd) {}
+
+  std::string ReadLine() {
+    while (true) {
+      const size_t newline = buf_.find('\n', pos_);
+      if (newline != std::string::npos) {
+        std::string line = buf_.substr(pos_, newline - pos_);
+        pos_ = newline + 1;
+        return line;
+      }
+      buf_.erase(0, pos_);
+      pos_ = 0;
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return {};
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+/// Reads one complete framed response (status line + its payload lines)
+/// and returns the decoded header. Fails the test on an unparseable
+/// status line or a truncated payload — the "every response is clean"
+/// half of the deadline property.
+ResponseHeader MustReadResponse(RawReader& reader, const std::string& what) {
+  const std::string status_line = reader.ReadLine();
+  auto header = ParseResponseHeader(status_line);
+  EXPECT_TRUE(header.ok()) << what << ": bad status line: " << status_line;
+  if (!header.ok()) return ResponseHeader{};
+  for (size_t i = 0; i < header->payload_lines; ++i) {
+    // An empty line here would mean EOF mid-payload (payload lines are
+    // never empty in this protocol): a truncated response.
+    EXPECT_FALSE(reader.ReadLine().empty())
+        << what << ": truncated payload at line " << i;
+  }
+  return *header;
+}
+
+/// A network big enough that deadline checks actually interleave with
+/// work, small enough to build in milliseconds.
+DatabaseNetwork MakeServingNetwork() {
+  RandomNetOptions o;
+  o.num_vertices = 24;
+  o.edge_prob = 0.4;
+  o.num_items = 8;
+  o.tx_per_vertex = 8;
+  o.seed = 11;
+  return MakeRandomNetwork(o);
+}
+
+std::vector<std::string> ServingWorkload() {
+  return {
+      "0.02;i0,i1,i2,i3,i4,i5", "0.05;i0,i1,i2",    "0.02;i2,i3,i4,i6,i7",
+      "0.1;i1,i5",              "0.02;i0,i3,i6,i7", "0.05;i0,i1,i2,i3,i4",
+  };
+}
+
+// ---------------------------------------------------------- deadlines
+
+// The correctness half of the deadline property: a server with a
+// generous default deadline answers byte-identically to one with no
+// deadline at all.
+TEST(OverloadTest, GenerousDeadlineAnswersMatchUnboundedServer) {
+  DatabaseNetwork net = MakeServingNetwork();
+  TcTree tree = TcTree::Build(net);
+
+  QueryService plain_service(tree, net.dictionary(), {});
+  TcpServer plain_server(plain_service, {});
+  ASSERT_TRUE(plain_server.Start().ok());
+
+  QueryService bounded_service(tree, net.dictionary(), {});
+  TcpServerOptions bounded_options;
+  bounded_options.default_deadline_ms = 60000;
+  TcpServer bounded_server(bounded_service, bounded_options);
+  ASSERT_TRUE(bounded_server.Start().ok());
+
+  const int plain_fd = RawConnect(plain_server.port());
+  const int bounded_fd = RawConnect(bounded_server.port());
+  ASSERT_GE(plain_fd, 0);
+  ASSERT_GE(bounded_fd, 0);
+  RawReader plain_reader(plain_fd), bounded_reader(bounded_fd);
+
+  for (const std::string& line : ServingWorkload()) {
+    ASSERT_TRUE(RawSend(plain_fd, line + "\n"));
+    ASSERT_TRUE(RawSend(bounded_fd, line + "\n"));
+    // Also exercise the per-request prefix on the unbounded server: it
+    // must change nothing but the budget.
+    ASSERT_TRUE(RawSend(plain_fd, "DEADLINE 60000 " + line + "\n"));
+
+    const std::string plain_status = plain_reader.ReadLine();
+    const std::string bounded_status = bounded_reader.ReadLine();
+    EXPECT_EQ(plain_status, bounded_status) << line;
+    auto header = ParseResponseHeader(plain_status);
+    ASSERT_TRUE(header.ok()) << plain_status;
+    ASSERT_TRUE(header->ok) << plain_status;
+    std::vector<std::string> plain_payload;
+    for (size_t i = 0; i < header->payload_lines; ++i) {
+      plain_payload.push_back(plain_reader.ReadLine());
+      EXPECT_EQ(bounded_reader.ReadLine(), plain_payload.back())
+          << line << " payload line " << i;
+    }
+    // The prefixed reply off the unbounded server, byte for byte.
+    EXPECT_EQ(plain_reader.ReadLine(), plain_status);
+    for (const std::string& expected : plain_payload) {
+      EXPECT_EQ(plain_reader.ReadLine(), expected);
+    }
+  }
+
+  ::close(plain_fd);
+  ::close(bounded_fd);
+  plain_server.Shutdown();
+  bounded_server.Shutdown();
+}
+
+// The liveness half: under a 1 ms budget every response is a complete,
+// parseable frame — TRUSSES when the walk beat the clock, ERR
+// DeadlineExceeded when it did not. Never a hang, never a truncated
+// payload, and the connection stays usable afterwards.
+TEST(OverloadTest, TinyDeadlineAlwaysAnswersCleanly) {
+  DatabaseNetwork net = MakeServingNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServerOptions options;
+  options.default_deadline_ms = 1;
+  TcpServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  RawReader reader(fd);
+
+  size_t expired = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (const std::string& line : ServingWorkload()) {
+      ASSERT_TRUE(RawSend(fd, line + "\n"));
+      const ResponseHeader header = MustReadResponse(reader, line);
+      if (header.ok) {
+        EXPECT_EQ(header.kind, "TRUSSES") << line;
+      } else {
+        EXPECT_EQ(header.code, Status::Code::kDeadlineExceeded)
+            << line << ": " << header.message;
+        ++expired;
+      }
+    }
+  }
+  if (expired > 0) {
+    EXPECT_GE(service.Report().deadline_exceeded, expired);
+  }
+
+  // The connection is not poisoned: PING still answers.
+  ASSERT_TRUE(RawSend(fd, "PING\n"));
+  EXPECT_EQ(reader.ReadLine(), "TCF1 OK PONG 0");
+  ::close(fd);
+  server.Shutdown();
+}
+
+TEST(OverloadTest, DeadlinePrefixParsesAndBadFormsAreRejected) {
+  DatabaseNetwork net = MakeServingNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  RawReader reader(fd);
+
+  ASSERT_TRUE(RawSend(fd, "DEADLINE 60000 PING\n"));
+  EXPECT_EQ(reader.ReadLine(), "TCF1 OK PONG 0");
+
+  // A zero or malformed budget is a parse error, answered cleanly.
+  for (const std::string bad :
+       {"DEADLINE 0 PING", "DEADLINE x PING", "DEADLINE 5"}) {
+    ASSERT_TRUE(RawSend(fd, bad + "\n"));
+    const ResponseHeader header = MustReadResponse(reader, bad);
+    EXPECT_FALSE(header.ok) << bad;
+  }
+
+  ::close(fd);
+  server.Shutdown();
+}
+
+// Slots of a BATCH inherit the batch header's deadline: with a generous
+// prefixed budget all slots answer normally in order.
+TEST(OverloadTest, BatchSlotsInheritTheBatchDeadline) {
+  DatabaseNetwork net = MakeServingNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  RawReader reader(fd);
+
+  const std::vector<std::string> lines = ServingWorkload();
+  std::string wire = StrFormat("DEADLINE 60000 BATCH %zu\n", lines.size());
+  for (const std::string& line : lines) wire += line + "\n";
+  ASSERT_TRUE(RawSend(fd, wire));
+  for (const std::string& line : lines) {
+    const ResponseHeader header = MustReadResponse(reader, line);
+    EXPECT_TRUE(header.ok) << line << ": " << header.message;
+    EXPECT_EQ(header.kind, "TRUSSES");
+  }
+
+  ::close(fd);
+  server.Shutdown();
+}
+
+// ------------------------------------------------------- rate limiting
+
+TEST(OverloadTest, FloodingClientIsRateLimitedWithRetryHint) {
+  DatabaseNetwork net = MakeServingNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServerOptions options;
+  options.rate_limit_qps = 0.5;  // one token every 2 s
+  options.rate_limit_burst = 2;
+  TcpServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  RawReader reader(fd);
+
+  size_t ok = 0, limited = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(RawSend(fd, "0.1;i0\n"));
+    const ResponseHeader header = MustReadResponse(reader, "flood query");
+    if (header.ok) {
+      ++ok;
+    } else {
+      EXPECT_EQ(header.code, Status::Code::kRateLimited) << header.message;
+      EXPECT_NE(header.message.find("retry in"), std::string::npos)
+          << header.message;
+      ++limited;
+    }
+  }
+  EXPECT_EQ(ok, 2u);  // exactly the burst
+  EXPECT_EQ(limited, 8u);
+
+  // Health checks are exempt: PING and STATS answer even over budget,
+  // and the STATS counters show the refusals.
+  ASSERT_TRUE(RawSend(fd, "PING\n"));
+  EXPECT_EQ(reader.ReadLine(), "TCF1 OK PONG 0");
+  ::close(fd);
+
+  // The budget is keyed by peer address, not connection: a reconnect
+  // does not refill the bucket.
+  auto client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto reply = (*client)->Query("0.1;i0");
+  EXPECT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().IsRateLimited()) << reply.status();
+
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  bool saw_limited = false, saw_clients = false;
+  for (const auto& [key, value] : *stats) {
+    if (key == "rate_limited") {
+      saw_limited = true;
+      EXPECT_EQ(value, "9");
+    }
+    if (key == "clients_tracked") {
+      saw_clients = true;
+      EXPECT_EQ(value, "1");  // both connections share 127.0.0.1
+    }
+  }
+  EXPECT_TRUE(saw_limited);
+  EXPECT_TRUE(saw_clients);
+  server.Shutdown();
+}
+
+TEST(OverloadTest, BatchCostsItsLineCountSoBatchingCannotLaunderAFlood) {
+  DatabaseNetwork net = MakeServingNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServerOptions options;
+  options.rate_limit_qps = 0.5;
+  options.rate_limit_burst = 3;
+  TcpServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  RawReader reader(fd);
+
+  // 5 lines > 3 tokens: the whole batch is refused with ONE error frame
+  // (the body was consumed, the slots never ran).
+  ASSERT_TRUE(RawSend(fd, "BATCH 5\n0.1;i0\n0.1;i1\n0.1;i2\n0.1;i3\n0.1;i4\n"));
+  const ResponseHeader refused = MustReadResponse(reader, "big batch");
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.code, Status::Code::kRateLimited);
+
+  // A denial spends no tokens: a batch within the burst still fits.
+  ASSERT_TRUE(RawSend(fd, "BATCH 2\n0.1;i0\n0.1;i1\n"));
+  for (int slot = 0; slot < 2; ++slot) {
+    const ResponseHeader header = MustReadResponse(reader, "small batch");
+    EXPECT_TRUE(header.ok) << header.message;
+  }
+
+  ::close(fd);
+  server.Shutdown();
+}
+
+// ------------------------------------------------------- load shedding
+
+TEST(OverloadTest, QueueDepthShedsColdWalksButServesCacheHits) {
+  DatabaseNetwork net = MakeServingNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServerOptions options;
+  options.num_threads = 1;  // one worker: pipelined units pile up
+  options.shed_watermark = 2;
+  TcpServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  RawReader reader(fd);
+
+  // Warm the cache while the server is idle.
+  const std::string warm = "0.05;i0,i1,i2";
+  ASSERT_TRUE(RawSend(fd, warm + "\n"));
+  EXPECT_TRUE(MustReadResponse(reader, "warm").ok);
+
+  // One write carries 24 pipelined queries: the loop frames all of them
+  // before the single worker runs the first, so every unit but the tail
+  // executes with the pending-unit count far above the watermark. The
+  // cached query keeps answering (degraded service, not an outage);
+  // cold walks shed with a clean ERR RateLimited.
+  std::string wire;
+  std::vector<std::string> sent;
+  for (int i = 0; i < 12; ++i) {
+    sent.push_back(warm);                       // exact cache hit
+    sent.push_back("0.02;i1,i2,i3,i4,i5,i6");   // large cold walk
+  }
+  for (const std::string& line : sent) wire += line + "\n";
+  ASSERT_TRUE(RawSend(fd, wire));
+
+  size_t hits = 0, shed = 0, cold_ok = 0;
+  for (const std::string& line : sent) {
+    const ResponseHeader header = MustReadResponse(reader, line);
+    if (header.ok) {
+      if (line == warm) {
+        ++hits;
+      } else {
+        ++cold_ok;
+      }
+    } else {
+      EXPECT_EQ(header.code, Status::Code::kRateLimited) << header.message;
+      EXPECT_NE(header.message.find("overloaded"), std::string::npos)
+          << header.message;
+      ++shed;
+    }
+  }
+  // Every cached repeat answered; at least some cold walks were shed
+  // (the tail of the pipeline may run below the watermark and succeed).
+  EXPECT_EQ(hits, 12u);
+  EXPECT_GT(shed, 0u) << "cold_ok=" << cold_ok;
+  EXPECT_GE(service.Report().shed, shed);
+
+  // Pressure gone, the same cold query now walks fine.
+  ASSERT_TRUE(RawSend(fd, "0.02;i1,i2,i3,i4,i5,i6\n"));
+  EXPECT_TRUE(MustReadResponse(reader, "post-pressure").ok);
+
+  ::close(fd);
+  server.Shutdown();
+}
+
+// ------------------------------------------------------- chaos drills
+
+// Every fault the harness can inject must surface as a clean one-line
+// ERR (or an intact retried write), never a wedged server. Runs only
+// under TCF_FAILPOINTS=1 — the CI chaos leg sets it.
+TEST(OverloadTest, ChaosFaultsAlwaysYieldCleanResponses) {
+  if (!FailpointsArmed()) GTEST_SKIP() << "set TCF_FAILPOINTS=1 to run";
+  ResetFailpoints();
+
+  DatabaseNetwork net = MakeServingNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServer server(service, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  RawReader reader(fd);
+
+  // Index loads fail: RELOAD answers ERR IOError and keeps serving the
+  // old snapshot.
+  ASSERT_TRUE(ConfigureFailpoint("reload.load", "always").ok());
+  ASSERT_TRUE(RawSend(fd, "RELOAD /tmp/nonexistent.idx\n"));
+  ResponseHeader header = MustReadResponse(reader, "RELOAD under fault");
+  EXPECT_FALSE(header.ok);
+  EXPECT_EQ(header.code, Status::Code::kIOError);
+  EXPECT_NE(header.message.find("injected fault"), std::string::npos);
+
+  // Update application fails: ERR Internal, index untouched.
+  ASSERT_TRUE(ConfigureFailpoint("update.apply", "always").ok());
+  ASSERT_TRUE(RawSend(fd, "UPDATE 1\nedge 0 1\n"));
+  header = MustReadResponse(reader, "UPDATE under fault");
+  EXPECT_FALSE(header.ok);
+
+  // Walks hit an instantly-expired deadline: ERR DeadlineExceeded on a
+  // query that would otherwise answer.
+  ASSERT_TRUE(ConfigureFailpoint("walk.deadline", "always").ok());
+  ASSERT_TRUE(RawSend(fd, "0.02;i0,i1,i2,i3\n"));
+  header = MustReadResponse(reader, "query under walk fault");
+  EXPECT_FALSE(header.ok);
+  EXPECT_EQ(header.code, Status::Code::kDeadlineExceeded);
+  EXPECT_GT(FailpointEvaluations("walk.deadline"), 0u);
+  ASSERT_TRUE(ConfigureFailpoint("walk.deadline", "off").ok());
+
+  // Socket writes stall with EAGAIN 30% of the time: responses must
+  // still arrive complete and in order (the loop retries the flush).
+  ASSERT_TRUE(ConfigureFailpoint("net.write.eagain", "prob:0.3").ok());
+  for (int round = 0; round < 20; ++round) {
+    for (const std::string& line : ServingWorkload()) {
+      ASSERT_TRUE(RawSend(fd, line + "\n"));
+      header = MustReadResponse(reader, line);
+      EXPECT_TRUE(header.ok) << line << ": " << header.message;
+      EXPECT_EQ(header.kind, "TRUSSES");
+    }
+  }
+  EXPECT_GT(FailpointEvaluations("net.write.eagain"), 0u);
+
+  // Faults cleared, the server is fully healthy — not wedged, not
+  // leaking state from the drills.
+  ResetFailpoints();
+  ASSERT_TRUE(RawSend(fd, "PING\n"));
+  EXPECT_EQ(reader.ReadLine(), "TCF1 OK PONG 0");
+  ASSERT_TRUE(RawSend(fd, "0.05;i0,i1\n"));
+  EXPECT_TRUE(MustReadResponse(reader, "post-chaos query").ok);
+
+  ::close(fd);
+  server.Shutdown();
+  ResetFailpoints();
+}
+
+}  // namespace
+}  // namespace tcf

@@ -1043,5 +1043,198 @@ TEST(TcpServerTest, StartReportsBindFailures) {
   EXPECT_TRUE(first.Start().IsInvalidArgument());  // double start
 }
 
+// An IPv6 loopback listener is dual-stack: ::1 connects natively, and
+// (IPV6_V6ONLY off) the Client's "localhost" resolution reaches it too.
+TEST(TcpServerTest, Ipv6ListenerServesBothFamilies) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServerOptions options;
+  options.bind_address = "::1";
+  TcpServer server(service, options);
+  const Status start = server.Start();
+  if (!start.ok()) GTEST_SKIP() << "no IPv6 loopback here: " << start;
+
+  auto v6 = Client::Connect("::1", server.port());
+  ASSERT_TRUE(v6.ok()) << v6.status();
+  EXPECT_TRUE((*v6)->Ping().ok());
+  auto trusses = (*v6)->Query("0.1;i0");
+  ASSERT_TRUE(trusses.ok()) << trusses.status();
+  ExpectWireMatches(net.dictionary(), QueryTcTree(tree, Itemset{0}, 0.1),
+                    *trusses, "0.1;i0 over v6");
+  EXPECT_TRUE((*v6)->Quit().ok());
+
+  auto named = Client::Connect("localhost", server.port());
+  ASSERT_TRUE(named.ok()) << named.status();
+  EXPECT_TRUE((*named)->Ping().ok());
+  EXPECT_TRUE((*named)->Quit().ok());
+  server.Shutdown();
+}
+
+// A loris dribbling its request byte by byte cannot dodge the rate
+// limiter: admission happens when the framed request executes, and the
+// budget is keyed by peer address across all its connections.
+TEST(TcpServerTest, SlowLorisStillPaysTheRateLimit) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServerOptions options;
+  options.rate_limit_qps = 0.25;
+  options.rate_limit_burst = 1;
+  TcpServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A normal query spends the single burst token...
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Query("0.1;i0").ok());
+
+  // ...so the loris' dribbled request, once complete, is over budget
+  // even though it arrived on a different connection.
+  const int loris = RawConnect(server.port());
+  ASSERT_GE(loris, 0);
+  for (const char c : std::string("0.1;i0")) {
+    ASSERT_TRUE(RawSend(loris, std::string_view(&c, 1)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(RawSend(loris, "\n"));
+  const std::string status_line = RawReadLine(loris);
+  EXPECT_EQ(status_line.rfind("TCF1 ERR RateLimited ", 0), 0u)
+      << status_line;
+  EXPECT_GE(service.Report().rate_limited, 1u);
+
+  // Exempt verbs still answer on the throttled connection.
+  ASSERT_TRUE(RawSend(loris, "PING\n"));
+  EXPECT_EQ(RawReadLine(loris), "TCF1 OK PONG 0");
+  ::close(loris);
+  EXPECT_TRUE(client->Quit().ok());
+  server.Shutdown();
+}
+
+// A peer that pipelines deadline-bounded queries and vanishes before
+// reading anything must leave no trace: connections reaped, pending-unit
+// pressure back to zero (so later traffic is not spuriously shed).
+TEST(TcpServerTest, AbruptCloseUnderDeadlinesDrainsPendingPressure) {
+  DatabaseNetwork net = MakeFigureOneNetwork();
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServerOptions options;
+  options.num_threads = 1;
+  options.default_deadline_ms = 1;
+  options.shed_watermark = 4;
+  TcpServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  for (int round = 0; round < 3; ++round) {
+    const int fd = RawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    std::string wire;
+    for (int i = 0; i < 40; ++i) wire += "0.1;i0,i1,i2,i3,i4\n";
+    ASSERT_TRUE(RawSend(fd, wire));
+    ::close(fd);  // never reads a byte
+  }
+  EXPECT_TRUE(WaitForReport(service, [](const ServeReport& r) {
+    return r.connections_active == 0;
+  }));
+
+  // With the pressure gone, a fresh client with a generous per-request
+  // deadline gets a full answer — nothing is shed, nothing leaked.
+  const int fd = RawConnect(server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(RawSend(fd, "DEADLINE 60000 0.1;i0\n"));
+  EXPECT_EQ(RawReadLine(fd).rfind("TCF1 OK TRUSSES ", 0), 0u);
+  ::close(fd);
+  server.Shutdown();
+}
+
+// Sustained overload soak: a tiny deadline, a tight rate limit, and a
+// low shed watermark, hammered by pipelining clients that do read.
+// Every response frames cleanly, the overload counters advance, and the
+// server ends the run healthy (bounded state: connections reaped,
+// pending units drained).
+TEST(TcpServerTest, SustainedOverloadSoakStaysCleanAndBounded) {
+  DatabaseNetwork net = MakeRandomNetwork({});
+  TcTree tree = TcTree::Build(net);
+  QueryService service(tree, net.dictionary(), {});
+  TcpServerOptions options;
+  options.num_threads = 2;
+  options.default_deadline_ms = 1;
+  options.rate_limit_qps = 50;
+  options.rate_limit_burst = 20;
+  options.shed_watermark = 8;
+  TcpServer server(service, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 10;
+  constexpr int kPipeline = 30;
+  std::atomic<size_t> framed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        const int fd = RawConnect(server.port());
+        if (fd < 0) continue;
+        std::string wire;
+        for (int i = 0; i < kPipeline; ++i) {
+          wire += StrFormat("0.02;i%d,i%d,i%d,i%d\n", c % 5, (c + 1) % 5,
+                            (c + 2) % 5, (c + 3) % 5);
+        }
+        if (!RawSend(fd, wire)) {
+          ::close(fd);
+          continue;
+        }
+        RawReader reader(fd);
+        for (int i = 0; i < kPipeline; ++i) {
+          const std::string status_line = reader.ReadLine();
+          if (status_line.empty()) break;  // server-side close
+          auto header = ParseResponseHeader(status_line);
+          EXPECT_TRUE(header.ok()) << status_line;
+          if (!header.ok()) break;
+          bool truncated = false;
+          for (size_t j = 0; j < header->payload_lines; ++j) {
+            if (reader.ReadLine().empty()) {
+              truncated = true;
+              break;
+            }
+          }
+          EXPECT_FALSE(truncated) << status_line;
+          if (truncated) break;
+          framed.fetch_add(1, std::memory_order_relaxed);
+        }
+        ::close(fd);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_GT(framed.load(), 0u);
+
+  EXPECT_TRUE(WaitForReport(service, [](const ServeReport& r) {
+    return r.connections_active == 0;
+  }));
+  const ServeReport report = service.Report();
+  // The protections actually engaged during the soak.
+  EXPECT_GT(report.rate_limited, 0u);
+  // Bounded accounting: every connection came from one loopback peer,
+  // so the client LRU holds exactly one record however hard the soak
+  // churned reconnects, and the pending-work gauge drains back to zero
+  // once the last connection is gone (no phantom backlog).
+  EXPECT_EQ(report.clients_tracked, 1u);
+  EXPECT_EQ(
+      service.metrics()
+          .GetGauge("tcf_server_pending_units", "pending request units")
+          .Value(),
+      0.0);
+  // The server is alive and fully functional afterwards.
+  auto client = MustConnect(server);
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Ping().ok());
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(client->Quit().ok());
+  server.Shutdown();
+}
+
 }  // namespace
 }  // namespace tcf

@@ -35,6 +35,11 @@
 #    bit-flipped files, RELOAD-to-mmap on a live server (torn RELOAD
 #    fails the client, server keeps serving), and `--shards=2` serving
 #    straight from the mapped slice files.
+# 8. Overload smoke: a server armed with the walk.deadline failpoint and
+#    a tight --rate-limit-qps must refuse cleanly over the wire — every
+#    refusal a parseable ERR DeadlineExceeded / ERR RateLimited line,
+#    the STATS counters advancing, PING and STATS still exempt and
+#    healthy throughout (docs/robustness.md).
 #
 # CI-friendly: every smoke failure exits non-zero (set -e covers the
 # backgrounded server through explicit guards), worker counts fall back
@@ -512,5 +517,79 @@ wait "$SERVER_PID" || { echo "FAIL: sliced server exited non-zero";
                         exit 1; }
 SERVER_PID=""
 echo "OK: --shards=2 served zero-copy from the checked slice files"
+
+echo "== overload smoke =="
+# A server that must refuse: the walk.deadline failpoint expires every
+# walk's budget deterministically (no flaky timing on a tiny network),
+# and a 1 qps / burst-2 token bucket turns a pipelined flood into rate
+# limiting. Every refusal must still be a clean, parseable ERR line.
+TCF_FAILPOINTS=1 TCF_FAILPOINTS_SPEC="walk.deadline=always" \
+  "$TCF" serve --in="$TMP/smoke.net" --index="$TMP/smoke.idx" --listen=0 \
+         --threads=2 --compose-min-us=0 \
+         --default-deadline-ms=50 --rate-limit-qps=1 --rate-limit-burst=2 \
+         > "$TMP/server5.log" 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 100); do
+  PORT="$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' \
+          "$TMP/server5.log")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: overload server died";
+                                         cat "$TMP/server5.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "FAIL: overload server never reported its port";
+                    exit 1; }
+
+# A query whose walk budget is injected-expired must fail the client
+# (non-zero exit) while the server stays up.
+if "$TCF" client --port="$PORT" --query="0.01;s1,s2" 2>/dev/null; then
+  echo "FAIL: deadline-expired query did not fail the client"; exit 1
+fi
+"$TCF" client --port="$PORT" --ping
+
+# Pipelined flood over one raw connection: 8 query lines, 8 responses.
+# Expired results are never cached, so every response is a single ERR
+# line — the first within-burst requests DeadlineExceeded, the rest
+# RateLimited with a retry hint. No torn frames, no hangs.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+for i in $(seq 8); do printf '0.01;s%d,s%d\n' "$i" "$((i + 1))" >&3; done
+DEADLINED=0
+LIMITED=0
+for _ in $(seq 8); do
+  IFS= read -r line <&3 || { echo "FAIL: flood response stream ended early";
+                             exit 1; }
+  case "$line" in
+    "TCF1 ERR DeadlineExceeded "*) DEADLINED=$((DEADLINED + 1)) ;;
+    "TCF1 ERR RateLimited "*"retry in"*) LIMITED=$((LIMITED + 1)) ;;
+    *) echo "FAIL: unclean overload response: $line"; exit 1 ;;
+  esac
+done
+exec 3<&- 3>&-
+[ "$DEADLINED" -ge 1 ] || { echo "FAIL: no DeadlineExceeded in the flood";
+                            exit 1; }
+[ "$LIMITED" -ge 1 ] || { echo "FAIL: no RateLimited in the flood"; exit 1; }
+echo "OK: flood answered cleanly ($DEADLINED deadline-expired," \
+     "$LIMITED rate-limited)"
+
+# STATS stays exempt from the rate limit and must show both counters.
+"$TCF" client --port="$PORT" --stats | awk '
+  $1 == "deadline_exceeded" && $2 + 0 > 0 { d = 1 }
+  $1 == "rate_limited" && $2 + 0 > 0 { r = 1 }
+  $1 == "clients_tracked" && $2 + 0 > 0 { c = 1 }
+  END {
+    if (!d) { print "FAIL: STATS deadline_exceeded never advanced"; exit 1 }
+    if (!r) { print "FAIL: STATS rate_limited never advanced"; exit 1 }
+    if (!c) { print "FAIL: STATS clients_tracked is zero"; exit 1 }
+    print "OK: STATS reports deadline_exceeded, rate_limited," \
+          "clients_tracked > 0"
+  }'
+
+kill -TERM "$SERVER_PID" || { echo "FAIL: overload server died early";
+                              cat "$TMP/server5.log"; exit 1; }
+wait "$SERVER_PID" || { echo "FAIL: overload server exited non-zero";
+                        exit 1; }
+SERVER_PID=""
+echo "OK: overload smoke (deadlines / rate limit / clean refusals)"
 
 echo "== all checks passed =="

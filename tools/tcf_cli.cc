@@ -205,13 +205,16 @@ int Usage() {
                "[--threads=T] [--build-threads=B] [--cache-mb=M] "
                "[--repeat=R] [--batch=B] [--max-nodes=N] "
                "[--shards=N] [--compose-min-us=U] [--slow-us=U] "
-               "[--no-trace]\n"
+               "[--no-trace] [--trace-sample=N]\n"
                "  serve    --in=FILE --listen=PORT [--host=ADDR] "
                "[--index=FILE.idx] [--threads=T] [--build-threads=B] "
                "[--cache-mb=M] [--max-conns=C] [--max-nodes=N] "
                "[--shards=N] [--no-reload] [--compose-min-us=U] "
-               "[--slow-us=U] [--no-trace] [--no-update] "
-               "[--update-threads=T] [--watch=FILE.idx] [--watch-ms=M]\n"
+               "[--slow-us=U] [--no-trace] [--trace-sample=N] "
+               "[--no-update] [--update-threads=T] [--watch=FILE.idx] "
+               "[--watch-ms=M] [--default-deadline-ms=D] "
+               "[--rate-limit-qps=Q] [--rate-limit-burst=B] "
+               "[--shed-watermark=W]\n"
                "  client   --port=PORT [--host=ADDR] [--ping] "
                "[--reload=FILE.idx] [--query=LINE] [--explain=LINE] "
                "[--batch=FILE] [--batch-size=B] [--workload=FILE] "
@@ -521,11 +524,14 @@ int CmdQuery(const Args& args) {
 
 /// The observability knobs both serve modes share: --no-trace turns
 /// request-scoped tracing off (flat counters only), --slow-us moves the
-/// slow-query ring threshold (default 10000).
+/// slow-query ring threshold (default 10000), --trace-sample=N keeps
+/// every Nth query's trace (EXPLAIN always traces).
 void ApplyTracingArgs(const Args& args, QueryServiceOptions* options) {
   options->tracing = args.Get("no-trace", "") != "true";
   options->slow_query_us =
       args.GetDouble("slow-us", options->slow_query_us);
+  options->trace_sample_every =
+      std::max<uint64_t>(1, args.GetUint("trace-sample", 1));
 }
 
 /// Builds the serving backend both serve modes share, loading or
@@ -668,6 +674,11 @@ int ServeListen(const Args& args, DatabaseNetwork net,
   server_options.max_connections = args.GetUint("max-conns", 0);
   server_options.allow_reload = args.Get("no-reload", "") != "true";
   server_options.updater = updater.get();
+  // Overload-protection knobs (docs/robustness.md); all default off.
+  server_options.default_deadline_ms = args.GetUint("default-deadline-ms", 0);
+  server_options.rate_limit_qps = args.GetDouble("rate-limit-qps", 0.0);
+  server_options.rate_limit_burst = args.GetDouble("rate-limit-burst", 0.0);
+  server_options.shed_watermark = args.GetUint("shed-watermark", 0);
   TcpServer server(service, server_options);
   // Handlers go in *before* the listening banner: a supervisor that
   // greps the log and immediately signals must still get the graceful
